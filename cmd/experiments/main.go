@@ -1,0 +1,93 @@
+// Command experiments regenerates every figure and table of the paper's
+// evaluation section from fixed seeds and prints them as text tables.
+//
+// Usage:
+//
+//	experiments [-only fig1|fig2|fig3|fig4|table1|latency|importance|ablations]
+//	            [-device r9nano|gen9|mali] [-seed 42] [-md REPORT.md] [-svg figures]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"kernelselect/internal/device"
+	"kernelselect/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	only := flag.String("only", "", "run a single experiment: fig1, fig2, fig3, fig4, table1, latency, importance or ablations")
+	devName := flag.String("device", "r9nano", "device model: r9nano, gen9 or mali")
+	seed := flag.Uint64("seed", experiments.DefaultSeed, "experiment seed")
+	mdPath := flag.String("md", "", "write a full markdown report to this path instead of printing")
+	svgDir := flag.String("svg", "", "also render fig1.svg…fig4.svg into this directory")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Seed = *seed
+	switch *devName {
+	case "r9nano":
+		cfg.Device = device.R9Nano()
+	case "gen9":
+		cfg.Device = device.IntegratedGen9()
+	case "mali":
+		cfg.Device = device.EmbeddedMaliG72()
+	default:
+		log.Fatalf("unknown device %q", *devName)
+	}
+
+	env := experiments.Setup(cfg)
+	if *svgDir != "" {
+		if err := env.WriteSVGs(*svgDir); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote figures to %s", *svgDir)
+	}
+	if *mdPath != "" {
+		f, err := os.Create(*mdPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.WriteMarkdownReport(f, env); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *mdPath)
+		return
+	}
+	var names []string
+	for n := range env.PerNetwork {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("device: %s, seed: %d\n", cfg.Device.Name, cfg.Seed)
+	for _, n := range names {
+		fmt.Printf("%-12s %3d shapes (paper: vgg 78, resnet 66, mobilenet 26)\n", n, env.PerNetwork[n])
+	}
+	fmt.Printf("union: %d shapes, split %d train / %d test (paper: 170 = 136 + 34)\n\n",
+		env.Dataset.NumShapes(), env.Train.NumShapes(), env.Test.NumShapes())
+
+	run := func(name string, f func() string) {
+		if *only != "" && *only != name {
+			return
+		}
+		fmt.Println(f())
+	}
+	run("fig1", func() string { return experiments.RenderFig1(env.Fig1()) })
+	run("fig2", func() string { return experiments.RenderFig2(env.Fig2()) })
+	run("fig3", func() string { return experiments.RenderFig3(env.Fig3()) })
+	run("fig4", func() string { return experiments.RenderFig4(env.Fig4()) })
+	run("table1", func() string { return experiments.RenderTable1(env.Table1()) })
+	run("latency", func() string { return experiments.RenderLatency(env.SelectionLatency(8, 200)) })
+	run("importance", func() string { return experiments.RenderImportance(env.FeatureImportance(8)) })
+	if *only == "ablations" {
+		fmt.Println(experiments.RenderAblations(env))
+	}
+}

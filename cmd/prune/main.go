@@ -1,0 +1,71 @@
+// Command prune runs the five configuration-pruning methods of the paper's
+// Section III on a tuning dataset (from cmd/tune, or regenerated in-process)
+// and reports the chosen configurations with their achievable performance
+// ceilings on a held-out split.
+//
+// Usage:
+//
+//	prune [-n 8] [-seed 42] [-dataset dataset.csv] [-method all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prune: ")
+	n := flag.Int("n", 8, "number of configurations to keep")
+	seed := flag.Uint64("seed", 42, "random seed for the split and clustering")
+	path := flag.String("dataset", "", "dataset CSV from cmd/tune (default: regenerate for the R9 Nano model)")
+	method := flag.String("method", "all", "pruning method: top-n, k-means, hdbscan, pca+k-means, decision-tree, greedy-cover or all")
+	flag.Parse()
+
+	ds, err := loadDataset(*path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := ds.Split(*seed, 0.2)
+	fmt.Printf("dataset: %d shapes × %d configurations (train %d / test %d)\n\n",
+		ds.NumShapes(), ds.NumConfigs(), train.NumShapes(), test.NumShapes())
+
+	any := false
+	for _, p := range append(core.AllPruners(), core.Greedy{}) {
+		if *method != "all" && p.Name() != *method {
+			continue
+		}
+		any = true
+		selected := p.Prune(train, *n, *seed)
+		fmt.Printf("%s (test ceiling %.2f%% of optimal):\n", p.Name(), core.AchievableScore(test, selected))
+		for _, c := range selected {
+			fmt.Printf("  %s\n", ds.Configs[c])
+		}
+		fmt.Println()
+	}
+	if !any {
+		log.Fatalf("unknown method %q", *method)
+	}
+}
+
+func loadDataset(path string) (*dataset.PerfDataset, error) {
+	if path == "" {
+		shapes, _ := workload.DatasetShapes()
+		return dataset.Build(sim.New(device.R9Nano()), shapes, gemm.AllConfigs()), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f)
+}

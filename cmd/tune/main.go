@@ -1,0 +1,81 @@
+// Command tune runs the brute-force auto-tuning stage of the paper: it
+// prices every kernel configuration on every GEMM shape extracted from the
+// VGG/ResNet/MobileNet workloads for a chosen device model and writes the
+// resulting dataset as CSV (the analogue of the paper's published dataset).
+//
+// Usage:
+//
+//	tune [-device r9nano|gen9|mali] [-o dataset.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tune: ")
+	devName := flag.String("device", "r9nano", "device model: r9nano, gen9 or mali")
+	out := flag.String("o", "", "output CSV path (default stdout)")
+	flag.Parse()
+
+	dev, err := deviceByName(*devName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	shapes, per := workload.DatasetShapes()
+	var names []string
+	for n := range per {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		log.Printf("%-12s %3d shapes", n, per[n])
+	}
+	log.Printf("union: %d shapes × %d configurations on %s", len(shapes), len(gemm.AllConfigs()), dev.Name)
+
+	ds := dataset.Build(sim.New(dev), shapes, gemm.AllConfigs())
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := ds.WriteCSV(w); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		log.Printf("wrote %s", *out)
+	}
+}
+
+func deviceByName(name string) (device.Spec, error) {
+	switch name {
+	case "r9nano":
+		return device.R9Nano(), nil
+	case "gen9":
+		return device.IntegratedGen9(), nil
+	case "mali":
+		return device.EmbeddedMaliG72(), nil
+	}
+	return device.Spec{}, fmt.Errorf("unknown device %q (want r9nano, gen9 or mali)", name)
+}

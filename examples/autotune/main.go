@@ -1,0 +1,94 @@
+// Dynamic auto-tuning versus model-based selection: the paper's introduction
+// notes that ML frameworks fall back to dynamic tuning — "doing trial runs
+// the first time an input size is used and choosing the best for subsequent
+// runs" — precisely because static per-size tuning cannot keep up with
+// research workloads whose shapes keep changing.
+//
+// This example quantifies that trade-off on the device model. A stream of
+// GEMMs with changing shapes (a researcher tweaking layer widths and batch
+// sizes) is executed three ways:
+//
+//   - dynamic tuning (internal/autotune): first use of a shape pays for
+//     trial runs of every library kernel, subsequent uses run the measured
+//     best;
+//   - model-based selection: every call runs the decision tree's pick,
+//     nothing is ever trialled;
+//   - oracle: every call runs the true best kernel (lower bound).
+//
+// Run with: go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kernelselect/internal/autotune"
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/workload"
+	"kernelselect/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	model := sim.New(device.R9Nano())
+	shapes, _ := workload.DatasetShapes()
+	ds := dataset.Build(model, shapes, gemm.AllConfigs())
+	lib := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 8, 42)
+
+	tuner, err := autotune.New(lib.Configs, autotune.ModelMeasurer(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A research session: mutate a base convolution's channel counts and
+	// batch size every step, producing a stream with many first-seen
+	// shapes — the regime where static tuning breaks down.
+	rng := xrand.New(7)
+	var stream []gemm.Shape
+	for step := 0; step < 400; step++ {
+		width := 32 * (1 + rng.Intn(16)) // output channels under tweak
+		depth := 16 * (1 + rng.Intn(32)) // input-channel × kernel patch
+		batch := []int{1, 4, 8, 16, 32}[rng.Intn(5)]
+		spatial := []int{7, 14, 28, 56}[rng.Intn(4)]
+		stream = append(stream, gemm.Shape{M: batch * spatial * spatial, K: depth, N: width})
+	}
+
+	var dynTime, selTime, oracleTime float64
+	for _, s := range stream {
+		// Dynamic tuner: Choose trial-runs the library kernels on a miss.
+		cfg, err := tuner.Choose(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dynTime += model.TimeSeconds(cfg, s)
+
+		// Model-based selection: no trials, ever.
+		selTime += model.TimeSeconds(lib.Choose(s), s)
+
+		// Oracle lower bound over the full 640-kernel space.
+		bestT := -1.0
+		for _, c := range ds.Configs {
+			if t := model.TimeSeconds(c, s); bestT < 0 || t < bestT {
+				bestT = t
+			}
+		}
+		oracleTime += bestT
+	}
+	st := tuner.Stats()
+	dynTime += st.TrialTime
+
+	fmt.Printf("research stream: %d GEMMs, %d distinct shapes (%.0f%% first-seen)\n\n",
+		len(stream), st.CacheSize, 100*float64(st.Misses)/float64(len(stream)))
+	fmt.Printf("dynamic tuner: %d trials over %d misses, %.2f ms spent trialling\n\n",
+		st.Trials, st.Misses, st.TrialTime*1e3)
+	fmt.Printf("%-36s %10.2f ms\n", "dynamic tuning (trials + runs):", dynTime*1e3)
+	fmt.Printf("%-36s %10.2f ms\n", "decision-tree selection:", selTime*1e3)
+	fmt.Printf("%-36s %10.2f ms\n", "oracle (640-kernel optimum):", oracleTime*1e3)
+	fmt.Printf("\nmodel-based selection is %.2f× faster than dynamic tuning on this stream\n",
+		dynTime/selTime)
+	fmt.Printf("and within %.1f%% of the oracle.\n", 100*(selTime-oracleTime)/oracleTime)
+}

@@ -1,0 +1,87 @@
+// Quickstart: the full paper pipeline in one sitting.
+//
+// It brute-forces the tuning dataset on the modelled R9 Nano, prunes the
+// 640-configuration space to 8 kernels with the decision-tree method, trains
+// a decision-tree runtime selector, and then uses the resulting library to
+// run a real matrix multiply on the CPU work-group emulator.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/sycl"
+	"kernelselect/internal/workload"
+	"kernelselect/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Auto-tune: price every configuration on every workload shape.
+	shapes, _ := workload.DatasetShapes()
+	model := sim.New(device.R9Nano())
+	ds := dataset.Build(model, shapes, gemm.AllConfigs())
+	fmt.Printf("tuned %d shapes × %d configurations on %s\n",
+		ds.NumShapes(), ds.NumConfigs(), model.Dev.Name)
+
+	// 2. Prune to a shippable set and train the runtime selector.
+	lib := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 8, 42)
+	fmt.Printf("library keeps %d kernels (selector: %s):\n", len(lib.Configs), lib.SelectorName())
+	for _, c := range lib.Configs {
+		fmt.Printf("  %s\n", c)
+	}
+
+	// 3. Ask the library which kernel it would run for a few problems.
+	fmt.Println("\nruntime selections:")
+	for _, s := range []gemm.Shape{
+		{M: 12544, K: 576, N: 64}, // large im2col conv GEMM
+		{M: 1, K: 4096, N: 1000},  // single-image fully connected layer
+		{M: 196, K: 2304, N: 512}, // deep, small-spatial conv
+	} {
+		fmt.Printf("  %-16v → %s\n", s, lib.Choose(s))
+	}
+
+	// 4. Execute a real multiply through the chosen kernel.
+	q := sycl.NewQueue(sycl.HostDevice())
+	s := gemm.Shape{M: 96, N: 96, K: 128}
+	r := xrand.New(1)
+	a := make([]float64, s.M*s.K)
+	b := make([]float64, s.K*s.N)
+	c := make([]float64, s.M*s.N)
+	for i := range a {
+		a[i] = r.Float64()
+	}
+	for i := range b {
+		b[i] = r.Float64()
+	}
+	cfg, err := lib.Multiply(q, a, b, c, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	want := make([]float64, s.M*s.N)
+	gemm.Reference(a, b, want, s)
+	var maxDiff float64
+	for i := range want {
+		if d := abs(want[i] - c[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("\nexecuted %v with %s on the host emulator; max |err| vs reference = %.2g\n",
+		s, cfg, maxDiff)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

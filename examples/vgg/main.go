@@ -1,0 +1,87 @@
+// VGG inference walk-through: the workload the paper's introduction
+// motivates. For every GEMM arising in a VGG-16 forward pass (im2col
+// convolutions plus the fully connected layers) the tuned library picks a
+// kernel; the example compares the modelled performance of that pick against
+// the true per-shape optimum and against always running the single overall
+// best kernel.
+//
+// Run with: go run ./examples/vgg
+package main
+
+import (
+	"fmt"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/workload"
+)
+
+func main() {
+	dev := device.R9Nano()
+	model := sim.New(dev)
+
+	// Tune on the full three-network workload (as the paper does), then
+	// deploy on the VGG-16 batch-1 inference shapes.
+	shapes, _ := workload.DatasetShapes()
+	ds := dataset.Build(model, shapes, gemm.AllConfigs())
+	lib := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 8, 42)
+
+	// The single best configuration overall (the "just ship one kernel"
+	// baseline a library without selection would use).
+	wins := ds.WinCounts()
+	oneKernel := 0
+	for j, w := range wins {
+		if w > wins[oneKernel] {
+			oneKernel = j
+		}
+	}
+
+	vgg := workload.VGG16()
+	vgg.Batches = []int{1}
+
+	fmt.Printf("VGG-16 batch-1 inference on the %s model\n", dev.Name)
+	fmt.Printf("%-24s %-14s %-18s %9s %9s %9s\n",
+		"layer", "gemm (MxKxN)", "selected kernel", "sel GF/s", "best GF/s", "1-kern")
+	var selTime, bestTime, oneTime float64
+	for _, conv := range vgg.Convs {
+		s := conv.Im2colShape(1)
+		report(model, ds, lib, oneKernel, conv.Name, s, &selTime, &bestTime, &oneTime)
+	}
+	for _, fc := range vgg.FCs {
+		s := fc.Shape(1)
+		report(model, ds, lib, oneKernel, fc.Name, s, &selTime, &bestTime, &oneTime)
+	}
+
+	fmt.Printf("\ntotal modelled GEMM time per image:\n")
+	fmt.Printf("  selected kernels:   %8.3f ms\n", selTime*1e3)
+	fmt.Printf("  per-shape optimum:  %8.3f ms (ideal, unbounded library)\n", bestTime*1e3)
+	fmt.Printf("  single best kernel: %8.3f ms (no runtime selection)\n", oneTime*1e3)
+	fmt.Printf("selection recovers %.1f%% of the headroom between one kernel and the optimum\n",
+		100*(oneTime-selTime)/(oneTime-bestTime))
+}
+
+func report(model *sim.Model, ds *dataset.PerfDataset, lib *core.Library, oneKernel int,
+	name string, s gemm.Shape, selTime, bestTime, oneTime *float64) {
+
+	chosen := lib.Choose(s)
+	selG := model.GFLOPS(chosen, s)
+
+	bestG := 0.0
+	for _, cfg := range ds.Configs {
+		if g := model.GFLOPS(cfg, s); g > bestG {
+			bestG = g
+		}
+	}
+	oneG := model.GFLOPS(ds.Configs[oneKernel], s)
+
+	flops := float64(s.FLOPs())
+	*selTime += flops / (selG * 1e9)
+	*bestTime += flops / (bestG * 1e9)
+	*oneTime += flops / (oneG * 1e9)
+
+	fmt.Printf("%-24s %-14s %-18s %9.0f %9.0f %9.0f\n",
+		name, s.String(), chosen.String(), selG, bestG, oneG)
+}

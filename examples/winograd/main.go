@@ -1,0 +1,98 @@
+// Convolution lowerings: why the tuning dataset contains both im2col and
+// Winograd GEMM shapes for the same layers (Section II-A: "convolutional
+// layers ... can be computed using a matrix multiply through transformations
+// such as the im2col and Winograd").
+//
+// For one VGG-style convolution the example runs both lowerings through the
+// tuned library on the host emulator, checks they agree numerically with the
+// direct convolution, and compares the arithmetic each performs and the
+// kernels the library selects — the two transforms hand the library very
+// different GEMMs for the same layer.
+//
+// Run with: go run ./examples/winograd
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/nn"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/sycl"
+	"kernelselect/internal/workload"
+	"kernelselect/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	shapes, _ := workload.DatasetShapes()
+	ds := dataset.Build(sim.New(device.R9Nano()), shapes, gemm.AllConfigs())
+	lib := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 8, 42)
+	q := sycl.NewQueue(sycl.HostDevice())
+	run := nn.LibraryRunner{Q: q, Lib: lib}
+
+	// A conv3_1-style layer at reduced resolution (so the emulator finishes
+	// promptly): 32→64 channels on a 32×32 map, batch 2.
+	geom := workload.Conv{
+		Name: "conv", InC: 32, OutC: 64, InH: 32, InW: 32,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}
+	conv, err := nn.NewConv2D(geom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conv.InitRandom(1)
+	in := nn.NewTensor(2, geom.InC, geom.InH, geom.InW)
+	r := xrand.New(2)
+	for i := range in.Data {
+		in.Data[i] = 2*r.Float64() - 1
+	}
+
+	im2colShape := geom.Im2colShape(in.N)
+	winoShape, _ := geom.WinogradShape(in.N)
+	fmt.Printf("layer %s: %d→%d channels @%d×%d, batch %d\n\n",
+		geom.Name, geom.InC, geom.OutC, geom.InH, geom.InW, in.N)
+	fmt.Printf("%-10s %-16s %14s %-18s\n", "lowering", "GEMM (MxKxN)", "GEMM flops", "library selects")
+	fmt.Printf("%-10s %-16s %14d %-18s\n", "im2col", im2colShape, im2colShape.FLOPs(), lib.Choose(im2colShape))
+	fmt.Printf("%-10s %-16s %14d ×16 %-18s\n", "winograd", winoShape, winoShape.FLOPs(), lib.Choose(winoShape))
+	ratio := float64(im2colShape.FLOPs()) / float64(16*winoShape.FLOPs())
+	fmt.Printf("\nWinograd performs %.2f× fewer GEMM flops (theoretical maximum 2.25 for F(2×2,3×3)).\n\n", ratio)
+
+	direct, err := conv.ForwardDirect(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeIt := func(name string, f func() (*nn.Tensor, error)) *nn.Tensor {
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %8.1f ms (max |err| vs direct = %.2g)\n",
+			name, time.Since(start).Seconds()*1e3, maxDiff(out, direct))
+		return out
+	}
+	fmt.Println("host-emulator wall time:")
+	timeIt("im2col through library", func() (*nn.Tensor, error) { return conv.Forward(run, in) })
+	timeIt("winograd through library", func() (*nn.Tensor, error) { return conv.ForwardWinograd(run, in) })
+}
+
+func maxDiff(a, b *nn.Tensor) float64 {
+	var m float64
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,3 @@
+module kernelselect
+
+go 1.22

@@ -1,0 +1,223 @@
+package kernelselect
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kernelselect/internal/autotune"
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/experiments"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/nn"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/sycl"
+	"kernelselect/internal/workload"
+	"kernelselect/internal/xrand"
+)
+
+// TestEndToEndPipeline exercises the full paper pipeline: workload shapes →
+// brute-force tuning → split → prune → selector training → deployable
+// library → persistence round trip → real kernel execution.
+func TestEndToEndPipeline(t *testing.T) {
+	shapes, per := workload.DatasetShapes()
+	if per["vgg16"] != 78 {
+		t.Fatalf("vgg16 shape count %d", per["vgg16"])
+	}
+	model := sim.New(device.R9Nano())
+	ds := dataset.Build(model, shapes, gemm.AllConfigs())
+	train, test := ds.Split(experiments.DefaultSeed, 0.2)
+
+	res := core.RunPipeline(train, test, core.DecisionTree{}, core.DecisionTreeSelector{}, 8, experiments.DefaultSeed)
+	if res.CeilingPct < 90 {
+		t.Fatalf("pruning ceiling %v implausibly low", res.CeilingPct)
+	}
+	if res.SelectorPct < 80 || res.SelectorPct > res.CeilingPct {
+		t.Fatalf("selector score %v outside (80, ceiling %v]", res.SelectorPct, res.CeilingPct)
+	}
+
+	lib := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 8, experiments.DefaultSeed)
+	var artifact bytes.Buffer
+	if err := core.SaveLibrary(&artifact, lib); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadLibrary(&artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The loaded library executes a correct multiply on the emulator.
+	q := sycl.NewQueue(sycl.HostDevice())
+	s := gemm.Shape{M: 45, N: 37, K: 29}
+	r := xrand.New(1)
+	a := make([]float64, s.M*s.K)
+	b := make([]float64, s.K*s.N)
+	got := make([]float64, s.M*s.N)
+	want := make([]float64, s.M*s.N)
+	for i := range a {
+		a[i] = r.Float64()
+	}
+	for i := range b {
+		b[i] = r.Float64()
+	}
+	if _, err := loaded.Multiply(q, a, b, got, s); err != nil {
+		t.Fatal(err)
+	}
+	gemm.Reference(a, b, want, s)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9 {
+			t.Fatal("loaded library computed wrong product")
+		}
+	}
+}
+
+// TestLiveMeasuredDataset builds a small tuning dataset from real host
+// kernel timings (the path a physical-hardware deployment uses) and runs the
+// pruning machinery on it.
+func TestLiveMeasuredDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live timing in -short mode")
+	}
+	q := sycl.NewQueue(sycl.HostDevice())
+	measure := autotune.LiveMeasurer(q)
+	shapes := []gemm.Shape{
+		{M: 48, N: 48, K: 48}, {M: 96, N: 24, K: 32}, {M: 16, N: 128, K: 64},
+		{M: 1, N: 256, K: 128}, {M: 200, N: 8, K: 16}, {M: 64, N: 64, K: 8},
+	}
+	configs := gemm.AllConfigs()[:24]
+	ds, err := dataset.BuildMeasured(func(cfg gemm.Config, s gemm.Shape) (float64, error) {
+		sec, err := measure(cfg, s)
+		if err != nil {
+			return 0, err
+		}
+		return float64(s.FLOPs()) / sec / 1e9, nil // GFLOPS
+	}, shapes, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selected := core.TopN{}.Prune(ds, 4, 1)
+	if len(selected) != 4 {
+		t.Fatalf("pruned to %d configs", len(selected))
+	}
+	if score := core.AchievableScore(ds, selected); score <= 0 || score > 100 {
+		t.Fatalf("score %v", score)
+	}
+}
+
+// TestNetworkInferenceThroughLibrary runs a real forward pass where the
+// library picks a kernel per lowered GEMM, and cross-checks the numerics
+// against the naive reference runner.
+func TestNetworkInferenceThroughLibrary(t *testing.T) {
+	shapes, _ := workload.DatasetShapes()
+	ds := dataset.Build(sim.New(device.R9Nano()), shapes, gemm.AllConfigs())
+	lib := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 6, 1)
+
+	net, err := nn.VGGStyle(3, 16, []int{8, 16}, 32, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := nn.NewTensor(2, 3, 16, 16)
+	r := xrand.New(5)
+	for i := range in.Data {
+		in.Data[i] = 2*r.Float64() - 1
+	}
+
+	q := sycl.NewQueue(sycl.HostDevice())
+	got, err := net.Forward(nn.LibraryRunner{Q: q, Lib: lib}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := net.Forward(nn.ReferenceRunner{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if math.Abs(want.Data[i]-got.Data[i]) > 1e-9 {
+			t.Fatal("library-dispatched inference diverged from reference")
+		}
+	}
+}
+
+// TestCommandsSmoke runs each CLI once with fast arguments, verifying the
+// tools work end-to-end as shipped (not just compile).
+func TestCommandsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("command smoke tests in -short mode")
+	}
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"prune", []string{"run", "./cmd/prune", "-n", "4", "-method", "top-n"}, "top-n"},
+		{"selectgen", []string{"run", "./cmd/selectgen", "-n", "4"}, "func Select(m, k, n float64) int"},
+		{"search", []string{"run", "./cmd/search", "-space", "default", "-shape", "784x1152x256"}, "brute-force"},
+		{"experiments", []string{"run", "./cmd/experiments", "-only", "fig3"}, "components for 80%"},
+		{"price", []string{"run", "./cmd/price", "-config", "t4x4a4_wg16x16", "-shape", "784x1152x256"}, "analytical model"},
+		{"tune", []string{"run", "./cmd/tune", "-o", filepath.Join(dir, "ds.csv")}, ""},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			out, err := exec.Command("go", c.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v: %v\n%s", c.args, err, out)
+			}
+			if c.want != "" && !strings.Contains(string(out), c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, out)
+			}
+		})
+	}
+	// The tune output must load back as a dataset.
+	f, err := os.Open(filepath.Join(dir, "ds.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataset.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumShapes() != 156 || ds.NumConfigs() != 640 {
+		t.Fatalf("tuned dataset dims %dx%d", ds.NumShapes(), ds.NumConfigs())
+	}
+}
+
+// TestExamplesSmoke runs every example once, guarding them against rot.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests in -short mode")
+	}
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"./examples/quickstart", "library keeps 8 kernels"},
+		{"./examples/vgg", "selection recovers"},
+		{"./examples/embedded", "pairwise overlap"},
+		{"./examples/autotune", "faster than dynamic tuning"},
+		{"./examples/inference", "library artifact"},
+		{"./examples/winograd", "fewer GEMM flops"},
+		{"./examples/training", "accuracy 48/48"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.path, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.path).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", c.path, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("%s output missing %q:\n%s", c.path, c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,153 @@
+// Package autotune implements the dynamic kernel-tuning strategy the
+// paper's introduction attributes to machine-learning frameworks:
+// "doing trial runs the first time an input size is used and choosing the
+// best for subsequent runs". It is the comparison point for the paper's
+// model-based selection — dynamic tuning adapts to any shape but pays a
+// trial-run tax on every new one, which dominates in research workloads
+// whose shapes keep changing (see examples/autotune).
+package autotune
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/sycl"
+	"kernelselect/internal/xrand"
+)
+
+// Measurer times one kernel configuration on one shape, returning seconds.
+type Measurer func(cfg gemm.Config, s gemm.Shape) (float64, error)
+
+// Stats summarises a tuner's activity.
+type Stats struct {
+	Hits       int     // Choose calls answered from the cache
+	Misses     int     // Choose calls that triggered trial runs
+	Trials     int     // individual trial measurements
+	TrialTime  float64 // seconds spent in trial runs
+	CacheSize  int
+	Candidates int
+}
+
+// Tuner caches the best measured configuration per shape.
+// It is safe for concurrent use.
+type Tuner struct {
+	candidates []gemm.Config
+	measure    Measurer
+
+	mu    sync.Mutex
+	cache map[gemm.Shape]gemm.Config
+	stats Stats
+}
+
+// New builds a tuner over the candidate configurations. A library embedding
+// this strategy would pass its compiled-in kernel set; passing
+// gemm.AllConfigs() models an unconstrained JIT-style tuner.
+func New(candidates []gemm.Config, measure Measurer) (*Tuner, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("autotune: no candidate configurations")
+	}
+	for _, c := range candidates {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if measure == nil {
+		return nil, fmt.Errorf("autotune: nil measurer")
+	}
+	return &Tuner{
+		candidates: append([]gemm.Config(nil), candidates...),
+		measure:    measure,
+		cache:      map[gemm.Shape]gemm.Config{},
+	}, nil
+}
+
+// Choose returns the configuration to run for s, trialling all candidates
+// the first time the shape is seen.
+func (t *Tuner) Choose(s gemm.Shape) (gemm.Config, error) {
+	if err := s.Validate(); err != nil {
+		return gemm.Config{}, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cfg, ok := t.cache[s]; ok {
+		t.stats.Hits++
+		return cfg, nil
+	}
+	t.stats.Misses++
+	best := t.candidates[0]
+	bestT := -1.0
+	for _, cfg := range t.candidates {
+		sec, err := t.measure(cfg, s)
+		if err != nil {
+			return gemm.Config{}, fmt.Errorf("autotune: trialling %v on %v: %w", cfg, s, err)
+		}
+		if sec <= 0 {
+			return gemm.Config{}, fmt.Errorf("autotune: non-positive measurement %v for %v on %v", sec, cfg, s)
+		}
+		t.stats.Trials++
+		t.stats.TrialTime += sec
+		if bestT < 0 || sec < bestT {
+			best, bestT = cfg, sec
+		}
+	}
+	t.cache[s] = best
+	return best, nil
+}
+
+// Stats returns a snapshot of the tuner's counters.
+func (t *Tuner) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats
+	st.CacheSize = len(t.cache)
+	st.Candidates = len(t.candidates)
+	return st
+}
+
+// ModelMeasurer prices trials with the analytical device model — the
+// simulation path used by the experiments.
+func ModelMeasurer(m *sim.Model) Measurer {
+	return func(cfg gemm.Config, s gemm.Shape) (float64, error) {
+		return m.TimeSeconds(cfg, s), nil
+	}
+}
+
+// LiveMeasurer times real kernel executions on the host emulator,
+// allocating deterministic operand buffers per shape. It is the measurement
+// path a deployment on physical hardware would use (with its SYCL queue in
+// place of the emulator's).
+func LiveMeasurer(q *sycl.Queue) Measurer {
+	type buffers struct {
+		a, b, c []float64
+	}
+	var mu sync.Mutex
+	cache := map[gemm.Shape]*buffers{}
+	return func(cfg gemm.Config, s gemm.Shape) (float64, error) {
+		mu.Lock()
+		buf, ok := cache[s]
+		if !ok {
+			r := xrand.New(uint64(s.M)<<40 | uint64(s.K)<<20 | uint64(s.N))
+			buf = &buffers{
+				a: make([]float64, s.M*s.K),
+				b: make([]float64, s.K*s.N),
+				c: make([]float64, s.M*s.N),
+			}
+			for i := range buf.a {
+				buf.a[i] = r.Float64()
+			}
+			for i := range buf.b {
+				buf.b[i] = r.Float64()
+			}
+			cache[s] = buf
+		}
+		mu.Unlock()
+		start := time.Now()
+		if err := gemm.Multiply(q, cfg, buf.a, buf.b, buf.c, s); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Seconds(), nil
+	}
+}

@@ -1,0 +1,151 @@
+package autotune
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/sycl"
+)
+
+func candidates() []gemm.Config { return gemm.AllConfigs()[:8] }
+
+func TestNewValidation(t *testing.T) {
+	meas := func(gemm.Config, gemm.Shape) (float64, error) { return 1, nil }
+	if _, err := New(nil, meas); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+	if _, err := New([]gemm.Config{{TileRows: 3}}, meas); err == nil {
+		t.Fatal("invalid candidate accepted")
+	}
+	if _, err := New(candidates(), nil); err == nil {
+		t.Fatal("nil measurer accepted")
+	}
+}
+
+func TestChoosePicksFastestAndCaches(t *testing.T) {
+	cands := candidates()
+	calls := 0
+	// Deterministic measurer: candidate 3 is fastest.
+	meas := func(cfg gemm.Config, s gemm.Shape) (float64, error) {
+		calls++
+		for i, c := range cands {
+			if c == cfg {
+				if i == 3 {
+					return 0.5, nil
+				}
+				return 1 + float64(i), nil
+			}
+		}
+		t.Fatal("unknown candidate")
+		return 0, nil
+	}
+	tu, err := New(cands, meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gemm.Shape{M: 10, N: 10, K: 10}
+	got, err := tu.Choose(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cands[3] {
+		t.Fatalf("chose %v, want fastest %v", got, cands[3])
+	}
+	if calls != len(cands) {
+		t.Fatalf("%d trials on first sight, want %d", calls, len(cands))
+	}
+	// Second call: cache hit, no new trials.
+	if _, err := tu.Choose(s); err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(cands) {
+		t.Fatalf("cache miss on repeat shape (%d calls)", calls)
+	}
+	st := tu.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Trials != len(cands) || st.CacheSize != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestChoosePropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	tu, _ := New(candidates(), func(gemm.Config, gemm.Shape) (float64, error) { return 0, boom })
+	if _, err := tu.Choose(gemm.Shape{M: 1, N: 1, K: 1}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	tu2, _ := New(candidates(), func(gemm.Config, gemm.Shape) (float64, error) { return -1, nil })
+	if _, err := tu2.Choose(gemm.Shape{M: 1, N: 1, K: 1}); err == nil {
+		t.Fatal("non-positive measurement accepted")
+	}
+	tu3, _ := New(candidates(), func(gemm.Config, gemm.Shape) (float64, error) { return 1, nil })
+	if _, err := tu3.Choose(gemm.Shape{M: 0, N: 1, K: 1}); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+}
+
+func TestModelMeasurerAgreesWithModel(t *testing.T) {
+	m := sim.New(device.R9Nano())
+	tu, _ := New(gemm.AllConfigs()[:40], ModelMeasurer(m))
+	s := gemm.Shape{M: 3136, K: 576, N: 64}
+	got, err := tu.Choose(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independently find the model's best among the same candidates.
+	best := gemm.AllConfigs()[0]
+	bestT := -1.0
+	for _, cfg := range gemm.AllConfigs()[:40] {
+		if sec := m.TimeSeconds(cfg, s); bestT < 0 || sec < bestT {
+			best, bestT = cfg, sec
+		}
+	}
+	if got != best {
+		t.Fatalf("tuner chose %v, model best is %v", got, best)
+	}
+}
+
+func TestLiveMeasurerRuns(t *testing.T) {
+	q := sycl.NewQueue(sycl.HostDevice())
+	meas := LiveMeasurer(q)
+	sec, err := meas(gemm.Config{TileRows: 2, TileCols: 2, AccDepth: 2, WG: gemm.WorkGroup{R: 8, C: 8}},
+		gemm.Shape{M: 16, N: 16, K: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 0 {
+		t.Fatalf("live measurement %v", sec)
+	}
+}
+
+func TestConcurrentChoose(t *testing.T) {
+	m := sim.New(device.R9Nano())
+	tu, _ := New(candidates(), ModelMeasurer(m))
+	shapes := []gemm.Shape{
+		{M: 64, N: 64, K: 64}, {M: 128, N: 64, K: 32}, {M: 32, N: 256, K: 16},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := tu.Choose(shapes[(w+i)%len(shapes)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := tu.Stats()
+	if st.CacheSize != len(shapes) {
+		t.Fatalf("cache size %d, want %d", st.CacheSize, len(shapes))
+	}
+	if st.Hits+st.Misses != 8*50 {
+		t.Fatalf("hits+misses = %d", st.Hits+st.Misses)
+	}
+}

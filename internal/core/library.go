@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sycl"
+)
+
+// Library is the deployable artifact the paper's pipeline produces: a small
+// set of kernel configurations plus a runtime selector that picks among
+// them. It is what a SYCL-DNN-style compute library would compile in — the
+// configurations correspond to the kernels bundled in the binary, and the
+// selector to the nested-if dispatch choosing between them.
+type Library struct {
+	Configs  []gemm.Config
+	selector Selector
+}
+
+// BuildLibrary runs the full paper pipeline on a tuning dataset: split off
+// nothing (the entire dataset trains the shipped artifact), prune to n
+// configurations, and train the selector.
+func BuildLibrary(ds *dataset.PerfDataset, pruner Pruner, trainer SelectorTrainer, n int, seed uint64) *Library {
+	selected := pruner.Prune(ds, n, seed)
+	sel := trainer.Train(ds, selected, seed)
+	cfgs := make([]gemm.Config, len(selected))
+	for i, c := range selected {
+		cfgs[i] = ds.Configs[c]
+	}
+	return &Library{Configs: cfgs, selector: sel}
+}
+
+// NewLibrary assembles a library from explicit parts (e.g. configurations
+// and a selector loaded from generated code).
+func NewLibrary(configs []gemm.Config, selector Selector) (*Library, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("core: library needs at least one configuration")
+	}
+	for _, c := range configs {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if selector == nil {
+		return nil, fmt.Errorf("core: library needs a selector")
+	}
+	return &Library{Configs: configs, selector: selector}, nil
+}
+
+// SelectorName reports which selector the library dispatches with.
+func (l *Library) SelectorName() string { return l.selector.Name() }
+
+// Choose returns the configuration the library would run for the shape.
+func (l *Library) Choose(s gemm.Shape) gemm.Config {
+	k := l.selector.Select(s.Features())
+	if k < 0 || k >= len(l.Configs) {
+		// A selector trained for a different library size is a programming
+		// error; fall back to the first configuration rather than crash a
+		// compute call.
+		k = 0
+	}
+	return l.Configs[k]
+}
+
+// Multiply computes c = a·b using the configuration the selector picks —
+// the end-user entry point of the deployed library.
+func (l *Library) Multiply(q *sycl.Queue, a, b, c []float64, s gemm.Shape) (gemm.Config, error) {
+	cfg := l.Choose(s)
+	if err := gemm.Multiply(q, cfg, a, b, c, s); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/ml/forest"
+	"kernelselect/internal/ml/knn"
+	"kernelselect/internal/ml/scale"
+	"kernelselect/internal/ml/svm"
+	"kernelselect/internal/ml/tree"
+)
+
+// Library persistence: a trained library (kernel set + fitted selector)
+// serialises to a single JSON artifact, so the expensive tuning/training
+// stage runs once and the deployable result ships with the compute library.
+
+// libraryFile is the on-disk format.
+type libraryFile struct {
+	Version  int             `json:"version"`
+	Configs  []string        `json:"configs"`
+	Selector string          `json:"selector"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+const libraryFileVersion = 1
+
+// Selector kind tags. StaticSelector also round-trips, so generated or
+// hand-assembled libraries persist too.
+const (
+	kindTree      = "decision-tree"
+	kindForest    = "random-forest"
+	kindKNN       = "knn"
+	kindLinearSVM = "linear-svm"
+	kindRadialSVM = "radial-svm"
+	kindStatic    = "static"
+)
+
+// knnPayload wraps the k-NN model with its display name (1NearestNeighbor /
+// 3NearestNeighbor).
+type knnPayload struct {
+	Model *knn.Classifier `json:"model"`
+	Name  string          `json:"name"`
+}
+
+// linearSVMPayload wraps the SVM with its feature preprocessing.
+type linearSVMPayload struct {
+	Model  *svm.Linear   `json:"model"`
+	Scaler *scale.Scaler `json:"scaler"`
+}
+
+// SaveLibrary writes the library as JSON. Selectors produced by the trainers
+// in this package (and StaticSelector) are supported; anything else returns
+// an error.
+func SaveLibrary(w io.Writer, lib *Library) error {
+	f := libraryFile{Version: libraryFileVersion}
+	for _, c := range lib.Configs {
+		f.Configs = append(f.Configs, c.String())
+	}
+
+	var payload any
+	switch s := lib.selector.(type) {
+	case treeSelector:
+		f.Selector = kindTree
+		payload = s.c
+	case forestSelector:
+		f.Selector = kindForest
+		payload = s.f
+	case knnSelector:
+		f.Selector = kindKNN
+		payload = knnPayload{Model: s.c, Name: s.name}
+	case linearSVMSelector:
+		f.Selector = kindLinearSVM
+		payload = linearSVMPayload{Model: s.m, Scaler: s.sc}
+	case radialSVMSelector:
+		f.Selector = kindRadialSVM
+		payload = s.m
+	case StaticSelector:
+		f.Selector = kindStatic
+		payload = s
+	default:
+		return fmt.Errorf("core: selector %q is not serialisable", lib.selector.Name())
+	}
+
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("core: marshalling selector: %w", err)
+	}
+	f.Payload = raw
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// LoadLibrary reads a library written by SaveLibrary.
+func LoadLibrary(r io.Reader) (*Library, error) {
+	var f libraryFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding library: %w", err)
+	}
+	if f.Version != libraryFileVersion {
+		return nil, fmt.Errorf("core: unsupported library version %d", f.Version)
+	}
+	if len(f.Configs) == 0 {
+		return nil, fmt.Errorf("core: library file has no configurations")
+	}
+	configs := make([]gemm.Config, len(f.Configs))
+	for i, name := range f.Configs {
+		cfg, err := gemm.ParseConfig(name)
+		if err != nil {
+			return nil, err
+		}
+		configs[i] = cfg
+	}
+
+	var sel Selector
+	switch f.Selector {
+	case kindTree:
+		var c tree.Classifier
+		if err := json.Unmarshal(f.Payload, &c); err != nil {
+			return nil, fmt.Errorf("core: decoding tree selector: %w", err)
+		}
+		sel = treeSelector{c: &c}
+	case kindForest:
+		var fc forest.Classifier
+		if err := json.Unmarshal(f.Payload, &fc); err != nil {
+			return nil, fmt.Errorf("core: decoding forest selector: %w", err)
+		}
+		sel = forestSelector{f: &fc}
+	case kindKNN:
+		var p knnPayload
+		if err := json.Unmarshal(f.Payload, &p); err != nil {
+			return nil, fmt.Errorf("core: decoding knn selector: %w", err)
+		}
+		if p.Model == nil {
+			return nil, fmt.Errorf("core: knn selector payload missing model")
+		}
+		sel = knnSelector{c: p.Model, name: p.Name}
+	case kindLinearSVM:
+		var p linearSVMPayload
+		if err := json.Unmarshal(f.Payload, &p); err != nil {
+			return nil, fmt.Errorf("core: decoding linear-svm selector: %w", err)
+		}
+		if p.Model == nil || p.Scaler == nil {
+			return nil, fmt.Errorf("core: linear-svm selector payload incomplete")
+		}
+		sel = linearSVMSelector{m: p.Model, sc: p.Scaler}
+	case kindRadialSVM:
+		var m svm.RBF
+		if err := json.Unmarshal(f.Payload, &m); err != nil {
+			return nil, fmt.Errorf("core: decoding radial-svm selector: %w", err)
+		}
+		sel = radialSVMSelector{m: &m}
+	case kindStatic:
+		var s StaticSelector
+		if err := json.Unmarshal(f.Payload, &s); err != nil {
+			return nil, fmt.Errorf("core: decoding static selector: %w", err)
+		}
+		sel = s
+	default:
+		return nil, fmt.Errorf("core: unknown selector kind %q", f.Selector)
+	}
+
+	return NewLibrary(configs, sel)
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kernelselect/internal/gemm"
+)
+
+// roundTrip saves and reloads a library, then checks the reloaded selector
+// agrees with the original on every test shape.
+func roundTrip(t *testing.T, lib *Library, probes []gemm.Shape) *Library {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveLibrary(&buf, lib); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := LoadLibrary(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got.SelectorName() != lib.SelectorName() {
+		t.Fatalf("selector name %q → %q", lib.SelectorName(), got.SelectorName())
+	}
+	if len(got.Configs) != len(lib.Configs) {
+		t.Fatalf("config count %d → %d", len(lib.Configs), len(got.Configs))
+	}
+	for i := range lib.Configs {
+		if got.Configs[i] != lib.Configs[i] {
+			t.Fatalf("config %d: %v → %v", i, lib.Configs[i], got.Configs[i])
+		}
+	}
+	for _, s := range probes {
+		if got.Choose(s) != lib.Choose(s) {
+			t.Fatalf("%s: reloaded library disagrees on %v", lib.SelectorName(), s)
+		}
+	}
+	return got
+}
+
+func TestSaveLoadAllSelectorKinds(t *testing.T) {
+	d := testDataset(t)
+	probes := []gemm.Shape{
+		{M: 3136, K: 64, N: 64}, {M: 1, K: 4096, N: 1000},
+		{M: 784, K: 1152, N: 256}, {M: 100352, K: 3, N: 64},
+		{M: 49, K: 320, N: 1280},
+	}
+	for _, trainer := range AllSelectorTrainers() {
+		lib := BuildLibrary(d, DecisionTree{}, trainer, 5, 3)
+		roundTrip(t, lib, probes)
+	}
+}
+
+func TestSaveLoadStaticSelector(t *testing.T) {
+	cfgs := []gemm.Config{
+		{TileRows: 2, TileCols: 2, AccDepth: 4, WG: gemm.WorkGroup{R: 8, C: 8}},
+		{TileRows: 4, TileCols: 4, AccDepth: 4, WG: gemm.WorkGroup{R: 16, C: 16}},
+	}
+	lib, err := NewLibrary(cfgs, StaticSelector{Index: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, lib, []gemm.Shape{{M: 5, N: 5, K: 5}})
+	if got.Choose(gemm.Shape{M: 5, N: 5, K: 5}) != cfgs[1] {
+		t.Fatal("static index lost")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "}{",
+		"bad version":     `{"version":99,"configs":["t1x1a1_wg8x8"],"selector":"static","payload":{}}`,
+		"no configs":      `{"version":1,"configs":[],"selector":"static","payload":{}}`,
+		"bad config name": `{"version":1,"configs":["bogus"],"selector":"static","payload":{}}`,
+		"unknown kind":    `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"martian","payload":{}}`,
+		"knn no model":    `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"knn","payload":{"name":"x"}}`,
+		"svm incomplete":  `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"linear-svm","payload":{}}`,
+	}
+	for name, body := range cases {
+		if _, err := LoadLibrary(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSaveRejectsUnknownSelector(t *testing.T) {
+	lib := &Library{
+		Configs:  []gemm.Config{{TileRows: 1, TileCols: 1, AccDepth: 1, WG: gemm.WorkGroup{R: 8, C: 8}}},
+		selector: fakeSelector{},
+	}
+	var buf bytes.Buffer
+	if err := SaveLibrary(&buf, lib); err == nil {
+		t.Fatal("unknown selector type accepted")
+	}
+}
+
+type fakeSelector struct{}
+
+func (fakeSelector) Name() string         { return "fake" }
+func (fakeSelector) Select([]float64) int { return 0 }

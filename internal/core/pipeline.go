@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+
+	"kernelselect/internal/dataset"
+)
+
+// PipelineResult captures one end-to-end run: prune on the training split,
+// train a selector, evaluate both the pruning ceiling and the selector on
+// the test split.
+type PipelineResult struct {
+	PrunerName   string
+	SelectorName string
+	NumConfigs   int   // requested library size
+	Selected     []int // chosen configuration columns
+
+	// CeilingPct is the best achievable test score with the selected
+	// configurations (Fig 4's quantity); SelectorPct is what the trained
+	// selector actually achieves (Table I's quantity). TrainPct is the
+	// selector score on the training split, for overfit inspection.
+	CeilingPct  float64
+	SelectorPct float64
+	TrainPct    float64
+}
+
+// RunPipeline executes prune → train → evaluate with a fixed seed.
+func RunPipeline(train, test *dataset.PerfDataset, pruner Pruner, trainer SelectorTrainer, n int, seed uint64) PipelineResult {
+	if train.NumConfigs() != test.NumConfigs() {
+		panic(fmt.Sprintf("core: train has %d configs, test %d", train.NumConfigs(), test.NumConfigs()))
+	}
+	selected := pruner.Prune(train, n, seed)
+	sel := trainer.Train(train, selected, seed)
+	return PipelineResult{
+		PrunerName:   pruner.Name(),
+		SelectorName: sel.Name(),
+		NumConfigs:   n,
+		Selected:     selected,
+		CeilingPct:   AchievableScore(test, selected),
+		SelectorPct:  SelectorScore(test, selected, sel),
+		TrainPct:     SelectorScore(train, selected, sel),
+	}
+}

@@ -1,0 +1,319 @@
+// Package core implements the paper's contribution: pruning a large kernel
+// configuration space down to the few configurations a compute library can
+// afford to ship (Section III), and selecting among them at runtime
+// (Section IV).
+//
+// Pruning operates on the training dataset's per-shape vectors of normalized
+// performance — the assumption, quoted from the paper, is that "these
+// vectors contain enough structure to provide a good basis for pruning the
+// number of kernel configurations". Each method clusters the vectors, takes
+// representatives, and keeps the configuration that performs best for each
+// representative. Runtime selection trains a classifier from matrix sizes to
+// the best of the retained configurations.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/ml/hdbscan"
+	"kernelselect/internal/ml/kmeans"
+	"kernelselect/internal/ml/metrics"
+	"kernelselect/internal/ml/pca"
+	"kernelselect/internal/ml/tree"
+)
+
+// Pruner reduces the configuration space: it returns the column indices of
+// at most n configurations chosen from the training data.
+type Pruner interface {
+	Name() string
+	Prune(train *dataset.PerfDataset, n int, seed uint64) []int
+}
+
+// validatePruneArgs panics on out-of-contract arguments; every Pruner uses it.
+func validatePruneArgs(train *dataset.PerfDataset, n int) {
+	if train == nil || train.NumShapes() == 0 {
+		panic("core: pruning requires a non-empty training dataset")
+	}
+	if n < 1 || n > train.NumConfigs() {
+		panic(fmt.Sprintf("core: prune target %d out of [1,%d]", n, train.NumConfigs()))
+	}
+}
+
+// dedupKeepOrder removes duplicate config indices, preserving first
+// occurrence order.
+func dedupKeepOrder(idx []int) []int {
+	seen := map[int]bool{}
+	out := idx[:0]
+	for _, i := range idx {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// topWinConfigs returns config indices ordered by descending win count with
+// mean normalized performance as the tie breaker.
+func topWinConfigs(train *dataset.PerfDataset) []int {
+	wins := train.WinCounts()
+	means := train.MeanNormPerf()
+	order := make([]int, len(wins))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if wins[ia] != wins[ib] {
+			return wins[ia] > wins[ib]
+		}
+		if means[ia] != means[ib] {
+			return means[ia] > means[ib]
+		}
+		return ia < ib
+	})
+	return order
+}
+
+// fillToN appends configs from the top-win ordering until len(selected) == n.
+// Several clustering methods produce fewer than n distinct configurations
+// (distinct clusters can share a best configuration); the paper fixes the
+// library size, so the remaining slots are filled with the strongest
+// configurations by win count.
+func fillToN(selected []int, train *dataset.PerfDataset, n int) []int {
+	if len(selected) >= n {
+		return selected[:n]
+	}
+	seen := map[int]bool{}
+	for _, i := range selected {
+		seen[i] = true
+	}
+	for _, i := range topWinConfigs(train) {
+		if len(selected) == n {
+			break
+		}
+		if !seen[i] {
+			seen[i] = true
+			selected = append(selected, i)
+		}
+	}
+	return selected
+}
+
+// bestConfigFor returns the argmax configuration of a performance vector.
+func bestConfigFor(vec []float64) int {
+	best := 0
+	for j, v := range vec {
+		if v > vec[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+
+// TopN selects the configurations that are optimal for the most training
+// shapes — the paper's naive baseline ("choosing the top N configurations
+// that obtained optimal results").
+type TopN struct{}
+
+// Name implements Pruner.
+func (TopN) Name() string { return "top-n" }
+
+// Prune implements Pruner.
+func (TopN) Prune(train *dataset.PerfDataset, n int, _ uint64) []int {
+	validatePruneArgs(train, n)
+	return append([]int(nil), topWinConfigs(train)[:n]...)
+}
+
+// ---------------------------------------------------------------------------
+
+// KMeans clusters the normalized performance vectors directly with k-means
+// and keeps the best configuration of each cluster centroid.
+type KMeans struct{}
+
+// Name implements Pruner.
+func (KMeans) Name() string { return "k-means" }
+
+// Prune implements Pruner.
+func (KMeans) Prune(train *dataset.PerfDataset, n int, seed uint64) []int {
+	validatePruneArgs(train, n)
+	k := n
+	if k > train.NumShapes() {
+		k = train.NumShapes()
+	}
+	res := kmeans.Cluster(train.Norm, k, seed, kmeans.Options{})
+	var selected []int
+	for c := 0; c < res.Centroids.Rows(); c++ {
+		selected = append(selected, bestConfigFor(res.Centroids.Row(c)))
+	}
+	return fillToN(dedupKeepOrder(selected), train, n)
+}
+
+// ---------------------------------------------------------------------------
+
+// HDBSCAN clusters the performance vectors with HDBSCAN* and keeps the best
+// configuration of each cluster exemplar (medoid). The minimum cluster size
+// is swept to find the clustering whose cluster count is closest to (and at
+// most) n; surplus clusters are dropped lowest-stability-first.
+type HDBSCAN struct{}
+
+// Name implements Pruner.
+func (HDBSCAN) Name() string { return "hdbscan" }
+
+// Prune implements Pruner.
+func (HDBSCAN) Prune(train *dataset.PerfDataset, n int, _ uint64) []int {
+	validatePruneArgs(train, n)
+
+	var bestRes *hdbscan.Result
+	bestCount := 0
+	maxMCS := train.NumShapes() / 2
+	if maxMCS < 2 {
+		maxMCS = 2
+	}
+	for mcs := 2; mcs <= maxMCS; mcs++ {
+		res := hdbscan.Cluster(train.Norm, hdbscan.Options{MinClusterSize: mcs})
+		c := res.NumClusters
+		if c == 0 {
+			continue
+		}
+		if c > n {
+			c = n // we can drop surplus clusters by stability
+		}
+		if c > bestCount {
+			bestCount = c
+			bestRes = res
+		}
+		if bestCount == n {
+			break
+		}
+	}
+
+	var selected []int
+	if bestRes != nil {
+		ex := hdbscan.Exemplars(train.Norm, bestRes)
+		// Order clusters by stability (descending) and keep at most n.
+		order := make([]int, len(ex))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return bestRes.Stabilities[order[a]] > bestRes.Stabilities[order[b]]
+		})
+		for _, c := range order {
+			if len(selected) == n {
+				break
+			}
+			selected = append(selected, bestConfigFor(train.Norm.Row(ex[c])))
+		}
+	}
+	return fillToN(dedupKeepOrder(selected), train, n)
+}
+
+// ---------------------------------------------------------------------------
+
+// PCAKMeans reduces the performance vectors with PCA before k-means
+// clustering ("PCA can be used to reduce the dimensionality of the data and
+// so provide a better coordinate system for k-means clustering"), then maps
+// the centroids back to the original space to find each one's best
+// configuration.
+type PCAKMeans struct {
+	// VarianceThreshold chooses how many components the reduction keeps
+	// (cumulative explained-variance ratio); 0 means the paper-motivated
+	// default of 0.95.
+	VarianceThreshold float64
+}
+
+// Name implements Pruner.
+func (PCAKMeans) Name() string { return "pca+k-means" }
+
+// Prune implements Pruner.
+func (p PCAKMeans) Prune(train *dataset.PerfDataset, n int, seed uint64) []int {
+	validatePruneArgs(train, n)
+	thr := p.VarianceThreshold
+	if thr <= 0 {
+		thr = 0.95
+	}
+	fit := pca.Fit(train.Norm, 0)
+	comps := fit.ComponentsForVariance(thr)
+	reduced := pca.Fit(train.Norm, comps)
+	scores := reduced.Transform(train.Norm)
+
+	k := n
+	if k > train.NumShapes() {
+		k = train.NumShapes()
+	}
+	res := kmeans.Cluster(scores, k, seed, kmeans.Options{})
+	back := reduced.InverseTransform(res.Centroids)
+	var selected []int
+	for c := 0; c < back.Rows(); c++ {
+		selected = append(selected, bestConfigFor(back.Row(c)))
+	}
+	return fillToN(dedupKeepOrder(selected), train, n)
+}
+
+// ---------------------------------------------------------------------------
+
+// DecisionTree fits a multi-output regression tree from matrix sizes to the
+// performance vectors with at most n leaves; each leaf's mean vector is a
+// cluster representative. This is the method the paper finds best
+// ("the decision tree consistently provided the best results when 6 or more
+// kernel configurations were allowed").
+type DecisionTree struct {
+	// MinSamplesLeaf guards leaves against single-shape overfit; 0 means 2.
+	MinSamplesLeaf int
+}
+
+// Name implements Pruner.
+func (DecisionTree) Name() string { return "decision-tree" }
+
+// Prune implements Pruner.
+func (d DecisionTree) Prune(train *dataset.PerfDataset, n int, seed uint64) []int {
+	validatePruneArgs(train, n)
+	msl := d.MinSamplesLeaf
+	if msl <= 0 {
+		msl = 2
+	}
+	reg := tree.FitRegressor(train.Features(), train.Norm, tree.Options{
+		MaxLeaves:      n,
+		MinSamplesLeaf: msl,
+		Seed:           seed,
+	})
+	var selected []int
+	for _, leaf := range reg.Leaves() {
+		selected = append(selected, bestConfigFor(leaf.Value))
+	}
+	return fillToN(dedupKeepOrder(selected), train, n)
+}
+
+// ---------------------------------------------------------------------------
+
+// AllPruners returns the five methods of Section III in the paper's order.
+func AllPruners() []Pruner {
+	return []Pruner{TopN{}, KMeans{}, HDBSCAN{}, PCAKMeans{}, DecisionTree{}}
+}
+
+// AchievableScore returns the paper's pruning metric: the geometric mean
+// over the dataset's shapes of the best normalized performance achievable
+// with only the selected configurations, as a percentage. A score of 100
+// requires the true optimum of every shape to be in the selection.
+func AchievableScore(ds *dataset.PerfDataset, selected []int) float64 {
+	if len(selected) == 0 {
+		panic("core: AchievableScore with empty selection")
+	}
+	scores := make([]float64, ds.NumShapes())
+	for i := range scores {
+		row := ds.Norm.Row(i)
+		best := 0.0
+		for _, c := range selected {
+			if row[c] > best {
+				best = row[c]
+			}
+		}
+		scores[i] = best
+	}
+	return 100 * metrics.GeoMean(scores)
+}

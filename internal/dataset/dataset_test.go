@@ -1,0 +1,290 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/xrand"
+)
+
+func smallDataset(t *testing.T) *PerfDataset {
+	t.Helper()
+	m := sim.New(device.R9Nano())
+	shapes := []gemm.Shape{
+		{M: 3136, K: 576, N: 64},
+		{M: 12544, K: 64, N: 64},
+		{M: 1, K: 4096, N: 1000},
+		{M: 64, K: 25088, N: 4096},
+		{M: 784, K: 1152, N: 256},
+		{M: 196, K: 2304, N: 512},
+	}
+	return Build(m, shapes, gemm.AllConfigs()[:100])
+}
+
+func TestBuildShapesAndNormalization(t *testing.T) {
+	d := smallDataset(t)
+	if d.NumShapes() != 6 || d.NumConfigs() != 100 {
+		t.Fatalf("dims = %dx%d", d.NumShapes(), d.NumConfigs())
+	}
+	for i := 0; i < d.NumShapes(); i++ {
+		max := 0.0
+		for j := 0; j < d.NumConfigs(); j++ {
+			v := d.Norm.At(i, j)
+			if v <= 0 || v > 1 {
+				t.Fatalf("norm score %v out of (0,1] at (%d,%d)", v, i, j)
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if math.Abs(max-1) > 1e-12 {
+			t.Fatalf("row %d max = %v, want 1", i, max)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, b := smallDataset(t), smallDataset(t)
+	for i := 0; i < a.NumShapes(); i++ {
+		for j := 0; j < a.NumConfigs(); j++ {
+			if a.GFLOPS.At(i, j) != b.GFLOPS.At(i, j) {
+				t.Fatal("Build is not deterministic")
+			}
+		}
+	}
+}
+
+func TestBestMatchesNorm(t *testing.T) {
+	d := smallDataset(t)
+	for i := 0; i < d.NumShapes(); i++ {
+		c, g := d.Best(i)
+		if d.Norm.At(i, c) != 1 {
+			t.Fatalf("row %d: Best config %d has norm %v", i, c, d.Norm.At(i, c))
+		}
+		if g != d.GFLOPS.At(i, c) {
+			t.Fatal("Best gflops mismatch")
+		}
+	}
+}
+
+func TestWinCountsSumToShapes(t *testing.T) {
+	d := smallDataset(t)
+	total := 0
+	for _, w := range d.WinCounts() {
+		total += w
+	}
+	if total != d.NumShapes() {
+		t.Fatalf("win counts sum to %d, want %d", total, d.NumShapes())
+	}
+}
+
+func TestMeanNormPerfRange(t *testing.T) {
+	d := smallDataset(t)
+	for j, v := range d.MeanNormPerf() {
+		if v <= 0 || v > 1 {
+			t.Fatalf("mean norm perf %v out of range for config %d", v, j)
+		}
+	}
+}
+
+func TestFeaturesLayout(t *testing.T) {
+	d := smallDataset(t)
+	f := d.Features()
+	if f.Rows() != d.NumShapes() || f.Cols() != 3 {
+		t.Fatalf("features dims %dx%d", f.Rows(), f.Cols())
+	}
+	if f.At(0, 0) != float64(d.Shapes[0].M) || f.At(0, 1) != float64(d.Shapes[0].K) || f.At(0, 2) != float64(d.Shapes[0].N) {
+		t.Fatal("feature row mismatch")
+	}
+}
+
+func TestSubsetInheritsNormalization(t *testing.T) {
+	d := smallDataset(t)
+	s := d.Subset([]int{2, 4})
+	if s.NumShapes() != 2 {
+		t.Fatal("subset size")
+	}
+	if s.Shapes[0] != d.Shapes[2] || s.Shapes[1] != d.Shapes[4] {
+		t.Fatal("subset shapes")
+	}
+	for j := 0; j < d.NumConfigs(); j++ {
+		if s.Norm.At(0, j) != d.Norm.At(2, j) {
+			t.Fatal("subset norm not inherited")
+		}
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	d := smallDataset(t)
+	train, test := d.Split(42, 0.34)
+	if train.NumShapes()+test.NumShapes() != d.NumShapes() {
+		t.Fatal("split loses rows")
+	}
+	if test.NumShapes() != 2 {
+		t.Fatalf("test size = %d, want 2", test.NumShapes())
+	}
+	seen := map[gemm.Shape]int{}
+	for _, s := range train.Shapes {
+		seen[s]++
+	}
+	for _, s := range test.Shapes {
+		seen[s]++
+	}
+	for s, n := range seen {
+		if n != 1 {
+			t.Fatalf("shape %v appears %d times across the split", s, n)
+		}
+	}
+}
+
+func TestSplitDeterministicAndSeedSensitive(t *testing.T) {
+	d := smallDataset(t)
+	_, t1 := d.Split(1, 0.34)
+	_, t2 := d.Split(1, 0.34)
+	if t1.Shapes[0] != t2.Shapes[0] || t1.Shapes[1] != t2.Shapes[1] {
+		t.Fatal("split not deterministic")
+	}
+	diff := false
+	for seed := uint64(2); seed < 12; seed++ {
+		_, t3 := d.Split(seed, 0.34)
+		if t3.Shapes[0] != t1.Shapes[0] || t3.Shapes[1] != t1.Shapes[1] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("split insensitive to seed")
+	}
+}
+
+func TestSplitPanicsOnBadFraction(t *testing.T) {
+	d := smallDataset(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad fraction accepted")
+		}
+	}()
+	d.Split(1, 1.5)
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := smallDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumShapes() != d.NumShapes() || got.NumConfigs() != d.NumConfigs() {
+		t.Fatal("round-trip dims mismatch")
+	}
+	for i := range got.Shapes {
+		if got.Shapes[i] != d.Shapes[i] {
+			t.Fatal("round-trip shapes mismatch")
+		}
+	}
+	for j := range got.Configs {
+		if got.Configs[j] != d.Configs[j] {
+			t.Fatal("round-trip configs mismatch")
+		}
+	}
+	for i := 0; i < d.NumShapes(); i++ {
+		for j := 0; j < d.NumConfigs(); j++ {
+			rel := math.Abs(got.GFLOPS.At(i, j)-d.GFLOPS.At(i, j)) / d.GFLOPS.At(i, j)
+			if rel > 1e-5 {
+				t.Fatalf("round-trip score drift %v at (%d,%d)", rel, i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"x,y,z,t1x1a1_wg8x8\n1,2,3,4\n",
+		"m,k,n,bogus\n1,2,3,4\n",
+		"m,k,n,t1x1a1_wg8x8\n1,2\n",
+		"m,k,n,t1x1a1_wg8x8\n1,2,3,notanumber\n",
+		"m,k,n,t1x1a1_wg8x8\na,2,3,4\n",
+		"m,k,n,t1x1a1_wg8x8\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage CSV accepted", i)
+		}
+	}
+}
+
+func TestBuildMeasured(t *testing.T) {
+	shapes := []gemm.Shape{{M: 8, N: 8, K: 8}, {M: 16, N: 16, K: 16}}
+	configs := gemm.AllConfigs()[:5]
+	r := xrand.New(3)
+	scores := map[string]float64{}
+	measure := func(cfg gemm.Config, s gemm.Shape) (float64, error) {
+		key := cfg.String() + s.String()
+		if _, ok := scores[key]; !ok {
+			scores[key] = 1 + r.Float64()
+		}
+		return scores[key], nil
+	}
+	d, err := BuildMeasured(measure, shapes, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumShapes() != 2 || d.NumConfigs() != 5 {
+		t.Fatal("dims")
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 5; j++ {
+			if d.GFLOPS.At(i, j) != scores[configs[j].String()+shapes[i].String()] {
+				t.Fatal("measured score mismatch")
+			}
+		}
+	}
+}
+
+func TestBuildMeasuredPropagatesErrors(t *testing.T) {
+	wantErr := errors.New("boom")
+	_, err := BuildMeasured(func(gemm.Config, gemm.Shape) (float64, error) {
+		return 0, wantErr
+	}, []gemm.Shape{{M: 1, N: 1, K: 1}}, gemm.AllConfigs()[:1])
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	_, err = BuildMeasured(func(gemm.Config, gemm.Shape) (float64, error) {
+		return -1, nil
+	}, []gemm.Shape{{M: 1, N: 1, K: 1}}, gemm.AllConfigs()[:1])
+	if err == nil {
+		t.Fatal("non-positive measurement accepted")
+	}
+}
+
+func TestSubsetEmptyPanics(t *testing.T) {
+	d := smallDataset(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty subset accepted")
+		}
+	}()
+	d.Subset(nil)
+}
+
+func TestSplitExtremeFractionKeepsBothSides(t *testing.T) {
+	d := smallDataset(t)
+	train, test := d.Split(1, 0.99)
+	if train.NumShapes() < 1 || test.NumShapes() < 1 {
+		t.Fatalf("degenerate split %d/%d", train.NumShapes(), test.NumShapes())
+	}
+	train, test = d.Split(1, 0.01)
+	if train.NumShapes() < 1 || test.NumShapes() < 1 {
+		t.Fatalf("degenerate split %d/%d", train.NumShapes(), test.NumShapes())
+	}
+}

@@ -1,0 +1,140 @@
+// Package device describes the GPU-like targets the performance model in
+// internal/sim can price kernels for. The paper's abstract motivates kernel
+// selection "on a range of heterogeneous devices from desktop GPUs to
+// embedded accelerators"; this package supplies representatives of that
+// range, headed by the paper's actual benchmark platform (AMD R9 Nano).
+package device
+
+import "fmt"
+
+// Spec describes a device for the analytical performance model. The
+// parameters follow the GCN3 ("Fiji") machine organisation but are general
+// enough for other SIMT designs: compute units composed of SIMD pipes, a
+// register file and local scratchpad per CU, and a two-level cache in front
+// of DRAM.
+type Spec struct {
+	Name string
+
+	ComputeUnits   int // number of CUs
+	SIMDsPerCU     int // SIMD pipes per CU
+	WaveSize       int // work-items per hardware wave
+	MaxWavesPerSIM int // resident wave slots per SIMD
+	VGPRsPerLane   int // 32-bit registers available per lane per SIMD
+	LDSBytesPerCU  int // local scratchpad per CU
+
+	IssueClocksPerWave int // clocks a SIMD needs to issue one wave (4 on GCN: SIMD16 × wave64)
+
+	ClockMHz        int     // shader clock
+	FMAsPerLane     int     // fused multiply-adds issued per lane per clock
+	DRAMBandwidthGB float64 // GB/s
+	L1BytesPerCU    int
+	L2Bytes         int
+	CacheLineBytes  int
+
+	LaunchOverheadUS float64 // fixed per-kernel dispatch cost in microseconds
+}
+
+// Validate reports whether the specification is internally consistent.
+func (s Spec) Validate() error {
+	switch {
+	case s.ComputeUnits <= 0, s.SIMDsPerCU <= 0, s.WaveSize <= 0,
+		s.MaxWavesPerSIM <= 0, s.VGPRsPerLane <= 0, s.LDSBytesPerCU <= 0,
+		s.IssueClocksPerWave <= 0,
+		s.ClockMHz <= 0, s.FMAsPerLane <= 0, s.DRAMBandwidthGB <= 0,
+		s.L1BytesPerCU <= 0, s.L2Bytes <= 0, s.CacheLineBytes <= 0:
+		return fmt.Errorf("device: %q has a non-positive parameter", s.Name)
+	case s.LaunchOverheadUS < 0:
+		return fmt.Errorf("device: %q has negative launch overhead", s.Name)
+	}
+	return nil
+}
+
+// PeakGFLOPS returns the single-precision peak in GFLOP/s
+// (2 flops per FMA per effective lane per clock across the whole device).
+func (s Spec) PeakGFLOPS() float64 {
+	eff := float64(s.ComputeUnits) * float64(s.EffectiveLanesPerCU())
+	return eff * float64(s.FMAsPerLane) * 2 * float64(s.ClockMHz) / 1000
+}
+
+// EffectiveLanesPerCU returns the FMA lanes a CU retires per clock. On GCN
+// each of the 4 SIMDs is physically 16 lanes wide executing a wave64 over 4
+// clocks, so a CU retires 4 × 64/4 = 64 lanes per clock.
+func (s Spec) EffectiveLanesPerCU() int {
+	return s.SIMDsPerCU * s.WaveSize / s.IssueClocksPerWave
+}
+
+// R9Nano returns the paper's benchmark platform: AMD R9 Nano (Fiji XT,
+// GCN3): 64 CUs, 4×SIMD16 per CU, wave64, 256 VGPRs, 64 KiB LDS per CU,
+// 1000 MHz, 8.19 TFLOP/s fp32, 4 GiB HBM at 512 GB/s, 16 KiB L1 per CU,
+// 2 MiB L2.
+func R9Nano() Spec {
+	return Spec{
+		Name:               "amd-r9-nano",
+		ComputeUnits:       64,
+		SIMDsPerCU:         4,
+		WaveSize:           64,
+		MaxWavesPerSIM:     10,
+		IssueClocksPerWave: 4,
+		VGPRsPerLane:       256,
+		LDSBytesPerCU:      64 << 10,
+		ClockMHz:           1000,
+		FMAsPerLane:        1,
+		DRAMBandwidthGB:    512,
+		L1BytesPerCU:       16 << 10,
+		L2Bytes:            2 << 20,
+		CacheLineBytes:     64,
+		LaunchOverheadUS:   8,
+	}
+}
+
+// EmbeddedMaliG72 returns an embedded-class accelerator model loosely shaped
+// like an Arm Mali G72 MP12: far fewer lanes, modest bandwidth, small
+// caches, and higher relative launch cost — the "embedded accelerators" end
+// of the paper's device range.
+func EmbeddedMaliG72() Spec {
+	return Spec{
+		Name:               "embedded-mali-g72",
+		ComputeUnits:       12,
+		SIMDsPerCU:         1,
+		WaveSize:           16,
+		MaxWavesPerSIM:     6,
+		IssueClocksPerWave: 4,
+		VGPRsPerLane:       128,
+		LDSBytesPerCU:      32 << 10,
+		ClockMHz:           850,
+		FMAsPerLane:        2,
+		DRAMBandwidthGB:    14.9,
+		L1BytesPerCU:       8 << 10,
+		L2Bytes:            1 << 20,
+		CacheLineBytes:     64,
+		LaunchOverheadUS:   25,
+	}
+}
+
+// IntegratedGen9 returns a desktop integrated-GPU model loosely shaped like
+// an Intel Gen9 GT3e: mid lane count, shared-DRAM bandwidth, generous
+// caches — the middle of the device range.
+func IntegratedGen9() Spec {
+	return Spec{
+		Name:               "integrated-gen9",
+		ComputeUnits:       24,
+		SIMDsPerCU:         2,
+		WaveSize:           32,
+		MaxWavesPerSIM:     8,
+		IssueClocksPerWave: 4,
+		VGPRsPerLane:       128,
+		LDSBytesPerCU:      64 << 10,
+		ClockMHz:           1150,
+		FMAsPerLane:        1,
+		DRAMBandwidthGB:    34,
+		L1BytesPerCU:       16 << 10,
+		L2Bytes:            1536 << 10,
+		CacheLineBytes:     64,
+		LaunchOverheadUS:   12,
+	}
+}
+
+// All returns every built-in device, benchmark platform first.
+func All() []Spec {
+	return []Spec{R9Nano(), IntegratedGen9(), EmbeddedMaliG72()}
+}

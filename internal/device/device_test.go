@@ -1,0 +1,56 @@
+package device
+
+import "testing"
+
+func TestAllSpecsValidate(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBrokenSpec(t *testing.T) {
+	s := R9Nano()
+	s.ComputeUnits = 0
+	if s.Validate() == nil {
+		t.Fatal("zero compute units accepted")
+	}
+	s = R9Nano()
+	s.LaunchOverheadUS = -1
+	if s.Validate() == nil {
+		t.Fatal("negative launch overhead accepted")
+	}
+}
+
+func TestR9NanoPeak(t *testing.T) {
+	// Fiji XT: 64 CU × 64 lanes × 2 flops × 1.0 GHz = 8192 GFLOP/s.
+	got := R9Nano().PeakGFLOPS()
+	if got != 8192 {
+		t.Fatalf("R9 Nano peak = %v GFLOP/s, want 8192", got)
+	}
+}
+
+func TestEffectiveLanes(t *testing.T) {
+	if got := R9Nano().EffectiveLanesPerCU(); got != 64 {
+		t.Fatalf("R9 Nano lanes/CU = %d, want 64", got)
+	}
+}
+
+func TestDeviceOrderingByPeak(t *testing.T) {
+	// The device range must actually span desktop → integrated → embedded.
+	r9, gen9, mali := R9Nano(), IntegratedGen9(), EmbeddedMaliG72()
+	if !(r9.PeakGFLOPS() > gen9.PeakGFLOPS() && gen9.PeakGFLOPS() > mali.PeakGFLOPS()) {
+		t.Fatalf("peaks not ordered: %v %v %v", r9.PeakGFLOPS(), gen9.PeakGFLOPS(), mali.PeakGFLOPS())
+	}
+	if !(r9.DRAMBandwidthGB > gen9.DRAMBandwidthGB && gen9.DRAMBandwidthGB > mali.DRAMBandwidthGB) {
+		t.Fatal("bandwidths not ordered")
+	}
+}
+
+func TestAllReturnsBenchmarkPlatformFirst(t *testing.T) {
+	all := All()
+	if len(all) != 3 || all[0].Name != "amd-r9-nano" {
+		t.Fatalf("All() = %v", all)
+	}
+}

@@ -1,0 +1,404 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/ml/kmeans"
+	"kernelselect/internal/ml/metrics"
+	"kernelselect/internal/ml/pca"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/workload"
+)
+
+// The ablations quantify design choices DESIGN.md calls out, beyond what the
+// paper itself reports. Each returns structured results; the benchmark
+// harness (bench_test.go) and cmd/experiments render them.
+
+// PCAThresholdRow is one retained-variance setting of the PCA + k-means
+// pruner.
+type PCAThresholdRow struct {
+	Threshold  float64
+	Components int
+	CeilingPct float64
+}
+
+// AblationPCAThresholds sweeps the PCA + k-means pruner's retained-variance
+// threshold at library size n.
+func (e *Env) AblationPCAThresholds(n int, thresholds []float64) []PCAThresholdRow {
+	fit := pca.Fit(e.Train.Norm, 0)
+	rows := make([]PCAThresholdRow, 0, len(thresholds))
+	for _, thr := range thresholds {
+		p := core.PCAKMeans{VarianceThreshold: thr}
+		selected := p.Prune(e.Train, n, e.Cfg.Seed)
+		rows = append(rows, PCAThresholdRow{
+			Threshold:  thr,
+			Components: fit.ComponentsForVariance(thr),
+			CeilingPct: core.AchievableScore(e.Test, selected),
+		})
+	}
+	return rows
+}
+
+// SplitSeedResult summarises the decision-tree pruning ceiling across
+// several random train/test splits — the paper's generalisation caveat,
+// quantified.
+type SplitSeedResult struct {
+	Seeds  []uint64
+	Scores []float64
+	Mean   float64
+	Min    float64
+	Max    float64
+}
+
+// AblationSplitSeeds re-splits the dataset with each seed and re-runs the
+// decision-tree pruner at library size n.
+func (e *Env) AblationSplitSeeds(n int, seeds []uint64) SplitSeedResult {
+	res := SplitSeedResult{Seeds: seeds}
+	for _, seed := range seeds {
+		train, test := e.Dataset.Split(seed, e.Cfg.TestFraction)
+		selected := core.DecisionTree{}.Prune(train, n, seed)
+		res.Scores = append(res.Scores, core.AchievableScore(test, selected))
+	}
+	res.Min, res.Max = res.Scores[0], res.Scores[0]
+	for _, s := range res.Scores {
+		res.Mean += s
+		if s < res.Min {
+			res.Min = s
+		}
+		if s > res.Max {
+			res.Max = s
+		}
+	}
+	res.Mean /= float64(len(res.Scores))
+	return res
+}
+
+// DeviceRow is one device's pipeline outcome.
+type DeviceRow struct {
+	Device     string
+	CeilingPct float64
+	Configs    []string // the shipped kernel set
+}
+
+// AblationDevices reruns the unchanged pipeline (tune → split → prune at
+// size n) for every built-in device model.
+func AblationDevices(n int, seed uint64, testFrac float64) []DeviceRow {
+	shapes, _ := workload.DatasetShapes()
+	var rows []DeviceRow
+	for _, dev := range device.All() {
+		ds := dataset.Build(sim.New(dev), shapes, gemm.AllConfigs())
+		train, test := ds.Split(seed, testFrac)
+		selected := core.DecisionTree{}.Prune(train, n, seed)
+		row := DeviceRow{Device: dev.Name, CeilingPct: core.AchievableScore(test, selected)}
+		for _, c := range selected {
+			row.Configs = append(row.Configs, ds.Configs[c].String())
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// SpaceRow is one configuration-space restriction's outcome, scored against
+// the full space's per-shape optima.
+type SpaceRow struct {
+	Space      string
+	Configs    int
+	CeilingPct float64
+}
+
+// AblationWorkGroupOnly compares pruning the full 640-configuration space
+// against only the 64 compile-time kernels at one fixed work-group shape,
+// both normalized by the full space's optima: how much of the achievable
+// performance requires run-time work-group selection.
+func AblationWorkGroupOnly(n int, seed uint64, testFrac float64) []SpaceRow {
+	shapes, _ := workload.DatasetShapes()
+	model := sim.New(device.R9Nano())
+	fullDS := dataset.Build(model, shapes, gemm.AllConfigs())
+	_, fullTest := fullDS.Split(seed, testFrac)
+	fullIdx := gemm.ConfigIndex()
+
+	fixedWG := gemm.WorkGroup{R: 16, C: 16}
+	var compileOnly []gemm.Config
+	for _, cfg := range gemm.AllConfigs() {
+		if cfg.WG == fixedWG {
+			compileOnly = append(compileOnly, cfg)
+		}
+	}
+
+	spaces := []struct {
+		name    string
+		configs []gemm.Config
+	}{
+		{"full-640", gemm.AllConfigs()},
+		{"compile-time-64(wg16x16)", compileOnly},
+	}
+	var rows []SpaceRow
+	for _, sp := range spaces {
+		ds := dataset.Build(model, shapes, sp.configs)
+		train, _ := ds.Split(seed, testFrac)
+		selected := core.DecisionTree{}.Prune(train, n, seed)
+		mapped := make([]int, len(selected))
+		for j, c := range selected {
+			mapped[j] = fullIdx[ds.Configs[c].String()]
+		}
+		rows = append(rows, SpaceRow{
+			Space:      sp.name,
+			Configs:    len(sp.configs),
+			CeilingPct: core.AchievableScore(fullTest, mapped),
+		})
+	}
+	return rows
+}
+
+// RenderAblations renders all four ablations as one text block.
+func RenderAblations(e *Env) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations (n = 6 configurations, seed %d)\n\n", e.Cfg.Seed)
+
+	fmt.Fprintf(&b, "PCA retained-variance threshold (pca+k-means pruner):\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "threshold", "components", "ceiling-%")
+	for _, r := range e.AblationPCAThresholds(6, []float64{0.80, 0.90, 0.95, 0.99}) {
+		fmt.Fprintf(&b, "%-10.2f %12d %12.2f\n", r.Threshold, r.Components, r.CeilingPct)
+	}
+
+	ss := e.AblationSplitSeeds(6, []uint64{1, 2, 3, 4, 5, 6, 7, 8})
+	fmt.Fprintf(&b, "\nSplit-seed spread of the decision-tree ceiling (%d splits):\n", len(ss.Seeds))
+	fmt.Fprintf(&b, "mean %.2f%%, min %.2f%%, max %.2f%% (spread %.2f points)\n",
+		ss.Mean, ss.Min, ss.Max, ss.Max-ss.Min)
+
+	fmt.Fprintf(&b, "\nPer-device pipeline (decision-tree pruning to 6):\n")
+	for _, r := range AblationDevices(6, e.Cfg.Seed, e.Cfg.TestFraction) {
+		fmt.Fprintf(&b, "%-20s ceiling %6.2f%%  kernels: %s\n", r.Device, r.CeilingPct, strings.Join(r.Configs, " "))
+	}
+
+	fmt.Fprintf(&b, "\nConfiguration-space restriction (scored vs full-space optima):\n")
+	for _, r := range AblationWorkGroupOnly(6, e.Cfg.Seed, e.Cfg.TestFraction) {
+		fmt.Fprintf(&b, "%-26s (%3d configs) ceiling %6.2f%%\n", r.Space, r.Configs, r.CeilingPct)
+	}
+
+	fmt.Fprintf(&b, "\nLeave-one-network-out generalisation (decision tree, n=6):\n")
+	fmt.Fprintf(&b, "%-14s %7s %6s %10s %10s %14s\n", "held out", "train", "test", "ceiling-%", "selector-%", "rand-split-%")
+	for _, r := range e.AblationLeaveOneNetworkOut(6) {
+		fmt.Fprintf(&b, "%-14s %7d %6d %10.2f %10.2f %14.2f\n",
+			r.HeldOut, r.TrainShapes, r.TestShapes, r.CeilingPct, r.SelectorPct, r.RandomPct)
+	}
+
+	fmt.Fprintf(&b, "\nSilhouette by cluster count (k-means on performance vectors):\n")
+	for _, r := range e.AblationClusterCount(2, 15) {
+		fmt.Fprintf(&b, "k=%-3d %6.3f %s\n", r.K, r.Silhouette, strings.Repeat("*", int(r.Silhouette*40)))
+	}
+
+	fmt.Fprintf(&b, "\nDataset size vs classifier gap (the paper's future-work hypothesis):\n")
+	fmt.Fprintf(&b, "%-22s %7s %10s %11s %6s\n", "dataset", "shapes", "ceiling-%", "selector-%", "gap")
+	for _, r := range AblationDatasetSize(8, e.Cfg.Seed, e.Cfg.TestFraction, e.Cfg.Device) {
+		fmt.Fprintf(&b, "%-22s %7d %10.2f %11.2f %6.2f\n", r.Dataset, r.Shapes, r.CeilingPct, r.SelectorPct, r.GapPct)
+	}
+
+	ts := AblationTrainingShapes(8, e.Cfg.Seed, e.Cfg.TestFraction, e.Cfg.Device)
+	fmt.Fprintf(&b, "\nTraining-workload shapes (gradient GEMMs of one SGD step, n=8):\n")
+	fmt.Fprintf(&b, "forward union %d shapes → training union %d shapes\n", ts.ForwardShapes, ts.TrainingShapes)
+	fmt.Fprintf(&b, "ceiling on held-out backward shapes: inference-tuned %.2f%%, retuned %.2f%%\n",
+		ts.InferenceTunedPct, ts.RetunedPct)
+
+	fmt.Fprintf(&b, "\nGreedy set-selection baseline vs decision-tree pruning (test ceiling):\n")
+	fmt.Fprintf(&b, "%-6s %10s %10s\n", "N", "greedy-%", "tree-%")
+	for _, n := range []int{4, 6, 8, 15} {
+		g := core.AchievableScore(e.Test, core.Greedy{}.Prune(e.Train, n, e.Cfg.Seed))
+		d := core.AchievableScore(e.Test, core.DecisionTree{}.Prune(e.Train, n, e.Cfg.Seed))
+		fmt.Fprintf(&b, "%-6d %10.2f %10.2f\n", n, g, d)
+	}
+	return b.String()
+}
+
+// NetworkHoldoutRow is one leave-one-network-out evaluation: prune and train
+// on the shapes of two networks, evaluate on the held-out third — a sharper
+// version of the paper's generalisation caveat than a random split.
+type NetworkHoldoutRow struct {
+	HeldOut     string
+	TrainShapes int
+	TestShapes  int
+	CeilingPct  float64 // achievable with the pruned set on the held-out network
+	SelectorPct float64 // what the tree selector actually achieves there
+	RandomPct   float64 // same-sized random-split baseline (ceiling)
+}
+
+// AblationLeaveOneNetworkOut prunes/trains on two networks and tests on the
+// third, for each network in turn, at library size n.
+func (e *Env) AblationLeaveOneNetworkOut(n int) []NetworkHoldoutRow {
+	// Identify dataset rows by network membership.
+	membership := map[gemm.Shape]map[string]bool{}
+	for _, net := range workload.Networks() {
+		for _, s := range net.GEMMShapes() {
+			if membership[s] == nil {
+				membership[s] = map[string]bool{}
+			}
+			membership[s][net.Name] = true
+		}
+	}
+
+	var rows []NetworkHoldoutRow
+	for _, held := range workload.Networks() {
+		var trainRows, testRows []int
+		for i, s := range e.Dataset.Shapes {
+			// Shapes shared between the held-out network and a training
+			// network stay in training (they are not "unseen").
+			inHeld := membership[s][held.Name]
+			inOther := false
+			for _, other := range workload.Networks() {
+				if other.Name != held.Name && membership[s][other.Name] {
+					inOther = true
+				}
+			}
+			if inHeld && !inOther {
+				testRows = append(testRows, i)
+			} else {
+				trainRows = append(trainRows, i)
+			}
+		}
+		train := e.Dataset.Subset(trainRows)
+		test := e.Dataset.Subset(testRows)
+		selected := core.DecisionTree{}.Prune(train, n, e.Cfg.Seed)
+		sel := core.DecisionTreeSelector{}.Train(train, selected, e.Cfg.Seed)
+
+		// Random-split baseline with a matching test-set size.
+		frac := float64(test.NumShapes()) / float64(e.Dataset.NumShapes())
+		rtrain, rtest := e.Dataset.Split(e.Cfg.Seed+uint64(len(rows)), frac)
+		rsel := core.DecisionTree{}.Prune(rtrain, n, e.Cfg.Seed)
+
+		rows = append(rows, NetworkHoldoutRow{
+			HeldOut:     held.Name,
+			TrainShapes: train.NumShapes(),
+			TestShapes:  test.NumShapes(),
+			CeilingPct:  core.AchievableScore(test, selected),
+			SelectorPct: core.SelectorScore(test, selected, sel),
+			RandomPct:   core.AchievableScore(rtest, rsel),
+		})
+	}
+	return rows
+}
+
+// DatasetSizeRow is one dataset-scale evaluation of the paper's future-work
+// hypothesis that "the datasets used in this paper are fairly small, causing
+// the models to fail to generalize, which would be mitigated with larger
+// datasets".
+type DatasetSizeRow struct {
+	Dataset     string
+	Shapes      int
+	CeilingPct  float64
+	SelectorPct float64
+	GapPct      float64 // ceiling − selector: the classifier's shortfall
+}
+
+// AblationDatasetSize runs the identical pipeline (decision-tree pruning at
+// size n, decision-tree selector, same split protocol) on the paper-scale
+// workload and on the extended five-network workload.
+func AblationDatasetSize(n int, seed uint64, testFrac float64, dev device.Spec) []DatasetSizeRow {
+	model := sim.New(dev)
+	std, _ := workload.DatasetShapes()
+	ext, _ := workload.ExtendedDatasetShapes()
+	sets := []struct {
+		name   string
+		shapes []gemm.Shape
+	}{
+		{"paper-3-networks", std},
+		{"extended-5-networks", ext},
+	}
+	var rows []DatasetSizeRow
+	for _, set := range sets {
+		ds := dataset.Build(model, set.shapes, gemm.AllConfigs())
+		train, test := ds.Split(seed, testFrac)
+		selected := core.DecisionTree{}.Prune(train, n, seed)
+		sel := core.DecisionTreeSelector{}.Train(train, selected, seed)
+		ceiling := core.AchievableScore(test, selected)
+		score := core.SelectorScore(test, selected, sel)
+		rows = append(rows, DatasetSizeRow{
+			Dataset:     set.name,
+			Shapes:      ds.NumShapes(),
+			CeilingPct:  ceiling,
+			SelectorPct: score,
+			GapPct:      ceiling - score,
+		})
+	}
+	return rows
+}
+
+// ClusterCountRow is one k of the silhouette analysis.
+type ClusterCountRow struct {
+	K          int
+	Silhouette float64
+}
+
+// AblationClusterCount scores k-means clusterings of the training
+// performance vectors by mean silhouette for each candidate library size —
+// an independent check on the paper's PCA-based reading of how many
+// distinct behaviours the dataset contains.
+func (e *Env) AblationClusterCount(kMin, kMax int) []ClusterCountRow {
+	var rows []ClusterCountRow
+	for k := kMin; k <= kMax; k++ {
+		res := kmeans.Cluster(e.Train.Norm, k, e.Cfg.Seed, kmeans.Options{})
+		rows = append(rows, ClusterCountRow{
+			K:          k,
+			Silhouette: metrics.Silhouette(e.Train.Norm, res.Labels),
+		})
+	}
+	return rows
+}
+
+// TrainingShapesResult quantifies how an inference-tuned library copes with
+// the gradient GEMMs of training — the workload the paper's introduction
+// actually motivates — versus retuning on the full training-shape set.
+type TrainingShapesResult struct {
+	ForwardShapes  int
+	TrainingShapes int
+	// Scores are achievable ceilings (geomean % of per-shape optimum) on the
+	// backward-only shapes of the training test split.
+	InferenceTunedPct float64 // kernel set pruned from forward shapes only
+	RetunedPct        float64 // kernel set pruned from the training-shape set
+}
+
+// AblationTrainingShapes builds the training-workload dataset (forward +
+// gradient shapes), splits it, and compares two n-kernel sets on the
+// held-out backward shapes: one pruned from forward shapes only, one from
+// the full training set.
+func AblationTrainingShapes(n int, seed uint64, testFrac float64, dev device.Spec) TrainingShapesResult {
+	model := sim.New(dev)
+	fwdShapes, _ := workload.DatasetShapes()
+	trainShapes, _ := workload.TrainingDatasetShapes()
+
+	full := dataset.Build(model, trainShapes, gemm.AllConfigs())
+	trainDS, testDS := full.Split(seed, testFrac)
+
+	// Backward-only rows of the test split (shapes absent from the forward
+	// union).
+	fwdSet := map[gemm.Shape]bool{}
+	for _, s := range fwdShapes {
+		fwdSet[s] = true
+	}
+	var backRows []int
+	for i, s := range testDS.Shapes {
+		if !fwdSet[s] {
+			backRows = append(backRows, i)
+		}
+	}
+	backTest := testDS.Subset(backRows)
+
+	// (a) inference-tuned: prune on the forward dataset, score on backward.
+	fwdDS := dataset.Build(model, fwdShapes, gemm.AllConfigs())
+	fwdSelected := core.DecisionTree{}.Prune(fwdDS, n, seed)
+	// Map config indices across datasets (same AllConfigs order, shared).
+	res := TrainingShapesResult{
+		ForwardShapes:     len(fwdShapes),
+		TrainingShapes:    len(trainShapes),
+		InferenceTunedPct: core.AchievableScore(backTest, fwdSelected),
+	}
+
+	// (b) retuned on the training-shape split.
+	retuned := core.DecisionTree{}.Prune(trainDS, n, seed)
+	res.RetunedPct = core.AchievableScore(backTest, retuned)
+	return res
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The environment takes ~1s to build (156 shapes × 640 configs); share it
+// across tests.
+var (
+	envOnce sync.Once
+	env     *Env
+)
+
+func sharedEnv(t testing.TB) *Env {
+	t.Helper()
+	envOnce.Do(func() { env = Setup(Default()) })
+	return env
+}
+
+func TestSetupShapes(t *testing.T) {
+	e := sharedEnv(t)
+	if e.Dataset.NumConfigs() != 640 {
+		t.Fatalf("dataset has %d configs, want 640", e.Dataset.NumConfigs())
+	}
+	if e.Dataset.NumShapes() != 156 {
+		t.Fatalf("dataset has %d shapes, want 156", e.Dataset.NumShapes())
+	}
+	if e.Train.NumShapes()+e.Test.NumShapes() != e.Dataset.NumShapes() {
+		t.Fatal("split loses shapes")
+	}
+	if e.PerNetwork["vgg16"] != 78 {
+		t.Fatalf("vgg16 count %d, want 78", e.PerNetwork["vgg16"])
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	e := sharedEnv(t)
+	stats := e.Fig1()
+	if len(stats) != 640 {
+		t.Fatalf("%d entries", len(stats))
+	}
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Mean < stats[i-1].Mean {
+			t.Fatal("Fig1 not sorted by mean")
+		}
+	}
+	// The paper: the worst configurations never achieve above 30% of
+	// optimal; allow a little slack on the exact threshold.
+	if stats[0].Max > 0.40 {
+		t.Fatalf("worst config max = %v, want < 0.40", stats[0].Max)
+	}
+	// The best-by-mean configurations still perform poorly on some sizes.
+	last := stats[len(stats)-1]
+	if last.Min > 0.75 {
+		t.Fatalf("best config min = %v; expected weakness on some shapes", last.Min)
+	}
+	// Some mid-pack configuration achieves (near-)optimal performance on a
+	// specific size.
+	midOptimal := false
+	for _, s := range stats[len(stats)/4 : 3*len(stats)/4] {
+		if s.Max > 0.99 {
+			midOptimal = true
+			break
+		}
+	}
+	if !midOptimal {
+		t.Fatal("no mid-mean configuration achieves near-optimal performance anywhere")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	e := sharedEnv(t)
+	r := e.Fig2()
+	total := 0
+	for _, en := range r.Entries {
+		total += en.Wins
+	}
+	if total != e.Dataset.NumShapes() {
+		t.Fatalf("wins sum to %d, want %d", total, e.Dataset.NumShapes())
+	}
+	// Paper structure: one configuration wins far more than the rest
+	// (32 of 170, >3× the runner-up) and there is a long tail of winners
+	// (58 of 170 ≈ 34%). Check the same structure at our dataset size.
+	if r.TopWins < e.Dataset.NumShapes()/8 {
+		t.Fatalf("top winner has only %d wins", r.TopWins)
+	}
+	if len(r.Entries) > 1 && r.Entries[0].Wins < 3*r.Entries[1].Wins/2 {
+		t.Fatalf("top winner (%d) not clearly ahead of runner-up (%d)", r.Entries[0].Wins, r.Entries[1].Wins)
+	}
+	if r.DistinctWinners < e.Dataset.NumShapes()/5 {
+		t.Fatalf("only %d distinct winners; expected a long tail", r.DistinctWinners)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	e := sharedEnv(t)
+	r := e.Fig3()
+	if len(r.Ratios) == 0 || len(r.Cumulative) != len(r.Ratios) {
+		t.Fatal("empty spectrum")
+	}
+	if r.Cumulative[len(r.Cumulative)-1] < 0.999 {
+		t.Fatalf("full spectrum covers %v", r.Cumulative[len(r.Cumulative)-1])
+	}
+	// Paper: a handful of components covers 80%, ~8 covers 90%, ~15 covers
+	// 95%. Check the same concentration ordering and magnitudes.
+	if !(r.At80 <= r.At90 && r.At90 <= r.At95) {
+		t.Fatalf("threshold counts not monotone: %d %d %d", r.At80, r.At90, r.At95)
+	}
+	if r.At80 > 8 {
+		t.Fatalf("80%% of variance needs %d components; expected concentration in few", r.At80)
+	}
+	if r.At95 > 30 {
+		t.Fatalf("95%% of variance needs %d components", r.At95)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	e := sharedEnv(t)
+	rows := e.Fig4()
+	if len(rows) != 5 {
+		t.Fatalf("%d pruning methods", len(rows))
+	}
+	byName := map[string][]float64{}
+	for _, r := range rows {
+		if len(r.Scores) != e.Cfg.NMax-e.Cfg.NMin+1 {
+			t.Fatalf("%s has %d scores", r.Method, len(r.Scores))
+		}
+		for _, s := range r.Scores {
+			if s <= 0 || s > 100 {
+				t.Fatalf("%s score %v out of range", r.Method, s)
+			}
+		}
+		byName[r.Method] = r.Scores
+	}
+	// Paper headline: at 6+ configurations the decision tree achieves ≈95%
+	// of optimal.
+	treeAt6 := byName["decision-tree"][6-e.Cfg.NMin]
+	if treeAt6 < 93 {
+		t.Fatalf("decision-tree at N=6 = %v, want ≥ 93", treeAt6)
+	}
+	// All methods reach ≈95% by N=15.
+	for m, scores := range byName {
+		if last := scores[len(scores)-1]; last < 93 {
+			t.Fatalf("%s at N=15 = %v, want ≥ 93", m, last)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	e := sharedEnv(t)
+	r := e.Table1()
+	if len(r.Rows) != 6 || len(r.Ceilings) != len(r.Ns) {
+		t.Fatalf("table dims: %d rows, %d ceilings", len(r.Rows), len(r.Ceilings))
+	}
+	scores := map[string][]float64{}
+	for _, row := range r.Rows {
+		if len(row.Scores) != len(r.Ns) {
+			t.Fatalf("%s has %d scores", row.Classifier, len(row.Scores))
+		}
+		scores[row.Classifier] = row.Scores
+	}
+	// No classifier may beat the ceiling.
+	for _, row := range r.Rows {
+		for i, s := range row.Scores {
+			if s > r.Ceilings[i]+1e-9 {
+				t.Fatalf("%s beats the ceiling at N=%d", row.Classifier, r.Ns[i])
+			}
+		}
+	}
+	// Paper orderings: the decision tree outperforms or comes close to all
+	// other classifiers; k-NN trails the trees; RadialSVM is the collapse
+	// case (worst mean by a wide margin).
+	mean := func(vs []float64) float64 {
+		t := 0.0
+		for _, v := range vs {
+			t += v
+		}
+		return t / float64(len(vs))
+	}
+	if mean(scores["DecisionTree"]) < mean(scores["3NearestNeighbor"]) {
+		t.Fatal("decision tree below 3-NN on average")
+	}
+	if mean(scores["RadialSVM"]) > mean(scores["DecisionTree"])-10 {
+		t.Fatal("RadialSVM did not collapse well below the decision tree")
+	}
+	if mean(scores["1NearestNeighbor"]) < mean(scores["3NearestNeighbor"])-5 {
+		t.Fatal("1-NN unexpectedly far below 3-NN")
+	}
+}
+
+func TestSelectionLatency(t *testing.T) {
+	e := sharedEnv(t)
+	rows := e.SelectionLatency(6, 20)
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		if r.NsPerSelect <= 0 {
+			t.Fatalf("%s latency %v", r.Selector, r.NsPerSelect)
+		}
+		byName[r.Selector] = r.NsPerSelect
+	}
+	// The paper's deployment argument: tree selection is far cheaper than
+	// the kernel-evaluation-heavy models.
+	if byName["DecisionTree"] > byName["RandomForest"] {
+		t.Fatal("single tree slower than a 100-tree forest")
+	}
+	if byName["DecisionTree"] > byName["RadialSVM"] {
+		t.Fatal("tree slower than kernel SVM evaluation")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	e := sharedEnv(t)
+	checks := map[string]string{
+		"Figure 1":   RenderFig1(e.Fig1()),
+		"Figure 2":   RenderFig2(e.Fig2()),
+		"Figure 3":   RenderFig3(e.Fig3()),
+		"Figure 4":   RenderFig4(e.Fig4()),
+		"Table I":    RenderTable1(e.Table1()),
+		"Section IV": RenderLatency(e.SelectionLatency(6, 5)),
+	}
+	for want, out := range checks {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing header %q:\n%s", want, out)
+		}
+		if len(out) < 80 {
+			t.Errorf("rendered output for %q suspiciously short", want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two environments with the same seed must agree on a scalar summary.
+	a := Setup(Default())
+	b := Setup(Default())
+	fa, fb := a.Fig4(), b.Fig4()
+	for i := range fa {
+		for j := range fa[i].Scores {
+			if fa[i].Scores[j] != fb[i].Scores[j] {
+				t.Fatal("experiments are not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kernelselect/internal/plot"
+)
+
+// SVGFig1 renders Figure 1 as mean/min/max lines over the mean-sorted
+// configuration rank (the 640-column scatter of the paper reads as a band).
+func (e *Env) SVGFig1() (string, error) {
+	stats := e.Fig1()
+	x := make([]float64, len(stats))
+	mean := make([]float64, len(stats))
+	lo := make([]float64, len(stats))
+	hi := make([]float64, len(stats))
+	for i, s := range stats {
+		x[i] = float64(i)
+		mean[i] = s.Mean
+		lo[i] = s.Min
+		hi[i] = s.Max
+	}
+	return plot.LineChart{
+		Title:  "Figure 1 — normalized performance by configuration (sorted by mean)",
+		XLabel: "configuration rank (by mean)",
+		YLabel: "fraction of per-shape optimum",
+		X:      x,
+		Series: []plot.Series{
+			{Name: "max", Y: hi},
+			{Name: "mean", Y: mean},
+			{Name: "min", Y: lo},
+		},
+	}.SVG()
+}
+
+// SVGFig2 renders the win-count histogram (top 20 winners).
+func (e *Env) SVGFig2() (string, error) {
+	r := e.Fig2()
+	n := len(r.Entries)
+	if n > 20 {
+		n = 20
+	}
+	labels := make([]string, n)
+	values := make([]float64, n)
+	for i := 0; i < n; i++ {
+		labels[i] = r.Entries[i].Config
+		values[i] = float64(r.Entries[i].Wins)
+	}
+	return plot.BarChart{
+		Title:  fmt.Sprintf("Figure 2 — times optimal (top %d of %d winners)", n, r.DistinctWinners),
+		YLabel: "shapes won",
+		Labels: labels,
+		Values: values,
+		W:      900,
+	}.SVG()
+}
+
+// SVGFig3 renders the PCA variance spectrum (first 20 components).
+func (e *Env) SVGFig3() (string, error) {
+	r := e.Fig3()
+	n := len(r.Ratios)
+	if n > 20 {
+		n = 20
+	}
+	x := make([]float64, n)
+	ratio := make([]float64, n)
+	cum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(i + 1)
+		ratio[i] = r.Ratios[i]
+		cum[i] = r.Cumulative[i]
+	}
+	return plot.LineChart{
+		Title:  "Figure 3 — PCA explained variance of the performance matrix",
+		XLabel: "component",
+		YLabel: "variance ratio",
+		X:      x,
+		Series: []plot.Series{
+			{Name: "cumulative", Y: cum},
+			{Name: "per component", Y: ratio},
+		},
+		Markers: true,
+	}.SVG()
+}
+
+// SVGFig4 renders the pruning comparison.
+func (e *Env) SVGFig4() (string, error) {
+	rows := e.Fig4()
+	if len(rows) == 0 {
+		return "", fmt.Errorf("experiments: no Fig4 rows")
+	}
+	x := make([]float64, len(rows[0].Ns))
+	for i, n := range rows[0].Ns {
+		x[i] = float64(n)
+	}
+	series := make([]plot.Series, len(rows))
+	for i, r := range rows {
+		series[i] = plot.Series{Name: r.Method, Y: r.Scores}
+	}
+	return plot.LineChart{
+		Title:   "Figure 4 — pruning methods: achievable % of optimal on the test split",
+		XLabel:  "number of configurations",
+		YLabel:  "% of optimal (geometric mean)",
+		X:       x,
+		Series:  series,
+		Markers: true,
+	}.SVG()
+}
+
+// WriteSVGs renders all four figures into dir (created if needed) as
+// fig1.svg … fig4.svg.
+func (e *Env) WriteSVGs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	figs := []struct {
+		name string
+		gen  func() (string, error)
+	}{
+		{"fig1.svg", e.SVGFig1},
+		{"fig2.svg", e.SVGFig2},
+		{"fig3.svg", e.SVGFig3},
+		{"fig4.svg", e.SVGFig4},
+	}
+	for _, f := range figs {
+		svg, err := f.gen()
+		if err != nil {
+			return fmt.Errorf("experiments: rendering %s: %w", f.name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, f.name), []byte(svg), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

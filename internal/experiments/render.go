@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderFig1 renders the Figure 1 distribution as a decile table: since the
+// figure plots 640 columns, the text form samples the mean/min/max at every
+// 10% of the mean-sorted order plus both extremes.
+func RenderFig1(stats []Fig1Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — normalized performance by configuration (sorted by mean)\n")
+	fmt.Fprintf(&b, "%-8s %-18s %8s %8s %8s\n", "rank", "config", "mean", "min", "max")
+	n := len(stats)
+	idxs := []int{0}
+	for p := 10; p <= 90; p += 10 {
+		idxs = append(idxs, p*n/100)
+	}
+	idxs = append(idxs, n-1)
+	for _, i := range idxs {
+		s := stats[i]
+		fmt.Fprintf(&b, "%-8d %-18s %8.3f %8.3f %8.3f\n", i, s.Config, s.Mean, s.Min, s.Max)
+	}
+	return b.String()
+}
+
+// RenderFig2 renders the win-count histogram (top entries plus the tail
+// summary the paper highlights).
+func RenderFig2(r Fig2Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — times each configuration is optimal\n")
+	fmt.Fprintf(&b, "distinct winning configurations: %d; most wins: %d\n", r.DistinctWinners, r.TopWins)
+	top := r.Entries
+	if len(top) > 12 {
+		top = top[:12]
+	}
+	for i, e := range top {
+		fmt.Fprintf(&b, "%2d. %-18s %3d %s\n", i+1, e.Config, e.Wins, strings.Repeat("#", e.Wins))
+	}
+	if len(r.Entries) > len(top) {
+		rest := 0
+		for _, e := range r.Entries[len(top):] {
+			rest += e.Wins
+		}
+		fmt.Fprintf(&b, "    …and %d more configurations sharing %d wins\n", len(r.Entries)-len(top), rest)
+	}
+	return b.String()
+}
+
+// RenderFig3 renders the variance spectrum with the paper's threshold
+// readings.
+func RenderFig3(r Fig3Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 — PCA explained variance of the performance matrix\n")
+	n := len(r.Ratios)
+	if n > 20 {
+		n = 20
+	}
+	fmt.Fprintf(&b, "%-6s %10s %12s\n", "comp", "ratio", "cumulative")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%-6d %10.4f %12.4f\n", i+1, r.Ratios[i], r.Cumulative[i])
+	}
+	fmt.Fprintf(&b, "components for 80%%: %d, 90%%: %d, 95%%: %d (paper: 4, 8, 15)\n", r.At80, r.At90, r.At95)
+	return b.String()
+}
+
+// RenderFig4 renders the pruning comparison as a method × N table.
+func RenderFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — achievable %% of optimal on the test split, by pruning method\n")
+	if len(rows) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-14s", "method \\ N")
+	for _, n := range rows[0].Ns {
+		fmt.Fprintf(&b, "%7d", n)
+	}
+	fmt.Fprintln(&b)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.Method)
+		for _, s := range r.Scores {
+			fmt.Fprintf(&b, "%7.2f", s)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderTable1 renders the classifier comparison with its ceilings row.
+func RenderTable1(r Table1Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — classifier %% of absolute optimal (decision-tree-pruned sets)\n")
+	fmt.Fprintf(&b, "%-18s", "classifier \\ N")
+	for _, n := range r.Ns {
+		fmt.Fprintf(&b, "%8d", n)
+	}
+	fmt.Fprintln(&b)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-18s", row.Classifier)
+		for _, s := range row.Scores {
+			fmt.Fprintf(&b, "%8.2f", s)
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-18s", "(max achievable)")
+	for _, c := range r.Ceilings {
+		fmt.Fprintf(&b, "%8.2f", c)
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}
+
+// RenderLatency renders the Section IV selection-latency comparison.
+func RenderLatency(rows []LatencyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section IV — selection latency per query\n")
+	fmt.Fprintf(&b, "%-18s %14s\n", "selector", "ns/select")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %14.1f\n", r.Selector, r.NsPerSelect)
+	}
+	return b.String()
+}

@@ -1,0 +1,179 @@
+// Package gemm implements the tiled matrix-multiply kernel family from the
+// paper's SYCL-DNN case study: three compile-time tile parameters (output
+// tile rows and columns, accumulator depth), each drawn from {1, 2, 4, 8},
+// crossed with ten run-time work-group shapes, for 640 total configurations.
+//
+// The kernel runs on the hierarchical executor in internal/sycl and is
+// validated against a naive reference for every compile-time variant. Flop
+// accounting and shape utilities used throughout the repository also live
+// here.
+package gemm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TileSizes is the set of values each compile-time tile parameter may take.
+var TileSizes = []int{1, 2, 4, 8}
+
+// WorkGroup is a run-time work-group shape (rows × cols of work-items).
+type WorkGroup struct {
+	R, C int
+}
+
+// WorkGroups is the set of work-group shapes evaluated by the paper.
+var WorkGroups = []WorkGroup{
+	{1, 64}, {1, 128}, {8, 8}, {8, 16}, {8, 32},
+	{16, 8}, {16, 16}, {32, 8}, {64, 1}, {128, 1},
+}
+
+// Config identifies one kernel configuration: the compile-time tile
+// parameters plus the run-time work-group shape.
+type Config struct {
+	TileRows int       // output-tile rows per work-item (compile time)
+	TileCols int       // output-tile cols per work-item (compile time)
+	AccDepth int       // K-depth accumulated per step (compile time)
+	WG       WorkGroup // work-group shape (run time)
+}
+
+// String renders the configuration compactly, e.g. "t4x2a8_wg16x8".
+func (c Config) String() string {
+	return fmt.Sprintf("t%dx%da%d_wg%dx%d", c.TileRows, c.TileCols, c.AccDepth, c.WG.R, c.WG.C)
+}
+
+// KernelID identifies the compile-time kernel (ignoring work-group shape).
+// Two configs with equal KernelID share a compiled kernel in a SYCL library.
+func (c Config) KernelID() string {
+	return fmt.Sprintf("t%dx%da%d", c.TileRows, c.TileCols, c.AccDepth)
+}
+
+// Validate reports whether the configuration is a member of the evaluated
+// space.
+func (c Config) Validate() error {
+	okTile := func(v int) bool {
+		for _, t := range TileSizes {
+			if v == t {
+				return true
+			}
+		}
+		return false
+	}
+	if !okTile(c.TileRows) || !okTile(c.TileCols) || !okTile(c.AccDepth) {
+		return fmt.Errorf("gemm: tile parameters of %v must be in %v", c, TileSizes)
+	}
+	for _, wg := range WorkGroups {
+		if c.WG == wg {
+			return nil
+		}
+	}
+	return fmt.Errorf("gemm: work-group %+v of %v not in the evaluated set", c.WG, c)
+}
+
+// GroupTile returns the output tile computed by one work-group:
+// (WG.R·TileRows) × (WG.C·TileCols).
+func (c Config) GroupTile() (rows, cols int) {
+	return c.WG.R * c.TileRows, c.WG.C * c.TileCols
+}
+
+// RegistersPerItem estimates the register footprint of one work-item in
+// 32-bit registers: the accumulator tile, one A fragment, one B fragment,
+// plus loop/address overhead. The estimate drives the occupancy model in
+// internal/sim and mirrors how the SYCL-DNN kernel's private arrays scale.
+func (c Config) RegistersPerItem() int {
+	const overhead = 18 // addresses, loop counters, ids
+	return c.TileRows*c.TileCols + c.TileRows*c.AccDepth + c.AccDepth*c.TileCols + overhead
+}
+
+// LocalMemoryBytes returns the work-group local memory required per K-step:
+// an A tile of (WG.R·TileRows)×AccDepth and a B tile of
+// AccDepth×(WG.C·TileCols) float32 values (the device kernels use fp32; the
+// host emulation computes in float64 for testability).
+func (c Config) LocalMemoryBytes() int {
+	bm, bn := c.GroupTile()
+	return 4 * c.AccDepth * (bm + bn)
+}
+
+// AllConfigs enumerates the full 640-configuration space in a fixed,
+// deterministic order: tile rows, then tile cols, then accumulator depth,
+// then work-group index.
+func AllConfigs() []Config {
+	out := make([]Config, 0, len(TileSizes)*len(TileSizes)*len(TileSizes)*len(WorkGroups))
+	for _, tr := range TileSizes {
+		for _, tc := range TileSizes {
+			for _, acc := range TileSizes {
+				for _, wg := range WorkGroups {
+					out = append(out, Config{TileRows: tr, TileCols: tc, AccDepth: acc, WG: wg})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AllKernelIDs returns the 64 distinct compile-time kernels in sorted order.
+func AllKernelIDs() []string {
+	seen := map[string]bool{}
+	var ids []string
+	for _, c := range AllConfigs() {
+		id := c.KernelID()
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ConfigIndex returns a map from Config.String() to its position in
+// AllConfigs(), for dataset column lookup.
+func ConfigIndex() map[string]int {
+	idx := make(map[string]int, 640)
+	for i, c := range AllConfigs() {
+		idx[c.String()] = i
+	}
+	return idx
+}
+
+// ParseConfig inverts Config.String(): "t4x2a8_wg16x8" → the configuration.
+// The result is validated against the evaluated space.
+func ParseConfig(name string) (Config, error) {
+	var tr, tc, acc, wr, wc int
+	if _, err := fmt.Sscanf(name, "t%dx%da%d_wg%dx%d", &tr, &tc, &acc, &wr, &wc); err != nil {
+		return Config{}, fmt.Errorf("gemm: bad config name %q: %w", name, err)
+	}
+	cfg := Config{TileRows: tr, TileCols: tc, AccDepth: acc, WG: WorkGroup{R: wr, C: wc}}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Shape describes one GEMM problem: C[M×N] += A[M×K] · B[K×N].
+type Shape struct {
+	M, N, K int
+}
+
+// String renders the shape as "MxKxN" (the paper's row/inner/col order).
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.M, s.K, s.N) }
+
+// Validate reports whether all dimensions are positive.
+func (s Shape) Validate() error {
+	if s.M <= 0 || s.N <= 0 || s.K <= 0 {
+		return fmt.Errorf("gemm: invalid shape %+v", s)
+	}
+	return nil
+}
+
+// FLOPs returns the floating-point operation count of the multiply
+// (one multiply + one add per inner-product term).
+func (s Shape) FLOPs() int64 {
+	return 2 * int64(s.M) * int64(s.N) * int64(s.K)
+}
+
+// Features returns the shape as an ML feature vector (M, K, N), the input
+// representation used for both clustering targets and runtime classifiers.
+func (s Shape) Features() []float64 {
+	return []float64{float64(s.M), float64(s.K), float64(s.N)}
+}

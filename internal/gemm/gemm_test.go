@@ -1,0 +1,265 @@
+package gemm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kernelselect/internal/sycl"
+	"kernelselect/internal/xrand"
+)
+
+func randomMatrix(r *xrand.Rand, n int) []float64 {
+	m := make([]float64, n)
+	for i := range m {
+		m[i] = 2*r.Float64() - 1
+	}
+	return m
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestAllConfigsCount(t *testing.T) {
+	cfgs := AllConfigs()
+	if len(cfgs) != 640 {
+		t.Fatalf("len(AllConfigs()) = %d, want 640", len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("config %v invalid: %v", c, err)
+		}
+		if seen[c.String()] {
+			t.Fatalf("duplicate config %v", c)
+		}
+		seen[c.String()] = true
+	}
+}
+
+func TestAllKernelIDsCount(t *testing.T) {
+	ids := AllKernelIDs()
+	if len(ids) != 64 {
+		t.Fatalf("len(AllKernelIDs()) = %d, want 64", len(ids))
+	}
+}
+
+func TestConfigIndexRoundTrip(t *testing.T) {
+	idx := ConfigIndex()
+	for i, c := range AllConfigs() {
+		if idx[c.String()] != i {
+			t.Fatalf("ConfigIndex[%v] = %d, want %d", c, idx[c.String()], i)
+		}
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	bad := []Config{
+		{TileRows: 3, TileCols: 2, AccDepth: 2, WG: WorkGroup{8, 8}},
+		{TileRows: 2, TileCols: 16, AccDepth: 2, WG: WorkGroup{8, 8}},
+		{TileRows: 2, TileCols: 2, AccDepth: 0, WG: WorkGroup{8, 8}},
+		{TileRows: 2, TileCols: 2, AccDepth: 2, WG: WorkGroup{7, 7}},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %v unexpectedly valid", c)
+		}
+	}
+}
+
+func TestConfigDerivedQuantities(t *testing.T) {
+	c := Config{TileRows: 4, TileCols: 2, AccDepth: 8, WG: WorkGroup{16, 8}}
+	if r, n := c.GroupTile(); r != 64 || n != 16 {
+		t.Fatalf("GroupTile = (%d,%d), want (64,16)", r, n)
+	}
+	wantRegs := 4*2 + 4*8 + 8*2 + 18
+	if c.RegistersPerItem() != wantRegs {
+		t.Fatalf("RegistersPerItem = %d, want %d", c.RegistersPerItem(), wantRegs)
+	}
+	if c.LocalMemoryBytes() != 4*8*(64+16) {
+		t.Fatalf("LocalMemoryBytes = %d", c.LocalMemoryBytes())
+	}
+	if c.String() != "t4x2a8_wg16x8" {
+		t.Fatalf("String = %q", c.String())
+	}
+	if c.KernelID() != "t4x2a8" {
+		t.Fatalf("KernelID = %q", c.KernelID())
+	}
+}
+
+func TestShapeBasics(t *testing.T) {
+	s := Shape{M: 3, N: 5, K: 7}
+	if s.FLOPs() != 2*3*5*7 {
+		t.Fatalf("FLOPs = %d", s.FLOPs())
+	}
+	if s.String() != "3x7x5" {
+		t.Fatalf("String = %q", s.String())
+	}
+	f := s.Features()
+	if f[0] != 3 || f[1] != 7 || f[2] != 5 {
+		t.Fatalf("Features = %v", f)
+	}
+	if (Shape{M: 0, N: 1, K: 1}).Validate() == nil {
+		t.Fatal("invalid shape accepted")
+	}
+}
+
+// TestMultiplyAllKernelVariants validates every compile-time kernel (64) on
+// a ragged shape with one representative work-group shape each, against the
+// naive reference.
+func TestMultiplyAllKernelVariants(t *testing.T) {
+	q := sycl.NewQueue(sycl.HostDevice())
+	r := xrand.New(7)
+	s := Shape{M: 21, N: 19, K: 23}
+	a := randomMatrix(r, s.M*s.K)
+	b := randomMatrix(r, s.K*s.N)
+	want := make([]float64, s.M*s.N)
+	Reference(a, b, want, s)
+
+	for _, tr := range TileSizes {
+		for _, tc := range TileSizes {
+			for _, acc := range TileSizes {
+				cfg := Config{TileRows: tr, TileCols: tc, AccDepth: acc, WG: WorkGroup{8, 8}}
+				got := make([]float64, s.M*s.N)
+				if err := Multiply(q, cfg, a, b, got, s); err != nil {
+					t.Fatalf("%v: %v", cfg, err)
+				}
+				if d := maxAbsDiff(got, want); d > 1e-9 {
+					t.Fatalf("%v: max abs diff %v", cfg, d)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiplyAllWorkGroups validates every work-group shape with a fixed
+// kernel on a shape smaller than some group tiles (heavy bounds checking).
+func TestMultiplyAllWorkGroups(t *testing.T) {
+	q := sycl.NewQueue(sycl.HostDevice())
+	r := xrand.New(8)
+	s := Shape{M: 37, N: 41, K: 16}
+	a := randomMatrix(r, s.M*s.K)
+	b := randomMatrix(r, s.K*s.N)
+	want := make([]float64, s.M*s.N)
+	Reference(a, b, want, s)
+
+	for _, wg := range WorkGroups {
+		cfg := Config{TileRows: 2, TileCols: 4, AccDepth: 4, WG: wg}
+		got := make([]float64, s.M*s.N)
+		if err := Multiply(q, cfg, a, b, got, s); err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("%v: max abs diff %v", cfg, d)
+		}
+	}
+}
+
+// TestMultiplyDegenerateShapes exercises 1-sized dimensions (bias-add style
+// GEMV shapes occur in the fully-connected workloads).
+func TestMultiplyDegenerateShapes(t *testing.T) {
+	q := sycl.NewQueue(sycl.HostDevice())
+	r := xrand.New(9)
+	shapes := []Shape{
+		{M: 1, N: 1000, K: 512},
+		{M: 1, N: 1, K: 1},
+		{M: 64, N: 1, K: 9},
+		{M: 1, N: 1, K: 4096},
+	}
+	cfg := Config{TileRows: 4, TileCols: 4, AccDepth: 2, WG: WorkGroup{8, 16}}
+	for _, s := range shapes {
+		a := randomMatrix(r, s.M*s.K)
+		b := randomMatrix(r, s.K*s.N)
+		want := make([]float64, s.M*s.N)
+		got := make([]float64, s.M*s.N)
+		Reference(a, b, want, s)
+		if err := Multiply(q, cfg, a, b, got, s); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("%v: max abs diff %v", s, d)
+		}
+	}
+}
+
+// TestMultiplyProperty cross-checks random configs on random small shapes.
+func TestMultiplyProperty(t *testing.T) {
+	q := sycl.NewQueue(sycl.HostDevice())
+	cfgs := AllConfigs()
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := Shape{M: 1 + r.Intn(40), N: 1 + r.Intn(40), K: 1 + r.Intn(40)}
+		cfg := cfgs[r.Intn(len(cfgs))]
+		a := randomMatrix(r, s.M*s.K)
+		b := randomMatrix(r, s.K*s.N)
+		want := make([]float64, s.M*s.N)
+		got := make([]float64, s.M*s.N)
+		Reference(a, b, want, s)
+		if err := Multiply(q, cfg, a, b, got, s); err != nil {
+			return false
+		}
+		return maxAbsDiff(got, want) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplyRejectsBadArgs(t *testing.T) {
+	q := sycl.NewQueue(sycl.HostDevice())
+	s := Shape{M: 4, N: 4, K: 4}
+	good := Config{TileRows: 2, TileCols: 2, AccDepth: 2, WG: WorkGroup{8, 8}}
+	buf := make([]float64, 16)
+	if err := Multiply(q, Config{TileRows: 3, TileCols: 2, AccDepth: 2, WG: WorkGroup{8, 8}}, buf, buf, buf, s); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if err := Multiply(q, good, buf, buf, buf, Shape{M: -1, N: 4, K: 4}); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+	if err := Multiply(q, good, buf[:3], buf, buf, s); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestReferenceIdentity(t *testing.T) {
+	// A·I = A for the reference multiplier.
+	s := Shape{M: 5, N: 5, K: 5}
+	r := xrand.New(10)
+	a := randomMatrix(r, 25)
+	eye := make([]float64, 25)
+	for i := 0; i < 5; i++ {
+		eye[i*5+i] = 1
+	}
+	got := make([]float64, 25)
+	Reference(a, eye, got, s)
+	if d := maxAbsDiff(got, a); d > 0 {
+		t.Fatalf("A·I != A (diff %v)", d)
+	}
+}
+
+func TestParseConfigRoundTrip(t *testing.T) {
+	for _, c := range AllConfigs() {
+		got, err := ParseConfig(c.String())
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if got != c {
+			t.Fatalf("round trip %v → %v", c, got)
+		}
+	}
+}
+
+func TestParseConfigRejects(t *testing.T) {
+	for _, name := range []string{"", "bogus", "t3x2a2_wg8x8", "t2x2a2_wg7x7", "t2x2a2"} {
+		if _, err := ParseConfig(name); err == nil {
+			t.Errorf("ParseConfig(%q) accepted", name)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package gemm
+
+import (
+	"kernelselect/internal/sycl"
+)
+
+// Multiply computes c = a·b for the given shape using the tiled kernel
+// variant selected by cfg, executed on q. Matrices are dense row-major:
+// a is M×K, b is K×N, c is M×N. The destination is fully overwritten.
+//
+// The kernel follows the SYCL-DNN structure described in the paper: each
+// work-item accumulates a TileRows×TileCols block of the output in private
+// registers, advancing AccDepth values of K per step; the work-group
+// cooperatively stages A and B tiles through local memory between steps.
+// Global ranges are rounded up to whole work-groups with in-kernel bounds
+// checks, so any shape is supported by any configuration.
+func Multiply(q *sycl.Queue, cfg Config, a, b, c []float64, s Shape) error {
+	return MultiplyEx(q, cfg, a, b, c, s, DefaultMulOpts())
+}
+
+// Reference computes c = a·b with a straightforward triple loop. It is the
+// correctness oracle for every kernel configuration.
+func Reference(a, b, c []float64, s Shape) {
+	for i := 0; i < s.M; i++ {
+		crow := c[i*s.N : (i+1)*s.N]
+		for j := range crow {
+			crow[j] = 0
+		}
+		for k := 0; k < s.K; k++ {
+			av := a[i*s.K+k]
+			if av == 0 {
+				continue
+			}
+			brow := b[k*s.N : (k+1)*s.N]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

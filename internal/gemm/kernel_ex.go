@@ -1,0 +1,189 @@
+package gemm
+
+import (
+	"fmt"
+	"sync"
+
+	"kernelselect/internal/sycl"
+)
+
+// MulOpts extends Multiply to the full BLAS-style GEMM the SYCL-DNN matmul
+// implements: C = alpha·op(A)·op(B) + beta·C, with op(X) = X or Xᵀ.
+// The shape (M, N, K) always describes the logical product: op(A) is M×K
+// and op(B) is K×N regardless of storage order.
+type MulOpts struct {
+	TransA, TransB bool
+	Alpha, Beta    float64
+}
+
+// DefaultMulOpts returns the plain-multiply options (alpha 1, beta 0).
+func DefaultMulOpts() MulOpts { return MulOpts{Alpha: 1} }
+
+// MultiplyEx computes C = alpha·op(A)·op(B) + beta·C with the tiled kernel
+// variant selected by cfg. A is stored M×K (or K×M when TransA), B is K×N
+// (or N×K when TransB); C is always M×N.
+func MultiplyEx(q *sycl.Queue, cfg Config, a, b, c []float64, s Shape, opts MulOpts) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if len(a) < s.M*s.K || len(b) < s.K*s.N || len(c) < s.M*s.N {
+		return fmt.Errorf("gemm: buffer too small for %v (a=%d b=%d c=%d)", s, len(a), len(b), len(c))
+	}
+
+	tr, tc, acc := cfg.TileRows, cfg.TileCols, cfg.AccDepth
+	bm, bn := cfg.GroupTile()
+	groupItems := cfg.WG.R * cfg.WG.C
+
+	loadA := func(row, k int) float64 { return a[row*s.K+k] }
+	if opts.TransA {
+		loadA = func(row, k int) float64 { return a[k*s.M+row] }
+	}
+	loadB := func(k, col int) float64 { return b[k*s.N+col] }
+	if opts.TransB {
+		loadB = func(k, col int) float64 { return b[col*s.K+k] }
+	}
+
+	nd := sycl.NDRange{
+		Global: sycl.Range{R: ceilDiv(s.M, tr), C: ceilDiv(s.N, tc)},
+		Local:  sycl.Range{R: cfg.WG.R, C: cfg.WG.C},
+	}
+
+	_, err := q.ParallelForWorkGroup(nd, func(g *sycl.Group) {
+		aTile := g.LocalFloat64(bm * acc)
+		bTile := g.LocalFloat64(acc * bn)
+		accum := g.LocalFloat64(groupItems * tr * tc)
+
+		off := g.GlobalOffset()
+		rowBase := off.R * tr
+		colBase := off.C * tc
+
+		for k0 := 0; k0 < s.K; k0 += acc {
+			kLen := acc
+			if k0+kLen > s.K {
+				kLen = s.K - k0
+			}
+			g.ForEachItem(func(it sycl.Item) {
+				lin := it.LinearLocal(g.LocalR)
+				for idx := lin; idx < bm*acc; idx += groupItems {
+					r := idx / acc
+					kk := idx % acc
+					var v float64
+					if gr := rowBase + r; gr < s.M && kk < kLen {
+						v = loadA(gr, k0+kk)
+					}
+					aTile[idx] = v
+				}
+				for idx := lin; idx < acc*bn; idx += groupItems {
+					kk := idx / bn
+					cc := idx % bn
+					var v float64
+					if gc := colBase + cc; gc < s.N && kk < kLen {
+						v = loadB(k0+kk, gc)
+					}
+					bTile[idx] = v
+				}
+			})
+			g.ForEachItem(func(it sycl.Item) {
+				base := it.LinearLocal(g.LocalR) * tr * tc
+				aRow := it.Local.R * tr
+				bCol := it.Local.C * tc
+				for kk := 0; kk < kLen; kk++ {
+					for i := 0; i < tr; i++ {
+						av := aTile[(aRow+i)*acc+kk]
+						if av == 0 {
+							continue
+						}
+						bOff := kk*bn + bCol
+						accOff := base + i*tc
+						for j := 0; j < tc; j++ {
+							accum[accOff+j] += av * bTile[bOff+j]
+						}
+					}
+				}
+			})
+		}
+
+		g.ForEachItem(func(it sycl.Item) {
+			base := it.LinearLocal(g.LocalR) * tr * tc
+			for i := 0; i < tr; i++ {
+				gr := rowBase + it.Local.R*tr + i
+				if gr >= s.M {
+					break
+				}
+				for j := 0; j < tc; j++ {
+					gc := colBase + it.Local.C*tc + j
+					if gc >= s.N {
+						break
+					}
+					idx := gr*s.N + gc
+					v := opts.Alpha * accum[base+i*tc+j]
+					if opts.Beta != 0 {
+						v += opts.Beta * c[idx]
+					}
+					c[idx] = v
+				}
+			}
+		})
+	})
+	return err
+}
+
+// ReferenceEx is the naive oracle for MultiplyEx.
+func ReferenceEx(a, b, c []float64, s Shape, opts MulOpts) {
+	loadA := func(row, k int) float64 { return a[row*s.K+k] }
+	if opts.TransA {
+		loadA = func(row, k int) float64 { return a[k*s.M+row] }
+	}
+	loadB := func(k, col int) float64 { return b[k*s.N+col] }
+	if opts.TransB {
+		loadB = func(k, col int) float64 { return b[col*s.K+k] }
+	}
+	for i := 0; i < s.M; i++ {
+		for j := 0; j < s.N; j++ {
+			var acc float64
+			for k := 0; k < s.K; k++ {
+				acc += loadA(i, k) * loadB(k, j)
+			}
+			idx := i*s.N + j
+			v := opts.Alpha * acc
+			if opts.Beta != 0 {
+				v += opts.Beta * c[idx]
+			}
+			c[idx] = v
+		}
+	}
+}
+
+// Batch is one GEMM of a batched multiply; all entries of a batch share one
+// shape and configuration (the Winograd lowering produces 16 such GEMMs).
+type Batch struct {
+	A, B, C []float64
+}
+
+// MultiplyBatch runs the batch concurrently on q, one goroutine per entry
+// (each entry internally parallelises over work-groups as usual; the queue's
+// worker pool is shared). It fails on the first error.
+func MultiplyBatch(q *sycl.Queue, cfg Config, batch []Batch, s Shape) error {
+	if len(batch) == 0 {
+		return fmt.Errorf("gemm: empty batch")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(batch))
+	for i := range batch {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = Multiply(q, cfg, batch[i].A, batch[i].B, batch[i].C, s)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("gemm: batch entry %d: %w", i, err)
+		}
+	}
+	return nil
+}

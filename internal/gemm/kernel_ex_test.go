@@ -1,0 +1,167 @@
+package gemm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kernelselect/internal/sycl"
+	"kernelselect/internal/xrand"
+)
+
+func TestMultiplyExMatchesMultiplyOnDefaults(t *testing.T) {
+	q := sycl.NewQueue(sycl.HostDevice())
+	r := xrand.New(31)
+	s := Shape{M: 19, N: 23, K: 17}
+	a := randomMatrix(r, s.M*s.K)
+	b := randomMatrix(r, s.K*s.N)
+	cfg := Config{TileRows: 2, TileCols: 4, AccDepth: 2, WG: WorkGroup{R: 8, C: 8}}
+	plain := make([]float64, s.M*s.N)
+	ex := make([]float64, s.M*s.N)
+	if err := Multiply(q, cfg, a, b, plain, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := MultiplyEx(q, cfg, a, b, ex, s, DefaultMulOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(plain, ex); d > 1e-12 {
+		t.Fatalf("defaults disagree with Multiply by %v", d)
+	}
+}
+
+func TestMultiplyExTransposes(t *testing.T) {
+	q := sycl.NewQueue(sycl.HostDevice())
+	r := xrand.New(33)
+	s := Shape{M: 13, N: 11, K: 15}
+	cfg := Config{TileRows: 4, TileCols: 2, AccDepth: 4, WG: WorkGroup{R: 8, C: 16}}
+	for _, opts := range []MulOpts{
+		{TransA: true, Alpha: 1},
+		{TransB: true, Alpha: 1},
+		{TransA: true, TransB: true, Alpha: 1},
+	} {
+		// Storage sizes are M*K and K*N regardless of transposition.
+		a := randomMatrix(r, s.M*s.K)
+		b := randomMatrix(r, s.K*s.N)
+		want := make([]float64, s.M*s.N)
+		got := make([]float64, s.M*s.N)
+		ReferenceEx(a, b, want, s, opts)
+		if err := MultiplyEx(q, cfg, a, b, got, s, opts); err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("%+v: diff %v", opts, d)
+		}
+	}
+}
+
+func TestMultiplyExAlphaBeta(t *testing.T) {
+	q := sycl.NewQueue(sycl.HostDevice())
+	r := xrand.New(35)
+	s := Shape{M: 9, N: 14, K: 12}
+	cfg := Config{TileRows: 1, TileCols: 2, AccDepth: 8, WG: WorkGroup{R: 8, C: 8}}
+	a := randomMatrix(r, s.M*s.K)
+	b := randomMatrix(r, s.K*s.N)
+	init := randomMatrix(r, s.M*s.N)
+
+	opts := MulOpts{Alpha: 2.5, Beta: -0.5}
+	want := append([]float64(nil), init...)
+	got := append([]float64(nil), init...)
+	ReferenceEx(a, b, want, s, opts)
+	if err := MultiplyEx(q, cfg, a, b, got, s, opts); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("alpha/beta diff %v", d)
+	}
+}
+
+func TestMultiplyExBetaZeroIgnoresGarbage(t *testing.T) {
+	// Beta = 0 must fully overwrite C even if it holds NaN-free garbage.
+	q := sycl.NewQueue(sycl.HostDevice())
+	r := xrand.New(37)
+	s := Shape{M: 8, N: 8, K: 8}
+	cfg := Config{TileRows: 2, TileCols: 2, AccDepth: 2, WG: WorkGroup{R: 8, C: 8}}
+	a := randomMatrix(r, 64)
+	b := randomMatrix(r, 64)
+	got := make([]float64, 64)
+	for i := range got {
+		got[i] = 1e30
+	}
+	want := make([]float64, 64)
+	Reference(a, b, want, s)
+	if err := MultiplyEx(q, cfg, a, b, got, s, DefaultMulOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("beta=0 left garbage (diff %v)", d)
+	}
+}
+
+func TestMultiplyExProperty(t *testing.T) {
+	q := sycl.NewQueue(sycl.HostDevice())
+	cfgs := AllConfigs()
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := Shape{M: 1 + r.Intn(24), N: 1 + r.Intn(24), K: 1 + r.Intn(24)}
+		cfg := cfgs[r.Intn(len(cfgs))]
+		opts := MulOpts{
+			TransA: r.Intn(2) == 1,
+			TransB: r.Intn(2) == 1,
+			Alpha:  2*r.Float64() - 1,
+			Beta:   2*r.Float64() - 1,
+		}
+		if opts.Alpha == 0 {
+			opts.Alpha = 1
+		}
+		a := randomMatrix(r, s.M*s.K)
+		b := randomMatrix(r, s.K*s.N)
+		init := randomMatrix(r, s.M*s.N)
+		want := append([]float64(nil), init...)
+		got := append([]float64(nil), init...)
+		ReferenceEx(a, b, want, s, opts)
+		if err := MultiplyEx(q, cfg, a, b, got, s, opts); err != nil {
+			return false
+		}
+		return maxAbsDiff(got, want) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplyBatch(t *testing.T) {
+	q := sycl.NewQueue(sycl.HostDevice())
+	r := xrand.New(41)
+	s := Shape{M: 17, N: 13, K: 9}
+	cfg := Config{TileRows: 2, TileCols: 2, AccDepth: 4, WG: WorkGroup{R: 8, C: 8}}
+	const n = 16 // the Winograd batch width
+	batch := make([]Batch, n)
+	wants := make([][]float64, n)
+	for i := range batch {
+		batch[i] = Batch{
+			A: randomMatrix(r, s.M*s.K),
+			B: randomMatrix(r, s.K*s.N),
+			C: make([]float64, s.M*s.N),
+		}
+		wants[i] = make([]float64, s.M*s.N)
+		Reference(batch[i].A, batch[i].B, wants[i], s)
+	}
+	if err := MultiplyBatch(q, cfg, batch, s); err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if d := maxAbsDiff(batch[i].C, wants[i]); d > 1e-9 {
+			t.Fatalf("batch entry %d diff %v", i, d)
+		}
+	}
+}
+
+func TestMultiplyBatchErrors(t *testing.T) {
+	q := sycl.NewQueue(sycl.HostDevice())
+	if err := MultiplyBatch(q, AllConfigs()[0], nil, Shape{M: 1, N: 1, K: 1}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	bad := []Batch{{A: make([]float64, 1), B: make([]float64, 1), C: make([]float64, 1)}}
+	if err := MultiplyBatch(q, AllConfigs()[0], bad, Shape{M: 4, N: 4, K: 4}); err == nil {
+		t.Fatal("short buffers accepted")
+	}
+}

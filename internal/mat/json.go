@@ -1,0 +1,35 @@
+package mat
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// denseJSON is the serialised form of a Dense matrix.
+type denseJSON struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// MarshalJSON implements json.Marshaler, enabling fitted models that embed
+// matrices (SVM weights, k-NN training sets) to persist to disk.
+func (m *Dense) MarshalJSON() ([]byte, error) {
+	return json.Marshal(denseJSON{Rows: m.rows, Cols: m.cols, Data: m.data})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Dense) UnmarshalJSON(b []byte) error {
+	var d denseJSON
+	if err := json.Unmarshal(b, &d); err != nil {
+		return err
+	}
+	if d.Rows <= 0 || d.Cols <= 0 {
+		return fmt.Errorf("mat: invalid serialised dimensions %dx%d", d.Rows, d.Cols)
+	}
+	if len(d.Data) != d.Rows*d.Cols {
+		return fmt.Errorf("mat: serialised matrix %dx%d has %d elements", d.Rows, d.Cols, len(d.Data))
+	}
+	m.rows, m.cols, m.data = d.Rows, d.Cols, d.Data
+	return nil
+}

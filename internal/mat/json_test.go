@@ -1,0 +1,61 @@
+package mat
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestDenseJSONRoundTrip(t *testing.T) {
+	m := FromRows([][]float64{{1, 2.5, -3}, {4, 0, 6}})
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Dense
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 2 || got.Cols() != 3 {
+		t.Fatalf("dims %dx%d", got.Rows(), got.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Fatalf("value mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDenseJSONInsideStruct(t *testing.T) {
+	type model struct {
+		W *Dense `json:"w"`
+	}
+	in := model{W: FromRows([][]float64{{7, 8}})}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out model
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.W.At(0, 1) != 8 {
+		t.Fatal("nested round-trip failed")
+	}
+}
+
+func TestDenseJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{"rows":0,"cols":2,"data":[]}`,
+		`{"rows":2,"cols":2,"data":[1,2,3]}`,
+		`{"rows":-1,"cols":2,"data":[1,2]}`,
+		`"nope"`,
+	}
+	for _, c := range cases {
+		var m Dense
+		if err := json.Unmarshal([]byte(c), &m); err == nil {
+			t.Errorf("accepted %s", c)
+		}
+	}
+}

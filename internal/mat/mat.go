@@ -1,0 +1,326 @@
+// Package mat implements the dense linear algebra needed by the machine
+// learning components in this repository: row-major float64 matrices,
+// elementary operations, column statistics, and a symmetric eigensolver.
+//
+// The package is deliberately small — it covers exactly what PCA, k-means,
+// HDBSCAN and the SVM training loops require — but each operation is
+// implemented carefully (Kahan-style accumulation is unnecessary at the data
+// scales involved; Jacobi rotation handles the eigenproblems robustly).
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a rows×cols zero matrix. It panics on non-positive
+// dimensions.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows. The data is
+// copied.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: FromRows with empty input")
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("mat: ragged row %d: got %d want %d", i, len(r), m.cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns row i as a mutable slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.data[j*t.cols+i] = v
+		}
+	}
+	return t
+}
+
+// Mul returns a×b. It panics if the inner dimensions disagree.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d × %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns a×x for a column vector x.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic("mat: MulVec dimension mismatch")
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// SqDist returns the squared Euclidean distance between two vectors.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: SqDist length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// ColMeans returns the per-column mean of m.
+func ColMeans(m *Dense) []float64 {
+	means := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j, v := range m.Row(i) {
+			means[j] += v
+		}
+	}
+	inv := 1 / float64(m.rows)
+	for j := range means {
+		means[j] *= inv
+	}
+	return means
+}
+
+// ColStds returns the per-column population standard deviation of m given the
+// column means. Columns with zero variance report a standard deviation of 1
+// so that scaling by them is a no-op.
+func ColStds(m *Dense, means []float64) []float64 {
+	stds := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j, v := range m.Row(i) {
+			d := v - means[j]
+			stds[j] += d * d
+		}
+	}
+	inv := 1 / float64(m.rows)
+	for j := range stds {
+		stds[j] = math.Sqrt(stds[j] * inv)
+		if stds[j] == 0 {
+			stds[j] = 1
+		}
+	}
+	return stds
+}
+
+// CenterCols subtracts the provided column means from every row in place.
+func CenterCols(m *Dense, means []float64) {
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] -= means[j]
+		}
+	}
+}
+
+// Gram returns m×mᵀ, the n×n Gram matrix of the rows of m. This is the
+// small-side matrix used by the PCA Gram trick when rows ≪ cols.
+func Gram(m *Dense) *Dense {
+	g := NewDense(m.rows, m.rows)
+	for i := 0; i < m.rows; i++ {
+		ri := m.Row(i)
+		for j := i; j < m.rows; j++ {
+			v := Dot(ri, m.Row(j))
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	return g
+}
+
+// EigSym computes the eigendecomposition of the symmetric matrix a using the
+// cyclic Jacobi method. It returns eigenvalues in descending order and the
+// matching eigenvectors as the columns of the returned matrix. The input is
+// not modified.
+//
+// Jacobi is quadratic per sweep and converges in a handful of sweeps for the
+// well-conditioned Gram/covariance matrices produced in this repository.
+func EigSym(a *Dense) (values []float64, vectors *Dense) {
+	if a.rows != a.cols {
+		panic("mat: EigSym requires a square matrix")
+	}
+	n := a.rows
+	w := a.Clone()
+	v := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Skip rotations that cannot improve numerically.
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				for k := 0; k < n; k++ {
+					akp := w.At(k, p)
+					akq := w.At(k, q)
+					w.Set(k, p, c*akp-s*akq)
+					w.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := w.At(p, k)
+					aqk := w.At(q, k)
+					w.Set(p, k, c*apk-s*aqk)
+					w.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue (stable selection sort keeps
+	// the vector columns aligned with their values).
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if values[j] > values[best] {
+				best = j
+			}
+		}
+		if best != i {
+			values[i], values[best] = values[best], values[i]
+			for k := 0; k < n; k++ {
+				vi := v.At(k, i)
+				v.Set(k, i, v.At(k, best))
+				v.Set(k, best, vi)
+			}
+		}
+	}
+	return values, v
+}
+
+// Col extracts column j of m as a fresh slice.
+func Col(m *Dense, j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kernelselect/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewDensePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDense(0, 3) did not panic")
+		}
+	}()
+	NewDense(0, 3)
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+	m.Set(0, 0, 9)
+	if m.Row(0)[0] != 9 {
+		t.Fatal("Set/Row do not alias the same storage")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("T dims = %dx%d, want 3x2", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul at (%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul with mismatched dims did not panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	got := MulVec(a, []float64{1, 2, 3})
+	if got[0] != 7 || got[1] != 6 {
+		t.Fatalf("MulVec = %v, want [7 6]", got)
+	}
+}
+
+func TestDotNormSqDist(t *testing.T) {
+	a := []float64{3, 4}
+	if Dot(a, a) != 25 {
+		t.Fatalf("Dot = %v", Dot(a, a))
+	}
+	if Norm2(a) != 5 {
+		t.Fatalf("Norm2 = %v", Norm2(a))
+	}
+	if SqDist(a, []float64{0, 0}) != 25 {
+		t.Fatal("SqDist mismatch")
+	}
+}
+
+func TestAxpyScale(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 || y[1] != 4.5 {
+		t.Fatalf("Scale = %v", y)
+	}
+}
+
+func TestColMeansStdsCenter(t *testing.T) {
+	m := FromRows([][]float64{{1, 10}, {3, 10}})
+	means := ColMeans(m)
+	if means[0] != 2 || means[1] != 10 {
+		t.Fatalf("ColMeans = %v", means)
+	}
+	stds := ColStds(m, means)
+	if stds[0] != 1 {
+		t.Fatalf("ColStds[0] = %v, want 1", stds[0])
+	}
+	if stds[1] != 1 { // zero variance column reports 1
+		t.Fatalf("ColStds zero-variance column = %v, want 1", stds[1])
+	}
+	CenterCols(m, means)
+	if m.At(0, 0) != -1 || m.At(1, 0) != 1 || m.At(0, 1) != 0 {
+		t.Fatal("CenterCols incorrect")
+	}
+}
+
+func TestGramMatchesMul(t *testing.T) {
+	r := xrand.New(11)
+	m := NewDense(5, 8)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 8; j++ {
+			m.Set(i, j, r.NormFloat64())
+		}
+	}
+	g := Gram(m)
+	ref := Mul(m, m.T())
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if !almostEq(g.At(i, j), ref.At(i, j), 1e-12) {
+				t.Fatalf("Gram mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestEigSymDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 5}})
+	vals, vecs := EigSym(a)
+	if !almostEq(vals[0], 5, 1e-12) || !almostEq(vals[1], 3, 1e-12) {
+		t.Fatalf("eigenvalues = %v, want [5 3]", vals)
+	}
+	// Eigenvector for 5 should be ±e2.
+	if !almostEq(math.Abs(vecs.At(1, 0)), 1, 1e-9) {
+		t.Fatalf("leading eigenvector = %v", Col(vecs, 0))
+	}
+}
+
+func TestEigSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs := EigSym(a)
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+	v := Col(vecs, 0)
+	if !almostEq(math.Abs(v[0]), math.Sqrt(0.5), 1e-8) {
+		t.Fatalf("eigenvector = %v", v)
+	}
+}
+
+// TestEigSymReconstruction checks A·v = λ·v and orthonormality of the
+// eigenvector basis for random symmetric matrices.
+func TestEigSymReconstruction(t *testing.T) {
+	r := xrand.New(101)
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + r.Intn(12)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := r.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs := EigSym(a)
+		for k := 0; k < n; k++ {
+			v := Col(vecs, k)
+			av := MulVec(a, v)
+			for i := 0; i < n; i++ {
+				if !almostEq(av[i], vals[k]*v[i], 1e-7) {
+					t.Fatalf("trial %d: A·v != λ·v at eig %d (%v vs %v)", trial, k, av[i], vals[k]*v[i])
+				}
+			}
+			if !almostEq(Norm2(v), 1, 1e-8) {
+				t.Fatalf("eigenvector %d not unit norm: %v", k, Norm2(v))
+			}
+			for k2 := k + 1; k2 < n; k2++ {
+				if !almostEq(Dot(v, Col(vecs, k2)), 0, 1e-7) {
+					t.Fatalf("eigenvectors %d,%d not orthogonal", k, k2)
+				}
+			}
+		}
+		// Descending order.
+		for k := 1; k < n; k++ {
+			if vals[k] > vals[k-1]+1e-10 {
+				t.Fatalf("eigenvalues not sorted: %v", vals)
+			}
+		}
+	}
+}
+
+// TestEigSymTraceProperty: sum of eigenvalues equals the trace.
+func TestEigSymTraceProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(8)
+		a := NewDense(n, n)
+		var trace float64
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := 2*r.Float64() - 1
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+			trace += a.At(i, i)
+		}
+		vals, _ := EigSym(a)
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		return almostEq(sum, trace, 1e-8)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColExtracts(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	c := Col(m, 1)
+	if c[0] != 2 || c[1] != 4 || c[2] != 6 {
+		t.Fatalf("Col = %v", c)
+	}
+}

@@ -1,0 +1,116 @@
+// Package forest implements a random-forest classifier (bootstrap-aggregated
+// CART trees with per-split feature subsampling), one of the runtime kernel
+// selectors compared in Table I of the paper.
+package forest
+
+import (
+	"fmt"
+	"math"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/ml/tree"
+	"kernelselect/internal/xrand"
+)
+
+// Options configure the ensemble. The zero value selects the defaults.
+type Options struct {
+	NumTrees       int // default 100
+	MaxFeatures    int // features per split; default ⌈√f⌉
+	MaxDepth       int // per tree; 0 = unlimited
+	MinSamplesLeaf int // per tree; 0 → 1
+	Seed           uint64
+}
+
+func (o Options) withDefaults(numFeatures int) Options {
+	if o.NumTrees <= 0 {
+		o.NumTrees = 100
+	}
+	if o.MaxFeatures <= 0 {
+		o.MaxFeatures = int(math.Ceil(math.Sqrt(float64(numFeatures))))
+	}
+	return o
+}
+
+// Classifier is a fitted random forest.
+type Classifier struct {
+	Trees   []*tree.Classifier
+	Classes int
+}
+
+// FitClassifier trains the ensemble on x and labels y in [0, classes).
+func FitClassifier(x *mat.Dense, y []int, classes int, opts Options) *Classifier {
+	if x.Rows() != len(y) {
+		panic(fmt.Sprintf("forest: %d feature rows vs %d labels", x.Rows(), len(y)))
+	}
+	if x.Rows() == 0 {
+		panic("forest: empty training set")
+	}
+	opts = opts.withDefaults(x.Cols())
+	rng := xrand.New(opts.Seed)
+	n := x.Rows()
+
+	f := &Classifier{Classes: classes, Trees: make([]*tree.Classifier, opts.NumTrees)}
+	bx := mat.NewDense(n, x.Cols())
+	by := make([]int, n)
+	for t := 0; t < opts.NumTrees; t++ {
+		// Bootstrap sample with replacement.
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			copy(bx.Row(i), x.Row(j))
+			by[i] = y[j]
+		}
+		f.Trees[t] = tree.FitClassifier(bx.Clone(), append([]int(nil), by...), classes, tree.Options{
+			MaxDepth:       opts.MaxDepth,
+			MinSamplesLeaf: opts.MinSamplesLeaf,
+			MaxFeatures:    opts.MaxFeatures,
+			Seed:           rng.Uint64(),
+		})
+	}
+	return f
+}
+
+// Predict returns the majority-vote class for x (smallest class on ties).
+func (f *Classifier) Predict(x []float64) int {
+	votes := make([]int, f.Classes)
+	for _, t := range f.Trees {
+		votes[t.Predict(x)]++
+	}
+	best := 0
+	for c, v := range votes {
+		if v > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Votes returns the per-class vote counts for x, for inspection and
+// confidence reporting.
+func (f *Classifier) Votes(x []float64) []int {
+	votes := make([]int, f.Classes)
+	for _, t := range f.Trees {
+		votes[t.Predict(x)]++
+	}
+	return votes
+}
+
+// FeatureImportances averages the impurity-decrease importances of the
+// ensemble's trees (normalised to sum to 1).
+func (f *Classifier) FeatureImportances(numFeatures int) []float64 {
+	imp := make([]float64, numFeatures)
+	for _, t := range f.Trees {
+		for i, v := range t.FeatureImportances(numFeatures) {
+			imp[i] += v
+		}
+	}
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}

@@ -1,0 +1,119 @@
+package forest
+
+import (
+	"testing"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/ml/metrics"
+	"kernelselect/internal/xrand"
+)
+
+// ringData builds a 2-class problem not linearly separable (inner vs outer
+// ring) that trees handle easily.
+func ringData(n int, seed uint64) (*mat.Dense, []int) {
+	r := xrand.New(seed)
+	x := mat.NewDense(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		a, b := 2*r.Float64()-1, 2*r.Float64()-1
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		if a*a+b*b > 0.5 {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+func TestForestLearnsNonlinearBoundary(t *testing.T) {
+	x, y := ringData(300, 1)
+	f := FitClassifier(x, y, 2, Options{NumTrees: 30, Seed: 2})
+	pred := make([]int, len(y))
+	for i := range y {
+		pred[i] = f.Predict(x.Row(i))
+	}
+	if acc := metrics.Accuracy(pred, y); acc < 0.95 {
+		t.Fatalf("training accuracy %v < 0.95", acc)
+	}
+	// Held-out accuracy.
+	xt, yt := ringData(200, 99)
+	for i := range yt {
+		pred[i] = f.Predict(xt.Row(i))
+	}
+	if acc := metrics.Accuracy(pred[:len(yt)], yt); acc < 0.85 {
+		t.Fatalf("test accuracy %v < 0.85", acc)
+	}
+}
+
+func TestForestDeterministicForSeed(t *testing.T) {
+	x, y := ringData(100, 3)
+	a := FitClassifier(x, y, 2, Options{NumTrees: 10, Seed: 7})
+	b := FitClassifier(x, y, 2, Options{NumTrees: 10, Seed: 7})
+	probe, _ := ringData(50, 11)
+	for i := 0; i < probe.Rows(); i++ {
+		if a.Predict(probe.Row(i)) != b.Predict(probe.Row(i)) {
+			t.Fatal("same seed produced different forests")
+		}
+	}
+}
+
+func TestVotesSumToNumTrees(t *testing.T) {
+	x, y := ringData(80, 5)
+	f := FitClassifier(x, y, 2, Options{NumTrees: 17, Seed: 1})
+	v := f.Votes([]float64{0.3, -0.2})
+	total := 0
+	for _, n := range v {
+		total += n
+	}
+	if total != 17 {
+		t.Fatalf("votes sum to %d, want 17", total)
+	}
+}
+
+func TestPredictMatchesVotes(t *testing.T) {
+	x, y := ringData(80, 6)
+	f := FitClassifier(x, y, 2, Options{NumTrees: 9, Seed: 4})
+	probe, _ := ringData(30, 12)
+	for i := 0; i < probe.Rows(); i++ {
+		v := f.Votes(probe.Row(i))
+		best := 0
+		for c := range v {
+			if v[c] > v[best] {
+				best = c
+			}
+		}
+		if f.Predict(probe.Row(i)) != best {
+			t.Fatal("Predict disagrees with Votes")
+		}
+	}
+}
+
+func TestFitPanicsOnBadInput(t *testing.T) {
+	x, y := ringData(10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched labels accepted")
+		}
+	}()
+	FitClassifier(x, y[:5], 2, Options{})
+}
+
+func TestForestFeatureImportances(t *testing.T) {
+	x, y := ringData(200, 21)
+	f := FitClassifier(x, y, 2, Options{NumTrees: 20, Seed: 3})
+	imp := f.FeatureImportances(2)
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("importances sum to %v", sum)
+	}
+	// The ring depends on both coordinates roughly equally.
+	if imp[0] < 0.2 || imp[1] < 0.2 {
+		t.Fatalf("ring importances unbalanced: %v", imp)
+	}
+}

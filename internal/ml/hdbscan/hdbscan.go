@@ -1,0 +1,436 @@
+// Package hdbscan implements the HDBSCAN* density-based clustering
+// algorithm (Campello, Moulavi & Sander), the second clustering method the
+// paper evaluates for pruning kernel configurations.
+//
+// The pipeline follows the reference formulation:
+//
+//  1. core distances (distance to the MinSamples-th nearest neighbour,
+//     counting the point itself);
+//  2. the mutual-reachability graph
+//     mr(a,b) = max(core(a), core(b), d(a,b));
+//  3. a minimum spanning tree of that graph (Prim, O(n²) — the datasets
+//     here are ~10² points);
+//  4. the single-linkage dendrogram from the sorted MST edges;
+//  5. the condensed tree under MinClusterSize, tracking the λ = 1/distance
+//     at which points fall out of clusters;
+//  6. cluster extraction by excess-of-mass stability.
+//
+// Points in no selected cluster are labelled -1 (noise).
+package hdbscan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kernelselect/internal/mat"
+)
+
+// Options configure the clustering. The zero value selects the defaults.
+type Options struct {
+	MinClusterSize int // smallest cluster size; default 5
+	MinSamples     int // core-distance neighbour count; default = MinClusterSize
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinClusterSize <= 0 {
+		o.MinClusterSize = 5
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = o.MinClusterSize
+	}
+	return o
+}
+
+// Result is a fitted clustering.
+type Result struct {
+	Labels      []int // per-point cluster id in [0, NumClusters), or -1 for noise
+	NumClusters int
+	Stabilities []float64 // per-cluster excess-of-mass stability
+}
+
+// Cluster runs HDBSCAN* on the rows of x.
+func Cluster(x *mat.Dense, opts Options) *Result {
+	opts = opts.withDefaults()
+	n := x.Rows()
+	if n == 0 {
+		panic("hdbscan: empty input")
+	}
+	if opts.MinSamples > n {
+		opts.MinSamples = n
+	}
+	if n < 2*opts.MinClusterSize {
+		// No split can produce two valid clusters; everything is one cluster
+		// (or noise if the set itself is below the minimum size).
+		labels := make([]int, n)
+		if n < opts.MinClusterSize {
+			for i := range labels {
+				labels[i] = -1
+			}
+			return &Result{Labels: labels, NumClusters: 0}
+		}
+		return &Result{Labels: labels, NumClusters: 1, Stabilities: []float64{0}}
+	}
+
+	dist := pairwise(x)
+	core := coreDistances(dist, opts.MinSamples)
+	edges := mstEdges(dist, core)
+	dendro := singleLinkage(edges, n)
+	cond := condense(dendro, n, opts.MinClusterSize)
+	return extract(cond, n)
+}
+
+func pairwise(x *mat.Dense) *mat.Dense {
+	n := x.Rows()
+	d := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := math.Sqrt(mat.SqDist(x.Row(i), x.Row(j)))
+			d.Set(i, j, v)
+			d.Set(j, i, v)
+		}
+	}
+	return d
+}
+
+func coreDistances(dist *mat.Dense, minSamples int) []float64 {
+	n := dist.Rows()
+	core := make([]float64, n)
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		copy(row, dist.Row(i))
+		sort.Float64s(row) // row[0] = 0 (self)
+		core[i] = row[minSamples-1]
+	}
+	return core
+}
+
+type edge struct {
+	a, b int
+	w    float64
+}
+
+// mstEdges computes the MST of the mutual-reachability graph with Prim's
+// algorithm.
+func mstEdges(dist *mat.Dense, core []float64) []edge {
+	n := dist.Rows()
+	inTree := make([]bool, n)
+	bestW := make([]float64, n)
+	bestFrom := make([]int, n)
+	for i := range bestW {
+		bestW[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		bestW[j] = mreach(dist, core, 0, j)
+		bestFrom[j] = 0
+	}
+	edges := make([]edge, 0, n-1)
+	for len(edges) < n-1 {
+		next, nextW := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if !inTree[j] && bestW[j] < nextW {
+				next, nextW = j, bestW[j]
+			}
+		}
+		edges = append(edges, edge{a: bestFrom[next], b: next, w: nextW})
+		inTree[next] = true
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if w := mreach(dist, core, next, j); w < bestW[j] {
+					bestW[j] = w
+					bestFrom[j] = next
+				}
+			}
+		}
+	}
+	return edges
+}
+
+func mreach(dist *mat.Dense, core []float64, a, b int) float64 {
+	w := dist.At(a, b)
+	if core[a] > w {
+		w = core[a]
+	}
+	if core[b] > w {
+		w = core[b]
+	}
+	return w
+}
+
+// dendroNode is a merge in the single-linkage tree. Nodes 0..n-1 are the
+// points; node n+i is the i-th merge.
+type dendroNode struct {
+	left, right int
+	dist        float64
+	size        int
+}
+
+func singleLinkage(edges []edge, n int) []dendroNode {
+	sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
+	parent := make([]int, 2*n-1)
+	size := make([]int, 2*n-1)
+	for i := range parent {
+		parent[i] = i
+		size[i] = 1
+	}
+	var find func(int) int
+	find = func(v int) int {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	nodes := make([]dendroNode, 0, n-1)
+	next := n
+	for _, e := range edges {
+		ra, rb := find(e.a), find(e.b)
+		nodes = append(nodes, dendroNode{left: ra, right: rb, dist: e.w, size: size[ra] + size[rb]})
+		parent[ra] = next
+		parent[rb] = next
+		size[next] = size[ra] + size[rb]
+		next++
+	}
+	return nodes
+}
+
+// condCluster is a node of the condensed tree.
+type condCluster struct {
+	parent      int
+	birthLambda float64
+	children    []int
+	// exits: points that fall out of this cluster directly, with the λ at
+	// which they leave.
+	exitPoints  []int
+	exitLambdas []float64
+	size        int
+	stability   float64
+}
+
+// condense walks the dendrogram top-down and produces the condensed tree.
+func condense(dendro []dendroNode, n, minClusterSize int) []condCluster {
+	lambdaOf := func(dist float64) float64 {
+		if dist <= 0 {
+			return math.Inf(1)
+		}
+		return 1 / dist
+	}
+
+	// Dendrogram child lookup: node id → dendroNode (for internal nodes).
+	nodeOf := func(id int) dendroNode { return dendro[id-n] }
+	sizeOf := func(id int) int {
+		if id < n {
+			return 1
+		}
+		return nodeOf(id).size
+	}
+
+	root := condCluster{parent: -1, birthLambda: 0, size: n}
+	clusters := []condCluster{root}
+
+	// collectPoints gathers all leaf points under a dendrogram node.
+	var collectPoints func(id int, out *[]int)
+	collectPoints = func(id int, out *[]int) {
+		if id < n {
+			*out = append(*out, id)
+			return
+		}
+		nd := nodeOf(id)
+		collectPoints(nd.left, out)
+		collectPoints(nd.right, out)
+	}
+
+	// process walks the dendrogram below node `id`, which currently belongs
+	// to condensed cluster `cl`.
+	type item struct {
+		id int
+		cl int
+	}
+	stack := []item{{id: n + len(dendro) - 1, cl: 0}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		if it.id < n {
+			// A bare point reached while descending: it exits its cluster
+			// at the λ of the merge that isolated it. That λ was recorded
+			// by the parent handling below; points only appear on the stack
+			// through the split/fall-out logic which records them directly,
+			// so reaching here means a singleton root (n == 1), handled in
+			// Cluster.
+			continue
+		}
+		nd := nodeOf(it.id)
+		lambda := lambdaOf(nd.dist)
+		ls, rs := sizeOf(nd.left), sizeOf(nd.right)
+
+		switch {
+		case ls >= minClusterSize && rs >= minClusterSize:
+			// True split: two new condensed clusters are born at λ.
+			for _, child := range []int{nd.left, nd.right} {
+				clusters = append(clusters, condCluster{
+					parent:      it.cl,
+					birthLambda: lambda,
+					size:        sizeOf(child),
+				})
+				ci := len(clusters) - 1
+				clusters[it.cl].children = append(clusters[it.cl].children, ci)
+				stack = append(stack, item{id: child, cl: ci})
+			}
+		case ls >= minClusterSize || rs >= minClusterSize:
+			// One side falls out as noise points at λ; the cluster
+			// continues down the surviving side.
+			big, small := nd.left, nd.right
+			if rs >= minClusterSize {
+				big, small = nd.right, nd.left
+			}
+			var pts []int
+			collectPoints(small, &pts)
+			c := &clusters[it.cl]
+			for _, p := range pts {
+				c.exitPoints = append(c.exitPoints, p)
+				c.exitLambdas = append(c.exitLambdas, lambda)
+			}
+			stack = append(stack, item{id: big, cl: it.cl})
+		default:
+			// Both sides below the minimum size: the cluster dies here and
+			// all remaining points exit at λ.
+			var pts []int
+			collectPoints(it.id, &pts)
+			c := &clusters[it.cl]
+			for _, p := range pts {
+				c.exitPoints = append(c.exitPoints, p)
+				c.exitLambdas = append(c.exitLambdas, lambda)
+			}
+		}
+	}
+
+	// Stabilities: each point contributes (λ_exit − λ_birth); each child
+	// cluster contributes size·(λ_child_birth − λ_birth).
+	maxLambda := 0.0
+	for i := range clusters {
+		for _, l := range clusters[i].exitLambdas {
+			if !math.IsInf(l, 1) && l > maxLambda {
+				maxLambda = l
+			}
+		}
+		if b := clusters[i].birthLambda; !math.IsInf(b, 1) && b > maxLambda {
+			maxLambda = b
+		}
+	}
+	if maxLambda == 0 {
+		maxLambda = 1
+	}
+	capLambda := func(l float64) float64 {
+		if math.IsInf(l, 1) {
+			return 2 * maxLambda // finite stand-in for "never merges"
+		}
+		return l
+	}
+	for i := range clusters {
+		c := &clusters[i]
+		birth := capLambda(c.birthLambda)
+		for _, l := range c.exitLambdas {
+			c.stability += capLambda(l) - birth
+		}
+		for _, ch := range c.children {
+			c.stability += float64(clusters[ch].size) * (capLambda(clusters[ch].birthLambda) - birth)
+		}
+	}
+	return clusters
+}
+
+// extract selects clusters by excess of mass and assigns labels.
+func extract(clusters []condCluster, n int) *Result {
+	selected := make([]bool, len(clusters))
+	subtree := make([]float64, len(clusters))
+
+	// Process children before parents; children always have larger indices
+	// than their parents by construction.
+	for i := len(clusters) - 1; i >= 0; i-- {
+		c := &clusters[i]
+		if len(c.children) == 0 {
+			subtree[i] = c.stability
+			if i != 0 { // the root is never selected
+				selected[i] = true
+			}
+			continue
+		}
+		var childSum float64
+		for _, ch := range c.children {
+			childSum += subtree[ch]
+		}
+		if i != 0 && c.stability > childSum {
+			selected[i] = true
+			deselectDescendants(clusters, selected, i)
+			subtree[i] = c.stability
+		} else {
+			subtree[i] = childSum
+		}
+	}
+
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stabilities []float64
+	id := 0
+	for i := range clusters {
+		if !selected[i] {
+			continue
+		}
+		assignMembers(clusters, i, id, labels)
+		stabilities = append(stabilities, clusters[i].stability)
+		id++
+	}
+	return &Result{Labels: labels, NumClusters: id, Stabilities: stabilities}
+}
+
+func deselectDescendants(clusters []condCluster, selected []bool, i int) {
+	for _, ch := range clusters[i].children {
+		selected[ch] = false
+		deselectDescendants(clusters, selected, ch)
+	}
+}
+
+// assignMembers labels every point that exits cluster i or any descendant.
+func assignMembers(clusters []condCluster, i, label int, labels []int) {
+	for _, p := range clusters[i].exitPoints {
+		labels[p] = label
+	}
+	for _, ch := range clusters[i].children {
+		assignMembers(clusters, ch, label, labels)
+	}
+}
+
+// Exemplars returns one representative point index per cluster: the medoid
+// (member minimising the summed distance to its co-members). Noise points
+// are ignored. The representatives feed the paper's configuration-pruning
+// step.
+func Exemplars(x *mat.Dense, r *Result) []int {
+	if len(r.Labels) != x.Rows() {
+		panic(fmt.Sprintf("hdbscan: %d labels for %d points", len(r.Labels), x.Rows()))
+	}
+	members := make([][]int, r.NumClusters)
+	for i, l := range r.Labels {
+		if l >= 0 {
+			members[l] = append(members[l], i)
+		}
+	}
+	ex := make([]int, r.NumClusters)
+	for c, ms := range members {
+		best, bestSum := -1, math.Inf(1)
+		for _, i := range ms {
+			var sum float64
+			for _, j := range ms {
+				sum += math.Sqrt(mat.SqDist(x.Row(i), x.Row(j)))
+			}
+			if sum < bestSum {
+				best, bestSum = i, sum
+			}
+		}
+		ex[c] = best
+	}
+	return ex
+}

@@ -1,0 +1,204 @@
+package hdbscan
+
+import (
+	"testing"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/xrand"
+)
+
+// blobsWithNoise builds k tight Gaussian blobs plus uniform background
+// noise, the canonical HDBSCAN test case.
+func blobsWithNoise(perCluster, k, noise int, seed uint64) (*mat.Dense, []int) {
+	r := xrand.New(seed)
+	n := perCluster*k + noise
+	x := mat.NewDense(n, 2)
+	truth := make([]int, n)
+	idx := 0
+	for c := 0; c < k; c++ {
+		cx, cy := 30*float64(c), 10*float64(c%2)
+		for i := 0; i < perCluster; i++ {
+			x.Set(idx, 0, cx+r.NormFloat64())
+			x.Set(idx, 1, cy+r.NormFloat64())
+			truth[idx] = c
+			idx++
+		}
+	}
+	for i := 0; i < noise; i++ {
+		x.Set(idx, 0, 200*r.Float64()-50)
+		x.Set(idx, 1, 200*r.Float64()-50)
+		truth[idx] = -1
+		idx++
+	}
+	return x, truth
+}
+
+func TestRecoverBlobs(t *testing.T) {
+	x, truth := blobsWithNoise(25, 3, 0, 1)
+	res := Cluster(x, Options{MinClusterSize: 5})
+	if res.NumClusters != 3 {
+		t.Fatalf("found %d clusters, want 3", res.NumClusters)
+	}
+	// Every blob maps to exactly one cluster label.
+	mapping := map[int]int{}
+	for i, l := range res.Labels {
+		if l < 0 {
+			continue
+		}
+		if want, ok := mapping[truth[i]]; ok {
+			if want != l {
+				t.Fatalf("blob %d split across clusters %d and %d", truth[i], want, l)
+			}
+		} else {
+			mapping[truth[i]] = l
+		}
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("blobs map to %d clusters", len(mapping))
+	}
+	// Dense blobs should have almost no noise points.
+	noise := 0
+	for _, l := range res.Labels {
+		if l == -1 {
+			noise++
+		}
+	}
+	if noise > 5 {
+		t.Fatalf("%d of 75 dense points labelled noise", noise)
+	}
+}
+
+func TestNoiseRejected(t *testing.T) {
+	x, truth := blobsWithNoise(30, 2, 12, 3)
+	res := Cluster(x, Options{MinClusterSize: 8})
+	if res.NumClusters != 2 {
+		t.Fatalf("found %d clusters, want 2", res.NumClusters)
+	}
+	// Most scattered background points must be labelled noise.
+	noiseCaught := 0
+	for i, l := range res.Labels {
+		if truth[i] == -1 && l == -1 {
+			noiseCaught++
+		}
+	}
+	if noiseCaught < 8 {
+		t.Fatalf("only %d/12 background points labelled noise", noiseCaught)
+	}
+}
+
+func TestLabelsWellFormed(t *testing.T) {
+	x, _ := blobsWithNoise(20, 4, 10, 5)
+	res := Cluster(x, Options{MinClusterSize: 6})
+	if len(res.Labels) != x.Rows() {
+		t.Fatal("label count")
+	}
+	seen := map[int]bool{}
+	for _, l := range res.Labels {
+		if l < -1 || l >= res.NumClusters {
+			t.Fatalf("label %d out of range", l)
+		}
+		if l >= 0 {
+			seen[l] = true
+		}
+	}
+	if len(seen) != res.NumClusters {
+		t.Fatalf("labels use %d ids, NumClusters=%d", len(seen), res.NumClusters)
+	}
+	if len(res.Stabilities) != res.NumClusters {
+		t.Fatal("stability count")
+	}
+	for _, s := range res.Stabilities {
+		if s < 0 {
+			t.Fatalf("negative stability %v", s)
+		}
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	// Fewer points than MinClusterSize: all noise.
+	x := mat.FromRows([][]float64{{1, 1}, {2, 2}})
+	res := Cluster(x, Options{MinClusterSize: 5})
+	if res.NumClusters != 0 {
+		t.Fatalf("2 points produced %d clusters", res.NumClusters)
+	}
+	for _, l := range res.Labels {
+		if l != -1 {
+			t.Fatal("tiny input not all noise")
+		}
+	}
+	// Enough for one cluster but no split.
+	x6 := mat.NewDense(6, 2)
+	for i := 0; i < 6; i++ {
+		x6.Set(i, 0, float64(i))
+	}
+	res = Cluster(x6, Options{MinClusterSize: 5})
+	if res.NumClusters != 1 {
+		t.Fatalf("6 points with mcs=5 produced %d clusters, want 1", res.NumClusters)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	// Identical points produce zero distances (infinite λ); must not panic
+	// and must cluster them together.
+	x := mat.NewDense(24, 2)
+	for i := 0; i < 24; i++ {
+		if i >= 12 {
+			x.Set(i, 0, 100)
+		}
+	}
+	res := Cluster(x, Options{MinClusterSize: 5})
+	if res.NumClusters != 2 {
+		t.Fatalf("duplicate blobs produced %d clusters, want 2", res.NumClusters)
+	}
+}
+
+func TestExemplars(t *testing.T) {
+	x, _ := blobsWithNoise(20, 3, 5, 7)
+	res := Cluster(x, Options{MinClusterSize: 6})
+	ex := Exemplars(x, res)
+	if len(ex) != res.NumClusters {
+		t.Fatal("exemplar count")
+	}
+	for c, e := range ex {
+		if e < 0 || e >= x.Rows() {
+			t.Fatalf("exemplar %d out of range", e)
+		}
+		if res.Labels[e] != c {
+			t.Fatalf("exemplar of cluster %d labelled %d", c, res.Labels[e])
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	x, _ := blobsWithNoise(15, 3, 8, 9)
+	a := Cluster(x, Options{MinClusterSize: 5})
+	b := Cluster(x, Options{MinClusterSize: 5})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("HDBSCAN not deterministic")
+		}
+	}
+}
+
+func TestMinClusterSizeControlsGranularity(t *testing.T) {
+	// Two sub-blobs within each super-blob: small mcs finds 4, large finds 2.
+	r := xrand.New(11)
+	x := mat.NewDense(80, 2)
+	for i := 0; i < 80; i++ {
+		super := i / 40
+		sub := (i / 20) % 2
+		x.Set(i, 0, 100*float64(super)+8*float64(sub)+0.5*r.NormFloat64())
+		x.Set(i, 1, 0.5*r.NormFloat64())
+	}
+	fine := Cluster(x, Options{MinClusterSize: 5})
+	coarse := Cluster(x, Options{MinClusterSize: 25})
+	if fine.NumClusters < coarse.NumClusters {
+		t.Fatalf("fine=%d coarse=%d: granularity not monotone", fine.NumClusters, coarse.NumClusters)
+	}
+	if coarse.NumClusters != 2 {
+		t.Fatalf("coarse clustering found %d clusters, want 2", coarse.NumClusters)
+	}
+	if fine.NumClusters != 4 {
+		t.Fatalf("fine clustering found %d clusters, want 4", fine.NumClusters)
+	}
+}

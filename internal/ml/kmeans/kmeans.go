@@ -1,0 +1,187 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding, one of
+// the paper's clustering methods for choosing representative kernel
+// configurations (used directly on the 640-dimensional normalized
+// performance vectors and, as a separate method, on their PCA reduction).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/xrand"
+)
+
+// Result is a fitted clustering.
+type Result struct {
+	Centroids *mat.Dense // k×d
+	Labels    []int      // per-sample cluster assignment
+	Inertia   float64    // sum of squared distances to assigned centroids
+	Iters     int        // Lloyd iterations of the winning restart
+}
+
+// Options tune the clustering. The zero value selects the defaults.
+type Options struct {
+	MaxIters int // per restart; default 100
+	Restarts int // k-means++ restarts, best inertia wins; default 8
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 100
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 8
+	}
+	return o
+}
+
+// Cluster partitions the rows of x into k clusters. It panics if k is not in
+// [1, rows]. The seed makes the result deterministic.
+func Cluster(x *mat.Dense, k int, seed uint64, opts Options) *Result {
+	n := x.Rows()
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("kmeans: k=%d out of [1,%d]", k, n))
+	}
+	opts = opts.withDefaults()
+	rng := xrand.New(seed)
+
+	var best *Result
+	for restart := 0; restart < opts.Restarts; restart++ {
+		r := lloyd(x, k, rng, opts.MaxIters)
+		if best == nil || r.Inertia < best.Inertia {
+			best = r
+		}
+	}
+	return best
+}
+
+func lloyd(x *mat.Dense, k int, rng *xrand.Rand, maxIters int) *Result {
+	n := x.Rows()
+	centroids := seedPlusPlus(x, k, rng)
+	labels := make([]int, n)
+	counts := make([]int, k)
+
+	var inertia float64
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		changed := false
+		inertia = 0
+		for i := 0; i < n; i++ {
+			bestC, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if dist := mat.SqDist(x.Row(i), centroids.Row(c)); dist < bestD {
+					bestC, bestD = c, dist
+				}
+			}
+			if labels[i] != bestC {
+				labels[i] = bestC
+				changed = true
+			}
+			inertia += bestD
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		// Recompute centroids.
+		for c := 0; c < k; c++ {
+			counts[c] = 0
+			row := centroids.Row(c)
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			c := labels[i]
+			counts[c]++
+			mat.Axpy(1, x.Row(i), centroids.Row(c))
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid assignment (a standard empty-cluster repair).
+				far, farD := 0, -1.0
+				for i := 0; i < n; i++ {
+					if dist := mat.SqDist(x.Row(i), centroids.Row(labels[i])); dist > farD {
+						far, farD = i, dist
+					}
+				}
+				copy(centroids.Row(c), x.Row(far))
+				continue
+			}
+			mat.Scale(1/float64(counts[c]), centroids.Row(c))
+		}
+	}
+	return &Result{Centroids: centroids, Labels: labels, Inertia: inertia, Iters: iters}
+}
+
+// seedPlusPlus picks k initial centroids with D² weighting.
+func seedPlusPlus(x *mat.Dense, k int, rng *xrand.Rand) *mat.Dense {
+	n := x.Rows()
+	centroids := mat.NewDense(k, x.Cols())
+	first := rng.Intn(n)
+	copy(centroids.Row(0), x.Row(first))
+
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = mat.SqDist(x.Row(i), centroids.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, v := range d2 {
+			total += v
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n) // all points coincide with a centroid
+		} else {
+			target := rng.Float64() * total
+			var cum float64
+			pick = n - 1
+			for i, v := range d2 {
+				cum += v
+				if cum >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centroids.Row(c), x.Row(pick))
+		for i := range d2 {
+			if dist := mat.SqDist(x.Row(i), centroids.Row(c)); dist < d2[i] {
+				d2[i] = dist
+			}
+		}
+	}
+	return centroids
+}
+
+// Nearest returns the index of the centroid closest to v.
+func Nearest(centroids *mat.Dense, v []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c < centroids.Rows(); c++ {
+		if d := mat.SqDist(centroids.Row(c), v); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// MedoidPerCluster returns, for each cluster, the index of the member row of
+// x closest to the centroid (−1 for empty clusters). Medoids serve as the
+// dataset-backed representatives the pruning methods need.
+func MedoidPerCluster(x *mat.Dense, r *Result) []int {
+	k := r.Centroids.Rows()
+	medoids := make([]int, k)
+	bestD := make([]float64, k)
+	for c := range medoids {
+		medoids[c] = -1
+		bestD[c] = math.Inf(1)
+	}
+	for i, c := range r.Labels {
+		if d := mat.SqDist(x.Row(i), r.Centroids.Row(c)); d < bestD[c] {
+			medoids[c], bestD[c] = i, d
+		}
+	}
+	return medoids
+}

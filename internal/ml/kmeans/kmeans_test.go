@@ -1,0 +1,145 @@
+package kmeans
+
+import (
+	"testing"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/xrand"
+)
+
+// blobs generates k well-separated Gaussian clusters and returns the data
+// with ground-truth labels.
+func blobs(n, d, k int, seed uint64) (*mat.Dense, []int) {
+	r := xrand.New(seed)
+	centers := mat.NewDense(k, d)
+	for c := 0; c < k; c++ {
+		for j := 0; j < d; j++ {
+			centers.Set(c, j, 20*float64(c)+r.NormFloat64())
+		}
+	}
+	x := mat.NewDense(n, d)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % k
+		truth[i] = c
+		row := x.Row(i)
+		for j := 0; j < d; j++ {
+			row[j] = centers.At(c, j) + r.NormFloat64()
+		}
+	}
+	return x, truth
+}
+
+func TestRecoverWellSeparatedBlobs(t *testing.T) {
+	x, truth := blobs(90, 4, 3, 5)
+	res := Cluster(x, 3, 1, Options{})
+	// Cluster labels are arbitrary; check that the partition matches the
+	// truth partition exactly.
+	mapping := map[int]int{}
+	for i, l := range res.Labels {
+		if want, ok := mapping[l]; ok {
+			if want != truth[i] {
+				t.Fatalf("cluster %d mixes truth classes %d and %d", l, want, truth[i])
+			}
+		} else {
+			mapping[l] = truth[i]
+		}
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("found %d clusters, want 3", len(mapping))
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	x, _ := blobs(50, 3, 4, 8)
+	a := Cluster(x, 4, 99, Options{})
+	b := Cluster(x, 4, 99, Options{})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	x, _ := blobs(60, 5, 3, 2)
+	prev := Cluster(x, 1, 7, Options{}).Inertia
+	for k := 2; k <= 8; k++ {
+		cur := Cluster(x, k, 7, Options{}).Inertia
+		if cur > prev+1e-9 {
+			t.Fatalf("inertia increased from k=%d (%v) to k=%d (%v)", k-1, prev, k, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestKEqualsNGivesZeroInertia(t *testing.T) {
+	x, _ := blobs(10, 2, 2, 3)
+	res := Cluster(x, 10, 1, Options{})
+	if res.Inertia > 1e-9 {
+		t.Fatalf("k=n inertia = %v, want 0", res.Inertia)
+	}
+}
+
+func TestPanicsOnBadK(t *testing.T) {
+	x, _ := blobs(10, 2, 2, 3)
+	for _, k := range []int{0, -1, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d accepted", k)
+				}
+			}()
+			Cluster(x, k, 1, Options{})
+		}()
+	}
+}
+
+func TestLabelsMatchNearestCentroid(t *testing.T) {
+	x, _ := blobs(40, 3, 3, 11)
+	res := Cluster(x, 3, 4, Options{})
+	for i, l := range res.Labels {
+		if n := Nearest(res.Centroids, x.Row(i)); n != l {
+			t.Fatalf("point %d labelled %d but nearest centroid is %d", i, l, n)
+		}
+	}
+}
+
+func TestMedoidPerCluster(t *testing.T) {
+	x, _ := blobs(30, 4, 3, 17)
+	res := Cluster(x, 3, 4, Options{})
+	medoids := MedoidPerCluster(x, res)
+	if len(medoids) != 3 {
+		t.Fatal("medoid count")
+	}
+	for c, m := range medoids {
+		if m < 0 {
+			t.Fatalf("cluster %d has no medoid", c)
+		}
+		if res.Labels[m] != c {
+			t.Fatalf("medoid %d not a member of cluster %d", m, c)
+		}
+		// No member of c is closer to the centroid than the medoid.
+		md := mat.SqDist(x.Row(m), res.Centroids.Row(c))
+		for i, l := range res.Labels {
+			if l == c && mat.SqDist(x.Row(i), res.Centroids.Row(c)) < md-1e-12 {
+				t.Fatalf("point %d closer to centroid than medoid of cluster %d", i, c)
+			}
+		}
+	}
+}
+
+func TestDuplicatePointsHandled(t *testing.T) {
+	// All points identical: k-means must still terminate and produce a
+	// valid labelling (empty-cluster repair path).
+	x := mat.NewDense(12, 3)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, 5)
+		}
+	}
+	res := Cluster(x, 3, 2, Options{})
+	if res.Inertia > 1e-12 {
+		t.Fatalf("identical points inertia = %v", res.Inertia)
+	}
+}

@@ -1,0 +1,66 @@
+// Package knn implements a k-nearest-neighbour classifier, two instances of
+// which (k = 1 and k = 3) appear in the paper's Table I comparison of
+// runtime kernel selectors.
+package knn
+
+import (
+	"fmt"
+	"sort"
+
+	"kernelselect/internal/mat"
+)
+
+// Classifier is a fitted (memorised) k-NN model.
+type Classifier struct {
+	X       *mat.Dense
+	Y       []int
+	K       int
+	Classes int
+}
+
+// Fit memorises the training set. k must be in [1, rows].
+func Fit(x *mat.Dense, y []int, classes, k int) *Classifier {
+	if x.Rows() != len(y) {
+		panic(fmt.Sprintf("knn: %d feature rows vs %d labels", x.Rows(), len(y)))
+	}
+	if k < 1 || k > x.Rows() {
+		panic(fmt.Sprintf("knn: k=%d out of [1,%d]", k, x.Rows()))
+	}
+	for _, l := range y {
+		if l < 0 || l >= classes {
+			panic(fmt.Sprintf("knn: label %d out of [0,%d)", l, classes))
+		}
+	}
+	return &Classifier{X: x.Clone(), Y: append([]int(nil), y...), K: k, Classes: classes}
+}
+
+// Predict returns the majority class among the k nearest training points
+// (Euclidean distance; distance ties resolved by training index, vote ties
+// by smallest class).
+func (c *Classifier) Predict(x []float64) int {
+	type neighbour struct {
+		d   float64
+		idx int
+	}
+	nbs := make([]neighbour, c.X.Rows())
+	for i := range nbs {
+		nbs[i] = neighbour{d: mat.SqDist(c.X.Row(i), x), idx: i}
+	}
+	sort.Slice(nbs, func(a, b int) bool {
+		if nbs[a].d != nbs[b].d {
+			return nbs[a].d < nbs[b].d
+		}
+		return nbs[a].idx < nbs[b].idx
+	})
+	votes := make([]int, c.Classes)
+	for _, nb := range nbs[:c.K] {
+		votes[c.Y[nb.idx]]++
+	}
+	best := 0
+	for cl, v := range votes {
+		if v > votes[best] {
+			best = cl
+		}
+	}
+	return best
+}

@@ -1,0 +1,92 @@
+package knn
+
+import (
+	"testing"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/ml/metrics"
+	"kernelselect/internal/xrand"
+)
+
+func gaussians(n int, seed uint64) (*mat.Dense, []int) {
+	r := xrand.New(seed)
+	x := mat.NewDense(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		y[i] = c
+		x.Set(i, 0, 5*float64(c)+r.NormFloat64()*0.4)
+		x.Set(i, 1, -3*float64(c)+r.NormFloat64()*0.4)
+	}
+	return x, y
+}
+
+func Test1NNMemorisesTrainingSet(t *testing.T) {
+	x, y := gaussians(60, 1)
+	c := Fit(x, y, 3, 1)
+	for i := range y {
+		if got := c.Predict(x.Row(i)); got != y[i] {
+			t.Fatalf("sample %d: 1-NN predicted %d, want %d", i, got, y[i])
+		}
+	}
+}
+
+func TestKNNGeneralisesOnBlobs(t *testing.T) {
+	x, y := gaussians(90, 2)
+	c := Fit(x, y, 3, 3)
+	xt, yt := gaussians(60, 77)
+	pred := make([]int, len(yt))
+	for i := range yt {
+		pred[i] = c.Predict(xt.Row(i))
+	}
+	if acc := metrics.Accuracy(pred, yt); acc < 0.95 {
+		t.Fatalf("3-NN blob accuracy %v < 0.95", acc)
+	}
+}
+
+func TestFitCopiesData(t *testing.T) {
+	x, y := gaussians(10, 3)
+	c := Fit(x, y, 3, 1)
+	orig := c.Y[0]
+	x.Set(0, 0, 1e9)
+	y[0] = orig + 1
+	if c.X.At(0, 0) == 1e9 {
+		t.Fatal("Fit did not copy features")
+	}
+	if c.Y[0] != orig {
+		t.Fatal("Fit did not copy labels")
+	}
+}
+
+func TestMajorityVoteOverrulesNearest(t *testing.T) {
+	// Nearest point says class 1; the two next say class 0. k=3 → class 0.
+	x := mat.FromRows([][]float64{{0.9}, {1.2}, {1.3}})
+	y := []int{1, 0, 0}
+	c := Fit(x, y, 2, 3)
+	if got := c.Predict([]float64{1.0}); got != 0 {
+		t.Fatalf("3-NN predicted %d, want majority class 0", got)
+	}
+	c1 := Fit(x, y, 2, 1)
+	if got := c1.Predict([]float64{1.0}); got != 1 {
+		t.Fatalf("1-NN predicted %d, want nearest class 1", got)
+	}
+}
+
+func TestFitPanics(t *testing.T) {
+	x, y := gaussians(10, 4)
+	for name, f := range map[string]func(){
+		"k too large": func() { Fit(x, y, 3, 11) },
+		"k zero":      func() { Fit(x, y, 3, 0) },
+		"bad label":   func() { Fit(x, []int{9, 0, 0, 0, 0, 0, 0, 0, 0, 0}, 3, 1) },
+		"mismatch":    func() { Fit(x, y[:4], 3, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,137 @@
+// Package metrics implements the evaluation measures used throughout the
+// paper: the geometric mean of per-shape relative performance (the score of
+// Figure 4 and Table I) and standard classification accuracy.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"kernelselect/internal/mat"
+)
+
+// GeoMean returns the geometric mean of strictly positive values. It panics
+// on an empty slice and returns an error-free 0 would be misleading for
+// non-positive inputs, so those also panic.
+func GeoMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		panic("metrics: GeoMean of empty slice")
+	}
+	var logSum float64
+	for _, v := range vs {
+		if v <= 0 {
+			panic(fmt.Sprintf("metrics: GeoMean of non-positive value %v", v))
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(vs)))
+}
+
+// Accuracy returns the fraction of positions where pred equals want.
+func Accuracy(pred, want []int) float64 {
+	if len(pred) != len(want) {
+		panic("metrics: Accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		panic("metrics: Accuracy of empty slice")
+	}
+	hits := 0
+	for i, p := range pred {
+		if p == want[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred))
+}
+
+// ArgMax returns the index of the maximum value (first occurrence on ties).
+func ArgMax(vs []float64) int {
+	if len(vs) == 0 {
+		panic("metrics: ArgMax of empty slice")
+	}
+	best := 0
+	for i, v := range vs {
+		if v > vs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MajorityClass returns the most frequent label (smallest label on ties) and
+// its count.
+func MajorityClass(labels []int) (class, count int) {
+	if len(labels) == 0 {
+		panic("metrics: MajorityClass of empty slice")
+	}
+	counts := map[int]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	class, count = labels[0], 0
+	for l, c := range counts {
+		if c > count || (c == count && l < class) {
+			class, count = l, c
+		}
+	}
+	return class, count
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering over
+// the rows of x: s(i) = (b(i) − a(i)) / max(a(i), b(i)) with a(i) the mean
+// intra-cluster distance and b(i) the mean distance to the nearest other
+// cluster. Points labelled -1 (noise) are excluded. It panics unless at
+// least two clusters with members exist.
+func Silhouette(x *mat.Dense, labels []int) float64 {
+	if x.Rows() != len(labels) {
+		panic("metrics: Silhouette length mismatch")
+	}
+	members := map[int][]int{}
+	for i, l := range labels {
+		if l >= 0 {
+			members[l] = append(members[l], i)
+		}
+	}
+	if len(members) < 2 {
+		panic("metrics: Silhouette needs at least two clusters")
+	}
+	dist := func(i, j int) float64 { return math.Sqrt(mat.SqDist(x.Row(i), x.Row(j))) }
+
+	var sum float64
+	var count int
+	for l, ms := range members {
+		for _, i := range ms {
+			var a float64
+			if len(ms) > 1 {
+				for _, j := range ms {
+					if j != i {
+						a += dist(i, j)
+					}
+				}
+				a /= float64(len(ms) - 1)
+			}
+			b := math.Inf(1)
+			for ol, oms := range members {
+				if ol == l {
+					continue
+				}
+				var d float64
+				for _, j := range oms {
+					d += dist(i, j)
+				}
+				d /= float64(len(oms))
+				if d < b {
+					b = d
+				}
+			}
+			if len(ms) > 1 || b > 0 {
+				denom := math.Max(a, b)
+				if denom > 0 {
+					sum += (b - a) / denom
+				}
+			}
+			count++
+		}
+	}
+	return sum / float64(count)
+}

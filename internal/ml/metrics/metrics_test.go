@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kernelselect/internal/mat"
+)
+
+func TestGeoMeanKnown(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean(1,4) = %v, want 2", g)
+	}
+	if g := GeoMean([]float64{3, 3, 3}); math.Abs(g-3) > 1e-12 {
+		t.Fatalf("GeoMean(3,3,3) = %v, want 3", g)
+	}
+}
+
+func TestGeoMeanBounds(t *testing.T) {
+	// Geometric mean lies between min and max.
+	f := func(a, b, c uint16) bool {
+		vs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := GeoMean(vs)
+		lo, hi := vs[0], vs[0]
+		for _, v := range vs {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMeanPanics(t *testing.T) {
+	for _, vs := range [][]float64{nil, {1, 0}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GeoMean(%v) did not panic", vs)
+				}
+			}()
+			GeoMean(vs)
+		}()
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy([]int{1, 2, 3, 4}, []int{1, 2, 0, 4}); a != 0.75 {
+		t.Fatalf("Accuracy = %v, want 0.75", a)
+	}
+}
+
+func TestAccuracyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float64{1, 5, 3}) != 1 {
+		t.Fatal("ArgMax basic")
+	}
+	if ArgMax([]float64{2, 2, 2}) != 0 {
+		t.Fatal("ArgMax tie should pick first")
+	}
+}
+
+func TestMajorityClass(t *testing.T) {
+	c, n := MajorityClass([]int{3, 1, 3, 2, 3, 1})
+	if c != 3 || n != 3 {
+		t.Fatalf("MajorityClass = (%d,%d), want (3,3)", c, n)
+	}
+	// Tie resolves to smallest label.
+	c, _ = MajorityClass([]int{5, 2, 5, 2})
+	if c != 2 {
+		t.Fatalf("tie resolved to %d, want 2", c)
+	}
+}
+
+func TestSilhouetteSeparatedVsMixed(t *testing.T) {
+	// Two tight, far-apart blobs → silhouette near 1; interleaved labels on
+	// the same data → negative or near zero.
+	var rows [][]float64
+	var good, bad []int
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []float64{float64(i) * 0.01, 0})
+		good = append(good, 0)
+		bad = append(bad, i%2)
+	}
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []float64{100 + float64(i)*0.01, 0})
+		good = append(good, 1)
+		bad = append(bad, i%2)
+	}
+	x := mat.FromRows(rows)
+	if s := Silhouette(x, good); s < 0.95 {
+		t.Fatalf("separated silhouette %v, want ≈1", s)
+	}
+	if s := Silhouette(x, bad); s > 0.1 {
+		t.Fatalf("mixed silhouette %v, want ≈0 or negative", s)
+	}
+}
+
+func TestSilhouetteExcludesNoise(t *testing.T) {
+	x := mat.FromRows([][]float64{{0}, {0.1}, {10}, {10.1}, {500}})
+	labels := []int{0, 0, 1, 1, -1}
+	if s := Silhouette(x, labels); s < 0.9 {
+		t.Fatalf("silhouette with noise excluded = %v", s)
+	}
+}
+
+func TestSilhouettePanics(t *testing.T) {
+	x := mat.FromRows([][]float64{{0}, {1}})
+	for name, labels := range map[string][]int{
+		"mismatch":    {0},
+		"one cluster": {0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			Silhouette(x, labels)
+		}()
+	}
+}

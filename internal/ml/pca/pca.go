@@ -1,0 +1,209 @@
+// Package pca implements principal component analysis, used by the paper in
+// two roles: estimating how many kernel configurations a pruned set needs
+// (Figure 3, from the explained-variance spectrum) and providing a reduced
+// coordinate system for k-means clustering (the "PCA + k-means" pruning
+// method).
+//
+// The decomposition uses the Gram trick: for an n×d data matrix with n ≪ d
+// (the tuning dataset is ~150 shapes × 640 configurations), the eigenvectors
+// of the n×n Gram matrix X·Xᵀ yield the principal axes at O(n²d + n³) cost
+// instead of eigensolving the d×d covariance. When d ≤ n the covariance is
+// eigensolved directly.
+package pca
+
+import (
+	"fmt"
+	"math"
+
+	"kernelselect/internal/mat"
+)
+
+// PCA is a fitted decomposition.
+type PCA struct {
+	Mean       []float64  // column means of the training data
+	Components *mat.Dense // k×d, rows are unit-norm principal axes, descending variance
+
+	// ExplainedVariance holds the variance along each retained component;
+	// ExplainedVarianceRatio the same as a fraction of the total variance of
+	// the training data (all components, not just retained ones).
+	ExplainedVariance      []float64
+	ExplainedVarianceRatio []float64
+}
+
+// Fit computes the top-k principal components of x (rows are samples). If
+// k <= 0 or k exceeds the available rank bound min(n-1, d), it is clamped to
+// that bound.
+func Fit(x *mat.Dense, k int) *PCA {
+	n, d := x.Rows(), x.Cols()
+	if n < 2 {
+		panic(fmt.Sprintf("pca: need at least 2 samples, got %d", n))
+	}
+	maxK := n - 1
+	if d < maxK {
+		maxK = d
+	}
+	if k <= 0 || k > maxK {
+		k = maxK
+	}
+
+	mean := mat.ColMeans(x)
+	xc := x.Clone()
+	mat.CenterCols(xc, mean)
+
+	p := &PCA{Mean: mean}
+	if n <= d {
+		p.fitGram(xc, k)
+	} else {
+		p.fitCovariance(xc, k)
+	}
+	return p
+}
+
+// fitGram eigensolves X·Xᵀ (n×n) and maps eigenvectors back to feature space.
+func (p *PCA) fitGram(xc *mat.Dense, k int) {
+	n, d := xc.Rows(), xc.Cols()
+	g := mat.Gram(xc)
+	vals, vecs := mat.EigSym(g)
+
+	var total float64
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+
+	p.Components = mat.NewDense(k, d)
+	p.ExplainedVariance = make([]float64, k)
+	p.ExplainedVarianceRatio = make([]float64, k)
+	for c := 0; c < k; c++ {
+		lambda := vals[c]
+		if lambda < 0 {
+			lambda = 0
+		}
+		p.ExplainedVariance[c] = lambda / float64(n-1)
+		if total > 0 {
+			p.ExplainedVarianceRatio[c] = lambda / total
+		}
+		if lambda <= 1e-12 {
+			continue // zero direction; leave a zero component row
+		}
+		// v_c = Xᵀ·u_c / sqrt(λ_c)
+		u := mat.Col(vecs, c)
+		comp := p.Components.Row(c)
+		for i := 0; i < n; i++ {
+			if u[i] == 0 {
+				continue
+			}
+			mat.Axpy(u[i], xc.Row(i), comp)
+		}
+		mat.Scale(1/math.Sqrt(lambda), comp)
+	}
+}
+
+// fitCovariance eigensolves the d×d covariance directly.
+func (p *PCA) fitCovariance(xc *mat.Dense, k int) {
+	n, d := xc.Rows(), xc.Cols()
+	cov := mat.NewDense(d, d)
+	for i := 0; i < n; i++ {
+		row := xc.Row(i)
+		for a := 0; a < d; a++ {
+			if row[a] == 0 {
+				continue
+			}
+			crow := cov.Row(a)
+			for b := a; b < d; b++ {
+				crow[b] += row[a] * row[b]
+			}
+		}
+	}
+	inv := 1 / float64(n-1)
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			v := cov.At(a, b) * inv
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	vals, vecs := mat.EigSym(cov)
+	var total float64
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	p.Components = mat.NewDense(k, d)
+	p.ExplainedVariance = make([]float64, k)
+	p.ExplainedVarianceRatio = make([]float64, k)
+	for c := 0; c < k; c++ {
+		lambda := vals[c]
+		if lambda < 0 {
+			lambda = 0
+		}
+		p.ExplainedVariance[c] = lambda
+		if total > 0 {
+			p.ExplainedVarianceRatio[c] = lambda / total
+		}
+		copy(p.Components.Row(c), mat.Col(vecs, c))
+	}
+}
+
+// NumComponents returns the number of retained components.
+func (p *PCA) NumComponents() int { return p.Components.Rows() }
+
+// Transform projects rows of x into the component space, returning an
+// n×k matrix of scores.
+func (p *PCA) Transform(x *mat.Dense) *mat.Dense {
+	if x.Cols() != len(p.Mean) {
+		panic(fmt.Sprintf("pca: %d columns, fitted on %d", x.Cols(), len(p.Mean)))
+	}
+	k := p.NumComponents()
+	out := mat.NewDense(x.Rows(), k)
+	centered := make([]float64, x.Cols())
+	for i := 0; i < x.Rows(); i++ {
+		row := x.Row(i)
+		for j := range centered {
+			centered[j] = row[j] - p.Mean[j]
+		}
+		orow := out.Row(i)
+		for c := 0; c < k; c++ {
+			orow[c] = mat.Dot(centered, p.Components.Row(c))
+		}
+	}
+	return out
+}
+
+// InverseTransform maps component-space scores back to the original feature
+// space (the reconstruction from the retained components).
+func (p *PCA) InverseTransform(scores *mat.Dense) *mat.Dense {
+	k := p.NumComponents()
+	if scores.Cols() != k {
+		panic(fmt.Sprintf("pca: %d score columns, have %d components", scores.Cols(), k))
+	}
+	d := len(p.Mean)
+	out := mat.NewDense(scores.Rows(), d)
+	for i := 0; i < scores.Rows(); i++ {
+		row := out.Row(i)
+		copy(row, p.Mean)
+		for c := 0; c < k; c++ {
+			if s := scores.At(i, c); s != 0 {
+				mat.Axpy(s, p.Components.Row(c), row)
+			}
+		}
+	}
+	return out
+}
+
+// ComponentsForVariance returns the smallest number of leading components
+// whose cumulative explained-variance ratio reaches the threshold, or the
+// retained count if the threshold is never reached. This is the calculation
+// behind the paper's "4 components cover 80%, 8 cover 90%, 15 cover 95%".
+func (p *PCA) ComponentsForVariance(threshold float64) int {
+	var cum float64
+	for i, r := range p.ExplainedVarianceRatio {
+		cum += r
+		if cum >= threshold {
+			return i + 1
+		}
+	}
+	return p.NumComponents()
+}

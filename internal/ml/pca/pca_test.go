@@ -1,0 +1,164 @@
+package pca
+
+import (
+	"math"
+	"testing"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/xrand"
+)
+
+// anisotropicData generates samples along a dominant direction with small
+// isotropic noise, so the leading component is known.
+func anisotropicData(n, d int, seed uint64) *mat.Dense {
+	r := xrand.New(seed)
+	dir := make([]float64, d)
+	for j := range dir {
+		dir[j] = r.NormFloat64()
+	}
+	mat.Scale(1/mat.Norm2(dir), dir)
+	x := mat.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		t := 10 * r.NormFloat64()
+		row := x.Row(i)
+		for j := range row {
+			row[j] = t*dir[j] + 0.1*r.NormFloat64()
+		}
+	}
+	return x
+}
+
+func TestLeadingComponentRecovered(t *testing.T) {
+	for _, dims := range [][2]int{{50, 8}, {10, 40}} { // covariance path and Gram path
+		x := anisotropicData(dims[0], dims[1], 42)
+		p := Fit(x, 3)
+		// The dominant ratio should dwarf the rest.
+		if p.ExplainedVarianceRatio[0] < 0.9 {
+			t.Fatalf("n=%d d=%d: leading ratio %v < 0.9", dims[0], dims[1], p.ExplainedVarianceRatio[0])
+		}
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	x := anisotropicData(20, 30, 7)
+	p := Fit(x, 5)
+	for a := 0; a < p.NumComponents(); a++ {
+		ca := p.Components.Row(a)
+		if math.Abs(mat.Norm2(ca)-1) > 1e-8 {
+			t.Fatalf("component %d norm %v", a, mat.Norm2(ca))
+		}
+		for b := a + 1; b < p.NumComponents(); b++ {
+			if dot := mat.Dot(ca, p.Components.Row(b)); math.Abs(dot) > 1e-7 {
+				t.Fatalf("components %d,%d not orthogonal (%v)", a, b, dot)
+			}
+		}
+	}
+}
+
+func TestRatiosDescendAndSumBelowOne(t *testing.T) {
+	x := anisotropicData(30, 12, 9)
+	p := Fit(x, 0) // all components
+	var sum float64
+	for i, r := range p.ExplainedVarianceRatio {
+		if r < 0 || r > 1 {
+			t.Fatalf("ratio %v out of range", r)
+		}
+		if i > 0 && r > p.ExplainedVarianceRatio[i-1]+1e-12 {
+			t.Fatalf("ratios not descending at %d", i)
+		}
+		sum += r
+	}
+	if sum > 1+1e-9 {
+		t.Fatalf("ratio sum %v > 1", sum)
+	}
+	if sum < 0.999 { // full decomposition accounts for everything
+		t.Fatalf("full decomposition ratio sum %v < 1", sum)
+	}
+}
+
+func TestGramAndCovarianceAgree(t *testing.T) {
+	// A square-ish dataset can be fitted through either path; the explained
+	// variances must agree.
+	x := anisotropicData(16, 16, 13)
+	var g, c PCA
+	g.Mean = mat.ColMeans(x)
+	xc := x.Clone()
+	mat.CenterCols(xc, g.Mean)
+	g.fitGram(xc, 5)
+	c.Mean = g.Mean
+	c.fitCovariance(xc, 5)
+	for i := 0; i < 5; i++ {
+		rel := math.Abs(g.ExplainedVariance[i]-c.ExplainedVariance[i]) /
+			math.Max(c.ExplainedVariance[i], 1e-12)
+		if rel > 1e-6 {
+			t.Fatalf("component %d: gram %v vs cov %v", i, g.ExplainedVariance[i], c.ExplainedVariance[i])
+		}
+	}
+}
+
+func TestTransformInverseTransformReconstruction(t *testing.T) {
+	// With all components retained, inverse(transform(x)) == x.
+	x := anisotropicData(12, 6, 21)
+	p := Fit(x, 0)
+	rec := p.InverseTransform(p.Transform(x))
+	for i := 0; i < x.Rows(); i++ {
+		for j := 0; j < x.Cols(); j++ {
+			if math.Abs(rec.At(i, j)-x.At(i, j)) > 1e-6 {
+				t.Fatalf("reconstruction error at (%d,%d): %v vs %v", i, j, rec.At(i, j), x.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTransformVarianceMatchesExplained(t *testing.T) {
+	x := anisotropicData(40, 10, 33)
+	p := Fit(x, 4)
+	scores := p.Transform(x)
+	for c := 0; c < 4; c++ {
+		col := mat.Col(scores, c)
+		var mean float64
+		for _, v := range col {
+			mean += v
+		}
+		mean /= float64(len(col))
+		var v float64
+		for _, s := range col {
+			v += (s - mean) * (s - mean)
+		}
+		v /= float64(len(col) - 1)
+		rel := math.Abs(v-p.ExplainedVariance[c]) / math.Max(p.ExplainedVariance[c], 1e-12)
+		if rel > 1e-6 {
+			t.Fatalf("component %d: score variance %v vs explained %v", c, v, p.ExplainedVariance[c])
+		}
+	}
+}
+
+func TestComponentsForVariance(t *testing.T) {
+	p := &PCA{ExplainedVarianceRatio: []float64{0.5, 0.3, 0.1, 0.05}, Components: mat.NewDense(4, 4)}
+	if got := p.ComponentsForVariance(0.5); got != 1 {
+		t.Fatalf("50%% threshold = %d comps, want 1", got)
+	}
+	if got := p.ComponentsForVariance(0.8); got != 2 {
+		t.Fatalf("80%% threshold = %d comps, want 2", got)
+	}
+	if got := p.ComponentsForVariance(0.99); got != 4 {
+		t.Fatalf("unreachable threshold = %d comps, want 4 (all)", got)
+	}
+}
+
+func TestFitClampsK(t *testing.T) {
+	x := anisotropicData(5, 10, 3)
+	p := Fit(x, 100)
+	if p.NumComponents() != 4 { // min(n-1, d)
+		t.Fatalf("clamped components = %d, want 4", p.NumComponents())
+	}
+}
+
+func TestFitPanicsOnTooFewSamples(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single-sample fit accepted")
+		}
+	}()
+	Fit(mat.NewDense(1, 3), 1)
+}

@@ -1,0 +1,55 @@
+// Package scale provides feature standardization (zero mean, unit variance
+// per column), the preprocessing step several of the classifiers in this
+// repository rely on.
+package scale
+
+import (
+	"fmt"
+
+	"kernelselect/internal/mat"
+)
+
+// Scaler standardizes features using statistics captured by Fit.
+type Scaler struct {
+	Means, Stds []float64
+}
+
+// Fit computes per-column means and standard deviations of x. Zero-variance
+// columns scale by 1 (they become identically zero after centering).
+func Fit(x *mat.Dense) *Scaler {
+	means := mat.ColMeans(x)
+	return &Scaler{Means: means, Stds: mat.ColStds(x, means)}
+}
+
+// Transform returns a standardized copy of x.
+func (s *Scaler) Transform(x *mat.Dense) *mat.Dense {
+	if x.Cols() != len(s.Means) {
+		panic(fmt.Sprintf("scale: %d columns, scaler fitted on %d", x.Cols(), len(s.Means)))
+	}
+	out := x.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = (row[j] - s.Means[j]) / s.Stds[j]
+		}
+	}
+	return out
+}
+
+// TransformRow standardizes a single feature vector.
+func (s *Scaler) TransformRow(v []float64) []float64 {
+	if len(v) != len(s.Means) {
+		panic(fmt.Sprintf("scale: row length %d, scaler fitted on %d", len(v), len(s.Means)))
+	}
+	out := make([]float64, len(v))
+	for j, x := range v {
+		out[j] = (x - s.Means[j]) / s.Stds[j]
+	}
+	return out
+}
+
+// FitTransform fits a scaler on x and returns both.
+func FitTransform(x *mat.Dense) (*Scaler, *mat.Dense) {
+	s := Fit(x)
+	return s, s.Transform(x)
+}

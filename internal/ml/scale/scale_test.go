@@ -1,0 +1,77 @@
+package scale
+
+import (
+	"math"
+	"testing"
+
+	"kernelselect/internal/mat"
+)
+
+func TestFitTransformStandardizes(t *testing.T) {
+	x := mat.FromRows([][]float64{
+		{1, 100, 5},
+		{2, 200, 5},
+		{3, 300, 5},
+		{4, 400, 5},
+	})
+	_, z := FitTransform(x)
+	means := mat.ColMeans(z)
+	for j, m := range means {
+		if math.Abs(m) > 1e-12 {
+			t.Fatalf("column %d mean %v after scaling", j, m)
+		}
+	}
+	stds := mat.ColStds(z, means)
+	if math.Abs(stds[0]-1) > 1e-12 || math.Abs(stds[1]-1) > 1e-12 {
+		t.Fatalf("scaled stds = %v", stds)
+	}
+	// Constant column becomes identically zero.
+	for i := 0; i < z.Rows(); i++ {
+		if z.At(i, 2) != 0 {
+			t.Fatal("constant column not zeroed")
+		}
+	}
+}
+
+func TestTransformDoesNotMutate(t *testing.T) {
+	x := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	s := Fit(x)
+	_ = s.Transform(x)
+	if x.At(0, 0) != 1 {
+		t.Fatal("Transform mutated its input")
+	}
+}
+
+func TestTransformRowMatchesTransform(t *testing.T) {
+	x := mat.FromRows([][]float64{{1, 10}, {2, 20}, {3, 35}})
+	s := Fit(x)
+	z := s.Transform(x)
+	for i := 0; i < x.Rows(); i++ {
+		row := s.TransformRow(x.Row(i))
+		for j := range row {
+			if row[j] != z.At(i, j) {
+				t.Fatalf("TransformRow mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	s := Fit(mat.FromRows([][]float64{{1, 2}, {3, 4}}))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Transform with wrong width did not panic")
+			}
+		}()
+		s.Transform(mat.NewDense(2, 3))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("TransformRow with wrong length did not panic")
+			}
+		}()
+		s.TransformRow([]float64{1})
+	}()
+}

@@ -1,0 +1,341 @@
+// Package svm implements C-support-vector classification with linear and
+// RBF kernels, trained one-vs-rest with the SMO dual solver — the
+// "LinearSVM" and "RadialSVM" rows of the paper's Table I.
+//
+// The RBF default follows the scikit-learn convention of the paper's era
+// (gamma = 1/n_features, the pre-0.22 "auto" default). On raw matrix-size
+// features, whose pairwise squared distances are astronomically large, that
+// gamma drives every off-diagonal kernel entry to zero: the kernel matrix
+// degenerates to the identity, each one-vs-rest decision value collapses to
+// its intercept, and the intercepts rank classes by frequency — so the
+// classifier predicts the majority class everywhere. That is exactly why
+// the paper's RadialSVM sits at ≈55% in Table I while the other classifiers
+// remain competitive; the solver reproduces the mechanism rather than
+// hard-coding the outcome.
+package svm
+
+import (
+	"fmt"
+	"math"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/xrand"
+)
+
+// Kernel computes k(a, b).
+type Kernel func(a, b []float64) float64
+
+// LinearKernel is the inner-product kernel.
+func LinearKernel(a, b []float64) float64 { return mat.Dot(a, b) }
+
+// RBFKernel returns the Gaussian kernel with width gamma.
+func RBFKernel(gamma float64) Kernel {
+	return func(a, b []float64) float64 {
+		return math.Exp(-gamma * mat.SqDist(a, b))
+	}
+}
+
+// smoOptions are the solver parameters shared by both kernels.
+type smoOptions struct {
+	c         float64
+	tol       float64
+	maxPasses int
+	seed      uint64
+}
+
+// binaryModel is one fitted binary C-SVC: the dual coefficients α_i·y_i over
+// the training points plus the intercept.
+type binaryModel struct {
+	coef []float64 // α_i · y_i
+	b    float64
+}
+
+// smo trains a binary C-SVC with the simplified SMO algorithm (Platt).
+// y must be ±1. k is the precomputed kernel matrix of the training data.
+func smo(k *mat.Dense, y []float64, o smoOptions) binaryModel {
+	n := len(y)
+	alpha := make([]float64, n)
+	b := 0.0
+	rng := xrand.New(o.seed)
+
+	f := func(i int) float64 {
+		var s float64
+		ki := k.Row(i)
+		for j, a := range alpha {
+			if a != 0 {
+				s += a * y[j] * ki[j]
+			}
+		}
+		return s + b
+	}
+
+	passes := 0
+	for passes < o.maxPasses {
+		numChanged := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - y[i]
+			if !((y[i]*ei < -o.tol && alpha[i] < o.c) || (y[i]*ei > o.tol && alpha[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := f(j) - y[j]
+			ai, aj := alpha[i], alpha[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(o.c, o.c+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-o.c)
+				hi = math.Min(o.c, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*k.At(i, j) - k.At(i, i) - k.At(j, j)
+			if eta >= 0 {
+				continue
+			}
+			ajNew := aj - y[j]*(ei-ej)/eta
+			if ajNew > hi {
+				ajNew = hi
+			} else if ajNew < lo {
+				ajNew = lo
+			}
+			if math.Abs(ajNew-aj) < 1e-5 {
+				continue
+			}
+			aiNew := ai + y[i]*y[j]*(aj-ajNew)
+			alpha[i], alpha[j] = aiNew, ajNew
+
+			b1 := b - ei - y[i]*(aiNew-ai)*k.At(i, i) - y[j]*(ajNew-aj)*k.At(i, j)
+			b2 := b - ej - y[i]*(aiNew-ai)*k.At(i, j) - y[j]*(ajNew-aj)*k.At(j, j)
+			switch {
+			case aiNew > 0 && aiNew < o.c:
+				b = b1
+			case ajNew > 0 && ajNew < o.c:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+			numChanged++
+		}
+		if numChanged == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	m := binaryModel{coef: make([]float64, n), b: b}
+	for i, a := range alpha {
+		m.coef[i] = a * y[i]
+	}
+	return m
+}
+
+// ovr trains one binary model per class against the rest.
+func ovr(k *mat.Dense, labels []int, classes int, o smoOptions) []binaryModel {
+	n := len(labels)
+	models := make([]binaryModel, classes)
+	y := make([]float64, n)
+	for c := 0; c < classes; c++ {
+		for i, l := range labels {
+			if l == c {
+				y[i] = 1
+			} else {
+				y[i] = -1
+			}
+		}
+		oc := o
+		oc.seed = o.seed + uint64(c)*0x9e3779b9
+		models[c] = smo(k, y, oc)
+	}
+	return models
+}
+
+func kernelMatrix(x *mat.Dense, kern Kernel) *mat.Dense {
+	n := x.Rows()
+	k := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := kern(x.Row(i), x.Row(j))
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	return k
+}
+
+// ---------------------------------------------------------------------------
+// Linear SVM
+// ---------------------------------------------------------------------------
+
+// LinearOptions configure the linear SVM. The zero value selects defaults.
+type LinearOptions struct {
+	C         float64 // box constraint; default 1
+	Tol       float64 // KKT tolerance; default 1e-3
+	MaxPasses int     // SMO no-change passes before stopping; default 10
+	Seed      uint64
+}
+
+func (o LinearOptions) smo() smoOptions {
+	s := smoOptions{c: o.C, tol: o.Tol, maxPasses: o.MaxPasses, seed: o.Seed}
+	if s.c <= 0 {
+		s.c = 1
+	}
+	if s.tol <= 0 {
+		s.tol = 1e-3
+	}
+	if s.maxPasses <= 0 {
+		s.maxPasses = 10
+	}
+	return s
+}
+
+// Linear is a fitted one-vs-rest linear SVM. The dual solution is collapsed
+// to explicit weights for O(d) prediction.
+type Linear struct {
+	W       *mat.Dense // classes×d
+	B       []float64
+	Classes int
+}
+
+// FitLinear trains a one-vs-rest linear C-SVC with SMO.
+func FitLinear(x *mat.Dense, y []int, classes int, opts LinearOptions) *Linear {
+	checkLabels(x, y, classes)
+	k := kernelMatrix(x, LinearKernel)
+	models := ovr(k, y, classes, opts.smo())
+
+	m := &Linear{W: mat.NewDense(classes, x.Cols()), B: make([]float64, classes), Classes: classes}
+	for c, bm := range models {
+		w := m.W.Row(c)
+		for i, coef := range bm.coef {
+			if coef != 0 {
+				mat.Axpy(coef, x.Row(i), w)
+			}
+		}
+		m.B[c] = bm.b
+	}
+	return m
+}
+
+// Decision returns the per-class decision values for x.
+func (m *Linear) Decision(x []float64) []float64 {
+	out := make([]float64, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		out[c] = mat.Dot(m.W.Row(c), x) + m.B[c]
+	}
+	return out
+}
+
+// Predict returns the class with the largest decision value.
+func (m *Linear) Predict(x []float64) int { return argMax(m.Decision(x)) }
+
+// ---------------------------------------------------------------------------
+// RBF SVM
+// ---------------------------------------------------------------------------
+
+// RBFOptions configure the RBF-kernel SVM. The zero value selects defaults.
+type RBFOptions struct {
+	C         float64 // box constraint; default 1
+	Gamma     float64 // kernel width; default 1/n_features (sklearn pre-0.22 "auto")
+	Tol       float64 // KKT tolerance; default 1e-3
+	MaxPasses int     // default 10
+	Seed      uint64
+}
+
+func (o RBFOptions) smo() smoOptions {
+	s := smoOptions{c: o.C, tol: o.Tol, maxPasses: o.MaxPasses, seed: o.Seed}
+	if s.c <= 0 {
+		s.c = 1
+	}
+	if s.tol <= 0 {
+		s.tol = 1e-3
+	}
+	if s.maxPasses <= 0 {
+		s.maxPasses = 10
+	}
+	return s
+}
+
+// RBF is a fitted one-vs-rest RBF-kernel SVM; training points are retained
+// for kernel evaluation at prediction time.
+type RBF struct {
+	X       *mat.Dense
+	Coef    *mat.Dense // classes×n dual coefficients (α·y)
+	B       []float64
+	Gamma   float64
+	Classes int
+}
+
+// FitRBF trains a one-vs-rest RBF C-SVC with SMO.
+func FitRBF(x *mat.Dense, y []int, classes int, opts RBFOptions) *RBF {
+	checkLabels(x, y, classes)
+	gamma := opts.Gamma
+	if gamma <= 0 {
+		gamma = 1 / float64(x.Cols())
+	}
+	k := kernelMatrix(x, RBFKernel(gamma))
+	models := ovr(k, y, classes, opts.smo())
+
+	m := &RBF{
+		X:       x.Clone(),
+		Coef:    mat.NewDense(classes, x.Rows()),
+		B:       make([]float64, classes),
+		Gamma:   gamma,
+		Classes: classes,
+	}
+	for c, bm := range models {
+		copy(m.Coef.Row(c), bm.coef)
+		m.B[c] = bm.b
+	}
+	return m
+}
+
+// Decision returns the per-class decision values for x.
+func (m *RBF) Decision(x []float64) []float64 {
+	n := m.X.Rows()
+	kx := make([]float64, n)
+	kern := RBFKernel(m.Gamma)
+	for j := 0; j < n; j++ {
+		kx[j] = kern(m.X.Row(j), x)
+	}
+	out := make([]float64, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		out[c] = mat.Dot(m.Coef.Row(c), kx) + m.B[c]
+	}
+	return out
+}
+
+// Predict returns the class with the largest decision value.
+func (m *RBF) Predict(x []float64) int { return argMax(m.Decision(x)) }
+
+func checkLabels(x *mat.Dense, y []int, classes int) {
+	if x.Rows() != len(y) {
+		panic(fmt.Sprintf("svm: %d feature rows vs %d labels", x.Rows(), len(y)))
+	}
+	if x.Rows() == 0 {
+		panic("svm: empty training set")
+	}
+	if classes <= 0 {
+		panic("svm: classes must be positive")
+	}
+	for _, l := range y {
+		if l < 0 || l >= classes {
+			panic(fmt.Sprintf("svm: label %d out of [0,%d)", l, classes))
+		}
+	}
+}
+
+func argMax(vs []float64) int {
+	best := 0
+	for i, v := range vs {
+		if v > vs[best] {
+			best = i
+		}
+	}
+	return best
+}

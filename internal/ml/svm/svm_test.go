@@ -1,0 +1,166 @@
+package svm
+
+import (
+	"testing"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/ml/metrics"
+	"kernelselect/internal/xrand"
+)
+
+// separable builds linearly separable 2-class data with margin.
+func separable(n int, seed uint64) (*mat.Dense, []int) {
+	r := xrand.New(seed)
+	x := mat.NewDense(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		y[i] = c
+		off := -2.0
+		if c == 1 {
+			off = 2
+		}
+		x.Set(i, 0, off+0.5*r.NormFloat64())
+		x.Set(i, 1, off+0.5*r.NormFloat64())
+	}
+	return x, y
+}
+
+// threeBlobs builds three linearly separable classes.
+func threeBlobs(n int, seed uint64) (*mat.Dense, []int) {
+	r := xrand.New(seed)
+	centers := [][2]float64{{0, 0}, {6, 0}, {0, 6}}
+	x := mat.NewDense(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		y[i] = c
+		x.Set(i, 0, centers[c][0]+0.6*r.NormFloat64())
+		x.Set(i, 1, centers[c][1]+0.6*r.NormFloat64())
+	}
+	return x, y
+}
+
+func TestLinearSeparable(t *testing.T) {
+	x, y := separable(100, 1)
+	m := FitLinear(x, y, 2, LinearOptions{Seed: 2})
+	pred := make([]int, len(y))
+	for i := range y {
+		pred[i] = m.Predict(x.Row(i))
+	}
+	if acc := metrics.Accuracy(pred, y); acc < 0.98 {
+		t.Fatalf("linear SVM accuracy %v < 0.98 on separable data", acc)
+	}
+}
+
+func TestLinearMulticlass(t *testing.T) {
+	x, y := threeBlobs(150, 3)
+	m := FitLinear(x, y, 3, LinearOptions{Seed: 4})
+	xt, yt := threeBlobs(90, 55)
+	pred := make([]int, len(yt))
+	for i := range yt {
+		pred[i] = m.Predict(xt.Row(i))
+	}
+	if acc := metrics.Accuracy(pred, yt); acc < 0.95 {
+		t.Fatalf("OvR linear SVM accuracy %v < 0.95", acc)
+	}
+}
+
+func TestLinearDeterministic(t *testing.T) {
+	x, y := separable(60, 5)
+	a := FitLinear(x, y, 2, LinearOptions{Seed: 9})
+	b := FitLinear(x, y, 2, LinearOptions{Seed: 9})
+	for c := 0; c < 2; c++ {
+		for j := 0; j < 2; j++ {
+			if a.W.At(c, j) != b.W.At(c, j) {
+				t.Fatal("same seed produced different weights")
+			}
+		}
+	}
+}
+
+func TestRBFSolvesXor(t *testing.T) {
+	// XOR is not linearly separable; an RBF SVM with a sane gamma separates
+	// it exactly.
+	var rows [][]float64
+	var y []int
+	r := xrand.New(6)
+	for i := 0; i < 80; i++ {
+		a, b := float64(i%2), float64((i/2)%2)
+		rows = append(rows, []float64{a + 0.1*r.NormFloat64(), b + 0.1*r.NormFloat64()})
+		cls := 0
+		if (a == 1) != (b == 1) {
+			cls = 1
+		}
+		y = append(y, cls)
+	}
+	x := mat.FromRows(rows)
+	m := FitRBF(x, y, 2, RBFOptions{Gamma: 2, Seed: 7})
+	pred := make([]int, len(y))
+	for i := range y {
+		pred[i] = m.Predict(x.Row(i))
+	}
+	if acc := metrics.Accuracy(pred, y); acc < 0.95 {
+		t.Fatalf("RBF SVM XOR accuracy %v < 0.95", acc)
+	}
+}
+
+func TestRBFTinyGammaCollapsesToMajorityClass(t *testing.T) {
+	// The paper-era sklearn default gamma (1/n_features) on raw matrix-size
+	// features zeroes all off-diagonal kernel entries; the classifier must
+	// then predict the majority class everywhere (Table I's ~55% RadialSVM
+	// row). Reproduce the mechanism: huge feature scales + default gamma.
+	r := xrand.New(8)
+	n := 60
+	x := mat.NewDense(n, 3)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, float64(1+r.Intn(1_000_000)))
+		x.Set(i, 1, float64(1+r.Intn(10_000)))
+		x.Set(i, 2, float64(1+r.Intn(5_000)))
+		if i%3 == 0 {
+			y[i] = 1 // minority
+		}
+	}
+	m := FitRBF(x, y, 2, RBFOptions{Seed: 9}) // default gamma = 1/3
+	maj, _ := metrics.MajorityClass(y)
+	for trial := 0; trial < 20; trial++ {
+		probe := []float64{float64(1 + r.Intn(1_000_000)), float64(1 + r.Intn(10_000)), float64(1 + r.Intn(5_000))}
+		if got := m.Predict(probe); got != maj {
+			t.Fatalf("degenerate RBF predicted %d, want majority %d", got, maj)
+		}
+	}
+}
+
+func TestDecisionLengths(t *testing.T) {
+	x, y := threeBlobs(30, 10)
+	lin := FitLinear(x, y, 3, LinearOptions{})
+	if len(lin.Decision(x.Row(0))) != 3 {
+		t.Fatal("linear decision length")
+	}
+	rbf := FitRBF(x, y, 3, RBFOptions{Gamma: 1})
+	if len(rbf.Decision(x.Row(0))) != 3 {
+		t.Fatal("rbf decision length")
+	}
+}
+
+func TestFitPanicsOnBadLabels(t *testing.T) {
+	x, _ := separable(10, 11)
+	bad := []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 7}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("linear: bad label accepted")
+			}
+		}()
+		FitLinear(x, bad, 2, LinearOptions{})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("rbf: bad label accepted")
+			}
+		}()
+		FitRBF(x, bad, 2, RBFOptions{})
+	}()
+}

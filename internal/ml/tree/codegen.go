@@ -1,0 +1,55 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GenGo renders a fitted classifier as a standalone Go function of nested if
+// statements — the deployment form Section IV of the paper argues for:
+// "decision trees can be implemented as a series of nested if statements and
+// so are a good target for deployment".
+//
+// funcName is the generated function's name and featureNames label the
+// inputs (one per feature column used in training; referencing a feature the
+// tree never splits on is fine). The generated function returns the class
+// index.
+func (c *Classifier) GenGo(funcName string, featureNames []string) (string, error) {
+	maxFeature := maxFeatureIndex(c.Root)
+	if maxFeature >= len(featureNames) {
+		return "", fmt.Errorf("tree: tree uses feature %d but only %d names given", maxFeature, len(featureNames))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s selects a kernel configuration index from the problem\n", funcName)
+	fmt.Fprintf(&b, "// dimensions. Generated from a fitted decision tree; do not edit.\n")
+	fmt.Fprintf(&b, "func %s(%s float64) int {\n", funcName, strings.Join(featureNames, ", "))
+	genNode(&b, c.Root, featureNames, 1)
+	fmt.Fprintf(&b, "}\n")
+	return b.String(), nil
+}
+
+func genNode(b *strings.Builder, n *Node, names []string, indent int) {
+	pad := strings.Repeat("\t", indent)
+	if n.IsLeaf {
+		fmt.Fprintf(b, "%sreturn %d\n", pad, n.Class)
+		return
+	}
+	fmt.Fprintf(b, "%sif %s <= %v {\n", pad, names[n.Feature], n.Threshold)
+	genNode(b, n.Left, names, indent+1)
+	fmt.Fprintf(b, "%s}\n", pad)
+	genNode(b, n.Right, names, indent)
+}
+
+func maxFeatureIndex(n *Node) int {
+	if n.IsLeaf {
+		return -1
+	}
+	m := n.Feature
+	if l := maxFeatureIndex(n.Left); l > m {
+		m = l
+	}
+	if r := maxFeatureIndex(n.Right); r > m {
+		m = r
+	}
+	return m
+}

@@ -1,0 +1,41 @@
+package tree
+
+// FeatureImportances returns the impurity-decrease importance of each
+// feature (scikit-learn's Gini importance): the total extensive impurity
+// decrease contributed by splits on that feature, normalised to sum to 1.
+// numFeatures must cover every feature index the tree splits on.
+func (c *Classifier) FeatureImportances(numFeatures int) []float64 {
+	return importances(c.Root, numFeatures)
+}
+
+// FeatureImportances is the regression-tree analogue (SSE decrease).
+func (r *Regressor) FeatureImportances(numFeatures int) []float64 {
+	return importances(r.Root, numFeatures)
+}
+
+func importances(root *Node, numFeatures int) []float64 {
+	imp := make([]float64, numFeatures)
+	accumulateImportance(root, imp)
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+func accumulateImportance(n *Node, imp []float64) {
+	if n == nil || n.IsLeaf {
+		return
+	}
+	gain := n.Impurity - n.Left.Impurity - n.Right.Impurity
+	if gain > 0 {
+		imp[n.Feature] += gain
+	}
+	accumulateImportance(n.Left, imp)
+	accumulateImportance(n.Right, imp)
+}

@@ -1,0 +1,479 @@
+// Package tree implements CART decision trees in the two roles the paper
+// uses them:
+//
+//   - a multi-output Regressor mapping matrix sizes to the full vector of
+//     normalized per-configuration performance; limiting its leaf count
+//     (MaxLeaves) turns the leaves into cluster representatives, the paper's
+//     best-performing configuration-pruning method (Section III);
+//   - a Classifier mapping matrix sizes to the best configuration among a
+//     pruned set, the paper's recommended runtime selection method
+//     (Section IV), including generation of the "series of nested if
+//     statements" deployment form (see codegen.go).
+//
+// Growth is best-first (expand the leaf with the largest impurity decrease
+// first), matching scikit-learn's behaviour when max_leaf_nodes is set — the
+// regime every experiment in the paper runs in.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/xrand"
+)
+
+// Node is one tree node. Internal nodes route on Feature/Threshold
+// (x[Feature] <= Threshold goes left); leaves carry the prediction.
+type Node struct {
+	Feature   int
+	Threshold float64
+	Left      *Node
+	Right     *Node
+
+	IsLeaf   bool
+	Value    []float64 // regression: mean target vector of the leaf
+	Class    int       // classification: majority class of the leaf
+	Samples  int
+	Impurity float64 // extensive impurity (SSE, or n·Gini)
+}
+
+// Options configure tree growth. The zero value grows an unrestricted tree
+// on all features.
+type Options struct {
+	MaxLeaves      int    // maximum leaf count (0 = unlimited)
+	MaxDepth       int    // maximum depth (0 = unlimited; root is depth 0)
+	MinSamplesLeaf int    // minimum samples per leaf (0 → 1)
+	MaxFeatures    int    // features considered per split (0 = all); <len(features) requires Seed-driven sampling
+	Seed           uint64 // RNG seed for feature subsampling
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSamplesLeaf <= 0 {
+		o.MinSamplesLeaf = 1
+	}
+	return o
+}
+
+// target abstracts the two CART objectives over a row subset.
+type target interface {
+	// impurity returns the extensive impurity of the rows (SSE or n·Gini).
+	impurity(rows []int) float64
+	// leaf fills a leaf node's prediction from the rows.
+	leaf(n *Node, rows []int)
+	// bestThreshold scans the rows sorted by feature value and returns the
+	// best split position (impurity sum of both sides) honouring
+	// minSamplesLeaf. ok is false if no valid split exists.
+	bestThreshold(sorted []int, values []float64, minLeaf int) (splitAt int, totalImpurity float64, ok bool)
+}
+
+// grower holds shared state for best-first growth.
+type grower struct {
+	x    *mat.Dense
+	tgt  target
+	opts Options
+	rng  *xrand.Rand
+}
+
+type candidate struct {
+	node  *Node
+	rows  []int
+	depth int
+	// Best split found for this node.
+	feature    int
+	threshold  float64
+	leftRows   []int
+	rightRows  []int
+	gain       float64
+	splittable bool
+}
+
+// grow builds a tree over the given rows.
+func (g *grower) grow(rows []int) *Node {
+	root := &Node{}
+	g.makeLeaf(root, rows)
+	frontier := []*candidate{g.candidate(root, rows, 0)}
+	leaves := 1
+
+	for {
+		if g.opts.MaxLeaves > 0 && leaves >= g.opts.MaxLeaves {
+			break
+		}
+		// Pop the candidate with the largest gain.
+		best := -1
+		for i, c := range frontier {
+			if !c.splittable {
+				continue
+			}
+			if best == -1 || c.gain > frontier[best].gain {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := frontier[best]
+		frontier = append(frontier[:best], frontier[best+1:]...)
+
+		n := c.node
+		n.IsLeaf = false
+		n.Feature = c.feature
+		n.Threshold = c.threshold
+		n.Left = &Node{}
+		n.Right = &Node{}
+		g.makeLeaf(n.Left, c.leftRows)
+		g.makeLeaf(n.Right, c.rightRows)
+		frontier = append(frontier,
+			g.candidate(n.Left, c.leftRows, c.depth+1),
+			g.candidate(n.Right, c.rightRows, c.depth+1),
+		)
+		leaves++
+	}
+	return root
+}
+
+func (g *grower) makeLeaf(n *Node, rows []int) {
+	n.IsLeaf = true
+	n.Samples = len(rows)
+	n.Impurity = g.tgt.impurity(rows)
+	g.tgt.leaf(n, rows)
+}
+
+// candidate computes the best split of a node, if any.
+func (g *grower) candidate(n *Node, rows []int, depth int) *candidate {
+	c := &candidate{node: n, rows: rows, depth: depth}
+	if g.opts.MaxDepth > 0 && depth >= g.opts.MaxDepth {
+		return c
+	}
+	if len(rows) < 2*g.opts.MinSamplesLeaf || n.Impurity <= 1e-12 {
+		return c
+	}
+
+	nf := g.x.Cols()
+	features := make([]int, nf)
+	for i := range features {
+		features[i] = i
+	}
+	if g.opts.MaxFeatures > 0 && g.opts.MaxFeatures < nf {
+		g.rng.Shuffle(nf, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:g.opts.MaxFeatures]
+	}
+
+	// Accept any valid split, including zero-gain ones: splitting an impure
+	// node never increases the weighted child impurity, and zero-gain splits
+	// are sometimes necessary progress (e.g. XOR-structured data), exactly
+	// as in scikit-learn with min_impurity_decrease = 0.
+	bestImpurity := math.Inf(1)
+	found := false
+	sorted := make([]int, len(rows))
+	values := make([]float64, len(rows))
+	for _, f := range features {
+		copy(sorted, rows)
+		sort.Slice(sorted, func(a, b int) bool {
+			return g.x.At(sorted[a], f) < g.x.At(sorted[b], f)
+		})
+		for i, r := range sorted {
+			values[i] = g.x.At(r, f)
+		}
+		splitAt, imp, ok := g.tgt.bestThreshold(sorted, values, g.opts.MinSamplesLeaf)
+		if !ok || imp >= bestImpurity {
+			continue
+		}
+		found = true
+		bestImpurity = imp
+		c.feature = f
+		c.threshold = (values[splitAt-1] + values[splitAt]) / 2
+		c.leftRows = append(c.leftRows[:0], sorted[:splitAt]...)
+		c.rightRows = append(c.rightRows[:0], sorted[splitAt:]...)
+		// Defensive copies: sorted is reused for the next feature.
+		c.leftRows = append([]int(nil), c.leftRows...)
+		c.rightRows = append([]int(nil), c.rightRows...)
+	}
+	if found {
+		c.splittable = true
+		c.gain = n.Impurity - bestImpurity
+		if c.gain < 0 {
+			c.gain = 0
+		}
+	}
+	return c
+}
+
+// predictNode routes a feature vector to its leaf.
+func predictNode(n *Node, x []float64) *Node {
+	for !n.IsLeaf {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n
+}
+
+// collectLeaves appends leaves in deterministic depth-first (left-right)
+// order.
+func collectLeaves(n *Node, out []*Node) []*Node {
+	if n.IsLeaf {
+		return append(out, n)
+	}
+	out = collectLeaves(n.Left, out)
+	return collectLeaves(n.Right, out)
+}
+
+func countLeaves(n *Node) int {
+	if n.IsLeaf {
+		return 1
+	}
+	return countLeaves(n.Left) + countLeaves(n.Right)
+}
+
+func depthOf(n *Node) int {
+	if n.IsLeaf {
+		return 0
+	}
+	l, r := depthOf(n.Left), depthOf(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// ---------------------------------------------------------------------------
+// Regressor
+// ---------------------------------------------------------------------------
+
+// Regressor is a multi-output CART regression tree.
+type Regressor struct {
+	Root *Node
+	Opts Options
+	// OutputDims is the target dimensionality the tree was fitted on.
+	OutputDims int
+}
+
+// regTarget implements the SSE objective for multi-output regression.
+type regTarget struct {
+	y *mat.Dense
+}
+
+func (t *regTarget) impurity(rows []int) float64 {
+	d := t.y.Cols()
+	sums := make([]float64, d)
+	var sq float64
+	for _, r := range rows {
+		row := t.y.Row(r)
+		for j, v := range row {
+			sums[j] += v
+			sq += v * v
+		}
+	}
+	n := float64(len(rows))
+	sse := sq
+	for _, s := range sums {
+		sse -= s * s / n
+	}
+	if sse < 0 {
+		sse = 0
+	}
+	return sse
+}
+
+func (t *regTarget) leaf(n *Node, rows []int) {
+	d := t.y.Cols()
+	n.Value = make([]float64, d)
+	for _, r := range rows {
+		mat.Axpy(1, t.y.Row(r), n.Value)
+	}
+	mat.Scale(1/float64(len(rows)), n.Value)
+}
+
+func (t *regTarget) bestThreshold(sorted []int, values []float64, minLeaf int) (int, float64, bool) {
+	n := len(sorted)
+	d := t.y.Cols()
+	leftSum := make([]float64, d)
+	totalSum := make([]float64, d)
+	var leftSq, totalSq float64
+	for _, r := range sorted {
+		row := t.y.Row(r)
+		for j, v := range row {
+			totalSum[j] += v
+			totalSq += v * v
+		}
+	}
+	bestAt, bestImp, ok := 0, 0.0, false
+	for i := 0; i < n-1; i++ {
+		row := t.y.Row(sorted[i])
+		for j, v := range row {
+			leftSum[j] += v
+			leftSq += v * v
+		}
+		nl := i + 1
+		nr := n - nl
+		if nl < minLeaf || nr < minLeaf {
+			continue
+		}
+		if values[i+1] <= values[i] {
+			continue // cannot split between equal feature values
+		}
+		var sumsqL, sumsqR float64
+		for j := 0; j < d; j++ {
+			sumsqL += leftSum[j] * leftSum[j]
+			rs := totalSum[j] - leftSum[j]
+			sumsqR += rs * rs
+		}
+		sseL := leftSq - sumsqL/float64(nl)
+		sseR := (totalSq - leftSq) - sumsqR/float64(nr)
+		imp := sseL + sseR
+		if !ok || imp < bestImp {
+			bestAt, bestImp, ok = i+1, imp, true
+		}
+	}
+	return bestAt, bestImp, ok
+}
+
+// FitRegressor grows a multi-output regression tree on x (n×f features) and
+// y (n×d targets).
+func FitRegressor(x, y *mat.Dense, opts Options) *Regressor {
+	if x.Rows() != y.Rows() {
+		panic(fmt.Sprintf("tree: %d feature rows vs %d target rows", x.Rows(), y.Rows()))
+	}
+	if x.Rows() == 0 {
+		panic("tree: empty training set")
+	}
+	opts = opts.withDefaults()
+	g := &grower{x: x, tgt: &regTarget{y: y}, opts: opts, rng: xrand.New(opts.Seed)}
+	rows := make([]int, x.Rows())
+	for i := range rows {
+		rows[i] = i
+	}
+	return &Regressor{Root: g.grow(rows), Opts: opts, OutputDims: y.Cols()}
+}
+
+// Predict returns the leaf mean vector for the feature vector x.
+func (r *Regressor) Predict(x []float64) []float64 {
+	return predictNode(r.Root, x).Value
+}
+
+// Leaves returns the leaf nodes in deterministic order. With MaxLeaves set,
+// each leaf's Value is one cluster representative.
+func (r *Regressor) Leaves() []*Node { return collectLeaves(r.Root, nil) }
+
+// NumLeaves returns the leaf count.
+func (r *Regressor) NumLeaves() int { return countLeaves(r.Root) }
+
+// Depth returns the tree depth (0 for a stump).
+func (r *Regressor) Depth() int { return depthOf(r.Root) }
+
+// ---------------------------------------------------------------------------
+// Classifier
+// ---------------------------------------------------------------------------
+
+// Classifier is a CART classification tree with Gini impurity.
+type Classifier struct {
+	Root    *Node
+	Opts    Options
+	Classes int
+}
+
+type clsTarget struct {
+	y       []int
+	classes int
+}
+
+func (t *clsTarget) counts(rows []int) []int {
+	c := make([]int, t.classes)
+	for _, r := range rows {
+		c[t.y[r]]++
+	}
+	return c
+}
+
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+func (t *clsTarget) impurity(rows []int) float64 {
+	return float64(len(rows)) * gini(t.counts(rows), len(rows))
+}
+
+func (t *clsTarget) leaf(n *Node, rows []int) {
+	counts := t.counts(rows)
+	best, bestC := 0, -1
+	for cl, c := range counts {
+		if c > bestC {
+			best, bestC = cl, c
+		}
+	}
+	n.Class = best
+}
+
+func (t *clsTarget) bestThreshold(sorted []int, values []float64, minLeaf int) (int, float64, bool) {
+	n := len(sorted)
+	total := t.counts(sorted)
+	left := make([]int, t.classes)
+	right := append([]int(nil), total...)
+	bestAt, bestImp, ok := 0, 0.0, false
+	for i := 0; i < n-1; i++ {
+		cl := t.y[sorted[i]]
+		left[cl]++
+		right[cl]--
+		nl, nr := i+1, n-i-1
+		if nl < minLeaf || nr < minLeaf {
+			continue
+		}
+		if values[i+1] <= values[i] {
+			continue
+		}
+		imp := float64(nl)*gini(left, nl) + float64(nr)*gini(right, nr)
+		if !ok || imp < bestImp {
+			bestAt, bestImp, ok = i+1, imp, true
+		}
+	}
+	return bestAt, bestImp, ok
+}
+
+// FitClassifier grows a classification tree on x and integer labels y in
+// [0, classes).
+func FitClassifier(x *mat.Dense, y []int, classes int, opts Options) *Classifier {
+	if x.Rows() != len(y) {
+		panic(fmt.Sprintf("tree: %d feature rows vs %d labels", x.Rows(), len(y)))
+	}
+	if x.Rows() == 0 {
+		panic("tree: empty training set")
+	}
+	if classes <= 0 {
+		panic("tree: classes must be positive")
+	}
+	for _, l := range y {
+		if l < 0 || l >= classes {
+			panic(fmt.Sprintf("tree: label %d out of [0,%d)", l, classes))
+		}
+	}
+	opts = opts.withDefaults()
+	g := &grower{x: x, tgt: &clsTarget{y: y, classes: classes}, opts: opts, rng: xrand.New(opts.Seed)}
+	rows := make([]int, x.Rows())
+	for i := range rows {
+		rows[i] = i
+	}
+	return &Classifier{Root: g.grow(rows), Opts: opts, Classes: classes}
+}
+
+// Predict returns the class for the feature vector x.
+func (c *Classifier) Predict(x []float64) int {
+	return predictNode(c.Root, x).Class
+}
+
+// NumLeaves returns the leaf count.
+func (c *Classifier) NumLeaves() int { return countLeaves(c.Root) }
+
+// Depth returns the tree depth.
+func (c *Classifier) Depth() int { return depthOf(c.Root) }

@@ -1,0 +1,308 @@
+package tree
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/xrand"
+)
+
+// stepData builds a 1-feature regression problem with two plateaus.
+func stepData() (*mat.Dense, *mat.Dense) {
+	x := mat.NewDense(20, 1)
+	y := mat.NewDense(20, 2)
+	for i := 0; i < 20; i++ {
+		x.Set(i, 0, float64(i))
+		if i < 10 {
+			y.Set(i, 0, 1)
+			y.Set(i, 1, -1)
+		} else {
+			y.Set(i, 0, 5)
+			y.Set(i, 1, 2)
+		}
+	}
+	return x, y
+}
+
+func TestRegressorFindsStep(t *testing.T) {
+	x, y := stepData()
+	r := FitRegressor(x, y, Options{MaxLeaves: 2})
+	if r.NumLeaves() != 2 {
+		t.Fatalf("leaves = %d, want 2", r.NumLeaves())
+	}
+	if r.Root.IsLeaf || r.Root.Feature != 0 {
+		t.Fatal("root should split on feature 0")
+	}
+	if r.Root.Threshold < 9 || r.Root.Threshold > 10 {
+		t.Fatalf("threshold = %v, want in (9,10)", r.Root.Threshold)
+	}
+	left := r.Predict([]float64{3})
+	right := r.Predict([]float64{15})
+	if left[0] != 1 || left[1] != -1 || right[0] != 5 || right[1] != 2 {
+		t.Fatalf("predictions: left=%v right=%v", left, right)
+	}
+}
+
+func TestRegressorMaxLeavesRespected(t *testing.T) {
+	r := xrand.New(5)
+	x := mat.NewDense(60, 3)
+	y := mat.NewDense(60, 4)
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, r.Float64())
+		}
+		for j := 0; j < 4; j++ {
+			y.Set(i, j, r.NormFloat64())
+		}
+	}
+	for _, maxLeaves := range []int{1, 2, 5, 8, 15} {
+		tr := FitRegressor(x, y, Options{MaxLeaves: maxLeaves})
+		if tr.NumLeaves() > maxLeaves {
+			t.Fatalf("MaxLeaves=%d grew %d leaves", maxLeaves, tr.NumLeaves())
+		}
+		if len(tr.Leaves()) != tr.NumLeaves() {
+			t.Fatal("Leaves() length disagrees with NumLeaves()")
+		}
+	}
+}
+
+func TestRegressorBestFirstExpandsLargestGain(t *testing.T) {
+	// Feature 0 separates targets by 100, feature 1 by 1. With two leaves
+	// the tree must use feature 0.
+	x := mat.NewDense(40, 2)
+	y := mat.NewDense(40, 1)
+	for i := 0; i < 40; i++ {
+		x.Set(i, 0, float64(i/20)) // 0 or 1
+		x.Set(i, 1, float64(i%2))  // 0 or 1
+		y.Set(i, 0, 100*float64(i/20)+float64(i%2))
+	}
+	tr := FitRegressor(x, y, Options{MaxLeaves: 2})
+	if tr.Root.Feature != 0 {
+		t.Fatalf("root split on feature %d, want 0", tr.Root.Feature)
+	}
+}
+
+func TestRegressorPerfectFitUnlimited(t *testing.T) {
+	// With unlimited leaves and unique feature values, training error is 0.
+	r := xrand.New(7)
+	x := mat.NewDense(30, 1)
+	y := mat.NewDense(30, 2)
+	for i := 0; i < 30; i++ {
+		x.Set(i, 0, float64(i))
+		y.Set(i, 0, r.NormFloat64())
+		y.Set(i, 1, r.NormFloat64())
+	}
+	tr := FitRegressor(x, y, Options{})
+	for i := 0; i < 30; i++ {
+		p := tr.Predict(x.Row(i))
+		if math.Abs(p[0]-y.At(i, 0)) > 1e-12 || math.Abs(p[1]-y.At(i, 1)) > 1e-12 {
+			t.Fatalf("row %d not memorised", i)
+		}
+	}
+}
+
+func TestRegressorMinSamplesLeaf(t *testing.T) {
+	x, y := stepData()
+	tr := FitRegressor(x, y, Options{MinSamplesLeaf: 8})
+	for _, l := range tr.Leaves() {
+		if l.Samples < 8 {
+			t.Fatalf("leaf with %d samples under MinSamplesLeaf=8", l.Samples)
+		}
+	}
+}
+
+func TestRegressorMaxDepth(t *testing.T) {
+	r := xrand.New(9)
+	x := mat.NewDense(64, 2)
+	y := mat.NewDense(64, 1)
+	for i := 0; i < 64; i++ {
+		x.Set(i, 0, r.Float64())
+		x.Set(i, 1, r.Float64())
+		y.Set(i, 0, r.NormFloat64())
+	}
+	tr := FitRegressor(x, y, Options{MaxDepth: 3})
+	if tr.Depth() > 3 {
+		t.Fatalf("depth = %d, want ≤ 3", tr.Depth())
+	}
+}
+
+func TestRegressorLeafValueIsMean(t *testing.T) {
+	x, y := stepData()
+	tr := FitRegressor(x, y, Options{MaxLeaves: 1})
+	want0 := (10*1.0 + 10*5.0) / 20
+	if math.Abs(tr.Root.Value[0]-want0) > 1e-12 {
+		t.Fatalf("stump value = %v, want %v", tr.Root.Value[0], want0)
+	}
+}
+
+func TestClassifierXor(t *testing.T) {
+	// XOR needs depth 2; a Gini tree solves it exactly.
+	x := mat.FromRows([][]float64{
+		{0, 0}, {0, 1}, {1, 0}, {1, 1},
+		{0.1, 0.1}, {0.1, 0.9}, {0.9, 0.1}, {0.9, 0.9},
+	})
+	y := []int{0, 1, 1, 0, 0, 1, 1, 0}
+	c := FitClassifier(x, y, 2, Options{})
+	for i := range y {
+		if got := c.Predict(x.Row(i)); got != y[i] {
+			t.Fatalf("sample %d: predicted %d, want %d", i, got, y[i])
+		}
+	}
+}
+
+func TestClassifierPureLeavesStopSplitting(t *testing.T) {
+	x := mat.FromRows([][]float64{{1}, {2}, {3}, {4}})
+	y := []int{1, 1, 1, 1}
+	c := FitClassifier(x, y, 2, Options{})
+	if !c.Root.IsLeaf {
+		t.Fatal("pure node was split")
+	}
+	if c.Root.Class != 1 {
+		t.Fatalf("class = %d, want 1", c.Root.Class)
+	}
+}
+
+func TestClassifierLabelValidation(t *testing.T) {
+	x := mat.FromRows([][]float64{{1}, {2}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range label accepted")
+		}
+	}()
+	FitClassifier(x, []int{0, 5}, 2, Options{})
+}
+
+func TestFitPanicsOnMismatch(t *testing.T) {
+	x := mat.FromRows([][]float64{{1}, {2}})
+	y := mat.FromRows([][]float64{{1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row mismatch accepted")
+		}
+	}()
+	FitRegressor(x, y, Options{})
+}
+
+func TestMaxFeaturesSubsampling(t *testing.T) {
+	// With MaxFeatures=1 and many seeds, different features should be
+	// chosen at the root at least once (evidence sampling happens).
+	x := mat.NewDense(40, 2)
+	y := make([]int, 40)
+	r := xrand.New(13)
+	for i := 0; i < 40; i++ {
+		x.Set(i, 0, r.Float64())
+		x.Set(i, 1, r.Float64())
+		if x.At(i, 0)+x.At(i, 1) > 1 {
+			y[i] = 1
+		}
+	}
+	seen := map[int]bool{}
+	for seed := uint64(0); seed < 10; seed++ {
+		c := FitClassifier(x, y, 2, Options{MaxFeatures: 1, Seed: seed, MaxDepth: 1})
+		if !c.Root.IsLeaf {
+			seen[c.Root.Feature] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("feature subsampling never varied the root feature: %v", seen)
+	}
+}
+
+func TestGenGoShape(t *testing.T) {
+	x := mat.FromRows([][]float64{{1, 10, 5}, {2, 20, 5}, {8, 10, 5}, {9, 20, 5}})
+	y := []int{0, 0, 1, 1}
+	c := FitClassifier(x, y, 2, Options{})
+	src, err := c.GenGo("SelectKernel", []string{"m", "k", "n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"func SelectKernel(m, k, n float64) int {", "if m <= ", "return 0", "return 1"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("generated source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestGenGoErrorsOnMissingNames(t *testing.T) {
+	// Labels depend only on feature 1, forcing the tree to reference it.
+	x := mat.FromRows([][]float64{{1, 1}, {2, 2}, {1, 3}, {2, 4}})
+	y := []int{0, 0, 1, 1}
+	c := FitClassifier(x, y, 2, Options{})
+	if _, err := c.GenGo("f", []string{"m"}); err == nil {
+		t.Fatal("missing feature name accepted")
+	}
+}
+
+// TestGenGoSemanticEquivalence interprets the generated source by walking
+// the tree directly, confirming the printed ifs route like Predict.
+func TestGenGoSemanticEquivalence(t *testing.T) {
+	r := xrand.New(21)
+	x := mat.NewDense(50, 3)
+	y := make([]int, 50)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, r.Float64()*100)
+		}
+		y[i] = int(x.At(i, 0)/25) % 4
+	}
+	c := FitClassifier(x, y, 4, Options{MaxLeaves: 6})
+	src, err := c.GenGo("sel", []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The number of return statements equals the leaf count.
+	if got := strings.Count(src, "return "); got != c.NumLeaves() {
+		t.Fatalf("%d return statements for %d leaves", got, c.NumLeaves())
+	}
+}
+
+func TestFeatureImportancesConcentrate(t *testing.T) {
+	// Labels depend only on feature 1; its importance must dominate.
+	r := xrand.New(51)
+	x := mat.NewDense(80, 3)
+	y := make([]int, 80)
+	for i := 0; i < 80; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, r.Float64())
+		}
+		if x.At(i, 1) > 0.5 {
+			y[i] = 1
+		}
+	}
+	c := FitClassifier(x, y, 2, Options{})
+	imp := c.FeatureImportances(3)
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum to %v", sum)
+	}
+	if imp[1] < 0.9 {
+		t.Fatalf("informative feature importance %v < 0.9 (%v)", imp[1], imp)
+	}
+}
+
+func TestFeatureImportancesRegressor(t *testing.T) {
+	x, y := stepData() // single feature drives both outputs
+	reg := FitRegressor(x, y, Options{MaxLeaves: 4})
+	imp := reg.FeatureImportances(1)
+	if math.Abs(imp[0]-1) > 1e-9 {
+		t.Fatalf("single-feature importance = %v", imp[0])
+	}
+}
+
+func TestFeatureImportancesStump(t *testing.T) {
+	// A pure-leaf tree has no splits: importances are all zero.
+	x := mat.FromRows([][]float64{{1}, {2}})
+	c := FitClassifier(x, []int{1, 1}, 2, Options{})
+	imp := c.FeatureImportances(1)
+	if imp[0] != 0 {
+		t.Fatalf("stump importance = %v", imp[0])
+	}
+}

@@ -1,0 +1,217 @@
+package nn
+
+import (
+	"fmt"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sycl"
+	"kernelselect/internal/workload"
+	"kernelselect/internal/xrand"
+)
+
+// GEMMRunner abstracts how the network's lowered matrix multiplies execute:
+// through the kernel-selection library, through one fixed kernel
+// configuration, or through the naive reference (for testing).
+type GEMMRunner interface {
+	RunGEMM(a, b, c []float64, s gemm.Shape) error
+}
+
+// BatchGEMMRunner is an optional extension of GEMMRunner for same-shape
+// GEMM batches (the Winograd lowering produces 16 of them); implementations
+// may run entries concurrently.
+type BatchGEMMRunner interface {
+	GEMMRunner
+	RunGEMMBatch(batch []gemm.Batch, s gemm.Shape) error
+}
+
+// LibraryRunner dispatches every GEMM through a tuned kernel-selection
+// library — the deployment configuration the paper targets.
+type LibraryRunner struct {
+	Q   *sycl.Queue
+	Lib *core.Library
+}
+
+// RunGEMM implements GEMMRunner.
+func (r LibraryRunner) RunGEMM(a, b, c []float64, s gemm.Shape) error {
+	_, err := r.Lib.Multiply(r.Q, a, b, c, s)
+	return err
+}
+
+// RunGEMMBatch implements BatchGEMMRunner: one selection decision for the
+// shared shape, then a concurrent batch with the chosen kernel.
+func (r LibraryRunner) RunGEMMBatch(batch []gemm.Batch, s gemm.Shape) error {
+	return gemm.MultiplyBatch(r.Q, r.Lib.Choose(s), batch, s)
+}
+
+// FixedRunner runs every GEMM with one kernel configuration — the
+// "no selection" baseline.
+type FixedRunner struct {
+	Q   *sycl.Queue
+	Cfg gemm.Config
+}
+
+// RunGEMM implements GEMMRunner.
+func (r FixedRunner) RunGEMM(a, b, c []float64, s gemm.Shape) error {
+	return gemm.Multiply(r.Q, r.Cfg, a, b, c, s)
+}
+
+// RunGEMMBatch implements BatchGEMMRunner.
+func (r FixedRunner) RunGEMMBatch(batch []gemm.Batch, s gemm.Shape) error {
+	return gemm.MultiplyBatch(r.Q, r.Cfg, batch, s)
+}
+
+// ReferenceRunner computes GEMMs with the naive triple loop (test oracle).
+type ReferenceRunner struct{}
+
+// RunGEMM implements GEMMRunner.
+func (ReferenceRunner) RunGEMM(a, b, c []float64, s gemm.Shape) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	gemm.Reference(a, b, c, s)
+	return nil
+}
+
+// Conv2D is a dense 2-D convolution layer. Geometry reuses the layer
+// description from internal/workload, tying the executable model to the
+// shape-extraction tables. Weights are stored GEMM-ready as a
+// (InC·KH·KW) × OutC matrix whose row index is the im2col patch offset
+// c·KH·KW + kh·KW + kw.
+type Conv2D struct {
+	Geom    workload.Conv
+	Weights []float64 // (InC*KH*KW) × OutC, row-major
+	Bias    []float64 // OutC
+}
+
+// NewConv2D allocates a zero-initialised convolution for the geometry.
+func NewConv2D(geom workload.Conv) (*Conv2D, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	k := geom.InC * geom.KH * geom.KW
+	return &Conv2D{
+		Geom:    geom,
+		Weights: make([]float64, k*geom.OutC),
+		Bias:    make([]float64, geom.OutC),
+	}, nil
+}
+
+// InitRandom fills weights and bias with small deterministic values
+// (scaled uniform, Xavier-style).
+func (l *Conv2D) InitRandom(seed uint64) {
+	r := xrand.New(seed)
+	k := l.Geom.InC * l.Geom.KH * l.Geom.KW
+	scale := 1 / float64(k)
+	for i := range l.Weights {
+		l.Weights[i] = (2*r.Float64() - 1) * scale
+	}
+	for i := range l.Bias {
+		l.Bias[i] = (2*r.Float64() - 1) * 0.01
+	}
+}
+
+// Name implements Layer.
+func (l *Conv2D) Name() string {
+	return fmt.Sprintf("conv%dx%d(%d→%d)", l.Geom.KH, l.Geom.KW, l.Geom.InC, l.Geom.OutC)
+}
+
+// checkInput validates the incoming tensor against the layer geometry.
+func (l *Conv2D) checkInput(in *Tensor) error {
+	if in.C != l.Geom.InC || in.H != l.Geom.InH || in.W != l.Geom.InW {
+		return fmt.Errorf("nn: %s expects %dx%dx%d input, got %v", l.Name(), l.Geom.InC, l.Geom.InH, l.Geom.InW, in)
+	}
+	return nil
+}
+
+// Im2col materialises the patch matrix of in: one row per output position
+// (n, oh, ow), one column per patch element (c, kh, kw).
+func (l *Conv2D) Im2col(in *Tensor) ([]float64, gemm.Shape) {
+	g := l.Geom
+	oh, ow := g.OutH(), g.OutW()
+	s := g.Im2colShape(in.N)
+	cols := make([]float64, s.M*s.K)
+	row := 0
+	for n := 0; n < in.N; n++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				base := row * s.K
+				idx := 0
+				for c := 0; c < g.InC; c++ {
+					for kh := 0; kh < g.KH; kh++ {
+						ih := y*g.StrideH - g.PadH + kh
+						for kw := 0; kw < g.KW; kw++ {
+							iw := x*g.StrideW - g.PadW + kw
+							cols[base+idx] = in.AtPadded(n, c, ih, iw)
+							idx++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols, s
+}
+
+// Forward computes the convolution by im2col lowering: the patch matrix
+// times the weight matrix, executed through the runner, plus bias.
+func (l *Conv2D) Forward(run GEMMRunner, in *Tensor) (*Tensor, error) {
+	if err := l.checkInput(in); err != nil {
+		return nil, err
+	}
+	g := l.Geom
+	cols, s := l.Im2col(in)
+	flat := make([]float64, s.M*s.N)
+	if err := run.RunGEMM(cols, l.Weights, flat, s); err != nil {
+		return nil, err
+	}
+
+	oh, ow := g.OutH(), g.OutW()
+	out := NewTensor(in.N, g.OutC, oh, ow)
+	row := 0
+	for n := 0; n < in.N; n++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				base := row * s.N
+				for c := 0; c < g.OutC; c++ {
+					out.Set(n, c, y, x, flat[base+c]+l.Bias[c])
+				}
+				row++
+			}
+		}
+	}
+	return out, nil
+}
+
+// ForwardDirect computes the convolution with a straightforward seven-loop
+// nest — the correctness oracle for both lowerings.
+func (l *Conv2D) ForwardDirect(in *Tensor) (*Tensor, error) {
+	if err := l.checkInput(in); err != nil {
+		return nil, err
+	}
+	g := l.Geom
+	oh, ow := g.OutH(), g.OutW()
+	out := NewTensor(in.N, g.OutC, oh, ow)
+	for n := 0; n < in.N; n++ {
+		for oc := 0; oc < g.OutC; oc++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					acc := l.Bias[oc]
+					for c := 0; c < g.InC; c++ {
+						for kh := 0; kh < g.KH; kh++ {
+							ih := y*g.StrideH - g.PadH + kh
+							for kw := 0; kw < g.KW; kw++ {
+								iw := x*g.StrideW - g.PadW + kw
+								w := l.Weights[(c*g.KH*g.KW+kh*g.KW+kw)*g.OutC+oc]
+								acc += w * in.AtPadded(n, c, ih, iw)
+							}
+						}
+					}
+					out.Set(n, oc, y, x, acc)
+				}
+			}
+		}
+	}
+	return out, nil
+}

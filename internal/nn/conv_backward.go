@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"fmt"
+
+	"kernelselect/internal/gemm"
+)
+
+// ConvGradients holds a convolution layer's parameter gradients.
+type ConvGradients struct {
+	DW []float64 // same layout as Conv2D.Weights: (InC·KH·KW) × OutC
+	DB []float64 // OutC
+}
+
+// Backward computes the convolution's gradients for a batch: parameter
+// gradients and the gradient with respect to the input (via col2im). The
+// two large products are the transpose-mode GEMMs of training —
+// dW = colsᵀ·dOut (TN) and dCols = dOut·Wᵀ (NT) — and run through the
+// runner like every other multiply.
+func (l *Conv2D) Backward(run GEMMRunner, in *Tensor, dOut *Tensor) (*ConvGradients, *Tensor, error) {
+	if err := l.checkInput(in); err != nil {
+		return nil, nil, err
+	}
+	g := l.Geom
+	oh, ow := g.OutH(), g.OutW()
+	if dOut.N != in.N || dOut.C != g.OutC || dOut.H != oh || dOut.W != ow {
+		return nil, nil, fmt.Errorf("nn: %s backward got gradient %v, want [%d,%d,%d,%d]",
+			l.Name(), dOut, in.N, g.OutC, oh, ow)
+	}
+
+	cols, s := l.Im2col(in) // s.M = n·oh·ow, s.K = InC·KH·KW, s.N = OutC
+
+	// Flatten dOut to the same row order as the im2col rows: (n, y, x).
+	dFlat := make([]float64, s.M*s.N)
+	row := 0
+	for n := 0; n < in.N; n++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				for c := 0; c < g.OutC; c++ {
+					dFlat[row*s.N+c] = dOut.At(n, c, y, x)
+				}
+				row++
+			}
+		}
+	}
+
+	grads := &ConvGradients{
+		DW: make([]float64, s.K*s.N),
+		DB: make([]float64, s.N),
+	}
+	// dW = colsᵀ·dFlat : logical (K × OutC) with inner dimension s.M.
+	if err := runTN(run, cols, dFlat, grads.DW, s.K, s.M, s.N); err != nil {
+		return nil, nil, err
+	}
+	for r := 0; r < s.M; r++ {
+		for c := 0; c < s.N; c++ {
+			grads.DB[c] += dFlat[r*s.N+c]
+		}
+	}
+
+	// dCols = dFlat·Wᵀ : (s.M × s.K) with W stored (s.K × s.N).
+	dCols := make([]float64, s.M*s.K)
+	if err := runNT(run, dFlat, l.Weights, dCols, s.M, s.N, s.K); err != nil {
+		return nil, nil, err
+	}
+
+	// col2im: scatter-add each patch element's gradient back to the input
+	// position it was gathered from (padding positions are dropped).
+	dIn := NewTensor(in.N, g.InC, g.InH, g.InW)
+	row = 0
+	for n := 0; n < in.N; n++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				base := row * s.K
+				idx := 0
+				for c := 0; c < g.InC; c++ {
+					for kh := 0; kh < g.KH; kh++ {
+						ih := y*g.StrideH - g.PadH + kh
+						for kw := 0; kw < g.KW; kw++ {
+							iw := x*g.StrideW - g.PadW + kw
+							if ih >= 0 && ih < g.InH && iw >= 0 && iw < g.InW {
+								dIn.Data[dIn.index(n, c, ih, iw)] += dCols[base+idx]
+							}
+							idx++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return grads, dIn, nil
+}
+
+// BackwardGEMMShapes lists the gradient GEMM shapes one backward pass of
+// batch n produces for this convolution.
+func (l *Conv2D) BackwardGEMMShapes(n int) []gemm.Shape {
+	s := l.Geom.Im2colShape(n)
+	return []gemm.Shape{
+		{M: s.K, K: s.M, N: s.N}, // dW
+		{M: s.M, K: s.N, N: s.K}, // dCols
+	}
+}

@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sycl"
+	"kernelselect/internal/workload"
+)
+
+// convLoss is the scalar test loss 0.5·Σ out², whose gradient wrt the
+// output is the output itself.
+func convLoss(out *Tensor) float64 {
+	var l float64
+	for _, v := range out.Data {
+		l += 0.5 * v * v
+	}
+	return l
+}
+
+// TestConvBackwardMatchesNumericalGradient checks dW, dB and dIn against
+// central finite differences for several geometries (padding, stride,
+// pointwise).
+func TestConvBackwardMatchesNumericalGradient(t *testing.T) {
+	geoms := []workload.Conv{
+		conv3x3(2, 3, 6),
+		{Name: "s2", InC: 2, OutC: 2, InH: 7, InW: 7, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+		{Name: "pw", InC: 3, OutC: 4, InH: 5, InW: 5, KH: 1, KW: 1, StrideH: 1, StrideW: 1},
+	}
+	run := ReferenceRunner{}
+	for _, geom := range geoms {
+		conv, err := NewConv2D(geom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conv.InitRandom(3)
+		in := randomTensor(2, geom.InC, geom.InH, geom.InW, 5)
+
+		lossAt := func() float64 {
+			out, err := conv.Forward(run, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return convLoss(out)
+		}
+		out, err := conv.Forward(run, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grads, dIn, err := conv.Backward(run, in, out) // dLoss/dOut = out
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const eps = 1e-6
+		check := func(name string, params, analytic []float64) {
+			step := 1 + len(params)/6
+			for i := 0; i < len(params); i += step {
+				orig := params[i]
+				params[i] = orig + eps
+				up := lossAt()
+				params[i] = orig - eps
+				down := lossAt()
+				params[i] = orig
+				numeric := (up - down) / (2 * eps)
+				if math.Abs(numeric-analytic[i]) > 1e-4 {
+					t.Fatalf("%s: %s[%d] analytic %v vs numeric %v", geom.Name, name, i, analytic[i], numeric)
+				}
+			}
+		}
+		check("W", conv.Weights, grads.DW)
+		check("B", conv.Bias, grads.DB)
+		check("in", in.Data, dIn.Data)
+	}
+}
+
+func TestConvBackwardRunnersAgree(t *testing.T) {
+	geom := conv3x3(3, 4, 8)
+	conv, _ := NewConv2D(geom)
+	conv.InitRandom(7)
+	in := randomTensor(1, 3, 8, 8, 9)
+	out, _ := conv.Forward(ReferenceRunner{}, in)
+
+	refG, refIn, err := conv.Backward(ReferenceRunner{}, in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sycl.NewQueue(sycl.HostDevice())
+	fixG, fixIn, err := conv.Backward(FixedRunner{Q: q,
+		Cfg: gemm.Config{TileRows: 2, TileCols: 2, AccDepth: 4, WG: gemm.WorkGroup{R: 8, C: 8}}}, in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refG.DW {
+		if math.Abs(refG.DW[i]-fixG.DW[i]) > 1e-9 {
+			t.Fatal("dW differs across runners")
+		}
+	}
+	if d := maxAbsDiff(refIn, fixIn); d > 1e-9 {
+		t.Fatalf("dIn differs across runners by %v", d)
+	}
+}
+
+func TestConvBackwardValidatesShapes(t *testing.T) {
+	conv, _ := NewConv2D(conv3x3(2, 3, 6))
+	in := randomTensor(1, 2, 6, 6, 1)
+	badGrad := NewTensor(1, 5, 6, 6)
+	if _, _, err := conv.Backward(ReferenceRunner{}, in, badGrad); err == nil {
+		t.Fatal("mismatched gradient accepted")
+	}
+	badIn := randomTensor(1, 9, 6, 6, 1)
+	goodGrad := NewTensor(1, 3, 6, 6)
+	if _, _, err := conv.Backward(ReferenceRunner{}, badIn, goodGrad); err == nil {
+		t.Fatal("mismatched input accepted")
+	}
+}
+
+func TestConvBackwardGEMMShapes(t *testing.T) {
+	conv, _ := NewConv2D(conv3x3(16, 32, 14))
+	shapes := conv.BackwardGEMMShapes(4)
+	imc := conv.Geom.Im2colShape(4)
+	want := []gemm.Shape{
+		{M: imc.K, K: imc.M, N: imc.N},
+		{M: imc.M, K: imc.N, N: imc.K},
+	}
+	for i := range want {
+		if shapes[i] != want[i] {
+			t.Fatalf("shape %d = %v, want %v", i, shapes[i], want[i])
+		}
+	}
+}
+
+// TestConvTrainingStepReducesLoss does one SGD step on the test loss and
+// confirms descent — the end-to-end "conv layers train too" check.
+func TestConvTrainingStepReducesLoss(t *testing.T) {
+	conv, _ := NewConv2D(conv3x3(2, 4, 8))
+	conv.InitRandom(11)
+	in := randomTensor(2, 2, 8, 8, 13)
+	run := ReferenceRunner{}
+
+	out, _ := conv.Forward(run, in)
+	before := convLoss(out)
+	grads, _, err := conv.Backward(run, in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lr = 1e-3
+	for i, d := range grads.DW {
+		conv.Weights[i] -= lr * d
+	}
+	for i, d := range grads.DB {
+		conv.Bias[i] -= lr * d
+	}
+	out2, _ := conv.Forward(run, in)
+	if after := convLoss(out2); after >= before {
+		t.Fatalf("loss did not decrease: %v → %v", before, after)
+	}
+}

@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"fmt"
+
+	"kernelselect/internal/xrand"
+)
+
+// DepthwiseConv2D is a depthwise (channel-grouped) convolution: each input
+// channel is filtered independently. It does not lower to a dense GEMM via
+// im2col — the reason MobileNet's depthwise stages are absent from the
+// paper's matrix-multiply tuning dataset — so it executes directly.
+type DepthwiseConv2D struct {
+	C                int // channels (in == out)
+	InH, InW         int
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+	Weights          []float64 // C × KH × KW
+	Bias             []float64 // C
+}
+
+// NewDepthwiseConv2D allocates a zero-initialised depthwise convolution.
+func NewDepthwiseConv2D(c, inH, inW, k, stride, pad int) (*DepthwiseConv2D, error) {
+	l := &DepthwiseConv2D{
+		C: c, InH: inH, InW: inW,
+		KH: k, KW: k, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad,
+	}
+	if c <= 0 || inH <= 0 || inW <= 0 || k <= 0 || stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("nn: invalid depthwise geometry %+v", l)
+	}
+	if l.OutH() <= 0 || l.OutW() <= 0 {
+		return nil, fmt.Errorf("nn: depthwise conv empties its input")
+	}
+	l.Weights = make([]float64, c*k*k)
+	l.Bias = make([]float64, c)
+	return l, nil
+}
+
+// OutH returns the output height.
+func (l *DepthwiseConv2D) OutH() int { return (l.InH+2*l.PadH-l.KH)/l.StrideH + 1 }
+
+// OutW returns the output width.
+func (l *DepthwiseConv2D) OutW() int { return (l.InW+2*l.PadW-l.KW)/l.StrideW + 1 }
+
+// InitRandom fills weights and bias with small deterministic values.
+func (l *DepthwiseConv2D) InitRandom(seed uint64) {
+	r := xrand.New(seed)
+	scale := 1 / float64(l.KH*l.KW)
+	for i := range l.Weights {
+		l.Weights[i] = (2*r.Float64() - 1) * scale
+	}
+	for i := range l.Bias {
+		l.Bias[i] = (2*r.Float64() - 1) * 0.01
+	}
+}
+
+// Name implements Layer.
+func (l *DepthwiseConv2D) Name() string {
+	return fmt.Sprintf("dwconv%dx%d/%d(%dch)", l.KH, l.KW, l.StrideH, l.C)
+}
+
+// Forward implements Layer with a direct loop nest (no GEMM lowering).
+func (l *DepthwiseConv2D) Forward(_ GEMMRunner, in *Tensor) (*Tensor, error) {
+	if in.C != l.C || in.H != l.InH || in.W != l.InW {
+		return nil, fmt.Errorf("nn: %s expects %dx%dx%d input, got %v", l.Name(), l.C, l.InH, l.InW, in)
+	}
+	oh, ow := l.OutH(), l.OutW()
+	out := NewTensor(in.N, l.C, oh, ow)
+	for n := 0; n < in.N; n++ {
+		for c := 0; c < l.C; c++ {
+			wbase := c * l.KH * l.KW
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					acc := l.Bias[c]
+					for kh := 0; kh < l.KH; kh++ {
+						ih := y*l.StrideH - l.PadH + kh
+						for kw := 0; kw < l.KW; kw++ {
+							iw := x*l.StrideW - l.PadW + kw
+							acc += l.Weights[wbase+kh*l.KW+kw] * in.AtPadded(n, c, ih, iw)
+						}
+					}
+					out.Set(n, c, y, x, acc)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Residual wraps a body of layers with an identity skip connection:
+// out = body(in) + in. The body must preserve the tensor shape (the
+// stride-1, equal-channel case of ResNet/MobileNet blocks).
+type Residual struct {
+	Body []Layer
+}
+
+// Name implements Layer.
+func (r Residual) Name() string { return fmt.Sprintf("residual(%d layers)", len(r.Body)) }
+
+// Forward implements Layer.
+func (r Residual) Forward(run GEMMRunner, in *Tensor) (*Tensor, error) {
+	cur := in
+	for i, l := range r.Body {
+		next, err := l.Forward(run, cur)
+		if err != nil {
+			return nil, fmt.Errorf("nn: residual body layer %d (%s): %w", i, l.Name(), err)
+		}
+		cur = next
+	}
+	if !cur.ShapeEq(in) {
+		return nil, fmt.Errorf("nn: residual body maps %v to %v; skip connection needs equal shapes", in, cur)
+	}
+	out := cur.Clone()
+	for i := range out.Data {
+		out.Data[i] += in.Data[i]
+	}
+	return out, nil
+}

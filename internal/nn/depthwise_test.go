@@ -1,0 +1,223 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+// depthwiseReference computes the depthwise convolution with an independent
+// formulation for cross-checking.
+func depthwiseReference(l *DepthwiseConv2D, in *Tensor) *Tensor {
+	oh, ow := l.OutH(), l.OutW()
+	out := NewTensor(in.N, l.C, oh, ow)
+	for n := 0; n < in.N; n++ {
+		for c := 0; c < l.C; c++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					acc := l.Bias[c]
+					for kh := 0; kh < l.KH; kh++ {
+						for kw := 0; kw < l.KW; kw++ {
+							acc += l.Weights[c*l.KH*l.KW+kh*l.KW+kw] *
+								in.AtPadded(n, c, y*l.StrideH-l.PadH+kh, x*l.StrideW-l.PadW+kw)
+						}
+					}
+					out.Set(n, c, y, x, acc)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestDepthwiseGeometry(t *testing.T) {
+	l, err := NewDepthwiseConv2D(8, 14, 14, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.OutH() != 7 || l.OutW() != 7 {
+		t.Fatalf("out = %dx%d, want 7x7", l.OutH(), l.OutW())
+	}
+	if _, err := NewDepthwiseConv2D(0, 14, 14, 3, 1, 1); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	if _, err := NewDepthwiseConv2D(8, 2, 2, 5, 1, 0); err == nil {
+		t.Fatal("kernel larger than padded input accepted")
+	}
+}
+
+func TestDepthwiseMatchesReference(t *testing.T) {
+	for _, stride := range []int{1, 2} {
+		l, err := NewDepthwiseConv2D(6, 10, 10, 3, stride, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.InitRandom(5)
+		in := randomTensor(2, 6, 10, 10, 7)
+		got, err := l.Forward(nil, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := depthwiseReference(l, in)
+		if d := maxAbsDiff(got, want); d > 1e-12 {
+			t.Fatalf("stride %d: diff %v", stride, d)
+		}
+	}
+}
+
+func TestDepthwiseChannelsIndependent(t *testing.T) {
+	// Perturbing channel 0's input must not change channel 1's output.
+	l, _ := NewDepthwiseConv2D(2, 6, 6, 3, 1, 1)
+	l.InitRandom(9)
+	in := randomTensor(1, 2, 6, 6, 11)
+	base, _ := l.Forward(nil, in)
+	in2 := in.Clone()
+	in2.Set(0, 0, 3, 3, 99)
+	got, _ := l.Forward(nil, in2)
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 6; x++ {
+			if got.At(0, 1, y, x) != base.At(0, 1, y, x) {
+				t.Fatal("channel crosstalk in depthwise conv")
+			}
+		}
+	}
+}
+
+func TestDepthwiseInputValidation(t *testing.T) {
+	l, _ := NewDepthwiseConv2D(4, 8, 8, 3, 1, 1)
+	if _, err := l.Forward(nil, NewTensor(1, 3, 8, 8)); err == nil {
+		t.Fatal("wrong channel count accepted")
+	}
+}
+
+func TestResidualAddsIdentity(t *testing.T) {
+	// A residual around an empty body doubles the input.
+	r := Residual{}
+	in := randomTensor(1, 2, 3, 3, 1)
+	out, err := r.Forward(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Data {
+		if math.Abs(out.Data[i]-2*in.Data[i]) > 1e-15 {
+			t.Fatal("identity residual incorrect")
+		}
+	}
+}
+
+func TestResidualRejectsShapeChange(t *testing.T) {
+	r := Residual{Body: []Layer{MaxPool2D{Kernel: 2, Stride: 2}}}
+	if _, err := r.Forward(nil, randomTensor(1, 2, 4, 4, 1)); err == nil {
+		t.Fatal("shape-changing residual body accepted")
+	}
+}
+
+func TestBottleneckBlockShapes(t *testing.T) {
+	// Equal channels → residual; unequal → plain sequential.
+	blk, err := BottleneckBlock(16, 8, 16, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := blk.(Residual); !ok {
+		t.Fatalf("equal-channel bottleneck is %T, want Residual", blk)
+	}
+	in := randomTensor(1, 16, 6, 6, 2)
+	out, err := blk.Forward(ReferenceRunner{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.ShapeEq(in) {
+		t.Fatalf("residual bottleneck output %v", out)
+	}
+	blk2, err := BottleneckBlock(8, 4, 16, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := blk2.(Residual); ok {
+		t.Fatal("channel-changing bottleneck wrapped in residual")
+	}
+	out2, err := blk2.Forward(ReferenceRunner{}, randomTensor(1, 8, 6, 6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.C != 16 {
+		t.Fatalf("bottleneck output channels %d", out2.C)
+	}
+}
+
+func TestMobileNetV2BlockStrides(t *testing.T) {
+	// Stride 2 halves the spatial size and cannot carry a residual.
+	blk, err := MobileNetV2Block(16, 6, 24, 8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := blk.Forward(ReferenceRunner{}, randomTensor(1, 16, 8, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.C != 24 || out.H != 4 || out.W != 4 {
+		t.Fatalf("strided block output %v", out)
+	}
+	// Stride 1, equal channels → residual.
+	blk2, err := MobileNetV2Block(16, 6, 16, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := blk2.(Residual); !ok {
+		t.Fatalf("stride-1 equal-channel block is %T, want Residual", blk2)
+	}
+	// Expansion ratio 1 skips the expand conv.
+	blk3, err := MobileNetV2Block(16, 1, 8, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out3, err := blk3.Forward(ReferenceRunner{}, randomTensor(1, 16, 8, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out3.C != 8 {
+		t.Fatalf("t=1 block output channels %d", out3.C)
+	}
+}
+
+func TestResNetStyleForward(t *testing.T) {
+	net, err := ResNetStyle(3, 8, 2, 16, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := net.Forward(ReferenceRunner{}, randomTensor(2, 3, 8, 8, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 2 || out.C != 5 || out.H != 1 || out.W != 1 {
+		t.Fatalf("output %v", out)
+	}
+	if _, err := ResNetStyle(3, 8, 0, 16, 5, 3); err == nil {
+		t.Fatal("zero blocks accepted")
+	}
+}
+
+func TestMobileNetV2StyleForward(t *testing.T) {
+	net, err := MobileNetV2Style(3, 32, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := net.Forward(ReferenceRunner{}, randomTensor(1, 3, 32, 32, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.C != 10 || out.H != 1 || out.W != 1 {
+		t.Fatalf("output %v", out)
+	}
+}
+
+func TestSequentialComposesAsLayer(t *testing.T) {
+	inner := &Sequential{Label: "inner", Layers: []Layer{ReLU{}}}
+	outer := &Sequential{Label: "outer", Layers: []Layer{inner, ReLU{}}}
+	in := randomTensor(1, 1, 2, 2, 1)
+	if _, err := outer.Forward(nil, in); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Name() != "inner" {
+		t.Fatal("Sequential.Name")
+	}
+}

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/xrand"
+)
+
+// Layer is one step of a sequential network. Forward consumes an activation
+// tensor and produces the next one, routing any lowered GEMMs through run.
+type Layer interface {
+	Name() string
+	Forward(run GEMMRunner, in *Tensor) (*Tensor, error)
+}
+
+// Conv2D implements Layer via its im2col path.
+var _ Layer = (*Conv2D)(nil)
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct{}
+
+// Name implements Layer.
+func (ReLU) Name() string { return "relu" }
+
+// Forward implements Layer.
+func (ReLU) Forward(_ GEMMRunner, in *Tensor) (*Tensor, error) {
+	out := in.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// MaxPool2D is a max pooling layer with square kernel and stride.
+type MaxPool2D struct {
+	Kernel, Stride int
+}
+
+// Name implements Layer.
+func (p MaxPool2D) Name() string { return fmt.Sprintf("maxpool%dx%d/%d", p.Kernel, p.Kernel, p.Stride) }
+
+// Forward implements Layer.
+func (p MaxPool2D) Forward(_ GEMMRunner, in *Tensor) (*Tensor, error) {
+	if p.Kernel <= 0 || p.Stride <= 0 {
+		return nil, fmt.Errorf("nn: invalid pool %+v", p)
+	}
+	oh := (in.H-p.Kernel)/p.Stride + 1
+	ow := (in.W-p.Kernel)/p.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: pool %+v empties %v", p, in)
+	}
+	out := NewTensor(in.N, in.C, oh, ow)
+	for n := 0; n < in.N; n++ {
+		for c := 0; c < in.C; c++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					best := math.Inf(-1)
+					for ky := 0; ky < p.Kernel; ky++ {
+						for kx := 0; kx < p.Kernel; kx++ {
+							if v := in.At(n, c, y*p.Stride+ky, x*p.Stride+kx); v > best {
+								best = v
+							}
+						}
+					}
+					out.Set(n, c, y, x, best)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// GlobalAvgPool2D averages each channel over its spatial extent (the head
+// pooling of MobileNet/ResNet).
+type GlobalAvgPool2D struct{}
+
+// Name implements Layer.
+func (GlobalAvgPool2D) Name() string { return "globalavgpool" }
+
+// Forward implements Layer.
+func (GlobalAvgPool2D) Forward(_ GEMMRunner, in *Tensor) (*Tensor, error) {
+	out := NewTensor(in.N, in.C, 1, 1)
+	inv := 1 / float64(in.H*in.W)
+	for n := 0; n < in.N; n++ {
+		for c := 0; c < in.C; c++ {
+			var sum float64
+			for y := 0; y < in.H; y++ {
+				for x := 0; x < in.W; x++ {
+					sum += in.At(n, c, y, x)
+				}
+			}
+			out.Set(n, c, 0, 0, sum*inv)
+		}
+	}
+	return out, nil
+}
+
+// FullyConnected flattens the input and multiplies by an (In × Out) weight
+// matrix — the GEMM with M = batch the paper's dataset includes for FC
+// layers.
+type FullyConnected struct {
+	In, Out int
+	Weights []float64 // In × Out, row-major
+	Bias    []float64 // Out
+}
+
+// NewFullyConnected allocates a zero-initialised FC layer.
+func NewFullyConnected(in, out int) (*FullyConnected, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("nn: invalid fc %dx%d", in, out)
+	}
+	return &FullyConnected{In: in, Out: out, Weights: make([]float64, in*out), Bias: make([]float64, out)}, nil
+}
+
+// InitRandom fills weights and bias with small deterministic values.
+func (l *FullyConnected) InitRandom(seed uint64) {
+	r := xrand.New(seed)
+	scale := 1 / float64(l.In)
+	for i := range l.Weights {
+		l.Weights[i] = (2*r.Float64() - 1) * scale
+	}
+	for i := range l.Bias {
+		l.Bias[i] = (2*r.Float64() - 1) * 0.01
+	}
+}
+
+// Name implements Layer.
+func (l *FullyConnected) Name() string { return fmt.Sprintf("fc(%d→%d)", l.In, l.Out) }
+
+// Forward implements Layer. The output tensor has shape (N, Out, 1, 1).
+func (l *FullyConnected) Forward(run GEMMRunner, in *Tensor) (*Tensor, error) {
+	flat := in.C * in.H * in.W
+	if flat != l.In {
+		return nil, fmt.Errorf("nn: %s expects %d inputs, got %v (%d)", l.Name(), l.In, in, flat)
+	}
+	s := gemm.Shape{M: in.N, K: l.In, N: l.Out}
+	res := make([]float64, s.M*s.N)
+	if err := run.RunGEMM(in.Data, l.Weights, res, s); err != nil {
+		return nil, err
+	}
+	out := NewTensor(in.N, l.Out, 1, 1)
+	for n := 0; n < in.N; n++ {
+		for c := 0; c < l.Out; c++ {
+			out.Set(n, c, 0, 0, res[n*l.Out+c]+l.Bias[c])
+		}
+	}
+	return out, nil
+}

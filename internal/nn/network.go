@@ -1,0 +1,270 @@
+package nn
+
+import (
+	"fmt"
+
+	"kernelselect/internal/workload"
+)
+
+// Sequential is a feed-forward network: layers executed in order, all GEMMs
+// routed through one runner.
+type Sequential struct {
+	Label  string
+	Layers []Layer
+}
+
+// Name implements Layer, so whole networks compose as blocks of larger ones.
+func (s *Sequential) Name() string { return s.Label }
+
+// Forward runs the network on the input tensor.
+func (s *Sequential) Forward(run GEMMRunner, in *Tensor) (*Tensor, error) {
+	cur := in
+	for i, l := range s.Layers {
+		next, err := l.Forward(run, cur)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s layer %d (%s): %w", s.Label, i, l.Name(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// GEMMShapes lists the GEMM shapes the network's conv/FC layers lower to for
+// a given batch, for cross-checking against the tuning workload tables.
+func (s *Sequential) GEMMShapes(batch int) []string {
+	var out []string
+	for _, l := range s.Layers {
+		switch t := l.(type) {
+		case *Conv2D:
+			out = append(out, t.Geom.Im2colShape(batch).String())
+		case *FullyConnected:
+			out = append(out, fmt.Sprintf("%dx%dx%d", batch, t.In, t.Out))
+		}
+	}
+	return out
+}
+
+// VGGStyle builds a small VGG-flavoured network — conv/relu blocks with
+// 2×2 max pooling and an FC classifier — scaled by inputSize so tests and
+// examples can run full inference on the CPU emulator in reasonable time.
+// With inputSize 224, channels (64, 128, 256) and two FC layers it is the
+// head of the real VGG topology.
+func VGGStyle(inputC, inputSize int, channels []int, fcWidth, classes int, seed uint64) (*Sequential, error) {
+	if len(channels) == 0 {
+		return nil, fmt.Errorf("nn: VGGStyle needs at least one conv block")
+	}
+	net := &Sequential{Label: "vgg-style"}
+	c, size := inputC, inputSize
+	rng := seed
+	for bi, outC := range channels {
+		if size < 2 {
+			return nil, fmt.Errorf("nn: input size %d exhausted at block %d", inputSize, bi)
+		}
+		conv, err := NewConv2D(workload.Conv{
+			Name: fmt.Sprintf("block%d", bi),
+			InC:  c, OutC: outC, InH: size, InW: size,
+			KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		conv.InitRandom(rng)
+		rng++
+		net.Layers = append(net.Layers, conv, ReLU{}, MaxPool2D{Kernel: 2, Stride: 2})
+		c = outC
+		size /= 2
+	}
+	fc1, err := NewFullyConnected(c*size*size, fcWidth)
+	if err != nil {
+		return nil, err
+	}
+	fc1.InitRandom(rng)
+	fc2, err := NewFullyConnected(fcWidth, classes)
+	if err != nil {
+		return nil, err
+	}
+	fc2.InitRandom(rng + 1)
+	net.Layers = append(net.Layers, fc1, ReLU{}, fc2)
+	return net, nil
+}
+
+// MobileNetStyleBlock builds one inverted-residual bottleneck's pointwise
+// pipeline (expand 1×1 → relu → project 1×1) at the given spatial size; the
+// depthwise stage, which does not lower to GEMM, is omitted exactly as in
+// the tuning workload (see workload.MobileNetV2).
+func MobileNetStyleBlock(inC, expand, outC, size int, seed uint64) ([]Layer, error) {
+	ex, err := NewConv2D(workload.Conv{
+		Name: "expand", InC: inC, OutC: expand, InH: size, InW: size,
+		KH: 1, KW: 1, StrideH: 1, StrideW: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ex.InitRandom(seed)
+	pr, err := NewConv2D(workload.Conv{
+		Name: "project", InC: expand, OutC: outC, InH: size, InW: size,
+		KH: 1, KW: 1, StrideH: 1, StrideW: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pr.InitRandom(seed + 1)
+	return []Layer{ex, ReLU{}, pr}, nil
+}
+
+// BottleneckBlock builds a ResNet-style bottleneck (1×1 reduce → ReLU → 3×3
+// → ReLU → 1×1 expand) at the given spatial size. When the input and output
+// channel counts match, the block is wrapped in an identity residual as in
+// the original architecture.
+func BottleneckBlock(inC, midC, outC, size int, seed uint64) (Layer, error) {
+	reduce, err := NewConv2D(workload.Conv{
+		Name: "reduce", InC: inC, OutC: midC, InH: size, InW: size,
+		KH: 1, KW: 1, StrideH: 1, StrideW: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reduce.InitRandom(seed)
+	mid, err := NewConv2D(workload.Conv{
+		Name: "3x3", InC: midC, OutC: midC, InH: size, InW: size,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mid.InitRandom(seed + 1)
+	expand, err := NewConv2D(workload.Conv{
+		Name: "expand", InC: midC, OutC: outC, InH: size, InW: size,
+		KH: 1, KW: 1, StrideH: 1, StrideW: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	expand.InitRandom(seed + 2)
+	body := []Layer{reduce, ReLU{}, mid, ReLU{}, expand}
+	if inC == outC {
+		return Residual{Body: body}, nil
+	}
+	return &Sequential{Label: "bottleneck", Layers: body}, nil
+}
+
+// MobileNetV2Block builds a full inverted-residual block — expand 1×1 →
+// ReLU → depthwise 3×3 (with stride) → ReLU → project 1×1 — including the
+// depthwise stage the GEMM tuning dataset cannot cover. Stride-1 blocks with
+// matching channel counts gain the identity residual, as in the paper's
+// MobileNet-V2 reference.
+func MobileNetV2Block(inC, expandRatio, outC, size, stride int, seed uint64) (Layer, error) {
+	expC := inC * expandRatio
+	var body []Layer
+	if expandRatio != 1 {
+		ex, err := NewConv2D(workload.Conv{
+			Name: "expand", InC: inC, OutC: expC, InH: size, InW: size,
+			KH: 1, KW: 1, StrideH: 1, StrideW: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ex.InitRandom(seed)
+		body = append(body, ex, ReLU{})
+	} else {
+		expC = inC
+	}
+	dw, err := NewDepthwiseConv2D(expC, size, size, 3, stride, 1)
+	if err != nil {
+		return nil, err
+	}
+	dw.InitRandom(seed + 1)
+	outSize := dw.OutH()
+	pr, err := NewConv2D(workload.Conv{
+		Name: "project", InC: expC, OutC: outC, InH: outSize, InW: outSize,
+		KH: 1, KW: 1, StrideH: 1, StrideW: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pr.InitRandom(seed + 2)
+	body = append(body, dw, ReLU{}, pr)
+	if stride == 1 && inC == outC {
+		return Residual{Body: body}, nil
+	}
+	return &Sequential{Label: "invres", Layers: body}, nil
+}
+
+// ResNetStyle builds a small ResNet-flavoured network: a stem convolution,
+// a chain of bottleneck blocks, global average pooling and a classifier.
+func ResNetStyle(inputC, inputSize int, blocks int, width, classes int, seed uint64) (*Sequential, error) {
+	if blocks < 1 {
+		return nil, fmt.Errorf("nn: ResNetStyle needs at least one block")
+	}
+	stem, err := NewConv2D(workload.Conv{
+		Name: "stem", InC: inputC, OutC: width, InH: inputSize, InW: inputSize,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stem.InitRandom(seed)
+	net := &Sequential{Label: "resnet-style", Layers: []Layer{stem, ReLU{}}}
+	for b := 0; b < blocks; b++ {
+		blk, err := BottleneckBlock(width, width/2, width, inputSize, seed+uint64(10*b))
+		if err != nil {
+			return nil, err
+		}
+		net.Layers = append(net.Layers, blk, ReLU{})
+	}
+	fc, err := NewFullyConnected(width, classes)
+	if err != nil {
+		return nil, err
+	}
+	fc.InitRandom(seed + 99)
+	net.Layers = append(net.Layers, GlobalAvgPool2D{}, fc)
+	return net, nil
+}
+
+// MobileNetV2Style builds a small MobileNet-V2-flavoured network: a strided
+// stem, a chain of inverted-residual blocks (with real depthwise stages), a
+// 1×1 head, pooling and a classifier.
+func MobileNetV2Style(inputC, inputSize, classes int, seed uint64) (*Sequential, error) {
+	stem, err := NewConv2D(workload.Conv{
+		Name: "stem", InC: inputC, OutC: 16, InH: inputSize, InW: inputSize,
+		KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stem.InitRandom(seed)
+	size := stem.Geom.OutH()
+	net := &Sequential{Label: "mobilenetv2-style", Layers: []Layer{stem, ReLU{}}}
+
+	type blockSpec struct {
+		expand, outC, stride int
+	}
+	specs := []blockSpec{{1, 16, 1}, {6, 24, 2}, {6, 24, 1}, {6, 32, 2}, {6, 32, 1}}
+	c := 16
+	for i, sp := range specs {
+		blk, err := MobileNetV2Block(c, sp.expand, sp.outC, size, sp.stride, seed+uint64(10*i))
+		if err != nil {
+			return nil, err
+		}
+		net.Layers = append(net.Layers, blk)
+		c = sp.outC
+		if sp.stride == 2 {
+			size = (size + 1) / 2
+		}
+	}
+	head, err := NewConv2D(workload.Conv{
+		Name: "head", InC: c, OutC: 64, InH: size, InW: size,
+		KH: 1, KW: 1, StrideH: 1, StrideW: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	head.InitRandom(seed + 98)
+	fc, err := NewFullyConnected(64, classes)
+	if err != nil {
+		return nil, err
+	}
+	fc.InitRandom(seed + 99)
+	net.Layers = append(net.Layers, head, ReLU{}, GlobalAvgPool2D{}, fc)
+	return net, nil
+}

@@ -1,0 +1,374 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sycl"
+	"kernelselect/internal/workload"
+	"kernelselect/internal/xrand"
+)
+
+func randomTensor(n, c, h, w int, seed uint64) *Tensor {
+	r := xrand.New(seed)
+	t := NewTensor(n, c, h, w)
+	for i := range t.Data {
+		t.Data[i] = 2*r.Float64() - 1
+	}
+	return t
+}
+
+func maxAbsDiff(a, b *Tensor) float64 {
+	if !a.ShapeEq(b) {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestTensorBasics(t *testing.T) {
+	tt := NewTensor(2, 3, 4, 5)
+	if tt.Len() != 120 {
+		t.Fatal("Len")
+	}
+	tt.Set(1, 2, 3, 4, 7)
+	if tt.At(1, 2, 3, 4) != 7 {
+		t.Fatal("At/Set")
+	}
+	if tt.AtPadded(1, 2, -1, 0) != 0 || tt.AtPadded(1, 2, 0, 5) != 0 {
+		t.Fatal("AtPadded out of bounds should be 0")
+	}
+	c := tt.Clone()
+	c.Set(0, 0, 0, 0, 9)
+	if tt.At(0, 0, 0, 0) == 9 {
+		t.Fatal("Clone aliases")
+	}
+	if tt.String() != "[2,3,4,5]" {
+		t.Fatalf("String = %q", tt.String())
+	}
+}
+
+func TestNewTensorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero dim accepted")
+		}
+	}()
+	NewTensor(1, 0, 2, 2)
+}
+
+func conv3x3(inC, outC, size int) workload.Conv {
+	return workload.Conv{Name: "t", InC: inC, OutC: outC, InH: size, InW: size,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+}
+
+func TestIm2colMatchesDirect(t *testing.T) {
+	geoms := []workload.Conv{
+		conv3x3(3, 8, 9),
+		{Name: "s2", InC: 4, OutC: 6, InH: 11, InW: 11, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+		{Name: "pw", InC: 5, OutC: 7, InH: 6, InW: 6, KH: 1, KW: 1, StrideH: 1, StrideW: 1},
+		{Name: "7x7", InC: 3, OutC: 4, InH: 15, InW: 15, KH: 7, KW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3},
+		{Name: "rect", InC: 2, OutC: 3, InH: 8, InW: 12, KH: 3, KW: 5, StrideH: 1, StrideW: 2, PadH: 1, PadW: 2},
+	}
+	for _, g := range geoms {
+		conv, err := NewConv2D(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conv.InitRandom(3)
+		in := randomTensor(2, g.InC, g.InH, g.InW, 5)
+		want, err := conv.ForwardDirect(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := conv.Forward(ReferenceRunner{}, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(got, want); d > 1e-10 {
+			t.Fatalf("%s: im2col vs direct diff %v", g.Name, d)
+		}
+	}
+}
+
+func TestIm2colShapeMatchesWorkload(t *testing.T) {
+	g := conv3x3(4, 8, 10)
+	conv, _ := NewConv2D(g)
+	in := randomTensor(3, 4, 10, 10, 1)
+	_, s := conv.Im2col(in)
+	if s != g.Im2colShape(3) {
+		t.Fatalf("im2col shape %v, workload table says %v", s, g.Im2colShape(3))
+	}
+}
+
+func TestWinogradMatchesDirect(t *testing.T) {
+	for _, size := range []int{4, 7, 10} { // even and odd outputs (edge tiles)
+		g := conv3x3(3, 5, size)
+		conv, err := NewConv2D(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conv.InitRandom(7)
+		in := randomTensor(2, 3, size, size, 9)
+		want, _ := conv.ForwardDirect(in)
+		got, err := conv.ForwardWinograd(ReferenceRunner{}, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("size %d: winograd vs direct diff %v", size, d)
+		}
+	}
+}
+
+func TestWinogradNoPadding(t *testing.T) {
+	g := workload.Conv{Name: "np", InC: 2, OutC: 3, InH: 8, InW: 8,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1} // valid convolution, 6×6 out
+	conv, _ := NewConv2D(g)
+	conv.InitRandom(11)
+	in := randomTensor(1, 2, 8, 8, 13)
+	want, _ := conv.ForwardDirect(in)
+	got, err := conv.ForwardWinograd(ReferenceRunner{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("diff %v", d)
+	}
+}
+
+func TestWinogradRejectsNonEligible(t *testing.T) {
+	g := workload.Conv{Name: "s2", InC: 2, OutC: 2, InH: 8, InW: 8,
+		KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	conv, _ := NewConv2D(g)
+	in := randomTensor(1, 2, 8, 8, 1)
+	if _, err := conv.ForwardWinograd(ReferenceRunner{}, in); err == nil {
+		t.Fatal("strided winograd accepted")
+	}
+}
+
+// TestWinogradProperty fuzzes geometry and data.
+func TestWinogradProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		size := 3 + r.Intn(10)
+		g := conv3x3(1+r.Intn(4), 1+r.Intn(4), size)
+		conv, err := NewConv2D(g)
+		if err != nil {
+			return false
+		}
+		conv.InitRandom(seed)
+		in := randomTensor(1+r.Intn(2), g.InC, size, size, seed+1)
+		want, _ := conv.ForwardDirect(in)
+		got, err := conv.ForwardWinograd(ReferenceRunner{}, in)
+		if err != nil {
+			return false
+		}
+		return maxAbsDiff(got, want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvThroughSYCLKernels(t *testing.T) {
+	// The full stack: im2col conv executed by a real tiled kernel on the
+	// work-group emulator.
+	q := sycl.NewQueue(sycl.HostDevice())
+	run := FixedRunner{Q: q, Cfg: gemm.Config{TileRows: 2, TileCols: 4, AccDepth: 4, WG: gemm.WorkGroup{R: 8, C: 16}}}
+	g := conv3x3(3, 8, 12)
+	conv, _ := NewConv2D(g)
+	conv.InitRandom(17)
+	in := randomTensor(2, 3, 12, 12, 19)
+	want, _ := conv.ForwardDirect(in)
+	got, err := conv.Forward(run, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("sycl conv diff %v", d)
+	}
+}
+
+func TestConvInputValidation(t *testing.T) {
+	conv, _ := NewConv2D(conv3x3(3, 4, 8))
+	in := randomTensor(1, 2, 8, 8, 1) // wrong channel count
+	if _, err := conv.Forward(ReferenceRunner{}, in); err == nil {
+		t.Fatal("wrong input shape accepted")
+	}
+	if _, err := conv.ForwardDirect(in); err == nil {
+		t.Fatal("wrong input shape accepted by direct path")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	in := NewTensor(1, 1, 1, 4)
+	copy(in.Data, []float64{-2, 0, 3, -0.5})
+	out, err := ReLU{}.Forward(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 3, 0}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("relu = %v", out.Data)
+		}
+	}
+	if in.Data[0] != -2 {
+		t.Fatal("ReLU mutated input")
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	in := NewTensor(1, 1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = float64(i)
+	}
+	out, err := MaxPool2D{Kernel: 2, Stride: 2}.Forward(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 7, 13, 15}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("pool = %v, want %v", out.Data, want)
+		}
+	}
+	if _, err := (MaxPool2D{Kernel: 0, Stride: 1}).Forward(nil, in); err == nil {
+		t.Fatal("invalid pool accepted")
+	}
+	if _, err := (MaxPool2D{Kernel: 8, Stride: 1}).Forward(nil, in); err == nil {
+		t.Fatal("pool larger than input accepted")
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	in := NewTensor(1, 2, 2, 2)
+	copy(in.Data, []float64{1, 2, 3, 4, 10, 20, 30, 40})
+	out, err := GlobalAvgPool2D{}.Forward(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0, 0, 0) != 2.5 || out.At(0, 1, 0, 0) != 25 {
+		t.Fatalf("gap = %v", out.Data)
+	}
+}
+
+func TestFullyConnected(t *testing.T) {
+	fc, err := NewFullyConnected(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W = [[1,0],[0,1],[1,1]], b = [0.5, -0.5]
+	copy(fc.Weights, []float64{1, 0, 0, 1, 1, 1})
+	copy(fc.Bias, []float64{0.5, -0.5})
+	in := NewTensor(1, 3, 1, 1)
+	copy(in.Data, []float64{2, 3, 4})
+	out, err := fc.Forward(ReferenceRunner{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0, 0, 0) != 6.5 || out.At(0, 1, 0, 0) != 6.5 {
+		t.Fatalf("fc = %v", out.Data)
+	}
+	// Shape mismatch rejected.
+	if _, err := fc.Forward(ReferenceRunner{}, NewTensor(1, 4, 1, 1)); err == nil {
+		t.Fatal("fc accepted wrong input width")
+	}
+}
+
+func TestVGGStyleForward(t *testing.T) {
+	net, err := VGGStyle(3, 16, []int{8, 16}, 32, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randomTensor(2, 3, 16, 16, 3)
+	out, err := net.Forward(ReferenceRunner{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 2 || out.C != 10 || out.H != 1 || out.W != 1 {
+		t.Fatalf("output %v", out)
+	}
+	// Same forward through real kernels agrees with the reference runner.
+	q := sycl.NewQueue(sycl.HostDevice())
+	out2, err := net.Forward(FixedRunner{Q: q, Cfg: gemm.Config{TileRows: 4, TileCols: 4, AccDepth: 2, WG: gemm.WorkGroup{R: 8, C: 8}}}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(out, out2); d > 1e-9 {
+		t.Fatalf("runner mismatch %v", d)
+	}
+}
+
+func TestVGGStyleGEMMShapes(t *testing.T) {
+	net, err := VGGStyle(3, 16, []int{8}, 32, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := net.GEMMShapes(4)
+	// conv 3→8 @16 (M=4·256, K=27, N=8), fc 512→32, fc 32→10.
+	want := []string{"1024x27x8", "4x512x32", "4x32x10"}
+	if len(shapes) != len(want) {
+		t.Fatalf("shapes = %v", shapes)
+	}
+	for i := range want {
+		if shapes[i] != want[i] {
+			t.Fatalf("shape %d = %s, want %s", i, shapes[i], want[i])
+		}
+	}
+}
+
+func TestMobileNetStyleBlock(t *testing.T) {
+	layers, err := MobileNetStyleBlock(8, 48, 16, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &Sequential{Label: "mb", Layers: layers}
+	in := randomTensor(1, 8, 6, 6, 7)
+	out, err := net.Forward(ReferenceRunner{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.C != 16 || out.H != 6 || out.W != 6 {
+		t.Fatalf("block output %v", out)
+	}
+}
+
+func TestVGGStyleErrors(t *testing.T) {
+	if _, err := VGGStyle(3, 16, nil, 32, 10, 1); err == nil {
+		t.Fatal("empty channel list accepted")
+	}
+	if _, err := VGGStyle(3, 2, []int{8, 16, 32}, 32, 10, 1); err == nil {
+		t.Fatal("exhausted spatial size accepted")
+	}
+}
+
+func TestWinogradBatchedRunnerMatchesSequential(t *testing.T) {
+	// The batch-capable FixedRunner and the sequential ReferenceRunner must
+	// produce identical Winograd results.
+	q := sycl.NewQueue(sycl.HostDevice())
+	g := conv3x3(4, 6, 10)
+	conv, _ := NewConv2D(g)
+	conv.InitRandom(23)
+	in := randomTensor(2, 4, 10, 10, 29)
+	seq, err := conv.ForwardWinograd(ReferenceRunner{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := conv.ForwardWinograd(FixedRunner{Q: q,
+		Cfg: gemm.Config{TileRows: 2, TileCols: 2, AccDepth: 4, WG: gemm.WorkGroup{R: 8, C: 8}}}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(seq, batched); d > 1e-9 {
+		t.Fatalf("batched winograd diff %v", d)
+	}
+}

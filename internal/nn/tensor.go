@@ -1,0 +1,64 @@
+// Package nn implements the neural-network substrate behind the paper's
+// workloads: NCHW tensors, the im2col and Winograd F(2×2, 3×3) convolution
+// lowerings (the two transforms Section II-A cites as the source of the
+// dataset's GEMM shapes), pooling/activation/fully-connected layers, and a
+// sequential network runner that executes inference through the
+// kernel-selection library — turning the workload tables of
+// internal/workload into runnable models.
+package nn
+
+import "fmt"
+
+// Tensor is a dense NCHW activation tensor.
+type Tensor struct {
+	N, C, H, W int
+	Data       []float64
+}
+
+// NewTensor allocates a zero tensor. It panics on non-positive dimensions.
+func NewTensor(n, c, h, w int) *Tensor {
+	if n <= 0 || c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("nn: invalid tensor dims %dx%dx%dx%d", n, c, h, w))
+	}
+	return &Tensor{N: n, C: c, H: h, W: w, Data: make([]float64, n*c*h*w)}
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return t.N * t.C * t.H * t.W }
+
+// index computes the flat NCHW offset.
+func (t *Tensor) index(n, c, h, w int) int {
+	return ((n*t.C+c)*t.H+h)*t.W + w
+}
+
+// At returns the element at (n, c, h, w).
+func (t *Tensor) At(n, c, h, w int) float64 { return t.Data[t.index(n, c, h, w)] }
+
+// Set assigns the element at (n, c, h, w).
+func (t *Tensor) Set(n, c, h, w int, v float64) { t.Data[t.index(n, c, h, w)] = v }
+
+// AtPadded returns the element at (n, c, h, w) treating out-of-bounds
+// spatial coordinates as zero padding.
+func (t *Tensor) AtPadded(n, c, h, w int) float64 {
+	if h < 0 || h >= t.H || w < 0 || w >= t.W {
+		return 0
+	}
+	return t.Data[t.index(n, c, h, w)]
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := NewTensor(t.N, t.C, t.H, t.W)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// ShapeEq reports whether two tensors have identical dimensions.
+func (t *Tensor) ShapeEq(o *Tensor) bool {
+	return t.N == o.N && t.C == o.C && t.H == o.H && t.W == o.W
+}
+
+// String renders the dimensions.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("[%d,%d,%d,%d]", t.N, t.C, t.H, t.W)
+}

@@ -1,0 +1,319 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/xrand"
+)
+
+// Training support: the paper's motivation is machine learning *research* —
+// models that are being trained while their topology keeps changing. This
+// file implements a multi-layer perceptron with a full backward pass whose
+// gradient GEMMs run through the same GEMMRunner as inference. The backward
+// shapes are materially different from the forward ones (dW = Xᵀ·dY is a
+// K-large TN product; dX = dY·Wᵀ is NT), exercising the transpose kernel
+// modes and handing the kernel selector shapes that inference never
+// produces.
+
+// MLP is a fully-connected network with ReLU between layers (none after the
+// last). Weights[l] is (Sizes[l] × Sizes[l+1]) row-major.
+type MLP struct {
+	Sizes   []int
+	Weights [][]float64
+	Biases  [][]float64
+}
+
+// NewMLP builds a zero-initialised network with the given layer sizes
+// (at least two: input and output).
+func NewMLP(sizes ...int) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("nn: MLP needs at least input and output sizes")
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("nn: non-positive layer size %d", s)
+		}
+	}
+	m := &MLP{Sizes: append([]int(nil), sizes...)}
+	for l := 0; l < len(sizes)-1; l++ {
+		m.Weights = append(m.Weights, make([]float64, sizes[l]*sizes[l+1]))
+		m.Biases = append(m.Biases, make([]float64, sizes[l+1]))
+	}
+	return m, nil
+}
+
+// InitRandom fills the weights Xavier-style.
+func (m *MLP) InitRandom(seed uint64) {
+	r := xrand.New(seed)
+	for l := range m.Weights {
+		scale := math.Sqrt(2 / float64(m.Sizes[l]))
+		for i := range m.Weights[l] {
+			m.Weights[l][i] = r.NormFloat64() * scale
+		}
+		for i := range m.Biases[l] {
+			m.Biases[l][i] = 0
+		}
+	}
+}
+
+// forwardCache holds the activations needed by the backward pass.
+type forwardCache struct {
+	// acts[0] is the input; acts[l+1] the post-ReLU output of layer l
+	// (post-linear for the last layer). pre[l] is layer l's pre-activation.
+	acts [][]float64
+	pre  [][]float64
+	n    int // batch size
+}
+
+// forward runs the network on a flattened (n × Sizes[0]) batch.
+func (m *MLP) forward(run GEMMRunner, x []float64, n int) (*forwardCache, error) {
+	if len(x) != n*m.Sizes[0] {
+		return nil, fmt.Errorf("nn: MLP input length %d for batch %d × %d", len(x), n, m.Sizes[0])
+	}
+	c := &forwardCache{n: n}
+	c.acts = append(c.acts, x)
+	cur := x
+	last := len(m.Weights) - 1
+	for l, w := range m.Weights {
+		in, out := m.Sizes[l], m.Sizes[l+1]
+		z := make([]float64, n*out)
+		if err := run.RunGEMM(cur, w, z, gemm.Shape{M: n, K: in, N: out}); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < out; j++ {
+				z[i*out+j] += m.Biases[l][j]
+			}
+		}
+		c.pre = append(c.pre, z)
+		if l == last {
+			c.acts = append(c.acts, z)
+			cur = z
+			continue
+		}
+		a := make([]float64, len(z))
+		for i, v := range z {
+			if v > 0 {
+				a[i] = v
+			}
+		}
+		c.acts = append(c.acts, a)
+		cur = a
+	}
+	return c, nil
+}
+
+// Logits runs inference and returns the (n × classes) output scores.
+func (m *MLP) Logits(run GEMMRunner, x []float64, n int) ([]float64, error) {
+	c, err := m.forward(run, x, n)
+	if err != nil {
+		return nil, err
+	}
+	return c.acts[len(c.acts)-1], nil
+}
+
+// Predict returns the argmax class per batch row.
+func (m *MLP) Predict(run GEMMRunner, x []float64, n int) ([]int, error) {
+	logits, err := m.Logits(run, x, n)
+	if err != nil {
+		return nil, err
+	}
+	classes := m.Sizes[len(m.Sizes)-1]
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := logits[i*classes : (i+1)*classes]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}
+
+// SoftmaxCrossEntropy returns the mean loss and the gradient with respect to
+// the logits for integer labels.
+func SoftmaxCrossEntropy(logits []float64, labels []int, classes int) (float64, []float64) {
+	n := len(labels)
+	grad := make([]float64, len(logits))
+	var loss float64
+	for i := 0; i < n; i++ {
+		row := logits[i*classes : (i+1)*classes]
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - max)
+		}
+		logSum := math.Log(sum) + max
+		loss += logSum - row[labels[i]]
+		for j, v := range row {
+			p := math.Exp(v - logSum)
+			g := p
+			if j == labels[i] {
+				g -= 1
+			}
+			grad[i*classes+j] = g / float64(n)
+		}
+	}
+	return loss / float64(n), grad
+}
+
+// Gradients holds per-layer parameter gradients.
+type Gradients struct {
+	W [][]float64
+	B [][]float64
+}
+
+// Backward computes parameter gradients for a batch given dLogits (the
+// loss gradient at the output). All GEMMs — including the transpose-mode
+// products — run through the runner.
+func (m *MLP) Backward(run GEMMRunner, cache *forwardCache, dLogits []float64) (*Gradients, error) {
+	g := &Gradients{}
+	for l := range m.Weights {
+		g.W = append(g.W, make([]float64, len(m.Weights[l])))
+		g.B = append(g.B, make([]float64, len(m.Biases[l])))
+	}
+	n := cache.n
+	delta := dLogits
+	for l := len(m.Weights) - 1; l >= 0; l-- {
+		in, out := m.Sizes[l], m.Sizes[l+1]
+		x := cache.acts[l]
+
+		// dW = Xᵀ·delta : logical (in × out) product with K = n; A is stored
+		// (n × in), i.e. transposed relative to the product — the TN mode.
+		if err := runTN(run, x, delta, g.W[l], in, n, out); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < out; j++ {
+				g.B[l][j] += delta[i*out+j]
+			}
+		}
+		if l == 0 {
+			break
+		}
+		// dX = delta·Wᵀ : (n × in) with B stored (in × out) — the NT mode.
+		dx := make([]float64, n*in)
+		if err := runNT(run, delta, m.Weights[l], dx, n, out, in); err != nil {
+			return nil, err
+		}
+		// ReLU mask of layer l-1's pre-activation.
+		pre := cache.pre[l-1]
+		for i, v := range pre {
+			if v <= 0 {
+				dx[i] = 0
+			}
+		}
+		delta = dx
+	}
+	return g, nil
+}
+
+// SGDStep applies gradients with the given learning rate.
+func (m *MLP) SGDStep(g *Gradients, lr float64) {
+	for l := range m.Weights {
+		for i, d := range g.W[l] {
+			m.Weights[l][i] -= lr * d
+		}
+		for i, d := range g.B[l] {
+			m.Biases[l][i] -= lr * d
+		}
+	}
+}
+
+// TrainStep runs one forward/backward/update step and returns the loss.
+func (m *MLP) TrainStep(run GEMMRunner, x []float64, labels []int, lr float64) (float64, error) {
+	n := len(labels)
+	cache, err := m.forward(run, x, n)
+	if err != nil {
+		return 0, err
+	}
+	classes := m.Sizes[len(m.Sizes)-1]
+	loss, dLogits := SoftmaxCrossEntropy(cache.acts[len(cache.acts)-1], labels, classes)
+	grads, err := m.Backward(run, cache, dLogits)
+	if err != nil {
+		return 0, err
+	}
+	m.SGDStep(grads, lr)
+	return loss, nil
+}
+
+// BackwardGEMMShapes lists the gradient GEMM shapes one training step of
+// batch n produces — the shapes a tuning dataset for training workloads
+// would additionally need to cover.
+func (m *MLP) BackwardGEMMShapes(n int) []gemm.Shape {
+	var shapes []gemm.Shape
+	for l := len(m.Weights) - 1; l >= 0; l-- {
+		in, out := m.Sizes[l], m.Sizes[l+1]
+		shapes = append(shapes, gemm.Shape{M: in, K: n, N: out}) // dW
+		if l > 0 {
+			shapes = append(shapes, gemm.Shape{M: n, K: out, N: in}) // dX
+		}
+	}
+	return shapes
+}
+
+// transposeRunner is implemented by runners that can execute transpose-mode
+// GEMMs natively (the SYCL-backed runners); others fall back to an explicit
+// transposition plus a plain product.
+type transposeRunner interface {
+	RunGEMMEx(a, b, c []float64, s gemm.Shape, opts gemm.MulOpts) error
+}
+
+// RunGEMMEx implements transposeRunner for LibraryRunner.
+func (r LibraryRunner) RunGEMMEx(a, b, c []float64, s gemm.Shape, opts gemm.MulOpts) error {
+	return gemm.MultiplyEx(r.Q, r.Lib.Choose(s), a, b, c, s, opts)
+}
+
+// RunGEMMEx implements transposeRunner for FixedRunner.
+func (r FixedRunner) RunGEMMEx(a, b, c []float64, s gemm.Shape, opts gemm.MulOpts) error {
+	return gemm.MultiplyEx(r.Q, r.Cfg, a, b, c, s, opts)
+}
+
+// RunGEMMEx implements transposeRunner for ReferenceRunner.
+func (ReferenceRunner) RunGEMMEx(a, b, c []float64, s gemm.Shape, opts gemm.MulOpts) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	gemm.ReferenceEx(a, b, c, s, opts)
+	return nil
+}
+
+// runTN computes c[m×n] = aᵀ·b with a stored (k × m) and b stored (k × n).
+func runTN(run GEMMRunner, a, b, c []float64, m, k, n int) error {
+	s := gemm.Shape{M: m, K: k, N: n}
+	if tr, ok := run.(transposeRunner); ok {
+		return tr.RunGEMMEx(a, b, c, s, gemm.MulOpts{TransA: true, Alpha: 1})
+	}
+	at := transpose(a, k, m)
+	return run.RunGEMM(at, b, c, s)
+}
+
+// runNT computes c[m×n] = a·bᵀ with a stored (m × k) and b stored (n × k).
+func runNT(run GEMMRunner, a, b, c []float64, m, k, n int) error {
+	s := gemm.Shape{M: m, K: k, N: n}
+	if tr, ok := run.(transposeRunner); ok {
+		return tr.RunGEMMEx(a, b, c, s, gemm.MulOpts{TransB: true, Alpha: 1})
+	}
+	bt := transpose(b, n, k)
+	return run.RunGEMM(a, bt, c, s)
+}
+
+func transpose(m []float64, rows, cols int) []float64 {
+	t := make([]float64, len(m))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			t[j*rows+i] = m[i*cols+j]
+		}
+	}
+	return t
+}

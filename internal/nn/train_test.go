@@ -1,0 +1,239 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sycl"
+	"kernelselect/internal/xrand"
+)
+
+func TestNewMLPValidation(t *testing.T) {
+	if _, err := NewMLP(4); err == nil {
+		t.Fatal("single-layer MLP accepted")
+	}
+	if _, err := NewMLP(4, 0, 2); err == nil {
+		t.Fatal("zero layer size accepted")
+	}
+	m, err := NewMLP(4, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Weights) != 2 || len(m.Weights[0]) != 32 || len(m.Weights[1]) != 24 {
+		t.Fatalf("weight shapes wrong: %d layers", len(m.Weights))
+	}
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	// Uniform logits over 4 classes → loss = ln 4, gradient p − y.
+	logits := []float64{0, 0, 0, 0}
+	loss, grad := SoftmaxCrossEntropy(logits, []int{2}, 4)
+	if math.Abs(loss-math.Log(4)) > 1e-12 {
+		t.Fatalf("loss = %v, want ln4", loss)
+	}
+	for j, g := range grad {
+		want := 0.25
+		if j == 2 {
+			want = -0.75
+		}
+		if math.Abs(g-want) > 1e-12 {
+			t.Fatalf("grad[%d] = %v, want %v", j, g, want)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyStable(t *testing.T) {
+	// Huge logits must not overflow.
+	loss, grad := SoftmaxCrossEntropy([]float64{1e4, -1e4}, []int{0}, 2)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss = %v", loss)
+	}
+	for _, g := range grad {
+		if math.IsNaN(g) {
+			t.Fatal("NaN gradient")
+		}
+	}
+}
+
+// TestBackwardMatchesNumericalGradient is the decisive correctness check:
+// analytic gradients from the GEMM-based backward pass must match central
+// finite differences of the loss.
+func TestBackwardMatchesNumericalGradient(t *testing.T) {
+	m, _ := NewMLP(3, 5, 4, 2)
+	m.InitRandom(7)
+	r := xrand.New(9)
+	const n = 6
+	x := make([]float64, n*3)
+	for i := range x {
+		x[i] = 2*r.Float64() - 1
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = r.Intn(2)
+	}
+	run := ReferenceRunner{}
+
+	lossAt := func() float64 {
+		logits, err := m.Logits(run, x, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, _ := SoftmaxCrossEntropy(logits, labels, 2)
+		return l
+	}
+
+	cache, err := m.forward(run, x, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dLogits := SoftmaxCrossEntropy(cache.acts[len(cache.acts)-1], labels, 2)
+	grads, err := m.Backward(run, cache, dLogits)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const eps = 1e-6
+	check := func(name string, params, analytic []float64) {
+		for i := 0; i < len(params); i += 1 + len(params)/7 { // sample positions
+			orig := params[i]
+			params[i] = orig + eps
+			up := lossAt()
+			params[i] = orig - eps
+			down := lossAt()
+			params[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-analytic[i]) > 1e-5 {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", name, i, analytic[i], numeric)
+			}
+		}
+	}
+	for l := range m.Weights {
+		check("W", m.Weights[l], grads.W[l])
+		check("B", m.Biases[l], grads.B[l])
+	}
+}
+
+func TestTrainStepReducesLossAndLearns(t *testing.T) {
+	// Two separable Gaussian classes in 2-D: a small MLP must reach high
+	// training accuracy within a few hundred SGD steps.
+	m, _ := NewMLP(2, 16, 2)
+	m.InitRandom(3)
+	r := xrand.New(5)
+	const n = 64
+	x := make([]float64, n*2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		labels[i] = c
+		off := -1.5
+		if c == 1 {
+			off = 1.5
+		}
+		x[i*2] = off + 0.4*r.NormFloat64()
+		x[i*2+1] = off + 0.4*r.NormFloat64()
+	}
+	run := ReferenceRunner{}
+	first, err := m.TrainStep(run, x, labels, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for step := 0; step < 300; step++ {
+		if last, err = m.TrainStep(run, x, labels, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v → %v", first, last)
+	}
+	pred, err := m.Predict(run, x, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / n; acc < 0.95 {
+		t.Fatalf("training accuracy %v < 0.95", acc)
+	}
+}
+
+// TestBackwardRunnersAgree: the transpose-capable SYCL runner must produce
+// the same gradients as the reference (which also has the fast path) and as
+// a plain runner forced through the explicit-transposition fallback.
+func TestBackwardRunnersAgree(t *testing.T) {
+	m, _ := NewMLP(4, 6, 3)
+	m.InitRandom(11)
+	r := xrand.New(13)
+	const n = 5
+	x := make([]float64, n*4)
+	for i := range x {
+		x[i] = 2*r.Float64() - 1
+	}
+	labels := []int{0, 1, 2, 1, 0}
+
+	grads := func(run GEMMRunner) *Gradients {
+		cache, err := m.forward(run, x, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, dLogits := SoftmaxCrossEntropy(cache.acts[len(cache.acts)-1], labels, 3)
+		g, err := m.Backward(run, cache, dLogits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	q := sycl.NewQueue(sycl.HostDevice())
+	ref := grads(ReferenceRunner{})
+	fixed := grads(FixedRunner{Q: q, Cfg: gemm.Config{TileRows: 2, TileCols: 2, AccDepth: 2, WG: gemm.WorkGroup{R: 8, C: 8}}})
+	plain := grads(plainRunner{})
+	for l := range ref.W {
+		for i := range ref.W[l] {
+			if math.Abs(ref.W[l][i]-fixed.W[l][i]) > 1e-9 {
+				t.Fatalf("fixed runner gradient differs at layer %d", l)
+			}
+			if math.Abs(ref.W[l][i]-plain.W[l][i]) > 1e-9 {
+				t.Fatalf("fallback-path gradient differs at layer %d", l)
+			}
+		}
+	}
+}
+
+// plainRunner deliberately lacks RunGEMMEx to exercise the explicit
+// transposition fallback in runTN/runNT.
+type plainRunner struct{}
+
+func (plainRunner) RunGEMM(a, b, c []float64, s gemm.Shape) error {
+	gemm.Reference(a, b, c, s)
+	return nil
+}
+
+func TestBackwardGEMMShapes(t *testing.T) {
+	m, _ := NewMLP(100, 50, 10)
+	shapes := m.BackwardGEMMShapes(32)
+	want := []gemm.Shape{
+		{M: 50, K: 32, N: 10}, // dW layer 1
+		{M: 32, K: 10, N: 50}, // dX layer 1
+		{M: 100, K: 32, N: 50}, // dW layer 0
+	}
+	if len(shapes) != len(want) {
+		t.Fatalf("shapes = %v", shapes)
+	}
+	for i := range want {
+		if shapes[i] != want[i] {
+			t.Fatalf("shape %d = %v, want %v", i, shapes[i], want[i])
+		}
+	}
+}
+
+func TestLogitsValidatesInput(t *testing.T) {
+	m, _ := NewMLP(4, 2)
+	if _, err := m.Logits(ReferenceRunner{}, make([]float64, 7), 2); err == nil {
+		t.Fatal("bad input length accepted")
+	}
+}

@@ -1,0 +1,201 @@
+package nn
+
+import (
+	"fmt"
+
+	"kernelselect/internal/gemm"
+)
+
+// Winograd F(2×2, 3×3) convolution: each 4×4 input tile is transformed with
+// Bᵀ·d·B, each 3×3 filter with G·g·Gᵀ, the 16 transformed positions are
+// contracted with 16 independent GEMMs of shape (tiles × InC) · (InC × OutC)
+// — the batched-GEMM shapes internal/workload feeds into the tuning dataset
+// — and each product tile is mapped back with Aᵀ·m·A to a 2×2 output block.
+//
+// Transform matrices (Lavin & Gray's formulation):
+//
+//	Bᵀ = ⎡1  0 −1  0⎤   G = ⎡ 1    0    0 ⎤   Aᵀ = ⎡1 1  1  0⎤
+//	     ⎢0  1  1  0⎥       ⎢1/2  1/2  1/2⎥        ⎣0 1 −1 −1⎦
+//	     ⎢0 −1  1  0⎥       ⎢1/2 −1/2  1/2⎥
+//	     ⎣0  1  0 −1⎦       ⎣ 0    0    1 ⎦
+
+// winogradInputTransform computes Bᵀ·d·B for a 4×4 tile d (flattened
+// row-major into dst).
+func winogradInputTransform(d *[4][4]float64, dst []float64) {
+	// t = Bᵀ·d
+	var t [4][4]float64
+	for j := 0; j < 4; j++ {
+		t[0][j] = d[0][j] - d[2][j]
+		t[1][j] = d[1][j] + d[2][j]
+		t[2][j] = d[2][j] - d[1][j]
+		t[3][j] = d[1][j] - d[3][j]
+	}
+	// dst = t·B
+	for i := 0; i < 4; i++ {
+		dst[i*4+0] = t[i][0] - t[i][2]
+		dst[i*4+1] = t[i][1] + t[i][2]
+		dst[i*4+2] = t[i][2] - t[i][1]
+		dst[i*4+3] = t[i][1] - t[i][3]
+	}
+}
+
+// winogradFilterTransform computes G·g·Gᵀ for a 3×3 filter g.
+func winogradFilterTransform(g *[3][3]float64, dst []float64) {
+	// t = G·g (4×3)
+	var t [4][3]float64
+	for j := 0; j < 3; j++ {
+		t[0][j] = g[0][j]
+		t[1][j] = 0.5 * (g[0][j] + g[1][j] + g[2][j])
+		t[2][j] = 0.5 * (g[0][j] - g[1][j] + g[2][j])
+		t[3][j] = g[2][j]
+	}
+	// dst = t·Gᵀ (4×4)
+	for i := 0; i < 4; i++ {
+		dst[i*4+0] = t[i][0]
+		dst[i*4+1] = 0.5 * (t[i][0] + t[i][1] + t[i][2])
+		dst[i*4+2] = 0.5 * (t[i][0] - t[i][1] + t[i][2])
+		dst[i*4+3] = t[i][2]
+	}
+}
+
+// winogradOutputTransform computes Aᵀ·m·A for a 4×4 product tile m, yielding
+// the 2×2 output block.
+func winogradOutputTransform(m []float64, dst *[2][2]float64) {
+	// t = Aᵀ·m (2×4)
+	var t [2][4]float64
+	for j := 0; j < 4; j++ {
+		t[0][j] = m[0*4+j] + m[1*4+j] + m[2*4+j]
+		t[1][j] = m[1*4+j] - m[2*4+j] - m[3*4+j]
+	}
+	// dst = t·A (2×2)
+	for i := 0; i < 2; i++ {
+		dst[i][0] = t[i][0] + t[i][1] + t[i][2]
+		dst[i][1] = t[i][1] - t[i][2] - t[i][3]
+	}
+}
+
+// ForwardWinograd computes the convolution with the Winograd F(2×2, 3×3)
+// algorithm. It requires a 3×3 kernel with unit stride (the same condition
+// workload.Conv.WinogradShape enforces for the tuning dataset).
+func (l *Conv2D) ForwardWinograd(run GEMMRunner, in *Tensor) (*Tensor, error) {
+	g := l.Geom
+	if g.KH != 3 || g.KW != 3 || g.StrideH != 1 || g.StrideW != 1 {
+		return nil, fmt.Errorf("nn: %s does not admit Winograd F(2x2,3x3)", l.Name())
+	}
+	if err := l.checkInput(in); err != nil {
+		return nil, err
+	}
+	oh, ow := g.OutH(), g.OutW()
+	tilesY := (oh + 1) / 2
+	tilesX := (ow + 1) / 2
+	nTiles := in.N * tilesY * tilesX
+
+	// Transformed input V: 16 matrices of (nTiles × InC), stored per
+	// position for contiguous GEMM operands.
+	v := make([][]float64, 16)
+	for p := range v {
+		v[p] = make([]float64, nTiles*g.InC)
+	}
+	var d [4][4]float64
+	var td [16]float64
+	tile := 0
+	for n := 0; n < in.N; n++ {
+		for ty := 0; ty < tilesY; ty++ {
+			for tx := 0; tx < tilesX; tx++ {
+				for c := 0; c < g.InC; c++ {
+					y0 := ty*2 - g.PadH
+					x0 := tx*2 - g.PadW
+					for i := 0; i < 4; i++ {
+						for j := 0; j < 4; j++ {
+							d[i][j] = in.AtPadded(n, c, y0+i, x0+j)
+						}
+					}
+					winogradInputTransform(&d, td[:])
+					for p := 0; p < 16; p++ {
+						v[p][tile*g.InC+c] = td[p]
+					}
+				}
+				tile++
+			}
+		}
+	}
+
+	// Transformed filters U: 16 matrices of (InC × OutC).
+	u := make([][]float64, 16)
+	for p := range u {
+		u[p] = make([]float64, g.InC*g.OutC)
+	}
+	var f [3][3]float64
+	var tf [16]float64
+	for oc := 0; oc < g.OutC; oc++ {
+		for c := 0; c < g.InC; c++ {
+			for kh := 0; kh < 3; kh++ {
+				for kw := 0; kw < 3; kw++ {
+					f[kh][kw] = l.Weights[(c*9+kh*3+kw)*g.OutC+oc]
+				}
+			}
+			winogradFilterTransform(&f, tf[:])
+			for p := 0; p < 16; p++ {
+				u[p][c*g.OutC+oc] = tf[p]
+			}
+		}
+	}
+
+	// 16 independent GEMMs — the batched shape the tuning dataset records.
+	// A batch-capable runner executes them concurrently with one selection
+	// decision; otherwise they run sequentially.
+	s := gemm.Shape{M: nTiles, K: g.InC, N: g.OutC}
+	m := make([][]float64, 16)
+	for p := 0; p < 16; p++ {
+		m[p] = make([]float64, nTiles*g.OutC)
+	}
+	if br, ok := run.(BatchGEMMRunner); ok {
+		batch := make([]gemm.Batch, 16)
+		for p := 0; p < 16; p++ {
+			batch[p] = gemm.Batch{A: v[p], B: u[p], C: m[p]}
+		}
+		if err := br.RunGEMMBatch(batch, s); err != nil {
+			return nil, fmt.Errorf("nn: winograd batch: %w", err)
+		}
+	} else {
+		for p := 0; p < 16; p++ {
+			if err := run.RunGEMM(v[p], u[p], m[p], s); err != nil {
+				return nil, fmt.Errorf("nn: winograd position %d: %w", p, err)
+			}
+		}
+	}
+
+	// Inverse transform and scatter (bounds-checked: edge tiles may hang
+	// over the output).
+	out := NewTensor(in.N, g.OutC, oh, ow)
+	var prod [16]float64
+	var y2 [2][2]float64
+	tile = 0
+	for n := 0; n < in.N; n++ {
+		for ty := 0; ty < tilesY; ty++ {
+			for tx := 0; tx < tilesX; tx++ {
+				for oc := 0; oc < g.OutC; oc++ {
+					for p := 0; p < 16; p++ {
+						prod[p] = m[p][tile*g.OutC+oc]
+					}
+					winogradOutputTransform(prod[:], &y2)
+					for i := 0; i < 2; i++ {
+						oy := ty*2 + i
+						if oy >= oh {
+							break
+						}
+						for j := 0; j < 2; j++ {
+							ox := tx*2 + j
+							if ox >= ow {
+								break
+							}
+							out.Set(n, oc, oy, ox, y2[i][j]+l.Bias[oc])
+						}
+					}
+				}
+				tile++
+			}
+		}
+	}
+	return out, nil
+}

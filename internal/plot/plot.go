@@ -1,0 +1,346 @@
+// Package plot renders the repository's experiment figures as standalone
+// SVG documents using only the standard library.
+//
+// The visual rules follow a fixed, validated design method: categorical
+// series take hues from a fixed-order palette (validated for color-vision
+// deficiency separation; worst adjacent ΔE 24.2), marks are thin (2px lines,
+// rounded bar tops anchored to the baseline, 2px gaps between bars), grids
+// are recessive, text wears text colors (never series colors), every
+// multi-series chart carries a legend plus direct end-labels (the relief
+// obligation for the low-contrast slots), and every mark carries a <title>
+// element so browsers show native tooltips.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Fixed-order categorical palette (light surface). Assigned to series by
+// index, never cycled: charts in this repository never exceed five series.
+var seriesColors = []string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#008300", // green
+	"#4a3aa7", // violet
+	"#e34948", // red
+	"#e87ba4", // magenta
+	"#eb6834", // orange
+}
+
+const (
+	surface       = "#fcfcfb"
+	textPrimary   = "#0b0b0b"
+	textSecondary = "#52514e"
+	gridColor     = "#e9e8e4"
+	barFill       = "#2a78d6"
+)
+
+// Series is one named line of a LineChart.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// LineChart is a multi-series line chart over a shared X vector.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	W, H   int // default 760×440
+	// Markers draws point markers with tooltips (sensible below ~50 points).
+	Markers bool
+}
+
+// BarChart is a single-series bar chart over categorical labels.
+type BarChart struct {
+	Title  string
+	YLabel string
+	Labels []string
+	Values []float64
+	W, H   int
+}
+
+const (
+	padL, padR, padT, padB = 64, 150, 44, 48
+)
+
+// SVG renders the chart.
+func (c LineChart) SVG() (string, error) {
+	if len(c.X) == 0 || len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: empty line chart")
+	}
+	if len(c.Series) > len(seriesColors) {
+		return "", fmt.Errorf("plot: %d series exceeds the %d fixed palette slots", len(c.Series), len(seriesColors))
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.X) {
+			return "", fmt.Errorf("plot: series %q has %d points for %d x values", s.Name, len(s.Y), len(c.X))
+		}
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return "", fmt.Errorf("plot: series %q contains a non-finite value", s.Name)
+			}
+		}
+	}
+	w, h := c.W, c.H
+	if w <= 0 {
+		w = 760
+	}
+	if h <= 0 {
+		h = 440
+	}
+	plotW := float64(w - padL - padR)
+	plotH := float64(h - padT - padB)
+
+	xmin, xmax := minMax(c.X)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		lo, hi := minMax(s.Y)
+		ymin = math.Min(ymin, lo)
+		ymax = math.Max(ymax, hi)
+	}
+	if ymin == ymax {
+		ymin, ymax = ymin-1, ymax+1
+	}
+	if xmin == xmax {
+		xmin, xmax = xmin-1, xmax+1
+	}
+	// Breathing room on Y.
+	span := ymax - ymin
+	ymin -= 0.05 * span
+	ymax += 0.05 * span
+
+	px := func(x float64) float64 { return float64(padL) + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(padT) + (1-(y-ymin)/(ymax-ymin))*plotH }
+
+	var b strings.Builder
+	header(&b, w, h, c.Title)
+
+	// Recessive horizontal grid + y tick labels.
+	for _, ty := range niceTicks(ymin, ymax, 5) {
+		y := py(ty)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			padL, y, w-padR, y, gridColor)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-size="11" fill="%s">%s</text>`+"\n",
+			padL-8, y+4, textSecondary, trimNum(ty))
+	}
+	// X ticks.
+	for _, tx := range niceTicks(xmin, xmax, 6) {
+		if tx < xmin || tx > xmax {
+			continue
+		}
+		x := px(tx)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-size="11" fill="%s">%s</text>`+"\n",
+			x, h-padB+18, textSecondary, trimNum(tx))
+	}
+	axisLabels(&b, w, h, c.XLabel, c.YLabel)
+
+	// Series lines (2px, rounded) and optional markers with native tooltips.
+	for si, s := range c.Series {
+		color := seriesColors[si]
+		var path strings.Builder
+		for i, x := range c.X {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, px(x), py(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linecap="round" stroke-linejoin="round"><title>%s</title></path>`+"\n",
+			strings.TrimSpace(path.String()), color, esc(s.Name))
+		if c.Markers {
+			for i, x := range c.X {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"><title>%s: (%s, %s)</title></circle>`+"\n",
+					px(x), py(s.Y[i]), color, esc(s.Name), trimNum(x), trimNum(s.Y[i]))
+			}
+		}
+	}
+
+	// Direct end-labels in secondary ink next to colored end dots, with
+	// vertical collision avoidance where series converge.
+	labelY := make([]float64, len(c.Series))
+	order := make([]int, len(c.Series))
+	for si, s := range c.Series {
+		labelY[si] = py(s.Y[len(s.Y)-1])
+		order[si] = si
+	}
+	for i := 1; i < len(order); i++ { // insertion sort by y
+		for j := i; j > 0 && labelY[order[j]] < labelY[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	const minLabelGap = 14
+	for k := 1; k < len(order); k++ {
+		if d := labelY[order[k]] - labelY[order[k-1]]; d < minLabelGap {
+			labelY[order[k]] = labelY[order[k-1]] + minLabelGap
+		}
+	}
+	lastX := px(c.X[len(c.X)-1])
+	for si, s := range c.Series {
+		endY := py(s.Y[len(s.Y)-1])
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s" stroke="%s" stroke-width="2"/>`+"\n",
+			lastX, endY, seriesColors[si], surface)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s">%s</text>`+"\n",
+			lastX+8, labelY[si]+4, textSecondary, esc(s.Name))
+	}
+
+	// Legend (always present for ≥2 series; a single series is named by the
+	// title and its end label).
+	if len(c.Series) >= 2 {
+		legend(&b, w, c.Series)
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// SVG renders the bar chart.
+func (c BarChart) SVG() (string, error) {
+	if len(c.Labels) == 0 || len(c.Labels) != len(c.Values) {
+		return "", fmt.Errorf("plot: bar chart needs equal non-empty labels and values")
+	}
+	for _, v := range c.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return "", fmt.Errorf("plot: bar values must be finite and non-negative")
+		}
+	}
+	w, h := c.W, c.H
+	if w <= 0 {
+		w = 760
+	}
+	if h <= 0 {
+		h = 440
+	}
+	plotW := float64(w - padL - padR)
+	plotH := float64(h - padT - padB)
+	_, vmax := minMax(c.Values)
+	if vmax == 0 {
+		vmax = 1
+	}
+
+	var b strings.Builder
+	header(&b, w, h, c.Title)
+	for _, ty := range niceTicks(0, vmax, 5) {
+		y := float64(padT) + (1-ty/vmax)*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			padL, y, w-padR, y, gridColor)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-size="11" fill="%s">%s</text>`+"\n",
+			padL-8, y+4, textSecondary, trimNum(ty))
+	}
+	axisLabels(&b, w, h, "", c.YLabel)
+
+	n := len(c.Values)
+	slot := plotW / float64(n)
+	barW := slot - 2 // 2px surface gap between bars
+	if barW < 1 {
+		barW = slot * 0.8
+	}
+	baseline := float64(padT) + plotH
+	for i, v := range c.Values {
+		x := float64(padL) + float64(i)*slot + 1
+		barH := v / vmax * plotH
+		top := baseline - barH
+		r := math.Min(4, math.Min(barW/2, barH)) // rounded data end, flat baseline end
+		fmt.Fprintf(&b,
+			`<path d="M%.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Z" fill="%s"><title>%s: %s</title></path>`+"\n",
+			x, baseline,
+			x, top+r,
+			x, top, x+r, top,
+			x+barW-r, top,
+			x+barW, top, x+barW, top+r,
+			x+barW, baseline,
+			barFill, esc(c.Labels[i]), trimNum(v))
+		// Direct value label (selective: only when bars are wide enough).
+		if barW >= 18 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="10" fill="%s">%s</text>`+"\n",
+				x+barW/2, top-4, textSecondary, trimNum(v))
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end" font-size="10" fill="%s" transform="rotate(-40 %.1f %.1f)">%s</text>`+"\n",
+				x+barW/2, baseline+14, textSecondary, x+barW/2, baseline+14, esc(c.Labels[i]))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func header(b *strings.Builder, w, h int, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", w, h, surface)
+	fmt.Fprintf(b, `<text x="%d" y="24" font-size="15" font-weight="600" fill="%s">%s</text>`+"\n", padL, textPrimary, esc(title))
+}
+
+func axisLabels(b *strings.Builder, w, h int, xlabel, ylabel string) {
+	if xlabel != "" {
+		fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="middle" font-size="12" fill="%s">%s</text>`+"\n",
+			padL+(w-padL-padR)/2, h-10, textSecondary, esc(xlabel))
+	}
+	if ylabel != "" {
+		y := padT + (h-padT-padB)/2
+		fmt.Fprintf(b, `<text x="16" y="%d" text-anchor="middle" font-size="12" fill="%s" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			y, textSecondary, y, esc(ylabel))
+	}
+}
+
+func legend(b *strings.Builder, w int, series []Series) {
+	x := w - padR + 16
+	y := padT + 6
+	for si, s := range series {
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="10" height="10" rx="2" fill="%s"/>`+"\n",
+			x, y-9, seriesColors[si])
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" fill="%s">%s</text>`+"\n",
+			x+15, y, textSecondary, esc(s.Name))
+		y += 18
+	}
+}
+
+func niceTicks(lo, hi float64, target int) []float64 {
+	span := hi - lo
+	if span <= 0 || target < 2 {
+		return []float64{lo}
+	}
+	raw := span / float64(target)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var ticks []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+1e-9; t += step {
+		ticks = append(ticks, t)
+	}
+	return ticks
+}
+
+func minMax(vs []float64) (lo, hi float64) {
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

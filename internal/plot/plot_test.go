@@ -1,0 +1,186 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func parseSVG(t *testing.T, s string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, s)
+		}
+	}
+}
+
+func lineChart() LineChart {
+	return LineChart{
+		Title:  "Figure — test",
+		XLabel: "N",
+		YLabel: "% of optimal",
+		X:      []float64{4, 5, 6, 7, 8},
+		Series: []Series{
+			{Name: "top-n", Y: []float64{89, 91, 95, 96, 97}},
+			{Name: "tree", Y: []float64{91, 96, 98, 98, 98}},
+		},
+		Markers: true,
+	}
+}
+
+func TestLineChartWellFormed(t *testing.T) {
+	svg, err := lineChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+	for _, want := range []string{"<svg", "Figure — test", "top-n", "tree", "<path", "<circle", "% of optimal"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Legend present for ≥2 series: legend swatches are 10×10 rects.
+	if strings.Count(svg, `width="10" height="10"`) != 2 {
+		t.Fatal("legend swatches missing")
+	}
+	// Tooltips on markers.
+	if !strings.Contains(svg, "<title>") {
+		t.Fatal("no native tooltips")
+	}
+}
+
+func TestLineChartSingleSeriesNoLegend(t *testing.T) {
+	c := lineChart()
+	c.Series = c.Series[:1]
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(svg, `width="10" height="10"`) != 0 {
+		t.Fatal("single-series chart should not carry a legend box")
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	c := lineChart()
+	c.Series[0].Y = c.Series[0].Y[:2]
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	c = lineChart()
+	c.Series[1].Y[0] = math.NaN()
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	c = LineChart{}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	c = lineChart()
+	for i := 0; i < 9; i++ {
+		c.Series = append(c.Series, Series{Name: "x", Y: c.Series[0].Y})
+	}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("11 series accepted (palette has 8 fixed slots)")
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	c := LineChart{
+		Title:  "flat",
+		X:      []float64{1, 2, 3},
+		Series: []Series{{Name: "s", Y: []float64{5, 5, 5}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN coordinates in output")
+	}
+}
+
+func TestBarChartWellFormed(t *testing.T) {
+	c := BarChart{
+		Title:  "wins",
+		YLabel: "count",
+		Labels: []string{"a", "b", "c"},
+		Values: []float64{34, 13, 7},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+	if strings.Count(svg, "<path") != 3 {
+		t.Fatalf("expected 3 bars, got %d paths", strings.Count(svg, "<path"))
+	}
+	for _, want := range []string{"wins", "<title>a: 34</title>"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	if _, err := (BarChart{Labels: []string{"a"}, Values: []float64{1, 2}}).SVG(); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+	if _, err := (BarChart{Labels: []string{"a"}, Values: []float64{-1}}).SVG(); err == nil {
+		t.Fatal("negative value accepted")
+	}
+	if _, err := (BarChart{}).SVG(); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+}
+
+func TestBarChartManyBarsStillValid(t *testing.T) {
+	// 640 bars (Figure 1 style) must stay well-formed with thin slots.
+	labels := make([]string, 640)
+	values := make([]float64, 640)
+	for i := range labels {
+		labels[i] = "c"
+		values[i] = float64(i)
+	}
+	svg, err := (BarChart{Title: "many", Labels: labels, Values: values}).SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+}
+
+func TestEscaping(t *testing.T) {
+	c := LineChart{
+		Title:  `<script>"x&y"</script>`,
+		X:      []float64{0, 1},
+		Series: []Series{{Name: "a<b", Y: []float64{1, 2}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+	if strings.Contains(svg, "<script>") {
+		t.Fatal("unescaped markup in output")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 5)
+	if len(ticks) < 4 || ticks[0] != 0 || ticks[len(ticks)-1] != 100 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not ascending: %v", ticks)
+		}
+	}
+}

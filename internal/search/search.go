@@ -1,0 +1,454 @@
+// Package search implements the "more intelligent parameter search methods"
+// the paper's conclusion calls for: the 640-configuration case study is
+// small enough to brute-force, but "this is not feasible for more general
+// kernels that have significantly more parameters". The paper points to
+// basin hopping and evolutionary algorithms (via the Kernel Tuner
+// discussion); this package provides those plus random search and
+// hill climbing, all over a pluggable configuration space scored by an
+// arbitrary objective (in this repository, the analytical device model).
+//
+// Spaces are discrete with a neighbourhood structure: each of the five
+// parameters (tile rows, tile cols, accumulator depth, work-group rows/cols)
+// can step to an adjacent allowed value, which is what the local-move
+// methods exploit.
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/xrand"
+)
+
+// Space is a discrete kernel-configuration space: the cross product of
+// allowed tile sizes (for all three tile parameters) and work-group shapes.
+type Space struct {
+	TileSizes  []int            // ascending
+	WorkGroups []gemm.WorkGroup // fixed order; neighbourhood steps move along this list
+}
+
+// DefaultSpace returns the paper's 640-configuration case-study space.
+func DefaultSpace() Space {
+	return Space{
+		TileSizes:  append([]int(nil), gemm.TileSizes...),
+		WorkGroups: append([]gemm.WorkGroup(nil), gemm.WorkGroups...),
+	}
+}
+
+// ExtendedSpace returns a ~18k-configuration space of the kind the paper's
+// conclusion worries about: tile sizes up to 16 including non-powers of two,
+// and every power-of-two work-group shape with 16–256 work-items. Exhaustive
+// benchmarking at this scale is what the search strategies replace.
+func ExtendedSpace() Space {
+	sp := Space{TileSizes: []int{1, 2, 3, 4, 6, 8, 12, 16}}
+	for total := 16; total <= 256; total *= 2 {
+		for r := 1; r <= total; r *= 2 {
+			sp.WorkGroups = append(sp.WorkGroups, gemm.WorkGroup{R: r, C: total / r})
+		}
+	}
+	return sp
+}
+
+// Size returns the number of configurations in the space.
+func (sp Space) Size() int {
+	return len(sp.TileSizes) * len(sp.TileSizes) * len(sp.TileSizes) * len(sp.WorkGroups)
+}
+
+// Validate reports whether the space is well formed.
+func (sp Space) Validate() error {
+	if len(sp.TileSizes) == 0 || len(sp.WorkGroups) == 0 {
+		return fmt.Errorf("search: empty space")
+	}
+	for i := 1; i < len(sp.TileSizes); i++ {
+		if sp.TileSizes[i] <= sp.TileSizes[i-1] {
+			return fmt.Errorf("search: tile sizes not strictly ascending")
+		}
+	}
+	for _, w := range sp.WorkGroups {
+		if w.R <= 0 || w.C <= 0 {
+			return fmt.Errorf("search: invalid work-group %+v", w)
+		}
+	}
+	return nil
+}
+
+// All enumerates the space in deterministic order.
+func (sp Space) All() []gemm.Config {
+	out := make([]gemm.Config, 0, sp.Size())
+	for _, tr := range sp.TileSizes {
+		for _, tc := range sp.TileSizes {
+			for _, acc := range sp.TileSizes {
+				for _, wg := range sp.WorkGroups {
+					out = append(out, gemm.Config{TileRows: tr, TileCols: tc, AccDepth: acc, WG: wg})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Random draws a uniform configuration.
+func (sp Space) Random(r *xrand.Rand) gemm.Config {
+	return gemm.Config{
+		TileRows: sp.TileSizes[r.Intn(len(sp.TileSizes))],
+		TileCols: sp.TileSizes[r.Intn(len(sp.TileSizes))],
+		AccDepth: sp.TileSizes[r.Intn(len(sp.TileSizes))],
+		WG:       sp.WorkGroups[r.Intn(len(sp.WorkGroups))],
+	}
+}
+
+// tileIndex locates v in the tile list (-1 if absent).
+func (sp Space) tileIndex(v int) int {
+	for i, t := range sp.TileSizes {
+		if t == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// wgIndex locates w in the work-group list (-1 if absent).
+func (sp Space) wgIndex(w gemm.WorkGroup) int {
+	for i, x := range sp.WorkGroups {
+		if x == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether cfg is a member of the space.
+func (sp Space) Contains(cfg gemm.Config) bool {
+	return sp.tileIndex(cfg.TileRows) >= 0 && sp.tileIndex(cfg.TileCols) >= 0 &&
+		sp.tileIndex(cfg.AccDepth) >= 0 && sp.wgIndex(cfg.WG) >= 0
+}
+
+// Neighbors returns the configurations one parameter step away from cfg
+// (each of the five axes moved one position up or down its allowed list).
+// It panics if cfg is not in the space.
+func (sp Space) Neighbors(cfg gemm.Config) []gemm.Config {
+	ti := [3]int{sp.tileIndex(cfg.TileRows), sp.tileIndex(cfg.TileCols), sp.tileIndex(cfg.AccDepth)}
+	wi := sp.wgIndex(cfg.WG)
+	if ti[0] < 0 || ti[1] < 0 || ti[2] < 0 || wi < 0 {
+		panic(fmt.Sprintf("search: %v not in space", cfg))
+	}
+	var out []gemm.Config
+	apply := func(axis, idx int) gemm.Config {
+		c := cfg
+		switch axis {
+		case 0:
+			c.TileRows = sp.TileSizes[idx]
+		case 1:
+			c.TileCols = sp.TileSizes[idx]
+		case 2:
+			c.AccDepth = sp.TileSizes[idx]
+		}
+		return c
+	}
+	for axis := 0; axis < 3; axis++ {
+		if ti[axis] > 0 {
+			out = append(out, apply(axis, ti[axis]-1))
+		}
+		if ti[axis] < len(sp.TileSizes)-1 {
+			out = append(out, apply(axis, ti[axis]+1))
+		}
+	}
+	if wi > 0 {
+		c := cfg
+		c.WG = sp.WorkGroups[wi-1]
+		out = append(out, c)
+	}
+	if wi < len(sp.WorkGroups)-1 {
+		c := cfg
+		c.WG = sp.WorkGroups[wi+1]
+		out = append(out, c)
+	}
+	return out
+}
+
+// Objective scores a configuration; higher is better. Implementations are
+// typically closures over the device model and a GEMM shape.
+type Objective func(cfg gemm.Config) float64
+
+// Result summarises one search run.
+type Result struct {
+	Best        gemm.Config
+	BestScore   float64
+	Evaluations int // objective calls, the budget measure of the paper's concern
+}
+
+// evaluator memoises the objective and counts unique evaluations — repeated
+// visits to a configuration cost nothing, as a real tuner would cache
+// measurements.
+type evaluator struct {
+	obj   Objective
+	cache map[gemm.Config]float64
+	n     int
+	best  gemm.Config
+	bestS float64
+}
+
+func newEvaluator(obj Objective) *evaluator {
+	return &evaluator{obj: obj, cache: map[gemm.Config]float64{}, bestS: -1}
+}
+
+func (e *evaluator) score(cfg gemm.Config) float64 {
+	if s, ok := e.cache[cfg]; ok {
+		return s
+	}
+	s := e.obj(cfg)
+	e.cache[cfg] = s
+	e.n++
+	if s > e.bestS {
+		e.best, e.bestS = cfg, s
+	}
+	return s
+}
+
+func (e *evaluator) result() Result {
+	return Result{Best: e.best, BestScore: e.bestS, Evaluations: e.n}
+}
+
+// BruteForce evaluates the whole space — the paper's case-study method,
+// included as the exactness baseline.
+func BruteForce(sp Space, obj Objective) Result {
+	mustValidate(sp)
+	e := newEvaluator(obj)
+	for _, cfg := range sp.All() {
+		e.score(cfg)
+	}
+	return e.result()
+}
+
+// RandomSearch evaluates `budget` uniform draws.
+func RandomSearch(sp Space, obj Objective, budget int, seed uint64) Result {
+	mustValidate(sp)
+	if budget < 1 {
+		panic("search: non-positive budget")
+	}
+	e := newEvaluator(obj)
+	r := xrand.New(seed)
+	for i := 0; i < budget; i++ {
+		e.score(sp.Random(r))
+	}
+	return e.result()
+}
+
+// HillClimb performs steepest-ascent local search with random restarts:
+// from a random start, move to the best neighbour until no neighbour
+// improves; repeat `restarts` times.
+func HillClimb(sp Space, obj Objective, restarts int, seed uint64) Result {
+	mustValidate(sp)
+	if restarts < 1 {
+		panic("search: non-positive restarts")
+	}
+	e := newEvaluator(obj)
+	r := xrand.New(seed)
+	for rs := 0; rs < restarts; rs++ {
+		cur := sp.Random(r)
+		curS := e.score(cur)
+		for {
+			improved := false
+			for _, nb := range sp.Neighbors(cur) {
+				if s := e.score(nb); s > curS {
+					cur, curS = nb, s
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+	}
+	return e.result()
+}
+
+// BasinHopping alternates hill climbing with randomized long jumps
+// ("hops"), accepting worse basins with Metropolis probability controlled
+// by temperature — the method the paper names for larger spaces.
+func BasinHopping(sp Space, obj Objective, hops int, temperature float64, seed uint64) Result {
+	mustValidate(sp)
+	if hops < 1 {
+		panic("search: non-positive hops")
+	}
+	if temperature <= 0 {
+		temperature = 0.05
+	}
+	e := newEvaluator(obj)
+	r := xrand.New(seed)
+
+	climb := func(start gemm.Config) (gemm.Config, float64) {
+		cur := start
+		curS := e.score(cur)
+		for {
+			improved := false
+			for _, nb := range sp.Neighbors(cur) {
+				if s := e.score(nb); s > curS {
+					cur, curS = nb, s
+					improved = true
+				}
+			}
+			if !improved {
+				return cur, curS
+			}
+		}
+	}
+
+	cur, curS := climb(sp.Random(r))
+	stagnant := 0
+	for h := 1; h < hops; h++ {
+		// Perturb: several random neighbourhood steps away, then climb.
+		// After repeated stagnation the walk has exhausted its basin
+		// cluster; restart from a fresh random point (iterated local search
+		// with restarts, which is how Kernel Tuner's basin hopping behaves
+		// on rugged kernel-tuning landscapes).
+		var jump gemm.Config
+		if stagnant >= 3 {
+			jump = sp.Random(r)
+			stagnant = 0
+		} else {
+			jump = cur
+			for step := 0; step < 4; step++ {
+				nbs := sp.Neighbors(jump)
+				jump = nbs[r.Intn(len(nbs))]
+			}
+		}
+		cand, candS := climb(jump)
+		if candS > curS {
+			stagnant = 0
+		} else {
+			stagnant++
+		}
+		if candS >= curS || r.Float64() < metropolis(curS, candS, temperature) {
+			cur, curS = cand, candS
+		}
+	}
+	return e.result()
+}
+
+func metropolis(curS, candS, temperature float64) float64 {
+	// Scores are relative performance; a drop of `temperature` is accepted
+	// with probability 1/e.
+	drop := (curS - candS) / temperature
+	if drop <= 0 {
+		return 1
+	}
+	if drop > 40 {
+		return 0
+	}
+	return math.Exp(-drop)
+}
+
+// GeneticOptions tune the evolutionary search. Zero values take defaults.
+type GeneticOptions struct {
+	Population  int     // default 24
+	Generations int     // default 20
+	MutationPct float64 // per-gene mutation probability; default 0.2
+	Elite       int     // individuals carried over unchanged; default 2
+	Seed        uint64
+}
+
+func (o GeneticOptions) withDefaults() GeneticOptions {
+	if o.Population <= 1 {
+		o.Population = 24
+	}
+	if o.Generations <= 0 {
+		o.Generations = 20
+	}
+	if o.MutationPct <= 0 {
+		o.MutationPct = 0.2
+	}
+	if o.Elite <= 0 {
+		o.Elite = 2
+	}
+	if o.Elite > o.Population {
+		o.Elite = o.Population
+	}
+	return o
+}
+
+// Genetic runs a (μ+λ)-style evolutionary search with uniform crossover over
+// the five parameters and per-gene mutation — the second method the paper
+// names for larger spaces.
+func Genetic(sp Space, obj Objective, opts GeneticOptions) Result {
+	mustValidate(sp)
+	opts = opts.withDefaults()
+	e := newEvaluator(obj)
+	r := xrand.New(opts.Seed)
+
+	type individual struct {
+		cfg   gemm.Config
+		score float64
+	}
+	pop := make([]individual, opts.Population)
+	for i := range pop {
+		cfg := sp.Random(r)
+		pop[i] = individual{cfg: cfg, score: e.score(cfg)}
+	}
+	sortPop := func() {
+		for i := 1; i < len(pop); i++ { // insertion sort: population is tiny
+			for j := i; j > 0 && pop[j].score > pop[j-1].score; j-- {
+				pop[j], pop[j-1] = pop[j-1], pop[j]
+			}
+		}
+	}
+	sortPop()
+
+	tournament := func() individual {
+		a, b := pop[r.Intn(len(pop))], pop[r.Intn(len(pop))]
+		if a.score >= b.score {
+			return a
+		}
+		return b
+	}
+	crossover := func(a, b gemm.Config) gemm.Config {
+		c := a
+		if r.Float64() < 0.5 {
+			c.TileRows = b.TileRows
+		}
+		if r.Float64() < 0.5 {
+			c.TileCols = b.TileCols
+		}
+		if r.Float64() < 0.5 {
+			c.AccDepth = b.AccDepth
+		}
+		if r.Float64() < 0.5 {
+			c.WG = b.WG
+		}
+		return c
+	}
+	mutate := func(c gemm.Config) gemm.Config {
+		if r.Float64() < opts.MutationPct {
+			c.TileRows = sp.TileSizes[r.Intn(len(sp.TileSizes))]
+		}
+		if r.Float64() < opts.MutationPct {
+			c.TileCols = sp.TileSizes[r.Intn(len(sp.TileSizes))]
+		}
+		if r.Float64() < opts.MutationPct {
+			c.AccDepth = sp.TileSizes[r.Intn(len(sp.TileSizes))]
+		}
+		if r.Float64() < opts.MutationPct {
+			c.WG = sp.WorkGroups[r.Intn(len(sp.WorkGroups))]
+		}
+		return c
+	}
+
+	for g := 0; g < opts.Generations; g++ {
+		next := make([]individual, 0, opts.Population)
+		next = append(next, pop[:opts.Elite]...)
+		for len(next) < opts.Population {
+			child := mutate(crossover(tournament().cfg, tournament().cfg))
+			next = append(next, individual{cfg: child, score: e.score(child)})
+		}
+		pop = next
+		sortPop()
+	}
+	return e.result()
+}
+
+func mustValidate(sp Space) {
+	if err := sp.Validate(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,246 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/xrand"
+)
+
+func TestDefaultSpaceMatchesPaper(t *testing.T) {
+	sp := DefaultSpace()
+	if sp.Size() != 640 {
+		t.Fatalf("default space size %d, want 640", sp.Size())
+	}
+	all := sp.All()
+	if len(all) != 640 {
+		t.Fatalf("All() returned %d", len(all))
+	}
+	for _, c := range all {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+	}
+}
+
+func TestExtendedSpaceIsLarge(t *testing.T) {
+	sp := ExtendedSpace()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Size() < 10000 {
+		t.Fatalf("extended space size %d; expected brute-force-hostile scale", sp.Size())
+	}
+	if sp.Size() != len(sp.All()) {
+		t.Fatal("Size disagrees with All")
+	}
+}
+
+func TestSpaceValidateRejects(t *testing.T) {
+	bad := []Space{
+		{},
+		{TileSizes: []int{2, 1}, WorkGroups: []gemm.WorkGroup{{R: 8, C: 8}}},
+		{TileSizes: []int{1, 2}, WorkGroups: []gemm.WorkGroup{{R: 0, C: 8}}},
+	}
+	for i, sp := range bad {
+		if sp.Validate() == nil {
+			t.Errorf("space %d accepted", i)
+		}
+	}
+}
+
+func TestRandomStaysInSpace(t *testing.T) {
+	sp := ExtendedSpace()
+	r := xrand.New(1)
+	for i := 0; i < 200; i++ {
+		if !sp.Contains(sp.Random(r)) {
+			t.Fatal("Random produced out-of-space config")
+		}
+	}
+}
+
+func TestNeighborsStructure(t *testing.T) {
+	sp := DefaultSpace()
+	// Interior point: all five axes can move both ways → 8 neighbours
+	// (3 tile axes ×2 + work-group ±1).
+	cfg := gemm.Config{TileRows: 2, TileCols: 4, AccDepth: 2, WG: gemm.WorkGroups[3]}
+	nbs := sp.Neighbors(cfg)
+	if len(nbs) != 8 {
+		t.Fatalf("interior point has %d neighbours, want 8", len(nbs))
+	}
+	for _, nb := range nbs {
+		if !sp.Contains(nb) {
+			t.Fatalf("neighbour %v outside space", nb)
+		}
+		if nb == cfg {
+			t.Fatal("config is its own neighbour")
+		}
+	}
+	// Corner point: every axis can only move one way → 4 neighbours.
+	corner := gemm.Config{TileRows: 1, TileCols: 1, AccDepth: 1, WG: gemm.WorkGroups[0]}
+	if n := len(sp.Neighbors(corner)); n != 4 {
+		t.Fatalf("corner has %d neighbours, want 4", n)
+	}
+}
+
+func TestNeighborsPanicsOutsideSpace(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-space config accepted")
+		}
+	}()
+	DefaultSpace().Neighbors(gemm.Config{TileRows: 5, TileCols: 1, AccDepth: 1, WG: gemm.WorkGroups[0]})
+}
+
+// unimodalObjective has a single peak at (4, 4, 4, wg[5]) with strictly
+// decreasing score by L1 distance — hill climbing must find it exactly.
+func unimodalObjective(sp Space) Objective {
+	return func(c gemm.Config) float64 {
+		d := math.Abs(float64(sp.tileIndex(c.TileRows)-2)) +
+			math.Abs(float64(sp.tileIndex(c.TileCols)-2)) +
+			math.Abs(float64(sp.tileIndex(c.AccDepth)-2)) +
+			math.Abs(float64(sp.wgIndex(c.WG)-5))
+		return 100 - d
+	}
+}
+
+func TestHillClimbFindsUnimodalPeak(t *testing.T) {
+	sp := DefaultSpace()
+	res := HillClimb(sp, unimodalObjective(sp), 1, 3)
+	want := gemm.Config{TileRows: 4, TileCols: 4, AccDepth: 4, WG: gemm.WorkGroups[5]}
+	if res.Best != want {
+		t.Fatalf("hill climb found %v, want %v", res.Best, want)
+	}
+	if res.Evaluations >= sp.Size()/4 {
+		t.Fatalf("hill climb used %d evaluations on a unimodal objective", res.Evaluations)
+	}
+}
+
+func TestBruteForceFindsExactOptimum(t *testing.T) {
+	sp := DefaultSpace()
+	m := sim.New(device.R9Nano())
+	shape := gemm.Shape{M: 3136, K: 576, N: 128}
+	obj := func(c gemm.Config) float64 { return m.GFLOPS(c, shape) }
+	res := BruteForce(sp, obj)
+	if res.Evaluations != 640 {
+		t.Fatalf("brute force evaluated %d", res.Evaluations)
+	}
+	// Verify it matches an independent scan.
+	best := 0.0
+	for _, c := range sp.All() {
+		if g := obj(c); g > best {
+			best = g
+		}
+	}
+	if res.BestScore != best {
+		t.Fatalf("brute force best %v, scan best %v", res.BestScore, best)
+	}
+}
+
+func TestSearchStrategiesNearOptimalWithFewerEvals(t *testing.T) {
+	// On the extended space the landscape is rugged (the model's
+	// deterministic jitter mimics measurement noise), so quality is judged
+	// across seeds: each strategy must average ≥85% of the true optimum,
+	// never drop below 75%, and spend at most 5% of a brute-force budget.
+	sp := ExtendedSpace()
+	m := sim.New(device.R9Nano())
+	shape := gemm.Shape{M: 12544, K: 576, N: 128}
+	obj := func(c gemm.Config) float64 { return m.GFLOPS(c, shape) }
+	exact := BruteForce(sp, obj)
+	seeds := []uint64{7, 8, 9}
+
+	strategies := map[string]func(seed uint64) Result{
+		"random": func(seed uint64) Result { return RandomSearch(sp, obj, 400, seed) },
+		"hill":   func(seed uint64) Result { return HillClimb(sp, obj, 12, seed) },
+		"basin":  func(seed uint64) Result { return BasinHopping(sp, obj, 20, 0.1, seed) },
+		"ga":     func(seed uint64) Result { return Genetic(sp, obj, GeneticOptions{Seed: seed, Generations: 30}) },
+	}
+	means := map[string]float64{}
+	for name, run := range strategies {
+		var sum, min float64 = 0, 1
+		for _, seed := range seeds {
+			res := run(seed)
+			frac := res.BestScore / exact.BestScore
+			sum += frac
+			if frac < min {
+				min = frac
+			}
+			if res.Evaluations > sp.Size()/20 {
+				t.Errorf("%s seed %d used %d evaluations (space %d)", name, seed, res.Evaluations, sp.Size())
+			}
+		}
+		means[name] = sum / float64(len(seeds))
+		// Random search is the weak baseline the structured methods are
+		// measured against; it gets a lower bar.
+		meanBar, minBar := 0.85, 0.75
+		if name == "random" {
+			meanBar, minBar = 0.75, 0.70
+		}
+		if means[name] < meanBar {
+			t.Errorf("%s mean fraction %.3f < %.2f", name, means[name], meanBar)
+		}
+		if min < minBar {
+			t.Errorf("%s worst-seed fraction %.3f < %.2f", name, min, minBar)
+		}
+	}
+	// At these budgets the evolutionary search should beat random draws.
+	if means["ga"] < means["random"] {
+		t.Errorf("genetic mean %.3f below random %.3f", means["ga"], means["random"])
+	}
+}
+
+func TestSearchDeterminism(t *testing.T) {
+	sp := DefaultSpace()
+	m := sim.New(device.R9Nano())
+	shape := gemm.Shape{M: 784, K: 1152, N: 256}
+	obj := func(c gemm.Config) float64 { return m.GFLOPS(c, shape) }
+	for name, run := range map[string]func() Result{
+		"random": func() Result { return RandomSearch(sp, obj, 100, 9) },
+		"hill":   func() Result { return HillClimb(sp, obj, 4, 9) },
+		"basin":  func() Result { return BasinHopping(sp, obj, 6, 0.05, 9) },
+		"ga":     func() Result { return Genetic(sp, obj, GeneticOptions{Seed: 9}) },
+	} {
+		a, b := run(), run()
+		if a.Best != b.Best || a.Evaluations != b.Evaluations {
+			t.Errorf("%s is not deterministic", name)
+		}
+	}
+}
+
+func TestEvaluatorMemoises(t *testing.T) {
+	sp := DefaultSpace()
+	calls := 0
+	obj := func(gemm.Config) float64 { calls++; return 1 }
+	// Random search with a budget far above the space size cannot call the
+	// objective more than Size() times.
+	res := RandomSearch(sp, obj, 5000, 1)
+	if calls != res.Evaluations {
+		t.Fatalf("calls %d vs evaluations %d", calls, res.Evaluations)
+	}
+	if calls > sp.Size() {
+		t.Fatalf("objective called %d times for a %d-point space", calls, sp.Size())
+	}
+}
+
+func TestBadArgumentsPanic(t *testing.T) {
+	sp := DefaultSpace()
+	obj := func(gemm.Config) float64 { return 1 }
+	for name, f := range map[string]func(){
+		"random budget": func() { RandomSearch(sp, obj, 0, 1) },
+		"hill restarts": func() { HillClimb(sp, obj, 0, 1) },
+		"basin hops":    func() { BasinHopping(sp, obj, 0, 0.1, 1) },
+		"invalid space": func() { BruteForce(Space{}, obj) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,296 @@
+// Package simwave is a wave-level discrete-event microsimulator for the
+// tiled GEMM kernels: a second, independent performance model used to
+// cross-validate the closed-form model in internal/sim.
+//
+// Where internal/sim prices a kernel with roofline-style formulas, simwave
+// *executes* the kernel's phase structure on a simulated compute unit:
+// resident waves alternate global-load, barrier and FMA-burst segments; SIMD
+// issue ports serialise compute segments of co-resident waves; the memory
+// port imposes latency and processor-shared bandwidth; work-group barriers
+// really synchronise. Because every work-group of a GEMM dispatch performs
+// identical work, one CU with a steady-state resident set is representative;
+// the kernel time scales the simulated batch by the dispatch-round count.
+//
+// The microsimulator is too slow to brute-force the full 640 × 156 tuning
+// matrix (that is what the analytical model is for) but fast enough to spot-
+// check rankings — see the cross-validation tests and
+// BenchmarkModelCrossValidation.
+package simwave
+
+import (
+	"container/heap"
+	"fmt"
+
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+)
+
+// Sim simulates kernels on one device.
+type Sim struct {
+	Dev device.Spec
+
+	// MemLatencyCycles is the unloaded global-memory round trip.
+	MemLatencyCycles float64
+	// LDSOpCost and OtherOpCost weigh non-FMA issue slots, matching the
+	// analytical model's defaults so the two models share instruction
+	// accounting but differ in everything temporal.
+	LDSOpCost   float64
+	OtherOpCost float64
+}
+
+// New returns a microsimulator for dev with default parameters.
+func New(dev device.Spec) *Sim {
+	if err := dev.Validate(); err != nil {
+		panic(err)
+	}
+	return &Sim{
+		Dev:              dev,
+		MemLatencyCycles: 350,
+		LDSOpCost:        0.55,
+		OtherOpCost:      1.0,
+	}
+}
+
+// segment kinds of a wave's program.
+type segKind int
+
+const (
+	segCompute segKind = iota // occupies the wave's SIMD for Cycles
+	segMemory                 // latency + shared-bandwidth transfer of Bytes
+	segBarrier                // waits for all waves of the group
+)
+
+type segment struct {
+	kind   segKind
+	cycles float64 // compute
+	bytes  float64 // memory
+}
+
+// buildProgram derives one wave's segment list from the kernel structure.
+func (s *Sim) buildProgram(cfg gemm.Config, shape gemm.Shape) []segment {
+	tr, tc, acc := cfg.TileRows, cfg.TileCols, cfg.AccDepth
+	bm, bn := cfg.GroupTile()
+	groupItems := cfg.WG.R * cfg.WG.C
+	wavesPerGroup := (groupItems + s.Dev.WaveSize - 1) / s.Dev.WaveSize
+	lanes := float64(s.Dev.EffectiveLanesPerCU()) / float64(s.Dev.SIMDsPerCU) // lanes per SIMD-equivalent issue slot
+
+	chunks := (shape.K + acc - 1) / acc
+
+	// Per-item instruction counts per chunk (same accounting as the
+	// analytical model's ALU utilisation).
+	fma := float64(tr * tc * acc)
+	ldsReads := float64(acc * (tr + tc))
+	staging := float64((bm+bn)*acc) / float64(groupItems)
+	overhead := 8.0 + 2.0*float64(acc)
+	issuePerItem := fma + s.LDSOpCost*(ldsReads+2*staging) + s.OtherOpCost*(overhead+staging)
+
+	itemsPerWave := float64(s.Dev.WaveSize)
+	cyclesPerChunk := issuePerItem * itemsPerWave / lanes
+
+	// Global bytes staged per chunk per wave (the group's tile split across
+	// its waves).
+	bytesPerChunk := 4 * float64((bm+bn)*acc) / float64(wavesPerGroup)
+
+	// Output write-back per wave.
+	storeBytes := 4 * float64(bm*bn) / float64(wavesPerGroup)
+
+	prog := make([]segment, 0, 3*chunks+1)
+	for c := 0; c < chunks; c++ {
+		prog = append(prog,
+			segment{kind: segMemory, bytes: bytesPerChunk},
+			segment{kind: segBarrier},
+			segment{kind: segCompute, cycles: cyclesPerChunk},
+			segment{kind: segBarrier},
+		)
+	}
+	prog = append(prog, segment{kind: segMemory, bytes: storeBytes})
+	return prog
+}
+
+// waveState tracks one simulated wave.
+type waveState struct {
+	group int
+	simd  int // home SIMD issue port
+	pc    int // next segment index
+}
+
+// event is a future wave wake-up.
+type event struct {
+	at   float64 // cycles
+	wave int
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int           { return len(q) }
+func (q eventQueue) Less(i, j int) bool { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// Occupancy mirrors the analytical model's residency computation so the two
+// models agree on *what* is resident and differ only in *how it runs*.
+func (s *Sim) occupancy(cfg gemm.Config) (groupsPerCU, wavesPerGroup int) {
+	d := s.Dev
+	groupItems := cfg.WG.R * cfg.WG.C
+	wavesPerGroup = (groupItems + d.WaveSize - 1) / d.WaveSize
+	regs := cfg.RegistersPerItem()
+	wavesByVGPR := d.VGPRsPerLane / regs
+	if wavesByVGPR < 1 {
+		wavesByVGPR = 1
+	}
+	groupsByLDS := d.LDSBytesPerCU / cfg.LocalMemoryBytes()
+	if groupsByLDS < 1 {
+		groupsByLDS = 1
+	}
+	waveSlots := d.SIMDsPerCU * d.MaxWavesPerSIM
+	groupsPerCU = groupsByLDS
+	if groupsPerCU > 16 {
+		groupsPerCU = 16
+	}
+	if byWaves := waveSlots / wavesPerGroup; groupsPerCU > byWaves {
+		groupsPerCU = byWaves
+	}
+	if byRegs := wavesByVGPR * d.SIMDsPerCU / wavesPerGroup; groupsPerCU > byRegs {
+		groupsPerCU = byRegs
+	}
+	if groupsPerCU < 1 {
+		groupsPerCU = 1
+	}
+	return groupsPerCU, wavesPerGroup
+}
+
+// KernelTime simulates cfg on shape and returns seconds.
+func (s *Sim) KernelTime(cfg gemm.Config, shape gemm.Shape) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if err := shape.Validate(); err != nil {
+		return 0, err
+	}
+	prog := s.buildProgram(cfg, shape)
+	groupsPerCU, wavesPerGroup := s.occupancy(cfg)
+
+	bm, bn := cfg.GroupTile()
+	groupsM := (shape.M + bm - 1) / bm
+	groupsN := (shape.N + bn - 1) / bn
+	numGroups := groupsM * groupsN
+
+	batchCycles := s.simulateCU(prog, groupsPerCU, wavesPerGroup)
+
+	// One simulated CU carries groupsPerCU groups per batch; the device
+	// executes numGroups across ComputeUnits CUs in rounds.
+	maxConcurrent := s.Dev.ComputeUnits * groupsPerCU
+	rounds := (numGroups + maxConcurrent - 1) / maxConcurrent
+	// The final round may be partially filled; its duration is unchanged
+	// (a CU with fewer co-resident groups is no slower), so round count
+	// times batch duration bounds the makespan well for identical groups.
+	totalCycles := float64(rounds) * batchCycles
+	seconds := totalCycles/(float64(s.Dev.ClockMHz)*1e6) + s.Dev.LaunchOverheadUS*1e-6
+	return seconds, nil
+}
+
+// GFLOPS converts KernelTime to achieved GFLOP/s.
+func (s *Sim) GFLOPS(cfg gemm.Config, shape gemm.Shape) (float64, error) {
+	t, err := s.KernelTime(cfg, shape)
+	if err != nil {
+		return 0, err
+	}
+	return float64(shape.FLOPs()) / t / 1e9, nil
+}
+
+// simulateCU runs the resident set of one CU to completion and returns the
+// batch duration in cycles.
+func (s *Sim) simulateCU(prog []segment, groupsPerCU, wavesPerGroup int) float64 {
+	d := s.Dev
+	nWaves := groupsPerCU * wavesPerGroup
+	waves := make([]waveState, nWaves)
+	for w := range waves {
+		waves[w] = waveState{group: w / wavesPerGroup, simd: w % d.SIMDsPerCU}
+	}
+
+	// Per-SIMD issue ports: the cycle at which the port is next free.
+	simdFree := make([]float64, d.SIMDsPerCU)
+	// Memory port: bandwidth share per CU in bytes/cycle.
+	cuBandwidth := s.Dev.DRAMBandwidthGB * 1e9 / (float64(d.ClockMHz) * 1e6) / float64(d.ComputeUnits)
+	memFree := 0.0
+
+	// Barrier bookkeeping: waves arrived at the current barrier per group,
+	// and the arrival time of the latest.
+	barArrived := make([]int, groupsPerCU)
+	barTime := make([]float64, groupsPerCU)
+	barWaiting := make([][]int, groupsPerCU)
+
+	q := &eventQueue{}
+	for w := range waves {
+		heap.Push(q, event{at: 0, wave: w})
+	}
+
+	var finish float64
+	done := 0
+	for q.Len() > 0 {
+		ev := heap.Pop(q).(event)
+		w := &waves[ev.wave]
+		now := ev.at
+
+		if w.pc >= len(prog) {
+			done++
+			if now > finish {
+				finish = now
+			}
+			continue
+		}
+		seg := prog[w.pc]
+		switch seg.kind {
+		case segCompute:
+			start := now
+			if simdFree[w.simd] > start {
+				start = simdFree[w.simd]
+			}
+			end := start + seg.cycles
+			simdFree[w.simd] = end
+			w.pc++
+			heap.Push(q, event{at: end, wave: ev.wave})
+
+		case segMemory:
+			start := now
+			if memFree > start {
+				start = memFree
+			}
+			// Contention approximation: the transfer occupies the CU's
+			// bandwidth share exclusively (requests serialise), plus the
+			// unloaded latency overlapping issue of other waves.
+			xfer := seg.bytes / cuBandwidth
+			memFree = start + xfer
+			end := start + xfer + s.MemLatencyCycles
+			w.pc++
+			heap.Push(q, event{at: end, wave: ev.wave})
+
+		case segBarrier:
+			g := w.group
+			barArrived[g]++
+			if now > barTime[g] {
+				barTime[g] = now
+			}
+			if barArrived[g] < wavesPerGroup {
+				barWaiting[g] = append(barWaiting[g], ev.wave)
+				continue // parked until the last wave arrives
+			}
+			// Last wave: release the whole group at the barrier time.
+			release := barTime[g]
+			w.pc++
+			heap.Push(q, event{at: release, wave: ev.wave})
+			for _, pw := range barWaiting[g] {
+				waves[pw].pc++
+				heap.Push(q, event{at: release, wave: pw})
+			}
+			barWaiting[g] = barWaiting[g][:0]
+			barArrived[g] = 0
+			barTime[g] = 0
+		}
+	}
+	if done != nWaves {
+		panic(fmt.Sprintf("simwave: %d of %d waves completed (deadlock?)", done, nWaves))
+	}
+	return finish
+}

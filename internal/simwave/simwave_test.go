@@ -1,0 +1,163 @@
+package simwave
+
+import (
+	"sort"
+	"testing"
+
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+)
+
+func newSim() *Sim { return New(device.R9Nano()) }
+
+func TestNewPanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid spec accepted")
+		}
+	}()
+	New(device.Spec{})
+}
+
+func TestKernelTimePositiveAndValidates(t *testing.T) {
+	s := newSim()
+	cfg := gemm.Config{TileRows: 4, TileCols: 4, AccDepth: 4, WG: gemm.WorkGroup{R: 16, C: 16}}
+	tm, err := s.KernelTime(cfg, gemm.Shape{M: 512, N: 512, K: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm <= 0 {
+		t.Fatalf("time %v", tm)
+	}
+	if _, err := s.KernelTime(gemm.Config{TileRows: 3}, gemm.Shape{M: 1, N: 1, K: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := s.KernelTime(cfg, gemm.Shape{M: 0, N: 1, K: 1}); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+}
+
+func TestTimeMonotoneInK(t *testing.T) {
+	s := newSim()
+	cfg := gemm.Config{TileRows: 2, TileCols: 2, AccDepth: 4, WG: gemm.WorkGroup{R: 8, C: 8}}
+	prev := 0.0
+	for _, k := range []int{64, 256, 1024, 4096} {
+		tm, err := s.KernelTime(cfg, gemm.Shape{M: 512, N: 512, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tm <= prev {
+			t.Fatalf("time not monotone in K: %v after %v", tm, prev)
+		}
+		prev = tm
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	s := newSim()
+	cfg := gemm.Config{TileRows: 4, TileCols: 2, AccDepth: 8, WG: gemm.WorkGroup{R: 8, C: 16}}
+	shape := gemm.Shape{M: 777, N: 333, K: 99}
+	a, _ := s.KernelTime(cfg, shape)
+	b, _ := s.KernelTime(cfg, shape)
+	if a != b {
+		t.Fatal("microsimulator not deterministic")
+	}
+}
+
+func TestBelowPeak(t *testing.T) {
+	s := newSim()
+	peak := s.Dev.PeakGFLOPS()
+	for _, cfg := range gemm.AllConfigs()[:40] {
+		g, err := s.GFLOPS(cfg, gemm.Shape{M: 2048, N: 2048, K: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g <= 0 || g >= peak {
+			t.Fatalf("%v: %v GFLOPS vs peak %v", cfg, g, peak)
+		}
+	}
+}
+
+func TestBigTilesBeatTinyTilesAtScale(t *testing.T) {
+	// The microsimulator must reproduce the basic arithmetic-intensity
+	// ordering: at device-filling sizes the 4×4 register tile beats 1×1.
+	s := newSim()
+	shape := gemm.Shape{M: 4096, N: 4096, K: 512}
+	tiny, _ := s.GFLOPS(gemm.Config{TileRows: 1, TileCols: 1, AccDepth: 1, WG: gemm.WorkGroup{R: 16, C: 16}}, shape)
+	big, _ := s.GFLOPS(gemm.Config{TileRows: 4, TileCols: 4, AccDepth: 4, WG: gemm.WorkGroup{R: 16, C: 16}}, shape)
+	if big <= tiny {
+		t.Fatalf("4x4a4 (%v) not faster than 1x1a1 (%v)", big, tiny)
+	}
+}
+
+func spearman(a, b []float64) float64 {
+	rank := func(v []float64) []float64 {
+		idx := make([]int, len(v))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(x, y int) bool { return v[idx[x]] < v[idx[y]] })
+		r := make([]float64, len(v))
+		for rk, i := range idx {
+			r[i] = float64(rk)
+		}
+		return r
+	}
+	ra, rb := rank(a), rank(b)
+	n := float64(len(a))
+	var d2 float64
+	for i := range ra {
+		d := ra[i] - rb[i]
+		d2 += d * d
+	}
+	return 1 - 6*d2/(n*(n*n-1))
+}
+
+// TestCrossValidatesAnalyticalModel is the package's reason to exist: the
+// two independently constructed models must broadly agree on configuration
+// rankings (Spearman ≥ 0.6 on a 64-config sample across representative
+// shapes).
+func TestCrossValidatesAnalyticalModel(t *testing.T) {
+	analytic := sim.New(device.R9Nano())
+	micro := newSim()
+	cfgs := gemm.AllConfigs()
+	var sample []gemm.Config
+	for i := 0; i < len(cfgs); i += 10 {
+		sample = append(sample, cfgs[i])
+	}
+	shapes := []gemm.Shape{
+		{M: 12544, K: 576, N: 128},
+		{M: 3136, K: 64, N: 256},
+		{M: 1, K: 4096, N: 1000},
+		{M: 196, K: 2304, N: 512},
+	}
+	for _, shape := range shapes {
+		a := make([]float64, len(sample))
+		b := make([]float64, len(sample))
+		for i, cfg := range sample {
+			a[i] = analytic.GFLOPS(cfg, shape)
+			g, err := micro.GFLOPS(cfg, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[i] = g
+		}
+		if rho := spearman(a, b); rho < 0.6 {
+			t.Errorf("%v: model rank correlation %.3f < 0.6", shape, rho)
+		}
+	}
+}
+
+func TestOccupancyMatchesAnalyticalModel(t *testing.T) {
+	// Residency must agree between the models by construction.
+	analytic := sim.New(device.R9Nano())
+	micro := newSim()
+	for _, cfg := range gemm.AllConfigs()[:80] {
+		b := analytic.Price(cfg, gemm.Shape{M: 4096, N: 4096, K: 256})
+		g, _ := micro.occupancy(cfg)
+		if g != b.GroupsPerCU {
+			t.Fatalf("%v: groupsPerCU %d vs analytical %d", cfg, g, b.GroupsPerCU)
+		}
+	}
+}

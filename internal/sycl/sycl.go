@@ -1,0 +1,264 @@
+// Package sycl implements a CPU-hosted execution model mirroring the SYCL
+// hierarchical data-parallel kernel API.
+//
+// SYCL offers two ways to write kernels: flat parallel_for over an nd_range,
+// and hierarchical kernels in which a lambda runs once per work-group and
+// invokes parallel_for_work_item one or more times; an implicit barrier
+// separates consecutive item loops. This package implements both:
+//
+//   - Queue.ParallelFor runs a per-item function across a 2-D global range.
+//   - Queue.ParallelForWorkGroup runs a per-group function; within it,
+//     (*Group).ForEachItem iterates the local range with an implicit
+//     work-group barrier at the end of each call, exactly matching the
+//     hierarchical SYCL semantics.
+//
+// Work-groups are distributed over a pool of OS-thread-backed goroutines, so
+// kernels that are correct under this model (no cross-group communication)
+// are also correct and parallel here. Group-local memory is allocated
+// through (*Group).Local* and lives for the duration of one group execution,
+// modelling SYCL local accessors.
+package sycl
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Range is a two-dimensional index range. By SYCL convention dimension 0 is
+// the slowest-varying ("rows") and dimension 1 the fastest ("cols").
+type Range struct {
+	R, C int
+}
+
+// Size returns the number of points in the range.
+func (r Range) Size() int { return r.R * r.C }
+
+// NDRange pairs a global iteration space with a work-group size.
+// Unlike OpenCL, the global range need not be divisible by the local range:
+// this package rounds the group grid up and exposes bounds through the item,
+// matching how SYCL-DNN launches its GEMM kernels with ranges rounded up and
+// in-kernel bounds checks.
+type NDRange struct {
+	Global, Local Range
+}
+
+// Validate reports whether the nd-range is well formed.
+func (n NDRange) Validate() error {
+	if n.Global.R <= 0 || n.Global.C <= 0 {
+		return fmt.Errorf("sycl: non-positive global range %+v", n.Global)
+	}
+	if n.Local.R <= 0 || n.Local.C <= 0 {
+		return fmt.Errorf("sycl: non-positive local range %+v", n.Local)
+	}
+	return nil
+}
+
+// Groups returns the work-group grid, rounded up to cover the global range.
+func (n NDRange) Groups() Range {
+	return Range{
+		R: (n.Global.R + n.Local.R - 1) / n.Local.R,
+		C: (n.Global.C + n.Local.C - 1) / n.Local.C,
+	}
+}
+
+// Item identifies one work-item inside a hierarchical kernel.
+type Item struct {
+	Local  Range // local id within the work-group
+	Global Range // global id (group offset + local id); may exceed Global range on ragged edges
+}
+
+// LinearLocal returns the row-major linear local id of the item.
+func (it Item) LinearLocal(local Range) int { return it.Local.R*local.C + it.Local.C }
+
+// Group is the per-work-group execution context of a hierarchical kernel.
+type Group struct {
+	ID     Range // group id within the group grid
+	Grid   Range // total group grid
+	LocalR Range // work-group (local) size
+	nd     NDRange
+
+	locals [][]float64 // local allocations, reused across ForEachItem phases
+	nextLF int
+}
+
+// GlobalOffset returns the global id of this group's (0,0) item.
+func (g *Group) GlobalOffset() Range {
+	return Range{R: g.ID.R * g.LocalR.R, C: g.ID.C * g.LocalR.C}
+}
+
+// LocalFloat64 returns a zeroed group-local float64 buffer of length n,
+// modelling a SYCL local accessor. Buffers requested in the same order on
+// each call within a group are stable across ForEachItem phases, so data
+// written in one phase is visible in the next (after the implicit barrier).
+func (g *Group) LocalFloat64(n int) []float64 {
+	if g.nextLF < len(g.locals) {
+		buf := g.locals[g.nextLF]
+		g.nextLF++
+		if len(buf) != n {
+			panic(fmt.Sprintf("sycl: local buffer %d re-requested with length %d, was %d", g.nextLF-1, n, len(buf)))
+		}
+		return buf
+	}
+	buf := make([]float64, n)
+	g.locals = append(g.locals, buf)
+	g.nextLF++
+	return buf
+}
+
+// resetLocalCursor rewinds local-buffer handout so a kernel can re-request
+// its accessors per phase (mirroring how SYCL local accessors are captured
+// once but used in every phase). Called between group executions.
+func (g *Group) resetLocalCursor() { g.nextLF = 0 }
+
+// ForEachItem runs f once for every work-item in the group, in row-major
+// local order, and then returns. Consecutive calls are separated by an
+// implicit work-group barrier (trivially satisfied by sequential execution),
+// matching SYCL's parallel_for_work_item semantics.
+func (g *Group) ForEachItem(f func(it Item)) {
+	off := g.GlobalOffset()
+	for lr := 0; lr < g.LocalR.R; lr++ {
+		for lc := 0; lc < g.LocalR.C; lc++ {
+			f(Item{
+				Local:  Range{R: lr, C: lc},
+				Global: Range{R: off.R + lr, C: off.C + lc},
+			})
+		}
+	}
+}
+
+// Device describes the execution resource behind a queue. For the CPU host
+// executor only Workers matters; the remaining fields identify the device to
+// user code (the analytical performance model in internal/sim consumes the
+// richer device descriptions in internal/device).
+type Device struct {
+	Name    string
+	Workers int // concurrent work-groups; 0 means GOMAXPROCS
+}
+
+// HostDevice returns the default CPU host device.
+func HostDevice() Device {
+	return Device{Name: "host-cpu", Workers: runtime.GOMAXPROCS(0)}
+}
+
+// Event records timing for one submitted kernel, modelling SYCL events with
+// profiling enabled.
+type Event struct {
+	Start, End time.Time
+}
+
+// Duration returns the wall-clock execution time of the kernel.
+func (e Event) Duration() time.Duration { return e.End.Sub(e.Start) }
+
+// Queue schedules kernels onto a device, in order. It is safe for concurrent
+// use; kernels submitted from multiple goroutines execute independently.
+type Queue struct {
+	dev Device
+}
+
+// NewQueue returns a queue targeting dev.
+func NewQueue(dev Device) *Queue {
+	if dev.Workers <= 0 {
+		dev.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Queue{dev: dev}
+}
+
+// Device returns the queue's device.
+func (q *Queue) Device() Device { return q.dev }
+
+// ParallelFor runs f for every point of the global range, partitioned over
+// the device's workers. It corresponds to a flat SYCL parallel_for: no
+// work-group structure and no barriers are available to f.
+func (q *Queue) ParallelFor(global Range, f func(r, c int)) (Event, error) {
+	if global.R <= 0 || global.C <= 0 {
+		return Event{}, fmt.Errorf("sycl: non-positive global range %+v", global)
+	}
+	start := time.Now()
+	workers := q.dev.Workers
+	if workers > global.R {
+		workers = global.R
+	}
+	var wg sync.WaitGroup
+	rowsPer := (global.R + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		hi := lo + rowsPer
+		if hi > global.R {
+			hi = global.R
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for r := lo; r < hi; r++ {
+				for c := 0; c < global.C; c++ {
+					f(r, c)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return Event{Start: start, End: time.Now()}, nil
+}
+
+// ParallelForWorkGroup runs kernel once per work-group of nd, with groups
+// distributed across the device's workers. The kernel observes hierarchical
+// SYCL semantics: inside it, g.ForEachItem iterates work-items with an
+// implicit barrier between consecutive calls, and g.LocalFloat64 provides
+// work-group local memory.
+func (q *Queue) ParallelForWorkGroup(nd NDRange, kernel func(g *Group)) (Event, error) {
+	if err := nd.Validate(); err != nil {
+		return Event{}, err
+	}
+	start := time.Now()
+	grid := nd.Groups()
+	total := grid.Size()
+	workers := q.dev.Workers
+	if workers > total {
+		workers = total
+	}
+
+	var next int64
+	var mu sync.Mutex
+	takeGroup := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(total) {
+			return 0, false
+		}
+		id := int(next)
+		next++
+		return id, true
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker reuses one Group context (and therefore its local
+			// memory arena) across the groups it executes.
+			g := &Group{Grid: grid, LocalR: nd.Local, nd: nd}
+			for {
+				id, ok := takeGroup()
+				if !ok {
+					return
+				}
+				g.ID = Range{R: id / grid.C, C: id % grid.C}
+				g.resetLocalCursor()
+				for _, buf := range g.locals {
+					for i := range buf {
+						buf[i] = 0
+					}
+				}
+				kernel(g)
+			}
+		}()
+	}
+	wg.Wait()
+	return Event{Start: start, End: time.Now()}, nil
+}

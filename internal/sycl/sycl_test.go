@@ -1,0 +1,246 @@
+package sycl
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeSize(t *testing.T) {
+	if (Range{R: 3, C: 4}).Size() != 12 {
+		t.Fatal("Size mismatch")
+	}
+}
+
+func TestNDRangeValidate(t *testing.T) {
+	cases := []struct {
+		nd NDRange
+		ok bool
+	}{
+		{NDRange{Global: Range{4, 4}, Local: Range{2, 2}}, true},
+		{NDRange{Global: Range{0, 4}, Local: Range{2, 2}}, false},
+		{NDRange{Global: Range{4, 4}, Local: Range{0, 2}}, false},
+		{NDRange{Global: Range{4, -1}, Local: Range{2, 2}}, false},
+	}
+	for i, c := range cases {
+		err := c.nd.Validate()
+		if (err == nil) != c.ok {
+			t.Fatalf("case %d: Validate() err = %v, ok = %v", i, err, c.ok)
+		}
+	}
+}
+
+func TestNDRangeGroupsRoundsUp(t *testing.T) {
+	nd := NDRange{Global: Range{10, 7}, Local: Range{4, 4}}
+	g := nd.Groups()
+	if g.R != 3 || g.C != 2 {
+		t.Fatalf("Groups() = %+v, want {3 2}", g)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	q := NewQueue(HostDevice())
+	const R, C = 37, 23
+	var hits [R * C]int32
+	_, err := q.ParallelFor(Range{R, C}, func(r, c int) {
+		atomic.AddInt32(&hits[r*C+c], 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("point %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForInvalidRange(t *testing.T) {
+	q := NewQueue(HostDevice())
+	if _, err := q.ParallelFor(Range{0, 5}, func(r, c int) {}); err == nil {
+		t.Fatal("expected error for empty range")
+	}
+}
+
+func TestParallelForWorkGroupCoverage(t *testing.T) {
+	q := NewQueue(HostDevice())
+	nd := NDRange{Global: Range{16, 16}, Local: Range{4, 8}}
+	var mu sync.Mutex
+	visited := map[[2]int]int{}
+	_, err := q.ParallelForWorkGroup(nd, func(g *Group) {
+		g.ForEachItem(func(it Item) {
+			mu.Lock()
+			visited[[2]int{it.Global.R, it.Global.C}]++
+			mu.Unlock()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 16*16 {
+		t.Fatalf("visited %d global points, want 256", len(visited))
+	}
+	for pt, n := range visited {
+		if n != 1 {
+			t.Fatalf("point %v visited %d times", pt, n)
+		}
+	}
+}
+
+func TestParallelForWorkGroupRaggedEdges(t *testing.T) {
+	// Global 10x10, local 4x4 → groups 3x3 and items with global ids up to
+	// (11,11); the kernel must observe out-of-range ids so it can bounds
+	// check, exactly as SYCL-DNN kernels do.
+	q := NewQueue(HostDevice())
+	nd := NDRange{Global: Range{10, 10}, Local: Range{4, 4}}
+	var maxR, maxC int64
+	_, err := q.ParallelForWorkGroup(nd, func(g *Group) {
+		g.ForEachItem(func(it Item) {
+			for {
+				old := atomic.LoadInt64(&maxR)
+				if int64(it.Global.R) <= old || atomic.CompareAndSwapInt64(&maxR, old, int64(it.Global.R)) {
+					break
+				}
+			}
+			for {
+				old := atomic.LoadInt64(&maxC)
+				if int64(it.Global.C) <= old || atomic.CompareAndSwapInt64(&maxC, old, int64(it.Global.C)) {
+					break
+				}
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxR != 11 || maxC != 11 {
+		t.Fatalf("max global id = (%d,%d), want (11,11)", maxR, maxC)
+	}
+}
+
+func TestGroupLocalMemoryPersistsAcrossPhases(t *testing.T) {
+	q := NewQueue(Device{Name: "single", Workers: 1})
+	nd := NDRange{Global: Range{2, 2}, Local: Range{2, 2}}
+	ok := true
+	_, err := q.ParallelForWorkGroup(nd, func(g *Group) {
+		buf := g.LocalFloat64(4)
+		g.ForEachItem(func(it Item) {
+			buf[it.LinearLocal(g.LocalR)] = float64(it.Global.R*10 + it.Global.C)
+		})
+		// Implicit barrier: phase 2 must observe phase 1 writes.
+		g.ForEachItem(func(it Item) {
+			want := float64(it.Global.R*10 + it.Global.C)
+			if buf[it.LinearLocal(g.LocalR)] != want {
+				ok = false
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("local memory did not persist across item phases")
+	}
+}
+
+func TestGroupLocalMemoryZeroedBetweenGroups(t *testing.T) {
+	q := NewQueue(Device{Name: "single", Workers: 1})
+	nd := NDRange{Global: Range{4, 1}, Local: Range{1, 1}}
+	dirty := false
+	_, err := q.ParallelForWorkGroup(nd, func(g *Group) {
+		buf := g.LocalFloat64(8)
+		for _, v := range buf {
+			if v != 0 {
+				dirty = true
+			}
+		}
+		for i := range buf {
+			buf[i] = 42
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty {
+		t.Fatal("local memory leaked between groups")
+	}
+}
+
+func TestLocalFloat64LengthMismatchPanics(t *testing.T) {
+	q := NewQueue(Device{Name: "single", Workers: 1})
+	nd := NDRange{Global: Range{2, 1}, Local: Range{1, 1}}
+	panicked := false
+	var mu sync.Mutex
+	first := true
+	_, _ = q.ParallelForWorkGroup(nd, func(g *Group) {
+		defer func() {
+			if recover() != nil {
+				mu.Lock()
+				panicked = true
+				mu.Unlock()
+			}
+		}()
+		mu.Lock()
+		n := 4
+		if !first {
+			n = 8 // second group mis-requests
+		}
+		first = false
+		mu.Unlock()
+		g.LocalFloat64(n)
+	})
+	if !panicked {
+		t.Fatal("mismatched local buffer length did not panic")
+	}
+}
+
+func TestQueueDeviceDefaults(t *testing.T) {
+	q := NewQueue(Device{Name: "x"})
+	if q.Device().Workers <= 0 {
+		t.Fatal("NewQueue did not default Workers")
+	}
+}
+
+// Property: every global point inside the global range is visited exactly
+// once regardless of local size.
+func TestWorkGroupCoverageProperty(t *testing.T) {
+	q := NewQueue(HostDevice())
+	f := func(gr, gc, lr, lc uint8) bool {
+		nd := NDRange{
+			Global: Range{int(gr%20) + 1, int(gc%20) + 1},
+			Local:  Range{int(lr%6) + 1, int(lc%6) + 1},
+		}
+		counts := make([]int32, nd.Global.R*nd.Global.C)
+		_, err := q.ParallelForWorkGroup(nd, func(g *Group) {
+			g.ForEachItem(func(it Item) {
+				if it.Global.R < nd.Global.R && it.Global.C < nd.Global.C {
+					atomic.AddInt32(&counts[it.Global.R*nd.Global.C+it.Global.C], 1)
+				}
+			})
+		})
+		if err != nil {
+			return false
+		}
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventDurationNonNegative(t *testing.T) {
+	q := NewQueue(HostDevice())
+	ev, err := q.ParallelFor(Range{8, 8}, func(r, c int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Duration() < 0 {
+		t.Fatal("negative event duration")
+	}
+}

@@ -1,0 +1,428 @@
+// Package workload derives the GEMM shapes that arise in neural-network
+// inference, reproducing the paper's dataset provenance: matrix-multiply
+// sizes extracted from VGG, ResNet and MobileNet via the im2col and Winograd
+// convolution transforms plus the fully-connected layers.
+//
+// The paper reports 78 / 66 / 26 shape combinations for the three networks
+// (170 total) without publishing the exact extraction recipe; this package
+// regenerates a comparable set (batched im2col for every convolution,
+// Winograd F(2×2, 3×3) for unit-stride 3×3 convolutions, and a batch sweep)
+// and the experiment harness records the resulting counts next to the
+// paper's.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"kernelselect/internal/gemm"
+)
+
+// Conv describes one convolutional layer. Pointwise (1×1) convolutions are
+// ordinary Convs with KH = KW = 1.
+type Conv struct {
+	Name             string
+	InC, OutC        int
+	InH, InW         int
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutH returns the output height.
+func (c Conv) OutH() int { return (c.InH+2*c.PadH-c.KH)/c.StrideH + 1 }
+
+// OutW returns the output width.
+func (c Conv) OutW() int { return (c.InW+2*c.PadW-c.KW)/c.StrideW + 1 }
+
+// Validate reports whether the layer geometry is consistent.
+func (c Conv) Validate() error {
+	if c.InC <= 0 || c.OutC <= 0 || c.InH <= 0 || c.InW <= 0 ||
+		c.KH <= 0 || c.KW <= 0 || c.StrideH <= 0 || c.StrideW <= 0 ||
+		c.PadH < 0 || c.PadW < 0 {
+		return fmt.Errorf("workload: invalid conv %q: %+v", c.Name, c)
+	}
+	if c.OutH() <= 0 || c.OutW() <= 0 {
+		return fmt.Errorf("workload: conv %q has empty output", c.Name)
+	}
+	return nil
+}
+
+// Im2colShape returns the GEMM this convolution lowers to under the im2col
+// transform for the given batch: M = batch·OutH·OutW rows of unrolled
+// patches, K = InC·KH·KW patch elements, N = OutC filters.
+func (c Conv) Im2colShape(batch int) gemm.Shape {
+	return gemm.Shape{
+		M: batch * c.OutH() * c.OutW(),
+		K: c.InC * c.KH * c.KW,
+		N: c.OutC,
+	}
+}
+
+// WinogradShape returns the batched-GEMM shape of the Winograd F(2×2, 3×3)
+// lowering and true if the layer admits it (3×3, unit stride). The
+// transform computes 16 independent GEMMs of identical shape
+// M = batch·⌈OutH/2⌉·⌈OutW/2⌉, K = InC, N = OutC; since all 16 share one
+// shape, a single entry represents them in the tuning dataset.
+func (c Conv) WinogradShape(batch int) (gemm.Shape, bool) {
+	if c.KH != 3 || c.KW != 3 || c.StrideH != 1 || c.StrideW != 1 {
+		return gemm.Shape{}, false
+	}
+	tiles := ((c.OutH() + 1) / 2) * ((c.OutW() + 1) / 2)
+	return gemm.Shape{M: batch * tiles, K: c.InC, N: c.OutC}, true
+}
+
+// FC describes one fully-connected layer; it lowers to a GEMM with
+// M = batch, K = In, N = Out.
+type FC struct {
+	Name    string
+	In, Out int
+}
+
+// Shape returns the GEMM for the given batch.
+func (f FC) Shape(batch int) gemm.Shape {
+	return gemm.Shape{M: batch, K: f.In, N: f.Out}
+}
+
+// Network is a named collection of layers plus the batch sizes its shapes
+// are extracted at.
+type Network struct {
+	Name    string
+	Convs   []Conv
+	FCs     []FC
+	Batches []int
+}
+
+// GEMMShapes returns the deduplicated, deterministically ordered set of GEMM
+// shapes the network generates across its batch sweep.
+func (n Network) GEMMShapes() []gemm.Shape {
+	seen := map[gemm.Shape]bool{}
+	var out []gemm.Shape
+	add := func(s gemm.Shape) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, b := range n.Batches {
+		for _, c := range n.Convs {
+			add(c.Im2colShape(b))
+			if w, ok := c.WinogradShape(b); ok {
+				add(w)
+			}
+		}
+		for _, f := range n.FCs {
+			add(f.Shape(b))
+		}
+	}
+	sortShapes(out)
+	return out
+}
+
+// Validate checks every layer of the network.
+func (n Network) Validate() error {
+	if len(n.Batches) == 0 {
+		return fmt.Errorf("workload: network %q has no batch sizes", n.Name)
+	}
+	for _, b := range n.Batches {
+		if b <= 0 {
+			return fmt.Errorf("workload: network %q has non-positive batch %d", n.Name, b)
+		}
+	}
+	for _, c := range n.Convs {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, f := range n.FCs {
+		if f.In <= 0 || f.Out <= 0 {
+			return fmt.Errorf("workload: invalid fc %q", f.Name)
+		}
+	}
+	return nil
+}
+
+func sortShapes(s []gemm.Shape) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].M != s[j].M {
+			return s[i].M < s[j].M
+		}
+		if s[i].K != s[j].K {
+			return s[i].K < s[j].K
+		}
+		return s[i].N < s[j].N
+	})
+}
+
+func conv3(name string, inC, outC, size int) Conv {
+	return Conv{Name: name, InC: inC, OutC: outC, InH: size, InW: size,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+}
+
+func conv1(name string, inC, outC, size, stride int) Conv {
+	return Conv{Name: name, InC: inC, OutC: outC, InH: size, InW: size,
+		KH: 1, KW: 1, StrideH: stride, StrideW: stride}
+}
+
+// VGG16 returns the distinct convolution/FC layers of VGG-16 (Simonyan &
+// Zisserman). Repeated identical layers are listed once; they lower to the
+// same GEMM.
+func VGG16() Network {
+	return Network{
+		Name: "vgg16",
+		Convs: []Conv{
+			conv3("conv1_1", 3, 64, 224),
+			conv3("conv1_2", 64, 64, 224),
+			conv3("conv2_1", 64, 128, 112),
+			conv3("conv2_2", 128, 128, 112),
+			conv3("conv3_1", 128, 256, 56),
+			conv3("conv3_2", 256, 256, 56), // ×2 in the model
+			conv3("conv4_1", 256, 512, 28),
+			conv3("conv4_2", 512, 512, 28), // ×2 in the model
+			conv3("conv5_x", 512, 512, 14), // ×3 in the model
+		},
+		FCs: []FC{
+			{Name: "fc6", In: 512 * 7 * 7, Out: 4096},
+			{Name: "fc7", In: 4096, Out: 4096},
+			{Name: "fc8", In: 4096, Out: 1000},
+		},
+		Batches: []int{1, 4, 16, 64},
+	}
+}
+
+// ResNet50 returns the distinct layers of ResNet-50 (He et al.), v1 layout
+// with stride-2 downsampling in the first 1×1 of each stage entry.
+func ResNet50() Network {
+	return Network{
+		Name: "resnet50",
+		Convs: []Conv{
+			{Name: "conv1", InC: 3, OutC: 64, InH: 224, InW: 224,
+				KH: 7, KW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3},
+			// Stage 1 @56 (after 3×3/2 max pool).
+			conv1("res2_reduce_first", 64, 64, 56, 1),
+			conv3("res2_3x3", 64, 64, 56),
+			conv1("res2_expand", 64, 256, 56, 1), // also the projection shortcut
+			conv1("res2_reduce", 256, 64, 56, 1),
+			// Stage 2 @28.
+			conv1("res3_reduce_first", 256, 128, 56, 2),
+			conv3("res3_3x3", 128, 128, 28),
+			conv1("res3_expand", 128, 512, 28, 1),
+			conv1("res3_reduce", 512, 128, 28, 1),
+			conv1("res3_proj", 256, 512, 56, 2),
+			// Stage 3 @14.
+			conv1("res4_reduce_first", 512, 256, 28, 2),
+			conv3("res4_3x3", 256, 256, 14),
+			conv1("res4_expand", 256, 1024, 14, 1),
+			conv1("res4_reduce", 1024, 256, 14, 1),
+			conv1("res4_proj", 512, 1024, 28, 2),
+			// Stage 4 @7.
+			conv1("res5_reduce_first", 1024, 512, 14, 2),
+			conv3("res5_3x3", 512, 512, 7),
+			conv1("res5_expand", 512, 2048, 7, 1),
+			conv1("res5_reduce", 2048, 512, 7, 1),
+			conv1("res5_proj", 1024, 2048, 14, 2),
+		},
+		FCs: []FC{
+			{Name: "fc1000", In: 2048, Out: 1000},
+		},
+		Batches: []int{1, 16, 64},
+	}
+}
+
+// MobileNetV2 returns the distinct GEMM-lowerable layers of MobileNet-V2
+// (Sandler et al.): the full 3×3 stem, the pointwise expand/project
+// convolutions of each inverted-residual stage, the 1×1 head, and the
+// classifier. Depthwise 3×3 convolutions do not lower to a dense GEMM via
+// im2col (they are grouped with one channel per group) and are therefore
+// not part of the matrix-multiply tuning set, matching the paper's
+// GEMM-only case study.
+func MobileNetV2() Network {
+	return Network{
+		Name: "mobilenetv2",
+		Convs: []Conv{
+			{Name: "stem", InC: 3, OutC: 32, InH: 224, InW: 224,
+				KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+			conv1("b1_project", 32, 16, 112, 1),
+			conv1("b2_expand_first", 16, 96, 112, 1),
+			conv1("b2_project_first", 96, 24, 56, 1),
+			conv1("b2_expand", 24, 144, 56, 1),
+			conv1("b2_project", 144, 24, 56, 1),
+			conv1("b3_project_first", 144, 32, 28, 1),
+			conv1("b3_expand", 32, 192, 28, 1),
+			conv1("b3_project", 192, 32, 28, 1),
+			conv1("b4_project_first", 192, 64, 14, 1),
+			conv1("b4_expand", 64, 384, 14, 1),
+			conv1("b4_project", 384, 64, 14, 1),
+			conv1("b5_project_first", 384, 96, 14, 1),
+			conv1("b5_expand", 96, 576, 14, 1),
+			conv1("b5_project", 576, 96, 14, 1),
+			conv1("b6_project_first", 576, 160, 7, 1),
+			conv1("b6_expand", 160, 960, 7, 1),
+			conv1("b6_project", 960, 160, 7, 1),
+			conv1("b7_project", 960, 320, 7, 1),
+			conv1("head", 320, 1280, 7, 1),
+		},
+		FCs: []FC{
+			{Name: "classifier", In: 1280, Out: 1000},
+		},
+		Batches: []int{1},
+	}
+}
+
+// Networks returns the three paper networks in publication order.
+func Networks() []Network {
+	return []Network{VGG16(), ResNet50(), MobileNetV2()}
+}
+
+// DatasetShapes returns the union of the GEMM shapes across all three
+// networks (deduplicated, deterministic order) together with the per-network
+// counts before union, mirroring the paper's "78 + 66 + 26 = 170
+// combinations" accounting.
+func DatasetShapes() (shapes []gemm.Shape, perNetwork map[string]int) {
+	perNetwork = map[string]int{}
+	seen := map[gemm.Shape]bool{}
+	for _, n := range Networks() {
+		ns := n.GEMMShapes()
+		perNetwork[n.Name] = len(ns)
+		for _, s := range ns {
+			if !seen[s] {
+				seen[s] = true
+				shapes = append(shapes, s)
+			}
+		}
+	}
+	sortShapes(shapes)
+	return shapes, perNetwork
+}
+
+// AlexNet returns the distinct layers of AlexNet (Krizhevsky et al.) — part
+// of the extended workload used to test the paper's future-work hypothesis
+// that larger datasets mitigate the classifiers' failure to generalise. Its
+// 11×11 and 5×5 kernels contribute GEMM K-dimensions the three paper
+// networks never produce.
+func AlexNet() Network {
+	return Network{
+		Name: "alexnet",
+		Convs: []Conv{
+			{Name: "conv1", InC: 3, OutC: 96, InH: 227, InW: 227,
+				KH: 11, KW: 11, StrideH: 4, StrideW: 4},
+			{Name: "conv2", InC: 96, OutC: 256, InH: 27, InW: 27,
+				KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2},
+			conv3("conv3", 256, 384, 13),
+			conv3("conv4", 384, 384, 13),
+			conv3("conv5", 384, 256, 13),
+		},
+		FCs: []FC{
+			{Name: "fc6", In: 256 * 6 * 6, Out: 4096},
+			{Name: "fc7", In: 4096, Out: 4096},
+			{Name: "fc8", In: 4096, Out: 1000},
+		},
+		Batches: []int{1, 4, 16, 64},
+	}
+}
+
+// ResNet18 returns the distinct layers of ResNet-18 (basic blocks, v1).
+func ResNet18() Network {
+	return Network{
+		Name: "resnet18",
+		Convs: []Conv{
+			{Name: "conv1", InC: 3, OutC: 64, InH: 224, InW: 224,
+				KH: 7, KW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3},
+			conv3("res2_3x3", 64, 64, 56),
+			{Name: "res3_3x3_down", InC: 64, OutC: 128, InH: 56, InW: 56,
+				KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+			conv3("res3_3x3", 128, 128, 28),
+			conv1("res3_proj", 64, 128, 56, 2),
+			{Name: "res4_3x3_down", InC: 128, OutC: 256, InH: 28, InW: 28,
+				KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+			conv3("res4_3x3", 256, 256, 14),
+			conv1("res4_proj", 128, 256, 28, 2),
+			{Name: "res5_3x3_down", InC: 256, OutC: 512, InH: 14, InW: 14,
+				KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+			conv3("res5_3x3", 512, 512, 7),
+			conv1("res5_proj", 256, 512, 14, 2),
+		},
+		FCs: []FC{
+			{Name: "fc1000", In: 512, Out: 1000},
+		},
+		Batches: []int{1, 8, 32},
+	}
+}
+
+// ExtendedNetworks returns the paper's three networks plus the two extras of
+// the dataset-size extension.
+func ExtendedNetworks() []Network {
+	return append(Networks(), AlexNet(), ResNet18())
+}
+
+// ExtendedDatasetShapes is DatasetShapes over ExtendedNetworks — the
+// "larger dataset" of the future-work experiment.
+func ExtendedDatasetShapes() (shapes []gemm.Shape, perNetwork map[string]int) {
+	perNetwork = map[string]int{}
+	seen := map[gemm.Shape]bool{}
+	for _, n := range ExtendedNetworks() {
+		ns := n.GEMMShapes()
+		perNetwork[n.Name] = len(ns)
+		for _, s := range ns {
+			if !seen[s] {
+				seen[s] = true
+				shapes = append(shapes, s)
+			}
+		}
+	}
+	sortShapes(shapes)
+	return shapes, perNetwork
+}
+
+// TrainingGEMMShapes returns the GEMM shapes one training step of the
+// network produces: the forward lowerings plus the gradient products of
+// every convolution and FC layer (dW = colsᵀ·dY and dX = dY·Wᵀ, with the
+// im2col matrix as cols). The paper's motivating regime is research
+// training, whose backward shapes — K equal to the batched spatial size,
+// outputs equal to patch dimensions — look nothing like inference GEMMs.
+func (n Network) TrainingGEMMShapes() []gemm.Shape {
+	seen := map[gemm.Shape]bool{}
+	var out []gemm.Shape
+	add := func(s gemm.Shape) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range n.GEMMShapes() {
+		add(s)
+	}
+	for _, b := range n.Batches {
+		for _, c := range n.Convs {
+			f := c.Im2colShape(b)
+			add(gemm.Shape{M: f.K, K: f.M, N: f.N}) // dW
+			add(gemm.Shape{M: f.M, K: f.N, N: f.K}) // dCols
+		}
+		for _, fc := range n.FCs {
+			f := fc.Shape(b)
+			add(gemm.Shape{M: f.K, K: f.M, N: f.N}) // dW
+			add(gemm.Shape{M: f.M, K: f.N, N: f.K}) // dX
+		}
+	}
+	sortShapes(out)
+	return out
+}
+
+// TrainingDatasetShapes is the training-workload union over the paper's
+// three networks.
+func TrainingDatasetShapes() (shapes []gemm.Shape, perNetwork map[string]int) {
+	perNetwork = map[string]int{}
+	seen := map[gemm.Shape]bool{}
+	for _, n := range Networks() {
+		ns := n.TrainingGEMMShapes()
+		perNetwork[n.Name] = len(ns)
+		for _, s := range ns {
+			if !seen[s] {
+				seen[s] = true
+				shapes = append(shapes, s)
+			}
+		}
+	}
+	sortShapes(shapes)
+	return shapes, perNetwork
+}

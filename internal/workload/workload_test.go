@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"testing"
+
+	"kernelselect/internal/gemm"
+)
+
+func TestConvGeometry(t *testing.T) {
+	c := Conv{Name: "x", InC: 3, OutC: 64, InH: 224, InW: 224,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	if c.OutH() != 224 || c.OutW() != 224 {
+		t.Fatalf("same-pad 3×3 output = %dx%d, want 224x224", c.OutH(), c.OutW())
+	}
+	s2 := Conv{Name: "y", InC: 3, OutC: 32, InH: 224, InW: 224,
+		KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	if s2.OutH() != 112 {
+		t.Fatalf("stride-2 output = %d, want 112", s2.OutH())
+	}
+	c7 := Conv{Name: "z", InC: 3, OutC: 64, InH: 224, InW: 224,
+		KH: 7, KW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3}
+	if c7.OutH() != 112 {
+		t.Fatalf("7×7/2 output = %d, want 112", c7.OutH())
+	}
+}
+
+func TestIm2colShape(t *testing.T) {
+	c := Conv{Name: "x", InC: 64, OutC: 128, InH: 56, InW: 56,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	s := c.Im2colShape(4)
+	want := gemm.Shape{M: 4 * 56 * 56, K: 64 * 9, N: 128}
+	if s != want {
+		t.Fatalf("Im2colShape = %+v, want %+v", s, want)
+	}
+}
+
+func TestWinogradShape(t *testing.T) {
+	c := Conv{Name: "x", InC: 64, OutC: 64, InH: 56, InW: 56,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	s, ok := c.WinogradShape(2)
+	if !ok {
+		t.Fatal("3×3 s1 conv should admit Winograd")
+	}
+	want := gemm.Shape{M: 2 * 28 * 28, K: 64, N: 64}
+	if s != want {
+		t.Fatalf("WinogradShape = %+v, want %+v", s, want)
+	}
+	// Strided and non-3×3 convolutions must not admit Winograd.
+	c.StrideH = 2
+	if _, ok := c.WinogradShape(1); ok {
+		t.Fatal("strided conv admitted Winograd")
+	}
+	c.StrideH = 1
+	c.KH = 1
+	if _, ok := c.WinogradShape(1); ok {
+		t.Fatal("1×3 conv admitted Winograd")
+	}
+}
+
+func TestFCShape(t *testing.T) {
+	f := FC{Name: "fc", In: 4096, Out: 1000}
+	if got := f.Shape(16); got != (gemm.Shape{M: 16, K: 4096, N: 1000}) {
+		t.Fatalf("FC shape = %+v", got)
+	}
+}
+
+func TestNetworksValidate(t *testing.T) {
+	for _, n := range Networks() {
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: %v", n.Name, err)
+		}
+	}
+}
+
+func TestVGG16Layers(t *testing.T) {
+	n := VGG16()
+	if len(n.Convs) != 9 || len(n.FCs) != 3 {
+		t.Fatalf("VGG16 has %d distinct convs and %d FCs, want 9 and 3", len(n.Convs), len(n.FCs))
+	}
+	// First FC input must match the 7×7×512 feature map.
+	if n.FCs[0].In != 25088 {
+		t.Fatalf("fc6 input = %d, want 25088", n.FCs[0].In)
+	}
+}
+
+func TestShapeCountsNearPaper(t *testing.T) {
+	// The paper reports 78 / 66 / 26 shapes (170 total). Our extraction
+	// recipe is documented to differ in detail; this test pins the counts
+	// we ship so regressions in the layer tables are caught.
+	wantExact := map[string]int{"vgg16": 78, "resnet50": 74, "mobilenetv2": 21}
+	for _, n := range Networks() {
+		got := len(n.GEMMShapes())
+		if got != wantExact[n.Name] {
+			t.Errorf("%s: %d shapes, want %d", n.Name, got, wantExact[n.Name])
+		}
+	}
+	shapes, per := DatasetShapes()
+	if len(shapes) != 156 {
+		t.Errorf("union = %d shapes, want 156", len(shapes))
+	}
+	total := 0
+	for _, c := range per {
+		total += c
+	}
+	if total != 78+74+21 {
+		t.Errorf("per-network total = %d", total)
+	}
+}
+
+func TestGEMMShapesDeduplicatedAndSorted(t *testing.T) {
+	for _, n := range Networks() {
+		shapes := n.GEMMShapes()
+		seen := map[gemm.Shape]bool{}
+		for i, s := range shapes {
+			if s.Validate() != nil {
+				t.Fatalf("%s: invalid shape %+v", n.Name, s)
+			}
+			if seen[s] {
+				t.Fatalf("%s: duplicate shape %+v", n.Name, s)
+			}
+			seen[s] = true
+			if i > 0 {
+				p := shapes[i-1]
+				if p.M > s.M || (p.M == s.M && p.K > s.K) || (p.M == s.M && p.K == s.K && p.N >= s.N) {
+					t.Fatalf("%s: shapes not sorted at %d", n.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchScalesM(t *testing.T) {
+	// M must scale linearly with batch for both conv lowerings and FC.
+	c := VGG16().Convs[0]
+	if c.Im2colShape(8).M != 8*c.Im2colShape(1).M {
+		t.Fatal("im2col M does not scale with batch")
+	}
+	w8, _ := c.WinogradShape(8)
+	w1, _ := c.WinogradShape(1)
+	if w8.M != 8*w1.M {
+		t.Fatal("winograd M does not scale with batch")
+	}
+}
+
+func TestValidateCatchesBadLayers(t *testing.T) {
+	n := Network{Name: "bad", Convs: []Conv{{Name: "c"}}, Batches: []int{1}}
+	if n.Validate() == nil {
+		t.Fatal("zeroed conv accepted")
+	}
+	n = Network{Name: "bad2", FCs: []FC{{Name: "f", In: 0, Out: 10}}, Batches: []int{1}}
+	if n.Validate() == nil {
+		t.Fatal("zero-input FC accepted")
+	}
+	n = Network{Name: "bad3", Batches: nil}
+	if n.Validate() == nil {
+		t.Fatal("empty batch sweep accepted")
+	}
+	n = Network{Name: "bad4", Batches: []int{0}}
+	if n.Validate() == nil {
+		t.Fatal("zero batch accepted")
+	}
+}
+
+func TestMobileNetExcludesDepthwise(t *testing.T) {
+	// Every conv in the MobileNet table must be either the 3×3 stem or a
+	// 1×1 pointwise: depthwise layers do not lower to dense GEMM.
+	for _, c := range MobileNetV2().Convs {
+		if c.KH == 1 && c.KW == 1 {
+			continue
+		}
+		if c.Name != "stem" {
+			t.Fatalf("unexpected non-pointwise conv %q", c.Name)
+		}
+	}
+}
+
+func TestExtendedNetworksValidate(t *testing.T) {
+	nets := ExtendedNetworks()
+	if len(nets) != 5 {
+		t.Fatalf("%d extended networks, want 5", len(nets))
+	}
+	for _, n := range nets {
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: %v", n.Name, err)
+		}
+	}
+}
+
+func TestExtendedDatasetLarger(t *testing.T) {
+	std, _ := DatasetShapes()
+	ext, per := ExtendedDatasetShapes()
+	if len(ext) <= len(std) {
+		t.Fatalf("extended %d not larger than standard %d", len(ext), len(std))
+	}
+	if per["alexnet"] == 0 || per["resnet18"] == 0 {
+		t.Fatalf("extended networks missing: %v", per)
+	}
+	// The standard shapes are a subset of the extended union.
+	seen := map[gemm.Shape]bool{}
+	for _, s := range ext {
+		seen[s] = true
+	}
+	for _, s := range std {
+		if !seen[s] {
+			t.Fatalf("standard shape %v missing from extended union", s)
+		}
+	}
+}
+
+func TestAlexNetGeometry(t *testing.T) {
+	a := AlexNet()
+	// conv1: 227 → (227-11)/4+1 = 55.
+	if a.Convs[0].OutH() != 55 {
+		t.Fatalf("alexnet conv1 out %d, want 55", a.Convs[0].OutH())
+	}
+	// fc6 input must match conv5's pooled output (6×6×256).
+	if a.FCs[0].In != 9216 {
+		t.Fatalf("alexnet fc6 in %d, want 9216", a.FCs[0].In)
+	}
+}
+
+func TestTrainingGEMMShapes(t *testing.T) {
+	n := VGG16()
+	fwd := n.GEMMShapes()
+	train := n.TrainingGEMMShapes()
+	if len(train) <= len(fwd) {
+		t.Fatalf("training shapes %d not larger than forward %d", len(train), len(fwd))
+	}
+	// Forward shapes are a subset.
+	seen := map[gemm.Shape]bool{}
+	for _, s := range train {
+		seen[s] = true
+	}
+	for _, s := range fwd {
+		if !seen[s] {
+			t.Fatalf("forward shape %v missing from training set", s)
+		}
+	}
+	// The dW shape of conv1_1 at batch 1 must be present: im2col is
+	// (50176 × 27 × 64), so dW is (27 × 50176 × 64).
+	want := gemm.Shape{M: 27, K: 50176, N: 64}
+	if !seen[want] {
+		t.Fatalf("expected gradient shape %v missing", want)
+	}
+}
+
+func TestTrainingDatasetShapes(t *testing.T) {
+	shapes, per := TrainingDatasetShapes()
+	if len(shapes) != 348 {
+		t.Fatalf("training union = %d, want 348", len(shapes))
+	}
+	for _, name := range []string{"vgg16", "resnet50", "mobilenetv2"} {
+		if per[name] == 0 {
+			t.Fatalf("missing network %s", name)
+		}
+	}
+	for _, s := range shapes {
+		if s.Validate() != nil {
+			t.Fatalf("invalid shape %v", s)
+		}
+	}
+}

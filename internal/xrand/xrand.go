@@ -1,0 +1,130 @@
+// Package xrand provides deterministic pseudo-random number generation for
+// reproducible experiments.
+//
+// The package intentionally avoids math/rand so that streams are stable
+// across Go releases: every experiment in this repository is seeded, and the
+// published tables in EXPERIMENTS.md must regenerate bit-for-bit.
+//
+// The core generator is xoshiro256**, seeded through SplitMix64 as
+// recommended by its authors. A small amount of hashing support
+// (SplitMix64 as a mixer) is exposed for deterministic per-key jitter.
+package xrand
+
+import "math"
+
+// SplitMix64 advances the state x and returns the next value of the
+// SplitMix64 sequence. It is both a seeding PRNG and a strong 64-bit mixer.
+func SplitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash64 mixes a sequence of 64-bit words into a single well-distributed
+// 64-bit hash. It is used to derive deterministic per-(shape, config) noise.
+func Hash64(words ...uint64) uint64 {
+	h := uint64(0x243f6a8885a308d3) // pi fraction, arbitrary non-zero seed
+	for _, w := range words {
+		h ^= w
+		_ = SplitMix64(&h)
+		h = SplitMix64(&h)
+	}
+	return SplitMix64(&h)
+}
+
+// Rand is a deterministic xoshiro256** generator.
+// The zero value is not valid; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given seed via SplitMix64.
+// Distinct seeds give independent streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// Guard against the theoretical all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// simple rejection keeps the stream easy to reason about.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher–Yates shuffle of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// UnitJitter maps a 64-bit hash to a deterministic value in [-1, 1).
+func UnitJitter(h uint64) float64 {
+	return float64(h>>11)/(1<<52) - 1
+}
