@@ -1,0 +1,29 @@
+# Developer entry points for the kernel-selection reproduction.
+# `make check` is the pre-commit gate: build, vet, tests and the race
+# detector over every package.
+
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments package reruns the full pipeline several times; under the
+# race detector's ~10x slowdown that needs more than the default 10m.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+vet:
+	$(GO) vet ./...
+
+# The root-package benchmark harness regenerates every figure and table and
+# times the parallel engine (RunAll at 1 vs GOMAXPROCS workers, cached vs
+# uncached pricing, HDBSCAN clustering).
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+check: build vet test race

@@ -17,6 +17,7 @@ package kernelselect
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"kernelselect/internal/device"
 	"kernelselect/internal/experiments"
 	"kernelselect/internal/gemm"
+	"kernelselect/internal/ml/hdbscan"
 	"kernelselect/internal/search"
 	"kernelselect/internal/sim"
 	"kernelselect/internal/simwave"
@@ -333,6 +335,63 @@ func spearmanRho(a, bv []float64) float64 {
 		d2 += d * d
 	}
 	return 1 - 6*d2/(n*(n*n-1))
+}
+
+// BenchmarkPrice compares the analytical pricing path with and without the
+// memo cache: the cached model answers repeat (config, shape) queries — the
+// common case across pruners, classifiers and search restarts — from a
+// sharded read-mostly map.
+func BenchmarkPrice(b *testing.B) {
+	shapes, _ := workload.DatasetShapes()
+	shapes = shapes[:16]
+	configs := gemm.AllConfigs()[:40]
+	run := func(b *testing.B, m *sim.Model) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			s := shapes[i%len(shapes)]
+			cfg := configs[i%len(configs)]
+			sink += m.Price(cfg, s).TotalSec
+		}
+		_ = sink
+	}
+	b.Run("uncached", func(b *testing.B) {
+		// A literal Model has a nil cache: every call re-prices.
+		run(b, &sim.Model{Dev: device.R9Nano(), P: sim.DefaultParams()})
+	})
+	b.Run("cached", func(b *testing.B) {
+		run(b, sim.New(device.R9Nano()))
+	})
+}
+
+// BenchmarkRunAll times the full deterministic evaluation (Figures 1-4 and
+// Table I) sequentially and on the full machine — the headline speedup of
+// the parallel experiment engine.
+func BenchmarkRunAll(b *testing.B) {
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := experiments.Default()
+			cfg.Workers = w
+			env := experiments.Setup(cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env.RunAll()
+			}
+		})
+	}
+}
+
+// BenchmarkHDBSCANCluster times density clustering over the training
+// performance matrix at 1 worker and on the full machine; the pairwise
+// distance matrix dominates.
+func BenchmarkHDBSCANCluster(b *testing.B) {
+	env := sharedBenchEnv(b)
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hdbscan.Cluster(env.Train.Norm, hdbscan.Options{MinClusterSize: 4, Workers: w})
+			}
+		})
+	}
 }
 
 // BenchmarkAblationTrainingShapes reports how an inference-tuned kernel set

@@ -5,14 +5,18 @@
 //
 //	experiments [-only fig1|fig2|fig3|fig4|table1|latency|importance|ablations]
 //	            [-device r9nano|gen9|mali] [-seed 42] [-md REPORT.md] [-svg figures]
+//	            [-workers N] [-bench-json out.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"kernelselect/internal/device"
 	"kernelselect/internal/experiments"
@@ -26,10 +30,13 @@ func main() {
 	seed := flag.Uint64("seed", experiments.DefaultSeed, "experiment seed")
 	mdPath := flag.String("md", "", "write a full markdown report to this path instead of printing")
 	svgDir := flag.String("svg", "", "also render fig1.svg…fig4.svg into this directory")
+	workers := flag.Int("workers", 0, "worker pool size for every pipeline stage (0 = GOMAXPROCS)")
+	benchJSON := flag.String("bench-json", "", "time Setup and RunAll at 1 and N workers, write JSON to this path and exit")
 	flag.Parse()
 
 	cfg := experiments.Default()
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	switch *devName {
 	case "r9nano":
 		cfg.Device = device.R9Nano()
@@ -39,6 +46,13 @@ func main() {
 		cfg.Device = device.EmbeddedMaliG72()
 	default:
 		log.Fatalf("unknown device %q", *devName)
+	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(cfg, *benchJSON); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	env := experiments.Setup(cfg)
@@ -90,4 +104,64 @@ func main() {
 	if *only == "ablations" {
 		fmt.Println(experiments.RenderAblations(env))
 	}
+}
+
+// benchEntry is one machine-readable timing sample.
+type benchEntry struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+}
+
+// benchReport is the -bench-json payload.
+type benchReport struct {
+	Device        string       `json:"device"`
+	Seed          uint64       `json:"seed"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	RunAllSpeedup float64      `json:"runall_speedup"`
+	Entries       []benchEntry `json:"entries"`
+}
+
+// writeBenchJSON times Setup once and RunAll at 1 worker and at the
+// configured pool size on the same environment, then writes the samples as
+// JSON. The price cache is warm for both RunAll runs (Setup fills it), so
+// the two timings isolate the worker-pool effect.
+func writeBenchJSON(cfg experiments.Config, path string) error {
+	// Open the output before measuring so a bad path fails in milliseconds,
+	// not after the benchmark runs.
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	n := cfg.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	rep := benchReport{Device: cfg.Device.Name, Seed: cfg.Seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	var env *experiments.Env
+	measure := func(name string, workers int, f func()) float64 {
+		start := time.Now()
+		f()
+		sec := time.Since(start).Seconds()
+		rep.Entries = append(rep.Entries, benchEntry{Name: name, Workers: workers, Seconds: sec})
+		log.Printf("%-12s workers=%-3d %8.3fs", name, workers, sec)
+		return sec
+	}
+	measure("setup", n, func() { env = experiments.Setup(cfg) })
+	env.Cfg.Workers = 1
+	seq := measure("runall", 1, func() { env.RunAll() })
+	env.Cfg.Workers = n
+	par := measure("runall", n, func() { env.RunAll() })
+	if par > 0 {
+		rep.RunAllSpeedup = seq / par
+	}
+	log.Printf("runall speedup at %d workers: %.2fx", n, rep.RunAllSpeedup)
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(out, '\n')); err != nil {
+		return err
+	}
+	return f.Close()
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tune [-device r9nano|gen9|mali] [-o dataset.csv]
+//	tune [-device r9nano|gen9|mali] [-o dataset.csv] [-workers N]
 package main
 
 import (
@@ -27,6 +27,7 @@ func main() {
 	log.SetPrefix("tune: ")
 	devName := flag.String("device", "r9nano", "device model: r9nano, gen9 or mali")
 	out := flag.String("o", "", "output CSV path (default stdout)")
+	workers := flag.Int("workers", 0, "worker pool size for pricing (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	dev, err := deviceByName(*devName)
@@ -45,7 +46,7 @@ func main() {
 	}
 	log.Printf("union: %d shapes × %d configurations on %s", len(shapes), len(gemm.AllConfigs()), dev.Name)
 
-	ds := dataset.Build(sim.New(dev), shapes, gemm.AllConfigs())
+	ds := dataset.BuildParallel(sim.New(dev), shapes, gemm.AllConfigs(), *workers)
 
 	w := os.Stdout
 	if *out != "" {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"kernelselect/internal/gemm"
+	"kernelselect/internal/par"
 	"kernelselect/internal/sim"
 	"kernelselect/internal/sycl"
 	"kernelselect/internal/xrand"
@@ -36,6 +37,7 @@ type Stats struct {
 type Tuner struct {
 	candidates []gemm.Config
 	measure    Measurer
+	workers    int
 
 	mu    sync.Mutex
 	cache map[gemm.Shape]gemm.Config
@@ -60,8 +62,24 @@ func New(candidates []gemm.Config, measure Measurer) (*Tuner, error) {
 	return &Tuner{
 		candidates: append([]gemm.Config(nil), candidates...),
 		measure:    measure,
+		workers:    1,
 		cache:      map[gemm.Shape]gemm.Config{},
 	}, nil
+}
+
+// SetWorkers bounds concurrent trial measurements on a cache miss
+// (values < 1 trial sequentially, the default). Parallel trialling is only
+// sound for measurers that stay accurate under concurrency — the analytical
+// ModelMeasurer, not a live-timing measurer, whose readings concurrency
+// would perturb. The chosen configuration is identical at any setting:
+// trial results are reduced in candidate order.
+func (t *Tuner) SetWorkers(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	t.workers = n
 }
 
 // Choose returns the configuration to run for s, trialling all candidates
@@ -77,20 +95,33 @@ func (t *Tuner) Choose(s gemm.Shape) (gemm.Config, error) {
 		return cfg, nil
 	}
 	t.stats.Misses++
+	type trial struct {
+		sec float64
+		err error
+	}
+	trials := par.Map(t.workers, len(t.candidates), func(i int) trial {
+		cfg := t.candidates[i]
+		v, err := t.measure(cfg, s)
+		switch {
+		case err != nil:
+			return trial{err: fmt.Errorf("autotune: trialling %v on %v: %w", cfg, s, err)}
+		case v <= 0:
+			return trial{err: fmt.Errorf("autotune: non-positive measurement %v for %v on %v", v, cfg, s)}
+		}
+		return trial{sec: v}
+	})
+	// Reduce in candidate order so the winner (first strict minimum), the
+	// stats, and the reported error are identical at any worker count.
 	best := t.candidates[0]
 	bestT := -1.0
-	for _, cfg := range t.candidates {
-		sec, err := t.measure(cfg, s)
-		if err != nil {
-			return gemm.Config{}, fmt.Errorf("autotune: trialling %v on %v: %w", cfg, s, err)
-		}
-		if sec <= 0 {
-			return gemm.Config{}, fmt.Errorf("autotune: non-positive measurement %v for %v on %v", sec, cfg, s)
+	for i, tr := range trials {
+		if tr.err != nil {
+			return gemm.Config{}, tr.err
 		}
 		t.stats.Trials++
-		t.stats.TrialTime += sec
-		if bestT < 0 || sec < bestT {
-			best, bestT = cfg, sec
+		t.stats.TrialTime += tr.sec
+		if bestT < 0 || tr.sec < bestT {
+			best, bestT = t.candidates[i], tr.sec
 		}
 	}
 	t.cache[s] = best

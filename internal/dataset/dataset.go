@@ -13,14 +13,13 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
 	"kernelselect/internal/gemm"
 	"kernelselect/internal/mat"
+	"kernelselect/internal/par"
 	"kernelselect/internal/sim"
 	"kernelselect/internal/xrand"
 )
@@ -36,33 +35,26 @@ type PerfDataset struct {
 }
 
 // Build prices every configuration on every shape with the analytical model,
-// in parallel, and returns the normalized dataset.
+// in parallel on GOMAXPROCS workers, and returns the normalized dataset.
 func Build(m *sim.Model, shapes []gemm.Shape, configs []gemm.Config) *PerfDataset {
+	return BuildParallel(m, shapes, configs, 0)
+}
+
+// BuildParallel is Build with an explicit worker count (0 = GOMAXPROCS).
+// Each worker prices whole rows and writes only its own row, so the dataset
+// is identical at any worker count.
+func BuildParallel(m *sim.Model, shapes []gemm.Shape, configs []gemm.Config, workers int) *PerfDataset {
 	d := &PerfDataset{
 		Shapes:  append([]gemm.Shape(nil), shapes...),
 		Configs: append([]gemm.Config(nil), configs...),
 		GFLOPS:  mat.NewDense(len(shapes), len(configs)),
 	}
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	rows := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range rows {
-				row := d.GFLOPS.Row(i)
-				for j, cfg := range d.Configs {
-					row[j] = m.GFLOPS(cfg, d.Shapes[i])
-				}
-			}
-		}()
-	}
-	for i := range shapes {
-		rows <- i
-	}
-	close(rows)
-	wg.Wait()
+	par.Do(workers, len(d.Shapes), func(i int) {
+		row := d.GFLOPS.Row(i)
+		for j, cfg := range d.Configs {
+			row[j] = m.GFLOPS(cfg, d.Shapes[i])
+		}
+	})
 	d.normalize()
 	return d
 }

@@ -15,6 +15,7 @@ import (
 	"kernelselect/internal/device"
 	"kernelselect/internal/gemm"
 	"kernelselect/internal/ml/pca"
+	"kernelselect/internal/par"
 	"kernelselect/internal/sim"
 	"kernelselect/internal/workload"
 )
@@ -30,6 +31,12 @@ type Config struct {
 	TestFraction float64     // default 0.2 (the paper splits 170 → 136/34)
 	NMin, NMax   int         // Fig 4 sweep; default 4..15
 	TableNs      []int       // Table I library sizes; default 5, 6, 8, 15
+	// Workers bounds the concurrency of every pipeline stage (dataset
+	// pricing, the Fig-4 pruner×N grid, the Table-I trainer×N grid, and
+	// RunAll's experiment fan-out); 0 = GOMAXPROCS. Every figure and table
+	// is identical at any setting: tasks are independent, seeded by scalar,
+	// and committed in input order.
+	Workers int
 }
 
 // Default returns the paper-faithful configuration.
@@ -81,7 +88,7 @@ func Setup(cfg Config) *Env {
 	cfg = cfg.withDefaults()
 	shapes, per := workload.DatasetShapes()
 	model := sim.New(cfg.Device)
-	ds := dataset.Build(model, shapes, gemm.AllConfigs())
+	ds := dataset.BuildParallel(model, shapes, gemm.AllConfigs(), cfg.Workers)
 	train, test := ds.Split(cfg.Seed, cfg.TestFraction)
 	return &Env{Cfg: cfg, Dataset: ds, Train: train, Test: test, PerNetwork: per}
 }
@@ -206,16 +213,27 @@ type Fig4Row struct {
 }
 
 // Fig4 evaluates the five pruning methods of Section III over the N sweep.
+// The (pruner × N) grid is embarrassingly parallel — every cell prunes from
+// the scalar seed and only reads the shared datasets — so the cells run on
+// the worker pool and are committed in grid order.
 func (e *Env) Fig4() []Fig4Row {
-	var rows []Fig4Row
-	for _, p := range core.AllPruners() {
-		row := Fig4Row{Method: p.Name()}
-		for n := e.Cfg.NMin; n <= e.Cfg.NMax; n++ {
-			selected := p.Prune(e.Train, n, e.Cfg.Seed)
-			row.Ns = append(row.Ns, n)
-			row.Scores = append(row.Scores, core.AchievableScore(e.Test, selected))
+	pruners := core.AllPruners()
+	ns := make([]int, 0, e.Cfg.NMax-e.Cfg.NMin+1)
+	for n := e.Cfg.NMin; n <= e.Cfg.NMax; n++ {
+		ns = append(ns, n)
+	}
+	scores := par.Map(e.Cfg.Workers, len(pruners)*len(ns), func(t int) float64 {
+		p := pruners[t/len(ns)]
+		n := ns[t%len(ns)]
+		return core.AchievableScore(e.Test, p.Prune(e.Train, n, e.Cfg.Seed))
+	})
+	rows := make([]Fig4Row, len(pruners))
+	for pi, p := range pruners {
+		rows[pi] = Fig4Row{
+			Method: p.Name(),
+			Ns:     append([]int(nil), ns...),
+			Scores: scores[pi*len(ns) : (pi+1)*len(ns) : (pi+1)*len(ns)],
 		}
-		rows = append(rows, row)
 	}
 	return rows
 }
@@ -239,24 +257,74 @@ type Table1Result struct {
 }
 
 // Table1 trains and evaluates the six classifiers on decision-tree-pruned
-// configuration sets.
+// configuration sets. The tree prunings run in parallel per library size,
+// then the (trainer × N) grid fans out — each cell trains its own selector
+// from the scalar seed, so the table is identical at any worker count.
 func (e *Env) Table1() Table1Result {
 	res := Table1Result{Ns: e.Cfg.TableNs}
 	pruner := core.DecisionTree{}
-	selections := make([][]int, len(res.Ns))
-	for i, n := range res.Ns {
-		selections[i] = pruner.Prune(e.Train, n, e.Cfg.Seed)
-		res.Ceilings = append(res.Ceilings, core.AchievableScore(e.Test, selections[i]))
+	type pruned struct {
+		selected []int
+		ceiling  float64
 	}
-	for _, trainer := range core.AllSelectorTrainers() {
-		row := Table1Row{Classifier: trainer.Name()}
-		for i := range res.Ns {
-			sel := trainer.Train(e.Train, selections[i], e.Cfg.Seed)
-			row.Scores = append(row.Scores, core.SelectorScore(e.Test, selections[i], sel))
-		}
-		res.Rows = append(res.Rows, row)
+	prunings := par.Map(e.Cfg.Workers, len(res.Ns), func(i int) pruned {
+		selected := pruner.Prune(e.Train, res.Ns[i], e.Cfg.Seed)
+		return pruned{selected: selected, ceiling: core.AchievableScore(e.Test, selected)}
+	})
+	for _, p := range prunings {
+		res.Ceilings = append(res.Ceilings, p.ceiling)
+	}
+	trainers := core.AllSelectorTrainers()
+	scores := par.Map(e.Cfg.Workers, len(trainers)*len(res.Ns), func(t int) float64 {
+		trainer := trainers[t/len(res.Ns)]
+		p := prunings[t%len(res.Ns)]
+		sel := trainer.Train(e.Train, p.selected, e.Cfg.Seed)
+		return core.SelectorScore(e.Test, p.selected, sel)
+	})
+	for ti, trainer := range trainers {
+		res.Rows = append(res.Rows, Table1Row{
+			Classifier: trainer.Name(),
+			Scores:     scores[ti*len(res.Ns) : (ti+1)*len(res.Ns) : (ti+1)*len(res.Ns)],
+		})
 	}
 	return res
+}
+
+// ---------------------------------------------------------------------------
+// RunAll — the full deterministic evaluation
+// ---------------------------------------------------------------------------
+
+// Results collects every deterministic experiment output.
+type Results struct {
+	Fig1   []Fig1Stats
+	Fig2   Fig2Result
+	Fig3   Fig3Result
+	Fig4   []Fig4Row
+	Table1 Table1Result
+}
+
+// RunAll computes the five deterministic experiments concurrently on the
+// environment's worker pool. SelectionLatency is excluded: it reports
+// wall-clock timings, which concurrency would perturb. The results are
+// byte-identical to running each experiment sequentially, at any worker
+// count.
+func (e *Env) RunAll() Results {
+	var r Results
+	par.Do(e.Cfg.Workers, 5, func(i int) {
+		switch i {
+		case 0:
+			r.Fig1 = e.Fig1()
+		case 1:
+			r.Fig2 = e.Fig2()
+		case 2:
+			r.Fig3 = e.Fig3()
+		case 3:
+			r.Fig4 = e.Fig4()
+		case 4:
+			r.Table1 = e.Table1()
+		}
+	})
+	return r
 }
 
 // ---------------------------------------------------------------------------

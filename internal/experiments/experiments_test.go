@@ -234,15 +234,35 @@ func TestRenderers(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	// Two environments with the same seed must agree on a scalar summary.
-	a := Setup(Default())
-	b := Setup(Default())
-	fa, fb := a.Fig4(), b.Fig4()
-	for i := range fa {
-		for j := range fa[i].Scores {
-			if fa[i].Scores[j] != fb[i].Scores[j] {
-				t.Fatal("experiments are not deterministic")
-			}
+	// Two environments with the same seed but different worker counts must
+	// render byte-identical figures and tables: parallelism may not leak
+	// into the published numbers. A reduced grid keeps the double pipeline
+	// run affordable under the race detector.
+	seq := Default()
+	seq.NMax = 6
+	seq.TableNs = []int{5, 6}
+	seq.Workers = 1
+	conc := seq
+	conc.Workers = 7
+	a := Setup(seq)
+	b := Setup(conc)
+	ra, rb := a.RunAll(), b.RunAll()
+	for name, pair := range map[string][2]string{
+		"Fig1":   {RenderFig1(ra.Fig1), RenderFig1(rb.Fig1)},
+		"Fig2":   {RenderFig2(ra.Fig2), RenderFig2(rb.Fig2)},
+		"Fig3":   {RenderFig3(ra.Fig3), RenderFig3(rb.Fig3)},
+		"Fig4":   {RenderFig4(ra.Fig4), RenderFig4(rb.Fig4)},
+		"Table1": {RenderTable1(ra.Table1), RenderTable1(rb.Table1)},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("%s differs between workers=1 and workers=7:\n--- sequential ---\n%s\n--- parallel ---\n%s", name, pair[0], pair[1])
 		}
+	}
+	// RunAll must agree with calling each experiment directly.
+	if got, want := RenderFig4(ra.Fig4), RenderFig4(a.Fig4()); got != want {
+		t.Errorf("RunAll Fig4 differs from direct call:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := RenderTable1(rb.Table1), RenderTable1(b.Table1()); got != want {
+		t.Errorf("RunAll Table1 differs from direct call:\n%s\nvs\n%s", got, want)
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"kernelselect/internal/mat"
 	"kernelselect/internal/ml/tree"
+	"kernelselect/internal/par"
 	"kernelselect/internal/xrand"
 )
 
@@ -19,6 +20,11 @@ type Options struct {
 	MaxDepth       int // per tree; 0 = unlimited
 	MinSamplesLeaf int // per tree; 0 → 1
 	Seed           uint64
+	// Workers bounds concurrent tree fitting (0 = GOMAXPROCS). The fitted
+	// forest is identical at any setting: bootstrap samples and per-tree
+	// seeds are drawn from the seeded stream sequentially before the
+	// fitting fans out.
+	Workers int
 }
 
 func (o Options) withDefaults(numFeatures int) Options {
@@ -50,22 +56,34 @@ func FitClassifier(x *mat.Dense, y []int, classes int, opts Options) *Classifier
 	n := x.Rows()
 
 	f := &Classifier{Classes: classes, Trees: make([]*tree.Classifier, opts.NumTrees)}
-	bx := mat.NewDense(n, x.Cols())
-	by := make([]int, n)
-	for t := 0; t < opts.NumTrees; t++ {
-		// Bootstrap sample with replacement.
+	// Bootstrap samples and per-tree seeds come off the shared stream in
+	// tree order — the expensive CART fitting then runs on the worker pool
+	// without touching shared randomness, so the ensemble is bit-identical
+	// to a fully sequential fit.
+	type bootstrap struct {
+		x    *mat.Dense
+		y    []int
+		seed uint64
+	}
+	boots := make([]bootstrap, opts.NumTrees)
+	for t := range boots {
+		bx := mat.NewDense(n, x.Cols())
+		by := make([]int, n)
 		for i := 0; i < n; i++ {
 			j := rng.Intn(n)
 			copy(bx.Row(i), x.Row(j))
 			by[i] = y[j]
 		}
-		f.Trees[t] = tree.FitClassifier(bx.Clone(), append([]int(nil), by...), classes, tree.Options{
+		boots[t] = bootstrap{x: bx, y: by, seed: rng.Uint64()}
+	}
+	par.Do(opts.Workers, opts.NumTrees, func(t int) {
+		f.Trees[t] = tree.FitClassifier(boots[t].x, boots[t].y, classes, tree.Options{
 			MaxDepth:       opts.MaxDepth,
 			MinSamplesLeaf: opts.MinSamplesLeaf,
 			MaxFeatures:    opts.MaxFeatures,
-			Seed:           rng.Uint64(),
+			Seed:           boots[t].seed,
 		})
-	}
+	})
 	return f
 }
 

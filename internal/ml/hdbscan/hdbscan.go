@@ -24,12 +24,17 @@ import (
 	"sort"
 
 	"kernelselect/internal/mat"
+	"kernelselect/internal/par"
 )
 
 // Options configure the clustering. The zero value selects the defaults.
 type Options struct {
 	MinClusterSize int // smallest cluster size; default 5
 	MinSamples     int // core-distance neighbour count; default = MinClusterSize
+	// Workers bounds the parallelism of the O(n²) distance stages
+	// (0 = GOMAXPROCS). Distances are pure per-element computations, so the
+	// clustering is identical at any setting.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -72,36 +77,39 @@ func Cluster(x *mat.Dense, opts Options) *Result {
 		return &Result{Labels: labels, NumClusters: 1, Stabilities: []float64{0}}
 	}
 
-	dist := pairwise(x)
-	core := coreDistances(dist, opts.MinSamples)
+	dist := pairwise(x, opts.Workers)
+	core := coreDistances(dist, opts.MinSamples, opts.Workers)
 	edges := mstEdges(dist, core)
 	dendro := singleLinkage(edges, n)
 	cond := condense(dendro, n, opts.MinClusterSize)
 	return extract(cond, n)
 }
 
-func pairwise(x *mat.Dense) *mat.Dense {
+// pairwise fills the symmetric distance matrix, one source row per task.
+// Task i writes d(i,j) and its mirror d(j,i) only for j > i, so no two
+// tasks touch the same element and the matrix is identical at any worker
+// count.
+func pairwise(x *mat.Dense, workers int) *mat.Dense {
 	n := x.Rows()
 	d := mat.NewDense(n, n)
-	for i := 0; i < n; i++ {
+	par.Do(workers, n, func(i int) {
 		for j := i + 1; j < n; j++ {
 			v := math.Sqrt(mat.SqDist(x.Row(i), x.Row(j)))
 			d.Set(i, j, v)
 			d.Set(j, i, v)
 		}
-	}
+	})
 	return d
 }
 
-func coreDistances(dist *mat.Dense, minSamples int) []float64 {
+func coreDistances(dist *mat.Dense, minSamples, workers int) []float64 {
 	n := dist.Rows()
 	core := make([]float64, n)
-	row := make([]float64, n)
-	for i := 0; i < n; i++ {
-		copy(row, dist.Row(i))
+	par.Do(workers, n, func(i int) {
+		row := append([]float64(nil), dist.Row(i)...)
 		sort.Float64s(row) // row[0] = 0 (self)
 		core[i] = row[minSamples-1]
-	}
+	})
 	return core
 }
 

@@ -1,0 +1,117 @@
+// Package par is the shared concurrency layer of the repository: a bounded
+// worker pool with deterministic, input-ordered result commitment.
+//
+// Every parallel stage in the pipeline — dataset pricing, the Fig-4 and
+// Table-I experiment grids, per-tree forest fitting, the HDBSCAN distance
+// matrix, concurrent candidate evaluation in search — goes through this
+// package, so the determinism rules live in one place:
+//
+//   - tasks are indexed [0, n) and may run in any order on any worker, but
+//     results are committed to slot i of a pre-sized slice, so the output
+//     never depends on scheduling;
+//   - tasks that need randomness derive an independent stream from
+//     Seed(base, index), never from a shared generator, so streams do not
+//     depend on execution order;
+//   - a panic in any task is re-raised on the caller's goroutine after the
+//     pool drains, matching the sequential contract of the code it replaces.
+//
+// Under these rules every caller produces bit-identical results at any
+// worker count, which is what lets experiments.RunAll reproduce the
+// published EXPERIMENTS.md tables on any machine.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"kernelselect/internal/xrand"
+)
+
+// Workers resolves a requested worker count: n <= 0 selects GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Do runs fn(i) for every i in [0, n) on at most Workers(workers)
+// goroutines. Tasks are claimed dynamically (cheap tasks do not stall behind
+// expensive ones) and Do returns only when all have finished. If any task
+// panics, one of the panic values is re-raised on the caller's goroutine
+// after the pool drains.
+func Do(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var next atomic.Int64
+	var panicOnce sync.Once
+	var panicked any
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Map runs fn over [0, n) on at most Workers(workers) goroutines and
+// returns the results committed in input order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	Do(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for fallible tasks. All tasks run to completion; if any
+// fail, the error of the lowest-indexed failing task is returned (a
+// deterministic choice — "first" by input order, not by wall clock) along
+// with the full result slice.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	Do(workers, n, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Seed derives an independent, well-distributed seed for task `index` of a
+// run seeded with `base`. Tasks must never share a generator across workers
+// (the interleaving would depend on scheduling); deriving per-task seeds
+// this way keeps every stream stable under any worker count.
+func Seed(base uint64, index int) uint64 {
+	return xrand.Hash64(base, uint64(index))
+}

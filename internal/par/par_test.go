@@ -1,0 +1,131 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if w := Workers(0); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := Workers(-3); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", w)
+	}
+	if w := Workers(5); w != 5 {
+		t.Fatalf("Workers(5) = %d", w)
+	}
+}
+
+func TestDoRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 1000
+		counts := make([]atomic.Int64, n)
+		Do(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoZeroAndNegativeTasks(t *testing.T) {
+	ran := false
+	Do(4, 0, func(int) { ran = true })
+	Do(4, -5, func(int) { ran = true })
+	if ran {
+		t.Fatal("task ran for non-positive n")
+	}
+}
+
+func TestMapCommitsInInputOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		out := Map(workers, 500, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 8} {
+		_, err := MapErr(workers, 100, func(i int) (int, error) {
+			switch i {
+			case 97:
+				return 0, errB
+			case 13:
+				return 0, errA
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error %v", workers, err, errA)
+		}
+	}
+	out, err := MapErr(4, 10, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestDoPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic not propagated", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: recovered %v", workers, r)
+				}
+			}()
+			Do(workers, 50, func(i int) {
+				if i == 31 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestSeedIsStableAndDecorrelated(t *testing.T) {
+	if Seed(42, 7) != Seed(42, 7) {
+		t.Fatal("Seed not deterministic")
+	}
+	seen := map[uint64]int{}
+	for base := uint64(0); base < 4; base++ {
+		for i := 0; i < 256; i++ {
+			s := Seed(base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %d (task %d)", s, prev)
+			}
+			seen[s] = i
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	ref := Map(1, 300, func(i int) string { return fmt.Sprintf("%d:%d", i, Seed(9, i)) })
+	for _, workers := range []int{2, 5, 32} {
+		got := Map(workers, 300, func(i int) string { return fmt.Sprintf("%d:%d", i, Seed(9, i)) })
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d differs", workers, i)
+			}
+		}
+	}
+}

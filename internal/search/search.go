@@ -16,8 +16,10 @@ package search
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"kernelselect/internal/gemm"
+	"kernelselect/internal/par"
 	"kernelselect/internal/xrand"
 )
 
@@ -168,106 +170,250 @@ func (sp Space) Neighbors(cfg gemm.Config) []gemm.Config {
 }
 
 // Objective scores a configuration; higher is better. Implementations are
-// typically closures over the device model and a GEMM shape.
+// typically closures over the device model and a GEMM shape. When a search
+// runs with Options.Workers > 1 the objective is called from multiple
+// goroutines and must be safe for concurrent use (the analytical model's
+// pricing is).
 type Objective func(cfg gemm.Config) float64
+
+// Options tune how a search executes without changing what it finds.
+type Options struct {
+	// Workers bounds concurrent candidate evaluation. 0 and 1 evaluate
+	// sequentially (safe for any objective); higher values fan evaluations
+	// out over a worker pool. Results are identical at every setting: the
+	// candidate sets explored depend only on seeds and scores, and the best
+	// configuration is reduced with a total-order tie break.
+	Workers int
+}
+
+func firstOption(opts []Options) Options {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return Options{}
+}
 
 // Result summarises one search run.
 type Result struct {
 	Best        gemm.Config
 	BestScore   float64
-	Evaluations int // objective calls, the budget measure of the paper's concern
+	Evaluations int // distinct configurations evaluated, the budget measure of the paper's concern
 }
 
-// evaluator memoises the objective and counts unique evaluations — repeated
-// visits to a configuration cost nothing, as a real tuner would cache
-// measurements.
+// evalShards is the lock-stripe count of the evaluator's memo table.
+const evalShards = 32
+
+// evaluator memoises the objective — repeated visits to a configuration cost
+// nothing, as a real tuner would cache measurements. The memo table is
+// sharded so concurrent climbs and batch evaluations share it without
+// contention. Evaluations counts distinct configurations; under concurrency
+// a duplicate in-flight computation of the same key can call the objective
+// twice, but both calls produce the identical value and the count stays
+// exact.
 type evaluator struct {
-	obj   Objective
-	cache map[gemm.Config]float64
-	n     int
-	best  gemm.Config
-	bestS float64
+	obj     Objective
+	workers int
+	shards  [evalShards]struct {
+		mu sync.Mutex
+		m  map[gemm.Config]float64
+	}
 }
 
-func newEvaluator(obj Objective) *evaluator {
-	return &evaluator{obj: obj, cache: map[gemm.Config]float64{}, bestS: -1}
+func newEvaluator(obj Objective, workers int) *evaluator {
+	e := &evaluator{obj: obj, workers: workers}
+	for i := range e.shards {
+		e.shards[i].m = map[gemm.Config]float64{}
+	}
+	return e
+}
+
+func shardOf(cfg gemm.Config) uint64 {
+	h := uint64(cfg.TileRows)<<32 ^ uint64(cfg.TileCols)<<24 ^
+		uint64(cfg.AccDepth)<<16 ^ uint64(cfg.WG.R)<<8 ^ uint64(cfg.WG.C)
+	h *= 0x9e3779b97f4a7c15
+	return h >> 59
 }
 
 func (e *evaluator) score(cfg gemm.Config) float64 {
-	if s, ok := e.cache[cfg]; ok {
+	sh := &e.shards[shardOf(cfg)]
+	sh.mu.Lock()
+	s, ok := sh.m[cfg]
+	sh.mu.Unlock()
+	if ok {
 		return s
 	}
-	s := e.obj(cfg)
-	e.cache[cfg] = s
-	e.n++
-	if s > e.bestS {
-		e.best, e.bestS = cfg, s
-	}
+	s = e.obj(cfg)
+	sh.mu.Lock()
+	sh.m[cfg] = s
+	sh.mu.Unlock()
 	return s
 }
 
+// scoreAll evaluates a batch, calling the objective at most once per
+// distinct uncached configuration. With workers > 1 the uncached
+// configurations are evaluated concurrently; the returned scores are always
+// in input order.
+func (e *evaluator) scoreAll(cfgs []gemm.Config) []float64 {
+	if e.workers <= 1 {
+		out := make([]float64, len(cfgs))
+		for i, cfg := range cfgs {
+			out[i] = e.score(cfg)
+		}
+		return out
+	}
+	// Dedupe so a batch with repeats (random draws, GA offspring) costs one
+	// objective call per distinct new configuration.
+	fresh := make([]gemm.Config, 0, len(cfgs))
+	seen := make(map[gemm.Config]bool, len(cfgs))
+	for _, cfg := range cfgs {
+		if seen[cfg] {
+			continue
+		}
+		seen[cfg] = true
+		if _, ok := e.lookup(cfg); !ok {
+			fresh = append(fresh, cfg)
+		}
+	}
+	par.Do(e.workers, len(fresh), func(i int) { e.score(fresh[i]) })
+	out := make([]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i], _ = e.lookup(cfg)
+	}
+	return out
+}
+
+func (e *evaluator) lookup(cfg gemm.Config) (float64, bool) {
+	sh := &e.shards[shardOf(cfg)]
+	sh.mu.Lock()
+	s, ok := sh.m[cfg]
+	sh.mu.Unlock()
+	return s, ok
+}
+
+// cfgLess is a total order on configurations, used only to break exact score
+// ties so that Result.Best never depends on evaluation order.
+func cfgLess(a, b gemm.Config) bool {
+	if a.TileRows != b.TileRows {
+		return a.TileRows < b.TileRows
+	}
+	if a.TileCols != b.TileCols {
+		return a.TileCols < b.TileCols
+	}
+	if a.AccDepth != b.AccDepth {
+		return a.AccDepth < b.AccDepth
+	}
+	if a.WG.R != b.WG.R {
+		return a.WG.R < b.WG.R
+	}
+	return a.WG.C < b.WG.C
+}
+
 func (e *evaluator) result() Result {
-	return Result{Best: e.best, BestScore: e.bestS, Evaluations: e.n}
+	var res Result
+	first := true
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		res.Evaluations += len(sh.m)
+		for cfg, s := range sh.m {
+			if first || s > res.BestScore || (s == res.BestScore && cfgLess(cfg, res.Best)) {
+				res.Best, res.BestScore = cfg, s
+				first = false
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return res
+}
+
+// climb runs steepest-ascent local search from start: move to the best
+// improving neighbour until none improves. Neighbour batches go through
+// scoreAll so they evaluate concurrently when the evaluator has workers.
+func climb(e *evaluator, sp Space, start gemm.Config) (gemm.Config, float64) {
+	cur := start
+	curS := e.score(cur)
+	for {
+		nbs := sp.Neighbors(cur)
+		improved := false
+		for i, s := range e.scoreAll(nbs) {
+			if s > curS {
+				cur, curS = nbs[i], s
+				improved = true
+			}
+		}
+		if !improved {
+			return cur, curS
+		}
+	}
 }
 
 // BruteForce evaluates the whole space — the paper's case-study method,
 // included as the exactness baseline.
-func BruteForce(sp Space, obj Objective) Result {
+func BruteForce(sp Space, obj Objective, opts ...Options) Result {
 	mustValidate(sp)
-	e := newEvaluator(obj)
-	for _, cfg := range sp.All() {
-		e.score(cfg)
-	}
+	e := newEvaluator(obj, firstOption(opts).Workers)
+	e.scoreAll(sp.All())
 	return e.result()
 }
 
 // RandomSearch evaluates `budget` uniform draws.
-func RandomSearch(sp Space, obj Objective, budget int, seed uint64) Result {
+func RandomSearch(sp Space, obj Objective, budget int, seed uint64, opts ...Options) Result {
 	mustValidate(sp)
 	if budget < 1 {
 		panic("search: non-positive budget")
 	}
-	e := newEvaluator(obj)
+	e := newEvaluator(obj, firstOption(opts).Workers)
+	// Draw every candidate from the seeded stream first, then evaluate:
+	// scoring consumes no randomness, so the draws are identical to the
+	// sequential formulation while the evaluations fan out.
 	r := xrand.New(seed)
-	for i := 0; i < budget; i++ {
-		e.score(sp.Random(r))
+	draws := make([]gemm.Config, budget)
+	for i := range draws {
+		draws[i] = sp.Random(r)
 	}
+	e.scoreAll(draws)
 	return e.result()
 }
 
 // HillClimb performs steepest-ascent local search with random restarts:
 // from a random start, move to the best neighbour until no neighbour
-// improves; repeat `restarts` times.
-func HillClimb(sp Space, obj Objective, restarts int, seed uint64) Result {
+// improves; repeat `restarts` times. Restarts are independent once their
+// starting points are drawn, so they run concurrently when Options.Workers
+// allows; every climb's trajectory depends only on the (deterministic)
+// scores, so the explored set — and therefore the result — is identical at
+// any worker count.
+func HillClimb(sp Space, obj Objective, restarts int, seed uint64, opts ...Options) Result {
 	mustValidate(sp)
 	if restarts < 1 {
 		panic("search: non-positive restarts")
 	}
-	e := newEvaluator(obj)
+	w := firstOption(opts).Workers
+	e := newEvaluator(obj, 0) // climbs parallelise across restarts, not within
 	r := xrand.New(seed)
-	for rs := 0; rs < restarts; rs++ {
-		cur := sp.Random(r)
-		curS := e.score(cur)
-		for {
-			improved := false
-			for _, nb := range sp.Neighbors(cur) {
-				if s := e.score(nb); s > curS {
-					cur, curS = nb, s
-					improved = true
-				}
-			}
-			if !improved {
-				break
-			}
-		}
+	starts := make([]gemm.Config, restarts)
+	for i := range starts {
+		starts[i] = sp.Random(r)
 	}
+	par.Do(seqFloor(w), restarts, func(i int) { climb(e, sp, starts[i]) })
 	return e.result()
+}
+
+// seqFloor clamps an Options.Workers value for par.Do: in this package 0
+// means sequential (par treats 0 as GOMAXPROCS).
+func seqFloor(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return w
 }
 
 // BasinHopping alternates hill climbing with randomized long jumps
 // ("hops"), accepting worse basins with Metropolis probability controlled
-// by temperature — the method the paper names for larger spaces.
-func BasinHopping(sp Space, obj Objective, hops int, temperature float64, seed uint64) Result {
+// by temperature — the method the paper names for larger spaces. The hop
+// chain is inherently sequential (each acceptance depends on the previous
+// basin), so Options.Workers only fans out the neighbour evaluations inside
+// each climb.
+func BasinHopping(sp Space, obj Objective, hops int, temperature float64, seed uint64, opts ...Options) Result {
 	mustValidate(sp)
 	if hops < 1 {
 		panic("search: non-positive hops")
@@ -275,27 +421,10 @@ func BasinHopping(sp Space, obj Objective, hops int, temperature float64, seed u
 	if temperature <= 0 {
 		temperature = 0.05
 	}
-	e := newEvaluator(obj)
+	e := newEvaluator(obj, firstOption(opts).Workers)
 	r := xrand.New(seed)
 
-	climb := func(start gemm.Config) (gemm.Config, float64) {
-		cur := start
-		curS := e.score(cur)
-		for {
-			improved := false
-			for _, nb := range sp.Neighbors(cur) {
-				if s := e.score(nb); s > curS {
-					cur, curS = nb, s
-					improved = true
-				}
-			}
-			if !improved {
-				return cur, curS
-			}
-		}
-	}
-
-	cur, curS := climb(sp.Random(r))
+	cur, curS := climb(e, sp, sp.Random(r))
 	stagnant := 0
 	for h := 1; h < hops; h++ {
 		// Perturb: several random neighbourhood steps away, then climb.
@@ -314,7 +443,7 @@ func BasinHopping(sp Space, obj Objective, hops int, temperature float64, seed u
 				jump = nbs[r.Intn(len(nbs))]
 			}
 		}
-		cand, candS := climb(jump)
+		cand, candS := climb(e, sp, jump)
 		if candS > curS {
 			stagnant = 0
 		} else {
@@ -347,6 +476,11 @@ type GeneticOptions struct {
 	MutationPct float64 // per-gene mutation probability; default 0.2
 	Elite       int     // individuals carried over unchanged; default 2
 	Seed        uint64
+	// Workers bounds concurrent fitness evaluation within each generation
+	// (0 or 1 = sequential). Offspring are bred from the seeded stream
+	// before any of them are scored, so the run is identical at any
+	// setting.
+	Workers int
 }
 
 func (o GeneticOptions) withDefaults() GeneticOptions {
@@ -374,7 +508,7 @@ func (o GeneticOptions) withDefaults() GeneticOptions {
 func Genetic(sp Space, obj Objective, opts GeneticOptions) Result {
 	mustValidate(sp)
 	opts = opts.withDefaults()
-	e := newEvaluator(obj)
+	e := newEvaluator(obj, opts.Workers)
 	r := xrand.New(opts.Seed)
 
 	type individual struct {
@@ -382,9 +516,12 @@ func Genetic(sp Space, obj Objective, opts GeneticOptions) Result {
 		score float64
 	}
 	pop := make([]individual, opts.Population)
-	for i := range pop {
-		cfg := sp.Random(r)
-		pop[i] = individual{cfg: cfg, score: e.score(cfg)}
+	founders := make([]gemm.Config, opts.Population)
+	for i := range founders {
+		founders[i] = sp.Random(r)
+	}
+	for i, s := range e.scoreAll(founders) {
+		pop[i] = individual{cfg: founders[i], score: s}
 	}
 	sortPop := func() {
 		for i := 1; i < len(pop); i++ { // insertion sort: population is tiny
@@ -437,9 +574,16 @@ func Genetic(sp Space, obj Objective, opts GeneticOptions) Result {
 	for g := 0; g < opts.Generations; g++ {
 		next := make([]individual, 0, opts.Population)
 		next = append(next, pop[:opts.Elite]...)
-		for len(next) < opts.Population {
-			child := mutate(crossover(tournament().cfg, tournament().cfg))
-			next = append(next, individual{cfg: child, score: e.score(child)})
+		// Breed the whole generation from the seeded stream first, then
+		// score the batch: selection reads only the previous generation and
+		// scoring consumes no randomness, so this matches the one-at-a-time
+		// formulation draw for draw while the evaluations fan out.
+		children := make([]gemm.Config, 0, opts.Population-len(next))
+		for len(next)+len(children) < opts.Population {
+			children = append(children, mutate(crossover(tournament().cfg, tournament().cfg)))
+		}
+		for i, s := range e.scoreAll(children) {
+			next = append(next, individual{cfg: children[i], score: s})
 		}
 		pop = next
 		sortPop()

@@ -30,6 +30,8 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"kernelselect/internal/device"
 	"kernelselect/internal/gemm"
@@ -87,19 +89,98 @@ func DefaultParams() Params {
 }
 
 // Model prices kernel configurations on one device.
+//
+// Models built with New memoise Price results in a sharded, lock-striped
+// cache keyed by (configuration, shape): the pipeline prices the same pairs
+// from several places (dataset building, search, autotuning, experiments)
+// and pricing is a pure function of (Dev, P, cfg, s), so repeated pricings
+// are answered from the cache. All methods are safe for concurrent use.
+// Callers that mutate Dev or P after pricing must call ResetCache, or stale
+// entries will be served.
 type Model struct {
 	Dev device.Spec
 	P   Params
+
+	cache *priceCache // nil (e.g. on a zero Model) disables memoisation
 }
 
-// New returns a model of dev with default parameters. It panics if the spec
-// is invalid, since a model with a broken device cannot produce meaningful
-// numbers anywhere downstream.
+// New returns a model of dev with default parameters and an enabled pricing
+// cache. It panics if the spec is invalid, since a model with a broken
+// device cannot produce meaningful numbers anywhere downstream.
 func New(dev device.Spec) *Model {
 	if err := dev.Validate(); err != nil {
 		panic(err)
 	}
-	return &Model{Dev: dev, P: DefaultParams()}
+	return &Model{Dev: dev, P: DefaultParams(), cache: newPriceCache()}
+}
+
+// priceShards is the number of lock stripes of the pricing cache. 64 keeps
+// contention negligible at any plausible GOMAXPROCS while costing only 64
+// small maps per model.
+const priceShards = 64
+
+type priceKey struct {
+	cfg gemm.Config
+	s   gemm.Shape
+}
+
+// shard maps a key to its lock stripe with a cheap multiplicative mix; the
+// cache only needs the top bits to spread keys, not a full hash.
+func (k priceKey) shard() uint64 {
+	h := uint64(k.s.M)<<42 ^ uint64(k.s.K)<<21 ^ uint64(k.s.N)
+	h ^= uint64(k.cfg.TileRows)<<36 ^ uint64(k.cfg.TileCols)<<28 ^
+		uint64(k.cfg.AccDepth)<<20 ^ uint64(k.cfg.WG.R)<<10 ^ uint64(k.cfg.WG.C)
+	h *= 0x9e3779b97f4a7c15
+	return h >> 58
+}
+
+type priceCache struct {
+	shards [priceShards]struct {
+		mu sync.RWMutex
+		m  map[priceKey]Breakdown
+	}
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newPriceCache() *priceCache {
+	c := &priceCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[priceKey]Breakdown)
+	}
+	return c
+}
+
+// CacheStats reports the pricing cache's activity: answered-from-cache and
+// computed counts, and the number of distinct (configuration, shape) pairs
+// held. All zeros for a model without a cache.
+func (m *Model) CacheStats() (hits, misses uint64, entries int) {
+	if m.cache == nil {
+		return 0, 0, 0
+	}
+	for i := range m.cache.shards {
+		sh := &m.cache.shards[i]
+		sh.mu.RLock()
+		entries += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return m.cache.hits.Load(), m.cache.misses.Load(), entries
+}
+
+// ResetCache drops every memoised pricing (and the hit/miss counters).
+// Required after mutating Dev or P on a model that has already priced.
+func (m *Model) ResetCache() {
+	if m.cache == nil {
+		return
+	}
+	for i := range m.cache.shards {
+		sh := &m.cache.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[priceKey]Breakdown)
+		sh.mu.Unlock()
+	}
+	m.cache.hits.Store(0)
+	m.cache.misses.Store(0)
 }
 
 // Breakdown reports every intermediate quantity of one pricing, for tests,
@@ -137,8 +218,32 @@ func (m *Model) GFLOPS(cfg gemm.Config, s gemm.Shape) float64 {
 	return m.Price(cfg, s).GFLOPS
 }
 
-// Price runs the full model for one (configuration, shape) pair.
+// Price returns the full model evaluation for one (configuration, shape)
+// pair, memoised when the model has a cache (see Model).
 func (m *Model) Price(cfg gemm.Config, s gemm.Shape) Breakdown {
+	if m.cache == nil {
+		return m.price(cfg, s)
+	}
+	key := priceKey{cfg: cfg, s: s}
+	sh := &m.cache.shards[key.shard()]
+	sh.mu.RLock()
+	b, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		m.cache.hits.Add(1)
+		return b
+	}
+	// Compute outside the lock: pricing is pure, so a concurrent duplicate
+	// computation of the same key stores the identical value.
+	b = m.price(cfg, s)
+	sh.mu.Lock()
+	sh.m[key] = b
+	sh.mu.Unlock()
+	m.cache.misses.Add(1)
+	return b
+}
+
+func (m *Model) price(cfg gemm.Config, s gemm.Shape) Breakdown {
 	d := m.Dev
 	p := m.P
 	var b Breakdown
