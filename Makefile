@@ -1,10 +1,18 @@
 # Developer entry points for the kernel-selection reproduction.
-# `make check` is the pre-commit gate: build, vet, tests and the race
-# detector over every package.
+# `make check` is the pre-commit gate: build, vet, tests, the race detector
+# over every package, a fuzz smoke run, and the coverage floor.
 
 GO ?= go
 
-.PHONY: build test race vet bench check
+# Time per fuzz target for `make fuzz`; the smoke run in `make check` uses a
+# shorter budget. Override like `make fuzz FUZZTIME=2m`.
+FUZZTIME ?= 10s
+SMOKE_FUZZTIME ?= 5s
+
+# Minimum acceptable total statement coverage, in percent.
+COVER_FLOOR ?= 70
+
+.PHONY: build test race vet bench fuzz fuzz-smoke cover check
 
 build:
 	$(GO) build ./...
@@ -26,4 +34,24 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-check: build vet test race
+# Fuzz the artifact decoders (persisted libraries and selectors are the only
+# untrusted inputs in the system). Go allows one -fuzz pattern per
+# invocation, so each target gets its own run.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadLibrary$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadSelector$$' -fuzztime $(FUZZTIME) ./internal/core
+
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=$(SMOKE_FUZZTIME)
+
+# Total statement coverage with a hard floor: regressions below
+# $(COVER_FLOOR)% fail the build.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	if ! awk "BEGIN{exit !($$total >= $(COVER_FLOOR))}"; then \
+		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; \
+	fi
+
+check: build vet test race fuzz-smoke cover

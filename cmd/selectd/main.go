@@ -1,0 +1,233 @@
+// Command selectd serves online kernel selection over HTTP: the deployed
+// form of the paper's pipeline, answering "which kernel configuration for
+// this GEMM shape?" from a pruned library and trained selector.
+//
+// The library comes from a persisted artifact (-library, written by -save or
+// core.SaveLibrary) or is trained in-process from the device model. The
+// selector backend is pluggable (-selector tree|forest|1nn|3nn|linear-svm|
+// radial-svm|static), so two selectd instances behind a traffic split A/B
+// test the Table-I classifiers; -selector-file swaps in a selector-only
+// artifact over the same kernel set.
+//
+// Endpoints:
+//
+//	POST /v1/select        {"m":3136,"k":576,"n":128} → chosen config + predicted performance
+//	POST /v1/select/batch  {"shapes":[...]} → one decision per shape, priced concurrently
+//	GET  /v1/configs       the compiled-in kernel set and selector
+//	GET  /metrics          Prometheus text: request counters, latency histograms, cache hit rate
+//	GET  /healthz          200 ok; 503 once draining
+//
+// SIGINT/SIGTERM starts a graceful drain: healthz flips to 503, in-flight
+// requests finish (up to -drain-timeout), then the listener closes.
+//
+// Usage:
+//
+//	selectd [-addr :8080] [-library lib.json] [-selector tree] [-n 8] [-seed 42] ...
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/serve"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("selectd: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	libPath := flag.String("library", "", "persisted library artifact (default: train in-process)")
+	selFile := flag.String("selector-file", "", "selector-only artifact to dispatch with (overrides the library's selector)")
+	selName := flag.String("selector", "tree", "in-process selector backend: tree, forest, 1nn, 3nn, linear-svm, radial-svm")
+	prName := flag.String("pruner", "decision-tree", "in-process pruning method: top-n, k-means, hdbscan, pca+k-means, decision-tree, greedy-cover")
+	n := flag.Int("n", 8, "library size when training in-process")
+	seed := flag.Uint64("seed", 42, "training seed")
+	devName := flag.String("device", "r9nano", "device model: r9nano, gen9 or mali")
+	savePath := flag.String("save", "", "write the served library artifact to this path and continue")
+
+	cacheSize := flag.Int("cache", 4096, "decision-cache capacity (0 disables)")
+	cacheShards := flag.Int("cache-shards", 16, "decision-cache shards")
+	maxInFlight := flag.Int("max-inflight", 256, "concurrent select/batch requests before shedding 429")
+	maxBatch := flag.Int("max-batch", 1024, "shapes per batch request")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
+	workers := flag.Int("workers", 0, "pricing workers per batch request (0 = GOMAXPROCS)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+
+	dev, err := deviceFor(*devName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := sim.New(dev)
+
+	lib, err := buildLibrary(*libPath, *selName, *prName, *n, *seed, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *selFile != "" {
+		f, err := os.Open(*selFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sel, err := core.LoadSelector(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if lib, err = lib.WithSelector(sel); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := core.SaveLibrary(f, lib); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved library artifact to %s", *savePath)
+	}
+
+	srv := serve.New(lib, model, serve.Options{
+		CacheSize:      cacheCapacity(*cacheSize),
+		CacheShards:    *cacheShards,
+		MaxInFlight:    *maxInFlight,
+		MaxBatch:       *maxBatch,
+		RequestTimeout: *timeout,
+		Workers:        *workers,
+	})
+	var draining atomic.Bool
+	srv.SetDrainCheck(draining.Load)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %d configurations with selector %s on %s",
+		len(lib.Configs), lib.SelectorName(), *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: fail healthz first so load balancers rotate us out,
+	// then let in-flight requests finish before the listener closes.
+	log.Printf("signal received, draining for up to %v", *drainTimeout)
+	draining.Store(true)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Fatalf("drain incomplete: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("drained cleanly")
+}
+
+// cacheCapacity maps the flag convention (0 disables) onto the serve.Options
+// convention (negative disables, 0 means default).
+func cacheCapacity(flagVal int) int {
+	if flagVal <= 0 {
+		return -1
+	}
+	return flagVal
+}
+
+func deviceFor(name string) (device.Spec, error) {
+	switch name {
+	case "r9nano":
+		return device.R9Nano(), nil
+	case "gen9":
+		return device.IntegratedGen9(), nil
+	case "mali":
+		return device.EmbeddedMaliG72(), nil
+	default:
+		return device.Spec{}, fmt.Errorf("unknown device %q", name)
+	}
+}
+
+// buildLibrary loads a persisted artifact, or reproduces the paper pipeline
+// in-process: price the 170-shape dataset on the device model, prune, train.
+func buildLibrary(path, selName, prName string, n int, seed uint64, model *sim.Model) (*core.Library, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.LoadLibrary(f)
+	}
+	trainer, err := trainerFor(selName)
+	if err != nil {
+		return nil, err
+	}
+	pruner, err := prunerFor(prName)
+	if err != nil {
+		return nil, err
+	}
+	shapes, _ := workload.DatasetShapes()
+	ds := dataset.Build(model, shapes, gemm.AllConfigs())
+	return core.BuildLibrary(ds, pruner, trainer, n, seed), nil
+}
+
+func trainerFor(name string) (core.SelectorTrainer, error) {
+	switch name {
+	case "tree":
+		return core.DecisionTreeSelector{}, nil
+	case "forest":
+		return core.RandomForestSelector{}, nil
+	case "1nn":
+		return core.KNNSelector{K: 1}, nil
+	case "3nn":
+		return core.KNNSelector{K: 3}, nil
+	case "linear-svm":
+		return core.LinearSVMSelector{}, nil
+	case "radial-svm":
+		return core.RadialSVMSelector{}, nil
+	default:
+		return nil, fmt.Errorf("unknown selector %q", name)
+	}
+}
+
+func prunerFor(name string) (core.Pruner, error) {
+	for _, p := range append(core.AllPruners(), core.Greedy{}) {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown pruner %q", name)
+}

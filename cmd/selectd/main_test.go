@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+)
+
+func TestTrainerAndPrunerLookup(t *testing.T) {
+	for _, name := range []string{"tree", "forest", "1nn", "3nn", "linear-svm", "radial-svm"} {
+		if _, err := trainerFor(name); err != nil {
+			t.Errorf("trainerFor(%q): %v", name, err)
+		}
+	}
+	if _, err := trainerFor("martian"); err == nil {
+		t.Error("unknown trainer accepted")
+	}
+	for _, name := range []string{"top-n", "k-means", "hdbscan", "pca+k-means", "decision-tree", "greedy-cover"} {
+		if _, err := prunerFor(name); err != nil {
+			t.Errorf("prunerFor(%q): %v", name, err)
+		}
+	}
+	if _, err := prunerFor("martian"); err == nil {
+		t.Error("unknown pruner accepted")
+	}
+	for _, name := range []string{"r9nano", "gen9", "mali"} {
+		if _, err := deviceFor(name); err != nil {
+			t.Errorf("deviceFor(%q): %v", name, err)
+		}
+	}
+	if _, err := deviceFor("martian"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestCacheCapacityFlagMapping(t *testing.T) {
+	if got := cacheCapacity(0); got != -1 {
+		t.Errorf("cacheCapacity(0) = %d, want -1 (disabled)", got)
+	}
+	if got := cacheCapacity(-3); got != -1 {
+		t.Errorf("cacheCapacity(-3) = %d, want -1", got)
+	}
+	if got := cacheCapacity(512); got != 512 {
+		t.Errorf("cacheCapacity(512) = %d", got)
+	}
+}
+
+// TestBuildLibraryFromArtifact checks the persisted-artifact path: a library
+// saved to disk is what the daemon loads back.
+func TestBuildLibraryFromArtifact(t *testing.T) {
+	model := sim.New(device.R9Nano())
+	shapes := []gemm.Shape{
+		{M: 1, K: 4096, N: 1000}, {M: 3136, K: 64, N: 64}, {M: 784, K: 1152, N: 256},
+		{M: 49, K: 4608, N: 512}, {M: 196, K: 384, N: 64}, {M: 3136, K: 128, N: 128},
+		{M: 12544, K: 27, N: 32}, {M: 49, K: 960, N: 160}, {M: 100352, K: 3, N: 64},
+		{M: 196, K: 512, N: 512},
+	}
+	ds := dataset.Build(model, shapes, gemm.AllConfigs()[:80])
+	lib := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 4, 42)
+
+	path := filepath.Join(t.TempDir(), "lib.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SaveLibrary(f, lib); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := buildLibrary(path, "", "", 0, 0, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.SelectorName() != lib.SelectorName() {
+		t.Fatalf("selector %q, want %q", loaded.SelectorName(), lib.SelectorName())
+	}
+	for _, s := range shapes {
+		if loaded.Choose(s) != lib.Choose(s) {
+			t.Fatalf("loaded library disagrees on %v", s)
+		}
+	}
+
+	if _, err := buildLibrary(filepath.Join(t.TempDir(), "missing.json"), "", "", 0, 0, model); err == nil {
+		t.Error("missing artifact accepted")
+	}
+}

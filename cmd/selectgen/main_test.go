@@ -1,0 +1,123 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the selectgen golden file")
+
+const goldenPath = "testdata/selector_n8_seed42.golden"
+
+// TestGenerateMatchesGolden pins the generated selector source byte-for-byte.
+// Any drift in the dataset, the pruning, the tree fit, or the code renderer
+// shows up here as a diff against the checked-in file. Regenerate with
+//
+//	go test ./cmd/selectgen -run TestGenerateMatchesGolden -update-golden
+//
+// and review the diff like any other source change.
+func TestGenerateMatchesGolden(t *testing.T) {
+	got, err := generate(8, 42, "kernels")
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("generated source differs from %s\n%s", goldenPath, firstDiff(string(want), got))
+	}
+}
+
+// firstDiff reports the first line where two sources diverge.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("first difference at line %d:\n  want: %s\n  got:  %s", i+1, w, g)
+		}
+	}
+	return "lengths differ"
+}
+
+// TestGeneratedSourceCompiles type-checks the golden file in-process with
+// go/types — the generated selector must be a valid, self-contained Go
+// package, not just text that looks like one.
+func TestGeneratedSourceCompiles(t *testing.T) {
+	src, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "selector.go", src, parser.AllErrors)
+	if err != nil {
+		t.Fatalf("generated source does not parse: %v", err)
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("kernels", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatalf("generated source does not type-check: %v", err)
+	}
+
+	// The advertised API must exist with the advertised signatures.
+	sel, ok := pkg.Scope().Lookup("Select").(*types.Func)
+	if !ok {
+		t.Fatal("generated package has no Select function")
+	}
+	sig := sel.Type().(*types.Signature)
+	if sig.Params().Len() != 3 || sig.Results().Len() != 1 {
+		t.Fatalf("Select has signature %v, want func(m, k, n int) int", sig)
+	}
+	cfgs, ok := pkg.Scope().Lookup("Configs").(*types.Var)
+	if !ok {
+		t.Fatal("generated package has no Configs variable")
+	}
+	if cfgs.Type().String() != "[]string" {
+		t.Fatalf("Configs has type %v, want []string", cfgs.Type())
+	}
+}
+
+// TestGenerateRespectsArguments checks the knobs that are not covered by the
+// fixed golden configuration.
+func TestGenerateRespectsArguments(t *testing.T) {
+	src, err := generate(4, 7, "mypkg")
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if !strings.Contains(src, "package mypkg\n") {
+		t.Error("package clause does not honor -pkg")
+	}
+	if got := strings.Count(src, "\t\""); got != 4 {
+		t.Errorf("Configs has %d entries, want 4", got)
+	}
+	if !strings.Contains(src, "-n 4 -seed 7") {
+		t.Error("generation header does not record the arguments")
+	}
+}

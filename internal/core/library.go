@@ -51,8 +51,16 @@ func NewLibrary(configs []gemm.Config, selector Selector) (*Library, error) {
 // SelectorName reports which selector the library dispatches with.
 func (l *Library) SelectorName() string { return l.selector.Name() }
 
-// Choose returns the configuration the library would run for the shape.
-func (l *Library) Choose(s gemm.Shape) gemm.Config {
+// WithSelector returns a library dispatching over the same configurations
+// with a different selector (e.g. one loaded via LoadSelector) — the A/B
+// mechanism of the serving daemon.
+func (l *Library) WithSelector(sel Selector) (*Library, error) {
+	return NewLibrary(l.Configs, sel)
+}
+
+// ChooseIndex returns the index into Configs of the configuration the
+// selector picks for the shape.
+func (l *Library) ChooseIndex(s gemm.Shape) int {
 	k := l.selector.Select(s.Features())
 	if k < 0 || k >= len(l.Configs) {
 		// A selector trained for a different library size is a programming
@@ -60,7 +68,12 @@ func (l *Library) Choose(s gemm.Shape) gemm.Config {
 		// compute call.
 		k = 0
 	}
-	return l.Configs[k]
+	return k
+}
+
+// Choose returns the configuration the library would run for the shape.
+func (l *Library) Choose(s gemm.Shape) gemm.Config {
+	return l.Configs[l.ChooseIndex(s)]
 }
 
 // Multiply computes c = a·b using the configuration the selector picks —

@@ -16,11 +16,30 @@ import (
 // Library persistence: a trained library (kernel set + fitted selector)
 // serialises to a single JSON artifact, so the expensive tuning/training
 // stage runs once and the deployable result ships with the compute library.
+// A selector alone also round-trips (SaveSelector/LoadSelector), which lets
+// a serving process swap the runtime classifier while keeping the compiled
+// kernel set — the A/B harness cmd/selectd builds on.
+//
+// Both decoders treat their input as untrusted: malformed or adversarial
+// artifacts must come back as errors, never as panics here or later inside
+// Select. Every model payload is therefore structurally validated on load
+// (see the Validate methods in internal/ml/*).
 
-// libraryFile is the on-disk format.
+// numShapeFeatures is the width of the feature vectors every persisted
+// selector must accept: gemm.Shape.Features() returns (M, K, N).
+var numShapeFeatures = len(gemm.Shape{}.Features())
+
+// libraryFile is the on-disk format of a full library.
 type libraryFile struct {
 	Version  int             `json:"version"`
 	Configs  []string        `json:"configs"`
+	Selector string          `json:"selector"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// selectorFile is the on-disk format of a selector-only artifact.
+type selectorFile struct {
+	Version  int             `json:"version"`
 	Selector string          `json:"selector"`
 	Payload  json.RawMessage `json:"payload"`
 }
@@ -51,39 +70,112 @@ type linearSVMPayload struct {
 	Scaler *scale.Scaler `json:"scaler"`
 }
 
-// SaveLibrary writes the library as JSON. Selectors produced by the trainers
-// in this package (and StaticSelector) are supported; anything else returns
-// an error.
+// encodeSelector maps a selector to its kind tag and serialisable payload.
+// Selectors produced by the trainers in this package (and StaticSelector)
+// are supported; anything else returns an error.
+func encodeSelector(sel Selector) (kind string, payload any, err error) {
+	switch s := sel.(type) {
+	case treeSelector:
+		return kindTree, s.c, nil
+	case forestSelector:
+		return kindForest, s.f, nil
+	case knnSelector:
+		return kindKNN, knnPayload{Model: s.c, Name: s.name}, nil
+	case linearSVMSelector:
+		return kindLinearSVM, linearSVMPayload{Model: s.m, Scaler: s.sc}, nil
+	case radialSVMSelector:
+		return kindRadialSVM, s.m, nil
+	case StaticSelector:
+		return kindStatic, s, nil
+	default:
+		return "", nil, fmt.Errorf("core: selector %q is not serialisable", sel.Name())
+	}
+}
+
+// decodeSelector inverts encodeSelector and validates the decoded model so
+// that Select can never panic on a malformed artifact.
+func decodeSelector(kind string, payload json.RawMessage) (Selector, error) {
+	switch kind {
+	case kindTree:
+		var c tree.Classifier
+		if err := json.Unmarshal(payload, &c); err != nil {
+			return nil, fmt.Errorf("core: decoding tree selector: %w", err)
+		}
+		if err := c.Validate(numShapeFeatures); err != nil {
+			return nil, fmt.Errorf("core: invalid tree selector: %w", err)
+		}
+		return treeSelector{c: &c}, nil
+	case kindForest:
+		var fc forest.Classifier
+		if err := json.Unmarshal(payload, &fc); err != nil {
+			return nil, fmt.Errorf("core: decoding forest selector: %w", err)
+		}
+		if err := fc.Validate(numShapeFeatures); err != nil {
+			return nil, fmt.Errorf("core: invalid forest selector: %w", err)
+		}
+		return forestSelector{f: &fc}, nil
+	case kindKNN:
+		var p knnPayload
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return nil, fmt.Errorf("core: decoding knn selector: %w", err)
+		}
+		if p.Model == nil {
+			return nil, fmt.Errorf("core: knn selector payload missing model")
+		}
+		if err := p.Model.Validate(numShapeFeatures); err != nil {
+			return nil, fmt.Errorf("core: invalid knn selector: %w", err)
+		}
+		return knnSelector{c: p.Model, name: p.Name}, nil
+	case kindLinearSVM:
+		var p linearSVMPayload
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return nil, fmt.Errorf("core: decoding linear-svm selector: %w", err)
+		}
+		if p.Model == nil || p.Scaler == nil {
+			return nil, fmt.Errorf("core: linear-svm selector payload incomplete")
+		}
+		if err := p.Model.Validate(numShapeFeatures); err != nil {
+			return nil, fmt.Errorf("core: invalid linear-svm selector: %w", err)
+		}
+		if len(p.Scaler.Means) != numShapeFeatures || len(p.Scaler.Stds) != numShapeFeatures {
+			return nil, fmt.Errorf("core: linear-svm scaler fitted on %d/%d features, want %d",
+				len(p.Scaler.Means), len(p.Scaler.Stds), numShapeFeatures)
+		}
+		return linearSVMSelector{m: p.Model, sc: p.Scaler}, nil
+	case kindRadialSVM:
+		var m svm.RBF
+		if err := json.Unmarshal(payload, &m); err != nil {
+			return nil, fmt.Errorf("core: decoding radial-svm selector: %w", err)
+		}
+		if err := m.Validate(numShapeFeatures); err != nil {
+			return nil, fmt.Errorf("core: invalid radial-svm selector: %w", err)
+		}
+		return radialSVMSelector{m: &m}, nil
+	case kindStatic:
+		var s StaticSelector
+		if err := json.Unmarshal(payload, &s); err != nil {
+			return nil, fmt.Errorf("core: decoding static selector: %w", err)
+		}
+		if s.Index < 0 {
+			return nil, fmt.Errorf("core: static selector index %d is negative", s.Index)
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("core: unknown selector kind %q", kind)
+	}
+}
+
+// SaveLibrary writes the library as JSON.
 func SaveLibrary(w io.Writer, lib *Library) error {
 	f := libraryFile{Version: libraryFileVersion}
 	for _, c := range lib.Configs {
 		f.Configs = append(f.Configs, c.String())
 	}
-
-	var payload any
-	switch s := lib.selector.(type) {
-	case treeSelector:
-		f.Selector = kindTree
-		payload = s.c
-	case forestSelector:
-		f.Selector = kindForest
-		payload = s.f
-	case knnSelector:
-		f.Selector = kindKNN
-		payload = knnPayload{Model: s.c, Name: s.name}
-	case linearSVMSelector:
-		f.Selector = kindLinearSVM
-		payload = linearSVMPayload{Model: s.m, Scaler: s.sc}
-	case radialSVMSelector:
-		f.Selector = kindRadialSVM
-		payload = s.m
-	case StaticSelector:
-		f.Selector = kindStatic
-		payload = s
-	default:
-		return fmt.Errorf("core: selector %q is not serialisable", lib.selector.Name())
+	kind, payload, err := encodeSelector(lib.selector)
+	if err != nil {
+		return err
 	}
-
+	f.Selector = kind
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("core: marshalling selector: %w", err)
@@ -113,54 +205,39 @@ func LoadLibrary(r io.Reader) (*Library, error) {
 		}
 		configs[i] = cfg
 	}
-
-	var sel Selector
-	switch f.Selector {
-	case kindTree:
-		var c tree.Classifier
-		if err := json.Unmarshal(f.Payload, &c); err != nil {
-			return nil, fmt.Errorf("core: decoding tree selector: %w", err)
-		}
-		sel = treeSelector{c: &c}
-	case kindForest:
-		var fc forest.Classifier
-		if err := json.Unmarshal(f.Payload, &fc); err != nil {
-			return nil, fmt.Errorf("core: decoding forest selector: %w", err)
-		}
-		sel = forestSelector{f: &fc}
-	case kindKNN:
-		var p knnPayload
-		if err := json.Unmarshal(f.Payload, &p); err != nil {
-			return nil, fmt.Errorf("core: decoding knn selector: %w", err)
-		}
-		if p.Model == nil {
-			return nil, fmt.Errorf("core: knn selector payload missing model")
-		}
-		sel = knnSelector{c: p.Model, name: p.Name}
-	case kindLinearSVM:
-		var p linearSVMPayload
-		if err := json.Unmarshal(f.Payload, &p); err != nil {
-			return nil, fmt.Errorf("core: decoding linear-svm selector: %w", err)
-		}
-		if p.Model == nil || p.Scaler == nil {
-			return nil, fmt.Errorf("core: linear-svm selector payload incomplete")
-		}
-		sel = linearSVMSelector{m: p.Model, sc: p.Scaler}
-	case kindRadialSVM:
-		var m svm.RBF
-		if err := json.Unmarshal(f.Payload, &m); err != nil {
-			return nil, fmt.Errorf("core: decoding radial-svm selector: %w", err)
-		}
-		sel = radialSVMSelector{m: &m}
-	case kindStatic:
-		var s StaticSelector
-		if err := json.Unmarshal(f.Payload, &s); err != nil {
-			return nil, fmt.Errorf("core: decoding static selector: %w", err)
-		}
-		sel = s
-	default:
-		return nil, fmt.Errorf("core: unknown selector kind %q", f.Selector)
+	sel, err := decodeSelector(f.Selector, f.Payload)
+	if err != nil {
+		return nil, err
 	}
-
 	return NewLibrary(configs, sel)
+}
+
+// SaveSelector writes a selector-only artifact: the trained classifier
+// without the kernel set, for swapping the runtime dispatch of an existing
+// library.
+func SaveSelector(w io.Writer, sel Selector) error {
+	kind, payload, err := encodeSelector(sel)
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("core: marshalling selector: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(selectorFile{Version: libraryFileVersion, Selector: kind, Payload: raw})
+}
+
+// LoadSelector reads a selector written by SaveSelector. The caller pairs it
+// with a configuration list; out-of-range predictions are clamped by
+// Library.Choose as usual.
+func LoadSelector(r io.Reader) (Selector, error) {
+	var f selectorFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding selector: %w", err)
+	}
+	if f.Version != libraryFileVersion {
+		return nil, fmt.Errorf("core: unsupported selector version %d", f.Version)
+	}
+	return decodeSelector(f.Selector, f.Payload)
 }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/gemm"
+)
+
+// The persistence decoders parse artifacts that may come from disk, a
+// config-management system, or a network peer — they are the repository's
+// only untrusted-input surface. The fuzz targets below assert the decoder
+// contract: malformed input returns an error (never a panic), and anything
+// that loads successfully must then select and re-save without panicking.
+
+// fuzzDataset builds a tiny deterministic dataset without the analytical
+// model, so seeding stays cheap enough for per-corpus-entry reruns.
+func fuzzDataset(f *testing.F) *dataset.PerfDataset {
+	f.Helper()
+	shapes := []gemm.Shape{
+		{M: 1, K: 4096, N: 1000}, {M: 3136, K: 64, N: 64}, {M: 784, K: 1152, N: 256},
+		{M: 49, K: 4608, N: 512}, {M: 12544, K: 27, N: 32}, {M: 196, K: 384, N: 64},
+		{M: 100352, K: 3, N: 64}, {M: 49, K: 320, N: 1280}, {M: 3136, K: 128, N: 128},
+		{M: 196, K: 512, N: 512}, {M: 784, K: 144, N: 24}, {M: 16, K: 4096, N: 1000},
+	}
+	configs := gemm.AllConfigs()[:24]
+	measure := func(cfg gemm.Config, s gemm.Shape) (float64, error) {
+		// A smooth deterministic surface with shape- and config-dependent
+		// structure, so every classifier has something to learn.
+		return 1 + float64((s.M*7+s.K*3+s.N)%101)*float64(cfg.TileRows*cfg.TileCols+cfg.AccDepth), nil
+	}
+	ds, err := dataset.BuildMeasured(measure, shapes, configs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return ds
+}
+
+// fuzzProbes are the shapes every successfully loaded artifact must answer.
+var fuzzProbes = []gemm.Shape{
+	{M: 784, K: 1152, N: 256}, {M: 1, K: 1, N: 1}, {M: 1 << 20, K: 3, N: 64},
+}
+
+func fuzzSeedCorpus(f *testing.F, save func(buf *bytes.Buffer, lib *Library) error) [][]byte {
+	f.Helper()
+	ds := fuzzDataset(f)
+	var corpus [][]byte
+	for _, trainer := range AllSelectorTrainers() {
+		lib := BuildLibrary(ds, DecisionTree{}, trainer, 4, 3)
+		var buf bytes.Buffer
+		if err := save(&buf, lib); err != nil {
+			f.Fatalf("seeding corpus with %s: %v", lib.SelectorName(), err)
+		}
+		corpus = append(corpus, buf.Bytes())
+	}
+	return corpus
+}
+
+func FuzzLoadLibrary(f *testing.F) {
+	for _, seed := range fuzzSeedCorpus(f, func(buf *bytes.Buffer, lib *Library) error {
+		return SaveLibrary(buf, lib)
+	}) {
+		f.Add(seed)
+	}
+	f.Add([]byte("}{"))
+	f.Add([]byte(`{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"decision-tree","payload":{"Root":null}}`))
+	f.Add([]byte(`{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"knn","payload":{"model":{"X":null,"Y":[],"K":3,"Classes":1},"name":"x"}}`))
+	f.Add([]byte(`{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"random-forest","payload":{"Trees":[null],"Classes":1}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lib, err := LoadLibrary(bytes.NewReader(data))
+		if err != nil {
+			if lib != nil {
+				t.Fatalf("LoadLibrary returned both a library and %v", err)
+			}
+			return
+		}
+		// Whatever loads must serve selections and re-save cleanly.
+		for _, s := range fuzzProbes {
+			cfg := lib.Choose(s)
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("loaded library chose invalid config %v: %v", cfg, err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := SaveLibrary(&buf, lib); err != nil {
+			t.Fatalf("re-saving loaded library: %v", err)
+		}
+	})
+}
+
+func FuzzLoadSelector(f *testing.F) {
+	for _, seed := range fuzzSeedCorpus(f, func(buf *bytes.Buffer, lib *Library) error {
+		return SaveSelector(buf, lib.selector)
+	}) {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"version":1,"selector":"static","payload":{"Index":-5}}`))
+	f.Add([]byte(`{"version":1,"selector":"linear-svm","payload":{"model":{"W":null,"B":[],"Classes":2},"scaler":{"Means":[0],"Stds":[1]}}}`))
+	f.Add([]byte(`{"version":1,"selector":"radial-svm","payload":{"X":{"rows":1,"cols":3,"data":[1,2,3]},"Coef":{"rows":1,"cols":9,"data":[0,0,0,0,0,0,0,0,0]},"B":[0],"Gamma":1,"Classes":1}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sel, err := LoadSelector(bytes.NewReader(data))
+		if err != nil {
+			if sel != nil {
+				t.Fatalf("LoadSelector returned both a selector and %v", err)
+			}
+			return
+		}
+		for _, s := range fuzzProbes {
+			_ = sel.Select(s.Features()) // must not panic; range is clamped by Library.Choose
+		}
+		var buf bytes.Buffer
+		if err := SaveSelector(&buf, sel); err != nil {
+			t.Fatalf("re-saving loaded selector: %v", err)
+		}
+	})
+}

@@ -76,10 +76,54 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		"unknown kind":    `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"martian","payload":{}}`,
 		"knn no model":    `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"knn","payload":{"name":"x"}}`,
 		"svm incomplete":  `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"linear-svm","payload":{}}`,
+
+		// Structurally malformed model payloads: these decode as JSON but
+		// would panic at Select time without load-time validation.
+		"tree nil root":     `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"decision-tree","payload":{"Root":null,"Classes":1}}`,
+		"tree bad feature":  `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"decision-tree","payload":{"Root":{"Feature":7,"Left":{"IsLeaf":true},"Right":{"IsLeaf":true}},"Classes":1}}`,
+		"tree missing kid":  `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"decision-tree","payload":{"Root":{"Feature":0,"Left":{"IsLeaf":true}},"Classes":1}}`,
+		"tree bad class":    `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"decision-tree","payload":{"Root":{"IsLeaf":true,"Class":-1},"Classes":1}}`,
+		"forest nil tree":   `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"random-forest","payload":{"Trees":[null],"Classes":1}}`,
+		"forest no trees":   `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"random-forest","payload":{"Trees":[],"Classes":1}}`,
+		"knn nil matrix":    `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"knn","payload":{"model":{"X":null,"Y":[],"K":1,"Classes":1},"name":"x"}}`,
+		"knn k too large":   `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"knn","payload":{"model":{"X":{"rows":1,"cols":3,"data":[1,2,3]},"Y":[0],"K":5,"Classes":1},"name":"x"}}`,
+		"knn bad label":     `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"knn","payload":{"model":{"X":{"rows":1,"cols":3,"data":[1,2,3]},"Y":[9],"K":1,"Classes":1},"name":"x"}}`,
+		"svm nil weights":   `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"linear-svm","payload":{"model":{"W":null,"B":[],"Classes":2},"scaler":{"Means":[0,0,0],"Stds":[1,1,1]}}}`,
+		"svm wrong width":   `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"linear-svm","payload":{"model":{"W":{"rows":1,"cols":2,"data":[1,2]},"B":[0],"Classes":1},"scaler":{"Means":[0,0,0],"Stds":[1,1,1]}}}`,
+		"rbf coef mismatch": `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"radial-svm","payload":{"X":{"rows":2,"cols":3,"data":[1,2,3,4,5,6]},"Coef":{"rows":1,"cols":9,"data":[0,0,0,0,0,0,0,0,0]},"B":[0],"Gamma":1,"Classes":1}}`,
+		"static negative":   `{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"static","payload":{"Index":-5}}`,
 	}
 	for name, body := range cases {
 		if _, err := LoadLibrary(strings.NewReader(body)); err == nil {
 			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSaveLoadSelectorOnly(t *testing.T) {
+	d := testDataset(t)
+	probes := []gemm.Shape{
+		{M: 3136, K: 64, N: 64}, {M: 1, K: 4096, N: 1000},
+		{M: 784, K: 1152, N: 256}, {M: 49, K: 320, N: 1280},
+	}
+	for _, trainer := range AllSelectorTrainers() {
+		lib := BuildLibrary(d, DecisionTree{}, trainer, 5, 3)
+		var buf bytes.Buffer
+		if err := SaveSelector(&buf, lib.selector); err != nil {
+			t.Fatalf("%s: save: %v", lib.SelectorName(), err)
+		}
+		sel, err := LoadSelector(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", lib.SelectorName(), err)
+		}
+		swapped, err := lib.WithSelector(sel)
+		if err != nil {
+			t.Fatalf("%s: WithSelector: %v", lib.SelectorName(), err)
+		}
+		for _, s := range probes {
+			if swapped.Choose(s) != lib.Choose(s) {
+				t.Fatalf("%s: selector-only round trip disagrees on %v", lib.SelectorName(), s)
+			}
 		}
 	}
 }

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/xrand"
+)
+
+// randomPruneDataset builds a dataset over a random slice of the real config
+// space with noisy fake measurements, so the clustering-based pruners see
+// unstructured data — the regime most likely to expose out-of-range or
+// duplicate selections.
+func randomPruneDataset(t *testing.T, rng *xrand.Rand) *dataset.PerfDataset {
+	t.Helper()
+	all := gemm.AllConfigs()
+	numConfigs := 8 + rng.Intn(40)
+	start := rng.Intn(len(all) - numConfigs)
+	configs := all[start : start+numConfigs]
+
+	numShapes := 4 + rng.Intn(24)
+	shapes := make([]gemm.Shape, numShapes)
+	for i := range shapes {
+		shapes[i] = gemm.Shape{
+			M: 1 + rng.Intn(4096),
+			K: 1 + rng.Intn(4096),
+			N: 1 + rng.Intn(4096),
+		}
+	}
+	measure := func(cfg gemm.Config, s gemm.Shape) (float64, error) {
+		base := float64((s.M*13+s.K*7+s.N*3)%97) + 1
+		return base * (1 + 0.5*rng.Float64()) * float64(cfg.TileRows+cfg.TileCols), nil
+	}
+	ds, err := dataset.BuildMeasured(measure, shapes, configs)
+	if err != nil {
+		t.Fatalf("BuildMeasured: %v", err)
+	}
+	return ds
+}
+
+// Property: every pruner returns exactly n configuration indices, each a
+// valid column of the input dataset, with no duplicates — for any dataset,
+// any feasible n, any seed. The retained library is by construction a subset
+// of the input configuration space.
+func TestPrunersReturnValidSubset(t *testing.T) {
+	rng := xrand.New(31)
+	pruners := append(AllPruners(), Greedy{})
+	for trial := 0; trial < 8; trial++ {
+		ds := randomPruneDataset(t, rng)
+		nCases := []int{1, 2, 1 + rng.Intn(ds.NumConfigs()), ds.NumConfigs()}
+		for _, pr := range pruners {
+			for _, n := range nCases {
+				seed := rng.Uint64()
+				got := pr.Prune(ds, n, seed)
+				if len(got) != n {
+					t.Fatalf("trial %d %s(n=%d): returned %d indices", trial, pr.Name(), n, len(got))
+				}
+				seen := make(map[int]bool, n)
+				for _, idx := range got {
+					if idx < 0 || idx >= ds.NumConfigs() {
+						t.Fatalf("trial %d %s(n=%d): index %d out of [0,%d)",
+							trial, pr.Name(), n, idx, ds.NumConfigs())
+					}
+					if seen[idx] {
+						t.Fatalf("trial %d %s(n=%d): duplicate index %d in %v",
+							trial, pr.Name(), n, idx, got)
+					}
+					seen[idx] = true
+				}
+			}
+		}
+	}
+}
+
+// Property: pruning must not mutate its input dataset — selection is
+// read-only analysis.
+func TestPrunersLeaveDatasetIntact(t *testing.T) {
+	rng := xrand.New(47)
+	ds := randomPruneDataset(t, rng)
+	before := append([]float64(nil), ds.Norm.Row(0)...)
+	for _, pr := range append(AllPruners(), Greedy{}) {
+		pr.Prune(ds, 3, 99)
+	}
+	after := ds.Norm.Row(0)
+	for j := range before {
+		if before[j] != after[j] {
+			t.Fatalf("pruning mutated the dataset at column %d: %v -> %v", j, before[j], after[j])
+		}
+	}
+}

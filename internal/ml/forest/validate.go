@@ -1,0 +1,29 @@
+package forest
+
+import "fmt"
+
+// Validate checks that an ensemble — typically one deserialised from an
+// untrusted artifact — can predict on numFeatures-wide inputs without
+// panicking: at least one tree, every tree structurally valid, and every
+// tree's class range within the ensemble's (so votes always index in
+// bounds). Fitted ensembles always pass.
+func (f *Classifier) Validate(numFeatures int) error {
+	if f.Classes <= 0 {
+		return fmt.Errorf("forest: ensemble has %d classes", f.Classes)
+	}
+	if len(f.Trees) == 0 {
+		return fmt.Errorf("forest: ensemble has no trees")
+	}
+	for i, t := range f.Trees {
+		if t == nil {
+			return fmt.Errorf("forest: tree %d is nil", i)
+		}
+		if err := t.Validate(numFeatures); err != nil {
+			return fmt.Errorf("forest: tree %d: %w", i, err)
+		}
+		if t.Classes > f.Classes {
+			return fmt.Errorf("forest: tree %d predicts %d classes, ensemble has %d", i, t.Classes, f.Classes)
+		}
+	}
+	return nil
+}

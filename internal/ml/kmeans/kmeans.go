@@ -18,6 +18,13 @@ type Result struct {
 	Labels    []int      // per-sample cluster assignment
 	Inertia   float64    // sum of squared distances to assigned centroids
 	Iters     int        // Lloyd iterations of the winning restart
+
+	// InertiaTrace records the inertia measured at each assignment step of
+	// the winning restart. Lloyd's algorithm guarantees this sequence never
+	// increases (each assignment picks the nearest centroid, each update
+	// moves centroids to cluster means); the trace makes that invariant
+	// observable — the property tests assert it on every run.
+	InertiaTrace []float64
 }
 
 // Options tune the clustering. The zero value selects the defaults.
@@ -63,6 +70,7 @@ func lloyd(x *mat.Dense, k int, rng *xrand.Rand, maxIters int) *Result {
 	counts := make([]int, k)
 
 	var inertia float64
+	var trace []float64
 	iters := 0
 	for ; iters < maxIters; iters++ {
 		changed := false
@@ -80,6 +88,7 @@ func lloyd(x *mat.Dense, k int, rng *xrand.Rand, maxIters int) *Result {
 			}
 			inertia += bestD
 		}
+		trace = append(trace, inertia)
 		if !changed && iters > 0 {
 			break
 		}
@@ -112,7 +121,7 @@ func lloyd(x *mat.Dense, k int, rng *xrand.Rand, maxIters int) *Result {
 			mat.Scale(1/float64(counts[c]), centroids.Row(c))
 		}
 	}
-	return &Result{Centroids: centroids, Labels: labels, Inertia: inertia, Iters: iters}
+	return &Result{Centroids: centroids, Labels: labels, Inertia: inertia, Iters: iters, InertiaTrace: trace}
 }
 
 // seedPlusPlus picks k initial centroids with D² weighting.

@@ -1,0 +1,51 @@
+package kmeans
+
+import (
+	"testing"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/xrand"
+)
+
+// Property: Lloyd's algorithm never increases the assignment cost. Each
+// assignment step picks the nearest centroid and each update step moves
+// centroids to cluster means (with empty clusters re-seeded at data points),
+// so the inertia measured at consecutive assignment steps must be
+// non-increasing — for any data, any k, any seed.
+func TestInertiaTraceNeverIncreases(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(60)
+		d := 1 + rng.Intn(8)
+		x := mat.NewDense(n, d)
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			for j := range row {
+				switch rng.Intn(3) {
+				case 0:
+					row[j] = rng.NormFloat64()
+				case 1:
+					row[j] = 10 * rng.NormFloat64()
+				default:
+					row[j] = float64(rng.Intn(4)) // ties and duplicate points
+				}
+			}
+		}
+		k := 1 + rng.Intn(n)
+		res := Cluster(x, k, rng.Uint64(), Options{Restarts: 2})
+		if len(res.InertiaTrace) == 0 {
+			t.Fatalf("trial %d: empty inertia trace", trial)
+		}
+		for i := 1; i < len(res.InertiaTrace); i++ {
+			prev, cur := res.InertiaTrace[i-1], res.InertiaTrace[i]
+			// Tolerate only floating-point noise, scaled to the magnitude.
+			if cur > prev+1e-9*(1+prev) {
+				t.Fatalf("trial %d (n=%d d=%d k=%d): inertia rose %v -> %v at iteration %d\ntrace: %v",
+					trial, n, d, k, prev, cur, i, res.InertiaTrace)
+			}
+		}
+		if got := res.InertiaTrace[len(res.InertiaTrace)-1]; got != res.Inertia {
+			t.Fatalf("trial %d: final trace entry %v != reported inertia %v", trial, got, res.Inertia)
+		}
+	}
+}

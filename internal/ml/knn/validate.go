@@ -1,0 +1,32 @@
+package knn
+
+import "fmt"
+
+// Validate checks that a classifier — typically one deserialised from an
+// untrusted artifact — can predict on numFeatures-wide inputs without
+// panicking: a training matrix of the right width, labels matching it
+// row-for-row and within [0, Classes), and K within [1, rows]. Fitted
+// classifiers always pass.
+func (c *Classifier) Validate(numFeatures int) error {
+	if c.X == nil {
+		return fmt.Errorf("knn: classifier has no training matrix")
+	}
+	if c.X.Cols() != numFeatures {
+		return fmt.Errorf("knn: training matrix has %d features, want %d", c.X.Cols(), numFeatures)
+	}
+	if len(c.Y) != c.X.Rows() {
+		return fmt.Errorf("knn: %d labels for %d training rows", len(c.Y), c.X.Rows())
+	}
+	if c.Classes <= 0 {
+		return fmt.Errorf("knn: classifier has %d classes", c.Classes)
+	}
+	for i, l := range c.Y {
+		if l < 0 || l >= c.Classes {
+			return fmt.Errorf("knn: label %d of row %d out of [0,%d)", l, i, c.Classes)
+		}
+	}
+	if c.K < 1 || c.K > c.X.Rows() {
+		return fmt.Errorf("knn: k=%d out of [1,%d]", c.K, c.X.Rows())
+	}
+	return nil
+}

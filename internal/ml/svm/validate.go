@@ -1,0 +1,52 @@
+package svm
+
+import "fmt"
+
+// Validate checks that a linear model — typically one deserialised from an
+// untrusted artifact — can score numFeatures-wide inputs without panicking:
+// a weight matrix of Classes rows × numFeatures columns and a matching bias
+// vector. Fitted models always pass.
+func (m *Linear) Validate(numFeatures int) error {
+	if m.Classes <= 0 {
+		return fmt.Errorf("svm: linear model has %d classes", m.Classes)
+	}
+	if m.W == nil {
+		return fmt.Errorf("svm: linear model has no weights")
+	}
+	if m.W.Rows() != m.Classes || m.W.Cols() != numFeatures {
+		return fmt.Errorf("svm: weight matrix is %dx%d, want %dx%d",
+			m.W.Rows(), m.W.Cols(), m.Classes, numFeatures)
+	}
+	if len(m.B) != m.Classes {
+		return fmt.Errorf("svm: %d biases for %d classes", len(m.B), m.Classes)
+	}
+	return nil
+}
+
+// Validate checks that an RBF model — typically one deserialised from an
+// untrusted artifact — can score numFeatures-wide inputs without panicking:
+// retained training points of the right width, dual coefficients of
+// Classes rows × training-points columns, and a matching bias vector.
+// Fitted models always pass.
+func (m *RBF) Validate(numFeatures int) error {
+	if m.Classes <= 0 {
+		return fmt.Errorf("svm: rbf model has %d classes", m.Classes)
+	}
+	if m.X == nil {
+		return fmt.Errorf("svm: rbf model has no training points")
+	}
+	if m.X.Cols() != numFeatures {
+		return fmt.Errorf("svm: rbf training points have %d features, want %d", m.X.Cols(), numFeatures)
+	}
+	if m.Coef == nil {
+		return fmt.Errorf("svm: rbf model has no dual coefficients")
+	}
+	if m.Coef.Rows() != m.Classes || m.Coef.Cols() != m.X.Rows() {
+		return fmt.Errorf("svm: coefficient matrix is %dx%d, want %dx%d",
+			m.Coef.Rows(), m.Coef.Cols(), m.Classes, m.X.Rows())
+	}
+	if len(m.B) != m.Classes {
+		return fmt.Errorf("svm: %d biases for %d classes", len(m.B), m.Classes)
+	}
+	return nil
+}

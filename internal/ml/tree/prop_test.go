@@ -1,0 +1,114 @@
+package tree
+
+import (
+	"testing"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/xrand"
+)
+
+// randomTrainingSet draws a feature matrix from small discrete value pools —
+// deliberately full of duplicate values and duplicate rows, the regime where
+// order-dependent tie-breaking would show — plus labels drawn from a sparse
+// subset of the class range.
+func randomTrainingSet(rng *xrand.Rand) (x *mat.Dense, y []int, classes int) {
+	n := 8 + rng.Intn(60)
+	x = mat.NewDense(n, 3)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = float64(int(1) << rng.Intn(6)) // {1,2,4,8,16,32}: heavy ties
+		}
+	}
+	classes = 4 + rng.Intn(8)
+	// Use only a sparse subset of labels, so "prediction is a label seen in
+	// training" is a real constraint rather than a tautology.
+	pool := make([]int, 0, classes)
+	for c := 0; c < classes; c++ {
+		if rng.Intn(2) == 0 {
+			pool = append(pool, c)
+		}
+	}
+	if len(pool) == 0 {
+		pool = append(pool, rng.Intn(classes))
+	}
+	y = make([]int, n)
+	for i := range y {
+		y[i] = pool[rng.Intn(len(pool))]
+	}
+	return x, y, classes
+}
+
+// permuted returns the training set reordered by a random permutation.
+func permuted(rng *xrand.Rand, x *mat.Dense, y []int) (*mat.Dense, []int) {
+	perm := rng.Perm(x.Rows())
+	px := mat.NewDense(x.Rows(), x.Cols())
+	py := make([]int, len(y))
+	for to, from := range perm {
+		copy(px.Row(to), x.Row(from))
+		py[to] = y[from]
+	}
+	return px, py
+}
+
+// probeGrid covers the training points plus off-grid values on both sides of
+// every possible threshold.
+func probeGrid(x *mat.Dense) [][]float64 {
+	probes := make([][]float64, 0, x.Rows()+64)
+	for i := 0; i < x.Rows(); i++ {
+		probes = append(probes, append([]float64(nil), x.Row(i)...))
+	}
+	vals := []float64{0.5, 1.5, 3, 6, 12, 24, 48, 100}
+	for _, a := range vals {
+		for _, b := range vals {
+			probes = append(probes, []float64{a, b, a + b})
+		}
+	}
+	return probes
+}
+
+// Property: classifier predictions are invariant to the order of training
+// rows. The fitted tree routes on value thresholds and class counts, none of
+// which depend on row order, so any permutation of the same rows must yield
+// a tree that predicts identically everywhere.
+func TestClassifierInvariantToRowOrder(t *testing.T) {
+	rng := xrand.New(11)
+	for trial := 0; trial < 25; trial++ {
+		x, y, classes := randomTrainingSet(rng)
+		opts := Options{MinSamplesLeaf: 1 + rng.Intn(3)}
+		if rng.Intn(2) == 0 {
+			opts.MaxLeaves = 2 + rng.Intn(10)
+		}
+		base := FitClassifier(x, y, classes, opts)
+		for p := 0; p < 3; p++ {
+			px, py := permuted(rng, x, y)
+			perm := FitClassifier(px, py, classes, opts)
+			for _, probe := range probeGrid(x) {
+				if got, want := perm.Predict(probe), base.Predict(probe); got != want {
+					t.Fatalf("trial %d perm %d: prediction at %v changed %d -> %d (opts %+v)",
+						trial, p, probe, want, got, opts)
+				}
+			}
+		}
+	}
+}
+
+// Property: a classifier only ever predicts labels that occurred in its
+// training set — leaves carry the majority class of real training rows, so
+// an unseen label can never appear, anywhere in feature space.
+func TestClassifierPredictsOnlySeenLabels(t *testing.T) {
+	rng := xrand.New(23)
+	for trial := 0; trial < 25; trial++ {
+		x, y, classes := randomTrainingSet(rng)
+		seen := make(map[int]bool, classes)
+		for _, l := range y {
+			seen[l] = true
+		}
+		c := FitClassifier(x, y, classes, Options{MinSamplesLeaf: 1 + rng.Intn(2)})
+		for _, probe := range probeGrid(x) {
+			if got := c.Predict(probe); !seen[got] {
+				t.Fatalf("trial %d: predicted label %d at %v, training labels %v", trial, got, probe, y)
+			}
+		}
+	}
+}

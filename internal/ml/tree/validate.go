@@ -1,0 +1,38 @@
+package tree
+
+import "fmt"
+
+// Validate checks that a classifier — typically one deserialised from an
+// untrusted artifact — is structurally sound to predict on numFeatures-wide
+// inputs: a non-nil root, both children present on every internal node,
+// feature indices within range, and leaf classes within [0, Classes). Fitted
+// classifiers always pass; corrupted or hand-crafted ones are rejected here
+// instead of panicking inside Predict.
+func (c *Classifier) Validate(numFeatures int) error {
+	if c.Root == nil {
+		return fmt.Errorf("tree: classifier has no root node")
+	}
+	if c.Classes <= 0 {
+		return fmt.Errorf("tree: classifier has %d classes", c.Classes)
+	}
+	return validateNode(c.Root, numFeatures, c.Classes)
+}
+
+func validateNode(n *Node, numFeatures, classes int) error {
+	if n.IsLeaf {
+		if n.Class < 0 || n.Class >= classes {
+			return fmt.Errorf("tree: leaf class %d out of [0,%d)", n.Class, classes)
+		}
+		return nil
+	}
+	if n.Feature < 0 || n.Feature >= numFeatures {
+		return fmt.Errorf("tree: split feature %d out of [0,%d)", n.Feature, numFeatures)
+	}
+	if n.Left == nil || n.Right == nil {
+		return fmt.Errorf("tree: internal node missing a child")
+	}
+	if err := validateNode(n.Left, numFeatures, classes); err != nil {
+		return err
+	}
+	return validateNode(n.Right, numFeatures, classes)
+}

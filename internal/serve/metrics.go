@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is a dependency-free registry in the Prometheus text exposition
+// format: per-endpoint request counters broken down by status code,
+// per-endpoint latency histograms, cache and shedding gauges. Everything is
+// atomics on the hot path; rendering takes the slow path.
+
+// latencyBuckets are the histogram upper bounds in seconds. Selection is
+// microseconds (a tree walk plus at most one pricing pass), so the buckets
+// concentrate there and fan out to catch stragglers.
+var latencyBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1,
+}
+
+type histogram struct {
+	buckets []atomic.Uint64 // one per bound, plus +Inf at the end
+	count   atomic.Uint64
+	sumNano atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]atomic.Uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNano.Add(d.Nanoseconds())
+}
+
+// endpointMetrics tracks one endpoint's request counts and latencies.
+type endpointMetrics struct {
+	mu      sync.Mutex
+	byCode  map[int]uint64
+	latency *histogram
+}
+
+func newEndpointMetrics() *endpointMetrics {
+	return &endpointMetrics{byCode: make(map[int]uint64), latency: newHistogram()}
+}
+
+func (e *endpointMetrics) observe(code int, d time.Duration) {
+	e.mu.Lock()
+	e.byCode[code]++
+	e.mu.Unlock()
+	e.latency.observe(d)
+}
+
+// metrics is the server-wide registry.
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+	shed      atomic.Uint64
+	inflight  atomic.Int64
+	started   time.Time
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointMetrics), started: time.Now()}
+}
+
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.endpoints[name]
+	if !ok {
+		e = newEndpointMetrics()
+		m.endpoints[name] = e
+	}
+	return e
+}
+
+// render writes the registry in Prometheus text format. cacheHits/Misses and
+// cacheLen come from the decision cache; selector labels the backend.
+func (m *metrics) render(b *strings.Builder, selector string, cacheHits, cacheMisses uint64, cacheLen int) {
+	fmt.Fprintf(b, "# HELP selectd_info Serving daemon metadata.\n")
+	fmt.Fprintf(b, "# TYPE selectd_info gauge\n")
+	fmt.Fprintf(b, "selectd_info{selector=%q} 1\n", selector)
+
+	fmt.Fprintf(b, "# HELP selectd_uptime_seconds Time since the server started.\n")
+	fmt.Fprintf(b, "# TYPE selectd_uptime_seconds gauge\n")
+	fmt.Fprintf(b, "selectd_uptime_seconds %.3f\n", time.Since(m.started).Seconds())
+
+	fmt.Fprintf(b, "# HELP selectd_requests_total Requests served, by endpoint and status code.\n")
+	fmt.Fprintf(b, "# TYPE selectd_requests_total counter\n")
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		e := m.endpoint(name)
+		e.mu.Lock()
+		codes := make([]int, 0, len(e.byCode))
+		for c := range e.byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(b, "selectd_requests_total{endpoint=%q,code=\"%d\"} %d\n", name, c, e.byCode[c])
+		}
+		e.mu.Unlock()
+	}
+
+	fmt.Fprintf(b, "# HELP selectd_request_seconds Request latency histogram, by endpoint.\n")
+	fmt.Fprintf(b, "# TYPE selectd_request_seconds histogram\n")
+	for _, name := range names {
+		e := m.endpoint(name)
+		var cum uint64
+		for i, bound := range latencyBuckets {
+			cum += e.latency.buckets[i].Load()
+			fmt.Fprintf(b, "selectd_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", name, bound, cum)
+		}
+		cum += e.latency.buckets[len(latencyBuckets)].Load()
+		fmt.Fprintf(b, "selectd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(b, "selectd_request_seconds_sum{endpoint=%q} %.9f\n", name, float64(e.latency.sumNano.Load())/1e9)
+		fmt.Fprintf(b, "selectd_request_seconds_count{endpoint=%q} %d\n", name, e.latency.count.Load())
+	}
+
+	fmt.Fprintf(b, "# HELP selectd_cache_hits_total Decision-cache hits.\n")
+	fmt.Fprintf(b, "# TYPE selectd_cache_hits_total counter\n")
+	fmt.Fprintf(b, "selectd_cache_hits_total %d\n", cacheHits)
+	fmt.Fprintf(b, "# HELP selectd_cache_misses_total Decision-cache misses.\n")
+	fmt.Fprintf(b, "# TYPE selectd_cache_misses_total counter\n")
+	fmt.Fprintf(b, "selectd_cache_misses_total %d\n", cacheMisses)
+	fmt.Fprintf(b, "# HELP selectd_cache_entries Decisions currently cached.\n")
+	fmt.Fprintf(b, "# TYPE selectd_cache_entries gauge\n")
+	fmt.Fprintf(b, "selectd_cache_entries %d\n", cacheLen)
+
+	fmt.Fprintf(b, "# HELP selectd_inflight_requests Requests currently being served.\n")
+	fmt.Fprintf(b, "# TYPE selectd_inflight_requests gauge\n")
+	fmt.Fprintf(b, "selectd_inflight_requests %d\n", m.inflight.Load())
+	fmt.Fprintf(b, "# HELP selectd_shed_total Requests rejected with 429 at the in-flight limit.\n")
+	fmt.Fprintf(b, "# TYPE selectd_shed_total counter\n")
+	fmt.Fprintf(b, "selectd_shed_total %d\n", m.shed.Load())
+}

@@ -1,0 +1,357 @@
+// Package serve is the online half of the paper's pipeline: an HTTP daemon
+// that loads a deployed library artifact (pruned kernel set + trained
+// selector, see internal/core/persist.go) and answers "which kernel
+// configuration for this GEMM shape?" at serving latency.
+//
+// Production concerns are handled in-process with no external dependencies:
+//
+//   - a sharded LRU decision cache keyed by shape (NN layer shapes repeat
+//     every step, so steady-state traffic is almost all hits);
+//   - per-endpoint request counters and latency histograms plus cache
+//     hit-rate, exposed at GET /metrics in Prometheus text format;
+//   - bounded in-flight concurrency with 429 shedding and per-request
+//     deadlines, so overload degrades predictably instead of queueing;
+//   - a draining flag that fails GET /healthz ahead of graceful shutdown,
+//     letting a load balancer rotate the instance out while in-flight
+//     requests finish.
+//
+// The selector backend is whatever the loaded library dispatches with
+// (decision tree, random forest, k-NN, SVM — anything core.LoadLibrary
+// accepts), which makes a pair of selectd processes an A/B harness for the
+// Table-I classifier comparison under real traffic.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/par"
+	"kernelselect/internal/sim"
+)
+
+// Options configure the server. The zero value selects the defaults.
+type Options struct {
+	CacheSize      int           // total cached decisions; default 4096, negative disables
+	CacheShards    int           // LRU shards; default 16
+	MaxInFlight    int           // concurrent select/batch requests; default 256
+	MaxBatch       int           // shapes per batch request; default 1024
+	RequestTimeout time.Duration // per-request deadline; default 5s
+	Workers        int           // pricing workers per batch request; default GOMAXPROCS
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize == 0 {
+		o.CacheSize = 4096
+	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 256
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Server answers kernel-selection queries for one library.
+type Server struct {
+	lib      *core.Library
+	model    *sim.Model
+	opts     Options
+	cache    *decisionCache
+	metrics  *metrics
+	inflight chan struct{}
+	draining func() bool
+}
+
+// New builds a server for the library. The device model prices the library's
+// configurations per shape to report predicted performance next to each
+// decision; it must be non-nil.
+func New(lib *core.Library, model *sim.Model, opts Options) *Server {
+	if lib == nil {
+		panic("serve: nil library")
+	}
+	if model == nil {
+		panic("serve: nil device model")
+	}
+	opts = opts.withDefaults()
+	return &Server{
+		lib:      lib,
+		model:    model,
+		opts:     opts,
+		cache:    newDecisionCache(opts.CacheSize, opts.CacheShards),
+		metrics:  newMetrics(),
+		inflight: make(chan struct{}, opts.MaxInFlight),
+		draining: func() bool { return false },
+	}
+}
+
+// SetDrainCheck installs the callback healthz consults: when it reports
+// true, /healthz returns 503 so load balancers stop routing here while
+// in-flight requests drain.
+func (s *Server) SetDrainCheck(f func() bool) {
+	if f != nil {
+		s.draining = f
+	}
+}
+
+// Library exposes the served library (for offline/online agreement checks).
+func (s *Server) Library() *core.Library { return s.lib }
+
+// Decision is one answer: the chosen configuration for a shape plus the
+// device model's predicted performance, normalized against the best
+// configuration the library could have picked for that shape.
+type Decision struct {
+	Shape           string  `json:"shape"`
+	Config          string  `json:"config"`
+	Index           int     `json:"index"`
+	KernelID        string  `json:"kernel_id"`
+	PredictedGFLOPS float64 `json:"predicted_gflops"`
+	PredictedNorm   float64 `json:"predicted_norm"`
+	Cached          bool    `json:"cached"`
+}
+
+// decide answers one shape, consulting the cache first.
+func (s *Server) decide(shape gemm.Shape) Decision {
+	if d, ok := s.cache.get(shape); ok {
+		d.Cached = true
+		return d
+	}
+	d := s.compute(shape)
+	s.cache.put(shape, d)
+	return d
+}
+
+// compute runs the selector and prices every library configuration on the
+// shape, so the decision carries its predicted normalized performance — the
+// paper's Table-I quantity, per request.
+func (s *Server) compute(shape gemm.Shape) Decision {
+	idx := s.lib.ChooseIndex(shape)
+	cfgs := s.lib.Configs
+	best, chosen := 0.0, 0.0
+	for i, cfg := range cfgs {
+		g := s.model.GFLOPS(cfg, shape)
+		if g > best {
+			best = g
+		}
+		if i == idx {
+			chosen = g
+		}
+	}
+	norm := 0.0
+	if best > 0 {
+		norm = chosen / best
+	}
+	return Decision{
+		Shape:           shape.String(),
+		Config:          cfgs[idx].String(),
+		Index:           idx,
+		KernelID:        cfgs[idx].KernelID(),
+		PredictedGFLOPS: chosen,
+		PredictedNorm:   norm,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HTTP layer
+// ---------------------------------------------------------------------------
+
+// shapeRequest is the wire form of one GEMM shape.
+type shapeRequest struct {
+	M int `json:"m"`
+	K int `json:"k"`
+	N int `json:"n"`
+}
+
+func (r shapeRequest) shape() (gemm.Shape, error) {
+	s := gemm.Shape{M: r.M, K: r.K, N: r.N}
+	if err := s.Validate(); err != nil {
+		return gemm.Shape{}, err
+	}
+	return s, nil
+}
+
+type batchRequest struct {
+	Shapes []shapeRequest `json:"shapes"`
+}
+
+type batchResponse struct {
+	Results []Decision `json:"results"`
+}
+
+type configsResponse struct {
+	Selector  string   `json:"selector"`
+	Count     int      `json:"count"`
+	Configs   []string `json:"configs"`
+	KernelIDs []string `json:"kernel_ids"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's full HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/select", s.instrument("select", true, s.handleSelect))
+	mux.HandleFunc("POST /v1/select/batch", s.instrument("batch", true, s.handleBatch))
+	mux.HandleFunc("GET /v1/configs", s.instrument("configs", false, s.handleConfigs))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// statusWriter records the status code a handler commits.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the serving spine: optional in-flight
+// admission (shedding 429 when saturated), a per-request deadline, and
+// counter/latency accounting.
+func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if limited {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.metrics.shed.Add(1)
+				s.metrics.endpoint(endpoint).observe(http.StatusTooManyRequests, 0)
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server saturated"})
+				return
+			}
+		}
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		s.metrics.endpoint(endpoint).observe(sw.code, time.Since(start))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req shapeRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	shape, err := req.shape()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.decide(shape))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if len(req.Shapes) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch has no shapes"})
+		return
+	}
+	if len(req.Shapes) > s.opts.MaxBatch {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("batch of %d shapes exceeds limit %d", len(req.Shapes), s.opts.MaxBatch),
+		})
+		return
+	}
+	shapes := make([]gemm.Shape, len(req.Shapes))
+	for i, sr := range req.Shapes {
+		shape, err := sr.shape()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("shape %d: %v", i, err),
+			})
+			return
+		}
+		shapes[i] = shape
+	}
+
+	ctx := r.Context()
+	results := par.Map(s.opts.Workers, len(shapes), func(i int) Decision {
+		if ctx.Err() != nil {
+			return Decision{} // deadline hit: stop pricing, the request is void
+		}
+		return s.decide(shapes[i])
+	})
+	if ctx.Err() != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request deadline exceeded"})
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Results: results})
+}
+
+func (s *Server) handleConfigs(w http.ResponseWriter, _ *http.Request) {
+	resp := configsResponse{
+		Selector: s.lib.SelectorName(),
+		Count:    len(s.lib.Configs),
+	}
+	for _, c := range s.lib.Configs {
+		resp.Configs = append(resp.Configs, c.String())
+		resp.KernelIDs = append(resp.KernelIDs, c.KernelID())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	hits, misses := s.cache.stats()
+	var b strings.Builder
+	s.metrics.render(&b, s.lib.SelectorName(), hits, misses, s.cache.len())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, b.String())
+}
+
+// decodeBody parses a JSON request body, rejecting unknown fields and
+// trailing garbage so malformed clients fail loudly.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("trailing data after request body")
+	}
+	return nil
+}
