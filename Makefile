@@ -12,7 +12,7 @@ SMOKE_FUZZTIME ?= 5s
 # Minimum acceptable total statement coverage, in percent.
 COVER_FLOOR ?= 70
 
-.PHONY: build test race vet bench fuzz fuzz-smoke cover check
+.PHONY: build test race race-serve vet bench fuzz fuzz-smoke cover check
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ test:
 # race detector's ~10x slowdown that needs more than the default 10m.
 race:
 	$(GO) test -race -timeout 45m ./...
+
+# Fast, targeted race pass over the serving daemon and the shared pricing
+# cache — the two concurrency-heavy packages — so check gets race signal in
+# seconds before the full-repo `race` sweep.
+race-serve:
+	$(GO) test -race ./internal/serve ./internal/sim
 
 vet:
 	$(GO) vet ./...
@@ -54,4 +60,4 @@ cover:
 		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; \
 	fi
 
-check: build vet test race fuzz-smoke cover
+check: build vet test race-serve race fuzz-smoke cover

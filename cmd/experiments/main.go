@@ -3,9 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-only fig1|fig2|fig3|fig4|table1|latency|importance|ablations]
+//	experiments [-only fig1|fig2|fig3|fig4|table1|latency|importance|ablations|portability]
 //	            [-device r9nano|gen9|mali] [-seed 42] [-md REPORT.md] [-svg figures]
-//	            [-workers N] [-bench-json out.json]
+//	            [-workers N] [-portability] [-bench-json out.json]
+//
+// -portability adds the cross-device transfer study (all three devices) to
+// the output: a text/markdown section and, with -svg, fig5-portability.svg.
 package main
 
 import (
@@ -20,17 +23,19 @@ import (
 
 	"kernelselect/internal/device"
 	"kernelselect/internal/experiments"
+	"kernelselect/internal/portability"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
-	only := flag.String("only", "", "run a single experiment: fig1, fig2, fig3, fig4, table1, latency, importance or ablations")
+	only := flag.String("only", "", "run a single experiment: fig1, fig2, fig3, fig4, table1, latency, importance, ablations or portability")
 	devName := flag.String("device", "r9nano", "device model: r9nano, gen9 or mali")
 	seed := flag.Uint64("seed", experiments.DefaultSeed, "experiment seed")
 	mdPath := flag.String("md", "", "write a full markdown report to this path instead of printing")
 	svgDir := flag.String("svg", "", "also render fig1.svg…fig4.svg into this directory")
 	workers := flag.Int("workers", 0, "worker pool size for every pipeline stage (0 = GOMAXPROCS)")
+	portable := flag.Bool("portability", false, "include the cross-device transfer study (all three devices)")
 	benchJSON := flag.String("bench-json", "", "time Setup and RunAll at 1 and N workers, write JSON to this path and exit")
 	flag.Parse()
 
@@ -56,6 +61,16 @@ func main() {
 	}
 
 	env := experiments.Setup(cfg)
+	var portSection string
+	if *portable || *only == "portability" {
+		res := env.Portability()
+		portSection = experiments.RenderPortability(res)
+		if *svgDir != "" {
+			if err := experiments.WritePortabilitySVG(res, *svgDir); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 	if *svgDir != "" {
 		if err := env.WriteSVGs(*svgDir); err != nil {
 			log.Fatal(err)
@@ -63,11 +78,15 @@ func main() {
 		log.Printf("wrote figures to %s", *svgDir)
 	}
 	if *mdPath != "" {
+		var extras []string
+		if portSection != "" {
+			extras = append(extras, portSection)
+		}
 		f, err := os.Create(*mdPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := experiments.WriteMarkdownReport(f, env); err != nil {
+		if err := experiments.WriteMarkdownReport(f, env, extras...); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -104,6 +123,9 @@ func main() {
 	if *only == "ablations" {
 		fmt.Println(experiments.RenderAblations(env))
 	}
+	if portSection != "" {
+		fmt.Println(portSection)
+	}
 }
 
 // benchEntry is one machine-readable timing sample.
@@ -115,11 +137,12 @@ type benchEntry struct {
 
 // benchReport is the -bench-json payload.
 type benchReport struct {
-	Device        string       `json:"device"`
-	Seed          uint64       `json:"seed"`
-	GOMAXPROCS    int          `json:"gomaxprocs"`
-	RunAllSpeedup float64      `json:"runall_speedup"`
-	Entries       []benchEntry `json:"entries"`
+	Device             string       `json:"device"`
+	Seed               uint64       `json:"seed"`
+	GOMAXPROCS         int          `json:"gomaxprocs"`
+	RunAllSpeedup      float64      `json:"runall_speedup"`
+	PortabilitySpeedup float64      `json:"portability_speedup"`
+	Entries            []benchEntry `json:"entries"`
 }
 
 // writeBenchJSON times Setup once and RunAll at 1 worker and at the
@@ -156,6 +179,21 @@ func writeBenchJSON(cfg experiments.Config, path string) error {
 		rep.RunAllSpeedup = seq / par
 	}
 	log.Printf("runall speedup at %d workers: %.2fx", n, rep.RunAllSpeedup)
+
+	// Portability: Setup prices all three devices (cold caches, n workers),
+	// then the transfer grid runs warm at 1 worker and at n.
+	var pe *portability.Env
+	measure("port-setup", n, func() {
+		pe = portability.Setup(portability.Config{Seed: cfg.Seed, Workers: n})
+	})
+	pe.Cfg.Workers = 1
+	seqP := measure("portability", 1, func() { pe.Run() })
+	pe.Cfg.Workers = n
+	parP := measure("portability", n, func() { pe.Run() })
+	if parP > 0 {
+		rep.PortabilitySpeedup = seqP / parP
+	}
+	log.Printf("portability speedup at %d workers: %.2fx", n, rep.PortabilitySpeedup)
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -2,19 +2,24 @@
 // form of the paper's pipeline, answering "which kernel configuration for
 // this GEMM shape?" from a pruned library and trained selector.
 //
-// The library comes from a persisted artifact (-library, written by -save or
-// core.SaveLibrary) or is trained in-process from the device model. The
-// selector backend is pluggable (-selector tree|forest|1nn|3nn|linear-svm|
-// radial-svm|static), so two selectd instances behind a traffic split A/B
-// test the Table-I classifiers; -selector-file swaps in a selector-only
-// artifact over the same kernel set.
+// The daemon hosts one backend per device model (-devices r9nano,gen9,mali;
+// the first is the default route), each with its own library and decision
+// cache, so a single process serves a heterogeneous fleet and requests pick
+// their target with a "device" field. The default device's library comes
+// from a persisted artifact (-library, written by -save or
+// core.SaveLibrary) or is trained in-process from the device model; the
+// other devices always train in-process. The selector backend is pluggable
+// (-selector tree|forest|1nn|3nn|linear-svm|radial-svm), so two selectd
+// instances behind a traffic split A/B test the Table-I classifiers;
+// -selector-file swaps in a selector-only artifact over the same kernel set.
 //
 // Endpoints:
 //
-//	POST /v1/select        {"m":3136,"k":576,"n":128} → chosen config + predicted performance
-//	POST /v1/select/batch  {"shapes":[...]} → one decision per shape, priced concurrently
-//	GET  /v1/configs       the compiled-in kernel set and selector
-//	GET  /metrics          Prometheus text: request counters, latency histograms, cache hit rate
+//	POST /v1/select        {"m":3136,"k":576,"n":128,"device":"gen9"} → chosen config + predicted performance
+//	POST /v1/select/batch  {"device":"...","shapes":[...]} → one decision per shape, priced concurrently
+//	GET  /v1/configs       the served kernel set and selector (?device= picks a backend)
+//	GET  /v1/devices       hosted device backends and the default route
+//	GET  /metrics          Prometheus text: request counters, latency histograms, per-device cache hit rates
 //	GET  /healthz          200 ok; 503 once draining
 //
 // SIGINT/SIGTERM starts a graceful drain: healthz flips to 503, in-flight
@@ -22,7 +27,7 @@
 //
 // Usage:
 //
-//	selectd [-addr :8080] [-library lib.json] [-selector tree] [-n 8] [-seed 42] ...
+//	selectd [-addr :8080] [-devices r9nano,gen9] [-library lib.json] [-selector tree] [-n 8] [-seed 42] ...
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -52,16 +58,16 @@ func main() {
 	log.SetPrefix("selectd: ")
 
 	addr := flag.String("addr", ":8080", "listen address")
-	libPath := flag.String("library", "", "persisted library artifact (default: train in-process)")
-	selFile := flag.String("selector-file", "", "selector-only artifact to dispatch with (overrides the library's selector)")
+	libPath := flag.String("library", "", "persisted library artifact for the default device (default: train in-process)")
+	selFile := flag.String("selector-file", "", "selector-only artifact for the default device (overrides the library's selector)")
 	selName := flag.String("selector", "tree", "in-process selector backend: tree, forest, 1nn, 3nn, linear-svm, radial-svm")
 	prName := flag.String("pruner", "decision-tree", "in-process pruning method: top-n, k-means, hdbscan, pca+k-means, decision-tree, greedy-cover")
 	n := flag.Int("n", 8, "library size when training in-process")
 	seed := flag.Uint64("seed", 42, "training seed")
-	devName := flag.String("device", "r9nano", "device model: r9nano, gen9 or mali")
-	savePath := flag.String("save", "", "write the served library artifact to this path and continue")
+	devNames := flag.String("devices", "r9nano", "comma-separated device models to serve (r9nano, gen9, mali); the first is the default route")
+	savePath := flag.String("save", "", "write the default device's library artifact to this path and continue")
 
-	cacheSize := flag.Int("cache", 4096, "decision-cache capacity (0 disables)")
+	cacheSize := flag.Int("cache", 4096, "decision-cache capacity per device (0 disables)")
 	cacheShards := flag.Int("cache-shards", 16, "decision-cache shards")
 	maxInFlight := flag.Int("max-inflight", 256, "concurrent select/batch requests before shedding 429")
 	maxBatch := flag.Int("max-batch", 1024, "shapes per batch request")
@@ -70,36 +76,62 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
 	flag.Parse()
 
-	dev, err := deviceFor(*devName)
+	specs, err := devicesFor(*devNames)
 	if err != nil {
 		log.Fatal(err)
 	}
-	model := sim.New(dev)
 
-	lib, err := buildLibrary(*libPath, *selName, *prName, *n, *seed, model)
+	trainer, err := trainerFor(*selName)
 	if err != nil {
 		log.Fatal(err)
 	}
+	pruner, err := prunerFor(*prName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One backend per device. The default (first) device may load its
+	// library from an artifact — validated against the device tag — while
+	// secondary devices always train in-process from their own models: a
+	// library trained for one device is not portable to another (that gap is
+	// what the portability study measures).
+	backends := make([]serve.Backend, len(specs))
+	for i, spec := range specs {
+		model := sim.New(spec)
+		var lib *core.Library
+		if i == 0 && *libPath != "" {
+			lib, err = loadLibrary(*libPath, spec.Name)
+		} else {
+			lib, err = trainLibrary(model, pruner, trainer, *n, *seed)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		backends[i] = serve.Backend{Device: spec.Name, Lib: lib, Model: model}
+	}
+
 	if *selFile != "" {
 		f, err := os.Open(*selFile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sel, err := core.LoadSelector(f)
+		sel, err := core.LoadSelectorForDevice(f, specs[0].Name)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
-		if lib, err = lib.WithSelector(sel); err != nil {
+		lib, err := backends[0].Lib.WithSelector(sel)
+		if err != nil {
 			log.Fatal(err)
 		}
+		backends[0].Lib = lib
 	}
 	if *savePath != "" {
 		f, err := os.Create(*savePath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := core.SaveLibrary(f, lib); err != nil {
+		if err := core.SaveLibraryForDevice(f, backends[0].Lib, specs[0].Name); err != nil {
 			f.Close()
 			log.Fatal(err)
 		}
@@ -109,7 +141,7 @@ func main() {
 		log.Printf("saved library artifact to %s", *savePath)
 	}
 
-	srv := serve.New(lib, model, serve.Options{
+	srv, err := serve.NewMulti(backends, serve.Options{
 		CacheSize:      cacheCapacity(*cacheSize),
 		CacheShards:    *cacheShards,
 		MaxInFlight:    *maxInFlight,
@@ -117,6 +149,9 @@ func main() {
 		RequestTimeout: *timeout,
 		Workers:        *workers,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	var draining atomic.Bool
 	srv.SetDrainCheck(draining.Load)
 
@@ -134,8 +169,11 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serving %d configurations with selector %s on %s",
-		len(lib.Configs), lib.SelectorName(), *addr)
+	for _, b := range backends {
+		log.Printf("serving %s: %d configurations with selector %s",
+			b.Device, len(b.Lib.Configs), b.Lib.SelectorName())
+	}
+	log.Printf("listening on %s (default device %s)", *addr, specs[0].Name)
 
 	select {
 	case err := <-errCh:
@@ -180,25 +218,45 @@ func deviceFor(name string) (device.Spec, error) {
 	}
 }
 
-// buildLibrary loads a persisted artifact, or reproduces the paper pipeline
-// in-process: price the 170-shape dataset on the device model, prune, train.
-func buildLibrary(path, selName, prName string, n int, seed uint64, model *sim.Model) (*core.Library, error) {
-	if path != "" {
-		f, err := os.Open(path)
+// devicesFor parses the -devices comma list into unique specs.
+func devicesFor(names string) ([]device.Spec, error) {
+	var specs []device.Spec
+	seen := map[string]bool{}
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("device %q listed twice", name)
+		}
+		seen[name] = true
+		spec, err := deviceFor(name)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		return core.LoadLibrary(f)
+		specs = append(specs, spec)
 	}
-	trainer, err := trainerFor(selName)
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no devices in %q", names)
+	}
+	return specs, nil
+}
+
+// loadLibrary reads a persisted artifact, rejecting libraries tagged for a
+// different device.
+func loadLibrary(path, deviceName string) (*core.Library, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	pruner, err := prunerFor(prName)
-	if err != nil {
-		return nil, err
-	}
+	defer f.Close()
+	return core.LoadLibraryForDevice(f, deviceName)
+}
+
+// trainLibrary reproduces the paper pipeline in-process: price the 170-shape
+// dataset on the device model, prune, train.
+func trainLibrary(model *sim.Model, pruner core.Pruner, trainer core.SelectorTrainer, n int, seed uint64) (*core.Library, error) {
 	shapes, _ := workload.DatasetShapes()
 	ds := dataset.Build(model, shapes, gemm.AllConfigs())
 	return core.BuildLibrary(ds, pruner, trainer, n, seed), nil

@@ -76,7 +76,7 @@ func TestBuildLibraryFromArtifact(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	loaded, err := buildLibrary(path, "", "", 0, 0, model)
+	loaded, err := loadLibrary(path, device.R9Nano().Name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,50 @@ func TestBuildLibraryFromArtifact(t *testing.T) {
 		}
 	}
 
-	if _, err := buildLibrary(filepath.Join(t.TempDir(), "missing.json"), "", "", 0, 0, model); err == nil {
+	if _, err := loadLibrary(filepath.Join(t.TempDir(), "missing.json"), ""); err == nil {
 		t.Error("missing artifact accepted")
+	}
+}
+
+// A device-tagged artifact must refuse to load for a different device, and
+// load cleanly for its own.
+func TestLoadLibraryDeviceTag(t *testing.T) {
+	model := sim.New(device.IntegratedGen9())
+	shapes := []gemm.Shape{{M: 8, K: 8, N: 8}, {M: 64, K: 64, N: 64}, {M: 256, K: 256, N: 256}}
+	ds := dataset.Build(model, shapes, gemm.AllConfigs()[:40])
+	lib := core.BuildLibrary(ds, core.TopN{}, core.DecisionTreeSelector{}, 4, 42)
+
+	path := filepath.Join(t.TempDir(), "gen9.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SaveLibraryForDevice(f, lib, device.IntegratedGen9().Name); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := loadLibrary(path, device.IntegratedGen9().Name); err != nil {
+		t.Fatalf("own device rejected: %v", err)
+	}
+	if _, err := loadLibrary(path, device.R9Nano().Name); err == nil {
+		t.Fatal("foreign device tag accepted")
+	}
+}
+
+func TestDevicesForParsing(t *testing.T) {
+	specs, err := devicesFor("r9nano, gen9,mali")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 || specs[0].Name != device.R9Nano().Name {
+		t.Fatalf("parsed %d specs, first %q", len(specs), specs[0].Name)
+	}
+	for _, bad := range []string{"", " , ", "r9nano,martian", "gen9,gen9"} {
+		if _, err := devicesFor(bad); err == nil {
+			t.Errorf("devicesFor(%q): expected error", bad)
+		}
 	}
 }

@@ -29,17 +29,28 @@ import (
 // selector must accept: gemm.Shape.Features() returns (M, K, N).
 var numShapeFeatures = len(gemm.Shape{}.Features())
 
-// libraryFile is the on-disk format of a full library.
+// libraryFile is the on-disk format of a full library. Device records which
+// device model the library was tuned for ("" on untagged artifacts predating
+// the field); Features records the selector's training feature width (0 on
+// old artifacts, meaning the shape-feature default). Both are validated at
+// load so a library pruned for one device is never silently served for
+// another, and a selector trained on augmented features is never fed plain
+// shape vectors.
 type libraryFile struct {
 	Version  int             `json:"version"`
+	Device   string          `json:"device,omitempty"`
+	Features int             `json:"features,omitempty"`
 	Configs  []string        `json:"configs"`
 	Selector string          `json:"selector"`
 	Payload  json.RawMessage `json:"payload"`
 }
 
-// selectorFile is the on-disk format of a selector-only artifact.
+// selectorFile is the on-disk format of a selector-only artifact. Device and
+// Features follow the libraryFile conventions.
 type selectorFile struct {
 	Version  int             `json:"version"`
+	Device   string          `json:"device,omitempty"`
+	Features int             `json:"features,omitempty"`
 	Selector string          `json:"selector"`
 	Payload  json.RawMessage `json:"payload"`
 }
@@ -92,16 +103,57 @@ func encodeSelector(sel Selector) (kind string, payload any, err error) {
 	}
 }
 
-// decodeSelector inverts encodeSelector and validates the decoded model so
-// that Select can never panic on a malformed artifact.
-func decodeSelector(kind string, payload json.RawMessage) (Selector, error) {
+// selectorWidth reports the feature width a trained selector expects, via
+// the NumFeatures plumbing of the ML packages; selectors that do not record
+// a width (static, pre-field artifacts) default to the shape-feature width.
+func selectorWidth(sel Selector) int {
+	var n int
+	switch s := sel.(type) {
+	case treeSelector:
+		n = s.c.NumFeatures()
+	case forestSelector:
+		n = s.f.NumFeatures()
+	case knnSelector:
+		n = s.c.NumFeatures()
+	case linearSVMSelector:
+		n = s.m.NumFeatures()
+	case radialSVMSelector:
+		n = s.m.NumFeatures()
+	}
+	if n <= 0 {
+		return numShapeFeatures
+	}
+	return n
+}
+
+// checkArtifactHeader validates the device tag and feature width common to
+// both artifact kinds. wantDevice "" accepts any tag (and untagged files);
+// otherwise a non-empty tag must match. The feature width must be the shape
+// width: the runtime dispatch feeds selectors (M, K, N) vectors, so an
+// artifact trained on wider (e.g. device-augmented) features would index out
+// of range at predict time.
+func checkArtifactHeader(kind string, device, wantDevice string, features int) error {
+	if wantDevice != "" && device != "" && device != wantDevice {
+		return fmt.Errorf("core: %s artifact is tagged for device %q, want %q", kind, device, wantDevice)
+	}
+	if features != 0 && features != numShapeFeatures {
+		return fmt.Errorf("core: %s artifact selector expects %d features; shape dispatch provides %d",
+			kind, features, numShapeFeatures)
+	}
+	return nil
+}
+
+// decodeSelector inverts encodeSelector and validates the decoded model
+// against the expected feature width so that Select can never panic on a
+// malformed artifact.
+func decodeSelector(kind string, payload json.RawMessage, numFeatures int) (Selector, error) {
 	switch kind {
 	case kindTree:
 		var c tree.Classifier
 		if err := json.Unmarshal(payload, &c); err != nil {
 			return nil, fmt.Errorf("core: decoding tree selector: %w", err)
 		}
-		if err := c.Validate(numShapeFeatures); err != nil {
+		if err := c.Validate(numFeatures); err != nil {
 			return nil, fmt.Errorf("core: invalid tree selector: %w", err)
 		}
 		return treeSelector{c: &c}, nil
@@ -110,7 +162,7 @@ func decodeSelector(kind string, payload json.RawMessage) (Selector, error) {
 		if err := json.Unmarshal(payload, &fc); err != nil {
 			return nil, fmt.Errorf("core: decoding forest selector: %w", err)
 		}
-		if err := fc.Validate(numShapeFeatures); err != nil {
+		if err := fc.Validate(numFeatures); err != nil {
 			return nil, fmt.Errorf("core: invalid forest selector: %w", err)
 		}
 		return forestSelector{f: &fc}, nil
@@ -122,7 +174,7 @@ func decodeSelector(kind string, payload json.RawMessage) (Selector, error) {
 		if p.Model == nil {
 			return nil, fmt.Errorf("core: knn selector payload missing model")
 		}
-		if err := p.Model.Validate(numShapeFeatures); err != nil {
+		if err := p.Model.Validate(numFeatures); err != nil {
 			return nil, fmt.Errorf("core: invalid knn selector: %w", err)
 		}
 		return knnSelector{c: p.Model, name: p.Name}, nil
@@ -134,12 +186,12 @@ func decodeSelector(kind string, payload json.RawMessage) (Selector, error) {
 		if p.Model == nil || p.Scaler == nil {
 			return nil, fmt.Errorf("core: linear-svm selector payload incomplete")
 		}
-		if err := p.Model.Validate(numShapeFeatures); err != nil {
+		if err := p.Model.Validate(numFeatures); err != nil {
 			return nil, fmt.Errorf("core: invalid linear-svm selector: %w", err)
 		}
-		if len(p.Scaler.Means) != numShapeFeatures || len(p.Scaler.Stds) != numShapeFeatures {
+		if len(p.Scaler.Means) != numFeatures || len(p.Scaler.Stds) != numFeatures {
 			return nil, fmt.Errorf("core: linear-svm scaler fitted on %d/%d features, want %d",
-				len(p.Scaler.Means), len(p.Scaler.Stds), numShapeFeatures)
+				len(p.Scaler.Means), len(p.Scaler.Stds), numFeatures)
 		}
 		return linearSVMSelector{m: p.Model, sc: p.Scaler}, nil
 	case kindRadialSVM:
@@ -147,7 +199,7 @@ func decodeSelector(kind string, payload json.RawMessage) (Selector, error) {
 		if err := json.Unmarshal(payload, &m); err != nil {
 			return nil, fmt.Errorf("core: decoding radial-svm selector: %w", err)
 		}
-		if err := m.Validate(numShapeFeatures); err != nil {
+		if err := m.Validate(numFeatures); err != nil {
 			return nil, fmt.Errorf("core: invalid radial-svm selector: %w", err)
 		}
 		return radialSVMSelector{m: &m}, nil
@@ -165,9 +217,15 @@ func decodeSelector(kind string, payload json.RawMessage) (Selector, error) {
 	}
 }
 
-// SaveLibrary writes the library as JSON.
+// SaveLibrary writes the library as JSON with no device tag.
 func SaveLibrary(w io.Writer, lib *Library) error {
-	f := libraryFile{Version: libraryFileVersion}
+	return SaveLibraryForDevice(w, lib, "")
+}
+
+// SaveLibraryForDevice writes the library as JSON tagged with the device it
+// was tuned for, so deployment can refuse to serve it on another device.
+func SaveLibraryForDevice(w io.Writer, lib *Library, deviceName string) error {
+	f := libraryFile{Version: libraryFileVersion, Device: deviceName}
 	for _, c := range lib.Configs {
 		f.Configs = append(f.Configs, c.String())
 	}
@@ -176,6 +234,7 @@ func SaveLibrary(w io.Writer, lib *Library) error {
 		return err
 	}
 	f.Selector = kind
+	f.Features = selectorWidth(lib.selector)
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("core: marshalling selector: %w", err)
@@ -185,14 +244,25 @@ func SaveLibrary(w io.Writer, lib *Library) error {
 	return enc.Encode(f)
 }
 
-// LoadLibrary reads a library written by SaveLibrary.
+// LoadLibrary reads a library written by SaveLibrary, accepting any device
+// tag.
 func LoadLibrary(r io.Reader) (*Library, error) {
+	return LoadLibraryForDevice(r, "")
+}
+
+// LoadLibraryForDevice reads a library written by SaveLibrary or
+// SaveLibraryForDevice and validates its device tag: a non-empty tag must
+// match wantDevice (untagged artifacts are accepted for compatibility).
+func LoadLibraryForDevice(r io.Reader, wantDevice string) (*Library, error) {
 	var f libraryFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
 		return nil, fmt.Errorf("core: decoding library: %w", err)
 	}
 	if f.Version != libraryFileVersion {
 		return nil, fmt.Errorf("core: unsupported library version %d", f.Version)
+	}
+	if err := checkArtifactHeader("library", f.Device, wantDevice, f.Features); err != nil {
+		return nil, err
 	}
 	if len(f.Configs) == 0 {
 		return nil, fmt.Errorf("core: library file has no configurations")
@@ -205,7 +275,7 @@ func LoadLibrary(r io.Reader) (*Library, error) {
 		}
 		configs[i] = cfg
 	}
-	sel, err := decodeSelector(f.Selector, f.Payload)
+	sel, err := decodeSelector(f.Selector, f.Payload, numShapeFeatures)
 	if err != nil {
 		return nil, err
 	}
@@ -214,8 +284,14 @@ func LoadLibrary(r io.Reader) (*Library, error) {
 
 // SaveSelector writes a selector-only artifact: the trained classifier
 // without the kernel set, for swapping the runtime dispatch of an existing
-// library.
+// library. No device tag is recorded.
 func SaveSelector(w io.Writer, sel Selector) error {
+	return SaveSelectorForDevice(w, sel, "")
+}
+
+// SaveSelectorForDevice writes a selector-only artifact tagged with the
+// device whose dataset trained it.
+func SaveSelectorForDevice(w io.Writer, sel Selector, deviceName string) error {
 	kind, payload, err := encodeSelector(sel)
 	if err != nil {
 		return err
@@ -225,13 +301,25 @@ func SaveSelector(w io.Writer, sel Selector) error {
 		return fmt.Errorf("core: marshalling selector: %w", err)
 	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(selectorFile{Version: libraryFileVersion, Selector: kind, Payload: raw})
+	return enc.Encode(selectorFile{
+		Version:  libraryFileVersion,
+		Device:   deviceName,
+		Features: selectorWidth(sel),
+		Selector: kind,
+		Payload:  raw,
+	})
 }
 
-// LoadSelector reads a selector written by SaveSelector. The caller pairs it
-// with a configuration list; out-of-range predictions are clamped by
-// Library.Choose as usual.
+// LoadSelector reads a selector written by SaveSelector, accepting any
+// device tag. The caller pairs it with a configuration list; out-of-range
+// predictions are clamped by Library.Choose as usual.
 func LoadSelector(r io.Reader) (Selector, error) {
+	return LoadSelectorForDevice(r, "")
+}
+
+// LoadSelectorForDevice reads a selector artifact and validates its device
+// tag the way LoadLibraryForDevice does.
+func LoadSelectorForDevice(r io.Reader, wantDevice string) (Selector, error) {
 	var f selectorFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
 		return nil, fmt.Errorf("core: decoding selector: %w", err)
@@ -239,5 +327,8 @@ func LoadSelector(r io.Reader) (Selector, error) {
 	if f.Version != libraryFileVersion {
 		return nil, fmt.Errorf("core: unsupported selector version %d", f.Version)
 	}
-	return decodeSelector(f.Selector, f.Payload)
+	if err := checkArtifactHeader("selector", f.Device, wantDevice, f.Features); err != nil {
+		return nil, err
+	}
+	return decodeSelector(f.Selector, f.Payload, numShapeFeatures)
 }

@@ -143,3 +143,92 @@ type fakeSelector struct{}
 
 func (fakeSelector) Name() string         { return "fake" }
 func (fakeSelector) Select([]float64) int { return 0 }
+
+func TestDeviceTagRoundTrip(t *testing.T) {
+	d := testDataset(t)
+	lib := BuildLibrary(d, DecisionTree{}, DecisionTreeSelector{}, 5, 3)
+
+	var buf bytes.Buffer
+	if err := SaveLibraryForDevice(&buf, lib, "amd-r9-nano"); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	if !strings.Contains(raw, `"device":"amd-r9-nano"`) {
+		t.Fatalf("device tag missing from artifact: %s", raw)
+	}
+	if !strings.Contains(raw, `"features":3`) {
+		t.Fatalf("feature width missing from artifact: %s", raw)
+	}
+
+	// Matching device and the tag-agnostic loader both accept it.
+	if _, err := LoadLibraryForDevice(strings.NewReader(raw), "amd-r9-nano"); err != nil {
+		t.Fatalf("matching device rejected: %v", err)
+	}
+	if _, err := LoadLibrary(strings.NewReader(raw)); err != nil {
+		t.Fatalf("tag-agnostic load rejected: %v", err)
+	}
+	// A different device must be refused.
+	if _, err := LoadLibraryForDevice(strings.NewReader(raw), "integrated-gen9"); err == nil {
+		t.Fatal("library tagged for one device accepted for another")
+	}
+
+	// Untagged artifacts (the pre-tag format) load for any device.
+	var untagged bytes.Buffer
+	if err := SaveLibrary(&untagged, lib); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(untagged.String(), `"device"`) {
+		t.Fatalf("untagged save wrote a device field: %s", untagged.String())
+	}
+	if _, err := LoadLibraryForDevice(bytes.NewReader(untagged.Bytes()), "embedded-mali-g72"); err != nil {
+		t.Fatalf("untagged artifact rejected: %v", err)
+	}
+}
+
+func TestSelectorDeviceTagRoundTrip(t *testing.T) {
+	d := testDataset(t)
+	lib := BuildLibrary(d, DecisionTree{}, KNNSelector{K: 1}, 5, 3)
+
+	var buf bytes.Buffer
+	if err := SaveSelectorForDevice(&buf, lib.selector, "integrated-gen9"); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	if _, err := LoadSelectorForDevice(strings.NewReader(raw), "integrated-gen9"); err != nil {
+		t.Fatalf("matching device rejected: %v", err)
+	}
+	if _, err := LoadSelector(strings.NewReader(raw)); err != nil {
+		t.Fatalf("tag-agnostic load rejected: %v", err)
+	}
+	if _, err := LoadSelectorForDevice(strings.NewReader(raw), "amd-r9-nano"); err == nil {
+		t.Fatal("selector tagged for one device accepted for another")
+	}
+}
+
+// TestRejectsForeignFeatureWidth guards the width check: an artifact whose
+// header claims a non-shape feature width (e.g. a device-augmented selector)
+// must be refused, because the runtime dispatch only supplies (M, K, N).
+func TestRejectsForeignFeatureWidth(t *testing.T) {
+	d := testDataset(t)
+	lib := BuildLibrary(d, DecisionTree{}, DecisionTreeSelector{}, 5, 3)
+	var buf bytes.Buffer
+	if err := SaveLibrary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	doctored := strings.Replace(buf.String(), `"features":3`, `"features":10`, 1)
+	if doctored == buf.String() {
+		t.Fatal("test setup: features field not found to doctor")
+	}
+	if _, err := LoadLibrary(strings.NewReader(doctored)); err == nil {
+		t.Fatal("library claiming 10-wide features accepted for 3-wide dispatch")
+	}
+
+	var sbuf bytes.Buffer
+	if err := SaveSelector(&sbuf, lib.selector); err != nil {
+		t.Fatal(err)
+	}
+	doctored = strings.Replace(sbuf.String(), `"features":3`, `"features":10`, 1)
+	if _, err := LoadSelector(strings.NewReader(doctored)); err == nil {
+		t.Fatal("selector claiming 10-wide features accepted for 3-wide dispatch")
+	}
+}

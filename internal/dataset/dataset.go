@@ -59,6 +59,36 @@ func BuildParallel(m *sim.Model, shapes []gemm.Shape, configs []gemm.Config, wor
 	return d
 }
 
+// BuildMulti prices the same (shapes × configs) grid on several device
+// models through one shared worker pool — the cross-device counterpart of
+// BuildParallel. The task list is the flattened (model, shape) row grid, so
+// a slow device's rows do not serialise behind a fast device's, and each
+// model's memoised pricing cache fills exactly once. The returned datasets
+// are row-aligned: dataset d, row i describes the same shape for every d,
+// which is what lets cross-device experiments reuse one train/test split.
+// The result is identical at any worker count.
+func BuildMulti(models []*sim.Model, shapes []gemm.Shape, configs []gemm.Config, workers int) []*PerfDataset {
+	out := make([]*PerfDataset, len(models))
+	for d := range out {
+		out[d] = &PerfDataset{
+			Shapes:  append([]gemm.Shape(nil), shapes...),
+			Configs: append([]gemm.Config(nil), configs...),
+			GFLOPS:  mat.NewDense(len(shapes), len(configs)),
+		}
+	}
+	par.Do(workers, len(models)*len(shapes), func(t int) {
+		d, i := t/len(shapes), t%len(shapes)
+		row := out[d].GFLOPS.Row(i)
+		for j, cfg := range out[d].Configs {
+			row[j] = models[d].GFLOPS(cfg, out[d].Shapes[i])
+		}
+	})
+	for _, ds := range out {
+		ds.normalize()
+	}
+	return out
+}
+
 // Measurer abstracts a live benchmark of one configuration on one shape,
 // returning achieved GFLOPS. It lets tests supply deterministic fakes.
 type Measurer func(cfg gemm.Config, s gemm.Shape) (float64, error)

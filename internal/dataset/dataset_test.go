@@ -288,3 +288,35 @@ func TestSplitExtremeFractionKeepsBothSides(t *testing.T) {
 		t.Fatalf("degenerate split %d/%d", train.NumShapes(), test.NumShapes())
 	}
 }
+
+func TestBuildMultiMatchesPerDeviceBuilds(t *testing.T) {
+	shapes := []gemm.Shape{
+		{M: 3136, K: 576, N: 64}, {M: 1, K: 4096, N: 1000},
+		{M: 784, K: 1152, N: 256}, {M: 196, K: 2304, N: 512},
+	}
+	configs := gemm.AllConfigs()[:60]
+	devs := device.All()
+	models := make([]*sim.Model, len(devs))
+	for i, d := range devs {
+		models[i] = sim.New(d)
+	}
+	for _, workers := range []int{1, 3} {
+		multi := BuildMulti(models, shapes, configs, workers)
+		if len(multi) != len(devs) {
+			t.Fatalf("BuildMulti returned %d datasets for %d devices", len(multi), len(devs))
+		}
+		for d, dev := range devs {
+			single := Build(sim.New(dev), shapes, configs)
+			for i := range shapes {
+				for j := range configs {
+					if multi[d].GFLOPS.At(i, j) != single.GFLOPS.At(i, j) {
+						t.Fatalf("workers=%d device %s: GFLOPS(%d,%d) differs from per-device build", workers, dev.Name, i, j)
+					}
+					if multi[d].Norm.At(i, j) != single.Norm.At(i, j) {
+						t.Fatalf("workers=%d device %s: Norm(%d,%d) differs from per-device build", workers, dev.Name, i, j)
+					}
+				}
+			}
+		}
+	}
+}

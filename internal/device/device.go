@@ -138,3 +138,34 @@ func IntegratedGen9() Spec {
 func All() []Spec {
 	return []Spec{R9Nano(), IntegratedGen9(), EmbeddedMaliG72()}
 }
+
+// ByName returns the built-in device whose Spec.Name matches.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("device: unknown device %q", name)
+}
+
+// NumFeatures is the width of the vector Features returns.
+const NumFeatures = 7
+
+// Features returns the device as an ML feature vector, the cross-device
+// counterpart of gemm.Shape.Features: a selector trained on shape features
+// with these appended can condition its dispatch on the deployment target.
+// The fields chosen are the ones the performance model's regimes pivot on —
+// parallel width, peak throughput, bandwidth, on-chip capacities, and
+// dispatch cost.
+func (s Spec) Features() []float64 {
+	return []float64{
+		float64(s.ComputeUnits),
+		float64(s.EffectiveLanesPerCU()),
+		s.PeakGFLOPS(),
+		s.DRAMBandwidthGB,
+		float64(s.LDSBytesPerCU),
+		float64(s.L2Bytes),
+		s.LaunchOverheadUS,
+	}
+}

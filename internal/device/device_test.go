@@ -1,6 +1,9 @@
 package device
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestAllSpecsValidate(t *testing.T) {
 	for _, s := range All() {
@@ -52,5 +55,40 @@ func TestAllReturnsBenchmarkPlatformFirst(t *testing.T) {
 	all := All()
 	if len(all) != 3 || all[0].Name != "amd-r9-nano" {
 		t.Fatalf("All() = %v", all)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, want := range All() {
+		got, err := ByName(want.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", want.Name, err)
+		}
+		if got != want {
+			t.Fatalf("ByName(%q) returned a different spec", want.Name)
+		}
+	}
+	if _, err := ByName("martian-npu"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestFeaturesWidthAndDistinctness(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range All() {
+		f := s.Features()
+		if len(f) != NumFeatures {
+			t.Fatalf("%s: %d features, want %d", s.Name, len(f), NumFeatures)
+		}
+		for i, v := range f {
+			if v <= 0 {
+				t.Fatalf("%s: feature %d is %v, want positive", s.Name, i, v)
+			}
+		}
+		key := fmt.Sprint(f)
+		if seen[key] {
+			t.Fatalf("%s: feature vector collides with another device", s.Name)
+		}
+		seen[key] = true
 	}
 }

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"kernelselect/internal/plot"
+	"kernelselect/internal/portability"
+)
+
+// Portability runs the cross-device transfer evaluation with this
+// environment's seed, test fraction, and worker pool: N=8 libraries built on
+// every device model, cross-deployed on every other, plus the unified
+// device-feature selector. The single-device Env's dataset is not reused —
+// the portability engine prices all devices through one shared pool — but
+// the seeds line up, so the transfer diagonal reproduces this Env's Table-I
+// cells when the devices match.
+func (e *Env) Portability() portability.Result {
+	return portability.Run(portability.Config{
+		Seed:         e.Cfg.Seed,
+		TestFraction: e.Cfg.TestFraction,
+		N:            8,
+		Workers:      e.Cfg.Workers,
+	})
+}
+
+// RenderPortability renders the transfer study: the headline matrix with the
+// unified selector as an extra row, then the per-pair transfer summary.
+func RenderPortability(r portability.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Portability — cross-device library transfer (N=%d, seed %d)\n", r.N, r.Seed)
+	if hl, ok := r.Headline(); ok {
+		fmt.Fprintf(&b, "Transfer matrix, decision-tree pruning × DecisionTree classifier\n")
+		fmt.Fprintf(&b, "(%% of the deploy device's optimum; rows trained on, columns deployed on)\n")
+		fmt.Fprintf(&b, "%-20s", "trained \\ deployed")
+		for _, d := range r.Devices {
+			fmt.Fprintf(&b, "%19s", d)
+		}
+		fmt.Fprintln(&b)
+		for a, dev := range r.Devices {
+			fmt.Fprintf(&b, "%-20s", dev)
+			for b2 := range r.Devices {
+				fmt.Fprintf(&b, "%19.2f", hl.Cells[a][b2])
+			}
+			fmt.Fprintln(&b)
+		}
+		fmt.Fprintf(&b, "%-20s", "unified")
+		for _, s := range r.Unified {
+			fmt.Fprintf(&b, "%19.2f", s)
+		}
+		fmt.Fprintln(&b)
+		fmt.Fprintf(&b, "(unified: one tree over %d shape+device features dispatching %d configs)\n",
+			r.UnifiedFeatures, r.UnifiedConfigs)
+	}
+	fmt.Fprintf(&b, "\nTransfer summary by pruner × classifier (geomean %%; 100 = lossless)\n")
+	fmt.Fprintf(&b, "%-14s %-18s %10s %10s\n", "pruner", "classifier", "self", "cross")
+	for _, p := range r.Pairs {
+		fmt.Fprintf(&b, "%-14s %-18s %10.2f %10.2f\n",
+			p.Pruner, p.Trainer, p.DiagonalGeoMean(), p.OffDiagonalGeoMean())
+	}
+	return b.String()
+}
+
+// SVGPortability renders the headline transfer matrix (plus the unified
+// selector row) as a heatmap.
+func SVGPortability(r portability.Result) (string, error) {
+	hl, ok := r.Headline()
+	if !ok {
+		return "", fmt.Errorf("experiments: portability result lacks the decision-tree × DecisionTree pair")
+	}
+	rows := append([]string{}, r.Devices...)
+	cells := append([][]float64{}, hl.Cells...)
+	if len(r.Unified) == len(r.Devices) {
+		rows = append(rows, "unified")
+		cells = append(cells, r.Unified)
+	}
+	return plot.HeatMap{
+		Title:   "Portability — % of deploy-device optimum (tree-pruned N=8, tree classifier)",
+		RowAxis: "trained on",
+		ColAxis: "deployed on",
+		Rows:    rows,
+		Cols:    r.Devices,
+		Cells:   cells,
+		W:       860,
+	}.SVG()
+}
+
+// WritePortabilitySVG renders the transfer heatmap into dir (created if
+// needed) as fig5-portability.svg.
+func WritePortabilitySVG(r portability.Result, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	svg, err := SVGPortability(r)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "fig5-portability.svg"), []byte(svg), 0o644)
+}

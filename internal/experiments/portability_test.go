@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kernelselect/internal/portability"
+)
+
+// fakePortability builds a small hand-made Result so render tests do not pay
+// for a full three-device run (portability's own tests cover the numbers).
+func fakePortability() portability.Result {
+	return portability.Result{
+		Devices: []string{"dev-a", "dev-b"},
+		N:       8,
+		Seed:    42,
+		Pairs: []portability.PairMatrix{
+			{Pruner: "decision-tree", Trainer: "DecisionTree",
+				Cells: [][]float64{{98.5, 81.25}, {79, 97}}},
+			{Pruner: "top-n", Trainer: "1NearestNeighbor",
+				Cells: [][]float64{{90, 70}, {65, 88}}},
+		},
+		Unified:         []float64{96.5, 95},
+		UnifiedConfigs:  12,
+		UnifiedFeatures: 10,
+	}
+}
+
+func TestRenderPortability(t *testing.T) {
+	out := RenderPortability(fakePortability())
+	for _, want := range []string{
+		"Portability",
+		"decision-tree pruning × DecisionTree",
+		"trained \\ deployed",
+		"dev-a", "dev-b",
+		"98.50", "81.25",
+		"unified",
+		"10 shape+device features dispatching 12 configs",
+		"self", "cross",
+		"1NearestNeighbor",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered portability missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderPortabilityWithoutHeadlinePair(t *testing.T) {
+	r := fakePortability()
+	r.Pairs = r.Pairs[1:] // drop decision-tree × DecisionTree
+	out := RenderPortability(r)
+	if strings.Contains(out, "trained \\ deployed") {
+		t.Fatal("matrix rendered without the headline pair")
+	}
+	if !strings.Contains(out, "Transfer summary") {
+		t.Fatal("summary table missing")
+	}
+}
+
+func TestWritePortabilitySVG(t *testing.T) {
+	dir := t.TempDir()
+	if err := WritePortabilitySVG(fakePortability(), dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "fig5-portability.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(b)
+	for _, want := range []string{"<svg", "trained on", "deployed on", "unified", "dev-b"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("portability SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGPortabilityRequiresHeadline(t *testing.T) {
+	r := fakePortability()
+	r.Pairs = nil
+	if _, err := SVGPortability(r); err == nil {
+		t.Fatal("expected error without the headline pair")
+	}
+}

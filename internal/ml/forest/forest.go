@@ -41,6 +41,9 @@ func (o Options) withDefaults(numFeatures int) Options {
 type Classifier struct {
 	Trees   []*tree.Classifier
 	Classes int
+	// Features is the training feature width, recorded so persisted
+	// ensembles are self-describing (0 on artifacts predating the field).
+	Features int
 }
 
 // FitClassifier trains the ensemble on x and labels y in [0, classes).
@@ -55,7 +58,7 @@ func FitClassifier(x *mat.Dense, y []int, classes int, opts Options) *Classifier
 	rng := xrand.New(opts.Seed)
 	n := x.Rows()
 
-	f := &Classifier{Classes: classes, Trees: make([]*tree.Classifier, opts.NumTrees)}
+	f := &Classifier{Classes: classes, Trees: make([]*tree.Classifier, opts.NumTrees), Features: x.Cols()}
 	// Bootstrap samples and per-tree seeds come off the shared stream in
 	// tree order — the expensive CART fitting then runs on the worker pool
 	// without touching shared randomness, so the ensemble is bit-identical
@@ -86,6 +89,9 @@ func FitClassifier(x *mat.Dense, y []int, classes int, opts Options) *Classifier
 	})
 	return f
 }
+
+// NumFeatures returns the training feature width (0 when unknown).
+func (f *Classifier) NumFeatures() int { return f.Features }
 
 // Predict returns the majority-vote class for x (smallest class on ties).
 func (f *Classifier) Predict(x []float64) int {

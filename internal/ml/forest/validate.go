@@ -14,6 +14,9 @@ func (f *Classifier) Validate(numFeatures int) error {
 	if len(f.Trees) == 0 {
 		return fmt.Errorf("forest: ensemble has no trees")
 	}
+	if f.Features != 0 && f.Features != numFeatures {
+		return fmt.Errorf("forest: ensemble fitted on %d features, want %d", f.Features, numFeatures)
+	}
 	for i, t := range f.Trees {
 		if t == nil {
 			return fmt.Errorf("forest: tree %d is nil", i)

@@ -37,6 +37,14 @@ func Fit(x *mat.Dense, y []int, classes, k int) *Classifier {
 // Predict returns the majority class among the k nearest training points
 // (Euclidean distance; distance ties resolved by training index, vote ties
 // by smallest class).
+// NumFeatures returns the training feature width (0 on an unfitted model).
+func (c *Classifier) NumFeatures() int {
+	if c.X == nil {
+		return 0
+	}
+	return c.X.Cols()
+}
+
 func (c *Classifier) Predict(x []float64) int {
 	type neighbour struct {
 		d   float64

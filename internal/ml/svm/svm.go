@@ -234,6 +234,14 @@ func (m *Linear) Decision(x []float64) []float64 {
 // Predict returns the class with the largest decision value.
 func (m *Linear) Predict(x []float64) int { return argMax(m.Decision(x)) }
 
+// NumFeatures returns the training feature width (0 on an unfitted model).
+func (m *Linear) NumFeatures() int {
+	if m.W == nil {
+		return 0
+	}
+	return m.W.Cols()
+}
+
 // ---------------------------------------------------------------------------
 // RBF SVM
 // ---------------------------------------------------------------------------
@@ -312,6 +320,14 @@ func (m *RBF) Decision(x []float64) []float64 {
 
 // Predict returns the class with the largest decision value.
 func (m *RBF) Predict(x []float64) int { return argMax(m.Decision(x)) }
+
+// NumFeatures returns the training feature width (0 on an unfitted model).
+func (m *RBF) NumFeatures() int {
+	if m.X == nil {
+		return 0
+	}
+	return m.X.Cols()
+}
 
 func checkLabels(x *mat.Dense, y []int, classes int) {
 	if x.Rows() != len(y) {

@@ -374,6 +374,9 @@ type Classifier struct {
 	Root    *Node
 	Opts    Options
 	Classes int
+	// Features is the training feature width, recorded so persisted
+	// classifiers are self-describing (0 on artifacts predating the field).
+	Features int
 }
 
 type clsTarget struct {
@@ -464,13 +467,17 @@ func FitClassifier(x *mat.Dense, y []int, classes int, opts Options) *Classifier
 	for i := range rows {
 		rows[i] = i
 	}
-	return &Classifier{Root: g.grow(rows), Opts: opts, Classes: classes}
+	return &Classifier{Root: g.grow(rows), Opts: opts, Classes: classes, Features: x.Cols()}
 }
 
 // Predict returns the class for the feature vector x.
 func (c *Classifier) Predict(x []float64) int {
 	return predictNode(c.Root, x).Class
 }
+
+// NumFeatures returns the training feature width (0 when unknown, e.g. a
+// classifier decoded from an artifact written before the field existed).
+func (c *Classifier) NumFeatures() int { return c.Features }
 
 // NumLeaves returns the leaf count.
 func (c *Classifier) NumLeaves() int { return countLeaves(c.Root) }

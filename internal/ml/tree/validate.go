@@ -15,6 +15,9 @@ func (c *Classifier) Validate(numFeatures int) error {
 	if c.Classes <= 0 {
 		return fmt.Errorf("tree: classifier has %d classes", c.Classes)
 	}
+	if c.Features != 0 && c.Features != numFeatures {
+		return fmt.Errorf("tree: classifier fitted on %d features, want %d", c.Features, numFeatures)
+	}
 	return validateNode(c.Root, numFeatures, c.Classes)
 }
 

@@ -1,0 +1,121 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// HeatMap is a matrix chart: Cells[r][c] is drawn at row r, column c on a
+// sequential color ramp, with the value printed inside each cell. Rows and
+// Cols label the axes; RowAxis/ColAxis name them.
+type HeatMap struct {
+	Title   string
+	RowAxis string
+	ColAxis string
+	Rows    []string
+	Cols    []string
+	Cells   [][]float64
+	// VMin/VMax pin the color ramp; when both are zero the ramp spans the
+	// data. Pinning keeps several heatmaps drawn to one scale comparable.
+	VMin, VMax float64
+	W, H       int // default 760×440
+}
+
+// Sequential ramp endpoints: near-surface to the palette's primary blue.
+var (
+	rampLo = [3]int{0xf2, 0xf6, 0xfc}
+	rampHi = [3]int{0x1d, 0x4f, 0x91}
+)
+
+func rampColor(t float64) string {
+	t = math.Max(0, math.Min(1, t))
+	r := int(float64(rampLo[0]) + t*float64(rampHi[0]-rampLo[0]))
+	g := int(float64(rampLo[1]) + t*float64(rampHi[1]-rampLo[1]))
+	b := int(float64(rampLo[2]) + t*float64(rampHi[2]-rampLo[2]))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// SVG renders the heatmap.
+func (c HeatMap) SVG() (string, error) {
+	if len(c.Rows) == 0 || len(c.Cols) == 0 {
+		return "", fmt.Errorf("plot: heatmap needs row and column labels")
+	}
+	if len(c.Cells) != len(c.Rows) {
+		return "", fmt.Errorf("plot: heatmap has %d cell rows for %d row labels", len(c.Cells), len(c.Rows))
+	}
+	for r, row := range c.Cells {
+		if len(row) != len(c.Cols) {
+			return "", fmt.Errorf("plot: heatmap row %d has %d cells for %d column labels", r, len(row), len(c.Cols))
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return "", fmt.Errorf("plot: heatmap row %d contains a non-finite value", r)
+			}
+		}
+	}
+
+	vmin, vmax := c.VMin, c.VMax
+	if vmin == 0 && vmax == 0 {
+		vmin, vmax = math.Inf(1), math.Inf(-1)
+		for _, row := range c.Cells {
+			lo, hi := minMax(row)
+			vmin = math.Min(vmin, lo)
+			vmax = math.Max(vmax, hi)
+		}
+	}
+	if vmin >= vmax {
+		vmin, vmax = vmin-1, vmax+1
+	}
+
+	w, h := c.W, c.H
+	if w <= 0 {
+		w = 760
+	}
+	if h <= 0 {
+		h = 440
+	}
+	// Wider left gutter than the line charts: row labels are device names.
+	const gutL, gutR, gutT, gutB = 150, 36, 72, 48
+	plotW := float64(w - gutL - gutR)
+	plotH := float64(h - gutT - gutB)
+	cellW := plotW / float64(len(c.Cols))
+	cellH := plotH / float64(len(c.Rows))
+
+	var b strings.Builder
+	header(&b, w, h, c.Title)
+	if c.ColAxis != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-size="12" fill="%s">%s</text>`+"\n",
+			float64(gutL)+plotW/2, gutT-28, textSecondary, esc(c.ColAxis))
+	}
+	if c.RowAxis != "" {
+		y := gutT + int(plotH)/2
+		fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" font-size="12" fill="%s" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			y, textSecondary, y, esc(c.RowAxis))
+	}
+	for j, label := range c.Cols {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-size="11" fill="%s">%s</text>`+"\n",
+			float64(gutL)+(float64(j)+0.5)*cellW, gutT-8, textSecondary, esc(label))
+	}
+	for i, label := range c.Rows {
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-size="11" fill="%s">%s</text>`+"\n",
+			gutL-8, float64(gutT)+(float64(i)+0.5)*cellH+4, textSecondary, esc(label))
+	}
+	for i, row := range c.Cells {
+		for j, v := range row {
+			t := (v - vmin) / (vmax - vmin)
+			x := float64(gutL) + float64(j)*cellW
+			y := float64(gutT) + float64(i)*cellH
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="%s" stroke-width="1"><title>%s → %s: %s</title></rect>`+"\n",
+				x, y, cellW, cellH, rampColor(t), surface, esc(c.Rows[i]), esc(c.Cols[j]), trimNum(v))
+			ink := textPrimary
+			if t > 0.55 {
+				ink = surface // dark cell, light ink
+			}
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="12" fill="%s">%s</text>`+"\n",
+				x+cellW/2, y+cellH/2+4, ink, trimNum(v))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}

@@ -1,0 +1,80 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func heatMap() HeatMap {
+	return HeatMap{
+		Title:   "Transfer — test",
+		RowAxis: "trained on",
+		ColAxis: "deployed on",
+		Rows:    []string{"r9nano", "gen9", "mali"},
+		Cols:    []string{"r9nano", "gen9", "mali"},
+		Cells: [][]float64{
+			{98.1, 91.2, 84.3},
+			{90.4, 97.5, 88.6},
+			{83.7, 87.8, 96.9},
+		},
+	}
+}
+
+func TestHeatMapWellFormed(t *testing.T) {
+	svg, err := heatMap().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+	for _, want := range []string{"<svg", "Transfer — test", "trained on", "deployed on", "r9nano", "98.1", "<title>"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// One rect per cell plus the background.
+	if got := strings.Count(svg, "<rect"); got != 10 {
+		t.Fatalf("heatmap has %d rects, want 10", got)
+	}
+}
+
+func TestHeatMapPinnedScale(t *testing.T) {
+	c := heatMap()
+	c.VMin, c.VMax = 0, 100
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+}
+
+func TestHeatMapErrors(t *testing.T) {
+	cases := map[string]HeatMap{
+		"no labels":  {},
+		"row count":  {Rows: []string{"a"}, Cols: []string{"x"}, Cells: [][]float64{{1}, {2}}},
+		"col count":  {Rows: []string{"a"}, Cols: []string{"x", "y"}, Cells: [][]float64{{1}}},
+		"non-finite": {Rows: []string{"a"}, Cols: []string{"x"}, Cells: [][]float64{{nan()}}},
+	}
+	for name, c := range cases {
+		if _, err := c.SVG(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRampColorEndpoints(t *testing.T) {
+	if got := rampColor(0); got != "#f2f6fc" {
+		t.Fatalf("ramp low = %s", got)
+	}
+	if got := rampColor(1); got != "#1d4f91" {
+		t.Fatalf("ramp high = %s", got)
+	}
+	// Out-of-range clamps rather than producing invalid hex.
+	if got := rampColor(2); got != "#1d4f91" {
+		t.Fatalf("ramp clamp = %s", got)
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}

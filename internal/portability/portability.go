@@ -1,0 +1,323 @@
+// Package portability answers the follow-up question the paper's device
+// range begs: does a kernel library pruned and trained on one device
+// transfer to another, or does every deployment target need its own
+// artifact?
+//
+// The engine prices the full tuning dataset on every device through one
+// shared worker pool, builds a pruned library per (pruner, device), trains
+// every classifier on each, and then cross-deploys: the transfer matrix
+// entry (A, B) is the geometric-mean normalized performance — normalized by
+// device B's own per-shape optima — of the library pruned and trained on
+// device A's data when its decisions are executed on device B. The diagonal
+// reproduces the single-device Table-I numbers; the off-diagonal mass is the
+// portability gap.
+//
+// The engine also trains a unified selector: one decision tree over the
+// pooled training rows of all devices, with the device's feature vector
+// (device.Spec.Features) appended to each shape's (M, K, N). Dispatching
+// over the union of the per-device pruned sets, it is the "one artifact for
+// every device" deployment the transfer matrix is compared against.
+//
+// Everything routes through internal/par with scalar seeds and input-order
+// result commitment, so every matrix is bit-identical at any worker count.
+package portability
+
+import (
+	"fmt"
+	"sort"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/mat"
+	"kernelselect/internal/ml/metrics"
+	"kernelselect/internal/ml/tree"
+	"kernelselect/internal/par"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/workload"
+)
+
+// Config parameterises a portability run. Zero fields take defaults that
+// mirror the single-device experiment pipeline (seed 42, 20% test split,
+// N=8 libraries), so the transfer-matrix diagonal lands exactly on the
+// Table-I cells.
+type Config struct {
+	Devices      []device.Spec          // default device.All()
+	Seed         uint64                 // default 42
+	TestFraction float64                // default 0.2
+	N            int                    // per-device library size; default 8
+	Pruners      []core.Pruner          // default core.AllPruners()
+	Trainers     []core.SelectorTrainer // default core.AllSelectorTrainers()
+	Workers      int                    // 0 = GOMAXPROCS
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Devices) == 0 {
+		c.Devices = device.All()
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.TestFraction <= 0 || c.TestFraction >= 1 {
+		c.TestFraction = 0.2
+	}
+	if c.N <= 0 {
+		c.N = 8
+	}
+	if len(c.Pruners) == 0 {
+		c.Pruners = core.AllPruners()
+	}
+	if len(c.Trainers) == 0 {
+		c.Trainers = core.AllSelectorTrainers()
+	}
+	return c
+}
+
+// PairMatrix is the transfer matrix of one pruner×classifier pair:
+// Cells[a][b] is the % of device b's optimum achieved by the library pruned
+// and trained on device a (the paper's Table-I metric, cross-deployed).
+type PairMatrix struct {
+	Pruner  string
+	Trainer string
+	Cells   [][]float64
+}
+
+// Diagonal returns the self-transfer scores (train and deploy on the same
+// device) — the single-device Table-I numbers.
+func (p PairMatrix) Diagonal() []float64 {
+	d := make([]float64, len(p.Cells))
+	for i := range p.Cells {
+		d[i] = p.Cells[i][i]
+	}
+	return d
+}
+
+// DiagonalGeoMean summarises the pair's specialist performance: the
+// geometric mean of the self-transfer scores.
+func (p PairMatrix) DiagonalGeoMean() float64 {
+	return metrics.GeoMean(p.Diagonal())
+}
+
+// OffDiagonalGeoMean summarises the pair's portability: the geometric mean
+// of every cross-device cell. 100 means libraries transfer losslessly.
+func (p PairMatrix) OffDiagonalGeoMean() float64 {
+	var cells []float64
+	for a := range p.Cells {
+		for b := range p.Cells[a] {
+			if a != b {
+				cells = append(cells, p.Cells[a][b])
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return 0
+	}
+	return metrics.GeoMean(cells)
+}
+
+// Result is a full portability evaluation.
+type Result struct {
+	Devices []string // spec names, in Config order
+	N       int
+	Seed    uint64
+
+	// Pairs holds one transfer matrix per pruner×classifier pair, in
+	// (pruner-major, trainer-minor) order.
+	Pairs []PairMatrix
+
+	// Unified is the device-feature-augmented selector's score on each
+	// device, aligned with Devices. UnifiedConfigs is the size of the union
+	// config set it dispatches over, and UnifiedFeatures its feature width.
+	Unified         []float64
+	UnifiedConfigs  int
+	UnifiedFeatures int
+}
+
+// Headline returns the transfer matrix of the paper's recommended
+// deployment pair (decision-tree pruner, DecisionTree classifier), which is
+// the matrix the report and heatmap lead with; ok is false if the run did
+// not include that pair.
+func (r Result) Headline() (PairMatrix, bool) {
+	return r.Pair("decision-tree", "DecisionTree")
+}
+
+// Pair returns the transfer matrix of one pruner×classifier pair.
+func (r Result) Pair(pruner, trainer string) (PairMatrix, bool) {
+	for _, p := range r.Pairs {
+		if p.Pruner == pruner && p.Trainer == trainer {
+			return p, true
+		}
+	}
+	return PairMatrix{}, false
+}
+
+// Env is a prepared cross-device environment: per-device priced datasets
+// with one shared train/test split (the split is row-aligned across devices
+// because every dataset holds the same shapes in the same order).
+type Env struct {
+	Cfg    Config
+	Models []*sim.Model
+	Data   []*dataset.PerfDataset
+	Train  []*dataset.PerfDataset
+	Test   []*dataset.PerfDataset
+}
+
+// Setup prices the tuning dataset on every device through one worker pool
+// and splits each device's copy with the shared seed.
+func Setup(cfg Config) *Env {
+	cfg = cfg.withDefaults()
+	shapes, _ := workload.DatasetShapes()
+	models := make([]*sim.Model, len(cfg.Devices))
+	for i, d := range cfg.Devices {
+		models[i] = sim.New(d)
+	}
+	data := dataset.BuildMulti(models, shapes, gemm.AllConfigs(), cfg.Workers)
+	e := &Env{Cfg: cfg, Models: models, Data: data}
+	e.Train = make([]*dataset.PerfDataset, len(data))
+	e.Test = make([]*dataset.PerfDataset, len(data))
+	for i, ds := range data {
+		e.Train[i], e.Test[i] = ds.Split(cfg.Seed, cfg.TestFraction)
+	}
+	return e
+}
+
+// Run executes the full evaluation: Setup, the pruner×classifier transfer
+// grid, and the unified selector.
+func Run(cfg Config) Result {
+	return Setup(cfg).Run()
+}
+
+// Run computes the transfer matrices and unified-selector scores on a
+// prepared environment.
+func (e *Env) Run() Result {
+	cfg := e.Cfg
+	nd, np, nt := len(cfg.Devices), len(cfg.Pruners), len(cfg.Trainers)
+
+	res := Result{N: cfg.N, Seed: cfg.Seed}
+	for _, d := range cfg.Devices {
+		res.Devices = append(res.Devices, d.Name)
+	}
+
+	// Stage 1 — prune per (pruner, device). Every cell prunes that device's
+	// training split from the scalar seed.
+	selections := par.Map(cfg.Workers, np*nd, func(t int) []int {
+		p, d := t/nd, t%nd
+		return cfg.Pruners[p].Prune(e.Train[d], cfg.N, cfg.Seed)
+	})
+	selFor := func(p, d int) []int { return selections[p*nd+d] }
+
+	// Stage 2 — train per (pruner, trainer, device) and cross-deploy: each
+	// task trains one selector on its home device and scores it on every
+	// deployment device's test split. Scoring against device b's Norm matrix
+	// keeps the metric "percentage of b's own optimum".
+	rows := par.Map(cfg.Workers, np*nt*nd, func(t int) []float64 {
+		p := t / (nt * nd)
+		tr := (t / nd) % nt
+		a := t % nd
+		selected := selFor(p, a)
+		sel := cfg.Trainers[tr].Train(e.Train[a], selected, cfg.Seed)
+		scores := make([]float64, nd)
+		for b := 0; b < nd; b++ {
+			scores[b] = core.SelectorScore(e.Test[b], selected, sel)
+		}
+		return scores
+	})
+	for p := 0; p < np; p++ {
+		for tr := 0; tr < nt; tr++ {
+			m := PairMatrix{Pruner: cfg.Pruners[p].Name(), Trainer: cfg.Trainers[tr].Name()}
+			for a := 0; a < nd; a++ {
+				m.Cells = append(m.Cells, rows[(p*nt+tr)*nd+a])
+			}
+			res.Pairs = append(res.Pairs, m)
+		}
+	}
+
+	// Stage 3 — the unified selector over the union of the headline pruner's
+	// per-device selections (falling back to the first configured pruner if
+	// decision-tree pruning is not in the run).
+	hp := 0
+	for p, pr := range cfg.Pruners {
+		if pr.Name() == "decision-tree" {
+			hp = p
+			break
+		}
+	}
+	union := unionSelections(selections[hp*nd : hp*nd+nd])
+	clf := e.trainUnified(union)
+	res.UnifiedConfigs = len(union)
+	res.UnifiedFeatures = clf.NumFeatures()
+	res.Unified = make([]float64, nd)
+	for b := 0; b < nd; b++ {
+		res.Unified[b] = e.scoreUnified(clf, union, b)
+	}
+	return res
+}
+
+// unionSelections merges per-device selections into one sorted,
+// duplicate-free config index list.
+func unionSelections(sels [][]int) []int {
+	seen := map[int]bool{}
+	var union []int
+	for _, sel := range sels {
+		for _, c := range sel {
+			if !seen[c] {
+				seen[c] = true
+				union = append(union, c)
+			}
+		}
+	}
+	sort.Ints(union)
+	return union
+}
+
+// unifiedFeatures builds the augmented feature vector of one (shape, device)
+// pair: (M, K, N) followed by the device's spec features.
+func unifiedFeatures(s gemm.Shape, d device.Spec) []float64 {
+	return append(s.Features(), d.Features()...)
+}
+
+// trainUnified fits one decision tree on the pooled, device-feature-
+// augmented training rows of every device. Labels are the per-(device,
+// shape) best configuration within the union set, measured on that device's
+// own normalized scores — the direct generalisation of core.TrainLabels.
+func (e *Env) trainUnified(union []int) *tree.Classifier {
+	width := len(gemm.Shape{}.Features()) + device.NumFeatures
+	var total int
+	for _, tr := range e.Train {
+		total += tr.NumShapes()
+	}
+	x := mat.NewDense(total, width)
+	labels := make([]int, total)
+	row := 0
+	for d, tr := range e.Train {
+		for i := 0; i < tr.NumShapes(); i++ {
+			copy(x.Row(row), unifiedFeatures(tr.Shapes[i], e.Cfg.Devices[d]))
+			best := 0
+			for k, c := range union {
+				if tr.Norm.At(i, c) > tr.Norm.At(i, union[best]) {
+					best = k
+				}
+			}
+			labels[row] = best
+			row++
+		}
+	}
+	return tree.FitClassifier(x, labels, len(union), tree.Options{Seed: e.Cfg.Seed})
+}
+
+// scoreUnified evaluates the unified tree on device d's test split: the
+// geometric mean over test shapes of the normalized performance of the union
+// configuration it picks, as % of device d's optimum.
+func (e *Env) scoreUnified(clf *tree.Classifier, union []int, d int) float64 {
+	ts := e.Test[d]
+	scores := make([]float64, ts.NumShapes())
+	for i := range scores {
+		k := clf.Predict(unifiedFeatures(ts.Shapes[i], e.Cfg.Devices[d]))
+		if k < 0 || k >= len(union) {
+			panic(fmt.Sprintf("portability: unified selector returned %d for %d configurations", k, len(union)))
+		}
+		scores[i] = ts.Norm.At(i, union[k])
+	}
+	return 100 * metrics.GeoMean(scores)
+}

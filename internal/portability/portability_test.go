@@ -1,0 +1,106 @@
+package portability_test
+
+import (
+	"reflect"
+	"testing"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/device"
+	"kernelselect/internal/experiments"
+	"kernelselect/internal/portability"
+)
+
+// testConfig keeps runs affordable: one pruner (the headline decision tree),
+// two classifiers, all three devices.
+func testConfig(workers int) portability.Config {
+	return portability.Config{
+		Seed:    42,
+		N:       8,
+		Pruners: []core.Pruner{core.DecisionTree{}},
+		Trainers: []core.SelectorTrainer{
+			core.DecisionTreeSelector{},
+			core.KNNSelector{K: 1},
+		},
+		Workers: workers,
+	}
+}
+
+// The transfer matrices, unified scores, and every other Result field must
+// be bit-identical regardless of the -workers setting.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	serial := portability.Run(testConfig(1))
+	wide := portability.Run(testConfig(5))
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatalf("results differ across worker counts:\nworkers=1: %+v\nworkers=5: %+v", serial, wide)
+	}
+}
+
+// Self-transfer (train and deploy on the same device) is exactly the
+// single-device experiment pipeline, so the diagonal of every transfer
+// matrix must reproduce the corresponding Table-I cell to the last bit.
+func TestSelfTransferDiagonalMatchesTable1(t *testing.T) {
+	cfg := portability.Config{
+		Seed:    42,
+		N:       8,
+		Pruners: []core.Pruner{core.DecisionTree{}},
+		Workers: 4, // all six trainers (the default) to cover every Table-I row
+	}
+	res := portability.Run(cfg)
+
+	for d, dev := range device.All() {
+		table := experiments.Setup(experiments.Config{
+			Device:  dev,
+			Seed:    42,
+			TableNs: []int{8},
+			Workers: 2,
+		}).Table1()
+		for _, row := range table.Rows {
+			pair, ok := res.Pair("decision-tree", row.Classifier)
+			if !ok {
+				t.Fatalf("portability run missing pair decision-tree × %s", row.Classifier)
+			}
+			if got, want := pair.Cells[d][d], row.Scores[0]; got != want {
+				t.Errorf("%s on %s: diagonal %v != Table-I %v", row.Classifier, dev.Name, got, want)
+			}
+		}
+	}
+}
+
+// The unified selector must be fitted on device-augmented features, dispatch
+// over at least a single device's library, and land in a sane score range on
+// every device.
+func TestUnifiedSelectorShape(t *testing.T) {
+	res := portability.Run(testConfig(4))
+	if got, want := res.UnifiedFeatures, 3+device.NumFeatures; got != want {
+		t.Fatalf("unified selector feature width = %d, want %d", got, want)
+	}
+	if res.UnifiedConfigs < 8 {
+		t.Fatalf("unified union has %d configs, want >= 8", res.UnifiedConfigs)
+	}
+	if len(res.Unified) != len(res.Devices) {
+		t.Fatalf("unified scores cover %d devices, want %d", len(res.Unified), len(res.Devices))
+	}
+	for i, s := range res.Unified {
+		if s <= 0 || s > 100 {
+			t.Errorf("unified score on %s = %v, want in (0, 100]", res.Devices[i], s)
+		}
+	}
+}
+
+// Off-diagonal summaries must be positive and no better than lossless.
+func TestOffDiagonalGeoMean(t *testing.T) {
+	res := portability.Run(testConfig(4))
+	for _, p := range res.Pairs {
+		g := p.OffDiagonalGeoMean()
+		if g <= 0 || g > 100 {
+			t.Errorf("%s × %s: off-diagonal geomean %v out of (0, 100]", p.Pruner, p.Trainer, g)
+		}
+		for a := range p.Cells {
+			for b := range p.Cells[a] {
+				if p.Cells[a][b] <= 0 || p.Cells[a][b] > 100 {
+					t.Errorf("%s × %s: cell[%d][%d] = %v out of (0, 100]", p.Pruner, p.Trainer, a, b, p.Cells[a][b])
+				}
+			}
+		}
+	}
+}

@@ -52,10 +52,18 @@ func newEndpointMetrics() *endpointMetrics {
 }
 
 func (e *endpointMetrics) observe(code int, d time.Duration) {
+	e.observeCode(code)
+	e.latency.observe(d)
+}
+
+// observeCode counts a response without a latency observation. Shed (429)
+// requests use it: they are rejected before any work happens, so recording
+// their ~0s durations would pull the histogram's quantiles toward zero
+// exactly when the server is saturated and real latencies matter most.
+func (e *endpointMetrics) observeCode(code int) {
 	e.mu.Lock()
 	e.byCode[code]++
 	e.mu.Unlock()
-	e.latency.observe(d)
 }
 
 // metrics is the server-wide registry.
@@ -82,12 +90,24 @@ func (m *metrics) endpoint(name string) *endpointMetrics {
 	return e
 }
 
-// render writes the registry in Prometheus text format. cacheHits/Misses and
-// cacheLen come from the decision cache; selector labels the backend.
-func (m *metrics) render(b *strings.Builder, selector string, cacheHits, cacheMisses uint64, cacheLen int) {
-	fmt.Fprintf(b, "# HELP selectd_info Serving daemon metadata.\n")
+// backendStats is one device backend's snapshot for rendering: its selector
+// name and decision-cache counters.
+type backendStats struct {
+	device   string
+	selector string
+	hits     uint64
+	misses   uint64
+	entries  int
+}
+
+// render writes the registry in Prometheus text format, with one info line
+// and one set of cache series per device backend.
+func (m *metrics) render(b *strings.Builder, backends []backendStats) {
+	fmt.Fprintf(b, "# HELP selectd_info Serving daemon metadata, one line per device backend.\n")
 	fmt.Fprintf(b, "# TYPE selectd_info gauge\n")
-	fmt.Fprintf(b, "selectd_info{selector=%q} 1\n", selector)
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_info{selector=%q,device=%q} 1\n", be.selector, be.device)
+	}
 
 	fmt.Fprintf(b, "# HELP selectd_uptime_seconds Time since the server started.\n")
 	fmt.Fprintf(b, "# TYPE selectd_uptime_seconds gauge\n")
@@ -131,15 +151,21 @@ func (m *metrics) render(b *strings.Builder, selector string, cacheHits, cacheMi
 		fmt.Fprintf(b, "selectd_request_seconds_count{endpoint=%q} %d\n", name, e.latency.count.Load())
 	}
 
-	fmt.Fprintf(b, "# HELP selectd_cache_hits_total Decision-cache hits.\n")
+	fmt.Fprintf(b, "# HELP selectd_cache_hits_total Decision-cache hits, by device.\n")
 	fmt.Fprintf(b, "# TYPE selectd_cache_hits_total counter\n")
-	fmt.Fprintf(b, "selectd_cache_hits_total %d\n", cacheHits)
-	fmt.Fprintf(b, "# HELP selectd_cache_misses_total Decision-cache misses.\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_cache_hits_total{device=%q} %d\n", be.device, be.hits)
+	}
+	fmt.Fprintf(b, "# HELP selectd_cache_misses_total Decision-cache misses, by device.\n")
 	fmt.Fprintf(b, "# TYPE selectd_cache_misses_total counter\n")
-	fmt.Fprintf(b, "selectd_cache_misses_total %d\n", cacheMisses)
-	fmt.Fprintf(b, "# HELP selectd_cache_entries Decisions currently cached.\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_cache_misses_total{device=%q} %d\n", be.device, be.misses)
+	}
+	fmt.Fprintf(b, "# HELP selectd_cache_entries Decisions currently cached, by device.\n")
 	fmt.Fprintf(b, "# TYPE selectd_cache_entries gauge\n")
-	fmt.Fprintf(b, "selectd_cache_entries %d\n", cacheLen)
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_cache_entries{device=%q} %d\n", be.device, be.entries)
+	}
 
 	fmt.Fprintf(b, "# HELP selectd_inflight_requests Requests currently being served.\n")
 	fmt.Fprintf(b, "# TYPE selectd_inflight_requests gauge\n")

@@ -1,23 +1,27 @@
 // Package serve is the online half of the paper's pipeline: an HTTP daemon
-// that loads a deployed library artifact (pruned kernel set + trained
+// that loads deployed library artifacts (pruned kernel set + trained
 // selector, see internal/core/persist.go) and answers "which kernel
 // configuration for this GEMM shape?" at serving latency.
 //
-// Production concerns are handled in-process with no external dependencies:
+// A server hosts one selection backend per device model — the cross-device
+// deployment the portability study measures — and routes each query by the
+// request's "device" field (defaulting to the first backend). Production
+// concerns are handled in-process with no external dependencies:
 //
-//   - a sharded LRU decision cache keyed by shape (NN layer shapes repeat
-//     every step, so steady-state traffic is almost all hits);
-//   - per-endpoint request counters and latency histograms plus cache
-//     hit-rate, exposed at GET /metrics in Prometheus text format;
+//   - a sharded LRU decision cache per device (NN layer shapes repeat every
+//     step, so steady-state traffic is almost all hits);
+//   - per-endpoint request counters and latency histograms plus per-device
+//     cache hit-rates, exposed at GET /metrics in Prometheus text format;
 //   - bounded in-flight concurrency with 429 shedding and per-request
-//     deadlines, so overload degrades predictably instead of queueing;
+//     deadlines that abort mid-library pricing, so overload degrades
+//     predictably instead of queueing;
 //   - a draining flag that fails GET /healthz ahead of graceful shutdown,
 //     letting a load balancer rotate the instance out while in-flight
 //     requests finish.
 //
-// The selector backend is whatever the loaded library dispatches with
+// The selector backends are whatever the loaded libraries dispatch with
 // (decision tree, random forest, k-NN, SVM — anything core.LoadLibrary
-// accepts), which makes a pair of selectd processes an A/B harness for the
+// accepts), which makes a single selectd process an A/B harness for the
 // Table-I classifier comparison under real traffic.
 package serve
 
@@ -38,8 +42,8 @@ import (
 
 // Options configure the server. The zero value selects the defaults.
 type Options struct {
-	CacheSize      int           // total cached decisions; default 4096, negative disables
-	CacheShards    int           // LRU shards; default 16
+	CacheSize      int           // cached decisions per device; default 4096, negative disables
+	CacheShards    int           // LRU shards per device; default 16
 	MaxInFlight    int           // concurrent select/batch requests; default 256
 	MaxBatch       int           // shapes per batch request; default 1024
 	RequestTimeout time.Duration // per-request deadline; default 5s
@@ -65,20 +69,37 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server answers kernel-selection queries for one library.
+// Backend pairs one device's deployed library with the device model that
+// prices its decisions. Device is the name clients route by.
+type Backend struct {
+	Device string
+	Lib    *core.Library
+	Model  *sim.Model
+}
+
+// backend is one device's serving state: library, pricing model, and its own
+// decision-cache partition (decisions differ per device, so they must not
+// share entries).
+type backend struct {
+	name  string
+	lib   *core.Library
+	model *sim.Model
+	cache *decisionCache
+}
+
+// Server answers kernel-selection queries for one or more device backends.
 type Server struct {
-	lib      *core.Library
-	model    *sim.Model
+	backends []*backend
+	byName   map[string]*backend
 	opts     Options
-	cache    *decisionCache
 	metrics  *metrics
 	inflight chan struct{}
 	draining func() bool
 }
 
-// New builds a server for the library. The device model prices the library's
-// configurations per shape to report predicted performance next to each
-// decision; it must be non-nil.
+// New builds a single-device server; the backend takes the model's device
+// name. The device model prices the library's configurations per shape to
+// report predicted performance next to each decision; it must be non-nil.
 func New(lib *core.Library, model *sim.Model, opts Options) *Server {
 	if lib == nil {
 		panic("serve: nil library")
@@ -86,16 +107,51 @@ func New(lib *core.Library, model *sim.Model, opts Options) *Server {
 	if model == nil {
 		panic("serve: nil device model")
 	}
+	s, err := NewMulti([]Backend{{Device: model.Dev.Name, Lib: lib, Model: model}}, opts)
+	if err != nil {
+		panic("serve: " + err.Error())
+	}
+	return s
+}
+
+// NewMulti builds a server hosting one backend per device. The first backend
+// is the default route for requests that name no device. Backends must be
+// non-empty with unique, named devices and non-nil libraries and models.
+func NewMulti(backends []Backend, opts Options) (*Server, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("serve: no backends")
+	}
 	opts = opts.withDefaults()
-	return &Server{
-		lib:      lib,
-		model:    model,
+	s := &Server{
+		byName:   make(map[string]*backend, len(backends)),
 		opts:     opts,
-		cache:    newDecisionCache(opts.CacheSize, opts.CacheShards),
 		metrics:  newMetrics(),
 		inflight: make(chan struct{}, opts.MaxInFlight),
 		draining: func() bool { return false },
 	}
+	for i, b := range backends {
+		if b.Device == "" {
+			return nil, fmt.Errorf("serve: backend %d has no device name", i)
+		}
+		if b.Lib == nil {
+			return nil, fmt.Errorf("serve: backend %q has a nil library", b.Device)
+		}
+		if b.Model == nil {
+			return nil, fmt.Errorf("serve: backend %q has a nil device model", b.Device)
+		}
+		if _, dup := s.byName[b.Device]; dup {
+			return nil, fmt.Errorf("serve: duplicate device %q", b.Device)
+		}
+		be := &backend{
+			name:  b.Device,
+			lib:   b.Lib,
+			model: b.Model,
+			cache: newDecisionCache(opts.CacheSize, opts.CacheShards),
+		}
+		s.backends = append(s.backends, be)
+		s.byName[b.Device] = be
+	}
+	return s, nil
 }
 
 // SetDrainCheck installs the callback healthz consults: when it reports
@@ -107,13 +163,35 @@ func (s *Server) SetDrainCheck(f func() bool) {
 	}
 }
 
-// Library exposes the served library (for offline/online agreement checks).
-func (s *Server) Library() *core.Library { return s.lib }
+// Library exposes the default backend's library (for offline/online
+// agreement checks).
+func (s *Server) Library() *core.Library { return s.backends[0].lib }
+
+// Devices lists the hosted device names; the first is the default route.
+func (s *Server) Devices() []string {
+	names := make([]string, len(s.backends))
+	for i, be := range s.backends {
+		names[i] = be.name
+	}
+	return names
+}
+
+// backend resolves a request's device name; empty selects the default.
+func (s *Server) backend(name string) (*backend, error) {
+	if name == "" {
+		return s.backends[0], nil
+	}
+	if be, ok := s.byName[name]; ok {
+		return be, nil
+	}
+	return nil, fmt.Errorf("unknown device %q (serving: %s)", name, strings.Join(s.Devices(), ", "))
+}
 
 // Decision is one answer: the chosen configuration for a shape plus the
 // device model's predicted performance, normalized against the best
 // configuration the library could have picked for that shape.
 type Decision struct {
+	Device          string  `json:"device"`
 	Shape           string  `json:"shape"`
 	Config          string  `json:"config"`
 	Index           int     `json:"index"`
@@ -123,26 +201,37 @@ type Decision struct {
 	Cached          bool    `json:"cached"`
 }
 
-// decide answers one shape, consulting the cache first.
-func (s *Server) decide(shape gemm.Shape) Decision {
-	if d, ok := s.cache.get(shape); ok {
+// decide answers one shape on one backend, consulting its cache first. It
+// fails only when ctx expires mid-computation; aborted decisions are not
+// cached.
+func (s *Server) decide(ctx context.Context, be *backend, shape gemm.Shape) (Decision, error) {
+	if d, ok := be.cache.get(shape); ok {
 		d.Cached = true
-		return d
+		return d, nil
 	}
-	d := s.compute(shape)
-	s.cache.put(shape, d)
-	return d
+	d, err := be.compute(ctx, shape)
+	if err != nil {
+		return Decision{}, err
+	}
+	be.cache.put(shape, d)
+	return d, nil
 }
 
 // compute runs the selector and prices every library configuration on the
 // shape, so the decision carries its predicted normalized performance — the
-// paper's Table-I quantity, per request.
-func (s *Server) compute(shape gemm.Shape) Decision {
-	idx := s.lib.ChooseIndex(shape)
-	cfgs := s.lib.Configs
+// paper's Table-I quantity, per request. The deadline is checked between
+// configurations: pricing the whole library is the handler's only unbounded
+// work, so an expired context aborts here rather than running to completion
+// after the client has given up.
+func (be *backend) compute(ctx context.Context, shape gemm.Shape) (Decision, error) {
+	idx := be.lib.ChooseIndex(shape)
+	cfgs := be.lib.Configs
 	best, chosen := 0.0, 0.0
 	for i, cfg := range cfgs {
-		g := s.model.GFLOPS(cfg, shape)
+		if err := ctx.Err(); err != nil {
+			return Decision{}, err
+		}
+		g := be.model.GFLOPS(cfg, shape)
 		if g > best {
 			best = g
 		}
@@ -155,24 +244,27 @@ func (s *Server) compute(shape gemm.Shape) Decision {
 		norm = chosen / best
 	}
 	return Decision{
+		Device:          be.name,
 		Shape:           shape.String(),
 		Config:          cfgs[idx].String(),
 		Index:           idx,
 		KernelID:        cfgs[idx].KernelID(),
 		PredictedGFLOPS: chosen,
 		PredictedNorm:   norm,
-	}
+	}, nil
 }
 
 // ---------------------------------------------------------------------------
 // HTTP layer
 // ---------------------------------------------------------------------------
 
-// shapeRequest is the wire form of one GEMM shape.
+// shapeRequest is the wire form of one GEMM shape, optionally routed to a
+// named device backend.
 type shapeRequest struct {
-	M int `json:"m"`
-	K int `json:"k"`
-	N int `json:"n"`
+	M      int    `json:"m"`
+	K      int    `json:"k"`
+	N      int    `json:"n"`
+	Device string `json:"device,omitempty"`
 }
 
 func (r shapeRequest) shape() (gemm.Shape, error) {
@@ -183,8 +275,19 @@ func (r shapeRequest) shape() (gemm.Shape, error) {
 	return s, nil
 }
 
+type batchShape struct {
+	M int `json:"m"`
+	K int `json:"k"`
+	N int `json:"n"`
+}
+
+func (r batchShape) shape() (gemm.Shape, error) {
+	return shapeRequest{M: r.M, K: r.K, N: r.N}.shape()
+}
+
 type batchRequest struct {
-	Shapes []shapeRequest `json:"shapes"`
+	Device string       `json:"device,omitempty"`
+	Shapes []batchShape `json:"shapes"`
 }
 
 type batchResponse struct {
@@ -192,10 +295,22 @@ type batchResponse struct {
 }
 
 type configsResponse struct {
+	Device    string   `json:"device"`
 	Selector  string   `json:"selector"`
 	Count     int      `json:"count"`
 	Configs   []string `json:"configs"`
 	KernelIDs []string `json:"kernel_ids"`
+}
+
+type deviceInfo struct {
+	Name     string `json:"name"`
+	Selector string `json:"selector"`
+	Configs  int    `json:"configs"`
+}
+
+type devicesResponse struct {
+	Default string       `json:"default"`
+	Devices []deviceInfo `json:"devices"`
 }
 
 type errorResponse struct {
@@ -208,6 +323,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/select", s.instrument("select", true, s.handleSelect))
 	mux.HandleFunc("POST /v1/select/batch", s.instrument("batch", true, s.handleBatch))
 	mux.HandleFunc("GET /v1/configs", s.instrument("configs", false, s.handleConfigs))
+	mux.HandleFunc("GET /v1/devices", s.instrument("devices", false, s.handleDevices))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -226,7 +342,10 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // instrument wraps a handler with the serving spine: optional in-flight
 // admission (shedding 429 when saturated), a per-request deadline, and
-// counter/latency accounting.
+// counter/latency accounting. Shed requests count toward the status-code
+// counter and selectd_shed_total but not the latency histogram — they do no
+// work, and a flood of zero-duration observations would drag the latency
+// quantiles toward zero exactly when the server is slowest.
 func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if limited {
@@ -235,7 +354,7 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 				defer func() { <-s.inflight }()
 			default:
 				s.metrics.shed.Add(1)
-				s.metrics.endpoint(endpoint).observe(http.StatusTooManyRequests, 0)
+				s.metrics.endpoint(endpoint).observeCode(http.StatusTooManyRequests)
 				writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server saturated"})
 				return
 			}
@@ -258,9 +377,27 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeBodyError maps a decodeBody failure to its status: 413 when the body
+// blew the size cap, 400 for everything else.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+		})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+}
+
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	var req shapeRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	be, err := s.backend(req.Device)
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
@@ -269,12 +406,22 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.decide(shape))
+	d, err := s.decide(r.Context(), be, shape)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request deadline exceeded"})
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	be, err := s.backend(req.Device)
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
@@ -302,10 +449,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	ctx := r.Context()
 	results := par.Map(s.opts.Workers, len(shapes), func(i int) Decision {
-		if ctx.Err() != nil {
+		d, err := s.decide(ctx, be, shapes[i])
+		if err != nil {
 			return Decision{} // deadline hit: stop pricing, the request is void
 		}
-		return s.decide(shapes[i])
+		return d
 	})
 	if ctx.Err() != nil {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request deadline exceeded"})
@@ -314,14 +462,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, batchResponse{Results: results})
 }
 
-func (s *Server) handleConfigs(w http.ResponseWriter, _ *http.Request) {
-	resp := configsResponse{
-		Selector: s.lib.SelectorName(),
-		Count:    len(s.lib.Configs),
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	be, err := s.backend(r.URL.Query().Get("device"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
 	}
-	for _, c := range s.lib.Configs {
+	resp := configsResponse{
+		Device:   be.name,
+		Selector: be.lib.SelectorName(),
+		Count:    len(be.lib.Configs),
+	}
+	for _, c := range be.lib.Configs {
 		resp.Configs = append(resp.Configs, c.String())
 		resp.KernelIDs = append(resp.KernelIDs, c.KernelID())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, _ *http.Request) {
+	resp := devicesResponse{Default: s.backends[0].name}
+	for _, be := range s.backends {
+		resp.Devices = append(resp.Devices, deviceInfo{
+			Name:     be.name,
+			Selector: be.lib.SelectorName(),
+			Configs:  len(be.lib.Configs),
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -335,17 +501,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	hits, misses := s.cache.stats()
+	stats := make([]backendStats, len(s.backends))
+	for i, be := range s.backends {
+		hits, misses := be.cache.stats()
+		stats[i] = backendStats{
+			device:   be.name,
+			selector: be.lib.SelectorName(),
+			hits:     hits,
+			misses:   misses,
+			entries:  be.cache.len(),
+		}
+	}
 	var b strings.Builder
-	s.metrics.render(&b, s.lib.SelectorName(), hits, misses, s.cache.len())
+	s.metrics.render(&b, stats)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprint(w, b.String())
 }
 
 // decodeBody parses a JSON request body, rejecting unknown fields and
-// trailing garbage so malformed clients fail loudly.
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+// trailing garbage so malformed clients fail loudly. The size cap goes
+// through http.MaxBytesReader with the real response writer, so an oversized
+// body closes the connection after the error instead of letting the client
+// stream the rest of an 8 MiB+ payload into a dead request.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("decoding request body: %w", err)

@@ -276,8 +276,8 @@ func TestMetricsPage(t *testing.T) {
 		}
 		last = v
 	}
-	if !strings.Contains(page, "selectd_info{selector=\"DecisionTree\"}") {
-		t.Error("selector label missing from selectd_info")
+	if !strings.Contains(page, `selectd_info{selector="DecisionTree",device="amd-r9-nano"}`) {
+		t.Error("selector/device labels missing from selectd_info")
 	}
 }
 
@@ -310,12 +310,20 @@ func TestShedsAtInFlightLimit(t *testing.T) {
 	if got := metricValue(t, page, `selectd_requests_total{endpoint="select",code="429"}`); got != 1 {
 		t.Errorf("429 count %v, want 1", got)
 	}
+	// Shed requests do no work, so they must not contribute (zero-duration)
+	// observations to the latency histogram: only the admitted 200 counts.
+	if got := metricValue(t, page, `selectd_request_seconds_count{endpoint="select"}`); got != 1 {
+		t.Errorf("latency observations %v, want 1 (sheds must not be observed)", got)
+	}
+	if got := metricValue(t, page, `selectd_request_seconds_bucket{endpoint="select",le="+Inf"}`); got != 1 {
+		t.Errorf("+Inf bucket %v, want 1 (sheds must not be observed)", got)
+	}
 }
 
 func TestBatchDeadlineExceeded(t *testing.T) {
 	_, ts := testServer(t, Options{RequestTimeout: time.Nanosecond})
 	resp := postJSON(t, ts.URL+"/v1/select/batch", batchRequest{
-		Shapes: []shapeRequest{{M: 7, K: 7, N: 7}},
+		Shapes: []batchShape{{M: 7, K: 7, N: 7}},
 	})
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
@@ -325,7 +333,7 @@ func TestBatchDeadlineExceeded(t *testing.T) {
 
 func TestBatchRoundTrip(t *testing.T) {
 	srv, ts := testServer(t, Options{})
-	shapes := []shapeRequest{
+	shapes := []batchShape{
 		{M: 784, K: 1152, N: 256}, {M: 1, K: 4096, N: 1000}, {M: 3136, K: 64, N: 64},
 	}
 	resp := postJSON(t, ts.URL+"/v1/select/batch", batchRequest{Shapes: shapes})
@@ -359,9 +367,9 @@ func TestBatchAgreesWithOfflineOnDataset(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	reqs := make([]shapeRequest, len(shapes))
+	reqs := make([]batchShape, len(shapes))
 	for i, s := range shapes {
-		reqs[i] = shapeRequest{M: s.M, K: s.K, N: s.N}
+		reqs[i] = batchShape{M: s.M, K: s.K, N: s.N}
 	}
 	resp := postJSON(t, ts.URL+"/v1/select/batch", batchRequest{Shapes: reqs})
 	if resp.StatusCode != http.StatusOK {

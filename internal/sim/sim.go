@@ -233,10 +233,18 @@ func (m *Model) Price(cfg gemm.Config, s gemm.Shape) Breakdown {
 		m.cache.hits.Add(1)
 		return b
 	}
-	// Compute outside the lock: pricing is pure, so a concurrent duplicate
-	// computation of the same key stores the identical value.
-	b = m.price(cfg, s)
+	// Double-checked locking: a concurrent first pricing of the same key may
+	// have stored the value between the RUnlock above and the Lock here, so
+	// re-check under the write lock. Exactly one caller computes (and counts
+	// the miss); every other caller of the same key counts a hit, keeping
+	// hits+misses equal to lookups and misses equal to work actually done.
 	sh.mu.Lock()
+	if b, ok = sh.m[key]; ok {
+		sh.mu.Unlock()
+		m.cache.hits.Add(1)
+		return b
+	}
+	b = m.price(cfg, s)
 	sh.m[key] = b
 	sh.mu.Unlock()
 	m.cache.misses.Add(1)
