@@ -12,7 +12,10 @@ SMOKE_FUZZTIME ?= 5s
 # Minimum acceptable total statement coverage, in percent.
 COVER_FLOOR ?= 70
 
-.PHONY: build test race race-serve vet bench fuzz fuzz-smoke cover check
+# Seeds for the chaos sweep (`make chaos`); each seed is one fault schedule.
+CHAOS_SEEDS ?= 12
+
+.PHONY: build test race race-serve vet bench bench-serve fuzz fuzz-smoke cover chaos check
 
 build:
 	$(GO) build ./...
@@ -40,6 +43,19 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
+# Serving-path latency baseline: drive an in-process two-device server with
+# the load generator and write the quantile/degradation report to
+# BENCH_serve.json for cross-change comparison.
+bench-serve:
+	$(GO) run ./cmd/selectload -inprocess -qps 500 -duration 10s -workers 32 -json BENCH_serve.json
+
+# Chaos sweep: the fault-injection suite (seed-driven latency spikes, pricing
+# errors, client cancellations, reload races) across $(CHAOS_SEEDS) seeds
+# under the race detector. A failing seed is printed in the test name and
+# reproduces exactly with CHAOS_BASE=<seed> CHAOS_SEEDS=1.
+chaos:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run '^TestChaos$$' ./internal/serve
+
 # Fuzz the artifact decoders (persisted libraries and selectors are the only
 # untrusted inputs in the system). Go allows one -fuzz pattern per
 # invocation, so each target gets its own run.
@@ -60,4 +76,4 @@ cover:
 		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; \
 	fi
 
-check: build vet test race-serve race fuzz-smoke cover
+check: build vet test race-serve chaos race fuzz-smoke cover

@@ -17,10 +17,26 @@
 //
 //	POST /v1/select        {"m":3136,"k":576,"n":128,"device":"gen9"} → chosen config + predicted performance
 //	POST /v1/select/batch  {"device":"...","shapes":[...]} → one decision per shape, priced concurrently
+//	POST /v1/reload        {"device":"..."} → hot-swap that backend onto a freshly loaded/retrained library
 //	GET  /v1/configs       the served kernel set and selector (?device= picks a backend)
 //	GET  /v1/devices       hosted device backends and the default route
-//	GET  /metrics          Prometheus text: request counters, latency histograms, per-device cache hit rates
-//	GET  /healthz          200 ok; 503 once draining
+//	GET  /metrics          Prometheus text: request counters, latency histograms, per-device cache/budget/degradation series
+//	GET  /healthz          200 ok / 503 draining; body carries per-backend generation, breaker and budget detail
+//
+// Resilience: each backend owns an admission budget (-max-inflight split
+// evenly, overridable per device with -budgets r9nano=64,gen9=16), so a hot
+// device cannot starve the others. When a budget is exhausted, the deadline
+// is too short, or the backend's circuit breaker is open (tripped by
+// -breaker-threshold consecutive pricing failures, half-opening after
+// -breaker-cooldown), requests still answer 200 with the backend's
+// precomputed fallback config and "degraded": true. -shed-latency sets an
+// EWMA latency ceiling above which a backend sheds 429 instead.
+//
+// Reload is atomic: each backend's library/model/cache lives in an immutable
+// generation behind an atomic pointer; POST /v1/reload or SIGHUP (which
+// reloads every device) swaps it without dropping in-flight requests. The
+// default device re-reads -library when set; other devices retrain in
+// process.
 //
 // SIGINT/SIGTERM starts a graceful drain: healthz flips to 503, in-flight
 // requests finish (up to -drain-timeout), then the listener closes.
@@ -39,6 +55,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -69,7 +86,11 @@ func main() {
 
 	cacheSize := flag.Int("cache", 4096, "decision-cache capacity per device (0 disables)")
 	cacheShards := flag.Int("cache-shards", 16, "decision-cache shards")
-	maxInFlight := flag.Int("max-inflight", 256, "concurrent select/batch requests before shedding 429")
+	maxInFlight := flag.Int("max-inflight", 256, "total admission budget, split evenly across device backends")
+	budgetsFlag := flag.String("budgets", "", "per-device budget overrides, e.g. r9nano=64,gen9=16")
+	shedLatency := flag.Duration("shed-latency", 0, "shed 429 when a backend's latency EWMA exceeds this (0 disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive pricing failures that trip a backend to fallback-only")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "how long a tripped breaker stays open before a trial request")
 	maxBatch := flag.Int("max-batch", 1024, "shapes per batch request")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
 	workers := flag.Int("workers", 0, "pricing workers per batch request (0 = GOMAXPROCS)")
@@ -77,6 +98,10 @@ func main() {
 	flag.Parse()
 
 	specs, err := devicesFor(*devNames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budgets, err := parseBudgets(*budgetsFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -142,18 +167,62 @@ func main() {
 	}
 
 	srv, err := serve.NewMulti(backends, serve.Options{
-		CacheSize:      cacheCapacity(*cacheSize),
-		CacheShards:    *cacheShards,
-		MaxInFlight:    *maxInFlight,
-		MaxBatch:       *maxBatch,
-		RequestTimeout: *timeout,
-		Workers:        *workers,
+		CacheSize:        cacheCapacity(*cacheSize),
+		CacheShards:      *cacheShards,
+		MaxInFlight:      *maxInFlight,
+		Budgets:          budgets,
+		ShedLatency:      *shedLatency,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		MaxBatch:         *maxBatch,
+		RequestTimeout:   *timeout,
+		Workers:          *workers,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	var draining atomic.Bool
 	srv.SetDrainCheck(draining.Load)
+
+	// Hot reload: POST /v1/reload and SIGHUP both pull fresh libraries
+	// through this source. The default device re-reads its artifact when one
+	// was given; everything else retrains in-process against its own model.
+	reloadSrc := func(dev string) (*core.Library, *sim.Model, error) {
+		for i, spec := range specs {
+			if spec.Name != dev {
+				continue
+			}
+			if i == 0 && *libPath != "" {
+				lib, err := loadLibrary(*libPath, spec.Name)
+				return lib, nil, err
+			}
+			lib, err := trainLibrary(sim.New(spec), pruner, trainer, *n, *seed)
+			return lib, nil, err
+		}
+		return nil, nil, fmt.Errorf("unknown device %q", dev)
+	}
+	srv.SetReloadSource(reloadSrc)
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			log.Print("SIGHUP: reloading all devices")
+			for _, spec := range specs {
+				lib, model, err := reloadSrc(spec.Name)
+				if err != nil {
+					log.Printf("reload %s: %v", spec.Name, err)
+					continue
+				}
+				id, err := srv.Reload(spec.Name, lib, model)
+				if err != nil {
+					log.Printf("reload %s: %v", spec.Name, err)
+					continue
+				}
+				log.Printf("reloaded %s: generation %d, %d configurations", spec.Name, id, len(lib.Configs))
+			}
+		}
+	}()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -216,6 +285,41 @@ func deviceFor(name string) (device.Spec, error) {
 	default:
 		return device.Spec{}, fmt.Errorf("unknown device %q", name)
 	}
+}
+
+// parseBudgets parses the -budgets flag ("r9nano=64,gen9=16", short device
+// names) into serve.Options.Budgets keyed by full device name.
+func parseBudgets(s string) (map[string]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	budgets := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("budget %q: want device=tokens", part)
+		}
+		spec, err := deviceFor(strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("budget %q: %w", part, err)
+		}
+		tokens, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || tokens < 1 {
+			return nil, fmt.Errorf("budget %q: tokens must be a positive integer", part)
+		}
+		if _, dup := budgets[spec.Name]; dup {
+			return nil, fmt.Errorf("budget for %q set twice", name)
+		}
+		budgets[spec.Name] = tokens
+	}
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("no budgets in %q", s)
+	}
+	return budgets, nil
 }
 
 // devicesFor parses the -devices comma list into unique specs.

@@ -39,6 +39,31 @@ func TestTrainerAndPrunerLookup(t *testing.T) {
 	}
 }
 
+func TestParseBudgets(t *testing.T) {
+	got, err := parseBudgets(" r9nano=64, gen9=16 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{device.R9Nano().Name: 64, device.IntegratedGen9().Name: 16}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("budget[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+
+	if got, err := parseBudgets(""); err != nil || got != nil {
+		t.Errorf("empty flag: %v, %v; want nil, nil", got, err)
+	}
+	for _, bad := range []string{"r9nano", "martian=4", "r9nano=0", "r9nano=-2", "r9nano=x", "r9nano=1,r9nano=2", " , "} {
+		if _, err := parseBudgets(bad); err == nil {
+			t.Errorf("parseBudgets(%q): expected error", bad)
+		}
+	}
+}
+
 func TestCacheCapacityFlagMapping(t *testing.T) {
 	if got := cacheCapacity(0); got != -1 {
 		t.Errorf("cacheCapacity(0) = %d, want -1 (disabled)", got)

@@ -1,0 +1,353 @@
+// Command selectload is a fixed-rate load generator for selectd: it replays
+// the paper's dataset shape mix against a running daemon (or an in-process
+// server with -inprocess) at a target QPS and reports per-device latency
+// quantiles and resilience rates — how much traffic was answered full
+// service, degraded to the fallback config, shed 429, or errored.
+//
+// The shape stream is deterministic in -seed, so two runs against different
+// server builds see the same request sequence and their reports compare
+// directly. Each worker draws the next (shape, device) pair from a hash of
+// the sequence number; the dispatcher paces dispatch with a ticker at the
+// requested rate, so measured latency excludes queueing in the generator
+// itself when the server keeps up, and the report calls out any shortfall
+// between requested and achieved QPS.
+//
+// Usage:
+//
+//	selectload -url http://localhost:8080 -qps 500 -duration 30s [-devices amd-r9-nano,integrated-gen9]
+//	selectload -inprocess -qps 500 -duration 10s -json BENCH_serve.json
+//
+// The -json report is the serving-path benchmark baseline (`make bench-serve`
+// writes BENCH_serve.json): track p50/p95/p99 and the degraded/shed rates
+// across changes to the serving runtime.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/serve"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/workload"
+	"kernelselect/internal/xrand"
+)
+
+type config struct {
+	url      string
+	qps      int
+	duration time.Duration
+	devices  []string // device names to spread traffic over; empty = default route
+	seed     uint64
+	workers  int
+	shapes   int // distinct shapes sampled from the dataset mix; 0 = all
+}
+
+// deviceReport aggregates one device's outcomes. Rates are fractions of the
+// device's request count.
+type deviceReport struct {
+	Device       string  `json:"device"`
+	Requests     int     `json:"requests"`
+	P50Micros    int64   `json:"p50_us"`
+	P95Micros    int64   `json:"p95_us"`
+	P99Micros    int64   `json:"p99_us"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	DegradedRate float64 `json:"degraded_rate"`
+	ShedRate     float64 `json:"shed_rate"`
+	Errors       int     `json:"errors"`
+}
+
+type report struct {
+	RequestedQPS int            `json:"requested_qps"`
+	AchievedQPS  float64        `json:"achieved_qps"`
+	Duration     string         `json:"duration"`
+	Seed         uint64         `json:"seed"`
+	Devices      []deviceReport `json:"devices"`
+}
+
+// sample is one request's outcome, recorded by device.
+type sample struct {
+	device   string
+	latency  time.Duration
+	cached   bool
+	degraded bool
+	shed     bool
+	err      bool
+}
+
+// drawShape deterministically picks the i-th request's shape from the mix.
+func drawShape(seed uint64, i int, shapes []gemm.Shape) gemm.Shape {
+	return shapes[xrand.Hash64(seed, 0x10ad, uint64(i))%uint64(len(shapes))]
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("selectload: ")
+
+	url := flag.String("url", "http://localhost:8080", "selectd base URL")
+	qps := flag.Int("qps", 200, "target request rate")
+	duration := flag.Duration("duration", 5*time.Second, "load duration")
+	devicesFlag := flag.String("devices", "", "comma-separated device names to spread traffic over (empty = server default route)")
+	seed := flag.Uint64("seed", 42, "shape-stream seed")
+	workers := flag.Int("workers", 32, "concurrent request workers")
+	shapes := flag.Int("shapes", 0, "distinct shapes drawn from the dataset mix (0 = all)")
+	jsonPath := flag.String("json", "", "also write the report as JSON to this path")
+	inprocess := flag.Bool("inprocess", false, "benchmark an in-process server instead of -url")
+	flag.Parse()
+
+	cfg := config{
+		url:      *url,
+		qps:      *qps,
+		duration: *duration,
+		seed:     *seed,
+		workers:  *workers,
+		shapes:   *shapes,
+	}
+	for _, d := range strings.Split(*devicesFlag, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			cfg.devices = append(cfg.devices, d)
+		}
+	}
+
+	if *inprocess {
+		ts, names, err := inprocessServer()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ts.Close()
+		cfg.url = ts.URL
+		if len(cfg.devices) == 0 {
+			cfg.devices = names
+		}
+	}
+
+	rep, err := run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(os.Stdout, rep)
+	if *jsonPath != "" {
+		raw, _ := json.MarshalIndent(rep, "", "  ")
+		raw = append(raw, '\n')
+		if err := os.WriteFile(*jsonPath, raw, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonPath)
+	}
+}
+
+// inprocessServer builds a two-device serving stack (R9 Nano + Gen9, each
+// trained in-process over the dataset shape mix) behind httptest, for
+// self-contained serving-path benchmarks.
+func inprocessServer() (*httptest.Server, []string, error) {
+	allShapes, _ := workload.DatasetShapes()
+	configs := gemm.AllConfigs()[:160]
+	var backends []serve.Backend
+	var names []string
+	for _, spec := range []device.Spec{device.R9Nano(), device.IntegratedGen9()} {
+		model := sim.New(spec)
+		ds := dataset.Build(model, allShapes[:24], configs)
+		lib := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 8, 42)
+		backends = append(backends, serve.Backend{Device: spec.Name, Lib: lib, Model: model})
+		names = append(names, spec.Name)
+	}
+	srv, err := serve.NewMulti(backends, serve.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return httptest.NewServer(srv.Handler()), names, nil
+}
+
+// run drives the load and aggregates the report. It is the testable core:
+// main only parses flags and prints.
+func run(cfg config) (report, error) {
+	if cfg.qps < 1 {
+		return report{}, fmt.Errorf("qps %d must be >= 1", cfg.qps)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	shapes, _ := workload.DatasetShapes()
+	if cfg.shapes > 0 && cfg.shapes < len(shapes) {
+		shapes = shapes[:cfg.shapes]
+	}
+	total := int(float64(cfg.qps) * cfg.duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+
+	type decision struct {
+		Cached   bool `json:"cached"`
+		Degraded bool `json:"degraded"`
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	jobs := make(chan int)
+	samples := make(chan sample, total)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				shape := drawShape(cfg.seed, i, shapes)
+				dev := ""
+				if len(cfg.devices) > 0 {
+					dev = cfg.devices[i%len(cfg.devices)]
+				}
+				raw, _ := json.Marshal(map[string]any{
+					"m": shape.M, "k": shape.K, "n": shape.N, "device": dev,
+				})
+				start := time.Now()
+				resp, err := client.Post(cfg.url+"/v1/select", "application/json", bytes.NewReader(raw))
+				smp := sample{device: dev, latency: time.Since(start)}
+				if err != nil {
+					smp.err = true
+					samples <- smp
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var d decision
+					if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+						smp.err = true
+					} else {
+						smp.cached, smp.degraded = d.Cached, d.Degraded
+					}
+				case http.StatusTooManyRequests:
+					smp.shed = true
+				default:
+					smp.err = true
+				}
+				resp.Body.Close()
+				samples <- smp
+			}
+		}()
+	}
+
+	// Fixed-rate dispatch: one job per tick. If all workers are busy the
+	// send blocks and the achieved QPS in the report shows the shortfall.
+	interval := time.Second / time.Duration(cfg.qps)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	ticker := time.NewTicker(interval)
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		<-ticker.C
+		jobs <- i
+	}
+	ticker.Stop()
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(samples)
+
+	// Aggregate per device.
+	byDevice := map[string]*struct {
+		lats                         []time.Duration
+		cached, degraded, shed, errs int
+	}{}
+	order := []string{}
+	for smp := range samples {
+		agg, ok := byDevice[smp.device]
+		if !ok {
+			agg = &struct {
+				lats                         []time.Duration
+				cached, degraded, shed, errs int
+			}{}
+			byDevice[smp.device] = agg
+			order = append(order, smp.device)
+		}
+		agg.lats = append(agg.lats, smp.latency)
+		if smp.cached {
+			agg.cached++
+		}
+		if smp.degraded {
+			agg.degraded++
+		}
+		if smp.shed {
+			agg.shed++
+		}
+		if smp.err {
+			agg.errs++
+		}
+	}
+	sort.Strings(order)
+
+	rep := report{
+		RequestedQPS: cfg.qps,
+		AchievedQPS:  float64(total) / elapsed.Seconds(),
+		Duration:     elapsed.Round(time.Millisecond).String(),
+		Seed:         cfg.seed,
+	}
+	for _, dev := range order {
+		agg := byDevice[dev]
+		n := len(agg.lats)
+		name := dev
+		if name == "" {
+			name = "(default)"
+		}
+		rep.Devices = append(rep.Devices, deviceReport{
+			Device:       name,
+			Requests:     n,
+			P50Micros:    percentile(agg.lats, 50).Microseconds(),
+			P95Micros:    percentile(agg.lats, 95).Microseconds(),
+			P99Micros:    percentile(agg.lats, 99).Microseconds(),
+			CacheHitRate: rate(agg.cached, n),
+			DegradedRate: rate(agg.degraded, n),
+			ShedRate:     rate(agg.shed, n),
+			Errors:       agg.errs,
+		})
+	}
+	return rep, nil
+}
+
+func rate(count, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(count) / float64(total)
+}
+
+// percentile returns the p-th percentile (nearest-rank) of the samples.
+func percentile(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p/100*float64(len(sorted))+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func printReport(w *os.File, rep report) {
+	fmt.Fprintf(w, "qps %d requested, %.1f achieved over %s (seed %d)\n",
+		rep.RequestedQPS, rep.AchievedQPS, rep.Duration, rep.Seed)
+	fmt.Fprintf(w, "%-22s %8s %10s %10s %10s %7s %9s %6s %6s\n",
+		"device", "requests", "p50(us)", "p95(us)", "p99(us)", "hit%", "degraded%", "shed%", "errors")
+	for _, d := range rep.Devices {
+		fmt.Fprintf(w, "%-22s %8d %10d %10d %10d %6.1f%% %8.2f%% %5.2f%% %6d\n",
+			d.Device, d.Requests, d.P50Micros, d.P95Micros, d.P99Micros,
+			d.CacheHitRate*100, d.DegradedRate*100, d.ShedRate*100, d.Errors)
+	}
+}

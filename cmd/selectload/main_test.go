@@ -1,0 +1,110 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"kernelselect/internal/workload"
+)
+
+func TestPercentile(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	lats := []time.Duration{ms(10), ms(20), ms(30), ms(40), ms(50), ms(60), ms(70), ms(80), ms(90), ms(100)}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, ms(50)},
+		{95, ms(100)},
+		{99, ms(100)},
+		{100, ms(100)},
+		{10, ms(10)},
+	}
+	for _, tc := range cases {
+		if got := percentile(lats, tc.p); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(nil) = %v", got)
+	}
+	if got := percentile([]time.Duration{ms(7)}, 99); got != ms(7) {
+		t.Errorf("single-sample p99 = %v", got)
+	}
+}
+
+// The shape stream must be a pure function of (seed, index): identical across
+// runs, different across seeds, and covering the mix.
+func TestShapeStreamDeterminism(t *testing.T) {
+	shapes, _ := workload.DatasetShapes()
+	distinct := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		a := drawShape(42, i, shapes)
+		if b := drawShape(42, i, shapes); a != b {
+			t.Fatalf("index %d: %v vs %v across runs", i, a, b)
+		}
+		distinct[a.String()] = true
+	}
+	if len(distinct) < 20 {
+		t.Errorf("500 draws hit only %d distinct shapes", len(distinct))
+	}
+	diff := 0
+	for i := 0; i < 100; i++ {
+		if drawShape(42, i, shapes) != drawShape(43, i, shapes) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("seed change did not move the shape stream")
+	}
+}
+
+// End-to-end smoke: a short in-process run must deliver every request and
+// produce a coherent report.
+func TestInprocessRun(t *testing.T) {
+	ts, names, err := inprocessServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	cfg := config{
+		url:      ts.URL,
+		qps:      400,
+		duration: 250 * time.Millisecond,
+		devices:  names,
+		seed:     7,
+		workers:  8,
+		shapes:   16,
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Devices) != 2 {
+		t.Fatalf("report covers %d devices, want 2", len(rep.Devices))
+	}
+	total := 0
+	for _, d := range rep.Devices {
+		total += d.Requests
+		if d.Errors != 0 {
+			t.Errorf("%s: %d errors", d.Device, d.Errors)
+		}
+		if d.P50Micros < 0 || d.P99Micros < d.P50Micros {
+			t.Errorf("%s: incoherent quantiles p50=%d p99=%d", d.Device, d.P50Micros, d.P99Micros)
+		}
+	}
+	want := int(float64(cfg.qps) * cfg.duration.Seconds())
+	if total != want {
+		t.Errorf("report accounts for %d requests, want %d", total, want)
+	}
+	if rep.AchievedQPS <= 0 {
+		t.Errorf("achieved qps %v", rep.AchievedQPS)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := run(config{qps: 0}); err == nil {
+		t.Error("qps 0 accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Package faultinject is a deterministic, seed-driven fault injector for the
+// serving runtime's chaos suite. It wraps the pricing seam (latency spikes
+// and pricing errors) and the HTTP layer (mid-request context cancellation)
+// so tests can drive the server through overload, failure and reload races
+// and assert the resilience invariants: no panics, no degraded or aborted
+// decision cached, budgets conserved, responses internally consistent.
+//
+// Determinism: every injection decision is a pure function of (seed, fault
+// kind, event index), where the event index is a per-injector atomic
+// counter. Two sequential runs with the same seed see the same fault
+// schedule; under concurrency the schedule is fixed but its interleaving is
+// the scheduler's — exactly the nondeterminism a chaos suite wants, while
+// failures still reproduce by seed.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/xrand"
+)
+
+// ErrInjected is the pricing failure the injector returns; the serving layer
+// treats it like any other pricing error (degrade + circuit breaker).
+var ErrInjected = errors.New("faultinject: injected pricing failure")
+
+// Options set the per-call fault probabilities. Zero values inject nothing.
+type Options struct {
+	PriceError float64       // probability a pricing call fails with ErrInjected
+	Spike      float64       // probability a pricing call sleeps before answering
+	SpikeMax   time.Duration // spike duration upper bound; default 1ms
+	Cancel     float64       // probability the HTTP middleware cancels the request mid-flight
+	CancelMax  time.Duration // cancel delay upper bound; default 500µs
+}
+
+func (o Options) withDefaults() Options {
+	if o.SpikeMax <= 0 {
+		o.SpikeMax = time.Millisecond
+	}
+	if o.CancelMax <= 0 {
+		o.CancelMax = 500 * time.Microsecond
+	}
+	return o
+}
+
+// Stats counts the faults actually injected.
+type Stats struct {
+	Spikes  uint64
+	Errors  uint64
+	Cancels uint64
+}
+
+// fault kinds salt the hash so the spike/error/cancel streams are
+// independent even when they share event indices.
+const (
+	kindSpike uint64 = iota + 1
+	kindError
+	kindCancel
+)
+
+// Injector draws a deterministic fault schedule from a seed.
+type Injector struct {
+	seed    uint64
+	opts    Options
+	events  atomic.Uint64
+	spikes  atomic.Uint64
+	errs    atomic.Uint64
+	cancels atomic.Uint64
+}
+
+// New returns an injector whose schedule is fully determined by seed.
+func New(seed uint64, opts Options) *Injector {
+	return &Injector{seed: seed, opts: opts.withDefaults()}
+}
+
+// roll advances the event counter and returns a uniform [0,1) draw plus the
+// raw hash (for deriving deterministic magnitudes) for the given fault kind.
+func (in *Injector) roll(kind uint64) (float64, uint64) {
+	idx := in.events.Add(1)
+	h := xrand.Hash64(in.seed, kind, idx)
+	return float64(h>>11) / (1 << 53), h
+}
+
+// Stats reports how many faults have been injected so far.
+func (in *Injector) Stats() Stats {
+	return Stats{Spikes: in.spikes.Load(), Errors: in.errs.Load(), Cancels: in.cancels.Load()}
+}
+
+// Pricer is the pricing seam the injector wraps — structurally identical to
+// the serving layer's Pricer interface, declared here so the package depends
+// only on the shape/config types.
+type Pricer interface {
+	PriceGFLOPS(ctx context.Context, cfg gemm.Config, s gemm.Shape) (float64, error)
+}
+
+// PricerFunc adapts a plain pricing function (e.g. a closure over
+// (*sim.Model).GFLOPS) to the Pricer seam.
+type PricerFunc func(ctx context.Context, cfg gemm.Config, s gemm.Shape) (float64, error)
+
+func (f PricerFunc) PriceGFLOPS(ctx context.Context, cfg gemm.Config, s gemm.Shape) (float64, error) {
+	return f(ctx, cfg, s)
+}
+
+// Pricer wraps inner with the injector's spike and error schedule. Spikes
+// respect the request context: a deadline that expires mid-spike surfaces as
+// the context's error, exactly like a slow real pricing.
+func (in *Injector) Pricer(inner Pricer) Pricer {
+	return &faultyPricer{in: in, inner: inner}
+}
+
+type faultyPricer struct {
+	in    *Injector
+	inner Pricer
+}
+
+func (p *faultyPricer) PriceGFLOPS(ctx context.Context, cfg gemm.Config, s gemm.Shape) (float64, error) {
+	if f, h := p.in.roll(kindSpike); f < p.in.opts.Spike {
+		p.in.spikes.Add(1)
+		d := time.Duration(h%uint64(p.in.opts.SpikeMax)) + 1
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return 0, ctx.Err()
+		}
+	}
+	if f, _ := p.in.roll(kindError); f < p.in.opts.PriceError {
+		p.in.errs.Add(1)
+		return 0, ErrInjected
+	}
+	return p.inner.PriceGFLOPS(ctx, cfg, s)
+}
+
+// Middleware wraps an HTTP handler: selected requests get a context that is
+// cancelled a deterministic delay into the request, simulating clients that
+// hang up mid-flight. The serving layer must answer such requests without
+// caching their aborted decisions.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f, h := in.roll(kindCancel); f < in.opts.Cancel {
+			in.cancels.Add(1)
+			ctx, cancel := context.WithCancel(r.Context())
+			defer cancel()
+			delay := time.Duration(h % uint64(in.opts.CancelMax))
+			t := time.AfterFunc(delay, cancel)
+			defer t.Stop()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

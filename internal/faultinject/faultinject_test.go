@@ -1,0 +1,145 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"kernelselect/internal/gemm"
+)
+
+// okPricer answers every pricing with a fixed value.
+var okPricer = PricerFunc(func(context.Context, gemm.Config, gemm.Shape) (float64, error) {
+	return 100, nil
+})
+
+func callPattern(seed uint64, opts Options, n int) []bool {
+	in := New(seed, opts)
+	p := in.Pricer(okPricer)
+	pattern := make([]bool, n)
+	for i := range pattern {
+		_, err := p.PriceGFLOPS(context.Background(), gemm.Config{}, gemm.Shape{M: 1, K: 1, N: 1})
+		pattern[i] = err != nil
+	}
+	return pattern
+}
+
+// The fault schedule must be a pure function of the seed: two sequential
+// runs agree call-for-call, and a different seed produces a different
+// schedule.
+func TestDeterministicSchedule(t *testing.T) {
+	opts := Options{PriceError: 0.3}
+	a := callPattern(7, opts, 200)
+	b := callPattern(7, opts, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := callPattern(8, opts, 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 200-call schedule")
+	}
+}
+
+func TestErrorRateAndStats(t *testing.T) {
+	in := New(42, Options{PriceError: 0.25})
+	p := in.Pricer(okPricer)
+	const n = 2000
+	fails := 0
+	for i := 0; i < n; i++ {
+		v, err := p.PriceGFLOPS(context.Background(), gemm.Config{}, gemm.Shape{M: 1, K: 1, N: 1})
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			fails++
+		} else if v != 100 {
+			t.Fatalf("passthrough value %v, want 100", v)
+		}
+	}
+	if got := in.Stats().Errors; got != uint64(fails) {
+		t.Fatalf("stats count %d, observed %d failures", got, fails)
+	}
+	rate := float64(fails) / n
+	if rate < 0.18 || rate > 0.32 {
+		t.Fatalf("error rate %.3f far from configured 0.25", rate)
+	}
+}
+
+func TestZeroOptionsInjectNothing(t *testing.T) {
+	in := New(1, Options{})
+	p := in.Pricer(okPricer)
+	for i := 0; i < 500; i++ {
+		if _, err := p.PriceGFLOPS(context.Background(), gemm.Config{}, gemm.Shape{M: 1, K: 1, N: 1}); err != nil {
+			t.Fatalf("zero-probability injector failed call %d: %v", i, err)
+		}
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("stats %+v, want all zero", s)
+	}
+}
+
+// A spike must yield to an already-dead context instead of sleeping it out.
+func TestSpikeRespectsContext(t *testing.T) {
+	in := New(3, Options{Spike: 1, SpikeMax: time.Minute})
+	p := in.Pricer(okPricer)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := p.PriceGFLOPS(ctx, gemm.Config{}, gemm.Shape{M: 1, K: 1, N: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("spike ignored dead context for %v", elapsed)
+	}
+}
+
+// Middleware with Cancel=1 must hand every request a context that dies
+// within CancelMax.
+func TestMiddlewareCancels(t *testing.T) {
+	in := New(5, Options{Cancel: 1, CancelMax: time.Millisecond})
+	saw := make(chan error, 1)
+	h := in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			saw <- r.Context().Err()
+		case <-time.After(2 * time.Second):
+			saw <- nil
+		}
+	}))
+	req := httptest.NewRequest(http.MethodPost, "/v1/select", nil)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if err := <-saw; err == nil {
+		t.Fatal("request context never cancelled")
+	}
+	if in.Stats().Cancels != 1 {
+		t.Fatalf("cancel count %d, want 1", in.Stats().Cancels)
+	}
+}
+
+func TestMiddlewarePassthrough(t *testing.T) {
+	in := New(5, Options{})
+	h := in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Context().Err() != nil {
+			t.Error("passthrough request arrived cancelled")
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("status %d", rec.Code)
+	}
+}

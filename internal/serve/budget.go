@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// backend is one device's serving state. The swappable artifact state
+// (library, pricer, cache, fallback) lives in the generation behind the
+// atomic pointer; everything else — admission budget, latency EWMAs, shed
+// and degradation counters, circuit breaker — describes the device itself
+// and survives reloads.
+type backend struct {
+	name   string
+	custom Pricer // non-nil when the Backend supplied its own pricer; kept across reloads
+	gen    atomic.Pointer[generation]
+
+	// Admission budget: a token channel of budgetCap slots. One token per
+	// select/batch request; exhaustion degrades to the fallback config
+	// instead of queueing or erroring.
+	budget    chan struct{}
+	budgetCap int
+
+	inflight atomic.Int64
+	shed     atomic.Uint64
+	degraded [numReasons]atomic.Uint64
+
+	// latencyEWMA tracks full-service request latency (float64 nanosecond
+	// bits); the load-aware shed threshold compares against it.
+	// computeEWMA tracks only cache-miss pricing passes: the estimate for
+	// "is the remaining deadline long enough to price the library?".
+	latencyEWMA atomic.Uint64
+	computeEWMA atomic.Uint64
+
+	breaker breaker
+}
+
+// acquire takes one budget token, reporting false when the budget is
+// exhausted. The returned release must be called exactly once; tokens are
+// conserved by construction (channel send/receive pairs).
+func (be *backend) acquire() (release func(), ok bool) {
+	select {
+	case be.budget <- struct{}{}:
+		return func() { <-be.budget }, true
+	default:
+		return nil, false
+	}
+}
+
+// budgetFree reports the tokens currently available.
+func (be *backend) budgetFree() int { return be.budgetCap - len(be.budget) }
+
+// overloaded reports whether the backend's full-service latency EWMA exceeds
+// the shed threshold (0 disables shedding).
+func (be *backend) overloaded(threshold time.Duration) bool {
+	return threshold > 0 && ewmaValue(&be.latencyEWMA) > threshold
+}
+
+// ewmaAlpha is the smoothing factor of the latency EWMAs: recent requests
+// dominate within ~5 observations, so the shed threshold reacts to a load
+// spike in a handful of requests rather than minutes of history.
+const ewmaAlpha = 0.2
+
+// ewmaObserve folds one duration into an atomically-stored EWMA (float64
+// bits; zero means "no observations yet" and the first sample seeds it).
+func ewmaObserve(a *atomic.Uint64, d time.Duration) {
+	for {
+		old := a.Load()
+		v := float64(d.Nanoseconds())
+		if old != 0 {
+			v = ewmaAlpha*v + (1-ewmaAlpha)*math.Float64frombits(old)
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func ewmaValue(a *atomic.Uint64) time.Duration {
+	b := a.Load()
+	if b == 0 {
+		return 0
+	}
+	return time.Duration(math.Float64frombits(b))
+}
+
+// degradeReason enumerates why a request was answered with the fallback
+// config instead of a full selection; it labels selectd_degraded_total.
+type degradeReason int
+
+const (
+	reasonBudget   degradeReason = iota // admission budget exhausted
+	reasonDeadline                      // remaining deadline shorter than a pricing pass
+	reasonBreaker                       // circuit breaker open
+	reasonError                         // pricing failed on this request
+	numReasons
+)
+
+var reasonNames = [numReasons]string{"budget", "deadline", "breaker", "error"}
+
+// breakerState is the circuit breaker's tri-state.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// breaker trips a backend to fallback-only service after `threshold`
+// consecutive pricing failures, and half-opens after `cooldown`: one trial
+// request is let through; success closes the breaker, failure re-opens it.
+// Context aborts are not failures — a starved deadline says nothing about
+// the pricing path — so trials that die to a deadline just release the trial
+// slot (onAbort).
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     breakerState
+	fails     int
+	openedAt  time.Time
+	trial     bool // a half-open trial request is in flight
+	trips     uint64
+}
+
+// allow reports whether a full-service attempt may proceed at `now`.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.trial = true
+			return true
+		}
+		return false
+	default: // half-open: one trial at a time
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.trial = false
+}
+
+func (b *breaker) onFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	wasTrial := b.state == breakerHalfOpen
+	b.trial = false
+	if wasTrial || b.fails >= b.threshold {
+		if b.state != breakerOpen {
+			b.trips++
+		}
+		b.state = breakerOpen
+		b.openedAt = now
+		b.fails = 0
+	}
+}
+
+// onAbort releases a trial slot without judging the pricing path (the
+// request died to its deadline, not to a pricing failure).
+func (b *breaker) onAbort() {
+	b.mu.Lock()
+	b.trial = false
+	b.mu.Unlock()
+}
+
+// snapshot reports the state and trip count for metrics and healthz.
+func (b *breaker) snapshot() (breakerState, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

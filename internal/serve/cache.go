@@ -113,6 +113,23 @@ func (c *decisionCache) put(s gemm.Shape, d Decision) {
 	sh.byKey[s] = sh.order.PushFront(&cacheEntry{key: s, dec: d})
 }
 
+// forEach calls fn for every cached decision. It exists for invariant
+// checks (the chaos suite asserts no degraded or aborted decision is ever
+// cached); each shard is locked only while it is walked.
+func (c *decisionCache) forEach(fn func(Decision)) {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for el := sh.order.Front(); el != nil; el = el.Next() {
+			fn(el.Value.(*cacheEntry).dec)
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // len returns the total number of cached decisions.
 func (c *decisionCache) len() int {
 	if c == nil {

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+)
+
+// Pricer prices one configuration on one shape. The production
+// implementation adapts *sim.Model (which cannot fail); the indirection
+// exists so tests can wrap pricing with fault injection (latency spikes,
+// errors, cancellations) and so a future remote pricing service has a seam.
+type Pricer interface {
+	PriceGFLOPS(ctx context.Context, cfg gemm.Config, s gemm.Shape) (float64, error)
+}
+
+// modelPricer adapts the analytical device model to the Pricer seam.
+type modelPricer struct{ m *sim.Model }
+
+func (p modelPricer) PriceGFLOPS(_ context.Context, cfg gemm.Config, s gemm.Shape) (float64, error) {
+	return p.m.GFLOPS(cfg, s), nil
+}
+
+// generation is one immutable epoch of a backend's serving state: the
+// library, the pricer that prices its decisions, a decision cache private to
+// this epoch, and the precomputed fallback decision served under
+// degradation. Reload builds a fresh generation and swaps the backend's
+// atomic pointer; requests that loaded the old pointer keep serving against
+// it until they finish, so a response's config always belongs to the
+// generation stamped on it, and a stale generation's cache entries can never
+// leak into the new epoch (the new generation starts with an empty cache).
+type generation struct {
+	id       uint64
+	device   string
+	lib      *core.Library
+	model    *sim.Model
+	pricer   Pricer
+	cache    *decisionCache
+	fallback Decision // template: Shape/DegradedReason filled per request
+}
+
+// newGeneration allocates the next epoch for a device. The fallback decision
+// is computed here — once per reload, never per request — so degradation
+// stays O(1) on the hot path.
+func (s *Server) newGeneration(device string, lib *core.Library, model *sim.Model, pricer Pricer) *generation {
+	id := s.genCounter.Add(1)
+	fb := fallbackDecision(device, lib, model, s.fallbackShapes)
+	fb.Generation = id
+	return &generation{
+		id:       id,
+		device:   device,
+		lib:      lib,
+		model:    model,
+		pricer:   pricer,
+		cache:    newDecisionCache(s.opts.CacheSize, s.opts.CacheShards),
+		fallback: fb,
+	}
+}
+
+// fallbackDecision precomputes the answer served under degradation: the
+// library configuration with the best geometric-mean modelled GFLOPS across
+// the fallback shape set (the paper's dataset by default). The geomean is
+// the same aggregate the offline pipeline ranks configurations by, so the
+// fallback is the single config you would ship if the library could hold
+// only one. Degraded responses carry no per-shape prediction (that would
+// cost the pricing pass degradation exists to avoid), so the predicted
+// fields stay zero.
+func fallbackDecision(device string, lib *core.Library, model *sim.Model, shapes []gemm.Shape) Decision {
+	idx := bestGeomeanIndex(model, lib.Configs, shapes)
+	cfg := lib.Configs[idx]
+	return Decision{
+		Device:   device,
+		Config:   cfg.String(),
+		Index:    idx,
+		KernelID: cfg.KernelID(),
+		Degraded: true,
+	}
+}
+
+// bestGeomeanIndex returns the index of the configuration with the highest
+// geometric-mean GFLOPS over shapes; ties resolve to the lowest index so the
+// result is deterministic.
+func bestGeomeanIndex(model *sim.Model, cfgs []gemm.Config, shapes []gemm.Shape) int {
+	if len(shapes) == 0 {
+		return 0
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for i, cfg := range cfgs {
+		sum := 0.0
+		for _, s := range shapes {
+			sum += math.Log(model.GFLOPS(cfg, s))
+		}
+		if score := sum / float64(len(shapes)); score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// compute runs the selector and prices every library configuration on the
+// shape, so the decision carries its predicted normalized performance — the
+// paper's Table-I quantity, per request. The deadline is checked between
+// configurations: pricing the whole library is the handler's only unbounded
+// work, so an expired context aborts here rather than running to completion
+// after the client has given up. A pricing error aborts the pass; the
+// caller maps it to a degraded fallback response and feeds the circuit
+// breaker.
+func (g *generation) compute(ctx context.Context, shape gemm.Shape) (Decision, error) {
+	idx := g.lib.ChooseIndex(shape)
+	cfgs := g.lib.Configs
+	best, chosen := 0.0, 0.0
+	for i, cfg := range cfgs {
+		if err := ctx.Err(); err != nil {
+			return Decision{}, err
+		}
+		v, err := g.pricer.PriceGFLOPS(ctx, cfg, shape)
+		if err != nil {
+			return Decision{}, err
+		}
+		if v > best {
+			best = v
+		}
+		if i == idx {
+			chosen = v
+		}
+	}
+	norm := 0.0
+	if best > 0 {
+		norm = chosen / best
+	}
+	return Decision{
+		Device:          g.device,
+		Shape:           shape.String(),
+		Config:          cfgs[idx].String(),
+		Index:           idx,
+		KernelID:        cfgs[idx].KernelID(),
+		PredictedGFLOPS: chosen,
+		PredictedNorm:   norm,
+		Generation:      g.id,
+	}, nil
+}
+
+// ReloadSource produces a fresh library (and optionally a fresh model; nil
+// keeps the current one) for a device. selectd installs one that re-reads
+// the -library artifact path, or retrains in-process, so POST /v1/reload and
+// SIGHUP pick up new artifacts without a restart.
+type ReloadSource func(device string) (*core.Library, *sim.Model, error)
+
+// SetReloadSource installs the callback POST /v1/reload uses to obtain a new
+// library. Install it before serving traffic; without one the endpoint
+// reports 503.
+func (s *Server) SetReloadSource(f ReloadSource) { s.reloadSource = f }
+
+// Reload atomically swaps the named backend (empty = default) onto a new
+// library, and optionally a new device model (nil keeps the current one).
+// In-flight requests finish against the generation they loaded; every
+// request admitted after Reload returns sees the new library. The new
+// generation starts with an empty decision cache — decisions priced against
+// the old library are unreachable the moment the swap lands — and a freshly
+// computed fallback config. The backend's budget, latency EWMA and circuit
+// breaker survive the swap: they describe the device, not the artifact.
+// Returns the new generation id.
+func (s *Server) Reload(device string, lib *core.Library, model *sim.Model) (uint64, error) {
+	be, err := s.backend(device)
+	if err != nil {
+		return 0, err
+	}
+	if lib == nil {
+		return 0, errors.New("serve: reload with a nil library")
+	}
+	cur := be.gen.Load()
+	if model == nil {
+		model = cur.model
+	}
+	pricer := be.custom
+	if pricer == nil {
+		pricer = modelPricer{model}
+	}
+	gen := s.newGeneration(be.name, lib, model, pricer)
+	be.gen.Store(gen)
+	return gen.id, nil
+}

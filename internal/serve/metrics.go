@@ -11,8 +11,9 @@ import (
 
 // metrics is a dependency-free registry in the Prometheus text exposition
 // format: per-endpoint request counters broken down by status code,
-// per-endpoint latency histograms, cache and shedding gauges. Everything is
-// atomics on the hot path; rendering takes the slow path.
+// per-endpoint latency histograms, and per-device cache, budget, shed and
+// degradation series. Everything is atomics on the hot path; rendering takes
+// the slow path.
 
 // latencyBuckets are the histogram upper bounds in seconds. Selection is
 // microseconds (a tree walk plus at most one pricing pass), so the buckets
@@ -57,7 +58,7 @@ func (e *endpointMetrics) observe(code int, d time.Duration) {
 }
 
 // observeCode counts a response without a latency observation. Shed (429)
-// requests use it: they are rejected before any work happens, so recording
+// and degraded responses use it: they do little or no work, so recording
 // their ~0s durations would pull the histogram's quantiles toward zero
 // exactly when the server is saturated and real latencies matter most.
 func (e *endpointMetrics) observeCode(code int) {
@@ -66,12 +67,11 @@ func (e *endpointMetrics) observeCode(code int) {
 	e.mu.Unlock()
 }
 
-// metrics is the server-wide registry.
+// metrics is the server-wide registry of endpoint series; per-device series
+// live on the backends and are snapshotted into backendStats at render time.
 type metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
-	shed      atomic.Uint64
-	inflight  atomic.Int64
 	started   time.Time
 }
 
@@ -91,17 +91,27 @@ func (m *metrics) endpoint(name string) *endpointMetrics {
 }
 
 // backendStats is one device backend's snapshot for rendering: its selector
-// name and decision-cache counters.
+// name, library generation, decision-cache counters, admission budget state,
+// shed/degradation counters, latency EWMA and circuit-breaker state.
 type backendStats struct {
-	device   string
-	selector string
-	hits     uint64
-	misses   uint64
-	entries  int
+	device       string
+	selector     string
+	generation   uint64
+	hits         uint64
+	misses       uint64
+	entries      int
+	inflight     int64
+	budgetFree   int
+	budgetCap    int
+	shed         uint64
+	degraded     [numReasons]uint64
+	ewmaSeconds  float64
+	breakerState breakerState
+	breakerTrips uint64
 }
 
 // render writes the registry in Prometheus text format, with one info line
-// and one set of cache series per device backend.
+// and one set of per-device series per backend.
 func (m *metrics) render(b *strings.Builder, backends []backendStats) {
 	fmt.Fprintf(b, "# HELP selectd_info Serving daemon metadata, one line per device backend.\n")
 	fmt.Fprintf(b, "# TYPE selectd_info gauge\n")
@@ -136,7 +146,7 @@ func (m *metrics) render(b *strings.Builder, backends []backendStats) {
 		e.mu.Unlock()
 	}
 
-	fmt.Fprintf(b, "# HELP selectd_request_seconds Request latency histogram, by endpoint.\n")
+	fmt.Fprintf(b, "# HELP selectd_request_seconds Full-service request latency histogram, by endpoint.\n")
 	fmt.Fprintf(b, "# TYPE selectd_request_seconds histogram\n")
 	for _, name := range names {
 		e := m.endpoint(name)
@@ -149,6 +159,12 @@ func (m *metrics) render(b *strings.Builder, backends []backendStats) {
 		fmt.Fprintf(b, "selectd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
 		fmt.Fprintf(b, "selectd_request_seconds_sum{endpoint=%q} %.9f\n", name, float64(e.latency.sumNano.Load())/1e9)
 		fmt.Fprintf(b, "selectd_request_seconds_count{endpoint=%q} %d\n", name, e.latency.count.Load())
+	}
+
+	fmt.Fprintf(b, "# HELP selectd_generation Library generation currently serving, by device.\n")
+	fmt.Fprintf(b, "# TYPE selectd_generation gauge\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_generation{device=%q} %d\n", be.device, be.generation)
 	}
 
 	fmt.Fprintf(b, "# HELP selectd_cache_hits_total Decision-cache hits, by device.\n")
@@ -167,10 +183,51 @@ func (m *metrics) render(b *strings.Builder, backends []backendStats) {
 		fmt.Fprintf(b, "selectd_cache_entries{device=%q} %d\n", be.device, be.entries)
 	}
 
-	fmt.Fprintf(b, "# HELP selectd_inflight_requests Requests currently being served.\n")
+	fmt.Fprintf(b, "# HELP selectd_inflight_requests Requests currently being served, by device.\n")
 	fmt.Fprintf(b, "# TYPE selectd_inflight_requests gauge\n")
-	fmt.Fprintf(b, "selectd_inflight_requests %d\n", m.inflight.Load())
-	fmt.Fprintf(b, "# HELP selectd_shed_total Requests rejected with 429 at the in-flight limit.\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_inflight_requests{device=%q} %d\n", be.device, be.inflight)
+	}
+
+	fmt.Fprintf(b, "# HELP selectd_budget_tokens Admission tokens currently free, by device.\n")
+	fmt.Fprintf(b, "# TYPE selectd_budget_tokens gauge\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_budget_tokens{device=%q} %d\n", be.device, be.budgetFree)
+	}
+	fmt.Fprintf(b, "# HELP selectd_budget_capacity Admission budget size, by device.\n")
+	fmt.Fprintf(b, "# TYPE selectd_budget_capacity gauge\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_budget_capacity{device=%q} %d\n", be.device, be.budgetCap)
+	}
+
+	fmt.Fprintf(b, "# HELP selectd_shed_total Requests rejected 429 at the latency shed threshold, by device.\n")
 	fmt.Fprintf(b, "# TYPE selectd_shed_total counter\n")
-	fmt.Fprintf(b, "selectd_shed_total %d\n", m.shed.Load())
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_shed_total{device=%q} %d\n", be.device, be.shed)
+	}
+
+	fmt.Fprintf(b, "# HELP selectd_degraded_total Requests answered with the fallback config, by device and reason.\n")
+	fmt.Fprintf(b, "# TYPE selectd_degraded_total counter\n")
+	for _, be := range backends {
+		for r, n := range be.degraded {
+			fmt.Fprintf(b, "selectd_degraded_total{device=%q,reason=%q} %d\n", be.device, reasonNames[r], n)
+		}
+	}
+
+	fmt.Fprintf(b, "# HELP selectd_latency_ewma_seconds Full-service latency EWMA, by device.\n")
+	fmt.Fprintf(b, "# TYPE selectd_latency_ewma_seconds gauge\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_latency_ewma_seconds{device=%q} %.9f\n", be.device, be.ewmaSeconds)
+	}
+
+	fmt.Fprintf(b, "# HELP selectd_breaker_state Circuit-breaker state, by device (0 closed, 1 half-open, 2 open).\n")
+	fmt.Fprintf(b, "# TYPE selectd_breaker_state gauge\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_breaker_state{device=%q} %d\n", be.device, int(be.breakerState))
+	}
+	fmt.Fprintf(b, "# HELP selectd_breaker_trips_total Circuit-breaker open transitions, by device.\n")
+	fmt.Fprintf(b, "# TYPE selectd_breaker_trips_total counter\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_breaker_trips_total{device=%q} %d\n", be.device, be.breakerTrips)
+	}
 }

@@ -54,7 +54,7 @@ func TestMultiDeviceRouting(t *testing.T) {
 		if d.Device != name {
 			t.Errorf("decision for %q stamped %q", name, d.Device)
 		}
-		want := srv.byName[name].lib.Choose(shape)
+		want := srv.byName[name].gen.Load().lib.Choose(shape)
 		if d.Config != want.String() {
 			t.Errorf("%s: online %s, offline %s", name, d.Config, want)
 		}
@@ -157,7 +157,7 @@ func TestConfigsPerDevice(t *testing.T) {
 	if c.Device != gen9 {
 		t.Errorf("configs for %q, want %q", c.Device, gen9)
 	}
-	if c.Configs[0] != srv.byName[gen9].lib.Configs[0].String() {
+	if c.Configs[0] != srv.byName[gen9].gen.Load().lib.Configs[0].String() {
 		t.Errorf("config 0 %q does not match the gen9 library", c.Configs[0])
 	}
 }
@@ -238,7 +238,7 @@ func TestDeadlineAbortNotCached(t *testing.T) {
 	if _, err := srv.decide(ctx, be, shape); err == nil {
 		t.Fatal("decide with a dead context succeeded")
 	}
-	if _, ok := be.cache.get(shape); ok {
+	if _, ok := be.gen.Load().cache.get(shape); ok {
 		t.Fatal("aborted decision was cached")
 	}
 	d, err := srv.decide(context.Background(), be, shape)

@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+)
+
+var reloadShapes = []gemm.Shape{
+	{M: 1, K: 4096, N: 1000}, {M: 16, K: 4096, N: 1000}, {M: 3136, K: 64, N: 64},
+	{M: 784, K: 1152, N: 256}, {M: 196, K: 2304, N: 512}, {M: 12544, K: 27, N: 32},
+	{M: 49, K: 960, N: 160}, {M: 3136, K: 32, N: 192}, {M: 100352, K: 3, N: 64},
+	{M: 784, K: 24, N: 144}, {M: 196, K: 512, N: 512}, {M: 64, K: 25088, N: 4096},
+}
+
+// buildLib trains a size-n library over the reload test shapes.
+func buildLib(t testing.TB, model *sim.Model, n int) *core.Library {
+	t.Helper()
+	ds := dataset.Build(model, reloadShapes, gemm.AllConfigs()[:120])
+	return core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, n, 42)
+}
+
+// A reload must swap the library atomically: the generation bumps, the new
+// library answers, and the old generation's cache cannot leak entries into
+// the new epoch.
+func TestReloadSwapsLibraryAndCache(t *testing.T) {
+	model := sim.New(device.R9Nano())
+	libA := buildLib(t, model, 6)
+	libB := buildLib(t, model, 4)
+	srv := New(libA, model, Options{FallbackShapes: reloadShapes})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	shape := gemm.Shape{M: 784, K: 1152, N: 256}
+	req := shapeRequest{M: shape.M, K: shape.K, N: shape.N}
+	first := decodeResp[Decision](t, postJSON(t, ts.URL+"/v1/select", req))
+	gen1, err := srv.Generation("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Generation != gen1 {
+		t.Fatalf("decision stamped generation %d, server at %d", first.Generation, gen1)
+	}
+	// Warm the cache so stale-entry leakage would be observable.
+	if d := decodeResp[Decision](t, postJSON(t, ts.URL+"/v1/select", req)); !d.Cached {
+		t.Fatal("warm request missed the cache")
+	}
+
+	gen2, err := srv.Reload("", libB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2 <= gen1 {
+		t.Fatalf("reload generation %d not after %d", gen2, gen1)
+	}
+	if srv.Library() != libB {
+		t.Fatal("Library() still reports the old library")
+	}
+
+	d := decodeResp[Decision](t, postJSON(t, ts.URL+"/v1/select", req))
+	if d.Generation != gen2 {
+		t.Fatalf("post-reload decision from generation %d, want %d", d.Generation, gen2)
+	}
+	if d.Cached {
+		t.Fatal("post-reload decision served from the old generation's cache")
+	}
+	if d.Config != libB.Configs[d.Index].String() {
+		t.Fatalf("post-reload config %q not at index %d of the new library", d.Config, d.Index)
+	}
+	if want := libB.Choose(shape); d.Config != want.String() {
+		t.Fatalf("post-reload chose %s, offline %s", d.Config, want)
+	}
+
+	// The configs endpoint reports the new generation.
+	resp, err := http.Get(ts.URL + "/v1/configs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := decodeResp[configsResponse](t, resp)
+	if c.Generation != gen2 || c.Count != len(libB.Configs) {
+		t.Fatalf("configs report generation %d count %d, want %d/%d", c.Generation, c.Count, gen2, len(libB.Configs))
+	}
+}
+
+func TestReloadValidation(t *testing.T) {
+	model := sim.New(device.R9Nano())
+	srv := New(buildLib(t, model, 4), model, Options{FallbackShapes: reloadShapes})
+	if _, err := srv.Reload("", nil, nil); err == nil {
+		t.Error("nil library accepted")
+	}
+	if _, err := srv.Reload("tpu-v9", buildLib(t, model, 4), nil); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+// POST /v1/reload pulls a fresh library from the installed source; without a
+// source it reports 503, and an unknown device 400.
+func TestReloadEndpoint(t *testing.T) {
+	model := sim.New(device.R9Nano())
+	libA := buildLib(t, model, 6)
+	libB := buildLib(t, model, 4)
+	srv := New(libA, model, Options{FallbackShapes: reloadShapes})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(body string) *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/reload", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post(`{}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("no source: status %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	calls := 0
+	srv.SetReloadSource(func(dev string) (*core.Library, *sim.Model, error) {
+		calls++
+		if dev != model.Dev.Name {
+			return nil, nil, fmt.Errorf("unexpected device %q", dev)
+		}
+		return libB, nil, nil
+	})
+
+	resp = post(``) // empty body = default device
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: status %d", resp.StatusCode)
+	}
+	rr := decodeResp[reloadResponse](t, resp)
+	if rr.Device != model.Dev.Name || rr.Configs != len(libB.Configs) || calls != 1 {
+		t.Fatalf("reload response %+v (source calls %d)", rr, calls)
+	}
+	if srv.Library() != libB {
+		t.Fatal("endpoint reload did not swap the library")
+	}
+
+	resp = post(`{"device":"tpu-v9"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown device: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	srv.SetReloadSource(func(string) (*core.Library, *sim.Model, error) {
+		return nil, nil, fmt.Errorf("artifact store down")
+	})
+	resp = post(`{}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failing source: status %d, want 500", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestReloadUnderLoad is the acceptance check for atomic visibility: while
+// client goroutines hammer /v1/select, the main goroutine reloads between
+// two libraries of different sizes. Zero requests may drop, and every
+// response's config must belong to the library of the generation stamped on
+// it — a response mixing epochs (old index against new library, stale cache
+// entry, torn swap) fails the audit. Budget tokens must be conserved. Run
+// under -race this doubles as the concurrent Reload-vs-decide race test.
+func TestReloadUnderLoad(t *testing.T) {
+	model := sim.New(device.R9Nano())
+	libs := map[uint64]*core.Library{}
+	libA := buildLib(t, model, 6)
+	libB := buildLib(t, model, 4)
+	srv := New(libA, model, Options{FallbackShapes: reloadShapes, MaxInFlight: 16})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	gen0, _ := srv.Generation("")
+	libs[gen0] = libA
+
+	type outcome struct {
+		status int
+		dec    Decision
+	}
+	const goroutines = 8
+	const perG = 40
+	var wg sync.WaitGroup
+	outcomes := make([][]outcome, goroutines)
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s := reloadShapes[(g+i)%len(reloadShapes)]
+				raw, _ := json.Marshal(shapeRequest{M: s.M, K: s.K, N: s.N})
+				resp, err := http.Post(ts.URL+"/v1/select", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d request %d: %w", g, i, err)
+					return
+				}
+				var o outcome
+				o.status = resp.StatusCode
+				err = json.NewDecoder(resp.Body).Decode(&o.dec)
+				resp.Body.Close()
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d request %d decode: %w", g, i, err)
+					return
+				}
+				outcomes[g] = append(outcomes[g], o)
+			}
+		}(g)
+	}
+
+	// Reload between the two libraries while the load runs.
+	for i := 0; i < 12; i++ {
+		lib := libA
+		if i%2 == 0 {
+			lib = libB
+		}
+		id, err := srv.Reload("", lib, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		libs[id] = lib
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for g := range outcomes {
+		for _, o := range outcomes[g] {
+			total++
+			if o.status != http.StatusOK {
+				t.Fatalf("dropped request: status %d", o.status)
+			}
+			lib, ok := libs[o.dec.Generation]
+			if !ok {
+				t.Fatalf("response from unknown generation %d", o.dec.Generation)
+			}
+			if o.dec.Index < 0 || o.dec.Index >= len(lib.Configs) {
+				t.Fatalf("index %d out of range for generation %d (%d configs)",
+					o.dec.Index, o.dec.Generation, len(lib.Configs))
+			}
+			if o.dec.Config != lib.Configs[o.dec.Index].String() {
+				t.Fatalf("generation %d response config %q does not match its library",
+					o.dec.Generation, o.dec.Config)
+			}
+		}
+	}
+	if total != goroutines*perG {
+		t.Fatalf("%d responses for %d requests", total, goroutines*perG)
+	}
+
+	// Budget tokens conserved: nothing lost or double-released.
+	be := srv.backends[0]
+	if free := be.budgetFree(); free != be.budgetCap {
+		t.Fatalf("budget free %d, cap %d after quiesce", free, be.budgetCap)
+	}
+	if inflight := be.inflight.Load(); inflight != 0 {
+		t.Fatalf("inflight gauge %d after quiesce", inflight)
+	}
+}

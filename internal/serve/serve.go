@@ -8,16 +8,24 @@
 // request's "device" field (defaulting to the first backend). Production
 // concerns are handled in-process with no external dependencies:
 //
-//   - a sharded LRU decision cache per device (NN layer shapes repeat every
-//     step, so steady-state traffic is almost all hits);
+//   - a sharded LRU decision cache per device generation (NN layer shapes
+//     repeat every step, so steady-state traffic is almost all hits);
+//   - atomic hot reload: each backend's library/model/cache is an immutable
+//     generation behind an atomic pointer, swappable via Reload or
+//     POST /v1/reload without dropping in-flight requests;
+//   - per-backend admission budgets: each device gets its own token budget
+//     (default MaxInFlight split evenly) so a hot device cannot starve the
+//     others, plus an EWMA-latency shed threshold that rejects 429 when a
+//     backend falls behind;
+//   - graceful degradation: budget exhaustion, a too-short deadline, a
+//     pricing failure, or an open circuit breaker answer with the backend's
+//     precomputed fallback config ("degraded": true) instead of an error;
 //   - per-endpoint request counters and latency histograms plus per-device
-//     cache hit-rates, exposed at GET /metrics in Prometheus text format;
-//   - bounded in-flight concurrency with 429 shedding and per-request
-//     deadlines that abort mid-library pricing, so overload degrades
-//     predictably instead of queueing;
+//     cache/budget/shed/degradation series, exposed at GET /metrics in
+//     Prometheus text format;
 //   - a draining flag that fails GET /healthz ahead of graceful shutdown,
 //     letting a load balancer rotate the instance out while in-flight
-//     requests finish.
+//     requests finish; healthz's body reports per-backend detail.
 //
 // The selector backends are whatever the loaded libraries dispatch with
 // (decision tree, random forest, k-NN, SVM — anything core.LoadLibrary
@@ -30,24 +38,45 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"kernelselect/internal/core"
 	"kernelselect/internal/gemm"
 	"kernelselect/internal/par"
 	"kernelselect/internal/sim"
+	"kernelselect/internal/workload"
 )
 
 // Options configure the server. The zero value selects the defaults.
 type Options struct {
-	CacheSize      int           // cached decisions per device; default 4096, negative disables
-	CacheShards    int           // LRU shards per device; default 16
-	MaxInFlight    int           // concurrent select/batch requests; default 256
-	MaxBatch       int           // shapes per batch request; default 1024
-	RequestTimeout time.Duration // per-request deadline; default 5s
-	Workers        int           // pricing workers per batch request; default GOMAXPROCS
+	CacheSize      int            // cached decisions per device generation; default 4096, negative disables
+	CacheShards    int            // LRU shards per cache; default 16
+	MaxInFlight    int            // total admission budget, split evenly across backends; default 256
+	Budgets        map[string]int // per-device budget overrides (device name → tokens)
+	MaxBatch       int            // shapes per batch request; default 1024
+	RequestTimeout time.Duration  // per-request deadline; default 5s
+	Workers        int            // pricing workers per batch request; default GOMAXPROCS
+
+	// ShedLatency is the load-aware shed threshold: when a backend's
+	// full-service latency EWMA exceeds it, new full-service requests for
+	// that backend are rejected 429 until the EWMA decays. 0 disables.
+	ShedLatency time.Duration
+
+	// BreakerThreshold consecutive pricing failures trip a backend's circuit
+	// breaker to fallback-only service; default 5. BreakerCooldown is how
+	// long the breaker stays open before half-opening one trial request;
+	// default 1s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// FallbackShapes is the shape set the degraded-mode fallback config is
+	// scored over (best geometric-mean GFLOPS); default: the paper's
+	// dataset shapes.
+	FallbackShapes []gemm.Shape
 }
 
 func (o Options) withDefaults() Options {
@@ -66,35 +95,40 @@ func (o Options) withDefaults() Options {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 5 * time.Second
 	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
+	}
+	if o.FallbackShapes == nil {
+		o.FallbackShapes, _ = workload.DatasetShapes()
+	}
 	return o
 }
 
 // Backend pairs one device's deployed library with the device model that
-// prices its decisions. Device is the name clients route by.
+// prices its decisions. Device is the name clients route by. Pricer, when
+// non-nil, overrides Model-based pricing on the serving path (fault
+// injection, remote pricing) and is kept across reloads; Model is still
+// required — it prices the degraded-mode fallback config.
 type Backend struct {
 	Device string
 	Lib    *core.Library
 	Model  *sim.Model
-}
-
-// backend is one device's serving state: library, pricing model, and its own
-// decision-cache partition (decisions differ per device, so they must not
-// share entries).
-type backend struct {
-	name  string
-	lib   *core.Library
-	model *sim.Model
-	cache *decisionCache
+	Pricer Pricer
 }
 
 // Server answers kernel-selection queries for one or more device backends.
 type Server struct {
-	backends []*backend
-	byName   map[string]*backend
-	opts     Options
-	metrics  *metrics
-	inflight chan struct{}
-	draining func() bool
+	backends       []*backend
+	byName         map[string]*backend
+	opts           Options
+	metrics        *metrics
+	genCounter     atomic.Uint64
+	fallbackShapes []gemm.Shape
+	reloadSource   ReloadSource // set before serving; nil disables /v1/reload
+	draining       func() bool
 }
 
 // New builds a single-device server; the backend takes the model's device
@@ -117,17 +151,23 @@ func New(lib *core.Library, model *sim.Model, opts Options) *Server {
 // NewMulti builds a server hosting one backend per device. The first backend
 // is the default route for requests that name no device. Backends must be
 // non-empty with unique, named devices and non-nil libraries and models.
+// Each backend gets MaxInFlight/len(backends) admission tokens unless
+// Options.Budgets overrides it.
 func NewMulti(backends []Backend, opts Options) (*Server, error) {
 	if len(backends) == 0 {
 		return nil, errors.New("serve: no backends")
 	}
 	opts = opts.withDefaults()
 	s := &Server{
-		byName:   make(map[string]*backend, len(backends)),
-		opts:     opts,
-		metrics:  newMetrics(),
-		inflight: make(chan struct{}, opts.MaxInFlight),
-		draining: func() bool { return false },
+		byName:         make(map[string]*backend, len(backends)),
+		opts:           opts,
+		metrics:        newMetrics(),
+		fallbackShapes: opts.FallbackShapes,
+		draining:       func() bool { return false },
+	}
+	defaultBudget := opts.MaxInFlight / len(backends)
+	if defaultBudget < 1 {
+		defaultBudget = 1
 	}
 	for i, b := range backends {
 		if b.Device == "" {
@@ -142,12 +182,25 @@ func NewMulti(backends []Backend, opts Options) (*Server, error) {
 		if _, dup := s.byName[b.Device]; dup {
 			return nil, fmt.Errorf("serve: duplicate device %q", b.Device)
 		}
-		be := &backend{
-			name:  b.Device,
-			lib:   b.Lib,
-			model: b.Model,
-			cache: newDecisionCache(opts.CacheSize, opts.CacheShards),
+		budget := defaultBudget
+		if o, ok := opts.Budgets[b.Device]; ok {
+			if o < 1 {
+				return nil, fmt.Errorf("serve: budget override %d for %q must be >= 1", o, b.Device)
+			}
+			budget = o
 		}
+		be := &backend{
+			name:      b.Device,
+			custom:    b.Pricer,
+			budget:    make(chan struct{}, budget),
+			budgetCap: budget,
+			breaker:   breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown},
+		}
+		pricer := b.Pricer
+		if pricer == nil {
+			pricer = modelPricer{b.Model}
+		}
+		be.gen.Store(s.newGeneration(b.Device, b.Lib, b.Model, pricer))
 		s.backends = append(s.backends, be)
 		s.byName[b.Device] = be
 	}
@@ -163,9 +216,9 @@ func (s *Server) SetDrainCheck(f func() bool) {
 	}
 }
 
-// Library exposes the default backend's library (for offline/online
+// Library exposes the default backend's current library (for offline/online
 // agreement checks).
-func (s *Server) Library() *core.Library { return s.backends[0].lib }
+func (s *Server) Library() *core.Library { return s.backends[0].gen.Load().lib }
 
 // Devices lists the hosted device names; the first is the default route.
 func (s *Server) Devices() []string {
@@ -174,6 +227,16 @@ func (s *Server) Devices() []string {
 		names[i] = be.name
 	}
 	return names
+}
+
+// Generation reports the named backend's current generation id (empty =
+// default backend).
+func (s *Server) Generation(device string) (uint64, error) {
+	be, err := s.backend(device)
+	if err != nil {
+		return 0, err
+	}
+	return be.gen.Load().id, nil
 }
 
 // backend resolves a request's device name; empty selects the default.
@@ -189,7 +252,10 @@ func (s *Server) backend(name string) (*backend, error) {
 
 // Decision is one answer: the chosen configuration for a shape plus the
 // device model's predicted performance, normalized against the best
-// configuration the library could have picked for that shape.
+// configuration the library could have picked for that shape. Generation
+// identifies the library epoch that produced it. Degraded decisions carry
+// the backend's fallback config and no prediction (computing one is exactly
+// the work degradation avoids).
 type Decision struct {
 	Device          string  `json:"device"`
 	Shape           string  `json:"shape"`
@@ -199,59 +265,58 @@ type Decision struct {
 	PredictedGFLOPS float64 `json:"predicted_gflops"`
 	PredictedNorm   float64 `json:"predicted_norm"`
 	Cached          bool    `json:"cached"`
+	Generation      uint64  `json:"generation"`
+	Degraded        bool    `json:"degraded,omitempty"`
+	DegradedReason  string  `json:"degraded_reason,omitempty"`
 }
 
-// decide answers one shape on one backend, consulting its cache first. It
-// fails only when ctx expires mid-computation; aborted decisions are not
-// cached.
+// degradedDecision stamps the generation's precomputed fallback for one
+// shape and counts it. Degraded decisions are never cached: the cache must
+// only ever serve full-quality answers.
+func (s *Server) degradedDecision(be *backend, gen *generation, shape gemm.Shape, r degradeReason) Decision {
+	be.degraded[r].Add(1)
+	d := gen.fallback
+	d.Shape = shape.String()
+	d.DegradedReason = reasonNames[r]
+	return d
+}
+
+// decide answers one shape on one backend against a single generation
+// snapshot, consulting its cache first. It fails only when ctx expires
+// mid-computation; pricing failures and an open breaker degrade to the
+// fallback config instead. Aborted and degraded decisions are not cached.
 func (s *Server) decide(ctx context.Context, be *backend, shape gemm.Shape) (Decision, error) {
-	if d, ok := be.cache.get(shape); ok {
+	gen := be.gen.Load()
+	if d, ok := gen.cache.get(shape); ok {
 		d.Cached = true
 		return d, nil
 	}
-	d, err := be.compute(ctx, shape)
-	if err != nil {
-		return Decision{}, err
+	if !be.breaker.allow(time.Now()) {
+		return s.degradedDecision(be, gen, shape, reasonBreaker), nil
 	}
-	be.cache.put(shape, d)
-	return d, nil
-}
-
-// compute runs the selector and prices every library configuration on the
-// shape, so the decision carries its predicted normalized performance — the
-// paper's Table-I quantity, per request. The deadline is checked between
-// configurations: pricing the whole library is the handler's only unbounded
-// work, so an expired context aborts here rather than running to completion
-// after the client has given up.
-func (be *backend) compute(ctx context.Context, shape gemm.Shape) (Decision, error) {
-	idx := be.lib.ChooseIndex(shape)
-	cfgs := be.lib.Configs
-	best, chosen := 0.0, 0.0
-	for i, cfg := range cfgs {
-		if err := ctx.Err(); err != nil {
+	// A pricing pass costs ~computeEWMA; if the remaining deadline cannot
+	// cover it, answer the fallback now instead of burning the budget on a
+	// pass that will abort anyway.
+	if dl, ok := ctx.Deadline(); ok {
+		if est := ewmaValue(&be.computeEWMA); est > 0 && time.Until(dl) < est {
+			be.breaker.onAbort()
+			return s.degradedDecision(be, gen, shape, reasonDeadline), nil
+		}
+	}
+	start := time.Now()
+	d, err := gen.compute(ctx, shape)
+	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			be.breaker.onAbort()
 			return Decision{}, err
 		}
-		g := be.model.GFLOPS(cfg, shape)
-		if g > best {
-			best = g
-		}
-		if i == idx {
-			chosen = g
-		}
+		be.breaker.onFailure(time.Now())
+		return s.degradedDecision(be, gen, shape, reasonError), nil
 	}
-	norm := 0.0
-	if best > 0 {
-		norm = chosen / best
-	}
-	return Decision{
-		Device:          be.name,
-		Shape:           shape.String(),
-		Config:          cfgs[idx].String(),
-		Index:           idx,
-		KernelID:        cfgs[idx].KernelID(),
-		PredictedGFLOPS: chosen,
-		PredictedNorm:   norm,
-	}, nil
+	be.breaker.onSuccess()
+	ewmaObserve(&be.computeEWMA, time.Since(start))
+	gen.cache.put(shape, d)
+	return d, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -295,11 +360,12 @@ type batchResponse struct {
 }
 
 type configsResponse struct {
-	Device    string   `json:"device"`
-	Selector  string   `json:"selector"`
-	Count     int      `json:"count"`
-	Configs   []string `json:"configs"`
-	KernelIDs []string `json:"kernel_ids"`
+	Device     string   `json:"device"`
+	Selector   string   `json:"selector"`
+	Generation uint64   `json:"generation"`
+	Count      int      `json:"count"`
+	Configs    []string `json:"configs"`
+	KernelIDs  []string `json:"kernel_ids"`
 }
 
 type deviceInfo struct {
@@ -313,6 +379,33 @@ type devicesResponse struct {
 	Devices []deviceInfo `json:"devices"`
 }
 
+type reloadRequest struct {
+	Device string `json:"device,omitempty"`
+}
+
+type reloadResponse struct {
+	Device     string `json:"device"`
+	Generation uint64 `json:"generation"`
+	Selector   string `json:"selector"`
+	Configs    int    `json:"configs"`
+}
+
+type healthzBackend struct {
+	Device     string `json:"device"`
+	Generation uint64 `json:"generation"`
+	Selector   string `json:"selector"`
+	Configs    int    `json:"configs"`
+	Breaker    string `json:"breaker"`
+	InFlight   int64  `json:"in_flight"`
+	BudgetFree int    `json:"budget_free"`
+	BudgetCap  int    `json:"budget_cap"`
+}
+
+type healthzResponse struct {
+	Status   string           `json:"status"`
+	Backends []healthzBackend `json:"backends"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -320,19 +413,25 @@ type errorResponse struct {
 // Handler returns the daemon's full HTTP surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/select", s.instrument("select", true, s.handleSelect))
-	mux.HandleFunc("POST /v1/select/batch", s.instrument("batch", true, s.handleBatch))
-	mux.HandleFunc("GET /v1/configs", s.instrument("configs", false, s.handleConfigs))
-	mux.HandleFunc("GET /v1/devices", s.instrument("devices", false, s.handleDevices))
+	mux.HandleFunc("POST /v1/select", s.instrument("select", s.handleSelect))
+	mux.HandleFunc("POST /v1/select/batch", s.instrument("batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/reload", s.instrument("reload", s.handleReload))
+	mux.HandleFunc("GET /v1/configs", s.instrument("configs", s.handleConfigs))
+	mux.HandleFunc("GET /v1/devices", s.instrument("devices", s.handleDevices))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
-// statusWriter records the status code a handler commits.
+// statusWriter records the status code a handler commits, and whether the
+// response should be kept out of the latency histogram (sheds and degraded
+// answers do little or no work; a flood of their near-zero durations would
+// drag the latency quantiles toward zero exactly when the server is slowest
+// and real full-service latencies matter most).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code        int
+	skipLatency bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -340,34 +439,29 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the serving spine: optional in-flight
-// admission (shedding 429 when saturated), a per-request deadline, and
-// counter/latency accounting. Shed requests count toward the status-code
-// counter and selectd_shed_total but not the latency histogram — they do no
-// work, and a flood of zero-duration observations would drag the latency
-// quantiles toward zero exactly when the server is slowest.
-func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if limited {
-			select {
-			case s.inflight <- struct{}{}:
-				defer func() { <-s.inflight }()
-			default:
-				s.metrics.shed.Add(1)
-				s.metrics.endpoint(endpoint).observeCode(http.StatusTooManyRequests)
-				writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server saturated"})
-				return
-			}
-		}
-		s.metrics.inflight.Add(1)
-		defer s.metrics.inflight.Add(-1)
+// markNoLatency flags the response as excluded from the latency histogram.
+func markNoLatency(w http.ResponseWriter) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.skipLatency = true
+	}
+}
 
+// instrument wraps a handler with the serving spine: a per-request deadline
+// and counter/latency accounting. Admission is per-backend and happens
+// inside the handlers once the device is resolved.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r.WithContext(ctx))
-		s.metrics.endpoint(endpoint).observe(sw.code, time.Since(start))
+		e := s.metrics.endpoint(endpoint)
+		if sw.skipLatency {
+			e.observeCode(sw.code)
+		} else {
+			e.observe(sw.code, time.Since(start))
+		}
 	}
 }
 
@@ -390,6 +484,26 @@ func writeBodyError(w http.ResponseWriter, err error) {
 	writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 }
 
+// admit runs the per-backend admission ladder shared by select and batch:
+// 429 when the backend's latency EWMA is over the shed threshold, a nil
+// release with ok=true when the caller should answer degraded (budget
+// exhausted), or a live release token. It writes the 429 itself.
+func (s *Server) admit(w http.ResponseWriter, be *backend) (release func(), degraded bool, shed bool) {
+	if be.overloaded(s.opts.ShedLatency) {
+		be.shed.Add(1)
+		markNoLatency(w)
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error: fmt.Sprintf("backend %q overloaded", be.name),
+		})
+		return nil, false, true
+	}
+	release, ok := be.acquire()
+	if !ok {
+		return nil, true, false
+	}
+	return release, false, false
+}
+
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	var req shapeRequest
 	if err := decodeBody(w, r, &req); err != nil {
@@ -406,10 +520,36 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	// Cache hits are O(1) and bypass admission entirely: even a saturated
+	// backend keeps answering its steady-state shapes at full quality.
+	gen := be.gen.Load()
+	if d, ok := gen.cache.get(shape); ok {
+		d.Cached = true
+		writeJSON(w, http.StatusOK, d)
+		return
+	}
+	release, degraded, shed := s.admit(w, be)
+	if shed {
+		return
+	}
+	if degraded {
+		markNoLatency(w)
+		writeJSON(w, http.StatusOK, s.degradedDecision(be, be.gen.Load(), shape, reasonBudget))
+		return
+	}
+	defer release()
+	be.inflight.Add(1)
+	defer be.inflight.Add(-1)
+	start := time.Now()
 	d, err := s.decide(r.Context(), be, shape)
 	if err != nil {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request deadline exceeded"})
 		return
+	}
+	if d.Degraded {
+		markNoLatency(w)
+	} else if !d.Cached {
+		ewmaObserve(&be.latencyEWMA, time.Since(start))
 	}
 	writeJSON(w, http.StatusOK, d)
 }
@@ -447,7 +587,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		shapes[i] = shape
 	}
 
+	// One admission token covers the whole batch (it is one request's worth
+	// of concurrency); budget exhaustion degrades every shape in it.
+	release, degraded, shed := s.admit(w, be)
+	if shed {
+		return
+	}
+	if degraded {
+		gen := be.gen.Load()
+		results := make([]Decision, len(shapes))
+		for i, sh := range shapes {
+			results[i] = s.degradedDecision(be, gen, sh, reasonBudget)
+		}
+		markNoLatency(w)
+		writeJSON(w, http.StatusOK, batchResponse{Results: results})
+		return
+	}
+	defer release()
+	be.inflight.Add(1)
+	defer be.inflight.Add(-1)
+
 	ctx := r.Context()
+	start := time.Now()
 	results := par.Map(s.opts.Workers, len(shapes), func(i int) Decision {
 		d, err := s.decide(ctx, be, shapes[i])
 		if err != nil {
@@ -459,7 +620,57 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request deadline exceeded"})
 		return
 	}
+	anyDegraded := false
+	for _, d := range results {
+		if d.Degraded {
+			anyDegraded = true
+			break
+		}
+	}
+	if anyDegraded {
+		markNoLatency(w)
+	} else {
+		ewmaObserve(&be.latencyEWMA, time.Since(start))
+	}
 	writeJSON(w, http.StatusOK, batchResponse{Results: results})
+}
+
+// handleReload swaps the named backend (empty = default) onto a fresh
+// library obtained from the installed ReloadSource. An empty body selects
+// the default backend.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if err := decodeBody(w, r, &req); err != nil && !errors.Is(err, io.EOF) {
+		writeBodyError(w, err)
+		return
+	}
+	be, err := s.backend(req.Device)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if s.reloadSource == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no reload source configured"})
+		return
+	}
+	lib, model, err := s.reloadSource(be.name)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{
+			Error: fmt.Sprintf("reload source for %q: %v", be.name, err),
+		})
+		return
+	}
+	genID, err := s.Reload(be.name, lib, model)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, reloadResponse{
+		Device:     be.name,
+		Generation: genID,
+		Selector:   lib.SelectorName(),
+		Configs:    len(lib.Configs),
+	})
 }
 
 func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
@@ -468,12 +679,14 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	gen := be.gen.Load()
 	resp := configsResponse{
-		Device:   be.name,
-		Selector: be.lib.SelectorName(),
-		Count:    len(be.lib.Configs),
+		Device:     be.name,
+		Selector:   gen.lib.SelectorName(),
+		Generation: gen.id,
+		Count:      len(gen.lib.Configs),
 	}
-	for _, c := range be.lib.Configs {
+	for _, c := range gen.lib.Configs {
 		resp.Configs = append(resp.Configs, c.String())
 		resp.KernelIDs = append(resp.KernelIDs, c.KernelID())
 	}
@@ -483,34 +696,68 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDevices(w http.ResponseWriter, _ *http.Request) {
 	resp := devicesResponse{Default: s.backends[0].name}
 	for _, be := range s.backends {
+		gen := be.gen.Load()
 		resp.Devices = append(resp.Devices, deviceInfo{
 			Name:     be.name,
-			Selector: be.lib.SelectorName(),
-			Configs:  len(be.lib.Configs),
+			Selector: gen.lib.SelectorName(),
+			Configs:  len(gen.lib.Configs),
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz keeps the load-balancer contract — 200 healthy, 503
+// draining — while the body reports per-backend detail: generation, breaker
+// state, in-flight count and remaining budget.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+	resp := healthzResponse{Status: "ok", Backends: make([]healthzBackend, len(s.backends))}
+	for i, be := range s.backends {
+		gen := be.gen.Load()
+		state, _ := be.breaker.snapshot()
+		resp.Backends[i] = healthzBackend{
+			Device:     be.name,
+			Generation: gen.id,
+			Selector:   gen.lib.SelectorName(),
+			Configs:    len(gen.lib.Configs),
+			Breaker:    state.String(),
+			InFlight:   be.inflight.Load(),
+			BudgetFree: be.budgetFree(),
+			BudgetCap:  be.budgetCap,
+		}
 	}
-	fmt.Fprintln(w, "ok")
+	code := http.StatusOK
+	if s.draining() {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	stats := make([]backendStats, len(s.backends))
 	for i, be := range s.backends {
-		hits, misses := be.cache.stats()
-		stats[i] = backendStats{
-			device:   be.name,
-			selector: be.lib.SelectorName(),
-			hits:     hits,
-			misses:   misses,
-			entries:  be.cache.len(),
+		gen := be.gen.Load()
+		hits, misses := gen.cache.stats()
+		state, trips := be.breaker.snapshot()
+		st := backendStats{
+			device:       be.name,
+			selector:     gen.lib.SelectorName(),
+			generation:   gen.id,
+			hits:         hits,
+			misses:       misses,
+			entries:      gen.cache.len(),
+			inflight:     be.inflight.Load(),
+			budgetFree:   be.budgetFree(),
+			budgetCap:    be.budgetCap,
+			shed:         be.shed.Load(),
+			ewmaSeconds:  ewmaValue(&be.latencyEWMA).Seconds(),
+			breakerState: state,
+			breakerTrips: trips,
 		}
+		for r := range st.degraded {
+			st.degraded[r] = be.degraded[r].Load()
+		}
+		stats[i] = st
 	}
 	var b strings.Builder
 	s.metrics.render(&b, stats)
@@ -527,6 +774,9 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return err
+		}
 		return fmt.Errorf("decoding request body: %w", err)
 	}
 	if dec.More() {

@@ -281,42 +281,89 @@ func TestMetricsPage(t *testing.T) {
 	}
 }
 
-func TestShedsAtInFlightLimit(t *testing.T) {
+// Budget exhaustion no longer errors: the request is answered with the
+// backend's fallback config, marked degraded, and kept out of the cache and
+// the latency histogram.
+func TestBudgetExhaustionDegrades(t *testing.T) {
 	srv, ts := testServer(t, Options{MaxInFlight: 2})
+	be := srv.backends[0]
 
-	// Saturate the admission semaphore directly — the deterministic
+	// Saturate the backend's admission budget directly — the deterministic
 	// equivalent of two requests parked in handlers.
-	srv.inflight <- struct{}{}
-	srv.inflight <- struct{}{}
+	rel1, ok1 := be.acquire()
+	rel2, ok2 := be.acquire()
+	if !ok1 || !ok2 {
+		t.Fatal("could not saturate a 2-token budget")
+	}
+	d := decodeResp[Decision](t, postJSON(t, ts.URL+"/v1/select", shapeRequest{M: 10, K: 10, N: 10}))
+	if !d.Degraded || d.DegradedReason != "budget" {
+		t.Fatalf("saturated request not degraded(budget): %+v", d)
+	}
+	if d.Config != be.gen.Load().fallback.Config {
+		t.Errorf("degraded config %q, want fallback %q", d.Config, be.gen.Load().fallback.Config)
+	}
+	if _, ok := be.gen.Load().cache.get(gemm.Shape{M: 10, K: 10, N: 10}); ok {
+		t.Error("degraded decision was cached")
+	}
+	rel1()
+	rel2()
+
+	// Capacity restored: the same request gets full service.
+	d = decodeResp[Decision](t, postJSON(t, ts.URL+"/v1/select", shapeRequest{M: 10, K: 10, N: 10}))
+	if d.Degraded {
+		t.Fatalf("request degraded after budget release: %+v", d)
+	}
+
+	page := metricsPage(t, ts)
+	if got := metricValue(t, page, `selectd_degraded_total{device="amd-r9-nano",reason="budget"}`); got != 1 {
+		t.Errorf("degraded(budget) counter %v, want 1", got)
+	}
+	// Degraded responses do almost no work, so they must not contribute
+	// (zero-duration) observations to the latency histogram: only the
+	// full-service 200 counts.
+	if got := metricValue(t, page, `selectd_request_seconds_count{endpoint="select"}`); got != 1 {
+		t.Errorf("latency observations %v, want 1 (degraded must not be observed)", got)
+	}
+	if free := metricValue(t, page, `selectd_budget_tokens{device="amd-r9-nano"}`); free != 2 {
+		t.Errorf("budget tokens %v, want 2 after release", free)
+	}
+}
+
+// When a backend's full-service latency EWMA exceeds the shed threshold, new
+// uncached requests draw 429 and count toward the per-device shed series —
+// without a latency observation.
+func TestShedsAtLatencyThreshold(t *testing.T) {
+	srv, ts := testServer(t, Options{ShedLatency: time.Millisecond})
+	be := srv.backends[0]
+	ewmaObserve(&be.latencyEWMA, 50*time.Millisecond)
+
 	resp := postJSON(t, ts.URL+"/v1/select", shapeRequest{M: 10, K: 10, N: 10})
 	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("saturated: status %d, want 429", resp.StatusCode)
-	}
-	resp.Body.Close()
-	<-srv.inflight
-	<-srv.inflight
-
-	// Capacity restored: the same request is admitted.
-	resp = postJSON(t, ts.URL+"/v1/select", shapeRequest{M: 10, K: 10, N: 10})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("after release: status %d, want 200", resp.StatusCode)
+		t.Fatalf("overloaded: status %d, want 429", resp.StatusCode)
 	}
 	resp.Body.Close()
 
 	page := metricsPage(t, ts)
-	if shed := metricValue(t, page, "selectd_shed_total"); shed != 1 {
+	if shed := metricValue(t, page, `selectd_shed_total{device="amd-r9-nano"}`); shed != 1 {
 		t.Errorf("shed counter %v, want 1", shed)
 	}
 	if got := metricValue(t, page, `selectd_requests_total{endpoint="select",code="429"}`); got != 1 {
 		t.Errorf("429 count %v, want 1", got)
 	}
-	// Shed requests do no work, so they must not contribute (zero-duration)
-	// observations to the latency histogram: only the admitted 200 counts.
-	if got := metricValue(t, page, `selectd_request_seconds_count{endpoint="select"}`); got != 1 {
-		t.Errorf("latency observations %v, want 1 (sheds must not be observed)", got)
+	if got := metricValue(t, page, `selectd_request_seconds_count{endpoint="select"}`); got != 0 {
+		t.Errorf("latency observations %v, want 0 (sheds must not be observed)", got)
 	}
-	if got := metricValue(t, page, `selectd_request_seconds_bucket{endpoint="select",le="+Inf"}`); got != 1 {
-		t.Errorf("+Inf bucket %v, want 1 (sheds must not be observed)", got)
+
+	// A cached shape keeps serving at full quality through the overload.
+	be.latencyEWMA.Store(0)
+	warm := decodeResp[Decision](t, postJSON(t, ts.URL+"/v1/select", shapeRequest{M: 10, K: 10, N: 10}))
+	if warm.Cached || warm.Degraded {
+		t.Fatalf("warmup response unexpected: %+v", warm)
+	}
+	ewmaObserve(&be.latencyEWMA, 50*time.Millisecond)
+	hit := decodeResp[Decision](t, postJSON(t, ts.URL+"/v1/select", shapeRequest{M: 10, K: 10, N: 10}))
+	if !hit.Cached || hit.Degraded {
+		t.Fatalf("cache hit should bypass shedding: %+v", hit)
 	}
 }
 
