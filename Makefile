@@ -15,7 +15,7 @@ COVER_FLOOR ?= 70
 # Seeds for the chaos sweep (`make chaos`); each seed is one fault schedule.
 CHAOS_SEEDS ?= 12
 
-.PHONY: build test race race-serve vet bench bench-serve fuzz fuzz-smoke cover chaos check
+.PHONY: build test race race-serve vet bench bench-serve bench-serve-check saturation fuzz fuzz-smoke cover chaos check
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,25 @@ bench:
 bench-serve:
 	$(GO) run ./cmd/selectload -inprocess -qps 500 -duration 10s -workers 32 -json BENCH_serve.json
 
+# Regression gate against the committed baseline: a short run must hold the
+# achieved rate and stay within tolerance of the stored p99s. The tolerance is
+# deliberately loose (shared CI machines are noisy); bench-serve is the
+# precise measurement, this is the tripwire.
+bench-serve-check:
+	$(GO) run ./cmd/selectload -inprocess -qps 500 -duration 3s -workers 32 \
+		-baseline BENCH_serve.json -tolerance 0.5
+
+# Saturation sweep: ramp the offered rate on a miss-heavy (-stress: no
+# decision cache, tight admission budget) in-process server until the
+# resilience machinery engages — shed/degraded past the knee threshold —
+# and render the latency/throughput/shed trade-off figure. Without -stress
+# the warm cache absorbs any rate the CPU can serve and the ramp never finds
+# a knee; the stress server measures the pricing path the paper cares about.
+saturation:
+	$(GO) run ./cmd/selectload -inprocess -stress -ramp -ramp-start 100 -ramp-step 200 \
+		-ramp-max 2000 -step-duration 3s -workers 64 \
+		-json figures/fig6-saturation.json -fig figures/fig6-saturation.svg
+
 # Chaos sweep: the fault-injection suite (seed-driven latency spikes, pricing
 # errors, client cancellations, reload races) across $(CHAOS_SEEDS) seeds
 # under the race detector. A failing seed is printed in the test name and
@@ -76,4 +95,4 @@ cover:
 		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; \
 	fi
 
-check: build vet test race-serve chaos race fuzz-smoke cover
+check: build vet test race-serve chaos bench-serve-check race fuzz-smoke cover

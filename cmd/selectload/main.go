@@ -6,24 +6,34 @@
 //
 // The shape stream is deterministic in -seed, so two runs against different
 // server builds see the same request sequence and their reports compare
-// directly. Each worker draws the next (shape, device) pair from a hash of
-// the sequence number; the dispatcher paces dispatch with a ticker at the
-// requested rate, so measured latency excludes queueing in the generator
-// itself when the server keeps up, and the report calls out any shortfall
-// between requested and achieved QPS.
+// directly. Dispatch is open-loop (wrk2-style): every request has an
+// absolute deadline start + i/qps, and a worker that picks a job up late
+// records the lateness as queue delay rather than letting a slow server
+// stretch the schedule. Closed-loop generators silently degrade into
+// measuring their own backpressure — the achieved rate drops and the
+// latencies look fine; open-loop keeps offered load honest and the report's
+// limiter field says whether any shortfall was the server or the generator.
 //
 // Usage:
 //
 //	selectload -url http://localhost:8080 -qps 500 -duration 30s [-devices amd-r9-nano,integrated-gen9]
 //	selectload -inprocess -qps 500 -duration 10s -json BENCH_serve.json
+//	selectload -inprocess -qps 500 -duration 10s -baseline BENCH_serve.json    # regression gate
+//	selectload -inprocess -ramp -ramp-start 500 -ramp-step 500 -fig figures/fig6-saturation.svg
 //
 // The -json report is the serving-path benchmark baseline (`make bench-serve`
 // writes BENCH_serve.json): track p50/p95/p99 and the degraded/shed rates
-// across changes to the serving runtime.
+// across changes to the serving runtime. With -baseline the run compares
+// itself against a stored report and exits non-zero when achieved QPS or any
+// device's p99 regresses beyond -tolerance, so `make check` can gate on it.
+// With -ramp the generator steps the offered rate until the server saturates
+// (shed+degraded past -knee-shed, or achieved QPS falling under -knee-qps of
+// offered), reports the knee, and renders the latency/shed trade-off figure.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,6 +50,7 @@ import (
 	"kernelselect/internal/dataset"
 	"kernelselect/internal/device"
 	"kernelselect/internal/gemm"
+	"kernelselect/internal/plot"
 	"kernelselect/internal/serve"
 	"kernelselect/internal/sim"
 	"kernelselect/internal/workload"
@@ -57,22 +68,27 @@ type config struct {
 }
 
 // deviceReport aggregates one device's outcomes. Rates are fractions of the
-// device's request count.
+// device's request count. Queue delay is how late the open-loop schedule
+// fired each request (all workers busy = the server, not the generator, is
+// the bottleneck); it is reported separately and never mixed into the
+// service latency quantiles.
 type deviceReport struct {
-	Device       string  `json:"device"`
-	Requests     int     `json:"requests"`
-	P50Micros    int64   `json:"p50_us"`
-	P95Micros    int64   `json:"p95_us"`
-	P99Micros    int64   `json:"p99_us"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	DegradedRate float64 `json:"degraded_rate"`
-	ShedRate     float64 `json:"shed_rate"`
-	Errors       int     `json:"errors"`
+	Device        string  `json:"device"`
+	Requests      int     `json:"requests"`
+	P50Micros     int64   `json:"p50_us"`
+	P95Micros     int64   `json:"p95_us"`
+	P99Micros     int64   `json:"p99_us"`
+	QueueP99Micro int64   `json:"queue_p99_us"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	DegradedRate  float64 `json:"degraded_rate"`
+	ShedRate      float64 `json:"shed_rate"`
+	Errors        int     `json:"errors"`
 }
 
 type report struct {
 	RequestedQPS int            `json:"requested_qps"`
 	AchievedQPS  float64        `json:"achieved_qps"`
+	Limiter      string         `json:"limiter"` // none | server | generator
 	Duration     string         `json:"duration"`
 	Seed         uint64         `json:"seed"`
 	Devices      []deviceReport `json:"devices"`
@@ -82,6 +98,7 @@ type report struct {
 type sample struct {
 	device   string
 	latency  time.Duration
+	queue    time.Duration // lateness vs. the open-loop schedule
 	cached   bool
 	degraded bool
 	shed     bool
@@ -106,6 +123,17 @@ func main() {
 	shapes := flag.Int("shapes", 0, "distinct shapes drawn from the dataset mix (0 = all)")
 	jsonPath := flag.String("json", "", "also write the report as JSON to this path")
 	inprocess := flag.Bool("inprocess", false, "benchmark an in-process server instead of -url")
+	stress := flag.Bool("stress", false, "build the -inprocess server miss-heavy (no decision cache, tight admission budget, shed threshold) so ramps hit the resilience path")
+	baseline := flag.String("baseline", "", "compare against a stored report; exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression vs -baseline (QPS and p99)")
+	ramp := flag.Bool("ramp", false, "step the offered QPS until the server saturates and report the knee")
+	rampStart := flag.Int("ramp-start", 250, "first ramp step's offered QPS")
+	rampStep := flag.Int("ramp-step", 250, "offered QPS increment per ramp step")
+	rampMax := flag.Int("ramp-max", 4000, "offered QPS ceiling for the ramp")
+	stepDuration := flag.Duration("step-duration", 3*time.Second, "load duration per ramp step")
+	kneeShed := flag.Float64("knee-shed", 0.01, "shed+degraded rate that marks the saturation knee")
+	kneeQPS := flag.Float64("knee-qps", 0.95, "achieved/offered ratio below which the knee is declared")
+	fig := flag.String("fig", "", "write the ramp's latency/shed trade-off figure (SVG) to this path")
 	flag.Parse()
 
 	cfg := config{
@@ -123,7 +151,7 @@ func main() {
 	}
 
 	if *inprocess {
-		ts, names, err := inprocessServer()
+		ts, names, err := inprocessServer(*stress)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -134,25 +162,71 @@ func main() {
 		}
 	}
 
+	if *ramp {
+		rr, err := runRamp(cfg, rampConfig{
+			start:    *rampStart,
+			step:     *rampStep,
+			max:      *rampMax,
+			duration: *stepDuration,
+			kneeShed: *kneeShed,
+			kneeQPS:  *kneeQPS,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRamp(os.Stdout, rr)
+		if *jsonPath != "" {
+			writeJSONFile(*jsonPath, rr)
+		}
+		if *fig != "" {
+			svg, err := rampFigure(rr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*fig, []byte(svg), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", *fig)
+		}
+		return
+	}
+
 	rep, err := run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	printReport(os.Stdout, rep)
 	if *jsonPath != "" {
-		raw, _ := json.MarshalIndent(rep, "", "  ")
-		raw = append(raw, '\n')
-		if err := os.WriteFile(*jsonPath, raw, 0o644); err != nil {
+		writeJSONFile(*jsonPath, rep)
+	}
+	if *baseline != "" {
+		ok, err := compareBaseline(os.Stdout, *baseline, rep, *tolerance)
+		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("wrote %s", *jsonPath)
+		if !ok {
+			os.Exit(1)
+		}
 	}
+}
+
+func writeJSONFile(path string, v any) {
+	raw, _ := json.MarshalIndent(v, "", "  ")
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
 }
 
 // inprocessServer builds a two-device serving stack (R9 Nano + Gen9, each
 // trained in-process over the dataset shape mix) behind httptest, for
-// self-contained serving-path benchmarks.
-func inprocessServer() (*httptest.Server, []string, error) {
+// self-contained serving-path benchmarks. In stress mode the decision cache
+// is disabled and admission/shed limits are tightened: every request takes
+// the full pricing path, so a ramp finds the knee where the resilience
+// machinery (degraded fallbacks, 429 shedding) engages instead of measuring
+// how fast cache hits come back.
+func inprocessServer(stress bool) (*httptest.Server, []string, error) {
 	allShapes, _ := workload.DatasetShapes()
 	configs := gemm.AllConfigs()[:160]
 	var backends []serve.Backend
@@ -161,14 +235,53 @@ func inprocessServer() (*httptest.Server, []string, error) {
 		model := sim.New(spec)
 		ds := dataset.Build(model, allShapes[:24], configs)
 		lib := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 8, 42)
-		backends = append(backends, serve.Backend{Device: spec.Name, Lib: lib, Model: model})
+		be := serve.Backend{Device: spec.Name, Lib: lib, Model: model}
+		if stress {
+			// The analytical model prices a config in nanoseconds; real
+			// pricing runs the kernel on the device. Model that cost so the
+			// admission budget is contended at rates a ramp can reach.
+			be.Pricer = measuredPricer{m: model, cost: 2 * time.Millisecond}
+		}
+		backends = append(backends, be)
 		names = append(names, spec.Name)
 	}
-	srv, err := serve.NewMulti(backends, serve.Options{})
+	opts := serve.Options{}
+	if stress {
+		// Pricing one miss costs ~16ms of modeled measurement (8 configs x
+		// 2ms), so 8 admission tokens per backend cap full-service pricing
+		// near 500/s per device; past that, budget exhaustion degrades
+		// requests to the fallback. The shed threshold sits well above the
+		// nominal service time so it reflects real latency inflation, not
+		// timer slop on a loaded machine.
+		opts.CacheSize = -1
+		opts.MaxInFlight = 16
+		opts.ShedLatency = 60 * time.Millisecond
+	}
+	srv, err := serve.NewMulti(backends, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	return httptest.NewServer(srv.Handler()), names, nil
+}
+
+// measuredPricer models on-device measurement cost on top of the analytical
+// model: each (config, shape) price takes a fixed wall-clock cost, the way
+// pricing by running the candidate kernel would. Stress-mode ramps use it so
+// saturation reflects the pricing path's economics, not simulator speed.
+type measuredPricer struct {
+	m    *sim.Model
+	cost time.Duration
+}
+
+func (p measuredPricer) PriceGFLOPS(ctx context.Context, cfg gemm.Config, s gemm.Shape) (float64, error) {
+	timer := time.NewTimer(p.cost)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-timer.C:
+	}
+	return p.m.GFLOPS(cfg, s), nil
 }
 
 // run drives the load and aggregates the report. It is the testable core:
@@ -188,31 +301,49 @@ func run(cfg config) (report, error) {
 	if total < 1 {
 		total = 1
 	}
+	interval := cfg.duration / time.Duration(total)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
 
 	type decision struct {
 		Cached   bool `json:"cached"`
 		Degraded bool `json:"degraded"`
 	}
 	client := &http.Client{Timeout: 30 * time.Second}
-	jobs := make(chan int)
+	// The jobs channel holds the whole schedule: dispatch can never block on
+	// a slow server (the open-loop property). Workers enforce each job's
+	// absolute deadline themselves and record any lateness as queue delay.
+	type job struct {
+		i   int
+		due time.Time
+	}
+	jobs := make(chan job, total)
 	samples := make(chan sample, total)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				shape := drawShape(cfg.seed, i, shapes)
+			for j := range jobs {
+				if d := time.Until(j.due); d > 0 {
+					time.Sleep(d)
+				}
+				shape := drawShape(cfg.seed, j.i, shapes)
 				dev := ""
 				if len(cfg.devices) > 0 {
-					dev = cfg.devices[i%len(cfg.devices)]
+					dev = cfg.devices[j.i%len(cfg.devices)]
 				}
 				raw, _ := json.Marshal(map[string]any{
 					"m": shape.M, "k": shape.K, "n": shape.N, "device": dev,
 				})
 				start := time.Now()
+				smp := sample{device: dev, queue: start.Sub(j.due)}
+				if smp.queue < 0 {
+					smp.queue = 0
+				}
 				resp, err := client.Post(cfg.url+"/v1/select", "application/json", bytes.NewReader(raw))
-				smp := sample{device: dev, latency: time.Since(start)}
+				smp.latency = time.Since(start)
 				if err != nil {
 					smp.err = true
 					samples <- smp
@@ -237,19 +368,10 @@ func run(cfg config) (report, error) {
 		}()
 	}
 
-	// Fixed-rate dispatch: one job per tick. If all workers are busy the
-	// send blocks and the achieved QPS in the report shows the shortfall.
-	interval := time.Second / time.Duration(cfg.qps)
-	if interval <= 0 {
-		interval = time.Nanosecond
-	}
-	ticker := time.NewTicker(interval)
 	start := time.Now()
 	for i := 0; i < total; i++ {
-		<-ticker.C
-		jobs <- i
+		jobs <- job{i: i, due: start.Add(time.Duration(i) * interval)}
 	}
-	ticker.Stop()
 	close(jobs)
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -257,21 +379,24 @@ func run(cfg config) (report, error) {
 
 	// Aggregate per device.
 	byDevice := map[string]*struct {
-		lats                         []time.Duration
+		lats, queues                 []time.Duration
 		cached, degraded, shed, errs int
 	}{}
 	order := []string{}
+	var allQueues []time.Duration
 	for smp := range samples {
 		agg, ok := byDevice[smp.device]
 		if !ok {
 			agg = &struct {
-				lats                         []time.Duration
+				lats, queues                 []time.Duration
 				cached, degraded, shed, errs int
 			}{}
 			byDevice[smp.device] = agg
 			order = append(order, smp.device)
 		}
 		agg.lats = append(agg.lats, smp.latency)
+		agg.queues = append(agg.queues, smp.queue)
+		allQueues = append(allQueues, smp.queue)
 		if smp.cached {
 			agg.cached++
 		}
@@ -293,6 +418,7 @@ func run(cfg config) (report, error) {
 		Duration:     elapsed.Round(time.Millisecond).String(),
 		Seed:         cfg.seed,
 	}
+	rep.Limiter = attributeLimiter(cfg.qps, rep.AchievedQPS, interval, percentile(allQueues, 99))
 	for _, dev := range order {
 		agg := byDevice[dev]
 		n := len(agg.lats)
@@ -301,18 +427,34 @@ func run(cfg config) (report, error) {
 			name = "(default)"
 		}
 		rep.Devices = append(rep.Devices, deviceReport{
-			Device:       name,
-			Requests:     n,
-			P50Micros:    percentile(agg.lats, 50).Microseconds(),
-			P95Micros:    percentile(agg.lats, 95).Microseconds(),
-			P99Micros:    percentile(agg.lats, 99).Microseconds(),
-			CacheHitRate: rate(agg.cached, n),
-			DegradedRate: rate(agg.degraded, n),
-			ShedRate:     rate(agg.shed, n),
-			Errors:       agg.errs,
+			Device:        name,
+			Requests:      n,
+			P50Micros:     percentile(agg.lats, 50).Microseconds(),
+			P95Micros:     percentile(agg.lats, 95).Microseconds(),
+			P99Micros:     percentile(agg.lats, 99).Microseconds(),
+			QueueP99Micro: percentile(agg.queues, 99).Microseconds(),
+			CacheHitRate:  rate(agg.cached, n),
+			DegradedRate:  rate(agg.degraded, n),
+			ShedRate:      rate(agg.shed, n),
+			Errors:        agg.errs,
 		})
 	}
 	return rep, nil
+}
+
+// attributeLimiter names what capped the run when the achieved rate fell
+// short of the request: queue delays well past the dispatch interval mean
+// every worker was occupied waiting on the server; an on-schedule queue with
+// a shortfall means the generator itself (scheduling overhead, too few CPUs)
+// could not hold the rate.
+func attributeLimiter(requested int, achieved float64, interval, queueP99 time.Duration) string {
+	if achieved >= 0.99*float64(requested) {
+		return "none"
+	}
+	if queueP99 > 4*interval {
+		return "server"
+	}
+	return "generator"
 }
 
 func rate(count, total int) float64 {
@@ -341,13 +483,221 @@ func percentile(lats []time.Duration, p float64) time.Duration {
 }
 
 func printReport(w *os.File, rep report) {
-	fmt.Fprintf(w, "qps %d requested, %.1f achieved over %s (seed %d)\n",
-		rep.RequestedQPS, rep.AchievedQPS, rep.Duration, rep.Seed)
-	fmt.Fprintf(w, "%-22s %8s %10s %10s %10s %7s %9s %6s %6s\n",
-		"device", "requests", "p50(us)", "p95(us)", "p99(us)", "hit%", "degraded%", "shed%", "errors")
+	fmt.Fprintf(w, "qps %d requested, %.1f achieved over %s (seed %d, limiter %s)\n",
+		rep.RequestedQPS, rep.AchievedQPS, rep.Duration, rep.Seed, rep.Limiter)
+	fmt.Fprintf(w, "%-22s %8s %10s %10s %10s %10s %7s %9s %6s %6s\n",
+		"device", "requests", "p50(us)", "p95(us)", "p99(us)", "queue99", "hit%", "degraded%", "shed%", "errors")
 	for _, d := range rep.Devices {
-		fmt.Fprintf(w, "%-22s %8d %10d %10d %10d %6.1f%% %8.2f%% %5.2f%% %6d\n",
-			d.Device, d.Requests, d.P50Micros, d.P95Micros, d.P99Micros,
+		fmt.Fprintf(w, "%-22s %8d %10d %10d %10d %10d %6.1f%% %8.2f%% %5.2f%% %6d\n",
+			d.Device, d.Requests, d.P50Micros, d.P95Micros, d.P99Micros, d.QueueP99Micro,
 			d.CacheHitRate*100, d.DegradedRate*100, d.ShedRate*100, d.Errors)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Baseline regression gate
+// ---------------------------------------------------------------------------
+
+// compareBaseline diffs the fresh report against a stored one and reports
+// whether it passes: achieved QPS may not fall more than tol below the
+// baseline, and no device's p99 may rise more than tol above it. Devices
+// present only on one side are ignored (topology changes are not latency
+// regressions).
+func compareBaseline(w *os.File, path string, rep report, tol float64) (bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return false, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	pass := true
+	fmt.Fprintf(w, "baseline %s (tolerance %.0f%%):\n", path, tol*100)
+	if floor := base.AchievedQPS * (1 - tol); rep.AchievedQPS < floor {
+		pass = false
+		fmt.Fprintf(w, "  FAIL achieved qps %.1f < %.1f (baseline %.1f)\n", rep.AchievedQPS, floor, base.AchievedQPS)
+	} else {
+		fmt.Fprintf(w, "  ok   achieved qps %.1f vs baseline %.1f\n", rep.AchievedQPS, base.AchievedQPS)
+	}
+	baseByDev := map[string]deviceReport{}
+	for _, d := range base.Devices {
+		baseByDev[d.Device] = d
+	}
+	for _, d := range rep.Devices {
+		b, ok := baseByDev[d.Device]
+		if !ok {
+			continue
+		}
+		if ceil := float64(b.P99Micros) * (1 + tol); float64(d.P99Micros) > ceil {
+			pass = false
+			fmt.Fprintf(w, "  FAIL %s p99 %dus > %.0fus (baseline %dus)\n", d.Device, d.P99Micros, ceil, b.P99Micros)
+		} else {
+			fmt.Fprintf(w, "  ok   %s p99 %dus vs baseline %dus\n", d.Device, d.P99Micros, b.P99Micros)
+		}
+	}
+	if !pass {
+		fmt.Fprintln(w, "baseline regression detected")
+	}
+	return pass, nil
+}
+
+// ---------------------------------------------------------------------------
+// Saturation ramp
+// ---------------------------------------------------------------------------
+
+type rampConfig struct {
+	start, step, max int
+	duration         time.Duration
+	kneeShed         float64 // shed+degraded rate that marks the knee
+	kneeQPS          float64 // achieved/offered ratio under which the knee is declared
+}
+
+type rampStep struct {
+	OfferedQPS   int     `json:"offered_qps"`
+	AchievedQPS  float64 `json:"achieved_qps"`
+	P99Micros    int64   `json:"p99_us"` // worst device
+	ShedRate     float64 `json:"shed_rate"`
+	DegradedRate float64 `json:"degraded_rate"`
+	Limiter      string  `json:"limiter"`
+}
+
+type rampReport struct {
+	Steps        []rampStep `json:"steps"`
+	KneeQPS      int        `json:"knee_qps"` // 0 = ceiling reached without saturating
+	KneeReason   string     `json:"knee_reason,omitempty"`
+	StepDuration string     `json:"step_duration"`
+	Seed         uint64     `json:"seed"`
+}
+
+// runRamp steps the offered rate until the server saturates, then runs two
+// more steps past the knee so the figure shows the post-knee curve.
+func runRamp(cfg config, rc rampConfig) (rampReport, error) {
+	if rc.start < 1 || rc.step < 1 || rc.max < rc.start {
+		return rampReport{}, fmt.Errorf("ramp %d..%d step %d is not a ramp", rc.start, rc.max, rc.step)
+	}
+	rr := rampReport{StepDuration: rc.duration.String(), Seed: cfg.seed}
+	pastKnee := 0
+	for offered := rc.start; offered <= rc.max; offered += rc.step {
+		cfg.qps = offered
+		cfg.duration = rc.duration
+		rep, err := run(cfg)
+		if err != nil {
+			return rampReport{}, err
+		}
+		st := rampStep{
+			OfferedQPS:  offered,
+			AchievedQPS: rep.AchievedQPS,
+			Limiter:     rep.Limiter,
+		}
+		reqs := 0
+		shed, degr := 0.0, 0.0
+		for _, d := range rep.Devices {
+			if d.P99Micros > st.P99Micros {
+				st.P99Micros = d.P99Micros
+			}
+			reqs += d.Requests
+			shed += d.ShedRate * float64(d.Requests)
+			degr += d.DegradedRate * float64(d.Requests)
+		}
+		if reqs > 0 {
+			st.ShedRate = shed / float64(reqs)
+			st.DegradedRate = degr / float64(reqs)
+		}
+		rr.Steps = append(rr.Steps, st)
+		log.Printf("ramp %d qps: achieved %.1f, p99 %dus, shed %.2f%%, degraded %.2f%% (%s)",
+			offered, st.AchievedQPS, st.P99Micros, st.ShedRate*100, st.DegradedRate*100, st.Limiter)
+
+		if rr.KneeQPS == 0 {
+			switch {
+			case st.ShedRate+st.DegradedRate > rc.kneeShed:
+				rr.KneeQPS = offered
+				rr.KneeReason = fmt.Sprintf("shed+degraded %.2f%% > %.2f%%",
+					(st.ShedRate+st.DegradedRate)*100, rc.kneeShed*100)
+			case st.Limiter == "server" && st.AchievedQPS < rc.kneeQPS*float64(offered):
+				rr.KneeQPS = offered
+				rr.KneeReason = fmt.Sprintf("achieved %.1f < %.0f%% of offered", st.AchievedQPS, rc.kneeQPS*100)
+			}
+		} else {
+			// Keep ramping a few steps past the knee so the figure shows the
+			// post-saturation curve, then stop.
+			if pastKnee++; pastKnee >= 3 {
+				break
+			}
+		}
+	}
+	return rr, nil
+}
+
+func printRamp(w *os.File, rr rampReport) {
+	fmt.Fprintf(w, "%-12s %12s %10s %8s %10s %10s\n",
+		"offered_qps", "achieved", "p99(us)", "shed%", "degraded%", "limiter")
+	for _, st := range rr.Steps {
+		fmt.Fprintf(w, "%-12d %12.1f %10d %7.2f%% %9.2f%% %10s\n",
+			st.OfferedQPS, st.AchievedQPS, st.P99Micros, st.ShedRate*100, st.DegradedRate*100, st.Limiter)
+	}
+	if rr.KneeQPS > 0 {
+		fmt.Fprintf(w, "saturation knee at %d qps (%s)\n", rr.KneeQPS, rr.KneeReason)
+	} else {
+		fmt.Fprintf(w, "no knee found: server kept up through the ramp ceiling\n")
+	}
+}
+
+// rampFigure renders the two-panel saturation figure: worst-device p99 over
+// offered QPS, and shed/degraded rates over the same axis, stacked so each
+// panel keeps its own honest scale.
+func rampFigure(rr rampReport) (string, error) {
+	if len(rr.Steps) == 0 {
+		return "", fmt.Errorf("ramp produced no steps")
+	}
+	x := make([]float64, len(rr.Steps))
+	p99 := make([]float64, len(rr.Steps))
+	achieved := make([]float64, len(rr.Steps))
+	shed := make([]float64, len(rr.Steps))
+	degraded := make([]float64, len(rr.Steps))
+	for i, st := range rr.Steps {
+		x[i] = float64(st.OfferedQPS)
+		p99[i] = float64(st.P99Micros)
+		achieved[i] = st.AchievedQPS
+		shed[i] = st.ShedRate * 100
+		degraded[i] = st.DegradedRate * 100
+	}
+	title := "Saturation sweep: no knee up to ramp ceiling"
+	if rr.KneeQPS > 0 {
+		title = fmt.Sprintf("Saturation sweep: knee at %d qps (%s)", rr.KneeQPS, rr.KneeReason)
+	}
+	top, err := plot.LineChart{
+		Title:   title,
+		XLabel:  "offered QPS",
+		YLabel:  "p99 latency (us)",
+		X:       x,
+		Series:  []plot.Series{{Name: "p99 (worst device)", Y: p99}},
+		Markers: true,
+	}.SVG()
+	if err != nil {
+		return "", err
+	}
+	mid, err := plot.LineChart{
+		Title:   "Throughput: achieved vs offered",
+		XLabel:  "offered QPS",
+		YLabel:  "achieved QPS",
+		X:       x,
+		Series:  []plot.Series{{Name: "achieved", Y: achieved}, {Name: "offered", Y: x}},
+		Markers: true,
+	}.SVG()
+	if err != nil {
+		return "", err
+	}
+	bottom, err := plot.LineChart{
+		Title:   "Resilience: shed and degraded rates",
+		XLabel:  "offered QPS",
+		YLabel:  "rate (%)",
+		X:       x,
+		Series:  []plot.Series{{Name: "shed", Y: shed}, {Name: "degraded", Y: degraded}},
+		Markers: true,
+	}.SVG()
+	if err != nil {
+		return "", err
+	}
+	return plot.VStack(top, mid, bottom)
 }

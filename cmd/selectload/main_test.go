@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -62,7 +65,7 @@ func TestShapeStreamDeterminism(t *testing.T) {
 // End-to-end smoke: a short in-process run must deliver every request and
 // produce a coherent report.
 func TestInprocessRun(t *testing.T) {
-	ts, names, err := inprocessServer()
+	ts, names, err := inprocessServer(false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,5 +109,128 @@ func TestInprocessRun(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	if _, err := run(config{qps: 0}); err == nil {
 		t.Error("qps 0 accepted")
+	}
+}
+
+func TestAttributeLimiter(t *testing.T) {
+	interval := 2 * time.Millisecond
+	cases := []struct {
+		achieved float64
+		queueP99 time.Duration
+		want     string
+	}{
+		{499, 0, "none"},                       // within 1% of requested
+		{400, 50 * time.Millisecond, "server"}, // short + queue way past interval
+		{400, interval, "generator"},           // short but on-schedule queue
+	}
+	for _, tc := range cases {
+		if got := attributeLimiter(500, tc.achieved, interval, tc.queueP99); got != tc.want {
+			t.Errorf("attributeLimiter(500, %.0f, %v, %v) = %q, want %q",
+				tc.achieved, interval, tc.queueP99, got, tc.want)
+		}
+	}
+}
+
+// The baseline gate must pass itself, pass small improvements, and fail
+// regressions beyond tolerance on either achieved QPS or any device's p99.
+func TestCompareBaseline(t *testing.T) {
+	base := report{
+		RequestedQPS: 500, AchievedQPS: 500, Limiter: "none",
+		Devices: []deviceReport{
+			{Device: "a", P99Micros: 1000},
+			{Device: "b", P99Micros: 2000},
+		},
+	}
+	raw, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/base.json"
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		rep  report
+		want bool
+	}{
+		{"identical", base, true},
+		{"improved", report{AchievedQPS: 520, Devices: []deviceReport{{Device: "a", P99Micros: 800}}}, true},
+		{"within tolerance", report{AchievedQPS: 460, Devices: []deviceReport{{Device: "a", P99Micros: 1050}}}, true},
+		{"qps regression", report{AchievedQPS: 400, Devices: []deviceReport{{Device: "a", P99Micros: 1000}}}, false},
+		{"p99 regression", report{AchievedQPS: 500, Devices: []deviceReport{{Device: "b", P99Micros: 2500}}}, false},
+		{"new device ignored", report{AchievedQPS: 500, Devices: []deviceReport{{Device: "new", P99Micros: 99999}}}, true},
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	for _, tc := range cases {
+		ok, err := compareBaseline(devnull, path, tc.rep, 0.10)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if ok != tc.want {
+			t.Errorf("%s: pass=%v, want %v", tc.name, ok, tc.want)
+		}
+	}
+	if _, err := compareBaseline(devnull, path+".missing", base, 0.10); err == nil {
+		t.Error("missing baseline file did not error")
+	}
+}
+
+// A short in-process ramp must produce monotone offered steps and a coherent
+// figure; with a sub-1.0 achieved threshold and tiny load, the server keeps
+// up, so no knee is expected — the point is the plumbing, not saturation.
+func TestRampAndFigure(t *testing.T) {
+	ts, names, err := inprocessServer(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	cfg := config{
+		url:     ts.URL,
+		devices: names,
+		seed:    7,
+		workers: 8,
+		shapes:  8,
+	}
+	rr, err := runRamp(cfg, rampConfig{
+		start: 100, step: 100, max: 300,
+		duration: 150 * time.Millisecond,
+		kneeShed: 0.5, kneeQPS: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Steps) == 0 {
+		t.Fatal("ramp produced no steps")
+	}
+	for i, st := range rr.Steps {
+		if want := 100 + 100*i; st.OfferedQPS != want {
+			t.Errorf("step %d offered %d, want %d", i, st.OfferedQPS, want)
+		}
+		if st.AchievedQPS <= 0 {
+			t.Errorf("step %d achieved %v", i, st.AchievedQPS)
+		}
+	}
+	svg, err := rampFigure(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "p99", "shed", "achieved"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("ramp figure missing %q", want)
+		}
+	}
+
+	if _, err := runRamp(cfg, rampConfig{start: 0, step: 1, max: 10}); err == nil {
+		t.Error("invalid ramp config accepted")
+	}
+	if _, err := rampFigure(rampReport{}); err == nil {
+		t.Error("empty ramp report rendered a figure")
 	}
 }

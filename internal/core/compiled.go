@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/mat"
+	"kernelselect/internal/ml/forest"
+	"kernelselect/internal/ml/knn"
+	"kernelselect/internal/ml/tree"
+)
+
+// This file is the offline half of the serving hot path: it flattens a
+// fitted selector into an allocation-free compiled form. The pointer models
+// are the right shape for training and inspection, but predicting through
+// them chases heap pointers (tree, forest) or allocates per call (k-NN
+// neighbour slices, SVM feature/score vectors). A CompiledSelector walks
+// contiguous struct-of-arrays data with stack scratch, so a serving daemon
+// can run Select millions of times per second without touching the heap.
+
+// maxCompiledFeatures bounds the stack feature scratch of compiled SVM
+// selectors; shape features are 3-wide (and the portability study's
+// device-augmented vectors a handful more).
+const maxCompiledFeatures = 16
+
+// CompiledSelector is an allocation-free Select path flattened from a fitted
+// selector. It reports the source selector's Name, returns the exact index
+// the source selector returns for every feature vector, and is safe for
+// concurrent use.
+type CompiledSelector struct {
+	name string
+	fn   func([]float64) int
+	// shapeFn is the scalar fast path for 3-feature (M, K, N) selectors:
+	// taking scalars instead of a slice keeps the feature scratch on the
+	// callee's stack even though the selector is invoked through a function
+	// value (a slice argument would escape through the indirect call). Nil
+	// when the model was trained on a different feature width.
+	shapeFn func(m, k, n float64) int
+}
+
+// Name implements Selector, reporting the source selector's name.
+func (c *CompiledSelector) Name() string { return c.name }
+
+// Select implements Selector without allocating.
+func (c *CompiledSelector) Select(features []float64) int { return c.fn(features) }
+
+// shapeWidthOK reports whether a model's training feature width admits the
+// scalar (M, K, N) fast path (width 0 = unknown, recorded before the width
+// tag existed — every such model in this repository is shape-trained).
+func shapeWidthOK(width int) bool { return width == 0 || width == 3 }
+
+// CompileSelector flattens sel into its allocation-free serving form. It
+// reports false when no compiled form exists: RBF SVMs (degenerate in the
+// paper's configuration and not worth a hot path), static selectors (already
+// trivial), selectors whose model exceeds the stack-scratch bounds, and any
+// selector type this package does not know.
+//
+// The scalar shapeFn closures below call Predict on a concrete compiled type
+// rather than through a function value: the direct call lets escape analysis
+// keep the [3]float64 scratch on the stack, which an indirect call would
+// force to the heap.
+func CompileSelector(sel Selector) (*CompiledSelector, bool) {
+	switch s := sel.(type) {
+	case treeSelector:
+		cp := tree.CompileClassifier(s.c)
+		cs := &CompiledSelector{name: sel.Name(), fn: cp.Predict}
+		if shapeWidthOK(cp.NumFeatures()) {
+			cs.shapeFn = func(m, k, n float64) int {
+				f := [3]float64{m, k, n}
+				return cp.Predict(f[:])
+			}
+		}
+		return cs, true
+	case forestSelector:
+		cp, ok := forest.CompileClassifier(s.f)
+		if !ok {
+			return nil, false
+		}
+		cs := &CompiledSelector{name: sel.Name(), fn: cp.Predict}
+		if shapeWidthOK(cp.NumFeatures()) {
+			cs.shapeFn = func(m, k, n float64) int {
+				f := [3]float64{m, k, n}
+				return cp.Predict(f[:])
+			}
+		}
+		return cs, true
+	case knnSelector:
+		cp, ok := knn.Compile(s.c)
+		if !ok {
+			return nil, false
+		}
+		cs := &CompiledSelector{name: sel.Name(), fn: cp.Predict}
+		if shapeWidthOK(cp.NumFeatures()) {
+			cs.shapeFn = func(m, k, n float64) int {
+				f := [3]float64{m, k, n}
+				return cp.Predict(f[:])
+			}
+		}
+		return cs, true
+	case linearSVMSelector:
+		return compileLinearSVM(s)
+	case *CompiledSelector:
+		return s, true
+	default:
+		return nil, false
+	}
+}
+
+// compileLinearSVM fuses the selector's log transform, standardization and
+// one-vs-rest scoring into one pass over stack scratch. Scores and
+// tie-breaks reproduce svm.Linear.Predict exactly (argmax, lowest class on
+// ties).
+func compileLinearSVM(s linearSVMSelector) (*CompiledSelector, bool) {
+	d := len(s.sc.Means)
+	if d > maxCompiledFeatures {
+		return nil, false
+	}
+	w, b, classes := s.m.W, s.m.B, s.m.Classes
+	means, stds := s.sc.Means, s.sc.Stds
+	fn := func(x []float64) int {
+		var f [maxCompiledFeatures]float64
+		for i := 0; i < d; i++ {
+			f[i] = (math.Log(x[i]) - means[i]) / stds[i]
+		}
+		best, bestScore := 0, math.Inf(-1)
+		for c := 0; c < classes; c++ {
+			if score := mat.Dot(w.Row(c), f[:d]) + b[c]; score > bestScore {
+				best, bestScore = c, score
+			}
+		}
+		return best
+	}
+	cs := &CompiledSelector{name: s.Name(), fn: fn}
+	if d == 3 {
+		// The slice never leaves the closure (mat.Dot is a direct call), so
+		// the scalar path stays allocation-free.
+		cs.shapeFn = func(m, k, n float64) int {
+			f := [3]float64{m, k, n}
+			return fn(f[:])
+		}
+	}
+	return cs, true
+}
+
+// CompiledChooser returns an allocation-free equivalent of ChooseIndex —
+// shape features built on the stack, compiled Select, the same out-of-range
+// clamp — or false when the library's selector has no compiled form for
+// 3-feature shape input.
+func (l *Library) CompiledChooser() (func(gemm.Shape) int, bool) {
+	cs, ok := CompileSelector(l.selector)
+	if !ok || cs.shapeFn == nil {
+		return nil, false
+	}
+	fn, n := cs.shapeFn, len(l.Configs)
+	return func(s gemm.Shape) int {
+		k := fn(float64(s.M), float64(s.K), float64(s.N))
+		if k < 0 || k >= n {
+			k = 0
+		}
+		return k
+	}, true
+}
+
+// Selector exposes the library's runtime selector (read-only: for
+// compilation, code generation and inspection).
+func (l *Library) Selector() Selector { return l.selector }

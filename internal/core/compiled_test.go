@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/workload"
+	"kernelselect/internal/xrand"
+)
+
+// TestCompileSelectorAgreement trains every compilable Table-I selector on
+// the full dataset shape mix and asserts the compiled form returns the
+// identical index for every dataset shape plus a random probe sweep — the
+// byte-identical-decision guarantee the serving daemon relies on.
+func TestCompileSelectorAgreement(t *testing.T) {
+	model := sim.New(device.R9Nano())
+	shapes, _ := workload.DatasetShapes()
+	ds := dataset.Build(model, shapes, gemm.AllConfigs()[:160])
+	selected := DecisionTree{}.Prune(ds, 8, 42)
+
+	for _, trainer := range []SelectorTrainer{
+		DecisionTreeSelector{},
+		RandomForestSelector{NumTrees: 40},
+		KNNSelector{K: 1},
+		KNNSelector{K: 3},
+		LinearSVMSelector{},
+	} {
+		sel := trainer.Train(ds, selected, 42)
+		cs, ok := CompileSelector(sel)
+		if !ok {
+			t.Fatalf("%s: no compiled form", trainer.Name())
+		}
+		if cs.Name() != sel.Name() {
+			t.Errorf("%s: compiled name %q", sel.Name(), cs.Name())
+		}
+		for _, s := range shapes {
+			f := s.Features()
+			if got, want := cs.Select(f), sel.Select(f); got != want {
+				t.Fatalf("%s shape %v: compiled %d, original %d", sel.Name(), s, got, want)
+			}
+		}
+		rng := xrand.New(7)
+		for i := 0; i < 500; i++ {
+			f := []float64{
+				1 + rng.Float64()*4096,
+				1 + rng.Float64()*4096,
+				1 + rng.Float64()*4096,
+			}
+			if got, want := cs.Select(f), sel.Select(f); got != want {
+				t.Fatalf("%s probe %v: compiled %d, original %d", sel.Name(), f, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileSelectorUnsupported(t *testing.T) {
+	model := sim.New(device.R9Nano())
+	shapes, _ := workload.DatasetShapes()
+	ds := dataset.Build(model, shapes[:24], gemm.AllConfigs()[:80])
+	selected := DecisionTree{}.Prune(ds, 4, 42)
+
+	if _, ok := CompileSelector(RadialSVMSelector{}.Train(ds, selected, 42)); ok {
+		t.Error("RadialSVM should have no compiled form")
+	}
+	if _, ok := CompileSelector(StaticSelector{}); ok {
+		t.Error("StaticSelector should have no compiled form")
+	}
+	// Compiling a compiled selector is idempotent.
+	cs, ok := CompileSelector(DecisionTreeSelector{}.Train(ds, selected, 42))
+	if !ok {
+		t.Fatal("tree did not compile")
+	}
+	if again, ok := CompileSelector(cs); !ok || again != cs {
+		t.Error("re-compiling a CompiledSelector should return it unchanged")
+	}
+}
+
+// TestCompiledChooserMatchesLibrary pins the serving contract: the chooser
+// the daemon installs per generation returns lib.ChooseIndex for every
+// dataset shape, and allocates nothing.
+func TestCompiledChooserMatchesLibrary(t *testing.T) {
+	model := sim.New(device.IntegratedGen9())
+	shapes, _ := workload.DatasetShapes()
+	ds := dataset.Build(model, shapes, gemm.AllConfigs()[:160])
+	lib := BuildLibrary(ds, DecisionTree{}, DecisionTreeSelector{}, 8, 42)
+
+	choose, ok := lib.CompiledChooser()
+	if !ok {
+		t.Fatal("tree library has no compiled chooser")
+	}
+	for _, s := range shapes {
+		if got, want := choose(s), lib.ChooseIndex(s); got != want {
+			t.Fatalf("shape %v: compiled chooser %d, library %d", s, got, want)
+		}
+	}
+	s := shapes[0]
+	if allocs := testing.AllocsPerRun(200, func() { _ = choose(s) }); allocs != 0 {
+		t.Errorf("compiled chooser allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,66 @@
+package forest
+
+import (
+	"kernelselect/internal/ml/tree"
+)
+
+// maxCompiledClasses bounds the vote array a compiled forest keeps on the
+// stack. Library class counts in this repository are the pruned
+// configuration count (single digits to low tens), so the bound is never hit
+// in practice; ensembles over more classes stay on the pointer path.
+const maxCompiledClasses = 64
+
+// Compiled is a Classifier with every member tree flattened into the
+// contiguous struct-of-arrays form of tree.Compiled. Voting walks the flat
+// trees back to back — no per-tree pointer chasing, no per-call vote-slice
+// allocation — and resolves ties exactly as the source ensemble does
+// (smallest class wins).
+type Compiled struct {
+	trees    []*tree.Compiled
+	classes  int
+	features int
+}
+
+// CompileClassifier flattens a fitted forest, or reports false when the
+// ensemble's class count exceeds the compiled vote-array bound.
+func CompileClassifier(f *Classifier) (*Compiled, bool) {
+	if f.Classes > maxCompiledClasses {
+		return nil, false
+	}
+	cp := &Compiled{
+		trees:    make([]*tree.Compiled, len(f.Trees)),
+		classes:  f.Classes,
+		features: f.Features,
+	}
+	for i, t := range f.Trees {
+		cp.trees[i] = tree.CompileClassifier(t)
+	}
+	return cp, true
+}
+
+// Predict returns the majority-vote class for x (smallest class on ties),
+// identically to Classifier.Predict on the source ensemble, without
+// allocating.
+func (cp *Compiled) Predict(x []float64) int {
+	var votes [maxCompiledClasses]int32
+	for _, t := range cp.trees {
+		votes[t.Predict(x)]++
+	}
+	best := 0
+	for c := 1; c < cp.classes; c++ {
+		if votes[c] > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// NumTrees returns the ensemble size.
+func (cp *Compiled) NumTrees() int { return len(cp.trees) }
+
+// Classes returns the class count the source ensemble was fitted for.
+func (cp *Compiled) Classes() int { return cp.classes }
+
+// NumFeatures returns the training feature width recorded on the source
+// ensemble (0 when unknown).
+func (cp *Compiled) NumFeatures() int { return cp.features }

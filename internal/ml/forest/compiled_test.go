@@ -1,0 +1,92 @@
+package forest
+
+import (
+	"testing"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/xrand"
+)
+
+func randomClassification(n, f, classes int, seed uint64) (*mat.Dense, []int) {
+	rng := xrand.New(seed)
+	x := mat.NewDense(n, f)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		acc := 0.0
+		for j := range row {
+			row[j] = rng.Float64() * 100
+			acc += row[j] * float64(j+1)
+		}
+		y[i] = int(acc) % classes
+	}
+	return x, y
+}
+
+func TestCompiledForestMatchesClassifier(t *testing.T) {
+	x, y := randomClassification(300, 3, 6, 5)
+	f := FitClassifier(x, y, 6, Options{NumTrees: 25, Seed: 9})
+	cp, ok := CompileClassifier(f)
+	if !ok {
+		t.Fatal("forest within the class bound did not compile")
+	}
+	if cp.NumTrees() != len(f.Trees) || cp.Classes() != f.Classes || cp.NumFeatures() != f.Features {
+		t.Fatalf("compiled metadata mismatch: %d/%d trees, %d/%d classes, %d/%d features",
+			cp.NumTrees(), len(f.Trees), cp.Classes(), f.Classes, cp.NumFeatures(), f.Features)
+	}
+	probe := func(v []float64) {
+		if got, want := cp.Predict(v), f.Predict(v); got != want {
+			t.Fatalf("compiled predicts %d, forest predicts %d for %v", got, want, v)
+		}
+	}
+	for i := 0; i < x.Rows(); i++ {
+		probe(x.Row(i))
+	}
+	rng := xrand.New(31)
+	v := make([]float64, x.Cols())
+	for i := 0; i < 1000; i++ {
+		for j := range v {
+			v[j] = rng.Float64() * 120
+		}
+		probe(v)
+	}
+}
+
+func TestCompiledForestClassBound(t *testing.T) {
+	f := &Classifier{Classes: maxCompiledClasses + 1}
+	if _, ok := CompileClassifier(f); ok {
+		t.Errorf("forest with %d classes should not compile", f.Classes)
+	}
+}
+
+func TestCompiledForestPredictAllocationFree(t *testing.T) {
+	x, y := randomClassification(200, 3, 4, 2)
+	f := FitClassifier(x, y, 4, Options{NumTrees: 15, Seed: 3})
+	cp, ok := CompileClassifier(f)
+	if !ok {
+		t.Fatal("compile failed")
+	}
+	v := []float64{10.0, 20.0, 30.0}
+	if allocs := testing.AllocsPerRun(200, func() { _ = cp.Predict(v) }); allocs != 0 {
+		t.Errorf("compiled forest Predict allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func BenchmarkCompiledForest(b *testing.B) {
+	x, y := randomClassification(500, 3, 8, 7)
+	f := FitClassifier(x, y, 8, Options{NumTrees: 100, Seed: 1})
+	cp, _ := CompileClassifier(f)
+	v := []float64{31.0, 57.0, 12.0}
+	b.Run("pointer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = f.Predict(v)
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = cp.Predict(v)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package knn
+
+// maxCompiledK bounds the neighbour scratch a compiled classifier keeps on
+// the stack; the paper's Table I uses k ∈ {1, 3}, so the bound is generous.
+// maxCompiledClasses likewise bounds the vote array (library class counts are
+// the pruned configuration count — single digits to low tens).
+const (
+	maxCompiledK       = 8
+	maxCompiledClasses = 64
+)
+
+// Compiled is a Classifier flattened for the serving hot path: training rows
+// live in one contiguous row-major slice, labels in a parallel int32 slice,
+// and Predict keeps its k-nearest scratch in stack arrays. The pointer form
+// allocates a neighbour slice per call and sorts all n rows; the compiled
+// form allocates nothing and does one insertion-bounded pass.
+type Compiled struct {
+	flat    []float64 // rows × cols, row-major
+	labels  []int32
+	rows    int
+	cols    int
+	k       int
+	classes int
+}
+
+// Compile flattens a fitted classifier, or reports false when k or the class
+// count exceeds the stack-scratch bounds (such models stay on the pointer
+// path).
+func Compile(c *Classifier) (*Compiled, bool) {
+	if c.K > maxCompiledK || c.Classes > maxCompiledClasses {
+		return nil, false
+	}
+	rows, cols := c.X.Rows(), c.X.Cols()
+	cp := &Compiled{
+		flat:    make([]float64, 0, rows*cols),
+		labels:  make([]int32, rows),
+		rows:    rows,
+		cols:    cols,
+		k:       c.K,
+		classes: c.Classes,
+	}
+	for i := 0; i < rows; i++ {
+		cp.flat = append(cp.flat, c.X.Row(i)...)
+		cp.labels[i] = int32(c.Y[i])
+	}
+	return cp, true
+}
+
+// Predict returns the majority class among the k nearest training points,
+// identically to Classifier.Predict (distance ties resolve to the earlier
+// training index, vote ties to the smallest class), without allocating.
+func (cp *Compiled) Predict(x []float64) int {
+	var nd [maxCompiledK]float64 // ascending (distance, insertion-order) top-k
+	var nl [maxCompiledK]int32   // label of each kept neighbour
+	k, cols := cp.k, cp.cols
+	count := 0
+	for i := 0; i < cp.rows; i++ {
+		row := cp.flat[i*cols : i*cols+cols]
+		d := 0.0
+		for j, v := range row {
+			diff := v - x[j]
+			d += diff * diff
+		}
+		pos := count
+		if count == k {
+			// Strict < keeps the earlier-index neighbour on distance ties,
+			// matching the (distance, index) sort of the pointer path.
+			if d >= nd[k-1] {
+				continue
+			}
+			pos = k - 1
+		} else {
+			count++
+		}
+		for pos > 0 && nd[pos-1] > d {
+			nd[pos], nl[pos] = nd[pos-1], nl[pos-1]
+			pos--
+		}
+		nd[pos], nl[pos] = d, cp.labels[i]
+	}
+	var votes [maxCompiledClasses]int32
+	for j := 0; j < count; j++ {
+		votes[nl[j]]++
+	}
+	best := 0
+	for c := 1; c < cp.classes; c++ {
+		if votes[c] > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// K returns the neighbour count the source classifier was fitted with.
+func (cp *Compiled) K() int { return cp.k }
+
+// Classes returns the class count the source classifier was fitted for.
+func (cp *Compiled) Classes() int { return cp.classes }
+
+// NumFeatures returns the training feature width.
+func (cp *Compiled) NumFeatures() int { return cp.cols }

@@ -1,0 +1,104 @@
+package knn
+
+import (
+	"testing"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/xrand"
+)
+
+// trainingSet builds a synthetic set with deliberate duplicate rows so
+// distance ties (and therefore the index tie-break) actually occur.
+func trainingSet(n, f, classes int, seed uint64) (*mat.Dense, []int) {
+	rng := xrand.New(seed)
+	x := mat.NewDense(n, f)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		if i >= 2 && i%5 == 0 {
+			copy(row, x.Row(i-2)) // exact duplicate of an earlier point
+		} else {
+			for j := range row {
+				row[j] = float64(int(rng.Float64()*20)) / 2 // coarse grid → frequent ties
+			}
+		}
+		y[i] = int(rng.Float64() * float64(classes))
+	}
+	return x, y
+}
+
+func TestCompiledMatchesClassifier(t *testing.T) {
+	for _, k := range []int{1, 3, 5, 8} {
+		x, y := trainingSet(150, 3, 6, uint64(7+k))
+		c := Fit(x, y, 6, k)
+		cp, ok := Compile(c)
+		if !ok {
+			t.Fatalf("k=%d within bounds did not compile", k)
+		}
+		if cp.K() != k || cp.Classes() != 6 || cp.NumFeatures() != 3 {
+			t.Fatalf("k=%d: compiled metadata %d/%d/%d", k, cp.K(), cp.Classes(), cp.NumFeatures())
+		}
+		probe := func(v []float64) {
+			if got, want := cp.Predict(v), c.Predict(v); got != want {
+				t.Fatalf("k=%d: compiled predicts %d, knn predicts %d for %v", k, got, want, v)
+			}
+		}
+		// Training points sit at distance zero from themselves and their
+		// duplicates — the hardest tie cases — plus a random probe sweep.
+		for i := 0; i < x.Rows(); i++ {
+			probe(x.Row(i))
+		}
+		rng := xrand.New(99)
+		v := make([]float64, 3)
+		for i := 0; i < 2000; i++ {
+			for j := range v {
+				v[j] = float64(int(rng.Float64()*24)) / 2
+			}
+			probe(v)
+		}
+	}
+}
+
+func TestCompileBounds(t *testing.T) {
+	x, y := trainingSet(30, 3, 2, 1)
+	c := Fit(x, y, 2, 9) // k over the stack bound
+	if _, ok := Compile(c); ok {
+		t.Error("k=9 should not compile")
+	}
+	c = Fit(x, y, 2, 3)
+	c.Classes = maxCompiledClasses + 1
+	if _, ok := Compile(c); ok {
+		t.Error("class count over the bound should not compile")
+	}
+}
+
+func TestCompiledPredictAllocationFree(t *testing.T) {
+	x, y := trainingSet(120, 3, 4, 3)
+	cp, ok := Compile(Fit(x, y, 4, 3))
+	if !ok {
+		t.Fatal("compile failed")
+	}
+	v := []float64{4.5, 2.0, 7.5}
+	if allocs := testing.AllocsPerRun(200, func() { _ = cp.Predict(v) }); allocs != 0 {
+		t.Errorf("compiled Predict allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func BenchmarkCompiledKNN(b *testing.B) {
+	x, y := trainingSet(170, 3, 8, 11)
+	c := Fit(x, y, 8, 3)
+	cp, _ := Compile(c)
+	v := []float64{4.5, 2.0, 7.5}
+	b.Run("pointer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = c.Predict(v)
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = cp.Predict(v)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package tree
+
+// Compiled is a Classifier flattened into contiguous struct-of-arrays form
+// for the serving hot path. The pointer tree is the right shape for growth
+// and inspection, but predicting through it chases one heap pointer per
+// level; the compiled form walks parallel slices with an iterative loop, so
+// a prediction touches a handful of adjacent cache lines and allocates
+// nothing.
+//
+// Layout: nodes are stored in preorder (node, left subtree, right subtree).
+// Internal nodes carry the split (feature, threshold) and the index of the
+// right child (the left child is always the next node, so it needs no
+// slot); leaves are marked with feature < 0 and carry the class in the same
+// int32 the right-child index would use.
+type Compiled struct {
+	feature   []int32   // split feature, or <0 for a leaf
+	threshold []float64 // split threshold (unused on leaves)
+	next      []int32   // right-child index on internal nodes, class on leaves
+	classes   int
+	features  int
+}
+
+// CompileClassifier flattens a fitted classification tree. The compiled form
+// routes every feature vector to exactly the leaf the pointer tree routes it
+// to — same features, same thresholds, same <= comparisons — so predictions
+// are identical by construction; Predict on the two forms agrees bit-for-bit.
+func CompileClassifier(c *Classifier) *Compiled {
+	cp := &Compiled{classes: c.Classes, features: c.Features}
+	cp.flatten(c.Root)
+	return cp
+}
+
+// flatten appends the subtree rooted at n in preorder and returns its index.
+func (cp *Compiled) flatten(n *Node) int32 {
+	idx := int32(len(cp.feature))
+	if n.IsLeaf {
+		cp.feature = append(cp.feature, -1)
+		cp.threshold = append(cp.threshold, 0)
+		cp.next = append(cp.next, int32(n.Class))
+		return idx
+	}
+	cp.feature = append(cp.feature, int32(n.Feature))
+	cp.threshold = append(cp.threshold, n.Threshold)
+	cp.next = append(cp.next, 0) // patched once the left subtree is laid out
+	cp.flatten(n.Left)
+	cp.next[idx] = cp.flatten(n.Right)
+	return idx
+}
+
+// Predict returns the class for the feature vector x. It is allocation-free
+// and agrees exactly with Classifier.Predict on the source tree.
+func (cp *Compiled) Predict(x []float64) int {
+	feature, threshold, next := cp.feature, cp.threshold, cp.next
+	i := int32(0)
+	for feature[i] >= 0 {
+		if x[feature[i]] <= threshold[i] {
+			i++ // left child is adjacent in preorder
+		} else {
+			i = next[i]
+		}
+	}
+	return int(next[i])
+}
+
+// NumNodes returns the total node count of the compiled tree.
+func (cp *Compiled) NumNodes() int { return len(cp.feature) }
+
+// Classes returns the class count the source classifier was fitted for.
+func (cp *Compiled) Classes() int { return cp.classes }
+
+// NumFeatures returns the training feature width recorded on the source
+// classifier (0 when unknown).
+func (cp *Compiled) NumFeatures() int { return cp.features }

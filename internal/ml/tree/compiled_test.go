@@ -1,0 +1,98 @@
+package tree
+
+import (
+	"testing"
+
+	"kernelselect/internal/mat"
+	"kernelselect/internal/xrand"
+)
+
+// randomClassification builds a synthetic training set with enough structure
+// that the fitted tree has real depth.
+func randomClassification(n, f, classes int, seed uint64) (*mat.Dense, []int) {
+	rng := xrand.New(seed)
+	x := mat.NewDense(n, f)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		acc := 0.0
+		for j := range row {
+			row[j] = rng.Float64() * 100
+			acc += row[j] * float64(j+1)
+		}
+		y[i] = int(acc) % classes
+	}
+	return x, y
+}
+
+func TestCompiledMatchesClassifier(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"unrestricted", Options{}},
+		{"depth-limited", Options{MaxDepth: 4}},
+		{"min-leaf", Options{MinSamplesLeaf: 5}},
+		{"stump", Options{MaxDepth: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			x, y := randomClassification(400, 3, 7, 11)
+			c := FitClassifier(x, y, 7, tc.opts)
+			cp := CompileClassifier(c)
+			if cp.NumNodes() != 2*c.NumLeaves()-1 {
+				t.Errorf("compiled %d nodes for %d leaves", cp.NumNodes(), c.NumLeaves())
+			}
+			if cp.Classes() != c.Classes || cp.NumFeatures() != c.Features {
+				t.Errorf("metadata mismatch: classes %d/%d features %d/%d",
+					cp.Classes(), c.Classes, cp.NumFeatures(), c.Features)
+			}
+			// Every training point plus a probe grid between them.
+			probe := func(v []float64) {
+				if got, want := cp.Predict(v), c.Predict(v); got != want {
+					t.Fatalf("compiled predicts %d, tree predicts %d for %v", got, want, v)
+				}
+			}
+			for i := 0; i < x.Rows(); i++ {
+				probe(x.Row(i))
+			}
+			rng := xrand.New(99)
+			v := make([]float64, x.Cols())
+			for i := 0; i < 2000; i++ {
+				for j := range v {
+					v[j] = rng.Float64() * 120
+				}
+				probe(v)
+			}
+		})
+	}
+}
+
+func TestCompiledPredictAllocationFree(t *testing.T) {
+	x, y := randomClassification(300, 3, 5, 3)
+	cp := CompileClassifier(FitClassifier(x, y, 5, Options{}))
+	v := []float64{31.0, 57.0, 12.0}
+	if allocs := testing.AllocsPerRun(200, func() { _ = cp.Predict(v) }); allocs != 0 {
+		t.Errorf("compiled Predict allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// BenchmarkCompiledTree compares the pointer-tree and compiled prediction
+// paths the serving daemon chooses between.
+func BenchmarkCompiledTree(b *testing.B) {
+	x, y := randomClassification(1000, 3, 8, 17)
+	c := FitClassifier(x, y, 8, Options{})
+	cp := CompileClassifier(c)
+	v := []float64{31.0, 57.0, 12.0}
+	b.Run("pointer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = c.Predict(v)
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = cp.Predict(v)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VStack composes rendered SVG documents into one document, stacked
+// vertically and left-aligned. Each input keeps its own coordinate system by
+// becoming a nested <svg> element at the running y offset; the result is as
+// wide as the widest input. Multi-panel figures (a latency curve over a shed
+// curve sharing an X axis) are stacked rather than overlaid so each panel
+// keeps an honest, unshared Y scale.
+func VStack(svgs ...string) (string, error) {
+	if len(svgs) == 0 {
+		return "", fmt.Errorf("plot: VStack of no charts")
+	}
+	type panel struct {
+		w, h int
+		body string
+	}
+	panels := make([]panel, len(svgs))
+	width, height := 0, 0
+	for i, doc := range svgs {
+		w, h, err := svgSize(doc)
+		if err != nil {
+			return "", fmt.Errorf("plot: VStack input %d: %w", i, err)
+		}
+		panels[i] = panel{w: w, h: h, body: strings.TrimSpace(doc)}
+		if w > width {
+			width = w
+		}
+		height += h
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", width, height, surface)
+	y := 0
+	for _, p := range panels {
+		// Re-open the child tag with an explicit y offset; the original
+		// attributes (width, height, viewBox, font-family) carry over.
+		fmt.Fprintf(&b, `<svg y="%d" %s`+"\n", y, strings.TrimPrefix(p.body, "<svg "))
+		y += p.h
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// svgSize extracts the width/height attributes this package's header writes.
+func svgSize(doc string) (w, h int, err error) {
+	open := strings.Index(doc, "<svg")
+	if open < 0 {
+		return 0, 0, fmt.Errorf("not an svg document")
+	}
+	tagEnd := strings.Index(doc[open:], ">")
+	if tagEnd < 0 {
+		return 0, 0, fmt.Errorf("unterminated svg tag")
+	}
+	tag := doc[open : open+tagEnd]
+	if _, err := fmt.Sscanf(attr(tag, "width"), "%d", &w); err != nil {
+		return 0, 0, fmt.Errorf("bad width: %w", err)
+	}
+	if _, err := fmt.Sscanf(attr(tag, "height"), "%d", &h); err != nil {
+		return 0, 0, fmt.Errorf("bad height: %w", err)
+	}
+	return w, h, nil
+}
+
+func attr(tag, name string) string {
+	i := strings.Index(tag, name+`="`)
+	if i < 0 {
+		return ""
+	}
+	rest := tag[i+len(name)+2:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}

@@ -1,0 +1,51 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVStack(t *testing.T) {
+	top, err := LineChart{
+		Title: "p99", X: []float64{1, 2, 3},
+		Series: []Series{{Name: "a", Y: []float64{1, 4, 9}}},
+		W:      600, H: 300,
+	}.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom, err := LineChart{
+		Title: "shed", X: []float64{1, 2, 3},
+		Series: []Series{{Name: "b", Y: []float64{0, 0.1, 0.9}}},
+		W:      760, H: 200,
+	}.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacked, err := VStack(top, bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`width="760" height="500"`, // max width, summed height
+		`<svg y="0" `,
+		`<svg y="300" `,
+		"p99", "shed",
+	} {
+		if !strings.Contains(stacked, want) {
+			t.Errorf("stacked SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(stacked, "</svg>"); got != 3 {
+		t.Errorf("%d closing svg tags, want 3 (outer + 2 panels)", got)
+	}
+}
+
+func TestVStackErrors(t *testing.T) {
+	if _, err := VStack(); err == nil {
+		t.Error("empty VStack should error")
+	}
+	if _, err := VStack("<p>not svg</p>"); err == nil {
+		t.Error("non-SVG input should error")
+	}
+}

@@ -27,6 +27,10 @@ type backend struct {
 	shed     atomic.Uint64
 	degraded [numReasons]atomic.Uint64
 
+	// coalesced counts cache-miss requests that rode another request's
+	// pricing pass instead of running their own (single-flight followers).
+	coalesced atomic.Uint64
+
 	// latencyEWMA tracks full-service request latency (float64 nanosecond
 	// bits); the load-aware shed threshold compares against it.
 	// computeEWMA tracks only cache-miss pricing passes: the estimate for

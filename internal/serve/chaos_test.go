@@ -215,6 +215,20 @@ func chaosRun(t *testing.T, seed uint64) {
 					t.Fatalf("%s gen %d: config %q / index %d inconsistent with its library",
 						o.device, d.Generation, d.Config, d.Index)
 				}
+				if !d.Degraded {
+					// Full-quality decisions were chosen by the generation's
+					// compiled chooser; they must match the interpreted
+					// selector of the library that produced them, even across
+					// mid-request reload swaps.
+					var sh gemm.Shape
+					if _, err := fmt.Sscanf(d.Shape, "%dx%dx%d", &sh.M, &sh.K, &sh.N); err != nil {
+						t.Fatalf("%s: unparseable shape %q", o.device, d.Shape)
+					}
+					if want := lib.ChooseIndex(sh); d.Index != want {
+						t.Fatalf("%s gen %d shape %s: served index %d, selector says %d",
+							o.device, d.Generation, d.Shape, d.Index, want)
+					}
+				}
 				if d.Degraded {
 					degradedN++
 					if d.DegradedReason == "" {

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"kernelselect/internal/gemm"
+)
+
+// flightGroup coalesces concurrent cache misses for the same shape into one
+// pricing pass (the classic single-flight pattern, scoped per generation so
+// a reload can never hand a follower a decision from a different library
+// epoch). Under a thundering herd of identical shapes — the steady state of
+// NN serving the moment a new layer shape appears — one leader prices the
+// library while every follower parks on a channel, so the backend spends one
+// compute budget instead of N.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[gemm.Shape]*flightCall
+}
+
+// flightCall is one in-flight pricing pass. done closes after d/err are
+// written; the fields are immutable from that point.
+type flightCall struct {
+	done chan struct{}
+	d    Decision
+	err  error
+}
+
+// join registers interest in a shape's pricing pass. The first caller becomes
+// the leader (leader=true) and must call finish exactly once; later callers
+// get the same call to wait on.
+func (g *flightGroup) join(s gemm.Shape) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	if c, ok := g.m[s]; ok {
+		g.mu.Unlock()
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	if g.m == nil {
+		g.m = make(map[gemm.Shape]*flightCall)
+	}
+	g.m[s] = c
+	g.mu.Unlock()
+	return c, true
+}
+
+// finish publishes the leader's result and releases the shape: the call is
+// removed from the map before done closes, so a caller that joins after
+// finish starts a fresh pass instead of reading a stale one.
+func (g *flightGroup) finish(s gemm.Shape, c *flightCall, d Decision, err error) {
+	c.d, c.err = d, err
+	g.mu.Lock()
+	delete(g.m, s)
+	g.mu.Unlock()
+	close(c.done)
+}
+
+// decideMiss answers a cache miss through the generation's single-flight
+// group. The leader runs the full ladder (breaker, deadline estimate,
+// pricing) and alone feeds the breaker, EWMA and cache; followers wait for
+// its result, counting themselves as coalesced. A follower whose leader died
+// to the leader's own context retries with a fresh pass as long as its own
+// context is alive — one request's tight deadline must not void everyone
+// else's answer.
+func (s *Server) decideMiss(ctx context.Context, be *backend, gen *generation, shape gemm.Shape) (Decision, error) {
+	for {
+		c, leader := gen.flight.join(shape)
+		if leader {
+			d, err := s.leaderCompute(ctx, be, gen, shape)
+			gen.flight.finish(shape, c, d, err)
+			return d, err
+		}
+		be.coalesced.Add(1)
+		select {
+		case <-ctx.Done():
+			return Decision{}, ctx.Err()
+		case <-c.done:
+		}
+		if c.err != nil {
+			if ctx.Err() != nil {
+				return Decision{}, ctx.Err()
+			}
+			continue
+		}
+		d := c.d
+		if d.Degraded {
+			// The leader counted its own degraded answer; each follower
+			// served the same fallback counts too, keeping
+			// selectd_degraded_total = degraded responses.
+			for r, name := range reasonNames {
+				if name == d.DegradedReason {
+					be.degraded[r].Add(1)
+					break
+				}
+			}
+		}
+		return d, nil
+	}
+}

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 
 	"kernelselect/internal/core"
@@ -41,16 +43,36 @@ type generation struct {
 	pricer   Pricer
 	cache    *decisionCache
 	fallback Decision // template: Shape/DegradedReason filled per request
+
+	// choose maps a shape to the library's configuration index. When the
+	// library's selector compiles (core.CompiledChooser) and the compiled
+	// form is verified identical to the interpreted one over the fallback
+	// shape set, choose is the allocation-free compiled chooser and compiled
+	// is true; otherwise it is lib.ChooseIndex. Either way it returns the
+	// exact same index — compilation is a speedup, never a behaviour change.
+	choose   func(gemm.Shape) int
+	compiled bool
+
+	// flight coalesces concurrent cache misses per shape; scoping it to the
+	// generation means followers can only ever receive decisions priced by
+	// this epoch's library.
+	flight flightGroup
+
+	// configsJSON is the /v1/configs response body, rendered once per
+	// generation (the response depends on nothing else). infoLine is the
+	// generation's selectd_info metric line, likewise static per epoch.
+	configsJSON []byte
+	infoLine    string
 }
 
-// newGeneration allocates the next epoch for a device. The fallback decision
-// is computed here — once per reload, never per request — so degradation
-// stays O(1) on the hot path.
+// newGeneration allocates the next epoch for a device. The fallback decision,
+// compiled chooser and /v1/configs body are computed here — once per reload,
+// never per request — so the hot path does no per-request setup work.
 func (s *Server) newGeneration(device string, lib *core.Library, model *sim.Model, pricer Pricer) *generation {
 	id := s.genCounter.Add(1)
 	fb := fallbackDecision(device, lib, model, s.fallbackShapes)
 	fb.Generation = id
-	return &generation{
+	g := &generation{
 		id:       id,
 		device:   device,
 		lib:      lib,
@@ -59,6 +81,49 @@ func (s *Server) newGeneration(device string, lib *core.Library, model *sim.Mode
 		cache:    newDecisionCache(s.opts.CacheSize, s.opts.CacheShards),
 		fallback: fb,
 	}
+	g.choose, g.compiled = compileChooser(lib, s.fallbackShapes)
+	g.configsJSON = renderConfigs(g)
+	g.infoLine = fmt.Sprintf("selectd_info{selector=%q,device=%q} 1\n", lib.SelectorName(), device)
+	return g
+}
+
+// compileChooser returns the library's compiled chooser after verifying it
+// agrees with the interpreted selector on every verification shape, or the
+// interpreted ChooseIndex when no compiled form exists. The verification
+// sweep is the serving-side seatbelt on the compiler's byte-identical
+// guarantee: a disagreement (which the core tests make unreachable) falls
+// back to the interpreted path instead of serving wrong kernels.
+func compileChooser(lib *core.Library, verify []gemm.Shape) (func(gemm.Shape) int, bool) {
+	choose, ok := lib.CompiledChooser()
+	if !ok {
+		return lib.ChooseIndex, false
+	}
+	for _, sh := range verify {
+		if choose(sh) != lib.ChooseIndex(sh) {
+			return lib.ChooseIndex, false
+		}
+	}
+	return choose, true
+}
+
+// renderConfigs renders the generation's /v1/configs body, newline-terminated
+// to match the json.Encoder framing the endpoint used to produce.
+func renderConfigs(g *generation) []byte {
+	resp := configsResponse{
+		Device:     g.device,
+		Selector:   g.lib.SelectorName(),
+		Generation: g.id,
+		Count:      len(g.lib.Configs),
+	}
+	for _, c := range g.lib.Configs {
+		resp.Configs = append(resp.Configs, c.String())
+		resp.KernelIDs = append(resp.KernelIDs, c.KernelID())
+	}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return []byte("{}\n")
+	}
+	return append(b, '\n')
 }
 
 // fallbackDecision precomputes the answer served under degradation: the
@@ -110,7 +175,7 @@ func bestGeomeanIndex(model *sim.Model, cfgs []gemm.Config, shapes []gemm.Shape)
 // caller maps it to a degraded fallback response and feeds the circuit
 // breaker.
 func (g *generation) compute(ctx context.Context, shape gemm.Shape) (Decision, error) {
-	idx := g.lib.ChooseIndex(shape)
+	idx := g.choose(shape)
 	cfgs := g.lib.Configs
 	best, chosen := 0.0, 0.0
 	for i, cfg := range cfgs {

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/workload"
+)
+
+// reuseWriter is a ResponseWriter with no per-request allocations of its own,
+// so AllocsPerRun isolates the handler's allocations.
+type reuseWriter struct {
+	h    http.Header
+	code int
+	buf  []byte
+}
+
+func newReuseWriter() *reuseWriter {
+	return &reuseWriter{h: make(http.Header, 4), buf: make([]byte, 0, 4096)}
+}
+
+func (w *reuseWriter) Header() http.Header  { return w.h }
+func (w *reuseWriter) WriteHeader(code int) { w.code = code }
+func (w *reuseWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func (w *reuseWriter) reset() {
+	w.code = 0
+	w.buf = w.buf[:0]
+}
+
+// selectRunner drives the instrumented /v1/select handler with a reusable
+// request and writer — the serving hot path minus the TCP socket.
+type selectRunner struct {
+	handler http.HandlerFunc
+	w       *reuseWriter
+	r       *http.Request
+	body    *bytes.Reader
+	payload []byte
+}
+
+func newSelectRunner(s *Server, payload []byte) *selectRunner {
+	br := bytes.NewReader(payload)
+	r := httptest.NewRequest(http.MethodPost, "/v1/select", nil)
+	r.Body = io.NopCloser(br)
+	r.ContentLength = int64(len(payload))
+	return &selectRunner{
+		handler: s.instrument("select", s.handleSelect),
+		w:       newReuseWriter(),
+		r:       r,
+		body:    br,
+		payload: payload,
+	}
+}
+
+func (sr *selectRunner) run() {
+	sr.body.Reset(sr.payload)
+	sr.w.reset()
+	sr.handler(sr.w, sr.r)
+}
+
+// TestSelectCacheHitAllocations pins the tentpole guarantee: a steady-state
+// /v1/select request — well-formed body, cached shape — does not allocate in
+// the handler at all. A regression here is a performance bug even though no
+// behaviour changes, so it fails the build.
+func TestSelectCacheHitAllocations(t *testing.T) {
+	model := sim.New(device.R9Nano())
+	srv := New(buildLib(t, model, 6), model, Options{FallbackShapes: reloadShapes})
+	payload := []byte(`{"m":784,"k":1152,"n":256}`)
+	sr := newSelectRunner(srv, payload)
+
+	sr.run() // miss: price and fill the cache
+	if sr.w.code != http.StatusOK {
+		t.Fatalf("warm request: status %d, body %s", sr.w.code, sr.w.buf)
+	}
+	sr.run()
+	if !bytes.Contains(sr.w.buf, []byte(`"cached":true`)) {
+		t.Fatalf("second request not served from cache: %s", sr.w.buf)
+	}
+	if allocs := testing.AllocsPerRun(500, sr.run); allocs != 0 {
+		t.Errorf("cache-hit select allocates %.1f objects per request, want 0", allocs)
+	}
+}
+
+// gatedPricer counts pricing passes and can hold the leader mid-pass so a
+// test can line up followers behind it.
+type gatedPricer struct {
+	model   *sim.Model
+	passes  atomic.Int64 // one per shape pricing pass (counted on config 0)
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (p *gatedPricer) PriceGFLOPS(ctx context.Context, cfg gemm.Config, s gemm.Shape) (float64, error) {
+	p.passes.Add(1)
+	p.once.Do(func() {
+		close(p.started)
+		<-p.release
+	})
+	return p.model.GFLOPS(cfg, s), nil
+}
+
+// TestSingleFlightCoalesces holds one pricing pass open while 15 more
+// requests for the same shape arrive, then checks that exactly one pass ran,
+// every request got the identical full-quality decision, and the followers
+// were counted as coalesced.
+func TestSingleFlightCoalesces(t *testing.T) {
+	model := sim.New(device.R9Nano())
+	lib := buildLib(t, model, 6)
+	pricer := &gatedPricer{
+		model:   model,
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	srv, err := NewMulti([]Backend{{
+		Device: model.Dev.Name, Lib: lib, Model: model, Pricer: pricer,
+	}}, Options{FallbackShapes: reloadShapes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := srv.backends[0]
+	shape := gemm.Shape{M: 784, K: 1152, N: 256}
+
+	const followers = 15
+	results := make([]Decision, followers+1)
+	errs := make([]error, followers+1)
+	var wg sync.WaitGroup
+	for i := 0; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = srv.decide(context.Background(), be, shape)
+		}(i)
+	}
+
+	<-pricer.started // the leader is inside its pricing pass
+	deadline := time.Now().Add(5 * time.Second)
+	for be.coalesced.Load() < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d followers coalesced", be.coalesced.Load(), followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(pricer.release)
+	wg.Wait()
+
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if results[i].Degraded {
+			t.Fatalf("request %d degraded: %+v", i, results[i])
+		}
+		if results[i].Index != results[0].Index || results[i].Config != results[0].Config {
+			t.Fatalf("request %d decision %+v differs from %+v", i, results[i], results[0])
+		}
+	}
+	// Exactly one pricing pass: the gated first call plus the remaining
+	// configs of that same pass.
+	if got, want := pricer.passes.Load(), int64(len(lib.Configs)); got != want {
+		t.Errorf("%d pricing calls, want %d (one pass over the library)", got, want)
+	}
+	if got, _ := srv.decide(context.Background(), be, shape); !got.Cached {
+		t.Error("coalesced pass did not populate the cache")
+	}
+}
+
+// TestCompiledGenerationMatchesLibrary is the serving half of the
+// byte-identical guarantee: on all three paper devices the generation
+// installs a compiled chooser, and its decisions match lib.ChooseIndex for
+// every dataset shape — before and after a reload.
+func TestCompiledGenerationMatchesLibrary(t *testing.T) {
+	shapes, _ := workload.DatasetShapes()
+	for _, dev := range []func() device.Spec{
+		device.R9Nano, device.IntegratedGen9, device.EmbeddedMaliG72,
+	} {
+		model := sim.New(dev())
+		ds := dataset.Build(model, shapes, gemm.AllConfigs()[:120])
+		libA := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 6, 42)
+		libB := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 4, 43)
+		srv := New(libA, model, Options{FallbackShapes: shapes})
+
+		check := func(lib *core.Library) {
+			t.Helper()
+			gen := srv.backends[0].gen.Load()
+			if !gen.compiled {
+				t.Fatalf("%s gen %d: selector did not compile", model.Dev.Name, gen.id)
+			}
+			for _, sh := range shapes {
+				if got, want := gen.choose(sh), lib.ChooseIndex(sh); got != want {
+					t.Fatalf("%s shape %v: compiled %d, library %d", model.Dev.Name, sh, got, want)
+				}
+			}
+		}
+		check(libA)
+		if _, err := srv.Reload("", libB, nil); err != nil {
+			t.Fatal(err)
+		}
+		check(libB)
+	}
+}
+
+// TestFastParseHandlerParity replays the same requests through the fast
+// scanner and the strict decoder path (by prefixing whitespace the scanner
+// handles but formatting json.Encoder never emits, both must parse) and
+// checks the responses agree with the stdlib-decoded form.
+func TestFastParseHandlerParity(t *testing.T) {
+	model := sim.New(device.R9Nano())
+	srv := New(buildLib(t, model, 6), model, Options{FallbackShapes: reloadShapes})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/select", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	// Same logical request in forms that exercise the fast path, the
+	// whitespace-tolerant fast path, and stdlib fallbacks; all answers must
+	// be identical. The first request warms the cache, the second is the
+	// cached reference body the variants must reproduce.
+	if code, body := post(`{"m":196,"k":512,"n":512}`); code != http.StatusOK {
+		t.Fatalf("warm request: %d %s", code, body)
+	}
+	code0, body0 := post(`{"m":196,"k":512,"n":512}`)
+	if code0 != http.StatusOK {
+		t.Fatalf("canonical request: %d %s", code0, body0)
+	}
+	for _, variant := range []string{
+		"  {\n\t\"n\": 512 , \"m\" : 196, \"k\": 512 }  ",
+		`{"device":"` + model.Dev.Name + `","m":196,"k":512,"n":512}`,
+		`{"n":512,"k":512,"m":196,"m":196}`, // duplicate key, last wins (stdlib semantics)
+	} {
+		if code, body := post(variant); code != http.StatusOK || body != body0 {
+			t.Errorf("variant %q: status %d body %q, want %q", variant, code, body, body0)
+		}
+	}
+
+	// Error parity: the fast scanner must punt these to the strict decoder,
+	// which rejects them exactly as before.
+	for _, bad := range []struct {
+		body string
+		code int
+	}{
+		{`{"m":196,"k":512,"n":512} trailing`, http.StatusBadRequest},
+		{`{"m":196,"k":512,"n":512,"extra":1}`, http.StatusBadRequest},
+		{`{"m":196.5,"k":512,"n":512}`, http.StatusBadRequest},
+		{`{"m":0,"k":512,"n":512}`, http.StatusBadRequest},
+		{``, http.StatusBadRequest},
+		{`{"m":196,"k":512,"n":512,"device":"nope"}`, http.StatusBadRequest},
+	} {
+		if code, body := post(bad.body); code != bad.code {
+			t.Errorf("body %q: status %d (%s), want %d", bad.body, code, body, bad.code)
+		}
+	}
+}
+
+func BenchmarkSelectHot(b *testing.B) {
+	model := sim.New(device.R9Nano())
+	srv := New(buildLib(b, model, 6), model, Options{FallbackShapes: reloadShapes})
+	sr := newSelectRunner(srv, []byte(`{"m":784,"k":1152,"n":256}`))
+	sr.run() // warm the cache
+	if sr.w.code != http.StatusOK {
+		b.Fatalf("warm request failed: %d", sr.w.code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr.run()
+	}
+}
+
+func BenchmarkSelectHotParallel(b *testing.B) {
+	model := sim.New(device.R9Nano())
+	srv := New(buildLib(b, model, 6), model, Options{FallbackShapes: reloadShapes})
+	warm := newSelectRunner(srv, []byte(`{"m":784,"k":1152,"n":256}`))
+	warm.run()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		sr := newSelectRunner(srv, []byte(`{"m":784,"k":1152,"n":256}`))
+		for pb.Next() {
+			sr.run()
+		}
+	})
+}

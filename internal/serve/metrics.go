@@ -95,8 +95,9 @@ func (m *metrics) endpoint(name string) *endpointMetrics {
 // shed/degradation counters, latency EWMA and circuit-breaker state.
 type backendStats struct {
 	device       string
-	selector     string
+	infoLine     string // pre-rendered selectd_info line, built per generation
 	generation   uint64
+	compiled     bool
 	hits         uint64
 	misses       uint64
 	entries      int
@@ -104,6 +105,7 @@ type backendStats struct {
 	budgetFree   int
 	budgetCap    int
 	shed         uint64
+	coalesced    uint64
 	degraded     [numReasons]uint64
 	ewmaSeconds  float64
 	breakerState breakerState
@@ -111,20 +113,22 @@ type backendStats struct {
 }
 
 // render writes the registry in Prometheus text format, with one info line
-// and one set of per-device series per backend.
+// and one set of per-device series per backend. The HELP/TYPE headers are
+// constants and the info lines are pre-rendered per generation; only the
+// sample lines are formatted per scrape.
 func (m *metrics) render(b *strings.Builder, backends []backendStats) {
-	fmt.Fprintf(b, "# HELP selectd_info Serving daemon metadata, one line per device backend.\n")
-	fmt.Fprintf(b, "# TYPE selectd_info gauge\n")
+	b.WriteString("# HELP selectd_info Serving daemon metadata, one line per device backend.\n")
+	b.WriteString("# TYPE selectd_info gauge\n")
 	for _, be := range backends {
-		fmt.Fprintf(b, "selectd_info{selector=%q,device=%q} 1\n", be.selector, be.device)
+		b.WriteString(be.infoLine)
 	}
 
-	fmt.Fprintf(b, "# HELP selectd_uptime_seconds Time since the server started.\n")
-	fmt.Fprintf(b, "# TYPE selectd_uptime_seconds gauge\n")
+	b.WriteString("# HELP selectd_uptime_seconds Time since the server started.\n")
+	b.WriteString("# TYPE selectd_uptime_seconds gauge\n")
 	fmt.Fprintf(b, "selectd_uptime_seconds %.3f\n", time.Since(m.started).Seconds())
 
-	fmt.Fprintf(b, "# HELP selectd_requests_total Requests served, by endpoint and status code.\n")
-	fmt.Fprintf(b, "# TYPE selectd_requests_total counter\n")
+	b.WriteString("# HELP selectd_requests_total Requests served, by endpoint and status code.\n")
+	b.WriteString("# TYPE selectd_requests_total counter\n")
 	m.mu.Lock()
 	names := make([]string, 0, len(m.endpoints))
 	for name := range m.endpoints {
@@ -146,8 +150,8 @@ func (m *metrics) render(b *strings.Builder, backends []backendStats) {
 		e.mu.Unlock()
 	}
 
-	fmt.Fprintf(b, "# HELP selectd_request_seconds Full-service request latency histogram, by endpoint.\n")
-	fmt.Fprintf(b, "# TYPE selectd_request_seconds histogram\n")
+	b.WriteString("# HELP selectd_request_seconds Full-service request latency histogram, by endpoint.\n")
+	b.WriteString("# TYPE selectd_request_seconds histogram\n")
 	for _, name := range names {
 		e := m.endpoint(name)
 		var cum uint64
@@ -161,72 +165,88 @@ func (m *metrics) render(b *strings.Builder, backends []backendStats) {
 		fmt.Fprintf(b, "selectd_request_seconds_count{endpoint=%q} %d\n", name, e.latency.count.Load())
 	}
 
-	fmt.Fprintf(b, "# HELP selectd_generation Library generation currently serving, by device.\n")
-	fmt.Fprintf(b, "# TYPE selectd_generation gauge\n")
+	b.WriteString("# HELP selectd_generation Library generation currently serving, by device.\n")
+	b.WriteString("# TYPE selectd_generation gauge\n")
 	for _, be := range backends {
 		fmt.Fprintf(b, "selectd_generation{device=%q} %d\n", be.device, be.generation)
 	}
 
-	fmt.Fprintf(b, "# HELP selectd_cache_hits_total Decision-cache hits, by device.\n")
-	fmt.Fprintf(b, "# TYPE selectd_cache_hits_total counter\n")
+	b.WriteString("# HELP selectd_cache_hits_total Decision-cache hits, by device.\n")
+	b.WriteString("# TYPE selectd_cache_hits_total counter\n")
 	for _, be := range backends {
 		fmt.Fprintf(b, "selectd_cache_hits_total{device=%q} %d\n", be.device, be.hits)
 	}
-	fmt.Fprintf(b, "# HELP selectd_cache_misses_total Decision-cache misses, by device.\n")
-	fmt.Fprintf(b, "# TYPE selectd_cache_misses_total counter\n")
+	b.WriteString("# HELP selectd_cache_misses_total Decision-cache misses, by device.\n")
+	b.WriteString("# TYPE selectd_cache_misses_total counter\n")
 	for _, be := range backends {
 		fmt.Fprintf(b, "selectd_cache_misses_total{device=%q} %d\n", be.device, be.misses)
 	}
-	fmt.Fprintf(b, "# HELP selectd_cache_entries Decisions currently cached, by device.\n")
-	fmt.Fprintf(b, "# TYPE selectd_cache_entries gauge\n")
+	b.WriteString("# HELP selectd_cache_entries Decisions currently cached, by device.\n")
+	b.WriteString("# TYPE selectd_cache_entries gauge\n")
 	for _, be := range backends {
 		fmt.Fprintf(b, "selectd_cache_entries{device=%q} %d\n", be.device, be.entries)
 	}
 
-	fmt.Fprintf(b, "# HELP selectd_inflight_requests Requests currently being served, by device.\n")
-	fmt.Fprintf(b, "# TYPE selectd_inflight_requests gauge\n")
+	b.WriteString("# HELP selectd_inflight_requests Requests currently being served, by device.\n")
+	b.WriteString("# TYPE selectd_inflight_requests gauge\n")
 	for _, be := range backends {
 		fmt.Fprintf(b, "selectd_inflight_requests{device=%q} %d\n", be.device, be.inflight)
 	}
 
-	fmt.Fprintf(b, "# HELP selectd_budget_tokens Admission tokens currently free, by device.\n")
-	fmt.Fprintf(b, "# TYPE selectd_budget_tokens gauge\n")
+	b.WriteString("# HELP selectd_budget_tokens Admission tokens currently free, by device.\n")
+	b.WriteString("# TYPE selectd_budget_tokens gauge\n")
 	for _, be := range backends {
 		fmt.Fprintf(b, "selectd_budget_tokens{device=%q} %d\n", be.device, be.budgetFree)
 	}
-	fmt.Fprintf(b, "# HELP selectd_budget_capacity Admission budget size, by device.\n")
-	fmt.Fprintf(b, "# TYPE selectd_budget_capacity gauge\n")
+	b.WriteString("# HELP selectd_budget_capacity Admission budget size, by device.\n")
+	b.WriteString("# TYPE selectd_budget_capacity gauge\n")
 	for _, be := range backends {
 		fmt.Fprintf(b, "selectd_budget_capacity{device=%q} %d\n", be.device, be.budgetCap)
 	}
 
-	fmt.Fprintf(b, "# HELP selectd_shed_total Requests rejected 429 at the latency shed threshold, by device.\n")
-	fmt.Fprintf(b, "# TYPE selectd_shed_total counter\n")
+	b.WriteString("# HELP selectd_shed_total Requests rejected 429 at the latency shed threshold, by device.\n")
+	b.WriteString("# TYPE selectd_shed_total counter\n")
 	for _, be := range backends {
 		fmt.Fprintf(b, "selectd_shed_total{device=%q} %d\n", be.device, be.shed)
 	}
 
-	fmt.Fprintf(b, "# HELP selectd_degraded_total Requests answered with the fallback config, by device and reason.\n")
-	fmt.Fprintf(b, "# TYPE selectd_degraded_total counter\n")
+	b.WriteString("# HELP selectd_singleflight_coalesced_total Cache-miss requests coalesced onto another request's pricing pass, by device.\n")
+	b.WriteString("# TYPE selectd_singleflight_coalesced_total counter\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_singleflight_coalesced_total{device=%q} %d\n", be.device, be.coalesced)
+	}
+
+	b.WriteString("# HELP selectd_compiled_selector Whether the serving generation uses a compiled selector (1) or the interpreted model (0), by device.\n")
+	b.WriteString("# TYPE selectd_compiled_selector gauge\n")
+	for _, be := range backends {
+		v := 0
+		if be.compiled {
+			v = 1
+		}
+		fmt.Fprintf(b, "selectd_compiled_selector{device=%q} %d\n", be.device, v)
+	}
+
+	b.WriteString("# HELP selectd_degraded_total Requests answered with the fallback config, by device and reason.\n")
+	b.WriteString("# TYPE selectd_degraded_total counter\n")
 	for _, be := range backends {
 		for r, n := range be.degraded {
 			fmt.Fprintf(b, "selectd_degraded_total{device=%q,reason=%q} %d\n", be.device, reasonNames[r], n)
 		}
 	}
 
-	fmt.Fprintf(b, "# HELP selectd_latency_ewma_seconds Full-service latency EWMA, by device.\n")
-	fmt.Fprintf(b, "# TYPE selectd_latency_ewma_seconds gauge\n")
+	b.WriteString("# HELP selectd_latency_ewma_seconds Full-service latency EWMA, by device.\n")
+	b.WriteString("# TYPE selectd_latency_ewma_seconds gauge\n")
 	for _, be := range backends {
 		fmt.Fprintf(b, "selectd_latency_ewma_seconds{device=%q} %.9f\n", be.device, be.ewmaSeconds)
 	}
 
-	fmt.Fprintf(b, "# HELP selectd_breaker_state Circuit-breaker state, by device (0 closed, 1 half-open, 2 open).\n")
-	fmt.Fprintf(b, "# TYPE selectd_breaker_state gauge\n")
+	b.WriteString("# HELP selectd_breaker_state Circuit-breaker state, by device (0 closed, 1 half-open, 2 open).\n")
+	b.WriteString("# TYPE selectd_breaker_state gauge\n")
 	for _, be := range backends {
 		fmt.Fprintf(b, "selectd_breaker_state{device=%q} %d\n", be.device, int(be.breakerState))
 	}
-	fmt.Fprintf(b, "# HELP selectd_breaker_trips_total Circuit-breaker open transitions, by device.\n")
-	fmt.Fprintf(b, "# TYPE selectd_breaker_trips_total counter\n")
+	b.WriteString("# HELP selectd_breaker_trips_total Circuit-breaker open transitions, by device.\n")
+	b.WriteString("# TYPE selectd_breaker_trips_total counter\n")
 	for _, be := range backends {
 		fmt.Fprintf(b, "selectd_breaker_trips_total{device=%q} %d\n", be.device, be.breakerTrips)
 	}

@@ -41,6 +41,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -285,12 +286,21 @@ func (s *Server) degradedDecision(be *backend, gen *generation, shape gemm.Shape
 // snapshot, consulting its cache first. It fails only when ctx expires
 // mid-computation; pricing failures and an open breaker degrade to the
 // fallback config instead. Aborted and degraded decisions are not cached.
+// Concurrent misses for the same shape coalesce into one pricing pass
+// (flight.go).
 func (s *Server) decide(ctx context.Context, be *backend, shape gemm.Shape) (Decision, error) {
 	gen := be.gen.Load()
 	if d, ok := gen.cache.get(shape); ok {
 		d.Cached = true
 		return d, nil
 	}
+	return s.decideMiss(ctx, be, gen, shape)
+}
+
+// leaderCompute is the single-flight leader's full-service ladder: breaker,
+// deadline estimate, pricing pass, then breaker/EWMA/cache updates. Exactly
+// one caller per (generation, shape) runs it at a time.
+func (s *Server) leaderCompute(ctx context.Context, be *backend, gen *generation, shape gemm.Shape) (Decision, error) {
 	if !be.breaker.allow(time.Now()) {
 		return s.degradedDecision(be, gen, shape, reasonBreaker), nil
 	}
@@ -395,6 +405,7 @@ type healthzBackend struct {
 	Generation uint64 `json:"generation"`
 	Selector   string `json:"selector"`
 	Configs    int    `json:"configs"`
+	Compiled   bool   `json:"compiled_selector"`
 	Breaker    string `json:"breaker"`
 	InFlight   int64  `json:"in_flight"`
 	BudgetFree int    `json:"budget_free"`
@@ -427,12 +438,16 @@ func (s *Server) Handler() http.Handler {
 // response should be kept out of the latency histogram (sheds and degraded
 // answers do little or no work; a flood of their near-zero durations would
 // drag the latency quantiles toward zero exactly when the server is slowest
-// and real full-service latencies matter most).
+// and real full-service latencies matter most). Writers are pooled: one is
+// borrowed per request and returned after accounting, so instrumentation
+// itself stays off the allocator.
 type statusWriter struct {
 	http.ResponseWriter
 	code        int
 	skipLatency bool
 }
+
+var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
@@ -446,22 +461,26 @@ func markNoLatency(w http.ResponseWriter) {
 	}
 }
 
-// instrument wraps a handler with the serving spine: a per-request deadline
-// and counter/latency accounting. Admission is per-backend and happens
-// inside the handlers once the device is resolved.
+// instrument wraps a handler with counter/latency accounting. The endpoint's
+// metrics are resolved once at mux construction — not per request through the
+// registry mutex — and the per-request deadline now lives in the handlers,
+// created only on paths that can block (a cache hit never needs a context,
+// and building one costs two allocations). Admission is per-backend and
+// happens inside the handlers once the device is resolved.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	e := s.metrics.endpoint(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
-		defer cancel()
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r.WithContext(ctx))
-		e := s.metrics.endpoint(endpoint)
+		sw := swPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.code, sw.skipLatency = w, http.StatusOK, false
+		h(sw, r)
 		if sw.skipLatency {
 			e.observeCode(sw.code)
 		} else {
 			e.observe(sw.code, time.Since(start))
 		}
+		sw.ResponseWriter = nil
+		swPool.Put(sw)
 	}
 }
 
@@ -504,28 +523,65 @@ func (s *Server) admit(w http.ResponseWriter, be *backend) (release func(), degr
 	return release, false, false
 }
 
+// handleSelect is the hot path. The steady-state request — a well-formed
+// body naming a cached shape — runs allocation-free: pooled body buffer,
+// hand-rolled parse, map-keyed backend lookup, sharded cache hit, append
+// encoding into the same pooled buffer. Everything unusual (odd JSON, cache
+// miss, degradation) steps off onto the slow path.
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
-	var req shapeRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	bp := bufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	defer func() {
+		*bp = buf[:0]
+		bufPool.Put(bp)
+	}()
+	body, err := readBody(w, r, buf[:cap(buf)])
+	if err != nil {
 		writeBodyError(w, err)
 		return
 	}
-	be, err := s.backend(req.Device)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
+	buf = body[:0]
+
+	var be *backend
+	var shape gemm.Shape
+	if p, ok := parseSelectBody(body); ok {
+		if len(p.device) == 0 {
+			be = s.backends[0]
+		} else if be, ok = s.byName[string(p.device)]; !ok {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("unknown device %q (serving: %s)", p.device, strings.Join(s.Devices(), ", ")),
+			})
+			return
+		}
+		shape = gemm.Shape{M: p.m, K: p.k, N: p.n}
+		if err := shape.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+	} else {
+		var req shapeRequest
+		if err := decodeStrict(body, &req); err != nil {
+			writeBodyError(w, err)
+			return
+		}
+		if be, err = s.backend(req.Device); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		if shape, err = req.shape(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
 	}
-	shape, err := req.shape()
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
+
 	// Cache hits are O(1) and bypass admission entirely: even a saturated
 	// backend keeps answering its steady-state shapes at full quality.
 	gen := be.gen.Load()
 	if d, ok := gen.cache.get(shape); ok {
 		d.Cached = true
-		writeJSON(w, http.StatusOK, d)
+		buf = appendDecision(buf, &d)
+		buf = append(buf, '\n')
+		writeRawJSON(w, http.StatusOK, buf)
 		return
 	}
 	release, degraded, shed := s.admit(w, be)
@@ -534,14 +590,19 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	if degraded {
 		markNoLatency(w)
-		writeJSON(w, http.StatusOK, s.degradedDecision(be, be.gen.Load(), shape, reasonBudget))
+		d := s.degradedDecision(be, be.gen.Load(), shape, reasonBudget)
+		buf = appendDecision(buf, &d)
+		buf = append(buf, '\n')
+		writeRawJSON(w, http.StatusOK, buf)
 		return
 	}
 	defer release()
 	be.inflight.Add(1)
 	defer be.inflight.Add(-1)
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
 	start := time.Now()
-	d, err := s.decide(r.Context(), be, shape)
+	d, err := s.decide(ctx, be, shape)
 	if err != nil {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request deadline exceeded"})
 		return
@@ -551,7 +612,9 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	} else if !d.Cached {
 		ewmaObserve(&be.latencyEWMA, time.Since(start))
 	}
-	writeJSON(w, http.StatusOK, d)
+	buf = appendDecision(buf, &d)
+	buf = append(buf, '\n')
+	writeRawJSON(w, http.StatusOK, buf)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -600,14 +663,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			results[i] = s.degradedDecision(be, gen, sh, reasonBudget)
 		}
 		markNoLatency(w)
-		writeJSON(w, http.StatusOK, batchResponse{Results: results})
+		writeBatch(w, results)
 		return
 	}
 	defer release()
 	be.inflight.Add(1)
 	defer be.inflight.Add(-1)
 
-	ctx := r.Context()
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
 	start := time.Now()
 	results := par.Map(s.opts.Workers, len(shapes), func(i int) Decision {
 		d, err := s.decide(ctx, be, shapes[i])
@@ -632,7 +696,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	} else {
 		ewmaObserve(&be.latencyEWMA, time.Since(start))
 	}
-	writeJSON(w, http.StatusOK, batchResponse{Results: results})
+	writeBatch(w, results)
+}
+
+// writeBatch append-encodes a batch response through the buffer pool instead
+// of running the reflection encoder over up to MaxBatch decisions.
+func writeBatch(w http.ResponseWriter, results []Decision) {
+	bp := bufPool.Get().(*[]byte)
+	buf := appendBatch((*bp)[:0], results)
+	buf = append(buf, '\n')
+	writeRawJSON(w, http.StatusOK, buf)
+	*bp = buf[:0]
+	bufPool.Put(bp)
 }
 
 // handleReload swaps the named backend (empty = default) onto a fresh
@@ -679,18 +754,8 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	gen := be.gen.Load()
-	resp := configsResponse{
-		Device:     be.name,
-		Selector:   gen.lib.SelectorName(),
-		Generation: gen.id,
-		Count:      len(gen.lib.Configs),
-	}
-	for _, c := range gen.lib.Configs {
-		resp.Configs = append(resp.Configs, c.String())
-		resp.KernelIDs = append(resp.KernelIDs, c.KernelID())
-	}
-	writeJSON(w, http.StatusOK, resp)
+	// The body is immutable per generation and prerendered at reload time.
+	writeRawJSON(w, http.StatusOK, be.gen.Load().configsJSON)
 }
 
 func (s *Server) handleDevices(w http.ResponseWriter, _ *http.Request) {
@@ -719,6 +784,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			Generation: gen.id,
 			Selector:   gen.lib.SelectorName(),
 			Configs:    len(gen.lib.Configs),
+			Compiled:   gen.compiled,
 			Breaker:    state.String(),
 			InFlight:   be.inflight.Load(),
 			BudgetFree: be.budgetFree(),
@@ -741,8 +807,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		state, trips := be.breaker.snapshot()
 		st := backendStats{
 			device:       be.name,
-			selector:     gen.lib.SelectorName(),
+			infoLine:     gen.infoLine,
 			generation:   gen.id,
+			compiled:     gen.compiled,
 			hits:         hits,
 			misses:       misses,
 			entries:      gen.cache.len(),
@@ -750,6 +817,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			budgetFree:   be.budgetFree(),
 			budgetCap:    be.budgetCap,
 			shed:         be.shed.Load(),
+			coalesced:    be.coalesced.Load(),
 			ewmaSeconds:  ewmaValue(&be.latencyEWMA).Seconds(),
 			breakerState: state,
 			breakerTrips: trips,
