@@ -15,7 +15,7 @@ COVER_FLOOR ?= 70
 # Seeds for the chaos sweep (`make chaos`); each seed is one fault schedule.
 CHAOS_SEEDS ?= 12
 
-.PHONY: build test race race-serve vet bench bench-serve bench-serve-check saturation fuzz fuzz-smoke cover chaos check
+.PHONY: build test race race-serve vet bench bench-price bench-serve bench-serve-check saturation fuzz fuzz-smoke cover chaos check
 
 build:
 	$(GO) build ./...
@@ -43,29 +43,63 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-# Serving-path latency baseline: drive an in-process two-device server with
-# the load generator and write the quantile/degradation report to
+# Pricing micro-benchmark gate: BenchmarkPriceBatch (the vectorized pricing
+# pass the serving hot path runs on every cache miss) must stay within
+# PRICE_TOLERANCE x the committed baseline ns/op in BENCH_price.txt. The
+# factor is deliberately loose — shared CI boxes swing 1.5x run to run, while
+# falling back to the scalar path is a ~3.5x regression (see
+# BenchmarkPriceLoop in the same file), so 2.5x separates noise from loss of
+# vectorization. The committed file is the precise record.
+PRICE_TOLERANCE ?= 2.5
+
+bench-price:
+	@$(GO) test -run '^$$' -bench '^BenchmarkPrice(Batch|Loop)$$' -benchtime 2s -benchmem ./internal/sim | tee .bench_price.tmp
+	@new=$$(awk '/^BenchmarkPriceBatch/ {print $$3; exit}' .bench_price.tmp); \
+	base=$$(awk '/^BenchmarkPriceBatch/ {print $$3; exit}' BENCH_price.txt); \
+	rm -f .bench_price.tmp; \
+	if [ -z "$$new" ] || [ -z "$$base" ]; then \
+		echo "bench-price: missing measurement (bench output or BENCH_price.txt baseline)"; exit 1; \
+	fi; \
+	if ! awk "BEGIN{exit !($$new <= $$base * $(PRICE_TOLERANCE))}"; then \
+		echo "bench-price: PriceBatch $$new ns/op exceeds $(PRICE_TOLERANCE)x baseline $$base ns/op"; exit 1; \
+	fi; \
+	echo "bench-price: PriceBatch $$new ns/op within $(PRICE_TOLERANCE)x of baseline $$base ns/op"
+
+# Serving-path latency baseline: drive a warmed in-process two-device server
+# with the load generator and write the quantile/degradation report to
 # BENCH_serve.json for cross-change comparison.
 bench-serve:
-	$(GO) run ./cmd/selectload -inprocess -qps 500 -duration 10s -workers 32 -json BENCH_serve.json
+	$(GO) run ./cmd/selectload -inprocess -warm -qps 500 -duration 10s -workers 32 -json BENCH_serve.json
 
-# Regression gate against the committed baseline: a short run must hold the
-# achieved rate and stay within tolerance of the stored p99s. The tolerance is
-# deliberately loose (shared CI machines are noisy); bench-serve is the
-# precise measurement, this is the tripwire.
+# Regression gate against the committed baseline, two tripwires:
+#   1. a short warmed run must hold the achieved rate and stay within
+#      tolerance of the stored p99s. The warmed baseline p99 is a few
+#      hundred microseconds, where shared-box scheduler jitter swings the
+#      quantile by an order of magnitude, so an absolute -p99-slack carries
+#      the comparison; bench-serve is the precise measurement.
+#   2. a coarse ramp on the warmed stress server must keep the saturation
+#      knee at or above 7000 QPS. The ramp starts well below the floor so a
+#      capacity regression surfaces as a knee below it rather than a
+#      vacuous first-step knee; -knee-qps 0.9 absorbs scheduler noise.
 bench-serve-check:
-	$(GO) run ./cmd/selectload -inprocess -qps 500 -duration 3s -workers 32 \
-		-baseline BENCH_serve.json -tolerance 0.5
+	$(GO) run ./cmd/selectload -inprocess -warm -qps 500 -duration 3s -workers 32 \
+		-baseline BENCH_serve.json -tolerance 0.5 -p99-slack 75ms
+	$(GO) run ./cmd/selectload -inprocess -stress -warm -ramp \
+		-ramp-start 2000 -ramp-step 2000 -ramp-max 8000 -step-duration 2s \
+		-workers 64 -knee-qps 0.9 -require-knee 7000
 
-# Saturation sweep: ramp the offered rate on a miss-heavy (-stress: no
-# decision cache, tight admission budget) in-process server until the
-# resilience machinery engages — shed/degraded past the knee threshold —
-# and render the latency/throughput/shed trade-off figure. Without -stress
-# the warm cache absorbs any rate the CPU can serve and the ramp never finds
-# a knee; the stress server measures the pricing path the paper cares about.
+# Saturation sweep (Figure 6): ramp the offered rate on the warmed stress
+# server (-stress: tight admission budget, measured 2ms pricing; -warm:
+# generation cache pre-priced over the dataset shape universe) until it
+# saturates, then rerun the low end against the same server with the cache
+# disabled for the cold-start bound. The steady-state panels and the
+# cold-start achieved-vs-offered panel land in one stacked figure. Without
+# -warm the cache still fills on first touch; the warm pass just moves that
+# cost off the serving path, which is exactly the gap the figure shows.
 saturation:
-	$(GO) run ./cmd/selectload -inprocess -stress -ramp -ramp-start 100 -ramp-step 200 \
-		-ramp-max 2000 -step-duration 3s -workers 64 \
+	$(GO) run ./cmd/selectload -inprocess -stress -warm -ramp -ramp-start 1000 -ramp-step 1000 \
+		-ramp-max 10000 -step-duration 3s -workers 64 \
+		-cold-ramp-start 100 -cold-ramp-step 200 -cold-ramp-max 2000 \
 		-json figures/fig6-saturation.json -fig figures/fig6-saturation.svg
 
 # Chaos sweep: the fault-injection suite (seed-driven latency spikes, pricing
@@ -95,4 +129,4 @@ cover:
 		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; \
 	fi
 
-check: build vet test race-serve chaos bench-serve-check race fuzz-smoke cover
+check: build vet test race-serve chaos bench-price bench-serve-check race fuzz-smoke cover

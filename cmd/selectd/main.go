@@ -41,9 +41,19 @@
 // SIGINT/SIGTERM starts a graceful drain: healthz flips to 503, in-flight
 // requests finish (up to -drain-timeout), then the listener closes.
 //
+// Warming (-warm, on by default): every generation swap — startup and each
+// reload — background-prices the full dataset shape universe into the new
+// decision cache, so steady-state traffic never pays a cold miss after a
+// deploy. /healthz and /v1/reload report per-backend warm progress, and
+// /metrics exposes selectd_warm_shapes_total / selectd_warm_complete.
+//
+// Observability: -pprof addr exposes net/http/pprof on its own listener,
+// kept off the serving address so profiling endpoints are never reachable
+// through the load balancer.
+//
 // Usage:
 //
-//	selectd [-addr :8080] [-devices r9nano,gen9] [-library lib.json] [-selector tree] [-n 8] [-seed 42] ...
+//	selectd [-addr :8080] [-devices r9nano,gen9] [-library lib.json] [-selector tree] [-n 8] [-seed 42] [-pprof localhost:6060] ...
 package main
 
 import (
@@ -53,6 +63,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -95,6 +106,8 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
 	workers := flag.Int("workers", 0, "pricing workers per batch request (0 = GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
+	warm := flag.Bool("warm", true, "speculatively warm each new generation's decision cache with the dataset shape universe")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this separate listen address (empty disables)")
 	flag.Parse()
 
 	specs, err := devicesFor(*devNames)
@@ -177,6 +190,7 @@ func main() {
 		MaxBatch:         *maxBatch,
 		RequestTimeout:   *timeout,
 		Workers:          *workers,
+		Warm:             *warm,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -223,6 +237,25 @@ func main() {
 			}
 		}
 	}()
+
+	// The profiling surface lives on its own listener: bind it to localhost
+	// (or an ops network) and the serving address stays free of debug
+	// endpoints.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+		log.Printf("pprof on %s", *pprofAddr)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

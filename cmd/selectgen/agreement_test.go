@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/workload"
+)
+
+// TestEmittedSelectorAgreesWithInterpreted is the serverless-embedding
+// acceptance check: a library saved with core.SaveLibrary, re-emitted by
+// selectgen -library, must route every dataset shape to the same
+// configuration as the interpreted selector the serving daemon would run.
+// The emitted Select is exercised by interpreting its actual source — an AST
+// walk over the generated nested ifs — so the comparison covers the code
+// renderer and the table emission, not just the tree object in memory.
+func TestEmittedSelectorAgreesWithInterpreted(t *testing.T) {
+	shapes, _ := workload.DatasetShapes()
+	ds := dataset.Build(sim.New(device.R9Nano()), shapes, gemm.AllConfigs())
+	lib := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 8, 42)
+
+	// Round-trip through the persisted artifact form, exactly as a deploy
+	// pipeline would hand selectgen a selectrain output.
+	var buf bytes.Buffer
+	if err := core.SaveLibrary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lib.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := generateFromLibrary(path, "kernels")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "selector.go", src, parser.AllErrors)
+	if err != nil {
+		t.Fatalf("emitted source does not parse: %v", err)
+	}
+	sel := findFunc(f, "Select")
+	if sel == nil {
+		t.Fatal("emitted source has no Select function")
+	}
+	configs, err := stringTable(f, "Configs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernelIDs, err := stringTable(f, "KernelIDs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != len(lib.Configs) || len(kernelIDs) != len(lib.Configs) {
+		t.Fatalf("emitted tables hold %d/%d entries, library has %d",
+			len(configs), len(kernelIDs), len(lib.Configs))
+	}
+
+	for _, s := range shapes {
+		got, err := evalSelect(sel, map[string]float64{
+			"m": float64(s.M), "k": float64(s.K), "n": float64(s.N),
+		})
+		if err != nil {
+			t.Fatalf("evaluating emitted Select on %v: %v", s, err)
+		}
+		want := lib.ChooseIndex(s)
+		if got != want {
+			t.Fatalf("shape %v: emitted Select returns %d, interpreted selector %d", s, got, want)
+		}
+		wantCfg := lib.Configs[want]
+		if configs[got] != wantCfg.String() {
+			t.Fatalf("shape %v: emitted config %q, interpreted %q", s, configs[got], wantCfg)
+		}
+		if kernelIDs[got] != wantCfg.KernelID() {
+			t.Fatalf("shape %v: emitted kernel id %q, interpreted %q", s, kernelIDs[got], wantCfg.KernelID())
+		}
+	}
+}
+
+// findFunc returns the named top-level function declaration.
+func findFunc(f *ast.File, name string) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	return nil
+}
+
+// stringTable extracts a top-level `var name = []string{...}` literal.
+func stringTable(f *ast.File, name string) ([]string, error) {
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Names) != 1 || vs.Names[0].Name != name || len(vs.Values) != 1 {
+				continue
+			}
+			lit, ok := vs.Values[0].(*ast.CompositeLit)
+			if !ok {
+				return nil, fmt.Errorf("%s is not a composite literal", name)
+			}
+			out := make([]string, 0, len(lit.Elts))
+			for _, el := range lit.Elts {
+				bl, ok := el.(*ast.BasicLit)
+				if !ok || bl.Kind != token.STRING {
+					return nil, fmt.Errorf("%s holds a non-string element", name)
+				}
+				v, err := strconv.Unquote(bl.Value)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("no top-level %s table", name)
+}
+
+// evalSelect interprets the generated nested-if body: each statement is
+// either `if <feature> <= <lit> { ... }` (taken branch recurses, untaken
+// falls through to the next statement) or `return <lit>`.
+func evalSelect(fn *ast.FuncDecl, vars map[string]float64) (int, error) {
+	return evalStmts(fn.Body.List, vars)
+}
+
+func evalStmts(stmts []ast.Stmt, vars map[string]float64) (int, error) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.ReturnStmt:
+			if len(s.Results) != 1 {
+				return 0, fmt.Errorf("return with %d results", len(s.Results))
+			}
+			lit, ok := s.Results[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.INT {
+				return 0, fmt.Errorf("return of a non-integer literal")
+			}
+			return strconv.Atoi(lit.Value)
+		case *ast.IfStmt:
+			be, ok := s.Cond.(*ast.BinaryExpr)
+			if !ok || be.Op != token.LEQ {
+				return 0, fmt.Errorf("if condition is not a <= comparison")
+			}
+			id, ok := be.X.(*ast.Ident)
+			if !ok {
+				return 0, fmt.Errorf("comparison lhs is not a feature name")
+			}
+			v, ok := vars[id.Name]
+			if !ok {
+				return 0, fmt.Errorf("unknown feature %q", id.Name)
+			}
+			lit, ok := be.Y.(*ast.BasicLit)
+			if !ok {
+				return 0, fmt.Errorf("threshold is not a literal")
+			}
+			thr, err := strconv.ParseFloat(lit.Value, 64)
+			if err != nil {
+				return 0, err
+			}
+			if v <= thr {
+				return evalStmts(s.Body.List, vars)
+			}
+			// Untaken branch: the renderer puts the right subtree after the
+			// if, so fall through to the next statement.
+		default:
+			return 0, fmt.Errorf("unexpected statement %T", st)
+		}
+	}
+	return 0, fmt.Errorf("fell off the end of a branch without returning")
+}

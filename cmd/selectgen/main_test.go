@@ -95,12 +95,14 @@ func TestGeneratedSourceCompiles(t *testing.T) {
 	if sig.Params().Len() != 3 || sig.Results().Len() != 1 {
 		t.Fatalf("Select has signature %v, want func(m, k, n int) int", sig)
 	}
-	cfgs, ok := pkg.Scope().Lookup("Configs").(*types.Var)
-	if !ok {
-		t.Fatal("generated package has no Configs variable")
-	}
-	if cfgs.Type().String() != "[]string" {
-		t.Fatalf("Configs has type %v, want []string", cfgs.Type())
+	for _, name := range []string{"Configs", "KernelIDs"} {
+		v, ok := pkg.Scope().Lookup(name).(*types.Var)
+		if !ok {
+			t.Fatalf("generated package has no %s variable", name)
+		}
+		if v.Type().String() != "[]string" {
+			t.Fatalf("%s has type %v, want []string", name, v.Type())
+		}
 	}
 }
 
@@ -114,8 +116,8 @@ func TestGenerateRespectsArguments(t *testing.T) {
 	if !strings.Contains(src, "package mypkg\n") {
 		t.Error("package clause does not honor -pkg")
 	}
-	if got := strings.Count(src, "\t\""); got != 4 {
-		t.Errorf("Configs has %d entries, want 4", got)
+	if got := strings.Count(src, "\t\""); got != 8 {
+		t.Errorf("Configs+KernelIDs have %d entries, want 8 (4 each)", got)
 	}
 	if !strings.Contains(src, "-n 4 -seed 7") {
 		t.Error("generation header does not record the arguments")

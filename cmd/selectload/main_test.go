@@ -65,7 +65,7 @@ func TestShapeStreamDeterminism(t *testing.T) {
 // End-to-end smoke: a short in-process run must deliver every request and
 // produce a coherent report.
 func TestInprocessRun(t *testing.T) {
-	ts, names, err := inprocessServer(false)
+	ts, names, err := inprocessServer(false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestCompareBaseline(t *testing.T) {
 	}
 	defer devnull.Close()
 	for _, tc := range cases {
-		ok, err := compareBaseline(devnull, path, tc.rep, 0.10)
+		ok, err := compareBaseline(devnull, path, tc.rep, 0.10, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -176,8 +176,18 @@ func TestCompareBaseline(t *testing.T) {
 			t.Errorf("%s: pass=%v, want %v", tc.name, ok, tc.want)
 		}
 	}
-	if _, err := compareBaseline(devnull, path+".missing", base, 0.10); err == nil {
+	if _, err := compareBaseline(devnull, path+".missing", base, 0.10, 0); err == nil {
 		t.Error("missing baseline file did not error")
+	}
+
+	// Absolute p99 slack absorbs jitter past the relative ceiling but still
+	// fails a rise that clears baseline+slack.
+	jittery := report{AchievedQPS: 500, Devices: []deviceReport{{Device: "a", P99Micros: 5000}}}
+	if ok, err := compareBaseline(devnull, path, jittery, 0.10, 10*time.Millisecond); err != nil || !ok {
+		t.Errorf("slack did not absorb a sub-slack p99 rise: ok=%v err=%v", ok, err)
+	}
+	if ok, err := compareBaseline(devnull, path, jittery, 0.10, time.Millisecond); err != nil || ok {
+		t.Errorf("p99 rise past baseline+slack passed: ok=%v err=%v", ok, err)
 	}
 }
 
@@ -185,7 +195,7 @@ func TestCompareBaseline(t *testing.T) {
 // figure; with a sub-1.0 achieved threshold and tiny load, the server keeps
 // up, so no knee is expected — the point is the plumbing, not saturation.
 func TestRampAndFigure(t *testing.T) {
-	ts, names, err := inprocessServer(true)
+	ts, names, err := inprocessServer(true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,5 +242,88 @@ func TestRampAndFigure(t *testing.T) {
 	}
 	if _, err := rampFigure(rampReport{}); err == nil {
 		t.Error("empty ramp report rendered a figure")
+	}
+}
+
+// The -require-knee gate: a found knee passes at or above the floor, and a
+// kneeless ramp passes only when it actually sustained ~the floor.
+func TestGateKnee(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	cases := []struct {
+		name string
+		rr   rampReport
+		want bool
+	}{
+		{"knee above floor", rampReport{KneeQPS: 8000, Steps: []rampStep{{}}}, true},
+		{"knee below floor", rampReport{KneeQPS: 5000, Steps: []rampStep{{}}}, false},
+		{"no knee, capacity proven", rampReport{Steps: []rampStep{{AchievedQPS: 6700}}}, true},
+		{"no knee, ceiling too low", rampReport{Steps: []rampStep{{AchievedQPS: 4000}}}, false},
+	}
+	for _, tc := range cases {
+		if got := gateKnee(devnull, tc.rr, 7000); got != tc.want {
+			t.Errorf("%s: gateKnee=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// With -warm the in-process server reports warm_complete before load starts,
+// and the warmed cache answers the whole dataset mix as hits.
+func TestWarmInprocessRun(t *testing.T) {
+	ts, names, err := inprocessServer(false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	if err := waitWarm(ts.URL, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cfg := config{
+		url:      ts.URL,
+		qps:      400,
+		duration: 250 * time.Millisecond,
+		devices:  names,
+		seed:     7,
+		workers:  8,
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Devices {
+		if d.Errors != 0 {
+			t.Errorf("%s: %d errors", d.Device, d.Errors)
+		}
+		if d.CacheHitRate < 0.999 {
+			t.Errorf("%s: cache hit rate %.3f after warm completion, want ~1.0", d.Device, d.CacheHitRate)
+		}
+		if d.DegradedRate != 0 || d.ShedRate != 0 {
+			t.Errorf("%s: degraded %.3f shed %.3f on a warmed server", d.Device, d.DegradedRate, d.ShedRate)
+		}
+	}
+}
+
+// The sweep figure stacks the steady panels with the cold-start panel.
+func TestSweepFigure(t *testing.T) {
+	steady := rampReport{Steps: []rampStep{
+		{OfferedQPS: 100, AchievedQPS: 100}, {OfferedQPS: 200, AchievedQPS: 199},
+	}}
+	cold := rampReport{KneeQPS: 150, KneeReason: "test", Steps: []rampStep{
+		{OfferedQPS: 100, AchievedQPS: 100}, {OfferedQPS: 200, AchievedQPS: 140},
+	}}
+	svg, err := sweepFigure(steady, &cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "Cold start", "achieved (cold)"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("sweep figure missing %q", want)
+		}
+	}
+	if _, err := sweepFigure(steady, nil); err != nil {
+		t.Errorf("sweep without cold sweep: %v", err)
 	}
 }

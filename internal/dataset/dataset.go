@@ -49,11 +49,9 @@ func BuildParallel(m *sim.Model, shapes []gemm.Shape, configs []gemm.Config, wor
 		Configs: append([]gemm.Config(nil), configs...),
 		GFLOPS:  mat.NewDense(len(shapes), len(configs)),
 	}
+	bp := m.Batch(d.Configs)
 	par.Do(workers, len(d.Shapes), func(i int) {
-		row := d.GFLOPS.Row(i)
-		for j, cfg := range d.Configs {
-			row[j] = m.GFLOPS(cfg, d.Shapes[i])
-		}
+		bp.PriceRow(d.GFLOPS.Row(i), d.Shapes[i])
 	})
 	d.normalize()
 	return d
@@ -76,12 +74,13 @@ func BuildMulti(models []*sim.Model, shapes []gemm.Shape, configs []gemm.Config,
 			GFLOPS:  mat.NewDense(len(shapes), len(configs)),
 		}
 	}
+	bps := make([]*sim.BatchPricer, len(models))
+	for d, m := range models {
+		bps[d] = m.Batch(configs)
+	}
 	par.Do(workers, len(models)*len(shapes), func(t int) {
 		d, i := t/len(shapes), t%len(shapes)
-		row := out[d].GFLOPS.Row(i)
-		for j, cfg := range out[d].Configs {
-			row[j] = models[d].GFLOPS(cfg, out[d].Shapes[i])
-		}
+		bps[d].PriceRow(out[d].GFLOPS.Row(i), out[d].Shapes[i])
 	})
 	for _, ds := range out {
 		ds.normalize()

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"kernelselect/internal/core"
 	"kernelselect/internal/gemm"
@@ -58,11 +60,30 @@ type generation struct {
 	// this epoch's library.
 	flight flightGroup
 
+	// batch is the vectorized pricing pass over the library's configuration
+	// list, non-nil only when pricing goes through the analytical model
+	// (modelPricer). Custom pricers — fault injection, measured pricing —
+	// keep the per-configuration loop so their per-call seams (latency,
+	// errors, cancellation points) are preserved. rowPool recycles the
+	// per-miss GFLOPS row so the batch miss path allocates nothing.
+	batch   *sim.BatchPricer
+	rowPool sync.Pool
+
 	// configsJSON is the /v1/configs response body, rendered once per
 	// generation (the response depends on nothing else). infoLine is the
 	// generation's selectd_info metric line, likewise static per epoch.
 	configsJSON []byte
 	infoLine    string
+
+	// Speculative warming state (see warm.go). warmTotal is the number of
+	// shapes the warm pass will price; warmed counts shapes cached so far;
+	// warmDone latches once every warm shape is cached. warmStop cancels the
+	// pass — Reload calls it on the displaced generation so at most one warm
+	// pass runs per backend.
+	warmTotal int
+	warmed    atomic.Uint64
+	warmDone  atomic.Bool
+	warmStop  context.CancelFunc
 }
 
 // newGeneration allocates the next epoch for a device. The fallback decision,
@@ -80,6 +101,10 @@ func (s *Server) newGeneration(device string, lib *core.Library, model *sim.Mode
 		pricer:   pricer,
 		cache:    newDecisionCache(s.opts.CacheSize, s.opts.CacheShards),
 		fallback: fb,
+	}
+	if _, ok := pricer.(modelPricer); ok {
+		g.batch = model.Batch(lib.Configs)
+		g.rowPool.New = func() any { r := make([]float64, len(lib.Configs)); return &r }
 	}
 	g.choose, g.compiled = compileChooser(lib, s.fallbackShapes)
 	g.configsJSON = renderConfigs(g)
@@ -153,12 +178,20 @@ func bestGeomeanIndex(model *sim.Model, cfgs []gemm.Config, shapes []gemm.Shape)
 	if len(shapes) == 0 {
 		return 0
 	}
-	best, bestScore := 0, math.Inf(-1)
-	for i, cfg := range cfgs {
-		sum := 0.0
-		for _, s := range shapes {
-			sum += math.Log(model.GFLOPS(cfg, s))
+	// One batch pass per shape accumulates every configuration's log sum in
+	// shape order — the same per-config addition sequence as the per-config
+	// loop this replaces, so the winner is unchanged.
+	bp := model.Batch(cfgs)
+	sums := make([]float64, len(cfgs))
+	var row []sim.Breakdown
+	for _, s := range shapes {
+		row = bp.PriceInto(row[:0], s)
+		for i := range sums {
+			sums[i] += math.Log(row[i].GFLOPS)
 		}
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for i, sum := range sums {
 		if score := sum / float64(len(shapes)); score > bestScore {
 			best, bestScore = i, score
 		}
@@ -168,29 +201,51 @@ func bestGeomeanIndex(model *sim.Model, cfgs []gemm.Config, shapes []gemm.Shape)
 
 // compute runs the selector and prices every library configuration on the
 // shape, so the decision carries its predicted normalized performance — the
-// paper's Table-I quantity, per request. The deadline is checked between
-// configurations: pricing the whole library is the handler's only unbounded
-// work, so an expired context aborts here rather than running to completion
-// after the client has given up. A pricing error aborts the pass; the
-// caller maps it to a degraded fallback response and feeds the circuit
-// breaker.
+// paper's Table-I quantity, per request. Model-priced generations take the
+// vectorized batch pass (one struct-of-arrays sweep, no per-config calls);
+// custom pricers keep the per-configuration loop, where the deadline is
+// checked between configurations — pricing the whole library is the
+// handler's only unbounded work, so an expired context aborts here rather
+// than running to completion after the client has given up. A pricing error
+// aborts the pass; the caller maps it to a degraded fallback response and
+// feeds the circuit breaker.
 func (g *generation) compute(ctx context.Context, shape gemm.Shape) (Decision, error) {
 	idx := g.choose(shape)
 	cfgs := g.lib.Configs
 	best, chosen := 0.0, 0.0
-	for i, cfg := range cfgs {
+	if g.batch != nil {
+		// The batch pass prices the library in tens of microseconds, so one
+		// deadline check up front suffices.
 		if err := ctx.Err(); err != nil {
 			return Decision{}, err
 		}
-		v, err := g.pricer.PriceGFLOPS(ctx, cfg, shape)
-		if err != nil {
-			return Decision{}, err
+		rp := g.rowPool.Get().(*[]float64)
+		row := *rp
+		g.batch.PriceRow(row, shape)
+		for i, v := range row {
+			if v > best {
+				best = v
+			}
+			if i == idx {
+				chosen = v
+			}
 		}
-		if v > best {
-			best = v
-		}
-		if i == idx {
-			chosen = v
+		g.rowPool.Put(rp)
+	} else {
+		for i, cfg := range cfgs {
+			if err := ctx.Err(); err != nil {
+				return Decision{}, err
+			}
+			v, err := g.pricer.PriceGFLOPS(ctx, cfg, shape)
+			if err != nil {
+				return Decision{}, err
+			}
+			if v > best {
+				best = v
+			}
+			if i == idx {
+				chosen = v
+			}
 		}
 	}
 	norm := 0.0
@@ -246,6 +301,13 @@ func (s *Server) Reload(device string, lib *core.Library, model *sim.Model) (uin
 		pricer = modelPricer{model}
 	}
 	gen := s.newGeneration(be.name, lib, model, pricer)
+	// Warm before publishing (so no request observes uninitialised warm
+	// bookkeeping), then cancel the displaced generation's pass after the
+	// swap: at most one warm pass runs per backend, and a reload landing
+	// mid-warm abandons the old cache the same instant it becomes
+	// unreachable.
+	s.startWarm(gen)
 	be.gen.Store(gen)
+	cur.stopWarm()
 	return gen.id, nil
 }

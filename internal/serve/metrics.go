@@ -110,6 +110,9 @@ type backendStats struct {
 	ewmaSeconds  float64
 	breakerState breakerState
 	breakerTrips uint64
+	warmTotal    int
+	warmed       uint64
+	warmDone     bool
 }
 
 // render writes the registry in Prometheus text format, with one info line
@@ -238,6 +241,21 @@ func (m *metrics) render(b *strings.Builder, backends []backendStats) {
 	b.WriteString("# TYPE selectd_latency_ewma_seconds gauge\n")
 	for _, be := range backends {
 		fmt.Fprintf(b, "selectd_latency_ewma_seconds{device=%q} %.9f\n", be.device, be.ewmaSeconds)
+	}
+
+	b.WriteString("# HELP selectd_warm_shapes_total Shapes cached by the speculative warm pass for the serving generation, by device.\n")
+	b.WriteString("# TYPE selectd_warm_shapes_total counter\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_warm_shapes_total{device=%q} %d\n", be.device, be.warmed)
+	}
+	b.WriteString("# HELP selectd_warm_complete Whether the serving generation's warm pass has cached every warm shape (1) or is still cold (0), by device.\n")
+	b.WriteString("# TYPE selectd_warm_complete gauge\n")
+	for _, be := range backends {
+		v := 0
+		if be.warmDone {
+			v = 1
+		}
+		fmt.Fprintf(b, "selectd_warm_complete{device=%q} %d\n", be.device, v)
 	}
 
 	b.WriteString("# HELP selectd_breaker_state Circuit-breaker state, by device (0 closed, 1 half-open, 2 open).\n")

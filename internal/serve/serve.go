@@ -78,6 +78,17 @@ type Options struct {
 	// scored over (best geometric-mean GFLOPS); default: the paper's
 	// dataset shapes.
 	FallbackShapes []gemm.Shape
+
+	// Warm enables speculative generation warming: every generation swap
+	// background-prices WarmShapes into the new generation's decision cache
+	// (see warm.go), so steady-state traffic never pays a cold miss after a
+	// reload. Default off — warming writes cache entries traffic did not ask
+	// for, which callers watching cache counters must opt into.
+	Warm bool
+
+	// WarmShapes is the shape universe the warm pass prices; default:
+	// FallbackShapes (the paper's dataset shapes).
+	WarmShapes []gemm.Shape
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +115,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FallbackShapes == nil {
 		o.FallbackShapes, _ = workload.DatasetShapes()
+	}
+	if o.WarmShapes == nil {
+		o.WarmShapes = o.FallbackShapes
 	}
 	return o
 }
@@ -201,7 +215,9 @@ func NewMulti(backends []Backend, opts Options) (*Server, error) {
 		if pricer == nil {
 			pricer = modelPricer{b.Model}
 		}
-		be.gen.Store(s.newGeneration(b.Device, b.Lib, b.Model, pricer))
+		gen := s.newGeneration(b.Device, b.Lib, b.Model, pricer)
+		s.startWarm(gen)
+		be.gen.Store(gen)
 		s.backends = append(s.backends, be)
 		s.byName[b.Device] = be
 	}
@@ -398,18 +414,28 @@ type reloadResponse struct {
 	Generation uint64 `json:"generation"`
 	Selector   string `json:"selector"`
 	Configs    int    `json:"configs"`
+
+	// Warm progress of the new generation at response time: how many of
+	// WarmShapes the background pass intends to price, how many have landed
+	// in the cache so far, and whether the pass has completed.
+	WarmShapes   int    `json:"warm_shapes"`
+	Warmed       uint64 `json:"warmed"`
+	WarmComplete bool   `json:"warm_complete"`
 }
 
 type healthzBackend struct {
-	Device     string `json:"device"`
-	Generation uint64 `json:"generation"`
-	Selector   string `json:"selector"`
-	Configs    int    `json:"configs"`
-	Compiled   bool   `json:"compiled_selector"`
-	Breaker    string `json:"breaker"`
-	InFlight   int64  `json:"in_flight"`
-	BudgetFree int    `json:"budget_free"`
-	BudgetCap  int    `json:"budget_cap"`
+	Device       string `json:"device"`
+	Generation   uint64 `json:"generation"`
+	Selector     string `json:"selector"`
+	Configs      int    `json:"configs"`
+	Compiled     bool   `json:"compiled_selector"`
+	Breaker      string `json:"breaker"`
+	InFlight     int64  `json:"in_flight"`
+	BudgetFree   int    `json:"budget_free"`
+	BudgetCap    int    `json:"budget_cap"`
+	WarmShapes   int    `json:"warm_shapes"`
+	Warmed       uint64 `json:"warmed"`
+	WarmComplete bool   `json:"warm_complete"`
 }
 
 type healthzResponse struct {
@@ -740,11 +766,15 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
+	total, warmed, done := be.gen.Load().warmSnapshot()
 	writeJSON(w, http.StatusOK, reloadResponse{
-		Device:     be.name,
-		Generation: genID,
-		Selector:   lib.SelectorName(),
-		Configs:    len(lib.Configs),
+		Device:       be.name,
+		Generation:   genID,
+		Selector:     lib.SelectorName(),
+		Configs:      len(lib.Configs),
+		WarmShapes:   total,
+		Warmed:       warmed,
+		WarmComplete: done,
 	})
 }
 
@@ -779,16 +809,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	for i, be := range s.backends {
 		gen := be.gen.Load()
 		state, _ := be.breaker.snapshot()
+		total, warmed, done := gen.warmSnapshot()
 		resp.Backends[i] = healthzBackend{
-			Device:     be.name,
-			Generation: gen.id,
-			Selector:   gen.lib.SelectorName(),
-			Configs:    len(gen.lib.Configs),
-			Compiled:   gen.compiled,
-			Breaker:    state.String(),
-			InFlight:   be.inflight.Load(),
-			BudgetFree: be.budgetFree(),
-			BudgetCap:  be.budgetCap,
+			Device:       be.name,
+			Generation:   gen.id,
+			Selector:     gen.lib.SelectorName(),
+			Configs:      len(gen.lib.Configs),
+			Compiled:     gen.compiled,
+			Breaker:      state.String(),
+			InFlight:     be.inflight.Load(),
+			BudgetFree:   be.budgetFree(),
+			BudgetCap:    be.budgetCap,
+			WarmShapes:   total,
+			Warmed:       warmed,
+			WarmComplete: done,
 		}
 	}
 	code := http.StatusOK
@@ -805,6 +839,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		gen := be.gen.Load()
 		hits, misses := gen.cache.stats()
 		state, trips := be.breaker.snapshot()
+		warmTotal, warmed, warmDone := gen.warmSnapshot()
 		st := backendStats{
 			device:       be.name,
 			infoLine:     gen.infoLine,
@@ -821,6 +856,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			ewmaSeconds:  ewmaValue(&be.latencyEWMA).Seconds(),
 			breakerState: state,
 			breakerTrips: trips,
+			warmTotal:    warmTotal,
+			warmed:       warmed,
+			warmDone:     warmDone,
 		}
 		for r := range st.degraded {
 			st.degraded[r] = be.degraded[r].Load()

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/workload"
+)
+
+// TestPriceBatchBitIdentical is the batch path's load-bearing guarantee:
+// PriceBatch must reproduce per-config Price bit for bit — every Breakdown
+// field, including the jittered total — across the full dataset shape
+// universe, all 640 configurations, on every device model. The batch
+// implementation hoists shape-independent terms and left prefixes of
+// products; this test is what makes that hoisting safe to rely on.
+func TestPriceBatchBitIdentical(t *testing.T) {
+	shapes, _ := workload.DatasetShapes()
+	cfgs := gemm.AllConfigs()
+	for _, spec := range []device.Spec{device.R9Nano(), device.IntegratedGen9(), device.EmbeddedMaliG72()} {
+		t.Run(spec.Name, func(t *testing.T) {
+			// Reference prices through the uncached path so both sides
+			// compute rather than copy each other's memoised values.
+			ref := &Model{Dev: spec, P: DefaultParams()}
+			bp := ref.Batch(cfgs)
+			var row []Breakdown
+			for _, s := range shapes {
+				row = bp.PriceInto(row[:0], s)
+				for i, cfg := range cfgs {
+					if want := ref.Price(cfg, s); row[i] != want {
+						t.Fatalf("%v on %v: batch %+v != price %+v", cfg, s, row[i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPriceBatchCacheAccounting pins the satellite invariant: the batch path
+// must keep hits+misses == lookups with misses == entries actually computed,
+// interoperating with per-config Price against the same memo cache.
+func TestPriceBatchCacheAccounting(t *testing.T) {
+	m := New(device.R9Nano())
+	cfgs := gemm.AllConfigs()[:64]
+	s := gemm.Shape{M: 384, K: 256, N: 512}
+
+	// Pre-price a prefix individually: 10 misses.
+	for _, cfg := range cfgs[:10] {
+		m.Price(cfg, s)
+	}
+	bp := m.Batch(cfgs)
+	bp.PriceInto(nil, s)
+	hits, misses, entries := m.CacheStats()
+	if hits != 10 || misses != 64 || entries != 64 {
+		t.Fatalf("after warm batch: hits=%d misses=%d entries=%d, want 10/64/64", hits, misses, entries)
+	}
+
+	// A second batch over the same shape is all hits.
+	bp.PriceInto(nil, s)
+	hits, misses, entries = m.CacheStats()
+	if hits != 74 || misses != 64 || entries != 64 {
+		t.Fatalf("after repeat batch: hits=%d misses=%d entries=%d, want 74/64/64", hits, misses, entries)
+	}
+	if hits+misses != 74+64 {
+		t.Fatalf("hits+misses %d != lookups %d", hits+misses, 74+64)
+	}
+}
+
+// TestPriceBatchConcurrentAccounting races many batch pricings of a small
+// key universe and checks the exactly-once computation accounting survives
+// the store races (a loser of the double-checked store recounts as a hit).
+func TestPriceBatchConcurrentAccounting(t *testing.T) {
+	m := New(device.R9Nano())
+	cfgs := gemm.AllConfigs()[:32]
+	shapes := []gemm.Shape{
+		{M: 64, K: 64, N: 64}, {M: 512, K: 128, N: 256}, {M: 1024, K: 1024, N: 64},
+	}
+	const goroutines = 16
+	const rounds = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			bp := m.Batch(cfgs)
+			var row []Breakdown
+			for r := 0; r < rounds; r++ {
+				row = bp.PriceInto(row[:0], shapes[(g+r)%len(shapes)])
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses, entries := m.CacheStats()
+	lookups := uint64(goroutines * rounds * len(cfgs))
+	if hits+misses != lookups {
+		t.Fatalf("hits %d + misses %d != lookups %d", hits, misses, lookups)
+	}
+	wantEntries := len(cfgs) * len(shapes)
+	if entries != wantEntries {
+		t.Fatalf("entries %d, want %d", entries, wantEntries)
+	}
+	if misses != uint64(wantEntries) {
+		t.Fatalf("misses %d, want %d (exactly one computation per distinct pair)", misses, wantEntries)
+	}
+}
+
+// TestPriceBatchZeroAlloc pins the batch path's allocation behavior in both
+// steady states: the pure compute path (no memo cache) and the fully warmed
+// memo cache must price a shape with zero allocations per call.
+func TestPriceBatchZeroAlloc(t *testing.T) {
+	shapes, _ := workload.DatasetShapes()
+	shapes = shapes[:8]
+	cfgs := gemm.AllConfigs()[:160]
+
+	uncached := &Model{Dev: device.R9Nano(), P: DefaultParams()}
+	bp := uncached.Batch(cfgs)
+	row := make([]Breakdown, 0, len(cfgs))
+	i := 0
+	if n := testing.AllocsPerRun(50, func() {
+		row = bp.PriceInto(row[:0], shapes[i%len(shapes)])
+		i++
+	}); n != 0 {
+		t.Errorf("uncached batch path allocates %.1f/op, want 0", n)
+	}
+
+	warm := New(device.R9Nano())
+	wbp := warm.Batch(cfgs)
+	for _, s := range shapes {
+		row = wbp.PriceInto(row[:0], s)
+	}
+	i = 0
+	if n := testing.AllocsPerRun(50, func() {
+		row = wbp.PriceInto(row[:0], shapes[i%len(shapes)])
+		i++
+	}); n != 0 {
+		t.Errorf("warmed batch path allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestBatchSharesFlattening checks that Batch memoises the struct-of-arrays
+// layout per configuration list on cached models, including for callers that
+// pass an equal-but-distinct slice.
+func TestBatchSharesFlattening(t *testing.T) {
+	m := New(device.R9Nano())
+	a := gemm.AllConfigs()[:40]
+	b := append([]gemm.Config(nil), a...)
+	if m.Batch(a).cp != m.Batch(b).cp {
+		t.Error("equal config lists built separate flattenings")
+	}
+	if m.Batch(a[:20]).cp == m.Batch(a).cp {
+		t.Error("different config lists shared a flattening")
+	}
+}
+
+// BenchmarkPriceBatch / BenchmarkPriceLoop compare the batch pass against N
+// independent Price calls on the pure compute path (no memo cache, so both
+// sides measure pricing, not map lookups). bench-price gates on the batch
+// number against a committed baseline.
+func BenchmarkPriceBatch(b *testing.B) {
+	shapes, _ := workload.DatasetShapes()
+	cfgs := gemm.AllConfigs()
+	m := &Model{Dev: device.R9Nano(), P: DefaultParams()}
+	bp := m.Batch(cfgs)
+	row := make([]Breakdown, 0, len(cfgs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row = bp.PriceInto(row[:0], shapes[i%len(shapes)])
+	}
+}
+
+func BenchmarkPriceLoop(b *testing.B) {
+	shapes, _ := workload.DatasetShapes()
+	cfgs := gemm.AllConfigs()
+	m := &Model{Dev: device.R9Nano(), P: DefaultParams()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := shapes[i%len(shapes)]
+		for _, cfg := range cfgs {
+			m.Price(cfg, s)
+		}
+	}
+}

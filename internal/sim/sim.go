@@ -102,6 +102,11 @@ type Model struct {
 	P   Params
 
 	cache *priceCache // nil (e.g. on a zero Model) disables memoisation
+
+	// batches memoises the struct-of-arrays parameter flattening batch
+	// pricing uses, per configuration list (see batch.go). nil (zero Model)
+	// rebuilds the flattening per Batch call.
+	batches *batchCache
 }
 
 // New returns a model of dev with default parameters and an enabled pricing
@@ -111,7 +116,7 @@ func New(dev device.Spec) *Model {
 	if err := dev.Validate(); err != nil {
 		panic(err)
 	}
-	return &Model{Dev: dev, P: DefaultParams(), cache: newPriceCache()}
+	return &Model{Dev: dev, P: DefaultParams(), cache: newPriceCache(), batches: newBatchCache()}
 }
 
 // priceShards is the number of lock stripes of the pricing cache. 64 keeps
@@ -170,6 +175,12 @@ func (m *Model) CacheStats() (hits, misses uint64, entries int) {
 // ResetCache drops every memoised pricing (and the hit/miss counters).
 // Required after mutating Dev or P on a model that has already priced.
 func (m *Model) ResetCache() {
+	if m.batches != nil {
+		// The flattened batch parameters derive from Dev and P too.
+		m.batches.mu.Lock()
+		m.batches.m = make(map[uint64][]*cfgParams)
+		m.batches.mu.Unlock()
+	}
 	if m.cache == nil {
 		return
 	}
