@@ -15,7 +15,7 @@ COVER_FLOOR ?= 70
 # Seeds for the chaos sweep (`make chaos`); each seed is one fault schedule.
 CHAOS_SEEDS ?= 12
 
-.PHONY: build test race race-serve vet bench bench-price bench-serve bench-serve-check saturation fuzz fuzz-smoke cover chaos check
+.PHONY: build test race race-serve race-retrain vet bench bench-price bench-serve bench-serve-check saturation fuzz fuzz-smoke cover chaos check
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ race:
 # seconds before the full-repo `race` sweep.
 race-serve:
 	$(GO) test -race ./internal/serve ./internal/sim
+
+# Targeted race pass over the closed-loop machinery: regret accounting, the
+# drift window, fallback relearning, and the shadow-retrain path, including
+# the deterministic end-to-end loop test.
+race-retrain:
+	$(GO) test -race -run 'TestClosedLoop|TestRetrain|TestRegret|TestDrift|TestWindow|TestFallback' ./internal/serve
 
 vet:
 	$(GO) vet ./...
@@ -81,12 +87,18 @@ bench-serve:
 #      knee at or above 7000 QPS. The ramp starts well below the floor so a
 #      capacity regression surfaces as a knee below it rather than a
 #      vacuous first-step knee; -knee-qps 0.9 absorbs scheduler noise.
+#   3. a fully-sampled closed-loop run must hold every device's mean sampled
+#      regret under 0.05. The full-mix selector measures ~0.001-0.006, so the
+#      ceiling has ~10x headroom for tie-break jitter while a selector that
+#      stopped compressing the mix (~0.1+) fails.
 bench-serve-check:
 	$(GO) run ./cmd/selectload -inprocess -warm -qps 500 -duration 3s -workers 32 \
 		-baseline BENCH_serve.json -tolerance 0.5 -p99-slack 75ms
 	$(GO) run ./cmd/selectload -inprocess -stress -warm -ramp \
 		-ramp-start 2000 -ramp-step 2000 -ramp-max 8000 -step-duration 2s \
 		-workers 64 -knee-qps 0.9 -require-knee 7000
+	$(GO) run ./cmd/selectload -inprocess -warm -qps 300 -duration 3s -workers 32 \
+		-regret-sample 1 -max-regret 0.05
 
 # Saturation sweep (Figure 6): ramp the offered rate on the warmed stress
 # server (-stress: tight admission budget, measured 2ms pricing; -warm:
@@ -104,10 +116,12 @@ saturation:
 
 # Chaos sweep: the fault-injection suite (seed-driven latency spikes, pricing
 # errors, client cancellations, reload races) across $(CHAOS_SEEDS) seeds
-# under the race detector. A failing seed is printed in the test name and
-# reproduces exactly with CHAOS_BASE=<seed> CHAOS_SEEDS=1.
+# under the race detector, plus the retraining chaos test (reload storm and
+# injected retrain failures while the closed loop promotes candidates). A
+# failing seed is printed in the test name and reproduces exactly with
+# CHAOS_BASE=<seed> CHAOS_SEEDS=1.
 chaos:
-	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run '^TestChaos$$' ./internal/serve
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run '^TestChaos(Retrain)?$$' ./internal/serve
 
 # Fuzz the artifact decoders (persisted libraries and selectors are the only
 # untrusted inputs in the system). Go allows one -fuzz pattern per
@@ -129,4 +143,4 @@ cover:
 		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; \
 	fi
 
-check: build vet test race-serve chaos bench-price bench-serve-check race fuzz-smoke cover
+check: build vet test race-serve race-retrain chaos bench-price bench-serve-check race fuzz-smoke cover

@@ -47,6 +47,20 @@
 // deploy. /healthz and /v1/reload report per-backend warm progress, and
 // /metrics exposes selectd_warm_shapes_total / selectd_warm_complete.
 //
+// Closed loop (-regret-sample, -retrain): a sampled fraction of live
+// decisions is re-priced off the request path against the full configuration
+// universe and exported as selectd_regret histograms — the online analogue of
+// the paper's offline regret metric. Every decision's shape also feeds a
+// bounded sliding window (-window) from which each backend relearns its
+// degraded-mode fallback config and scores distribution drift against the
+// training mix (selectd_drift_score, a PSI). With -retrain, drift past
+// -drift-threshold shadow-trains a fresh selector on the blended mix using
+// the daemon's own pruner/trainer and promotes it through the reload path
+// only after it passes compiled/interpreted-agreement and
+// holdout-regret-no-worse-than-incumbent gates; rejected candidates increment
+// selectd_retrain_rejected_total and never serve. The loop runs every
+// -maintain-interval.
+//
 // Observability: -pprof addr exposes net/http/pprof on its own listener,
 // kept off the serving address so profiling endpoints are never reachable
 // through the load balancer.
@@ -107,6 +121,11 @@ func main() {
 	workers := flag.Int("workers", 0, "pricing workers per batch request (0 = GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
 	warm := flag.Bool("warm", true, "speculatively warm each new generation's decision cache with the dataset shape universe")
+	regretSample := flag.Float64("regret-sample", 0, "fraction of live decisions re-priced off-path for regret telemetry (0 disables)")
+	windowSize := flag.Int("window", 4096, "served-shape sliding window per device for drift scoring and fallback learning (negative disables)")
+	driftThreshold := flag.Float64("drift-threshold", 0.25, "PSI drift score above which a shadow retrain fires")
+	retrain := flag.Bool("retrain", false, "shadow-retrain the selector on the observed shape mix when drift crosses -drift-threshold")
+	maintainInterval := flag.Duration("maintain-interval", 30*time.Second, "cadence of the drift/fallback/retrain maintenance loop (0 disables it)")
 	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this separate listen address (empty disables)")
 	flag.Parse()
 
@@ -179,6 +198,17 @@ func main() {
 		log.Printf("saved library artifact to %s", *savePath)
 	}
 
+	// The shadow retrain reuses the daemon's own pruner/trainer over whatever
+	// blended shape mix the maintenance loop hands it, so a promoted candidate
+	// is exactly what an operator would have trained offline for that mix.
+	var retrainFn serve.RetrainFunc
+	if *retrain {
+		retrainFn = func(_ string, model *sim.Model, shapes []gemm.Shape) (*core.Library, error) {
+			ds := dataset.Build(model, shapes, gemm.AllConfigs())
+			return core.BuildLibrary(ds, pruner, trainer, *n, *seed), nil
+		}
+	}
+
 	srv, err := serve.NewMulti(backends, serve.Options{
 		CacheSize:        cacheCapacity(*cacheSize),
 		CacheShards:      *cacheShards,
@@ -191,6 +221,19 @@ func main() {
 		RequestTimeout:   *timeout,
 		Workers:          *workers,
 		Warm:             *warm,
+		RegretSample:     *regretSample,
+		WindowSize:       *windowSize,
+		DriftThreshold:   *driftThreshold,
+		MaintainInterval: *maintainInterval,
+		Retrain:          retrainFn,
+		OnRetrain: func(ev serve.RetrainEvent) {
+			if ev.Accepted {
+				log.Printf("retrain %s: promoted generation %d (drift %.3f, holdout regret %.4f vs incumbent %.4f)",
+					ev.Device, ev.Generation, ev.Drift, ev.CandidateRegret, ev.IncumbentRegret)
+				return
+			}
+			log.Printf("retrain %s: %s (drift %.3f)", ev.Device, ev.Reason, ev.Drift)
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -287,6 +330,7 @@ func main() {
 	// then let in-flight requests finish before the listener closes.
 	log.Printf("signal received, draining for up to %v", *drainTimeout)
 	draining.Store(true)
+	srv.Close() // stop the regret worker and maintenance loop before the drain
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {

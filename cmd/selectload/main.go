@@ -39,6 +39,20 @@
 // {"steady_state": ..., "cold_start": ...}. -require-knee N turns the run
 // into a CI gate: it fails when the steady-state knee lands below N QPS (or,
 // when no knee is found, when the ramp could not sustain 95% of N).
+//
+// Closed-loop reporting: after a fixed-rate run the generator scrapes the
+// server's /metrics page and, when the server samples decisions for regret
+// (selectd -regret-sample, or -inprocess -regret-sample here), appends each
+// device's sampled-regret quantiles and drift score to the report and the
+// -json output. -max-regret R turns that into a CI gate: the run fails when
+// any device's mean sampled regret exceeds R. -shift replays a transformer
+// shape mix disjoint from the training mix instead of the dataset mix, so a
+// closed-loop server sees genuine distribution drift — drive it at a daemon
+// running with -retrain to exercise the drift → retrain → promote path end
+// to end:
+//
+//	selectload -inprocess -regret-sample 1 -qps 300 -duration 3s -max-regret 0.05
+//	selectload -url http://localhost:8080 -shift -qps 200 -duration 30s
 package main
 
 import (
@@ -74,7 +88,18 @@ type config struct {
 	devices  []string // device names to spread traffic over; empty = default route
 	seed     uint64
 	workers  int
-	shapes   int // distinct shapes sampled from the dataset mix; 0 = all
+	shapes   int  // distinct shapes sampled from the dataset mix; 0 = all
+	shift    bool // replay the shifted transformer mix instead of the dataset mix
+}
+
+// shiftedMix is a transformer-style shape mix disjoint from the dataset mix
+// the served libraries train on. Replaying it (-shift) makes a closed-loop
+// server's drift score rise and, with retraining enabled, trips the shadow
+// retrain path under realistic traffic rather than a synthetic test.
+var shiftedMix = []gemm.Shape{
+	{M: 128, K: 768, N: 768}, {M: 128, K: 768, N: 3072}, {M: 128, K: 3072, N: 768},
+	{M: 512, K: 1024, N: 1024}, {M: 512, K: 1024, N: 4096}, {M: 512, K: 4096, N: 1024},
+	{M: 256, K: 2048, N: 2048}, {M: 64, K: 512, N: 50257},
 }
 
 // deviceReport aggregates one device's outcomes. Rates are fractions of the
@@ -96,12 +121,13 @@ type deviceReport struct {
 }
 
 type report struct {
-	RequestedQPS int            `json:"requested_qps"`
-	AchievedQPS  float64        `json:"achieved_qps"`
-	Limiter      string         `json:"limiter"` // none | server | generator
-	Duration     string         `json:"duration"`
-	Seed         uint64         `json:"seed"`
-	Devices      []deviceReport `json:"devices"`
+	RequestedQPS int             `json:"requested_qps"`
+	AchievedQPS  float64         `json:"achieved_qps"`
+	Limiter      string          `json:"limiter"` // none | server | generator
+	Duration     string          `json:"duration"`
+	Seed         uint64          `json:"seed"`
+	Devices      []deviceReport  `json:"devices"`
+	Regret       []regretSummary `json:"sampled_regret,omitempty"`
 }
 
 // sample is one request's outcome, recorded by device.
@@ -131,8 +157,11 @@ func main() {
 	seed := flag.Uint64("seed", 42, "shape-stream seed")
 	workers := flag.Int("workers", 32, "concurrent request workers")
 	shapes := flag.Int("shapes", 0, "distinct shapes drawn from the dataset mix (0 = all)")
+	shift := flag.Bool("shift", false, "replay a shifted transformer shape mix instead of the dataset mix (drives distribution drift on a closed-loop server)")
 	jsonPath := flag.String("json", "", "also write the report as JSON to this path")
 	inprocess := flag.Bool("inprocess", false, "benchmark an in-process server instead of -url")
+	regretSample := flag.Float64("regret-sample", 0, "closed-loop regret sampling fraction on the -inprocess server (0 disables)")
+	maxRegret := flag.Float64("max-regret", 0, "fail when any device's mean sampled regret exceeds this (0 = no gate)")
 	stress := flag.Bool("stress", false, "build the -inprocess server miss-heavy (no decision cache, tight admission budget, shed threshold) so ramps hit the resilience path")
 	warm := flag.Bool("warm", false, "enable speculative cache warming on the -inprocess server and wait for warm completion before offering load")
 	baseline := flag.String("baseline", "", "compare against a stored report; exit non-zero on regression")
@@ -159,6 +188,7 @@ func main() {
 		seed:     *seed,
 		workers:  *workers,
 		shapes:   *shapes,
+		shift:    *shift,
 	}
 	for _, d := range strings.Split(*devicesFlag, ",") {
 		if d = strings.TrimSpace(d); d != "" {
@@ -169,8 +199,11 @@ func main() {
 	if *warm && !*inprocess {
 		log.Fatal("-warm requires -inprocess (a remote daemon warms itself)")
 	}
+	if *regretSample > 0 && !*inprocess {
+		log.Fatal("-regret-sample requires -inprocess (a remote daemon samples via its own -regret-sample flag)")
+	}
 	if *inprocess {
-		ts, names, err := inprocessServer(*stress, *warm)
+		ts, names, err := inprocessServer(*stress, *warm, *regretSample)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -209,7 +242,7 @@ func main() {
 			if !*inprocess {
 				log.Fatal("-cold-ramp-max requires -inprocess (the cold sweep builds its own cacheless server)")
 			}
-			cts, _, err := inprocessServer(*stress, false)
+			cts, _, err := inprocessServer(*stress, false, 0)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -260,8 +293,22 @@ func main() {
 		log.Fatal(err)
 	}
 	printReport(os.Stdout, rep)
+
+	// Regret reporting is opportunistic: any server exporting sampled-regret
+	// series gets its quantiles folded into the report. Only the -max-regret
+	// gate treats a missing or unreadable page as a failure.
+	if sums, err := scrapeRegret(cfg.url, 5*time.Second); err == nil && len(sums) > 0 {
+		rep.Regret = sums
+		printRegret(os.Stdout, sums)
+	} else if *maxRegret > 0 {
+		log.Fatalf("regret gate: no sampled-regret series at %s/metrics (error: %v)", cfg.url, err)
+	}
+
 	if *jsonPath != "" {
 		writeJSONFile(*jsonPath, rep)
+	}
+	if *maxRegret > 0 && !gateRegret(os.Stdout, rep.Regret, *maxRegret) {
+		os.Exit(1)
 	}
 	if *baseline != "" {
 		ok, err := compareBaseline(os.Stdout, *baseline, rep, *tolerance, *p99Slack)
@@ -294,15 +341,27 @@ func writeJSONFile(path string, v any) {
 // generation speculatively prices the full dataset shape universe before
 // traffic arrives — the steady state a production deploy converges to, where
 // the knee reflects the cache-hit path's capacity rather than the pricing
-// path's.
-func inprocessServer(stress, warm bool) (*httptest.Server, []string, error) {
+// path's. regretSample > 0 turns on the closed loop: that fraction of
+// decisions is re-priced off-path against the server's own config slice and
+// exported as selectd_regret, and a fast maintenance loop keeps the drift
+// gauge live so the post-run scrape has settled numbers to report.
+func inprocessServer(stress, warm bool, regretSample float64) (*httptest.Server, []string, error) {
 	allShapes, _ := workload.DatasetShapes()
 	configs := gemm.AllConfigs()[:160]
+	// Latency benchmarks train on a 24-shape slice (the training cost is not
+	// what they measure); the closed-loop regret gate instead trains on the
+	// full served mix, so the sampled regret reflects how well a properly
+	// trained selector compresses the mix, not how a deliberately starved one
+	// extrapolates.
+	trainShapes := allShapes[:24]
+	if regretSample > 0 {
+		trainShapes = allShapes
+	}
 	var backends []serve.Backend
 	var names []string
 	for _, spec := range []device.Spec{device.R9Nano(), device.IntegratedGen9()} {
 		model := sim.New(spec)
-		ds := dataset.Build(model, allShapes[:24], configs)
+		ds := dataset.Build(model, trainShapes, configs)
 		lib := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 8, 42)
 		be := serve.Backend{Device: spec.Name, Lib: lib, Model: model}
 		if stress {
@@ -318,6 +377,11 @@ func inprocessServer(stress, warm bool) (*httptest.Server, []string, error) {
 	if warm {
 		opts.Warm = true
 		opts.WarmShapes = allShapes
+	}
+	if regretSample > 0 {
+		opts.RegretSample = regretSample
+		opts.RegretUniverse = configs
+		opts.MaintainInterval = 50 * time.Millisecond
 	}
 	if stress {
 		// Pricing one miss costs ~16ms of modeled measurement (8 configs x
@@ -404,6 +468,9 @@ func run(cfg config) (report, error) {
 		cfg.workers = 1
 	}
 	shapes, _ := workload.DatasetShapes()
+	if cfg.shift {
+		shapes = shiftedMix
+	}
 	if cfg.shapes > 0 && cfg.shapes < len(shapes) {
 		shapes = shapes[:cfg.shapes]
 	}

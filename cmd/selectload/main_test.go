@@ -65,7 +65,7 @@ func TestShapeStreamDeterminism(t *testing.T) {
 // End-to-end smoke: a short in-process run must deliver every request and
 // produce a coherent report.
 func TestInprocessRun(t *testing.T) {
-	ts, names, err := inprocessServer(false, false)
+	ts, names, err := inprocessServer(false, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestCompareBaseline(t *testing.T) {
 // figure; with a sub-1.0 achieved threshold and tiny load, the server keeps
 // up, so no knee is expected — the point is the plumbing, not saturation.
 func TestRampAndFigure(t *testing.T) {
-	ts, names, err := inprocessServer(true, false)
+	ts, names, err := inprocessServer(true, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +273,7 @@ func TestGateKnee(t *testing.T) {
 // With -warm the in-process server reports warm_complete before load starts,
 // and the warmed cache answers the whole dataset mix as hits.
 func TestWarmInprocessRun(t *testing.T) {
-	ts, names, err := inprocessServer(false, true)
+	ts, names, err := inprocessServer(false, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -30,11 +30,12 @@ var ErrInjected = errors.New("faultinject: injected pricing failure")
 
 // Options set the per-call fault probabilities. Zero values inject nothing.
 type Options struct {
-	PriceError float64       // probability a pricing call fails with ErrInjected
-	Spike      float64       // probability a pricing call sleeps before answering
-	SpikeMax   time.Duration // spike duration upper bound; default 1ms
-	Cancel     float64       // probability the HTTP middleware cancels the request mid-flight
-	CancelMax  time.Duration // cancel delay upper bound; default 500µs
+	PriceError   float64       // probability a pricing call fails with ErrInjected
+	Spike        float64       // probability a pricing call sleeps before answering
+	SpikeMax     time.Duration // spike duration upper bound; default 1ms
+	Cancel       float64       // probability the HTTP middleware cancels the request mid-flight
+	CancelMax    time.Duration // cancel delay upper bound; default 500µs
+	RetrainError float64       // probability a FailRetrain poll reports failure
 }
 
 func (o Options) withDefaults() Options {
@@ -49,9 +50,10 @@ func (o Options) withDefaults() Options {
 
 // Stats counts the faults actually injected.
 type Stats struct {
-	Spikes  uint64
-	Errors  uint64
-	Cancels uint64
+	Spikes       uint64
+	Errors       uint64
+	Cancels      uint64
+	RetrainFails uint64
 }
 
 // fault kinds salt the hash so the spike/error/cancel streams are
@@ -60,16 +62,18 @@ const (
 	kindSpike uint64 = iota + 1
 	kindError
 	kindCancel
+	kindRetrain
 )
 
 // Injector draws a deterministic fault schedule from a seed.
 type Injector struct {
-	seed    uint64
-	opts    Options
-	events  atomic.Uint64
-	spikes  atomic.Uint64
-	errs    atomic.Uint64
-	cancels atomic.Uint64
+	seed     uint64
+	opts     Options
+	events   atomic.Uint64
+	spikes   atomic.Uint64
+	errs     atomic.Uint64
+	cancels  atomic.Uint64
+	retrains atomic.Uint64
 }
 
 // New returns an injector whose schedule is fully determined by seed.
@@ -87,7 +91,24 @@ func (in *Injector) roll(kind uint64) (float64, uint64) {
 
 // Stats reports how many faults have been injected so far.
 func (in *Injector) Stats() Stats {
-	return Stats{Spikes: in.spikes.Load(), Errors: in.errs.Load(), Cancels: in.cancels.Load()}
+	return Stats{
+		Spikes:       in.spikes.Load(),
+		Errors:       in.errs.Load(),
+		Cancels:      in.cancels.Load(),
+		RetrainFails: in.retrains.Load(),
+	}
+}
+
+// FailRetrain reports whether the current shadow-retrain attempt should fail,
+// per the seed's schedule. The chaos suite wires it into a RetrainFunc so the
+// retrain-error path (counted, never promoted, never serving) is exercised
+// deterministically alongside the pricing faults.
+func (in *Injector) FailRetrain() bool {
+	if f, _ := in.roll(kindRetrain); f < in.opts.RetrainError {
+		in.retrains.Add(1)
+		return true
+	}
+	return false
 }
 
 // Pricer is the pricing seam the injector wraps — structurally identical to

@@ -90,6 +90,48 @@ func TestZeroOptionsInjectNothing(t *testing.T) {
 	}
 }
 
+// FailRetrain draws from its own deterministic stream: same seed, same
+// schedule; the hit rate tracks the configured probability and the stats
+// counter matches the observed failures.
+func TestFailRetrainDeterministicAndCounted(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		in := New(seed, Options{RetrainError: 0.3})
+		out := make([]bool, 300)
+		for i := range out {
+			out[i] = in.FailRetrain()
+		}
+		return out
+	}
+	a, b := pattern(11), pattern(11)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at poll %d", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	rate := float64(fails) / float64(len(a))
+	if rate < 0.2 || rate > 0.4 {
+		t.Fatalf("retrain failure rate %.3f far from configured 0.3", rate)
+	}
+	in := New(11, Options{RetrainError: 0.3})
+	for range a {
+		in.FailRetrain()
+	}
+	if got := in.Stats().RetrainFails; got != uint64(fails) {
+		t.Fatalf("stats count %d, observed %d failures", got, fails)
+	}
+
+	zero := New(11, Options{})
+	for i := 0; i < 200; i++ {
+		if zero.FailRetrain() {
+			t.Fatal("zero-probability injector failed a retrain")
+		}
+	}
+}
+
 // A spike must yield to an already-dead context instead of sleeping it out.
 func TestSpikeRespectsContext(t *testing.T) {
 	in := New(3, Options{Spike: 1, SpikeMax: time.Minute})

@@ -39,6 +39,38 @@ type backend struct {
 	computeEWMA atomic.Uint64
 
 	breaker breaker
+
+	// Closed-loop state (regret.go, window.go, retrain.go). Like the budget
+	// and EWMAs it describes the device's live traffic, not the artifact, so
+	// it survives reloads. decisions counts every served decision; sampled +
+	// unsampled partition it exactly (the accounting invariant the property
+	// tests pin). regretDropped counts samples lost to a full measurement
+	// queue, so sampled == measured + queued + dropped at all times.
+	decisions     atomic.Uint64
+	sampled       atomic.Uint64
+	unsampled     atomic.Uint64
+	regretDropped atomic.Uint64
+
+	regretHist         *valueHistogram // sampled full-service decision regret
+	regretDegradedHist *valueHistogram // sampled degraded-path (fallback) regret
+
+	window    *shapeWindow               // served-shape sliding window; nil disables the loop
+	driftRef  atomic.Pointer[shapeMix]   // reference mix drift is scored against
+	driftBits atomic.Uint64              // latest PSI score, float64 bits
+
+	retrainBusy     atomic.Bool   // one shadow retrain per backend at a time
+	retrainPromoted atomic.Uint64
+	retrainRejected atomic.Uint64
+	retrainErrors   atomic.Uint64
+	fallbackUpdates atomic.Uint64 // online fallback-config swaps
+
+	// Cumulative bases for counters that otherwise reset with each
+	// generation: Reload folds the displaced generation's cache hit/miss
+	// counts into the bases and the warm pass counts shapes here directly,
+	// so the rendered Prometheus counters stay monotonic across swaps.
+	cacheHitsBase   atomic.Uint64
+	cacheMissesBase atomic.Uint64
+	warmedTotal     atomic.Uint64
 }
 
 // acquire takes one budget token, reporting false when the budget is

@@ -47,7 +47,7 @@ func TestFallbackMatchesOfflineGeomean(t *testing.T) {
 			}
 		}
 
-		fb := srv.backends[0].gen.Load().fallback
+		fb := *srv.backends[0].gen.Load().fb.Load()
 		if fb.Index != best {
 			t.Errorf("%s n=%d: fallback index %d, offline geomean best %d", tc.spec.Name, tc.n, fb.Index, best)
 		}

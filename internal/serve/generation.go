@@ -38,13 +38,18 @@ func (p modelPricer) PriceGFLOPS(_ context.Context, cfg gemm.Config, s gemm.Shap
 // generation stamped on it, and a stale generation's cache entries can never
 // leak into the new epoch (the new generation starts with an empty cache).
 type generation struct {
-	id       uint64
-	device   string
-	lib      *core.Library
-	model    *sim.Model
-	pricer   Pricer
-	cache    *decisionCache
-	fallback Decision // template: Shape/DegradedReason filled per request
+	id     uint64
+	device string
+	lib    *core.Library
+	model  *sim.Model
+	pricer Pricer
+	cache  *decisionCache
+
+	// fb holds the degraded-mode fallback template (Shape/DegradedReason
+	// filled per request). It is a pointer swapped atomically because the
+	// maintenance pass relearns the fallback config online from the served
+	// shape window (retrain.go) while degraded requests read it.
+	fb atomic.Pointer[Decision]
 
 	// choose maps a shape to the library's configuration index. When the
 	// library's selector compiles (core.CompiledChooser) and the compiled
@@ -68,6 +73,15 @@ type generation struct {
 	// per-miss GFLOPS row so the batch miss path allocates nothing.
 	batch   *sim.BatchPricer
 	rowPool sync.Pool
+
+	// universe is the vectorized pricing pass over the regret config
+	// universe (gemm.AllConfigs by default), built only when the closed loop
+	// is on. The regret worker and the retrain gates price against it; it
+	// always goes through the analytical model — regret compares to the
+	// reference optimum, not to an injected or measured pricer. uniPool
+	// recycles the universe-sized GFLOPS row.
+	universe *sim.BatchPricer
+	uniPool  sync.Pool
 
 	// configsJSON is the /v1/configs response body, rendered once per
 	// generation (the response depends on nothing else). infoLine is the
@@ -94,17 +108,22 @@ func (s *Server) newGeneration(device string, lib *core.Library, model *sim.Mode
 	fb := fallbackDecision(device, lib, model, s.fallbackShapes)
 	fb.Generation = id
 	g := &generation{
-		id:       id,
-		device:   device,
-		lib:      lib,
-		model:    model,
-		pricer:   pricer,
-		cache:    newDecisionCache(s.opts.CacheSize, s.opts.CacheShards),
-		fallback: fb,
+		id:     id,
+		device: device,
+		lib:    lib,
+		model:  model,
+		pricer: pricer,
+		cache:  newDecisionCache(s.opts.CacheSize, s.opts.CacheShards),
 	}
+	g.fb.Store(&fb)
 	if _, ok := pricer.(modelPricer); ok {
 		g.batch = model.Batch(lib.Configs)
 		g.rowPool.New = func() any { r := make([]float64, len(lib.Configs)); return &r }
+	}
+	if len(s.regretUniverse) > 0 {
+		g.universe = model.Batch(s.regretUniverse)
+		n := len(s.regretUniverse)
+		g.uniPool.New = func() any { r := make([]float64, n); return &r }
 	}
 	g.choose, g.compiled = compileChooser(lib, s.fallbackShapes)
 	g.configsJSON = renderConfigs(g)
@@ -306,8 +325,25 @@ func (s *Server) Reload(device string, lib *core.Library, model *sim.Model) (uin
 	// swap: at most one warm pass runs per backend, and a reload landing
 	// mid-warm abandons the old cache the same instant it becomes
 	// unreachable.
-	s.startWarm(gen)
+	s.startWarm(be, gen)
 	be.gen.Store(gen)
 	cur.stopWarm()
+	// Fold the displaced generation's cache counters into the backend's
+	// cumulative bases so selectd_cache_{hits,misses}_total stay monotonic
+	// across the swap. In-flight requests still finishing against the old
+	// generation may bump its counters after this snapshot; those few
+	// straggler counts are dropped rather than risking a decrease.
+	hits, misses := cur.cache.stats()
+	be.cacheHitsBase.Add(hits)
+	be.cacheMissesBase.Add(misses)
+	// A fresh generation's fallback starts from the static shape set; when
+	// the window has already observed enough live traffic, relearn it from
+	// the observed distribution immediately rather than waiting a
+	// maintenance tick.
+	if be.window != nil {
+		if win := be.window.snapshot(); len(win) >= minFallbackWindow {
+			s.learnFallback(be, gen, win)
+		}
+	}
 	return gen.id, nil
 }

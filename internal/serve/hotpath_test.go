@@ -76,23 +76,42 @@ func (sr *selectRunner) run() {
 // TestSelectCacheHitAllocations pins the tentpole guarantee: a steady-state
 // /v1/select request — well-formed body, cached shape — does not allocate in
 // the handler at all. A regression here is a performance bug even though no
-// behaviour changes, so it fails the build.
+// behaviour changes, so it fails the build. The closed-loop variant runs with
+// every decision sampled for regret measurement and appended to the drift
+// window: the accounting path must stay allocation-free too.
 func TestSelectCacheHitAllocations(t *testing.T) {
-	model := sim.New(device.R9Nano())
-	srv := New(buildLib(t, model, 6), model, Options{FallbackShapes: reloadShapes})
-	payload := []byte(`{"m":784,"k":1152,"n":256}`)
-	sr := newSelectRunner(srv, payload)
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"baseline", Options{FallbackShapes: reloadShapes}},
+		{"closed-loop-sampled", Options{
+			FallbackShapes: reloadShapes,
+			RegretSample:   1,
+			RegretUniverse: gemm.AllConfigs()[:120],
+			WindowSize:     4096,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			model := sim.New(device.R9Nano())
+			srv := New(buildLib(t, model, 6), model, tc.opts)
+			defer srv.Close()
+			payload := []byte(`{"m":784,"k":1152,"n":256}`)
+			sr := newSelectRunner(srv, payload)
 
-	sr.run() // miss: price and fill the cache
-	if sr.w.code != http.StatusOK {
-		t.Fatalf("warm request: status %d, body %s", sr.w.code, sr.w.buf)
-	}
-	sr.run()
-	if !bytes.Contains(sr.w.buf, []byte(`"cached":true`)) {
-		t.Fatalf("second request not served from cache: %s", sr.w.buf)
-	}
-	if allocs := testing.AllocsPerRun(500, sr.run); allocs != 0 {
-		t.Errorf("cache-hit select allocates %.1f objects per request, want 0", allocs)
+			sr.run() // miss: price and fill the cache
+			if sr.w.code != http.StatusOK {
+				t.Fatalf("warm request: status %d, body %s", sr.w.code, sr.w.buf)
+			}
+			sr.run()
+			if !bytes.Contains(sr.w.buf, []byte(`"cached":true`)) {
+				t.Fatalf("second request not served from cache: %s", sr.w.buf)
+			}
+			if allocs := testing.AllocsPerRun(500, sr.run); allocs != 0 {
+				t.Errorf("cache-hit select allocates %.1f objects per request, want 0", allocs)
+			}
+		})
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -39,6 +40,80 @@ func (h *histogram) observe(d time.Duration) {
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sumNano.Add(d.Nanoseconds())
+}
+
+// regretBuckets are the selectd_regret histogram upper bounds. Regret lives
+// in [0, 1] and a working selector concentrates near 0 — the le="0" bucket
+// exists so "picked the per-shape optimum exactly" is countable on its own —
+// while the coarse upper bounds catch a selector losing to distribution
+// shift.
+var regretBuckets = []float64{0, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.15, 0.25, 0.5}
+
+// valueHistogram is histogram's unitless sibling for dimensionless samples
+// (regret ratios): atomic buckets over arbitrary bounds plus an exact
+// CAS-accumulated float64 sum, so mean regret comparisons in tests are not
+// subject to integer truncation.
+type valueHistogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // one per bound, plus +Inf at the end
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+func newValueHistogram(bounds []float64) *valueHistogram {
+	return &valueHistogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *valueHistogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	// count is incremented last so a reader that sees count == sampled also
+	// sees every bucket/sum update from those observations.
+	h.count.Add(1)
+}
+
+// snapshot copies the histogram for rendering.
+func (h *valueHistogram) snapshot() histSnapshot {
+	s := histSnapshot{buckets: make([]uint64, len(h.buckets)), count: h.count.Load(), sum: math.Float64frombits(h.sumBits.Load())}
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// mean reports the average observed value (0 when empty).
+func (h *valueHistogram) mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load()) / float64(n)
+}
+
+type histSnapshot struct {
+	buckets []uint64
+	count   uint64
+	sum     float64
+}
+
+// renderValueHist writes one device-labelled histogram in exposition format.
+func renderValueHist(b *strings.Builder, name, device string, bounds []float64, h histSnapshot) {
+	var cum uint64
+	for i, bound := range bounds {
+		cum += h.buckets[i]
+		fmt.Fprintf(b, "%s_bucket{device=%q,le=\"%g\"} %d\n", name, device, bound, cum)
+	}
+	cum += h.buckets[len(bounds)]
+	fmt.Fprintf(b, "%s_bucket{device=%q,le=\"+Inf\"} %d\n", name, device, cum)
+	fmt.Fprintf(b, "%s_sum{device=%q} %.9f\n", name, device, h.sum)
+	fmt.Fprintf(b, "%s_count{device=%q} %d\n", name, device, h.count)
 }
 
 // endpointMetrics tracks one endpoint's request counts and latencies.
@@ -113,6 +188,20 @@ type backendStats struct {
 	warmTotal    int
 	warmed       uint64
 	warmDone     bool
+
+	// Closed-loop series (regret.go, retrain.go).
+	decisions       uint64
+	sampled         uint64
+	unsampled       uint64
+	regretDropped   uint64
+	regret          histSnapshot
+	regretDegraded  histSnapshot
+	driftScore      float64
+	windowSize      int
+	retrainPromoted uint64
+	retrainRejected uint64
+	retrainErrors   uint64
+	fallbackUpdates uint64
 }
 
 // render writes the registry in Prometheus text format, with one info line
@@ -256,6 +345,70 @@ func (m *metrics) render(b *strings.Builder, backends []backendStats) {
 			v = 1
 		}
 		fmt.Fprintf(b, "selectd_warm_complete{device=%q} %d\n", be.device, v)
+	}
+
+	b.WriteString("# HELP selectd_decisions_total Decisions served (full-quality and degraded), by device.\n")
+	b.WriteString("# TYPE selectd_decisions_total counter\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_decisions_total{device=%q} %d\n", be.device, be.decisions)
+	}
+	b.WriteString("# HELP selectd_decisions_sampled_total Decisions stamped for background regret measurement, by device.\n")
+	b.WriteString("# TYPE selectd_decisions_sampled_total counter\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_decisions_sampled_total{device=%q} %d\n", be.device, be.sampled)
+	}
+	b.WriteString("# HELP selectd_decisions_unsampled_total Decisions not selected for regret measurement, by device.\n")
+	b.WriteString("# TYPE selectd_decisions_unsampled_total counter\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_decisions_unsampled_total{device=%q} %d\n", be.device, be.unsampled)
+	}
+	b.WriteString("# HELP selectd_regret_dropped_total Regret samples dropped because the measurement queue was full, by device.\n")
+	b.WriteString("# TYPE selectd_regret_dropped_total counter\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_regret_dropped_total{device=%q} %d\n", be.device, be.regretDropped)
+	}
+
+	b.WriteString("# HELP selectd_regret Sampled decision regret vs the per-shape optimum of the config universe (1 - achieved/best), by device.\n")
+	b.WriteString("# TYPE selectd_regret histogram\n")
+	for _, be := range backends {
+		renderValueHist(b, "selectd_regret", be.device, regretBuckets, be.regret)
+	}
+	b.WriteString("# HELP selectd_regret_degraded Sampled regret of degraded (fallback-config) decisions, by device.\n")
+	b.WriteString("# TYPE selectd_regret_degraded histogram\n")
+	for _, be := range backends {
+		renderValueHist(b, "selectd_regret_degraded", be.device, regretBuckets, be.regretDegraded)
+	}
+
+	b.WriteString("# HELP selectd_drift_score Population-stability drift of the live shape mix vs the training mix, by device.\n")
+	b.WriteString("# TYPE selectd_drift_score gauge\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_drift_score{device=%q} %.9f\n", be.device, be.driftScore)
+	}
+	b.WriteString("# HELP selectd_window_size Served shapes currently held in the drift window, by device.\n")
+	b.WriteString("# TYPE selectd_window_size gauge\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_window_size{device=%q} %d\n", be.device, be.windowSize)
+	}
+
+	b.WriteString("# HELP selectd_retrain_promoted_total Shadow-retrained candidates promoted to serving, by device.\n")
+	b.WriteString("# TYPE selectd_retrain_promoted_total counter\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_retrain_promoted_total{device=%q} %d\n", be.device, be.retrainPromoted)
+	}
+	b.WriteString("# HELP selectd_retrain_rejected_total Shadow-retrained candidates rejected by a verification gate, by device.\n")
+	b.WriteString("# TYPE selectd_retrain_rejected_total counter\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_retrain_rejected_total{device=%q} %d\n", be.device, be.retrainRejected)
+	}
+	b.WriteString("# HELP selectd_retrain_errors_total Shadow-retrain attempts that failed before gating, by device.\n")
+	b.WriteString("# TYPE selectd_retrain_errors_total counter\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_retrain_errors_total{device=%q} %d\n", be.device, be.retrainErrors)
+	}
+	b.WriteString("# HELP selectd_fallback_updates_total Online fallback-config changes learned from the served shape window, by device.\n")
+	b.WriteString("# TYPE selectd_fallback_updates_total counter\n")
+	for _, be := range backends {
+		fmt.Fprintf(b, "selectd_fallback_updates_total{device=%q} %d\n", be.device, be.fallbackUpdates)
 	}
 
 	b.WriteString("# HELP selectd_breaker_state Circuit-breaker state, by device (0 closed, 1 half-open, 2 open).\n")

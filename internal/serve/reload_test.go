@@ -57,6 +57,7 @@ func TestReloadSwapsLibraryAndCache(t *testing.T) {
 		t.Fatal("warm request missed the cache")
 	}
 
+	before := metricsSnapshot(t, ts)
 	gen2, err := srv.Reload("", libB, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -90,6 +91,17 @@ func TestReloadSwapsLibraryAndCache(t *testing.T) {
 	c := decodeResp[configsResponse](t, resp)
 	if c.Generation != gen2 || c.Count != len(libB.Configs) {
 		t.Fatalf("configs report generation %d count %d, want %d/%d", c.Generation, c.Count, gen2, len(libB.Configs))
+	}
+
+	// Cumulative counters survive the swap: the displaced generation's cache
+	// traffic folds into the backend totals instead of resetting to zero.
+	after := metricsSnapshot(t, ts)
+	assertCountersMonotonic(t, before, after)
+	if hits := after[`selectd_cache_hits_total{device="amd-r9-nano"}`]; hits < 1 {
+		t.Errorf("cache hits reset across the reload: %v, want >= 1", hits)
+	}
+	if misses := after[`selectd_cache_misses_total{device="amd-r9-nano"}`]; misses < 2 {
+		t.Errorf("cache misses %v after a pre-swap and a post-swap miss, want >= 2", misses)
 	}
 }
 
@@ -235,6 +247,14 @@ func TestReloadUnderLoad(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
+
+	// One more swap after the storm quiesces: every cumulative series on the
+	// page must keep growing, never reset with the generation.
+	snap1 := metricsSnapshot(t, ts)
+	if _, err := srv.Reload("", libA, nil); err != nil {
+		t.Fatal(err)
+	}
+	assertCountersMonotonic(t, snap1, metricsSnapshot(t, ts))
 
 	total := 0
 	for g := range outcomes {

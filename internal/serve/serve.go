@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strings"
 	"sync"
@@ -89,6 +90,55 @@ type Options struct {
 	// WarmShapes is the shape universe the warm pass prices; default:
 	// FallbackShapes (the paper's dataset shapes).
 	WarmShapes []gemm.Shape
+
+	// RegretSample is the fraction of served decisions stamped for
+	// background regret measurement against the config universe (regret.go).
+	// 0 disables sampling; 1 measures every decision. Sampling is
+	// deterministic — every round(1/RegretSample)-th decision per backend —
+	// so sampled + unsampled counts partition the total exactly.
+	RegretSample float64
+
+	// RegretUniverse is the configuration universe regret is measured
+	// against; default gemm.AllConfigs() (materialized only when the closed
+	// loop is on).
+	RegretUniverse []gemm.Config
+
+	// RegretQueue bounds the background measurement queue; default 1024.
+	// A full queue drops samples (counted) instead of blocking requests.
+	RegretQueue int
+
+	// WindowSize bounds the served-shape sliding window the closed loop
+	// reasons over; default 4096, negative disables the window (and with it
+	// drift scoring, online fallback learning, and retraining).
+	WindowSize int
+
+	// DriftThreshold is the PSI drift score above which a shadow retrain
+	// fires; default 0.25 (the conventional "significant shift" reading).
+	DriftThreshold float64
+
+	// TrainShapes is the training-time shape mix the drift score compares
+	// the live window against (duplicates weight the mix); default
+	// FallbackShapes.
+	TrainShapes []gemm.Shape
+
+	// Retrain, when non-nil, enables shadow retraining: it is called on the
+	// maintenance goroutine with the blended shape mix whenever drift
+	// crosses DriftThreshold, and its candidate is promoted only after the
+	// verification gates pass (retrain.go).
+	Retrain RetrainFunc
+
+	// RetrainMinWindow is the minimum window fill before drift can trigger
+	// a retrain; default 64.
+	RetrainMinWindow int
+
+	// MaintainInterval is the period of the background maintenance loop
+	// (drift scoring, fallback relearning, shadow retraining). 0 disables
+	// the loop; callers may still drive Maintain directly.
+	MaintainInterval time.Duration
+
+	// OnRetrain, when non-nil, observes every shadow-retrain attempt
+	// (promotions, rejections, and errors) from the maintenance goroutine.
+	OnRetrain func(RetrainEvent)
 }
 
 func (o Options) withDefaults() Options {
@@ -119,6 +169,30 @@ func (o Options) withDefaults() Options {
 	if o.WarmShapes == nil {
 		o.WarmShapes = o.FallbackShapes
 	}
+	if o.RegretSample < 0 {
+		o.RegretSample = 0
+	}
+	if o.RegretSample > 1 {
+		o.RegretSample = 1
+	}
+	if o.RegretQueue <= 0 {
+		o.RegretQueue = 1024
+	}
+	if o.WindowSize == 0 {
+		o.WindowSize = 4096
+	}
+	if o.DriftThreshold <= 0 {
+		o.DriftThreshold = 0.25
+	}
+	if o.TrainShapes == nil {
+		o.TrainShapes = o.FallbackShapes
+	}
+	if o.RetrainMinWindow <= 0 {
+		o.RetrainMinWindow = 64
+	}
+	if o.RegretUniverse == nil && (o.RegretSample > 0 || o.Retrain != nil) {
+		o.RegretUniverse = gemm.AllConfigs()
+	}
 	return o
 }
 
@@ -144,6 +218,19 @@ type Server struct {
 	fallbackShapes []gemm.Shape
 	reloadSource   ReloadSource // set before serving; nil disables /v1/reload
 	draining       func() bool
+
+	// Closed-loop state (regret.go, retrain.go). regretEvery is the
+	// deterministic sampling stride (0 = sampling off); regretQ feeds the
+	// background measurement worker; stop tears the background goroutines
+	// down on Close.
+	regretEvery    uint64
+	regretUniverse []gemm.Config
+	regretQ        chan regretSample
+	stop           chan struct{}
+	stopOnce       sync.Once
+
+	eventsMu sync.Mutex
+	events   []RetrainEvent
 }
 
 // New builds a single-device server; the backend takes the model's device
@@ -179,6 +266,15 @@ func NewMulti(backends []Backend, opts Options) (*Server, error) {
 		metrics:        newMetrics(),
 		fallbackShapes: opts.FallbackShapes,
 		draining:       func() bool { return false },
+		regretUniverse: opts.RegretUniverse,
+		stop:           make(chan struct{}),
+	}
+	if opts.RegretSample > 0 {
+		s.regretEvery = uint64(math.Round(1 / opts.RegretSample))
+		if s.regretEvery < 1 {
+			s.regretEvery = 1
+		}
+		s.regretQ = make(chan regretSample, opts.RegretQueue)
 	}
 	defaultBudget := opts.MaxInFlight / len(backends)
 	if defaultBudget < 1 {
@@ -205,23 +301,42 @@ func NewMulti(backends []Backend, opts Options) (*Server, error) {
 			budget = o
 		}
 		be := &backend{
-			name:      b.Device,
-			custom:    b.Pricer,
-			budget:    make(chan struct{}, budget),
-			budgetCap: budget,
-			breaker:   breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown},
+			name:               b.Device,
+			custom:             b.Pricer,
+			budget:             make(chan struct{}, budget),
+			budgetCap:          budget,
+			breaker:            breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown},
+			window:             newShapeWindow(opts.WindowSize),
+			regretHist:         newValueHistogram(regretBuckets),
+			regretDegradedHist: newValueHistogram(regretBuckets),
 		}
+		mix := mixOf(opts.TrainShapes)
+		be.driftRef.Store(&mix)
 		pricer := b.Pricer
 		if pricer == nil {
 			pricer = modelPricer{b.Model}
 		}
 		gen := s.newGeneration(b.Device, b.Lib, b.Model, pricer)
-		s.startWarm(gen)
+		s.startWarm(be, gen)
 		be.gen.Store(gen)
 		s.backends = append(s.backends, be)
 		s.byName[b.Device] = be
 	}
+	if s.regretQ != nil {
+		go s.regretWorker()
+	}
+	if opts.MaintainInterval > 0 {
+		go s.maintainLoop(opts.MaintainInterval)
+	}
 	return s, nil
+}
+
+// Close stops the server's background closed-loop goroutines (the regret
+// measurement worker and the maintenance loop). Idempotent. The HTTP
+// handlers keep serving after Close — only background measurement and
+// adaptation stop — so it is safe to call at the start of a graceful drain.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
 }
 
 // SetDrainCheck installs the callback healthz consults: when it reports
@@ -292,7 +407,7 @@ type Decision struct {
 // only ever serve full-quality answers.
 func (s *Server) degradedDecision(be *backend, gen *generation, shape gemm.Shape, r degradeReason) Decision {
 	be.degraded[r].Add(1)
-	d := gen.fallback
+	d := *gen.fb.Load()
 	d.Shape = shape.String()
 	d.DegradedReason = reasonNames[r]
 	return d
@@ -308,9 +423,17 @@ func (s *Server) decide(ctx context.Context, be *backend, shape gemm.Shape) (Dec
 	gen := be.gen.Load()
 	if d, ok := gen.cache.get(shape); ok {
 		d.Cached = true
+		s.account(be, gen, shape, &d)
 		return d, nil
 	}
-	return s.decideMiss(ctx, be, gen, shape)
+	d, err := s.decideMiss(ctx, be, gen, shape)
+	if err == nil {
+		// Every decision that will be served — full-quality or degraded —
+		// feeds the closed loop exactly once; aborted requests served
+		// nothing and are not decisions.
+		s.account(be, gen, shape, &d)
+	}
+	return d, err
 }
 
 // leaderCompute is the single-flight leader's full-service ladder: breaker,
@@ -605,6 +728,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	gen := be.gen.Load()
 	if d, ok := gen.cache.get(shape); ok {
 		d.Cached = true
+		s.account(be, gen, shape, &d)
 		buf = appendDecision(buf, &d)
 		buf = append(buf, '\n')
 		writeRawJSON(w, http.StatusOK, buf)
@@ -616,7 +740,9 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	if degraded {
 		markNoLatency(w)
-		d := s.degradedDecision(be, be.gen.Load(), shape, reasonBudget)
+		gen = be.gen.Load()
+		d := s.degradedDecision(be, gen, shape, reasonBudget)
+		s.account(be, gen, shape, &d)
 		buf = appendDecision(buf, &d)
 		buf = append(buf, '\n')
 		writeRawJSON(w, http.StatusOK, buf)
@@ -687,6 +813,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		results := make([]Decision, len(shapes))
 		for i, sh := range shapes {
 			results[i] = s.degradedDecision(be, gen, sh, reasonBudget)
+			s.account(be, gen, sh, &results[i])
 		}
 		markNoLatency(w)
 		writeBatch(w, results)
@@ -839,26 +966,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		gen := be.gen.Load()
 		hits, misses := gen.cache.stats()
 		state, trips := be.breaker.snapshot()
-		warmTotal, warmed, warmDone := gen.warmSnapshot()
+		warmTotal, _, warmDone := gen.warmSnapshot()
 		st := backendStats{
-			device:       be.name,
-			infoLine:     gen.infoLine,
-			generation:   gen.id,
-			compiled:     gen.compiled,
-			hits:         hits,
-			misses:       misses,
-			entries:      gen.cache.len(),
-			inflight:     be.inflight.Load(),
-			budgetFree:   be.budgetFree(),
-			budgetCap:    be.budgetCap,
-			shed:         be.shed.Load(),
-			coalesced:    be.coalesced.Load(),
-			ewmaSeconds:  ewmaValue(&be.latencyEWMA).Seconds(),
-			breakerState: state,
-			breakerTrips: trips,
-			warmTotal:    warmTotal,
-			warmed:       warmed,
-			warmDone:     warmDone,
+			device:     be.name,
+			infoLine:   gen.infoLine,
+			generation: gen.id,
+			compiled:   gen.compiled,
+			// Cache and warm counters are cumulative across generation
+			// swaps: the serving generation's live counts ride on the bases
+			// accumulated from displaced generations, so the rendered
+			// counters never decrease on reload.
+			hits:            be.cacheHitsBase.Load() + hits,
+			misses:          be.cacheMissesBase.Load() + misses,
+			entries:         gen.cache.len(),
+			inflight:        be.inflight.Load(),
+			budgetFree:      be.budgetFree(),
+			budgetCap:       be.budgetCap,
+			shed:            be.shed.Load(),
+			coalesced:       be.coalesced.Load(),
+			ewmaSeconds:     ewmaValue(&be.latencyEWMA).Seconds(),
+			breakerState:    state,
+			breakerTrips:    trips,
+			warmTotal:       warmTotal,
+			warmed:          be.warmedTotal.Load(),
+			warmDone:        warmDone,
+			decisions:       be.decisions.Load(),
+			sampled:         be.sampled.Load(),
+			unsampled:       be.unsampled.Load(),
+			regretDropped:   be.regretDropped.Load(),
+			regret:          be.regretHist.snapshot(),
+			regretDegraded:  be.regretDegradedHist.snapshot(),
+			driftScore:      be.driftScore(),
+			retrainPromoted: be.retrainPromoted.Load(),
+			retrainRejected: be.retrainRejected.Load(),
+			retrainErrors:   be.retrainErrors.Load(),
+			fallbackUpdates: be.fallbackUpdates.Load(),
+		}
+		if be.window != nil {
+			st.windowSize = be.window.size()
 		}
 		for r := range st.degraded {
 			st.degraded[r] = be.degraded[r].Load()

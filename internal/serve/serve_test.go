@@ -217,6 +217,53 @@ func metricsPage(t testing.TB, ts *httptest.Server) string {
 	return string(raw)
 }
 
+// metricsSnapshot parses the full /metrics page into series → value, keyed by
+// the complete `name{labels}` form, so tests can diff two scrapes.
+func metricsSnapshot(t testing.TB, ts *httptest.Server) map[string]float64 {
+	t.Helper()
+	snap := make(map[string]float64)
+	for _, line := range strings.Split(metricsPage(t, ts), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("parsing metric line %q: %v", line, err)
+		}
+		snap[line[:i]] = v
+	}
+	return snap
+}
+
+// assertCountersMonotonic enforces the Prometheus counter contract between
+// two snapshots of the same server: every *_total series present in the
+// earlier scrape must still exist and must not have decreased — generation
+// swaps may not reset cumulative series.
+func assertCountersMonotonic(t testing.TB, before, after map[string]float64) {
+	t.Helper()
+	for series, b := range before {
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !strings.HasSuffix(name, "_total") {
+			continue
+		}
+		a, ok := after[series]
+		if !ok {
+			t.Errorf("counter %s disappeared between scrapes", series)
+			continue
+		}
+		if a < b {
+			t.Errorf("counter %s moved backwards: %v -> %v", series, b, a)
+		}
+	}
+}
+
 func TestRepeatedShapeHitsCache(t *testing.T) {
 	_, ts := testServer(t, Options{})
 	req := shapeRequest{M: 3136, K: 576, N: 128}
@@ -299,8 +346,8 @@ func TestBudgetExhaustionDegrades(t *testing.T) {
 	if !d.Degraded || d.DegradedReason != "budget" {
 		t.Fatalf("saturated request not degraded(budget): %+v", d)
 	}
-	if d.Config != be.gen.Load().fallback.Config {
-		t.Errorf("degraded config %q, want fallback %q", d.Config, be.gen.Load().fallback.Config)
+	if d.Config != be.gen.Load().fb.Load().Config {
+		t.Errorf("degraded config %q, want fallback %q", d.Config, be.gen.Load().fb.Load().Config)
 	}
 	if _, ok := be.gen.Load().cache.get(gemm.Shape{M: 10, K: 10, N: 10}); ok {
 		t.Error("degraded decision was cached")

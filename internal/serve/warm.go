@@ -29,8 +29,10 @@ import (
 // immediately when there is nothing to warm (warming disabled, no cache to
 // fill, or an empty warm-shape set — vacuously complete). Callers invoke it
 // before publishing the generation, so requests never observe a generation
-// whose warm bookkeeping is uninitialised.
-func (s *Server) startWarm(gen *generation) {
+// whose warm bookkeeping is uninitialised. The backend carries the
+// cumulative warm counter (selectd_warm_shapes_total) so the series keeps
+// growing across generation swaps instead of resetting.
+func (s *Server) startWarm(be *backend, gen *generation) {
 	shapes := s.opts.WarmShapes
 	if !s.opts.Warm || gen.cache == nil || len(shapes) == 0 {
 		gen.warmDone.Store(true)
@@ -51,6 +53,7 @@ func (s *Server) startWarm(gen *generation) {
 			}
 			gen.cache.put(shapes[i], d)
 			gen.warmed.Add(1)
+			be.warmedTotal.Add(1)
 		})
 		// Complete only when every shape landed: a cancelled or partially
 		// failed pass leaves warmDone false, which /healthz and the metrics

@@ -114,6 +114,9 @@ func TestReloadMidWarmNoStaleEntries(t *testing.T) {
 	libA := buildLib(t, model, 6)
 	libB := buildLib(t, model, 4)
 	srv := New(libA, model, Options{FallbackShapes: reloadShapes, Warm: true, WarmShapes: shapes})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	before := metricsSnapshot(t, ts)
 
 	// Swap libraries back and forth with no settling time, landing every
 	// reload mid-warm.
@@ -128,6 +131,15 @@ func TestReloadMidWarmNoStaleEntries(t *testing.T) {
 	}
 	gen := srv.backends[0].gen.Load()
 	waitWarm(t, gen)
+
+	// The warm counter is cumulative across the displaced generations'
+	// partial passes — it may only grow through the storm, and the final
+	// complete pass alone accounts for every warm shape.
+	after := metricsSnapshot(t, ts)
+	assertCountersMonotonic(t, before, after)
+	if warmed := after[`selectd_warm_shapes_total{device="amd-r9-nano"}`]; warmed < float64(len(shapes)) {
+		t.Errorf("cumulative warm counter %v after a complete pass over %d shapes", warmed, len(shapes))
+	}
 
 	audited := 0
 	gen.cache.forEach(func(d Decision) {
