@@ -15,7 +15,7 @@ COVER_FLOOR ?= 70
 # Seeds for the chaos sweep (`make chaos`); each seed is one fault schedule.
 CHAOS_SEEDS ?= 12
 
-.PHONY: build test race race-serve race-retrain vet bench bench-price bench-serve bench-serve-check saturation fuzz fuzz-smoke cover chaos check
+.PHONY: build test race race-serve race-retrain race-unified vet bench bench-price bench-serve bench-serve-check saturation fuzz fuzz-smoke cover chaos check
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,12 @@ race-serve:
 # the deterministic end-to-end loop test.
 race-retrain:
 	$(GO) test -race -run 'TestClosedLoop|TestRetrain|TestRegret|TestDrift|TestWindow|TestFallback' ./internal/serve
+
+# Targeted race pass over the unified-artifact path: one shared selector
+# behind every device backend (concurrent per-device dispatch and reload),
+# plus the portability-side artifact/agreement tests.
+race-unified:
+	$(GO) test -race -run 'TestUnified' ./internal/serve ./internal/portability
 
 vet:
 	$(GO) vet ./...
@@ -143,4 +149,4 @@ cover:
 		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; \
 	fi
 
-check: build vet test race-serve race-retrain chaos bench-price bench-serve-check race fuzz-smoke cover
+check: build vet test race-serve race-retrain race-unified chaos bench-price bench-serve-check race fuzz-smoke cover

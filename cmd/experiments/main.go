@@ -5,10 +5,14 @@
 //
 //	experiments [-only fig1|fig2|fig3|fig4|table1|latency|importance|ablations|portability]
 //	            [-device r9nano|gen9|mali] [-seed 42] [-md REPORT.md] [-svg figures]
-//	            [-workers N] [-portability] [-bench-json out.json]
+//	            [-workers N] [-portability] [-emit-unified lib.json] [-bench-json out.json]
 //
 // -portability adds the cross-device transfer study (all three devices) to
-// the output: a text/markdown section and, with -svg, fig5-portability.svg.
+// the output: a text/markdown section with the transfer matrices, the
+// unified and joint-pruned rows, the held-out synthetic-device
+// generalization table, and, with -svg, fig5-portability.svg.
+// -emit-unified additionally persists the study's unified library as the
+// artifact selectd -unified and selectgen -library consume.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"sort"
 	"time"
 
+	"kernelselect/internal/core"
 	"kernelselect/internal/device"
 	"kernelselect/internal/experiments"
 	"kernelselect/internal/portability"
@@ -36,6 +41,7 @@ func main() {
 	svgDir := flag.String("svg", "", "also render fig1.svg…fig4.svg into this directory")
 	workers := flag.Int("workers", 0, "worker pool size for every pipeline stage (0 = GOMAXPROCS)")
 	portable := flag.Bool("portability", false, "include the cross-device transfer study (all three devices)")
+	emitUnified := flag.String("emit-unified", "", "write the unified (device-feature-augmented) library artifact to this path for selectd -unified")
 	benchJSON := flag.String("bench-json", "", "time Setup and RunAll at 1 and N workers, write JSON to this path and exit")
 	flag.Parse()
 
@@ -62,13 +68,20 @@ func main() {
 
 	env := experiments.Setup(cfg)
 	var portSection string
-	if *portable || *only == "portability" {
-		res := env.Portability()
+	if *portable || *only == "portability" || *emitUnified != "" {
+		penv := env.PortabilityEnv()
+		res := penv.Run()
 		portSection = experiments.RenderPortability(res)
 		if *svgDir != "" {
 			if err := experiments.WritePortabilitySVG(res, *svgDir); err != nil {
 				log.Fatal(err)
 			}
+		}
+		if *emitUnified != "" {
+			if err := writeUnifiedArtifact(penv, *emitUnified); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote unified library artifact to %s", *emitUnified)
 		}
 	}
 	if *svgDir != "" {
@@ -126,6 +139,24 @@ func main() {
 	if portSection != "" {
 		fmt.Println(portSection)
 	}
+}
+
+// writeUnifiedArtifact persists the transfer study's unified library in the
+// form selectd -unified and selectgen -library consume.
+func writeUnifiedArtifact(penv *portability.Env, path string) error {
+	lib, err := penv.BuildUnifiedLibrary()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := core.SaveUnifiedLibrary(f, lib, penv.DeviceNames()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // benchEntry is one machine-readable timing sample.

@@ -8,10 +8,25 @@
 // their target with a "device" field. The default device's library comes
 // from a persisted artifact (-library, written by -save or
 // core.SaveLibrary) or is trained in-process from the device model; the
-// other devices always train in-process. The selector backend is pluggable
+// other devices always train in-process. When -devices names more than one
+// device, -library and -selector-file artifacts must carry a device tag
+// (untagged legacy artifacts stay accepted in single-device mode, where
+// there is nothing to confuse). The selector backend is pluggable
 // (-selector tree|forest|1nn|3nn|linear-svm|radial-svm), so two selectd
 // instances behind a traffic split A/B test the Table-I classifiers;
 // -selector-file swaps in a selector-only artifact over the same kernel set.
+//
+// Unified mode (-unified lib.json) serves every -devices backend from one
+// device-feature-augmented artifact (written by the portability study's
+// BuildUnifiedLibrary + core.SaveUnifiedLibrary): the selector saw
+// (shape, device-features) rows at training time, so dispatch appends the
+// backend's device feature vector to the shape and one selector answers for
+// the whole fleet — including synthetic held-out specs
+// (-devices synthetic-fiji-32cu,...) the selector never trained on.
+// Per-device decision caches, budgets, breakers, and metrics are unchanged;
+// only the selector is shared. -unified is exclusive with -library,
+// -selector-file, -save, and -retrain (the shadow retrainer produces
+// shape-only libraries, which the reload path would reject).
 //
 // Endpoints:
 //
@@ -100,6 +115,7 @@ func main() {
 	log.SetPrefix("selectd: ")
 
 	addr := flag.String("addr", ":8080", "listen address")
+	unifiedPath := flag.String("unified", "", "unified (device-feature-augmented) library artifact; every -devices backend serves from this one selector")
 	libPath := flag.String("library", "", "persisted library artifact for the default device (default: train in-process)")
 	selFile := flag.String("selector-file", "", "selector-only artifact for the default device (overrides the library's selector)")
 	selName := flag.String("selector", "tree", "in-process selector backend: tree, forest, 1nn, 3nn, linear-svm, radial-svm")
@@ -133,6 +149,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *unifiedPath != "" {
+		for flagName, set := range map[string]bool{
+			"-library":       *libPath != "",
+			"-selector-file": *selFile != "",
+			"-save":          *savePath != "",
+			"-retrain":       *retrain,
+		} {
+			if set {
+				log.Fatalf("-unified is exclusive with %s", flagName)
+			}
+		}
+	}
 	budgets, err := parseBudgets(*budgetsFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -147,24 +175,36 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// One backend per device. The default (first) device may load its
-	// library from an artifact — validated against the device tag — while
-	// secondary devices always train in-process from their own models: a
-	// library trained for one device is not portable to another (that gap is
-	// what the portability study measures).
+	// One backend per device. In unified mode a single device-feature-aware
+	// artifact serves every backend; otherwise the default (first) device may
+	// load its library from an artifact — validated against the device tag —
+	// while secondary devices always train in-process from their own models:
+	// a specialist library trained for one device is not portable to another
+	// (that gap is what the portability study measures).
+	strictTags := len(specs) > 1
 	backends := make([]serve.Backend, len(specs))
-	for i, spec := range specs {
-		model := sim.New(spec)
-		var lib *core.Library
-		if i == 0 && *libPath != "" {
-			lib, err = loadLibrary(*libPath, spec.Name)
-		} else {
-			lib, err = trainLibrary(model, pruner, trainer, *n, *seed)
-		}
+	if *unifiedPath != "" {
+		lib, err := loadUnifiedLibrary(*unifiedPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		backends[i] = serve.Backend{Device: spec.Name, Lib: lib, Model: model}
+		for i, spec := range specs {
+			backends[i] = serve.Backend{Device: spec.Name, Lib: lib, Model: sim.New(spec)}
+		}
+	} else {
+		for i, spec := range specs {
+			model := sim.New(spec)
+			var lib *core.Library
+			if i == 0 && *libPath != "" {
+				lib, err = loadLibrary(*libPath, spec.Name, strictTags)
+			} else {
+				lib, err = trainLibrary(model, pruner, trainer, *n, *seed)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			backends[i] = serve.Backend{Device: spec.Name, Lib: lib, Model: model}
+		}
 	}
 
 	if *selFile != "" {
@@ -172,7 +212,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sel, err := core.LoadSelectorForDevice(f, specs[0].Name)
+		var sel core.Selector
+		if strictTags {
+			sel, err = core.LoadSelectorForDeviceStrict(f, specs[0].Name)
+		} else {
+			sel, err = core.LoadSelectorForDevice(f, specs[0].Name)
+		}
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
@@ -242,15 +287,20 @@ func main() {
 	srv.SetDrainCheck(draining.Load)
 
 	// Hot reload: POST /v1/reload and SIGHUP both pull fresh libraries
-	// through this source. The default device re-reads its artifact when one
-	// was given; everything else retrains in-process against its own model.
+	// through this source. Unified mode re-reads the shared artifact for any
+	// device; otherwise the default device re-reads its artifact when one was
+	// given and everything else retrains in-process against its own model.
 	reloadSrc := func(dev string) (*core.Library, *sim.Model, error) {
 		for i, spec := range specs {
 			if spec.Name != dev {
 				continue
 			}
+			if *unifiedPath != "" {
+				lib, err := loadUnifiedLibrary(*unifiedPath)
+				return lib, nil, err
+			}
 			if i == 0 && *libPath != "" {
-				lib, err := loadLibrary(*libPath, spec.Name)
+				lib, err := loadLibrary(*libPath, spec.Name, strictTags)
 				return lib, nil, err
 			}
 			lib, err := trainLibrary(sim.New(spec), pruner, trainer, *n, *seed)
@@ -351,6 +401,9 @@ func cacheCapacity(flagVal int) int {
 	return flagVal
 }
 
+// deviceFor resolves short aliases first, then full device names — which
+// covers the synthetic held-out specs (synthetic-fiji-32cu, ...) a unified
+// artifact can serve without ever having trained on them.
 func deviceFor(name string) (device.Spec, error) {
 	switch name {
 	case "r9nano":
@@ -359,9 +412,11 @@ func deviceFor(name string) (device.Spec, error) {
 		return device.IntegratedGen9(), nil
 	case "mali":
 		return device.EmbeddedMaliG72(), nil
-	default:
-		return device.Spec{}, fmt.Errorf("unknown device %q", name)
 	}
+	if spec, err := device.ByName(name); err == nil {
+		return spec, nil
+	}
+	return device.Spec{}, fmt.Errorf("unknown device %q", name)
 }
 
 // parseBudgets parses the -budgets flag ("r9nano=64,gen9=16", short device
@@ -425,14 +480,39 @@ func devicesFor(names string) ([]device.Spec, error) {
 }
 
 // loadLibrary reads a persisted artifact, rejecting libraries tagged for a
-// different device.
-func loadLibrary(path, deviceName string) (*core.Library, error) {
+// different device. In strict mode (multi-device serving) untagged legacy
+// artifacts are rejected too: with several backends in one process, an
+// untagged file gives no evidence it belongs to the device it would serve.
+func loadLibrary(path, deviceName string, strict bool) (*core.Library, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	if strict {
+		return core.LoadLibraryForDeviceStrict(f, deviceName)
+	}
 	return core.LoadLibraryForDevice(f, deviceName)
+}
+
+// loadUnifiedLibrary reads a device-feature-augmented artifact and refuses
+// plain specialist libraries: serving a shape-only selector through the
+// unified dispatch path would silently ignore the device dimension.
+func loadUnifiedLibrary(path string) (*core.Library, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	lib, err := core.LoadLibrary(f)
+	if err != nil {
+		return nil, err
+	}
+	if !lib.Unified() {
+		return nil, fmt.Errorf("%s: not a unified artifact (selector %q has shape-only width %d); serve it with -library instead",
+			path, lib.SelectorName(), lib.NumFeatures())
+	}
+	return lib, nil
 }
 
 // trainLibrary reproduces the paper pipeline in-process: price the 170-shape

@@ -29,7 +29,11 @@ func TestTrainerAndPrunerLookup(t *testing.T) {
 	if _, err := prunerFor("martian"); err == nil {
 		t.Error("unknown pruner accepted")
 	}
-	for _, name := range []string{"r9nano", "gen9", "mali"} {
+	names := []string{"r9nano", "gen9", "mali"}
+	for _, s := range device.Synthetics() {
+		names = append(names, s.Name) // held-out specs are servable by name
+	}
+	for _, name := range names {
 		if _, err := deviceFor(name); err != nil {
 			t.Errorf("deviceFor(%q): %v", name, err)
 		}
@@ -101,7 +105,7 @@ func TestBuildLibraryFromArtifact(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	loaded, err := loadLibrary(path, device.R9Nano().Name)
+	loaded, err := loadLibrary(path, device.R9Nano().Name, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,8 +118,20 @@ func TestBuildLibraryFromArtifact(t *testing.T) {
 		}
 	}
 
-	if _, err := loadLibrary(filepath.Join(t.TempDir(), "missing.json"), ""); err == nil {
+	if _, err := loadLibrary(filepath.Join(t.TempDir(), "missing.json"), "", false); err == nil {
 		t.Error("missing artifact accepted")
+	}
+
+	// The artifact above is untagged (SaveLibrary): fine for a single-device
+	// daemon, rejected when -devices names several devices and every artifact
+	// must prove which backend it belongs to.
+	if _, err := loadLibrary(path, device.R9Nano().Name, true); err == nil {
+		t.Error("untagged artifact accepted in strict (multi-device) mode")
+	}
+
+	// A specialist artifact is not a unified one.
+	if _, err := loadUnifiedLibrary(path); err == nil {
+		t.Error("shape-only artifact accepted by the unified loader")
 	}
 }
 
@@ -139,11 +155,15 @@ func TestLoadLibraryDeviceTag(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := loadLibrary(path, device.IntegratedGen9().Name); err != nil {
+	if _, err := loadLibrary(path, device.IntegratedGen9().Name, false); err != nil {
 		t.Fatalf("own device rejected: %v", err)
 	}
-	if _, err := loadLibrary(path, device.R9Nano().Name); err == nil {
+	if _, err := loadLibrary(path, device.R9Nano().Name, false); err == nil {
 		t.Fatal("foreign device tag accepted")
+	}
+	// A properly tagged artifact passes strict mode too.
+	if _, err := loadLibrary(path, device.IntegratedGen9().Name, true); err != nil {
+		t.Fatalf("tagged artifact rejected in strict mode: %v", err)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"kernelselect/internal/dataset"
 	"kernelselect/internal/device"
 	"kernelselect/internal/gemm"
+	"kernelselect/internal/portability"
 	"kernelselect/internal/sim"
 	"kernelselect/internal/workload"
 )
@@ -183,4 +184,77 @@ func evalStmts(stmts []ast.Stmt, vars map[string]float64) (int, error) {
 		}
 	}
 	return 0, fmt.Errorf("fell off the end of a branch without returning")
+}
+
+// TestUnifiedEmittedSelectorAgreesWithInMemory pins the unified emission
+// path: a device-feature-augmented artifact must come out as a
+// Select(m, k, n, devCUs, ...) function whose answers — interpreted from the
+// emitted source — match the in-memory unified dispatch for every training
+// device and for a held-out synthetic spec.
+func TestUnifiedEmittedSelectorAgreesWithInMemory(t *testing.T) {
+	env := portability.Setup(portability.Config{
+		Seed:     42,
+		N:        8,
+		Pruners:  []core.Pruner{core.DecisionTree{}},
+		Trainers: []core.SelectorTrainer{core.DecisionTreeSelector{}},
+		Workers:  4,
+	})
+	lib, err := env.BuildUnifiedLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := core.SaveUnifiedLibrary(&buf, lib, env.DeviceNames()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "unified.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := generateFromLibrary(path, "kernels")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "selector.go", src, parser.AllErrors)
+	if err != nil {
+		t.Fatalf("emitted source does not parse: %v", err)
+	}
+	sel := findFunc(f, "Select")
+	if sel == nil {
+		t.Fatal("emitted source has no Select function")
+	}
+
+	// The signature must take the shape plus every device feature, in order.
+	wantParams := append([]string{"m", "k", "n"}, device.FeatureNames()...)
+	var gotParams []string
+	for _, field := range sel.Type.Params.List {
+		for _, name := range field.Names {
+			gotParams = append(gotParams, name.Name)
+		}
+	}
+	if fmt.Sprint(gotParams) != fmt.Sprint(wantParams) {
+		t.Fatalf("emitted Select params %v, want %v", gotParams, wantParams)
+	}
+
+	shapes, _ := workload.DatasetShapes()
+	specs := append(device.All(), device.Synthetics()[0])
+	for _, spec := range specs {
+		vars := map[string]float64{}
+		for i, name := range device.FeatureNames() {
+			vars[name] = spec.Features()[i]
+		}
+		for _, s := range shapes[:40] {
+			vars["m"], vars["k"], vars["n"] = float64(s.M), float64(s.K), float64(s.N)
+			got, err := evalSelect(sel, vars)
+			if err != nil {
+				t.Fatalf("evaluating emitted Select on %v for %s: %v", s, spec.Name, err)
+			}
+			if want := lib.UnifiedChooseIndex(s, spec.Features()); got != want {
+				t.Fatalf("%s %v: emitted Select returns %d, in-memory unified dispatch %d",
+					spec.Name, s, got, want)
+			}
+		}
+	}
 }

@@ -92,16 +92,6 @@ type config struct {
 	shift    bool // replay the shifted transformer mix instead of the dataset mix
 }
 
-// shiftedMix is a transformer-style shape mix disjoint from the dataset mix
-// the served libraries train on. Replaying it (-shift) makes a closed-loop
-// server's drift score rise and, with retraining enabled, trips the shadow
-// retrain path under realistic traffic rather than a synthetic test.
-var shiftedMix = []gemm.Shape{
-	{M: 128, K: 768, N: 768}, {M: 128, K: 768, N: 3072}, {M: 128, K: 3072, N: 768},
-	{M: 512, K: 1024, N: 1024}, {M: 512, K: 1024, N: 4096}, {M: 512, K: 4096, N: 1024},
-	{M: 256, K: 2048, N: 2048}, {M: 64, K: 512, N: 50257},
-}
-
 // deviceReport aggregates one device's outcomes. Rates are fractions of the
 // device's request count. Queue delay is how late the open-loop schedule
 // fired each request (all workers busy = the server, not the generator, is
@@ -469,7 +459,11 @@ func run(cfg config) (report, error) {
 	}
 	shapes, _ := workload.DatasetShapes()
 	if cfg.shift {
-		shapes = shiftedMix
+		// The transformer mix is disjoint from the dataset mix the served
+		// libraries train on, so replaying it (-shift) raises the server's
+		// drift score and, with retraining enabled, trips the shadow retrain
+		// path under realistic traffic rather than a synthetic test.
+		shapes = workload.TransformerMix()
 	}
 	if cfg.shapes > 0 && cfg.shapes < len(shapes) {
 		shapes = shapes[:cfg.shapes]

@@ -161,6 +161,53 @@ func (l *Library) CompiledChooser() (func(gemm.Shape) int, bool) {
 	}, true
 }
 
+// UnifiedCompiledChooser returns a compiled equivalent of UnifiedChooseIndex
+// with the device feature vector baked in — the unified counterpart of
+// CompiledChooser for a serving backend that dispatches every request for
+// one device through one device-augmented selector. It reports false when
+// the library is not unified, the device vector does not complete the
+// selector's width, the width exceeds the compiled stack-scratch bound, or
+// the selector has no compiled form.
+//
+// The tree case calls the concrete compiled classifier directly so the
+// feature scratch stays on the stack (every unified selector this repository
+// trains is a tree); other selector kinds go through the generic compiled fn
+// and pay one small array allocation per call — acceptable because dispatch
+// only runs on the cache-miss path, next to a full pricing pass.
+func (l *Library) UnifiedCompiledChooser(devFeatures []float64) (func(gemm.Shape) int, bool) {
+	if !l.unified || numShapeFeatures+len(devFeatures) != l.features || l.features > maxCompiledFeatures {
+		return nil, false
+	}
+	width, n := l.features, len(l.Configs)
+	var template [maxCompiledFeatures]float64
+	copy(template[numShapeFeatures:], devFeatures)
+	if ts, ok := l.selector.(treeSelector); ok {
+		cp := tree.CompileClassifier(ts.c)
+		return func(s gemm.Shape) int {
+			f := template
+			f[0], f[1], f[2] = float64(s.M), float64(s.K), float64(s.N)
+			k := cp.Predict(f[:width])
+			if k < 0 || k >= n {
+				k = 0
+			}
+			return k
+		}, true
+	}
+	cs, ok := CompileSelector(l.selector)
+	if !ok {
+		return nil, false
+	}
+	return func(s gemm.Shape) int {
+		f := template
+		f[0], f[1], f[2] = float64(s.M), float64(s.K), float64(s.N)
+		k := cs.fn(f[:width])
+		if k < 0 || k >= n {
+			k = 0
+		}
+		return k
+	}, true
+}
+
 // Selector exposes the library's runtime selector (read-only: for
 // compilation, code generation and inspection).
 func (l *Library) Selector() Selector { return l.selector }

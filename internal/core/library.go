@@ -13,9 +13,28 @@ import (
 // them. It is what a SYCL-DNN-style compute library would compile in — the
 // configurations correspond to the kernels bundled in the binary, and the
 // selector to the nested-if dispatch choosing between them.
+//
+// A library is either shape-only (the selector consumes the (M, K, N)
+// feature vector, the paper's single-device deployment) or unified (the
+// selector was trained on shape features with a device feature vector
+// appended — the follow-up paper's one-artifact-for-every-device
+// deployment). The two are distinguished by the unified marker, never by
+// guessing from the feature width, so dispatch can refuse the wrong call
+// instead of indexing a selector out of range.
 type Library struct {
 	Configs  []gemm.Config
 	selector Selector
+
+	// features is the feature width the selector consumes; shape libraries
+	// use numShapeFeatures, unified libraries numShapeFeatures plus the
+	// device feature width they were trained with.
+	features int
+	unified  bool
+
+	// devices names the devices whose datasets trained a unified library
+	// (provenance, recorded by SaveUnifiedLibrary and preserved across
+	// load/re-save). Empty on shape libraries.
+	devices []string
 }
 
 // BuildLibrary runs the full paper pipeline on a tuning dataset: split off
@@ -28,12 +47,45 @@ func BuildLibrary(ds *dataset.PerfDataset, pruner Pruner, trainer SelectorTraine
 	for i, c := range selected {
 		cfgs[i] = ds.Configs[c]
 	}
-	return &Library{Configs: cfgs, selector: sel}
+	return &Library{Configs: cfgs, selector: sel, features: selectorWidth(sel)}
 }
 
-// NewLibrary assembles a library from explicit parts (e.g. configurations
-// and a selector loaded from generated code).
+// NewLibrary assembles a shape-dispatch library from explicit parts (e.g.
+// configurations and a selector loaded from generated code). Selectors
+// recording a width beyond the shape features are refused — those are
+// unified artifacts and must be assembled with NewUnifiedLibrary, so the
+// unified marker can never be lost by reassembly.
 func NewLibrary(configs []gemm.Config, selector Selector) (*Library, error) {
+	lib, err := newLibrary(configs, selector)
+	if err != nil {
+		return nil, err
+	}
+	if lib.features > numShapeFeatures {
+		return nil, fmt.Errorf("core: selector %q expects %d features (device-augmented); use NewUnifiedLibrary",
+			selector.Name(), lib.features)
+	}
+	return lib, nil
+}
+
+// NewUnifiedLibrary assembles a device-feature-augmented library: the
+// selector must have been trained on shape features with a device feature
+// vector appended, so its recorded width exceeds the shape width. Dispatch
+// goes through UnifiedChooseIndex (shape + device features); plain
+// ChooseIndex refuses with the clamp fallback.
+func NewUnifiedLibrary(configs []gemm.Config, selector Selector) (*Library, error) {
+	lib, err := newLibrary(configs, selector)
+	if err != nil {
+		return nil, err
+	}
+	if lib.features <= numShapeFeatures {
+		return nil, fmt.Errorf("core: unified library needs a selector wider than the %d shape features, got width %d",
+			numShapeFeatures, lib.features)
+	}
+	lib.unified = true
+	return lib, nil
+}
+
+func newLibrary(configs []gemm.Config, selector Selector) (*Library, error) {
 	if len(configs) == 0 {
 		return nil, fmt.Errorf("core: library needs at least one configuration")
 	}
@@ -45,22 +97,47 @@ func NewLibrary(configs []gemm.Config, selector Selector) (*Library, error) {
 	if selector == nil {
 		return nil, fmt.Errorf("core: library needs a selector")
 	}
-	return &Library{Configs: configs, selector: selector}, nil
+	return &Library{Configs: configs, selector: selector, features: selectorWidth(selector)}, nil
 }
+
+// NumFeatures reports the feature width the library's selector consumes.
+func (l *Library) NumFeatures() int { return l.features }
+
+// Unified reports whether the library dispatches on device-augmented
+// features (UnifiedChooseIndex) rather than shape features alone.
+func (l *Library) Unified() bool { return l.unified }
+
+// TrainingDevices names the devices whose pooled datasets trained a unified
+// library, as recorded in the artifact (nil when unknown or shape-only). The
+// list is provenance, not a serving restriction: a unified selector dispatches
+// for any device whose feature vector matches its width.
+func (l *Library) TrainingDevices() []string { return l.devices }
 
 // SelectorName reports which selector the library dispatches with.
 func (l *Library) SelectorName() string { return l.selector.Name() }
 
 // WithSelector returns a library dispatching over the same configurations
 // with a different selector (e.g. one loaded via LoadSelector) — the A/B
-// mechanism of the serving daemon.
+// mechanism of the serving daemon. The dispatch kind follows the new
+// selector's width: a device-augmented selector yields a unified library.
 func (l *Library) WithSelector(sel Selector) (*Library, error) {
+	if sel != nil && selectorWidth(sel) > numShapeFeatures {
+		return NewUnifiedLibrary(l.Configs, sel)
+	}
 	return NewLibrary(l.Configs, sel)
 }
 
 // ChooseIndex returns the index into Configs of the configuration the
 // selector picks for the shape.
 func (l *Library) ChooseIndex(s gemm.Shape) int {
+	if l.unified {
+		// A unified selector fed a bare shape vector would index past the
+		// three shape features; like a wrong-size selector below, treat the
+		// misuse as a programming error and serve the first configuration
+		// rather than crash a compute call. Unified callers dispatch through
+		// UnifiedChooseIndex.
+		return 0
+	}
 	k := l.selector.Select(s.Features())
 	if k < 0 || k >= len(l.Configs) {
 		// A selector trained for a different library size is a programming
@@ -69,6 +146,42 @@ func (l *Library) ChooseIndex(s gemm.Shape) int {
 		k = 0
 	}
 	return k
+}
+
+// UnifiedChooseIndex returns the index into Configs the unified selector
+// picks for the shape on a device described by devFeatures (the
+// device.Spec.Features vector the selector was trained with, appended to the
+// shape features). Misuse — a shape-only library, or a device vector of the
+// wrong width — falls back to the first configuration, the same clamp
+// philosophy ChooseIndex applies to wrong-size selectors.
+func (l *Library) UnifiedChooseIndex(s gemm.Shape, devFeatures []float64) int {
+	if !l.unified || numShapeFeatures+len(devFeatures) != l.features {
+		return 0
+	}
+	f := make([]float64, 0, l.features)
+	f = append(f, s.Features()...)
+	f = append(f, devFeatures...)
+	k := l.selector.Select(f)
+	if k < 0 || k >= len(l.Configs) {
+		k = 0
+	}
+	return k
+}
+
+// UnifiedChooser validates a device feature vector against the unified
+// library's width once and returns the interpreted shape→index dispatch for
+// that device — the construction-time counterpart of UnifiedChooseIndex for
+// serving backends that must fail loudly instead of clamping.
+func (l *Library) UnifiedChooser(devFeatures []float64) (func(gemm.Shape) int, error) {
+	if !l.unified {
+		return nil, fmt.Errorf("core: library is not unified (selector %q, width %d)", l.selector.Name(), l.features)
+	}
+	if numShapeFeatures+len(devFeatures) != l.features {
+		return nil, fmt.Errorf("core: unified library expects %d features; %d shape + %d device features given",
+			l.features, numShapeFeatures, len(devFeatures))
+	}
+	dev := append([]float64(nil), devFeatures...)
+	return func(s gemm.Shape) int { return l.UnifiedChooseIndex(s, dev) }, nil
 }
 
 // Choose returns the configuration the library would run for the shape.

@@ -36,21 +36,32 @@ var numShapeFeatures = len(gemm.Shape{}.Features())
 // load so a library pruned for one device is never silently served for
 // another, and a selector trained on augmented features is never fed plain
 // shape vectors.
+//
+// Unified marks a device-feature-augmented artifact: the selector consumes
+// shape features with a device feature vector appended, and Features records
+// the full augmented width. The marker is authoritative — a wide width alone
+// never implies unified dispatch, and a unified artifact never loads as a
+// shape library — so the two artifact kinds are unambiguous on disk. Devices
+// lists the devices whose pooled datasets trained a unified selector
+// (provenance, not a serving restriction).
 type libraryFile struct {
 	Version  int             `json:"version"`
 	Device   string          `json:"device,omitempty"`
 	Features int             `json:"features,omitempty"`
+	Unified  bool            `json:"unified,omitempty"`
+	Devices  []string        `json:"devices,omitempty"`
 	Configs  []string        `json:"configs"`
 	Selector string          `json:"selector"`
 	Payload  json.RawMessage `json:"payload"`
 }
 
-// selectorFile is the on-disk format of a selector-only artifact. Device and
-// Features follow the libraryFile conventions.
+// selectorFile is the on-disk format of a selector-only artifact. Device,
+// Features, and Unified follow the libraryFile conventions.
 type selectorFile struct {
 	Version  int             `json:"version"`
 	Device   string          `json:"device,omitempty"`
 	Features int             `json:"features,omitempty"`
+	Unified  bool            `json:"unified,omitempty"`
 	Selector string          `json:"selector"`
 	Payload  json.RawMessage `json:"payload"`
 }
@@ -126,21 +137,55 @@ func selectorWidth(sel Selector) int {
 	return n
 }
 
-// checkArtifactHeader validates the device tag and feature width common to
-// both artifact kinds. wantDevice "" accepts any tag (and untagged files);
-// otherwise a non-empty tag must match. The feature width must be the shape
-// width: the runtime dispatch feeds selectors (M, K, N) vectors, so an
-// artifact trained on wider (e.g. device-augmented) features would index out
-// of range at predict time.
-func checkArtifactHeader(kind string, device, wantDevice string, features int) error {
-	if wantDevice != "" && device != "" && device != wantDevice {
-		return fmt.Errorf("core: %s artifact is tagged for device %q, want %q", kind, device, wantDevice)
+// checkArtifactHeader validates the device tag, feature width, and unified
+// marker common to both artifact kinds, returning the effective feature
+// width the selector payload must validate against.
+//
+// Device tags: wantDevice "" accepts any tag (and untagged files); otherwise
+// a non-empty tag must match. In strict mode — multi-device serving, where a
+// gen9-trained library silently loading into an r9nano backend is exactly the
+// bug being prevented — untagged shape artifacts are refused outright.
+// Unified artifacts are exempt from tag matching in non-strict mode (they
+// dispatch for any device by construction) but refused in strict mode, which
+// loads per-device specialists.
+//
+// Widths: 0 is the legacy untagged default and means the shape width; the
+// shape width is a plain shape artifact; anything wider requires the unified
+// marker, because a wide selector fed bare (M, K, N) vectors would index out
+// of range at predict time. A unified marker on a shape-width (or absent)
+// width is likewise malformed: the marker promises device features that the
+// recorded width does not hold.
+func checkArtifactHeader(kind string, device, wantDevice string, features int, unified, strict bool) (int, error) {
+	if strict && unified {
+		return 0, fmt.Errorf("core: %s artifact is unified; multi-device specialist serving needs per-device artifacts (serve it with a unified backend instead)", kind)
 	}
-	if features != 0 && features != numShapeFeatures {
-		return fmt.Errorf("core: %s artifact selector expects %d features; shape dispatch provides %d",
+	if strict && device == "" {
+		return 0, fmt.Errorf("core: %s artifact has no device tag; multi-device serving requires device-tagged artifacts", kind)
+	}
+	if !unified && wantDevice != "" && device != "" && device != wantDevice {
+		return 0, fmt.Errorf("core: %s artifact is tagged for device %q, want %q", kind, device, wantDevice)
+	}
+	switch {
+	case features == 0:
+		if unified {
+			return 0, fmt.Errorf("core: %s artifact is marked unified but records no feature width", kind)
+		}
+		return numShapeFeatures, nil
+	case features == numShapeFeatures:
+		if unified {
+			return 0, fmt.Errorf("core: %s artifact is marked unified but its %d-feature width carries no device features", kind, features)
+		}
+		return features, nil
+	case features > numShapeFeatures:
+		if !unified {
+			return 0, fmt.Errorf("core: %s artifact selector expects %d features; shape dispatch provides %d (device-augmented artifacts must carry the unified marker)",
+				kind, features, numShapeFeatures)
+		}
+		return features, nil
+	default:
+		return 0, fmt.Errorf("core: %s artifact selector expects %d features; shape dispatch provides %d",
 			kind, features, numShapeFeatures)
 	}
-	return nil
 }
 
 // decodeSelector inverts encodeSelector and validates the decoded model
@@ -223,9 +268,17 @@ func SaveLibrary(w io.Writer, lib *Library) error {
 }
 
 // SaveLibraryForDevice writes the library as JSON tagged with the device it
-// was tuned for, so deployment can refuse to serve it on another device.
+// was tuned for, so deployment can refuse to serve it on another device. The
+// feature width is always recorded, and a unified library keeps its unified
+// marker and training-device provenance, so re-saving a loaded artifact
+// never downgrades it to an ambiguous legacy file.
 func SaveLibraryForDevice(w io.Writer, lib *Library, deviceName string) error {
-	f := libraryFile{Version: libraryFileVersion, Device: deviceName}
+	f := libraryFile{
+		Version: libraryFileVersion,
+		Device:  deviceName,
+		Unified: lib.unified,
+		Devices: lib.devices,
+	}
 	for _, c := range lib.Configs {
 		f.Configs = append(f.Configs, c.String())
 	}
@@ -234,7 +287,7 @@ func SaveLibraryForDevice(w io.Writer, lib *Library, deviceName string) error {
 		return err
 	}
 	f.Selector = kind
-	f.Features = selectorWidth(lib.selector)
+	f.Features = lib.features
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("core: marshalling selector: %w", err)
@@ -242,6 +295,21 @@ func SaveLibraryForDevice(w io.Writer, lib *Library, deviceName string) error {
 	f.Payload = raw
 	enc := json.NewEncoder(w)
 	return enc.Encode(f)
+}
+
+// SaveUnifiedLibrary writes a unified (device-feature-augmented) library,
+// recording the devices whose pooled datasets trained it. The artifact
+// carries no single device tag — a unified selector serves any device — but
+// the unified marker and the full augmented feature width are always
+// written, so loaders can never mistake it for a shape artifact.
+func SaveUnifiedLibrary(w io.Writer, lib *Library, deviceNames []string) error {
+	if !lib.Unified() {
+		return fmt.Errorf("core: SaveUnifiedLibrary needs a unified library; selector %q has shape width %d",
+			lib.SelectorName(), lib.NumFeatures())
+	}
+	saved := *lib
+	saved.devices = append([]string(nil), deviceNames...)
+	return SaveLibraryForDevice(w, &saved, "")
 }
 
 // LoadLibrary reads a library written by SaveLibrary, accepting any device
@@ -254,6 +322,19 @@ func LoadLibrary(r io.Reader) (*Library, error) {
 // SaveLibraryForDevice and validates its device tag: a non-empty tag must
 // match wantDevice (untagged artifacts are accepted for compatibility).
 func LoadLibraryForDevice(r io.Reader, wantDevice string) (*Library, error) {
+	return loadLibrary(r, wantDevice, false)
+}
+
+// LoadLibraryForDeviceStrict is LoadLibraryForDevice for multi-device
+// serving: untagged shape artifacts are refused instead of accepted — a
+// gen9-trained library must never load silently into an r9nano backend — and
+// unified artifacts are refused because specialist backends dispatch on
+// shape features alone.
+func LoadLibraryForDeviceStrict(r io.Reader, wantDevice string) (*Library, error) {
+	return loadLibrary(r, wantDevice, true)
+}
+
+func loadLibrary(r io.Reader, wantDevice string, strict bool) (*Library, error) {
 	var f libraryFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
 		return nil, fmt.Errorf("core: decoding library: %w", err)
@@ -261,7 +342,8 @@ func LoadLibraryForDevice(r io.Reader, wantDevice string) (*Library, error) {
 	if f.Version != libraryFileVersion {
 		return nil, fmt.Errorf("core: unsupported library version %d", f.Version)
 	}
-	if err := checkArtifactHeader("library", f.Device, wantDevice, f.Features); err != nil {
+	width, err := checkArtifactHeader("library", f.Device, wantDevice, f.Features, f.Unified, strict)
+	if err != nil {
 		return nil, err
 	}
 	if len(f.Configs) == 0 {
@@ -275,9 +357,17 @@ func LoadLibraryForDevice(r io.Reader, wantDevice string) (*Library, error) {
 		}
 		configs[i] = cfg
 	}
-	sel, err := decodeSelector(f.Selector, f.Payload, numShapeFeatures)
+	sel, err := decodeSelector(f.Selector, f.Payload, width)
 	if err != nil {
 		return nil, err
+	}
+	if f.Unified {
+		lib, err := NewUnifiedLibrary(configs, sel)
+		if err != nil {
+			return nil, err
+		}
+		lib.devices = append([]string(nil), f.Devices...)
+		return lib, nil
 	}
 	return NewLibrary(configs, sel)
 }
@@ -300,11 +390,13 @@ func SaveSelectorForDevice(w io.Writer, sel Selector, deviceName string) error {
 	if err != nil {
 		return fmt.Errorf("core: marshalling selector: %w", err)
 	}
+	width := selectorWidth(sel)
 	enc := json.NewEncoder(w)
 	return enc.Encode(selectorFile{
 		Version:  libraryFileVersion,
 		Device:   deviceName,
-		Features: selectorWidth(sel),
+		Features: width,
+		Unified:  width > numShapeFeatures,
 		Selector: kind,
 		Payload:  raw,
 	})
@@ -320,6 +412,17 @@ func LoadSelector(r io.Reader) (Selector, error) {
 // LoadSelectorForDevice reads a selector artifact and validates its device
 // tag the way LoadLibraryForDevice does.
 func LoadSelectorForDevice(r io.Reader, wantDevice string) (Selector, error) {
+	return loadSelector(r, wantDevice, false)
+}
+
+// LoadSelectorForDeviceStrict is LoadSelectorForDevice with the multi-device
+// rules of LoadLibraryForDeviceStrict: untagged and unified artifacts are
+// refused.
+func LoadSelectorForDeviceStrict(r io.Reader, wantDevice string) (Selector, error) {
+	return loadSelector(r, wantDevice, true)
+}
+
+func loadSelector(r io.Reader, wantDevice string, strict bool) (Selector, error) {
 	var f selectorFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
 		return nil, fmt.Errorf("core: decoding selector: %w", err)
@@ -327,8 +430,9 @@ func LoadSelectorForDevice(r io.Reader, wantDevice string) (Selector, error) {
 	if f.Version != libraryFileVersion {
 		return nil, fmt.Errorf("core: unsupported selector version %d", f.Version)
 	}
-	if err := checkArtifactHeader("selector", f.Device, wantDevice, f.Features); err != nil {
+	width, err := checkArtifactHeader("selector", f.Device, wantDevice, f.Features, f.Unified, strict)
+	if err != nil {
 		return nil, err
 	}
-	return decodeSelector(f.Selector, f.Payload, numShapeFeatures)
+	return decodeSelector(f.Selector, f.Payload, width)
 }

@@ -63,6 +63,14 @@ func FuzzLoadLibrary(f *testing.F) {
 	}) {
 		f.Add(seed)
 	}
+	// A unified (device-feature-augmented) artifact: the mutator gets to chew
+	// on the width tag, the marker, and the devices list.
+	ulib := buildUnifiedTestLibrary(f)
+	var ubuf bytes.Buffer
+	if err := SaveUnifiedLibrary(&ubuf, ulib, []string{"a", "b", "c"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ubuf.Bytes())
 	f.Add([]byte("}{"))
 	f.Add([]byte(`{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"decision-tree","payload":{"Root":null}}`))
 	f.Add([]byte(`{"version":1,"configs":["t1x1a1_wg8x8"],"selector":"knn","payload":{"model":{"X":null,"Y":[],"K":3,"Classes":1},"name":"x"}}`))
@@ -80,6 +88,15 @@ func FuzzLoadLibrary(f *testing.F) {
 			cfg := lib.Choose(s)
 			if err := cfg.Validate(); err != nil {
 				t.Fatalf("loaded library chose invalid config %v: %v", cfg, err)
+			}
+		}
+		if lib.Unified() {
+			dev := make([]float64, lib.NumFeatures()-3)
+			for _, s := range fuzzProbes {
+				k := lib.UnifiedChooseIndex(s, dev)
+				if k < 0 || k >= len(lib.Configs) {
+					t.Fatalf("unified dispatch returned out-of-range index %d", k)
+				}
 			}
 		}
 		var buf bytes.Buffer

@@ -98,6 +98,11 @@ func (d DecisionTreeSelector) Train(train *dataset.PerfDataset, selected []int, 
 	return treeSelector{c: c}
 }
 
+// NewTreeSelector wraps an already-fitted CART classifier as a runtime
+// Selector — the constructor internal/portability uses to package its
+// unified (device-feature-augmented) classifier into a servable library.
+func NewTreeSelector(c *tree.Classifier) Selector { return treeSelector{c: c} }
+
 // Tree exposes the fitted classifier of a tree selector (for code
 // generation); it returns false if sel is not a tree selector.
 func Tree(sel Selector) (*tree.Classifier, bool) {

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/mat"
+	"kernelselect/internal/ml/tree"
+)
+
+// unifiedWidth is the augmented feature width the unified tests train at:
+// the three shape dimensions plus a synthetic four-wide device vector. The
+// persistence layer must carry any width faithfully, not just the device
+// package's real one.
+const unifiedTestWidth = 7
+
+// unifiedTestDevices are the device feature vectors the test selector trains
+// on; distinct enough that the fitted tree actually splits on them.
+var unifiedTestDevices = [][]float64{
+	{64, 4096, 512, 8192},
+	{24, 384, 45, 1024},
+	{12, 96, 13, 256},
+}
+
+// buildUnifiedTestLibrary fits a real decision tree on (shape, device)
+// rows — labels depend on both halves of the vector — and wraps it as a
+// unified library. Built by hand because the portability trainer cannot be
+// imported from inside package core.
+func buildUnifiedTestLibrary(t testing.TB) *Library {
+	t.Helper()
+	shapes := []gemm.Shape{
+		{M: 1, K: 4096, N: 1000}, {M: 3136, K: 64, N: 64}, {M: 784, K: 1152, N: 256},
+		{M: 49, K: 4608, N: 512}, {M: 12544, K: 27, N: 32}, {M: 196, K: 512, N: 512},
+	}
+	cfgs := gemm.AllConfigs()[:4]
+	var rows [][]float64
+	var labels []int
+	for d, dev := range unifiedTestDevices {
+		for _, s := range shapes {
+			rows = append(rows, append(s.Features(), dev...))
+			labels = append(labels, (d+s.M)%len(cfgs))
+		}
+	}
+	clf := tree.FitClassifier(mat.FromRows(rows), labels, len(cfgs), tree.Options{MaxDepth: 8, Seed: 7})
+	lib, err := NewUnifiedLibrary(cfgs, NewTreeSelector(clf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+// TestUnifiedLibraryRoundTrip is the artifact contract: a unified library
+// survives SaveUnifiedLibrary/LoadLibrary with its marker, width, training
+// devices, and — the part that matters — its per-device dispatch intact.
+func TestUnifiedLibraryRoundTrip(t *testing.T) {
+	lib := buildUnifiedTestLibrary(t)
+	devices := []string{"amd-r9-nano", "intel-gen9", "arm-mali-g72"}
+
+	var buf bytes.Buffer
+	if err := SaveUnifiedLibrary(&buf, lib, devices); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	for _, frag := range []string{`"unified":true`, `"features":7`, `"devices":`} {
+		if !strings.Contains(raw, frag) {
+			t.Errorf("serialized unified artifact missing %s", frag)
+		}
+	}
+
+	got, err := LoadLibrary(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Unified() || got.NumFeatures() != unifiedTestWidth {
+		t.Fatalf("reloaded: unified=%v width=%d, want true/%d", got.Unified(), got.NumFeatures(), unifiedTestWidth)
+	}
+	if len(got.TrainingDevices()) != len(devices) || got.TrainingDevices()[0] != devices[0] {
+		t.Fatalf("training devices %v, want %v", got.TrainingDevices(), devices)
+	}
+	probes := []gemm.Shape{{M: 1, K: 4096, N: 1000}, {M: 3136, K: 64, N: 64}, {M: 5, K: 5, N: 5}}
+	for _, dev := range unifiedTestDevices {
+		for _, s := range probes {
+			if a, b := got.UnifiedChooseIndex(s, dev), lib.UnifiedChooseIndex(s, dev); a != b {
+				t.Fatalf("dispatch diverged after round trip: %v on %v: %d != %d", s, dev, a, b)
+			}
+		}
+	}
+}
+
+// SaveLibrary (the untagged writer) must also preserve the unified marker —
+// the marker belongs to the library, not to the device-tagged save path.
+func TestUnifiedMarkerSurvivesPlainSave(t *testing.T) {
+	lib := buildUnifiedTestLibrary(t)
+	var buf bytes.Buffer
+	if err := SaveLibrary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Unified() || got.NumFeatures() != unifiedTestWidth {
+		t.Fatalf("plain save dropped unified metadata: unified=%v width=%d", got.Unified(), got.NumFeatures())
+	}
+}
+
+// SaveUnifiedLibrary must refuse shape-only libraries: a specialist artifact
+// with a unified marker would lie about its dispatch contract.
+func TestSaveUnifiedRejectsSpecialist(t *testing.T) {
+	cfgs := gemm.AllConfigs()[:2]
+	lib, err := NewLibrary(cfgs, StaticSelector{Index: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveUnifiedLibrary(&bytes.Buffer{}, lib, []string{"a"}); err == nil {
+		t.Fatal("shape-only library accepted by SaveUnifiedLibrary")
+	}
+}
+
+// doctor rewrites one top-level field of a saved artifact.
+func doctor(t *testing.T, raw []byte, field string, value any) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := json.Marshal(value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m[field] = enc
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestUnifiedHeaderValidation walks the width/marker lattice: the declared
+// width must match the payload, the marker must match the width, and legacy
+// untagged artifacts keep loading as shape-only.
+func TestUnifiedHeaderValidation(t *testing.T) {
+	lib := buildUnifiedTestLibrary(t)
+	var buf bytes.Buffer
+	if err := SaveUnifiedLibrary(&buf, lib, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	unified := buf.Bytes()
+
+	// Declared width disagrees with the selector payload → rejected.
+	if _, err := LoadLibrary(bytes.NewReader(doctor(t, unified, "features", 12))); err == nil {
+		t.Error("width 12 header over a width-7 payload accepted")
+	}
+	// Wide width with the marker stripped → ambiguous, rejected.
+	if _, err := LoadLibrary(bytes.NewReader(doctor(t, unified, "unified", false))); err == nil {
+		t.Error("wide artifact without the unified marker accepted")
+	}
+	// Unified marker on a shape-only width → rejected.
+	shapeOnly := BuildLibrary(testDataset(t), DecisionTree{}, DecisionTreeSelector{}, 4, 3)
+	var sbuf bytes.Buffer
+	if err := SaveLibrary(&sbuf, shapeOnly); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLibrary(bytes.NewReader(doctor(t, sbuf.Bytes(), "unified", true))); err == nil {
+		t.Error("unified marker on a width-3 artifact accepted")
+	}
+	// Legacy artifact with no width tag at all → loads as shape-only width 3.
+	legacy := doctor(t, sbuf.Bytes(), "features", 0)
+	legacy = bytes.Replace(legacy, []byte(`"features":0,`), nil, 1)
+	legacy = bytes.Replace(legacy, []byte(`,"features":0`), nil, 1)
+	got, err := LoadLibrary(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy untagged artifact rejected: %v", err)
+	}
+	if got.Unified() || got.NumFeatures() != 3 {
+		t.Fatalf("legacy artifact loaded as unified=%v width=%d, want false/3", got.Unified(), got.NumFeatures())
+	}
+}
+
+// The strict loader serves single-device specialists only: it must refuse
+// both untagged legacy artifacts and unified ones.
+func TestUnifiedStrictLoaderRefusals(t *testing.T) {
+	lib := buildUnifiedTestLibrary(t)
+	var ubuf bytes.Buffer
+	if err := SaveUnifiedLibrary(&ubuf, lib, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLibraryForDeviceStrict(bytes.NewReader(ubuf.Bytes()), "a"); err == nil {
+		t.Error("strict loader accepted a unified artifact")
+	}
+
+	shapeOnly := BuildLibrary(testDataset(t), DecisionTree{}, DecisionTreeSelector{}, 4, 3)
+	var sbuf bytes.Buffer
+	if err := SaveLibrary(&sbuf, shapeOnly); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLibraryForDeviceStrict(bytes.NewReader(sbuf.Bytes()), "dev"); err == nil {
+		t.Error("strict loader accepted an untagged artifact")
+	}
+	var tagged bytes.Buffer
+	if err := SaveLibraryForDevice(&tagged, shapeOnly, "dev"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLibraryForDeviceStrict(bytes.NewReader(tagged.Bytes()), "dev"); err != nil {
+		t.Errorf("strict loader rejected a properly tagged specialist: %v", err)
+	}
+}
+
+// TestUnifiedCompiledChooserAgreement pins the serving fast path: the
+// compiled unified chooser must agree with interpreted dispatch on every
+// (shape, device) pair, including device vectors the tree never saw.
+func TestUnifiedCompiledChooserAgreement(t *testing.T) {
+	lib := buildUnifiedTestLibrary(t)
+	probes := []gemm.Shape{
+		{M: 1, K: 4096, N: 1000}, {M: 3136, K: 64, N: 64}, {M: 784, K: 1152, N: 256},
+		{M: 5, K: 5, N: 5}, {M: 1 << 18, K: 3, N: 64},
+	}
+	heldOut := []float64{40, 2048, 256, 4096}
+	for _, dev := range append(unifiedTestDevices, heldOut) {
+		compiled, ok := lib.UnifiedCompiledChooser(dev)
+		if !ok {
+			t.Fatalf("unified tree selector did not compile for %v", dev)
+		}
+		for _, s := range probes {
+			if got, want := compiled(s), lib.UnifiedChooseIndex(s, dev); got != want {
+				t.Fatalf("compiled %d != interpreted %d on %v for %v", got, want, s, dev)
+			}
+		}
+	}
+	// Wrong device-vector width must not compile.
+	if _, ok := lib.UnifiedCompiledChooser([]float64{1, 2}); ok {
+		t.Error("compiled chooser accepted a wrong-width device vector")
+	}
+}

@@ -211,6 +211,48 @@ func (d *PerfDataset) Subset(rows []int) *PerfDataset {
 	return s
 }
 
+// Stack concatenates datasets sharing one configuration list into a single
+// dataset whose rows are every part's rows in order — the multi-device
+// training pool for transfer-aware pruning: each device contributes its own
+// rows, and each row's normalization stays relative to that device's
+// per-shape optimum (Norm is inherited, not recomputed, exactly as Subset
+// inherits it). It panics when the parts' configuration lists disagree, since
+// columns would then mean different kernels in different rows.
+func Stack(parts []*PerfDataset) *PerfDataset {
+	if len(parts) == 0 {
+		panic("dataset: Stack of zero datasets")
+	}
+	ref := parts[0].Configs
+	total := 0
+	for _, p := range parts {
+		if len(p.Configs) != len(ref) {
+			panic("dataset: Stack over differing configuration lists")
+		}
+		for j, c := range p.Configs {
+			if c != ref[j] {
+				panic("dataset: Stack over differing configuration lists")
+			}
+		}
+		total += p.NumShapes()
+	}
+	s := &PerfDataset{
+		Shapes:  make([]gemm.Shape, 0, total),
+		Configs: ref,
+		GFLOPS:  mat.NewDense(total, len(ref)),
+		Norm:    mat.NewDense(total, len(ref)),
+	}
+	row := 0
+	for _, p := range parts {
+		s.Shapes = append(s.Shapes, p.Shapes...)
+		for i := 0; i < p.NumShapes(); i++ {
+			copy(s.GFLOPS.Row(row), p.GFLOPS.Row(i))
+			copy(s.Norm.Row(row), p.Norm.Row(i))
+			row++
+		}
+	}
+	return s
+}
+
 // Split partitions the dataset rows into train and test subsets with the
 // given test fraction, shuffled deterministically by seed. It mirrors the
 // paper's random 136/34 segmentation.

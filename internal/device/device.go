@@ -134,14 +134,56 @@ func IntegratedGen9() Spec {
 	}
 }
 
-// All returns every built-in device, benchmark platform first.
+// All returns every built-in device, benchmark platform first. These are the
+// training devices: multi-device datasets and the unified selector are built
+// over exactly this list.
 func All() []Spec {
 	return []Spec{R9Nano(), IntegratedGen9(), EmbeddedMaliG72()}
 }
 
-// ByName returns the built-in device whose Spec.Name matches.
+// Synthetics returns held-out device specs that no selector trains on:
+// perturbations of the three real devices sweeping the axes the performance
+// model's regimes pivot on (CU count, LDS capacity, DRAM bandwidth). They
+// exist to measure generalization — a unified selector's score on these is
+// its score on hardware it has never seen — and are deliberately excluded
+// from All().
+func Synthetics() []Spec {
+	half := R9Nano()
+	half.Name = "synthetic-fiji-32cu"
+	half.ComputeUnits = 32
+	half.DRAMBandwidthGB = 320
+
+	hbm2 := R9Nano()
+	hbm2.Name = "synthetic-fiji-hbm2"
+	hbm2.DRAMBandwidthGB = 1024
+	hbm2.L2Bytes = 4 << 20
+	hbm2.ClockMHz = 1200
+
+	wide := IntegratedGen9()
+	wide.Name = "synthetic-gen9-lowlds"
+	wide.ComputeUnits = 48
+	wide.LDSBytesPerCU = 32 << 10
+	wide.DRAMBandwidthGB = 51
+
+	bigMali := EmbeddedMaliG72()
+	bigMali.Name = "synthetic-mali-28cu"
+	bigMali.ComputeUnits = 28
+	bigMali.DRAMBandwidthGB = 25.6
+	bigMali.LDSBytesPerCU = 64 << 10
+
+	return []Spec{half, hbm2, wide, bigMali}
+}
+
+// ByName returns the built-in device whose Spec.Name matches. Synthetic
+// held-out specs resolve too, so a unified serving daemon can route requests
+// for devices outside the training set.
 func ByName(name string) (Spec, error) {
 	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range Synthetics() {
 		if s.Name == name {
 			return s, nil
 		}
@@ -151,6 +193,21 @@ func ByName(name string) (Spec, error) {
 
 // NumFeatures is the width of the vector Features returns.
 const NumFeatures = 7
+
+// FeatureNames returns identifier-safe names for the columns of Features, in
+// the same order — the device half of the variable names generated selector
+// code uses (gemm shapes supply m, k, n).
+func FeatureNames() []string {
+	return []string{
+		"devCUs",
+		"devLanes",
+		"devGFLOPS",
+		"devBandwidthGB",
+		"devLDSBytes",
+		"devL2Bytes",
+		"devLaunchUS",
+	}
+}
 
 // Features returns the device as an ML feature vector, the cross-device
 // counterpart of gemm.Shape.Features: a selector trained on shape features

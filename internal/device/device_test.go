@@ -75,7 +75,7 @@ func TestByName(t *testing.T) {
 
 func TestFeaturesWidthAndDistinctness(t *testing.T) {
 	seen := map[string]bool{}
-	for _, s := range All() {
+	for _, s := range append(All(), Synthetics()...) {
 		f := s.Features()
 		if len(f) != NumFeatures {
 			t.Fatalf("%s: %d features, want %d", s.Name, len(f), NumFeatures)
@@ -90,5 +90,50 @@ func TestFeaturesWidthAndDistinctness(t *testing.T) {
 			t.Fatalf("%s: feature vector collides with another device", s.Name)
 		}
 		seen[key] = true
+	}
+}
+
+func TestFeatureNamesMatchWidth(t *testing.T) {
+	names := FeatureNames()
+	if len(names) != NumFeatures {
+		t.Fatalf("%d feature names for %d features", len(names), NumFeatures)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Fatalf("feature names not unique and non-empty: %v", names)
+		}
+		seen[n] = true
+	}
+}
+
+func TestSyntheticsValidateAndStayHeldOut(t *testing.T) {
+	trained := map[string]bool{}
+	for _, s := range All() {
+		trained[s.Name] = true
+	}
+	syn := Synthetics()
+	if len(syn) < 3 {
+		t.Fatalf("%d synthetic specs, want at least 3 for the held-out table", len(syn))
+	}
+	seen := map[string]bool{}
+	for _, s := range syn {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if trained[s.Name] {
+			t.Errorf("%s: synthetic spec shadows a training device", s.Name)
+		}
+		if seen[s.Name] {
+			t.Errorf("%s: duplicate synthetic name", s.Name)
+		}
+		seen[s.Name] = true
+
+		got, err := ByName(s.Name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", s.Name, err)
+		} else if got != s {
+			t.Errorf("ByName(%q) returned a different spec", s.Name)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"kernelselect/internal/device"
 	"kernelselect/internal/plot"
 	"kernelselect/internal/portability"
 )
@@ -18,11 +19,19 @@ import (
 // the seeds line up, so the transfer diagonal reproduces this Env's Table-I
 // cells when the devices match.
 func (e *Env) Portability() portability.Result {
-	return portability.Run(portability.Config{
-		Seed:         e.Cfg.Seed,
-		TestFraction: e.Cfg.TestFraction,
-		N:            8,
-		Workers:      e.Cfg.Workers,
+	return e.PortabilityEnv().Run()
+}
+
+// PortabilityEnv returns the configured transfer-study environment so
+// callers can both run the evaluation and export the unified library it
+// builds (portability.Env.BuildUnifiedLibrary) as a servable artifact.
+func (e *Env) PortabilityEnv() *portability.Env {
+	return portability.Setup(portability.Config{
+		Seed:           e.Cfg.Seed,
+		TestFraction:   e.Cfg.TestFraction,
+		N:              8,
+		Workers:        e.Cfg.Workers,
+		HeldOutDevices: device.Synthetics(),
 	})
 }
 
@@ -51,8 +60,28 @@ func RenderPortability(r portability.Result) string {
 			fmt.Fprintf(&b, "%19.2f", s)
 		}
 		fmt.Fprintln(&b)
-		fmt.Fprintf(&b, "(unified: one tree over %d shape+device features dispatching %d configs)\n",
+		if len(r.Joint) == len(r.Devices) {
+			fmt.Fprintf(&b, "%-20s", "joint-pruned")
+			for _, s := range r.Joint {
+				fmt.Fprintf(&b, "%19.2f", s)
+			}
+			fmt.Fprintln(&b)
+		}
+		fmt.Fprintf(&b, "(unified: one tree over %d shape+device features dispatching %d configs;\n",
 			r.UnifiedFeatures, r.UnifiedConfigs)
+		fmt.Fprintf(&b, " joint-pruned: the same tree over %d configs chosen once on the stacked\n", r.JointConfigs)
+		fmt.Fprintf(&b, " multi-device dataset instead of a per-device union)\n")
+	}
+	if len(r.HeldOut) > 0 {
+		fmt.Fprintf(&b, "\nHeld-out device generalization (unified selector, %% of device optimum over the union)\n")
+		fmt.Fprintf(&b, "%-24s %10s %10s %10s\n", "device", "score", "ceiling", "kind")
+		for _, h := range r.HeldOut {
+			kind := "training"
+			if h.Synthetic {
+				kind = "held-out"
+			}
+			fmt.Fprintf(&b, "%-24s %10.2f %10.2f %10s\n", h.Device, h.Score, h.Ceiling, kind)
+		}
 	}
 	fmt.Fprintf(&b, "\nTransfer summary by pruner × classifier (geomean %%; 100 = lossless)\n")
 	fmt.Fprintf(&b, "%-14s %-18s %10s %10s\n", "pruner", "classifier", "self", "cross")

@@ -50,6 +50,11 @@ type Config struct {
 	Pruners      []core.Pruner          // default core.AllPruners()
 	Trainers     []core.SelectorTrainer // default core.AllSelectorTrainers()
 	Workers      int                    // 0 = GOMAXPROCS
+
+	// HeldOutDevices are specs the unified selector is scored on but never
+	// trains on (typically device.Synthetics()). Each one is priced fresh and
+	// split with the shared seed; empty skips the held-out evaluation.
+	HeldOutDevices []device.Spec
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +137,26 @@ type Result struct {
 	Unified         []float64
 	UnifiedConfigs  int
 	UnifiedFeatures int
+
+	// Joint is the transfer-aware alternative, aligned with Devices: prune
+	// once on the stacked multi-device training pool to JointConfigs (== N)
+	// configurations and train the unified tree on that joint set — the test
+	// of whether N configs chosen jointly match the much larger union.
+	Joint        []float64
+	JointConfigs int
+
+	// HeldOut is the generalization table: the union-dispatching unified
+	// selector scored on every device's test split, training devices first,
+	// then the held-out synthetic specs it never saw.
+	HeldOut []HeldOutScore
+}
+
+// HeldOutScore is one row of the held-out generalization table.
+type HeldOutScore struct {
+	Device    string
+	Synthetic bool    // true when the device was not in the training set
+	Score     float64 // unified selector, % of the device's own optimum
+	Ceiling   float64 // best achievable within the union set, same metric
 }
 
 // Headline returns the transfer matrix of the paper's recommended
@@ -251,7 +276,92 @@ func (e *Env) Run() Result {
 	for b := 0; b < nd; b++ {
 		res.Unified[b] = e.scoreUnified(clf, union, b)
 	}
+
+	// Stage 4 — transfer-aware joint pruning: prune once on the stacked
+	// multi-device training pool with the headline pruner and train the
+	// unified tree on that joint set.
+	joint := cfg.Pruners[hp].Prune(dataset.Stack(e.Train), cfg.N, cfg.Seed)
+	jclf := e.trainUnified(joint)
+	res.JointConfigs = len(joint)
+	res.Joint = make([]float64, nd)
+	for b := 0; b < nd; b++ {
+		res.Joint[b] = e.scoreUnified(jclf, joint, b)
+	}
+
+	// Stage 5 — held-out generalization: the union-dispatching selector on
+	// every training device's test split plus freshly priced synthetic specs.
+	if len(cfg.HeldOutDevices) > 0 {
+		res.HeldOut = e.heldOut(clf, union)
+	}
 	return res
+}
+
+// heldOut builds the generalization table for the trained unified selector:
+// training devices are scored on their existing test splits; each held-out
+// spec is priced over the same shape and configuration universe, split with
+// the shared seed, and scored on its test rows — the score on hardware the
+// selector has never seen.
+func (e *Env) heldOut(clf *tree.Classifier, union []int) []HeldOutScore {
+	cfg := e.Cfg
+	out := make([]HeldOutScore, 0, len(cfg.Devices)+len(cfg.HeldOutDevices))
+	for b, d := range cfg.Devices {
+		out = append(out, HeldOutScore{
+			Device:  d.Name,
+			Score:   e.scoreUnified(clf, union, b),
+			Ceiling: core.AchievableScore(e.Test[b], union),
+		})
+	}
+	shapes, configs := e.Data[0].Shapes, e.Data[0].Configs
+	for _, d := range cfg.HeldOutDevices {
+		ds := dataset.BuildParallel(sim.New(d), shapes, configs, cfg.Workers)
+		_, test := ds.Split(cfg.Seed, cfg.TestFraction)
+		out = append(out, HeldOutScore{
+			Device:    d.Name,
+			Synthetic: true,
+			Score:     scoreUnifiedOn(clf, union, test, d),
+			Ceiling:   core.AchievableScore(test, union),
+		})
+	}
+	return out
+}
+
+// BuildUnifiedLibrary packages the unified selector as the deployable
+// artifact the follow-up paper promises: the headline (decision-tree) pruner
+// runs per device, the union of those selections becomes the library's
+// kernel set, and the pooled device-feature-augmented tree becomes its
+// selector. The result reports Unified()==true and persists through
+// core.SaveUnifiedLibrary; its dispatch agrees exactly with the in-memory
+// classifier Run scores, because both are trained from the same scalar seed
+// on the same splits.
+func (e *Env) BuildUnifiedLibrary() (*core.Library, error) {
+	cfg := e.Cfg
+	pr := cfg.Pruners[0]
+	for _, p := range cfg.Pruners {
+		if p.Name() == "decision-tree" {
+			pr = p
+			break
+		}
+	}
+	sels := par.Map(cfg.Workers, len(cfg.Devices), func(d int) []int {
+		return pr.Prune(e.Train[d], cfg.N, cfg.Seed)
+	})
+	union := unionSelections(sels)
+	clf := e.trainUnified(union)
+	cfgs := make([]gemm.Config, len(union))
+	for i, c := range union {
+		cfgs[i] = e.Data[0].Configs[c]
+	}
+	return core.NewUnifiedLibrary(cfgs, core.NewTreeSelector(clf))
+}
+
+// DeviceNames returns the configured device names in order — the provenance
+// list SaveUnifiedLibrary records alongside a built unified artifact.
+func (e *Env) DeviceNames() []string {
+	names := make([]string, len(e.Cfg.Devices))
+	for i, d := range e.Cfg.Devices {
+		names[i] = d.Name
+	}
+	return names
 }
 
 // unionSelections merges per-device selections into one sorted,
@@ -310,10 +420,15 @@ func (e *Env) trainUnified(union []int) *tree.Classifier {
 // geometric mean over test shapes of the normalized performance of the union
 // configuration it picks, as % of device d's optimum.
 func (e *Env) scoreUnified(clf *tree.Classifier, union []int, d int) float64 {
-	ts := e.Test[d]
+	return scoreUnifiedOn(clf, union, e.Test[d], e.Cfg.Devices[d])
+}
+
+// scoreUnifiedOn is scoreUnified against an explicit dataset and device spec
+// (the held-out path scores devices outside the environment).
+func scoreUnifiedOn(clf *tree.Classifier, union []int, ts *dataset.PerfDataset, d device.Spec) float64 {
 	scores := make([]float64, ts.NumShapes())
 	for i := range scores {
-		k := clf.Predict(unifiedFeatures(ts.Shapes[i], e.Cfg.Devices[d]))
+		k := clf.Predict(unifiedFeatures(ts.Shapes[i], d))
 		if k < 0 || k >= len(union) {
 			panic(fmt.Sprintf("portability: unified selector returned %d for %d configurations", k, len(union)))
 		}

@@ -1,12 +1,14 @@
 package portability_test
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
 	"kernelselect/internal/core"
 	"kernelselect/internal/device"
 	"kernelselect/internal/experiments"
+	"kernelselect/internal/ml/metrics"
 	"kernelselect/internal/portability"
 )
 
@@ -83,6 +85,96 @@ func TestUnifiedSelectorShape(t *testing.T) {
 	for i, s := range res.Unified {
 		if s <= 0 || s > 100 {
 			t.Errorf("unified score on %s = %v, want in (0, 100]", res.Devices[i], s)
+		}
+	}
+}
+
+// The unified artifact must round-trip through persistence and reproduce the
+// in-memory evaluation exactly: the persisted library's per-device dispatch,
+// scored on each device's test split, lands on the same numbers Run reports.
+// The held-out table and the transfer-aware joint pruning ride on the same
+// environment.
+func TestUnifiedArtifactMatchesInMemory(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.HeldOutDevices = device.Synthetics()[:2]
+	env := portability.Setup(cfg)
+	res := env.Run()
+
+	// Transfer-aware joint pruning: exactly N configs, sane scores.
+	if res.JointConfigs != 8 {
+		t.Fatalf("joint pruning selected %d configs, want 8", res.JointConfigs)
+	}
+	for i, s := range res.Joint {
+		if s <= 0 || s > 100 {
+			t.Errorf("joint score on %s = %v, want in (0, 100]", res.Devices[i], s)
+		}
+	}
+
+	// Held-out table: training devices first (scores equal to Unified), then
+	// the synthetic specs, each no better than its union ceiling.
+	if want := len(device.All()) + 2; len(res.HeldOut) != want {
+		t.Fatalf("held-out table has %d rows, want %d", len(res.HeldOut), want)
+	}
+	for i, h := range res.HeldOut {
+		if h.Score <= 0 || h.Score > h.Ceiling+1e-9 {
+			t.Errorf("%s: held-out score %v outside (0, ceiling %v]", h.Device, h.Score, h.Ceiling)
+		}
+		if i < len(device.All()) {
+			if h.Synthetic {
+				t.Errorf("%s: training device marked synthetic", h.Device)
+			}
+			if h.Score != res.Unified[i] {
+				t.Errorf("%s: held-out score %v != unified score %v", h.Device, h.Score, res.Unified[i])
+			}
+		} else if !h.Synthetic {
+			t.Errorf("%s: held-out spec not marked synthetic", h.Device)
+		}
+	}
+
+	// Build, persist, reload.
+	lib, err := env.BuildUnifiedLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lib.Unified() {
+		t.Fatal("built unified library not marked unified")
+	}
+	if got, want := lib.NumFeatures(), 3+device.NumFeatures; got != want {
+		t.Fatalf("unified library width = %d, want %d", got, want)
+	}
+	if len(lib.Configs) != res.UnifiedConfigs {
+		t.Fatalf("unified library has %d configs, Run reported %d", len(lib.Configs), res.UnifiedConfigs)
+	}
+	var buf bytes.Buffer
+	if err := core.SaveUnifiedLibrary(&buf, lib, env.DeviceNames()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadLibrary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Unified() {
+		t.Fatal("reloaded unified library lost its unified marker")
+	}
+	if !reflect.DeepEqual(loaded.TrainingDevices(), env.DeviceNames()) {
+		t.Fatalf("training devices = %v, want %v", loaded.TrainingDevices(), env.DeviceNames())
+	}
+
+	// The reloaded artifact's dispatch reproduces Run's unified scores to the
+	// last bit on every training device.
+	for b, spec := range env.Cfg.Devices {
+		ts := env.Test[b]
+		col := map[string]int{}
+		for j, c := range ts.Configs {
+			col[c.String()] = j
+		}
+		scores := make([]float64, ts.NumShapes())
+		for i := range scores {
+			k := loaded.UnifiedChooseIndex(ts.Shapes[i], spec.Features())
+			scores[i] = ts.Norm.At(i, col[loaded.Configs[k].String()])
+		}
+		if got := 100 * metrics.GeoMean(scores); got != res.Unified[b] {
+			t.Errorf("%s: persisted artifact scores %v, in-memory run %v", spec.Name, got, res.Unified[b])
 		}
 	}
 }

@@ -125,7 +125,11 @@ func (s *Server) newGeneration(device string, lib *core.Library, model *sim.Mode
 		n := len(s.regretUniverse)
 		g.uniPool.New = func() any { r := make([]float64, n); return &r }
 	}
-	g.choose, g.compiled = compileChooser(lib, s.fallbackShapes)
+	if lib.Unified() {
+		g.choose, g.compiled = compileUnifiedChooser(lib, model, s.fallbackShapes)
+	} else {
+		g.choose, g.compiled = compileChooser(lib, s.fallbackShapes)
+	}
 	g.configsJSON = renderConfigs(g)
 	g.infoLine = fmt.Sprintf("selectd_info{selector=%q,device=%q} 1\n", lib.SelectorName(), device)
 	return g
@@ -148,6 +152,32 @@ func compileChooser(lib *core.Library, verify []gemm.Shape) (func(gemm.Shape) in
 		}
 	}
 	return choose, true
+}
+
+// compileUnifiedChooser is compileChooser for a unified (device-feature-
+// augmented) library: the backend's device feature vector is appended to
+// every shape at dispatch, so one artifact answers every device. The
+// compiled form (device features baked into stack scratch) is used only
+// after it agrees with the interpreted unified chooser on every verification
+// shape. A width mismatch is unreachable here — NewMulti and Reload validate
+// the pairing before building a generation — but degrades to the same
+// first-configuration clamp the core library applies to misuse.
+func compileUnifiedChooser(lib *core.Library, model *sim.Model, verify []gemm.Shape) (func(gemm.Shape) int, bool) {
+	dev := model.Dev.Features()
+	interp, err := lib.UnifiedChooser(dev)
+	if err != nil {
+		return func(gemm.Shape) int { return 0 }, false
+	}
+	compiled, ok := lib.UnifiedCompiledChooser(dev)
+	if !ok {
+		return interp, false
+	}
+	for _, sh := range verify {
+		if compiled(sh) != interp(sh) {
+			return interp, false
+		}
+	}
+	return compiled, true
 }
 
 // renderConfigs renders the generation's /v1/configs body, newline-terminated
@@ -314,6 +344,26 @@ func (s *Server) Reload(device string, lib *core.Library, model *sim.Model) (uin
 	cur := be.gen.Load()
 	if model == nil {
 		model = cur.model
+	}
+	// A backend's dispatch kind is fixed at construction: swapping a unified
+	// backend onto a shape-only library (or the reverse) would silently change
+	// what the selector consumes. This is exactly what a shadow retrain would
+	// do if its shape-trained candidate reached a unified backend — the error
+	// surfaces in the RetrainEvent instead of being served.
+	if lib.Unified() != cur.lib.Unified() {
+		kind := func(u bool) string {
+			if u {
+				return "unified"
+			}
+			return "shape-only"
+		}
+		return 0, fmt.Errorf("serve: reload for %q: new library is %s but the backend serves a %s library",
+			be.name, kind(lib.Unified()), kind(cur.lib.Unified()))
+	}
+	if lib.Unified() {
+		if _, err := lib.UnifiedChooser(model.Dev.Features()); err != nil {
+			return 0, fmt.Errorf("serve: reload for %q: %v", be.name, err)
+		}
 	}
 	pricer := be.custom
 	if pricer == nil {

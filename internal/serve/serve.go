@@ -290,6 +290,13 @@ func NewMulti(backends []Backend, opts Options) (*Server, error) {
 		if b.Model == nil {
 			return nil, fmt.Errorf("serve: backend %q has a nil device model", b.Device)
 		}
+		if b.Lib.Unified() {
+			// The backend's device feature vector must complete the unified
+			// selector's width, or every dispatch would clamp to config 0.
+			if _, err := b.Lib.UnifiedChooser(b.Model.Dev.Features()); err != nil {
+				return nil, fmt.Errorf("serve: backend %q: %v", b.Device, err)
+			}
+		}
 		if _, dup := s.byName[b.Device]; dup {
 			return nil, fmt.Errorf("serve: duplicate device %q", b.Device)
 		}
@@ -329,6 +336,33 @@ func NewMulti(backends []Backend, opts Options) (*Server, error) {
 		go s.maintainLoop(opts.MaintainInterval)
 	}
 	return s, nil
+}
+
+// NewUnified builds a server where every device backend dispatches through
+// one unified (device-feature-augmented) library — the follow-up paper's
+// "one artifact for every device" deployment. Each model contributes a
+// backend named after its device; at dispatch the backend appends its
+// device's feature vector to the request shape, so per-device answers come
+// from the single shared selector while caches, budgets and metrics stay
+// per-device as in NewMulti.
+func NewUnified(lib *core.Library, models []*sim.Model, opts Options) (*Server, error) {
+	if lib == nil {
+		return nil, errors.New("serve: nil library")
+	}
+	if !lib.Unified() {
+		return nil, fmt.Errorf("serve: NewUnified needs a unified library; %q dispatches on shape features only", lib.SelectorName())
+	}
+	if len(models) == 0 {
+		return nil, errors.New("serve: no device models")
+	}
+	backends := make([]Backend, len(models))
+	for i, m := range models {
+		if m == nil {
+			return nil, fmt.Errorf("serve: device model %d is nil", i)
+		}
+		backends[i] = Backend{Device: m.Dev.Name, Lib: lib, Model: m}
+	}
+	return NewMulti(backends, opts)
 }
 
 // Close stops the server's background closed-loop goroutines (the regret

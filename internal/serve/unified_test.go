@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/portability"
+	"kernelselect/internal/sim"
+)
+
+// unifiedTestServer builds the deployable unified artifact exactly the way
+// the portability study does and serves all three real devices from it.
+func unifiedTestServer(t testing.TB, opts Options) (*Server, *core.Library, []device.Spec) {
+	t.Helper()
+	env := portability.Setup(portability.Config{
+		Seed:    42,
+		N:       8,
+		Pruners: []core.Pruner{core.DecisionTree{}},
+		Trainers: []core.SelectorTrainer{
+			core.DecisionTreeSelector{},
+		},
+		Workers: 4,
+	})
+	lib, err := env.BuildUnifiedLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := device.All()
+	models := make([]*sim.Model, len(specs))
+	for i, spec := range specs {
+		models[i] = sim.New(spec)
+	}
+	srv, err := NewUnified(lib, models, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, lib, specs
+}
+
+func unifiedHTTPServer(t testing.TB, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// The acceptance bar for the unified artifact: every device's HTTP answer
+// must agree exactly with the in-memory portability selector dispatched on
+// that device's feature vector.
+func TestUnifiedServingAgreesWithInMemorySelector(t *testing.T) {
+	srv, lib, specs := unifiedTestServer(t, Options{})
+	ts := unifiedHTTPServer(t, srv)
+
+	shapes := []gemm.Shape{
+		{M: 1, K: 4096, N: 1000}, {M: 3136, K: 64, N: 64}, {M: 784, K: 1152, N: 256},
+		{M: 49, K: 4608, N: 512}, {M: 12544, K: 27, N: 32}, {M: 196, K: 512, N: 512},
+		{M: 64, K: 25088, N: 4096}, {M: 100352, K: 3, N: 64},
+	}
+	for _, spec := range specs {
+		for _, s := range shapes {
+			d := decodeResp[Decision](t, postJSON(t, ts.URL+"/v1/select",
+				shapeRequest{M: s.M, K: s.K, N: s.N, Device: spec.Name}))
+			if d.Device != spec.Name {
+				t.Fatalf("decision for %q stamped %q", spec.Name, d.Device)
+			}
+			k := lib.UnifiedChooseIndex(s, spec.Features())
+			if want := lib.Configs[k].String(); d.Config != want {
+				t.Errorf("%s %v: served %s, in-memory selector %s", spec.Name, s, d.Config, want)
+			}
+		}
+	}
+}
+
+// Per-device decision caches stay partitioned even though every backend
+// shares one selector: a shape warmed on one device must not satisfy another
+// device's first request, and the per-device metric series stay separate.
+func TestUnifiedPerDeviceCacheKeying(t *testing.T) {
+	srv, _, specs := unifiedTestServer(t, Options{})
+	ts := unifiedHTTPServer(t, srv)
+	req := shapeRequest{M: 784, K: 1152, N: 256}
+
+	first := req
+	first.Device = specs[0].Name
+	decodeResp[Decision](t, postJSON(t, ts.URL+"/v1/select", first))
+	if d := decodeResp[Decision](t, postJSON(t, ts.URL+"/v1/select", first)); !d.Cached {
+		t.Fatal("repeat request missed its own device's cache")
+	}
+	second := req
+	second.Device = specs[1].Name
+	if d := decodeResp[Decision](t, postJSON(t, ts.URL+"/v1/select", second)); d.Cached {
+		t.Fatal("first request on another device hit a foreign cache entry")
+	}
+
+	page := metricsPage(t, ts)
+	if got := metricValue(t, page, `selectd_cache_hits_total{device="`+specs[0].Name+`"}`); got != 1 {
+		t.Errorf("%s cache hits %v, want 1", specs[0].Name, got)
+	}
+	if got := metricValue(t, page, `selectd_cache_hits_total{device="`+specs[1].Name+`"}`); got != 0 {
+		t.Errorf("%s cache hits %v, want 0", specs[1].Name, got)
+	}
+	if !strings.Contains(page, `selectd_cache_entries{device="`+specs[1].Name+`"}`) {
+		t.Errorf("metrics page missing per-device cache series for %s", specs[1].Name)
+	}
+}
+
+// NewUnified must refuse a shape-only library, and Reload must refuse to
+// swap a unified backend onto a specialist library (and vice versa): the two
+// dispatch kinds are not interchangeable.
+func TestUnifiedKindMismatchesRejected(t *testing.T) {
+	srv, _, specs := unifiedTestServer(t, Options{})
+
+	model := sim.New(specs[0])
+	shapes := []gemm.Shape{{M: 8, K: 8, N: 8}, {M: 64, K: 64, N: 64}, {M: 256, K: 256, N: 256}}
+	ds := dataset.Build(model, shapes, gemm.AllConfigs()[:40])
+	shapeOnly := core.BuildLibrary(ds, core.TopN{}, core.DecisionTreeSelector{}, 4, 42)
+
+	if _, err := NewUnified(shapeOnly, []*sim.Model{model}, Options{}); err == nil {
+		t.Error("NewUnified accepted a shape-only library")
+	}
+	if _, err := srv.Reload(specs[0].Name, shapeOnly, nil); err == nil {
+		t.Error("unified backend reloaded onto a shape-only library")
+	}
+}
+
+// A unified reload with a fresh copy of the artifact must succeed and keep
+// serving the same answers.
+func TestUnifiedReloadRoundTrip(t *testing.T) {
+	srv, lib, specs := unifiedTestServer(t, Options{})
+	shape := gemm.Shape{M: 3136, K: 64, N: 64}
+	before := srv.byName[specs[0].Name].gen.Load().choose(shape)
+
+	id, err := srv.Reload(specs[0].Name, lib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id < 2 {
+		t.Fatalf("reload generation %d, want >= 2", id)
+	}
+	if after := srv.byName[specs[0].Name].gen.Load().choose(shape); after != before {
+		t.Errorf("reload changed the decision: %d -> %d", before, after)
+	}
+}

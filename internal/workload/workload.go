@@ -426,3 +426,18 @@ func TrainingDatasetShapes() (shapes []gemm.Shape, perNetwork map[string]int) {
 	sortShapes(shapes)
 	return shapes, perNetwork
 }
+
+// TransformerMix returns a transformer-style shape mix (attention and MLP
+// projections at BERT/GPT-like widths, plus an LM-head matmul) disjoint from
+// DatasetShapes, which covers only convolutional networks. Serving tools
+// replay it as distribution-shifted traffic: a library trained on the
+// dataset mix sees these shapes as drift, which exercises the closed-loop
+// drift scoring and shadow-retrain paths under realistic load rather than a
+// synthetic test.
+func TransformerMix() []gemm.Shape {
+	return []gemm.Shape{
+		{M: 128, K: 768, N: 768}, {M: 128, K: 768, N: 3072}, {M: 128, K: 3072, N: 768},
+		{M: 512, K: 1024, N: 1024}, {M: 512, K: 1024, N: 4096}, {M: 512, K: 4096, N: 1024},
+		{M: 256, K: 2048, N: 2048}, {M: 64, K: 512, N: 50257},
+	}
+}

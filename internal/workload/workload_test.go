@@ -260,3 +260,26 @@ func TestTrainingDatasetShapes(t *testing.T) {
 		}
 	}
 }
+
+// The transformer mix exists to be drift: every shape must be positive and
+// none may collide with the dataset mix, or replaying it would not shift the
+// served distribution.
+func TestTransformerMixDisjointFromDataset(t *testing.T) {
+	mix := TransformerMix()
+	if len(mix) < 8 {
+		t.Fatalf("transformer mix has %d shapes, want >= 8", len(mix))
+	}
+	dataset, _ := DatasetShapes()
+	inDataset := map[gemm.Shape]bool{}
+	for _, s := range dataset {
+		inDataset[s] = true
+	}
+	for _, s := range mix {
+		if s.M <= 0 || s.K <= 0 || s.N <= 0 {
+			t.Errorf("transformer shape %v has a non-positive dimension", s)
+		}
+		if inDataset[s] {
+			t.Errorf("transformer shape %v also appears in the dataset mix", s)
+		}
+	}
+}
