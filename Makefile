@@ -15,7 +15,7 @@ COVER_FLOOR ?= 70
 # Seeds for the chaos sweep (`make chaos`); each seed is one fault schedule.
 CHAOS_SEEDS ?= 12
 
-.PHONY: build test race race-serve race-retrain race-unified vet bench bench-price bench-serve bench-serve-check saturation fuzz fuzz-smoke cover chaos check
+.PHONY: build test race race-serve race-retrain race-unified race-cluster vet bench bench-price bench-serve bench-serve-check saturation scaleout fuzz fuzz-smoke cover chaos chaos-cluster check
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,12 @@ race-retrain:
 # plus the portability-side artifact/agreement tests.
 race-unified:
 	$(GO) test -race -run 'TestUnified' ./internal/serve ./internal/portability
+
+# Targeted race pass over the sharded-cluster layer: the consistent-hash
+# router (retry/hedge/fallback paths), gossip merging, peer warming, and the
+# transport-severing outage switch it leans on.
+race-cluster:
+	$(GO) test -race ./internal/cluster ./internal/faultinject
 
 vet:
 	$(GO) vet ./...
@@ -105,6 +111,8 @@ bench-serve-check:
 		-workers 64 -knee-qps 0.9 -require-knee 7000
 	$(GO) run ./cmd/selectload -inprocess -warm -qps 300 -duration 3s -workers 32 \
 		-regret-sample 1 -max-regret 0.05
+	$(GO) run ./cmd/selectload -scaleout -scaleout-replicas 3 -scaleout-duration 2s \
+		-scaleout-kill 0 -scaleout-gate 2.5 -p99-slack 50ms
 
 # Saturation sweep (Figure 6): ramp the offered rate on the warmed stress
 # server (-stress: tight admission budget, measured 2ms pricing; -warm:
@@ -120,6 +128,16 @@ saturation:
 		-cold-ramp-start 100 -cold-ramp-step 200 -cold-ramp-max 2000 \
 		-json figures/fig6-saturation.json -fig figures/fig6-saturation.svg
 
+# Scale-out sweep (Figure 7): strong scaling of a sharded selectd fleet
+# behind the consistent-hash router — replica counts 1..3 at a fixed offered
+# rate, then a timeline run at the full fleet with a seed-chosen replica
+# killed mid-run and restored. The run itself enforces the availability
+# contract (zero non-degraded 5xx, fleet reconverges to an all-up /v1/cluster
+# view) and fails if either breaks.
+scaleout:
+	$(GO) run ./cmd/selectload -scaleout -scaleout-replicas 3 -scaleout-duration 3s \
+		-scaleout-kill 6s -json figures/fig7-scaleout.json -fig figures/fig7-scaleout.svg
+
 # Chaos sweep: the fault-injection suite (seed-driven latency spikes, pricing
 # errors, client cancellations, reload races) across $(CHAOS_SEEDS) seeds
 # under the race detector, plus the retraining chaos test (reload storm and
@@ -128,6 +146,15 @@ saturation:
 # CHAOS_BASE=<seed> CHAOS_SEEDS=1.
 chaos:
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run '^TestChaos(Retrain)?$$' ./internal/serve
+
+# Cluster chaos sweep: a 3-replica fleet behind the router with seed-derived
+# pricing faults and client cancellations while the seed-chosen victim is
+# transport-killed mid-load, restored, and rolled onto a new generation with
+# peer warming. Audits the no-5xx contract, generation consistency, and
+# fleet reconvergence per seed; reproduce one with CHAOS_BASE=<seed>
+# CHAOS_SEEDS=1.
+chaos-cluster:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run '^TestChaosCluster$$' ./internal/cluster
 
 # Fuzz the artifact decoders (persisted libraries and selectors are the only
 # untrusted inputs in the system). Go allows one -fuzz pattern per
@@ -149,4 +176,4 @@ cover:
 		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; \
 	fi
 
-check: build vet test race-serve race-retrain race-unified chaos bench-price bench-serve-check race fuzz-smoke cover
+check: build vet test race-serve race-retrain race-unified race-cluster chaos chaos-cluster bench-price bench-serve-check race fuzz-smoke cover

@@ -169,6 +169,12 @@ func main() {
 	coldStep := flag.Int("cold-ramp-step", 200, "cold-start sweep's offered QPS increment")
 	coldMax := flag.Int("cold-ramp-max", 0, "cold-start sweep's QPS ceiling; 0 skips the cold-start sweep")
 	requireKnee := flag.Int("require-knee", 0, "fail unless the steady-state knee is at or above this QPS (0 = no gate)")
+	scaleout := flag.Bool("scaleout", false, "strong-scaling sweep of an in-process sharded fleet behind the cluster router (uses -fig/-json for fig7 outputs)")
+	scaleReplicas := flag.Int("scaleout-replicas", 3, "full fleet size for the -scaleout sweep (each count 1..N is measured)")
+	scaleQPS := flag.Int("scaleout-qps", 450, "total offered QPS at every replica count of the -scaleout sweep")
+	scaleDuration := flag.Duration("scaleout-duration", 3*time.Second, "measurement window per replica count")
+	scaleKill := flag.Duration("scaleout-kill", 6*time.Second, "length of the replica-kill timeline run at the full fleet (0 skips it)")
+	scaleGate := flag.Float64("scaleout-gate", 0, "fail unless the full fleet's full-service QPS is at least this multiple of one replica's (0 = no gate)")
 	flag.Parse()
 
 	cfg := config{
@@ -184,6 +190,33 @@ func main() {
 		if d = strings.TrimSpace(d); d != "" {
 			cfg.devices = append(cfg.devices, d)
 		}
+	}
+
+	if *scaleout {
+		// The sweep builds its own in-process fleets; -url, -inprocess, and the
+		// ramp flags do not apply.
+		workers := cfg.workers
+		if workers < 96 {
+			// Full-service requests cost ~64ms of modeled pricing each, so the
+			// open-loop driver needs rate x latency in-flight slots with slack;
+			// fewer and the client, not the fleet, caps the measured scaling.
+			workers = 96
+		}
+		err := runScaleout(scaleoutConfig{
+			replicas:  *scaleReplicas,
+			qps:       *scaleQPS,
+			duration:  *scaleDuration,
+			killRun:   *scaleKill,
+			gate:      *scaleGate,
+			tolerance: *tolerance,
+			p99Slack:  *p99Slack,
+			seed:      cfg.seed,
+			workers:   workers,
+		}, *jsonPath, *fig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *warm && !*inprocess {
@@ -481,7 +514,7 @@ func run(cfg config) (report, error) {
 		Cached   bool `json:"cached"`
 		Degraded bool `json:"degraded"`
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
+	client := &http.Client{Timeout: 30 * time.Second, Transport: loadTransport(cfg.workers)}
 	// The jobs channel holds the whole schedule: dispatch can never block on
 	// a slow server (the open-loop property). Workers enforce each job's
 	// absolute deadline themselves and record any lateness as queue delay.
@@ -611,6 +644,17 @@ func run(cfg config) (report, error) {
 		})
 	}
 	return rep, nil
+}
+
+// loadTransport sizes the generator's idle connection pool to the worker
+// count: the stock two idle connections per host would re-dial for nearly
+// every request once workers climb into the hundreds, and the churn would be
+// billed to the server as latency.
+func loadTransport(workers int) *http.Transport {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = workers * 2
+	tr.MaxIdleConnsPerHost = workers
+	return tr
 }
 
 // attributeLimiter names what capped the run when the achieved rate fell

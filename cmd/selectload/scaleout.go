@@ -1,0 +1,535 @@
+package main
+
+// Scale-out sweep (-scaleout): strong scaling of a sharded selectd fleet
+// behind the consistent-hash router. For each replica count n = 1..N a fresh
+// in-process fleet is built — n stress-mode replicas (modeled on-device
+// pricing cost, tight admission budget, no decision cache, so capacity is
+// pricing-bound and scaling is honest) behind an internal/cluster router —
+// and the same open-loop shape stream is offered at a fixed total rate. The
+// full-service rate (achieved minus degraded and shed) is what sharding
+// buys: a single replica saturates its admission budget and degrades the
+// overflow, while the fleet spreads shards and keeps answers full quality.
+//
+// A final timeline run at the full fleet kills one replica (seed-chosen) at
+// one third of the run and restores it at two thirds, bucketing outcomes
+// over time: the figure shows full-service throughput dipping while the
+// victim's shard fails over and recovering after restore, with zero
+// non-degraded 5xx throughout — the router's availability contract under a
+// real mid-run crash.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"kernelselect/internal/cluster"
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/faultinject"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/plot"
+	"kernelselect/internal/serve"
+	"kernelselect/internal/sim"
+	"kernelselect/internal/workload"
+)
+
+type scaleoutConfig struct {
+	replicas  int           // full fleet size (the sweep runs 1..replicas)
+	qps       int           // total offered rate at every replica count
+	duration  time.Duration // per-point measurement window
+	killRun   time.Duration // timeline run length at the full fleet (0 skips)
+	gate      float64       // full-fleet/single-replica full-service ratio floor (0 = no gate)
+	tolerance float64       // relative p99 ceiling for the gate
+	p99Slack  time.Duration // absolute p99 grace for the gate
+	seed      uint64
+	workers   int
+}
+
+type scalePoint struct {
+	Replicas       int     `json:"replicas"`
+	OfferedQPS     int     `json:"offered_qps"`
+	AchievedQPS    float64 `json:"achieved_qps"`
+	FullServiceQPS float64 `json:"full_service_qps"`
+	P99Micros      int64   `json:"p99_us"`
+	DegradedRate   float64 `json:"degraded_rate"`
+	ShedRate       float64 `json:"shed_rate"`
+	Errors         int     `json:"errors"`
+}
+
+type killBucket struct {
+	TSeconds       float64 `json:"t_s"`
+	AchievedQPS    float64 `json:"achieved_qps"`
+	FullServiceQPS float64 `json:"full_service_qps"`
+	DegradedRate   float64 `json:"degraded_rate"`
+}
+
+type killReport struct {
+	Replicas      int          `json:"replicas"`
+	Victim        string       `json:"victim"`
+	KillAtS       float64      `json:"kill_at_s"`
+	RestoreAtS    float64      `json:"restore_at_s"`
+	Buckets       []killBucket `json:"buckets"`
+	BadStatuses   int          `json:"bad_statuses"` // anything other than 200/429
+	TransportErrs int          `json:"transport_errors"`
+	Reconverged   bool         `json:"reconverged"` // /v1/cluster all-up after the run
+}
+
+type scaleoutReport struct {
+	OfferedQPS   int          `json:"offered_qps"`
+	StepDuration string       `json:"step_duration"`
+	Seed         uint64       `json:"seed"`
+	Points       []scalePoint `json:"points"`
+	Kill         *killReport  `json:"kill,omitempty"`
+}
+
+// scaleFleet is one in-process fleet: n outage-wrapped stress replicas behind
+// a probing router with a cheap analytical local fallback engine.
+type scaleFleet struct {
+	router  *cluster.Router
+	rts     *httptest.Server
+	reps    []*httptest.Server
+	srvs    []*serve.Server
+	outages []*faultinject.Outage
+	local   *serve.Server
+}
+
+func (f *scaleFleet) Close() {
+	f.rts.Close()
+	f.router.Close()
+	for _, ts := range f.reps {
+		ts.Close()
+	}
+	for _, srv := range f.srvs {
+		srv.Close()
+	}
+	f.local.Close()
+}
+
+// buildScaleFleet trains n identical single-device stress replicas and
+// fronts them with a router whose probe loop runs hot enough to notice a
+// mid-run kill within ~100ms.
+//
+// The replica economics are chosen so the scaling resource is the admission
+// budget, not the CPU: each miss costs 8 configs x 8ms of modeled on-device
+// measurement (a sleep, like real measurement wall-clock), and 8 admission
+// tokens cap full service near 125 decisions/s per replica. Request handling
+// itself is cheap, so the sweep measures how sharding multiplies the
+// budget-bound capacity even on a small host, rather than how many HTTP hops
+// one box can push.
+func buildScaleFleet(n int, seed uint64) (*scaleFleet, error) {
+	allShapes, _ := workload.DatasetShapes()
+	configs := gemm.AllConfigs()[:160]
+	trainShapes := allShapes[:24]
+	spec := device.R9Nano()
+
+	f := &scaleFleet{}
+	replicas := make([]*cluster.Replica, n)
+	for i := 0; i < n; i++ {
+		model := sim.New(spec)
+		ds := dataset.Build(model, trainShapes, configs)
+		lib := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 8, seed)
+		srv, err := serve.NewMulti([]serve.Backend{{
+			Device: spec.Name, Lib: lib, Model: model,
+			Pricer: measuredPricer{m: model, cost: 8 * time.Millisecond},
+		}}, serve.Options{
+			MaxInFlight: 8,
+			CacheSize:   -1,
+			WindowSize:  4096,
+		})
+		if err != nil {
+			f.partialClose()
+			return nil, err
+		}
+		o := faultinject.NewOutage()
+		ts := httptest.NewServer(o.Middleware(srv.Handler()))
+		f.srvs = append(f.srvs, srv)
+		f.outages = append(f.outages, o)
+		f.reps = append(f.reps, ts)
+		replicas[i] = cluster.NewReplica(fmt.Sprintf("replica-%d", i), ts.URL, nil)
+	}
+
+	// The local fallback prices analytically (no modeled measurement cost):
+	// degraded answers must stay cheap or the fallback would melt under the
+	// very overload that routed traffic to it.
+	model := sim.New(spec)
+	ds := dataset.Build(model, trainShapes, configs)
+	lib := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 8, seed)
+	f.local = serve.New(lib, model, serve.Options{FallbackShapes: allShapes})
+
+	router, err := cluster.New(cluster.Options{
+		Replicas:      replicas,
+		Local:         f.local,
+		Retries:       2,
+		RetryBackoff:  2 * time.Millisecond,
+		HedgeDelay:    150 * time.Millisecond, // above the full pricing path: hedge on stragglers, not on every miss
+		ProbeInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		f.partialClose()
+		return nil, err
+	}
+	router.Start()
+	f.router = router
+	f.rts = httptest.NewServer(router.Handler())
+	return f, nil
+}
+
+// partialClose releases whatever a failed build already allocated.
+func (f *scaleFleet) partialClose() {
+	for _, ts := range f.reps {
+		ts.Close()
+	}
+	for _, srv := range f.srvs {
+		srv.Close()
+	}
+	if f.local != nil {
+		f.local.Close()
+	}
+}
+
+// runScaleout is the -scaleout entry point: sweep replica counts, optionally
+// run the kill timeline, gate, report, render.
+func runScaleout(sc scaleoutConfig, jsonPath, figPath string) error {
+	rep := scaleoutReport{
+		OfferedQPS:   sc.qps,
+		StepDuration: sc.duration.String(),
+		Seed:         sc.seed,
+	}
+	for n := 1; n <= sc.replicas; n++ {
+		f, err := buildScaleFleet(n, sc.seed)
+		if err != nil {
+			return err
+		}
+		r, err := run(config{
+			url:      f.rts.URL,
+			qps:      sc.qps,
+			duration: sc.duration,
+			seed:     sc.seed,
+			workers:  sc.workers,
+		})
+		f.Close()
+		if err != nil {
+			return err
+		}
+		pt := scalePoint{Replicas: n, OfferedQPS: sc.qps, AchievedQPS: r.AchievedQPS}
+		for _, d := range r.Devices {
+			// Single-device fleet: one report row carries the run.
+			pt.P99Micros = d.P99Micros
+			pt.DegradedRate = d.DegradedRate
+			pt.ShedRate = d.ShedRate
+			pt.Errors = d.Errors
+		}
+		pt.FullServiceQPS = pt.AchievedQPS * (1 - pt.DegradedRate - pt.ShedRate)
+		rep.Points = append(rep.Points, pt)
+		log.Printf("scaleout n=%d: achieved %.1f qps (%.1f full service), p99 %dus, degraded %.2f%%, shed %.2f%%",
+			n, pt.AchievedQPS, pt.FullServiceQPS, pt.P99Micros, pt.DegradedRate*100, pt.ShedRate*100)
+	}
+
+	if sc.killRun > 0 {
+		kr, err := runKillTimeline(sc)
+		if err != nil {
+			return err
+		}
+		rep.Kill = kr
+	}
+
+	printScaleout(os.Stdout, rep)
+	if jsonPath != "" {
+		writeJSONFile(jsonPath, rep)
+	}
+	if figPath != "" {
+		svg, err := scaleoutFigure(rep)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(figPath, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", figPath)
+	}
+	if sc.gate > 0 && !gateScaleout(os.Stdout, rep, sc) {
+		os.Exit(1)
+	}
+	if rep.Kill != nil {
+		if rep.Kill.BadStatuses > 0 || rep.Kill.TransportErrs > 0 {
+			return fmt.Errorf("kill run broke the availability contract: %d bad statuses, %d transport errors",
+				rep.Kill.BadStatuses, rep.Kill.TransportErrs)
+		}
+		if !rep.Kill.Reconverged {
+			return fmt.Errorf("fleet did not reconverge to an all-up /v1/cluster view after the kill run")
+		}
+	}
+	return nil
+}
+
+// runKillTimeline drives the full fleet open-loop while the seed-chosen
+// victim is killed at 1/3 of the run and restored at 2/3, bucketing outcomes
+// into a recovery timeline.
+func runKillTimeline(sc scaleoutConfig) (*killReport, error) {
+	f, err := buildScaleFleet(sc.replicas, sc.seed)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	victim := int(sc.seed % uint64(sc.replicas))
+	killAt := sc.killRun / 3
+	restoreAt := 2 * sc.killRun / 3
+	kr := &killReport{
+		Replicas:   sc.replicas,
+		Victim:     fmt.Sprintf("replica-%d", victim),
+		KillAtS:    killAt.Seconds(),
+		RestoreAtS: restoreAt.Seconds(),
+	}
+
+	shapes, _ := workload.DatasetShapes()
+	total := int(float64(sc.qps) * sc.killRun.Seconds())
+	interval := sc.killRun / time.Duration(total)
+	const bucketDur = 250 * time.Millisecond
+	nBuckets := int(sc.killRun/bucketDur) + 1
+	type bucketAgg struct {
+		n, degraded, shed int
+	}
+	aggs := make([]bucketAgg, nBuckets)
+	var mu sync.Mutex
+
+	type job struct {
+		i   int
+		due time.Time
+	}
+	jobs := make(chan job, total)
+	client := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < sc.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if d := time.Until(j.due); d > 0 {
+					time.Sleep(d)
+				}
+				shape := drawShape(sc.seed, j.i, shapes)
+				raw, _ := json.Marshal(map[string]int{"m": shape.M, "k": shape.K, "n": shape.N})
+				resp, err := client.Post(f.rts.URL+"/v1/select", "application/json", bytes.NewReader(raw))
+				bucket := int(time.Since(start) / bucketDur)
+				if bucket >= nBuckets {
+					bucket = nBuckets - 1
+				}
+				mu.Lock()
+				agg := &aggs[bucket]
+				agg.n++
+				if err != nil {
+					kr.TransportErrs++
+					mu.Unlock()
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var d struct {
+						Degraded bool `json:"degraded"`
+					}
+					if json.NewDecoder(resp.Body).Decode(&d) == nil && d.Degraded {
+						agg.degraded++
+					}
+				case http.StatusTooManyRequests:
+					agg.shed++
+				default:
+					kr.BadStatuses++
+				}
+				mu.Unlock()
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	// The conductor: kill the victim's transport mid-run, restore it later;
+	// the router's probe loop notices both transitions on its own.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(killAt)
+		f.outages[victim].Kill()
+		log.Printf("killed %s at t=%.2fs", kr.Victim, time.Since(start).Seconds())
+		time.Sleep(restoreAt - killAt)
+		f.outages[victim].Restore()
+		log.Printf("restored %s at t=%.2fs", kr.Victim, time.Since(start).Seconds())
+	}()
+
+	for i := 0; i < total; i++ {
+		jobs <- job{i: i, due: start.Add(time.Duration(i) * interval)}
+	}
+	close(jobs)
+	wg.Wait()
+	<-done
+
+	for i, agg := range aggs {
+		if agg.n == 0 {
+			continue
+		}
+		b := killBucket{
+			TSeconds:     (time.Duration(i) * bucketDur).Seconds(),
+			AchievedQPS:  float64(agg.n) / bucketDur.Seconds(),
+			DegradedRate: float64(agg.degraded) / float64(agg.n),
+		}
+		b.FullServiceQPS = b.AchievedQPS * (1 - float64(agg.degraded+agg.shed)/float64(agg.n))
+		kr.Buckets = append(kr.Buckets, b)
+	}
+
+	// Re-convergence: the probe loop should return the restored victim to the
+	// all-up view within a few probe intervals.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		up := 0
+		for _, e := range f.router.View().Replicas {
+			if e.State == cluster.StateUp {
+				up++
+			}
+		}
+		if up == sc.replicas {
+			kr.Reconverged = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return kr, nil
+}
+
+// gateScaleout enforces the fleet smoke gate: the full fleet must deliver at
+// least gate× one replica's full-service throughput without giving the p99
+// back (ceiling = single-replica p99 stretched by the relative tolerance
+// plus the absolute slack).
+func gateScaleout(w *os.File, rep scaleoutReport, sc scaleoutConfig) bool {
+	if len(rep.Points) < 2 {
+		fmt.Fprintf(w, "FAIL scaleout gate needs at least 2 replica counts, got %d\n", len(rep.Points))
+		return false
+	}
+	one, full := rep.Points[0], rep.Points[len(rep.Points)-1]
+	pass := true
+	ratio := full.FullServiceQPS / one.FullServiceQPS
+	if ratio < sc.gate {
+		pass = false
+		fmt.Fprintf(w, "FAIL %d-replica full-service qps %.1f is %.2fx one replica's %.1f (need %.2fx)\n",
+			full.Replicas, full.FullServiceQPS, ratio, one.FullServiceQPS, sc.gate)
+	} else {
+		fmt.Fprintf(w, "ok   %d-replica full-service qps %.1f is %.2fx one replica's %.1f (need %.2fx)\n",
+			full.Replicas, full.FullServiceQPS, ratio, one.FullServiceQPS, sc.gate)
+	}
+	ceil := float64(one.P99Micros)*(1+sc.tolerance) + float64(sc.p99Slack.Microseconds())
+	if float64(full.P99Micros) > ceil {
+		pass = false
+		fmt.Fprintf(w, "FAIL %d-replica p99 %dus > %.0fus (1-replica p99 %dus + tolerance + slack)\n",
+			full.Replicas, full.P99Micros, ceil, one.P99Micros)
+	} else {
+		fmt.Fprintf(w, "ok   %d-replica p99 %dus within %.0fus of the 1-replica baseline\n",
+			full.Replicas, full.P99Micros, ceil)
+	}
+	return pass
+}
+
+func printScaleout(w *os.File, rep scaleoutReport) {
+	fmt.Fprintf(w, "%-9s %12s %14s %10s %10s %7s %7s\n",
+		"replicas", "achieved", "full_service", "p99(us)", "degraded%", "shed%", "errors")
+	for _, pt := range rep.Points {
+		fmt.Fprintf(w, "%-9d %12.1f %14.1f %10d %9.2f%% %6.2f%% %7d\n",
+			pt.Replicas, pt.AchievedQPS, pt.FullServiceQPS, pt.P99Micros,
+			pt.DegradedRate*100, pt.ShedRate*100, pt.Errors)
+	}
+	if rep.Kill != nil {
+		fmt.Fprintf(w, "kill run (%d replicas): %s killed at %.1fs, restored at %.1fs; bad statuses %d, transport errors %d, reconverged %v\n",
+			rep.Kill.Replicas, rep.Kill.Victim, rep.Kill.KillAtS, rep.Kill.RestoreAtS,
+			rep.Kill.BadStatuses, rep.Kill.TransportErrs, rep.Kill.Reconverged)
+	}
+}
+
+// scaleoutFigure renders fig7: throughput and p99 against replica count, and
+// — when the kill run happened — the failover timeline with the kill and
+// restore instants named in the panel titles.
+func scaleoutFigure(rep scaleoutReport) (string, error) {
+	if len(rep.Points) == 0 {
+		return "", fmt.Errorf("scaleout produced no points")
+	}
+	x := make([]float64, len(rep.Points))
+	achieved := make([]float64, len(rep.Points))
+	fullSvc := make([]float64, len(rep.Points))
+	ideal := make([]float64, len(rep.Points))
+	p99 := make([]float64, len(rep.Points))
+	for i, pt := range rep.Points {
+		x[i] = float64(pt.Replicas)
+		achieved[i] = pt.AchievedQPS
+		fullSvc[i] = pt.FullServiceQPS
+		ideal[i] = float64(pt.Replicas) * rep.Points[0].FullServiceQPS
+		p99[i] = float64(pt.P99Micros)
+	}
+	top, err := plot.LineChart{
+		Title:  fmt.Sprintf("Scale-out: sharded fleet at %d offered qps", rep.OfferedQPS),
+		XLabel: "replicas",
+		YLabel: "QPS",
+		X:      x,
+		Series: []plot.Series{
+			{Name: "achieved", Y: achieved},
+			{Name: "full service", Y: fullSvc},
+			{Name: "ideal (n x 1-replica)", Y: ideal},
+		},
+		Markers: true,
+	}.SVG()
+	if err != nil {
+		return "", err
+	}
+	mid, err := plot.LineChart{
+		Title:   "p99 latency vs replica count",
+		XLabel:  "replicas",
+		YLabel:  "p99 (us)",
+		X:       x,
+		Series:  []plot.Series{{Name: "p99", Y: p99}},
+		Markers: true,
+	}.SVG()
+	if err != nil {
+		return "", err
+	}
+	panels := []string{top, mid}
+	if k := rep.Kill; k != nil && len(k.Buckets) > 0 {
+		tx := make([]float64, len(k.Buckets))
+		ach := make([]float64, len(k.Buckets))
+		fs := make([]float64, len(k.Buckets))
+		degr := make([]float64, len(k.Buckets))
+		for i, b := range k.Buckets {
+			tx[i] = b.TSeconds
+			ach[i] = b.AchievedQPS
+			fs[i] = b.FullServiceQPS
+			degr[i] = b.DegradedRate * 100
+		}
+		tl, err := plot.LineChart{
+			Title: fmt.Sprintf("Failover timeline (%d replicas): %s killed at %.1fs, restored at %.1fs",
+				k.Replicas, k.Victim, k.KillAtS, k.RestoreAtS),
+			XLabel:  "time (s)",
+			YLabel:  "QPS",
+			X:       tx,
+			Series:  []plot.Series{{Name: "achieved", Y: ach}, {Name: "full service", Y: fs}},
+			Markers: true,
+		}.SVG()
+		if err != nil {
+			return "", err
+		}
+		dg, err := plot.LineChart{
+			Title:   "Degraded rate through the outage window",
+			XLabel:  "time (s)",
+			YLabel:  "degraded (%)",
+			X:       tx,
+			Series:  []plot.Series{{Name: "degraded", Y: degr}},
+			Markers: true,
+		}.SVG()
+		if err != nil {
+			return "", err
+		}
+		panels = append(panels, tl, dg)
+	}
+	return plot.VStack(panels...)
+}

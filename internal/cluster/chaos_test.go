@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/dataset"
+	"kernelselect/internal/device"
+	"kernelselect/internal/faultinject"
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/serve"
+	"kernelselect/internal/sim"
+)
+
+// TestChaosCluster drives a 3-replica fleet through seed-determined pricing
+// spikes/errors and client cancellations while one replica — chosen by the
+// seed — is killed at the transport mid-load, restored, and rolled onto a new
+// generation through the router's peer-warmed reload. The audit pins the
+// cluster resilience invariants:
+//
+//   - a priceable shape never sees a 5xx: every response is 200 (the fleet
+//     has no shed configured, so even 429 is out of contract);
+//   - every 200 is generation-consistent: its config sits at its index in the
+//     library of the generation stamped on it, and non-degraded decisions
+//     agree with that library's interpreted selector;
+//   - degraded answers name a reason and are never cached; router-local
+//     fallbacks carry reason replica_down;
+//   - the outage really fired (kills and severed connections counted) and
+//     the fleet re-converges to an all-up /v1/cluster view;
+//   - admission budgets are conserved on every replica once traffic quiesces.
+//
+// Seed count from CHAOS_SEEDS (default 2); reproduce one seed with
+// `CHAOS_SEEDS=1 CHAOS_BASE=<seed> go test -run TestChaosCluster/seed=<seed>`.
+func TestChaosCluster(t *testing.T) {
+	seeds := 2
+	if v := os.Getenv("CHAOS_SEEDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad CHAOS_SEEDS %q", v)
+		}
+		seeds = n
+	}
+	base := uint64(1)
+	if v := os.Getenv("CHAOS_BASE"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_BASE %q", v)
+		}
+		base = n
+	}
+	for i := 0; i < seeds; i++ {
+		seed := base + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			chaosClusterRun(t, seed)
+		})
+	}
+}
+
+func chaosClusterRun(t *testing.T, seed uint64) {
+	const replicaCount = 3
+	inj := faultinject.New(seed, faultinject.Options{
+		PriceError: 0.002,
+		Spike:      0.02,
+		SpikeMax:   100 * time.Microsecond,
+		Cancel:     0.05,
+		CancelMax:  300 * time.Microsecond,
+	})
+
+	model := sim.New(device.R9Nano())
+	ds := dataset.Build(model, fleetShapes, gemm.AllConfigs()[:120])
+	libA := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 6, 42)
+	libB := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 4, 42)
+
+	// Every replica is an identically-trained single-device selectd with the
+	// shared injector on its pricing seam and an outage switch on its wire.
+	var srvs []*serve.Server
+	var outages []*faultinject.Outage
+	replicas := make([]*Replica, replicaCount)
+	var servers []*httptest.Server
+	for i := 0; i < replicaCount; i++ {
+		pricer := inj.Pricer(faultinject.PricerFunc(
+			func(_ context.Context, cfg gemm.Config, s gemm.Shape) (float64, error) {
+				return model.GFLOPS(cfg, s), nil
+			}))
+		srv, err := serve.NewMulti(
+			[]serve.Backend{{Device: model.Dev.Name, Lib: libA, Model: model, Pricer: pricer}},
+			serve.Options{
+				MaxInFlight:    8,
+				FallbackShapes: fleetShapes,
+				RequestTimeout: 2 * time.Second,
+				WindowSize:     512,
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.SetReloadSource(func(string) (*core.Library, *sim.Model, error) {
+			return libB, nil, nil
+		})
+		o := faultinject.NewOutage()
+		ts := httptest.NewServer(o.Middleware(inj.Middleware(srv.Handler())))
+		srvs = append(srvs, srv)
+		outages = append(outages, o)
+		servers = append(servers, ts)
+		replicas[i] = NewReplica(replicaName(i), ts.URL, nil)
+	}
+	defer func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+		for _, srv := range srvs {
+			srv.Close()
+		}
+	}()
+
+	local := serve.New(libA, model, serve.Options{FallbackShapes: fleetShapes})
+	defer local.Close()
+	router, err := New(Options{
+		Replicas:     replicas,
+		Local:        local,
+		Retries:      replicaCount,
+		RetryBackoff: 2 * time.Millisecond,
+		HedgeDelay:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	rts := httptest.NewServer(router.Handler())
+	defer rts.Close()
+
+	// Seed-determined victim; kill/restore/reload land at fixed fractions of
+	// the load window.
+	victim := int(seed % replicaCount)
+
+	type outcome struct {
+		status  int
+		results []serve.Decision
+	}
+	const goroutines = 8
+	const perG = 40
+	var wg sync.WaitGroup
+	outcomes := make([][]outcome, goroutines)
+	errs := make(chan error, goroutines)
+	client := &http.Client{Timeout: 10 * time.Second}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				var url string
+				var raw []byte
+				if i%4 == 3 {
+					url = rts.URL + "/v1/select/batch"
+					a, b := fleetShapes[(g+i)%len(fleetShapes)], fleetShapes[(g+2*i)%len(fleetShapes)]
+					raw, _ = json.Marshal(map[string]any{"shapes": []map[string]int{
+						{"m": a.M, "k": a.K, "n": a.N}, {"m": b.M, "k": b.K, "n": b.N},
+					}})
+				} else {
+					url = rts.URL + "/v1/select"
+					s := fleetShapes[(g*7+i)%len(fleetShapes)]
+					raw, _ = json.Marshal(map[string]int{"m": s.M, "k": s.K, "n": s.N})
+				}
+				resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d request %d: %w", g, i, err)
+					return
+				}
+				o := outcome{status: resp.StatusCode}
+				if resp.StatusCode == http.StatusOK {
+					var body bytes.Buffer
+					if _, err := body.ReadFrom(resp.Body); err == nil {
+						var d serve.Decision
+						var br struct {
+							Results []serve.Decision `json:"results"`
+						}
+						if json.Unmarshal(body.Bytes(), &br) == nil && len(br.Results) > 0 {
+							o.results = br.Results
+						} else if json.Unmarshal(body.Bytes(), &d) == nil && d.Config != "" {
+							o.results = []serve.Decision{d}
+						}
+					}
+				}
+				resp.Body.Close()
+				outcomes[g] = append(outcomes[g], o)
+				time.Sleep(500 * time.Microsecond)
+			}
+		}(g)
+	}
+
+	// The chaos conductor: probe → kill the victim mid-run → probe (the
+	// fleet routes around it) → restore → probe (it rejoins) → roll it onto
+	// the new generation with peer warming.
+	conduct := func() error {
+		step := 18 * time.Millisecond
+		probe := func() { router.ProbeOnce(context.Background()) }
+		time.Sleep(step)
+		probe()
+		outages[victim].Kill()
+		time.Sleep(2 * step)
+		probe()
+		time.Sleep(2 * step)
+		outages[victim].Restore()
+		probe()
+		if got := router.health.state(replicaName(victim)); got != StateUp {
+			return fmt.Errorf("restored victim %d still %q after probe", victim, got)
+		}
+		body, _ := json.Marshal(map[string]string{"replica": replicaName(victim)})
+		resp, err := client.Post(rts.URL+"/v1/reload", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("router reload: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("router reload: status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := conduct(); err != nil {
+		t.Error(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Generation map: every replica starts at generation 1 on libA; the
+	// victim's single reload moves it to generation 2 on libB. The router's
+	// local fallback engine also serves generation 1 of libA.
+	libsByGen := map[uint64]*core.Library{1: libA, 2: libB}
+
+	var total, degradedN, fallbackN int
+	for g := range outcomes {
+		for _, o := range outcomes[g] {
+			total++
+			if o.status != http.StatusOK {
+				t.Fatalf("priceable shape answered %d — the no-5xx (and no-shed) contract is broken", o.status)
+			}
+			for _, d := range o.results {
+				lib, ok := libsByGen[d.Generation]
+				if !ok {
+					t.Fatalf("response from unknown generation %d", d.Generation)
+				}
+				if d.Index < 0 || d.Index >= len(lib.Configs) || d.Config != lib.Configs[d.Index].String() {
+					t.Fatalf("gen %d: config %q / index %d inconsistent with its library", d.Generation, d.Config, d.Index)
+				}
+				var sh gemm.Shape
+				if _, err := fmt.Sscanf(d.Shape, "%dx%dx%d", &sh.M, &sh.K, &sh.N); err != nil {
+					t.Fatalf("unparseable shape %q", d.Shape)
+				}
+				if !d.Degraded {
+					if want := lib.ChooseIndex(sh); d.Index != want {
+						t.Fatalf("gen %d shape %s: served index %d, selector says %d", d.Generation, d.Shape, d.Index, want)
+					}
+					continue
+				}
+				degradedN++
+				if d.DegradedReason == "" {
+					t.Fatalf("degraded decision with no reason: %+v", d)
+				}
+				if d.Cached {
+					t.Fatalf("cached degraded decision served: %+v", d)
+				}
+				if d.DegradedReason == "replica_down" {
+					fallbackN++
+				}
+			}
+		}
+	}
+	if total != goroutines*perG {
+		t.Fatalf("%d outcomes for %d requests", total, goroutines*perG)
+	}
+
+	// The outage must actually have fired.
+	if outages[victim].Kills() != 1 {
+		t.Errorf("victim kills %d, want 1", outages[victim].Kills())
+	}
+	if outages[victim].Severed() == 0 && router.metrics.repErrors.Load() == 0 {
+		t.Error("kill window severed nothing and the router saw no replica errors — outage never bit")
+	}
+
+	// Re-convergence: a probe round returns the whole fleet to up, and the
+	// HTTP view agrees.
+	view := router.ProbeOnce(context.Background())
+	for _, e := range view.Replicas {
+		if e.State != StateUp {
+			t.Errorf("replica %s state %q after recovery probe, want up", e.Name, e.State)
+		}
+	}
+	resp, err := client.Get(rts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wireView View
+	if err := json.NewDecoder(resp.Body).Decode(&wireView); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, e := range wireView.Replicas {
+		if e.State != StateUp {
+			t.Errorf("/v1/cluster reports %s %q after recovery", e.Name, e.State)
+		}
+	}
+	if gen := wireView.Replicas[victim].Generations[model.Dev.Name]; gen != 2 {
+		t.Errorf("victim generation %d in the recovered view, want 2 (post-reload)", gen)
+	}
+
+	// Budgets conserved on every replica and the local engine once traffic
+	// quiesces (severed/cancelled requests may still be unwinding).
+	deadline := time.Now().Add(2 * time.Second)
+	for i, srv := range append(append([]*serve.Server{}, srvs...), local) {
+		for !srv.BudgetsQuiesced() && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if !srv.BudgetsQuiesced() {
+			t.Errorf("server %d: budget tokens or inflight gauge leaked", i)
+		}
+	}
+
+	st := inj.Stats()
+	t.Logf("seed %d: %d requests (%d degraded, %d router fallbacks); victim %d severed %d conns; injected %d spikes %d errors %d cancels; router: %d retries %d hedges %d hedge-wins %d replica-errors",
+		seed, total, degradedN, fallbackN, victim, outages[victim].Severed(),
+		st.Spikes, st.Errors, st.Cancels,
+		router.metrics.retries.Load(), router.metrics.hedges.Load(),
+		router.metrics.hedgeWins.Load(), router.metrics.repErrors.Load())
+}

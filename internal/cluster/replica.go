@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/serve"
+)
+
+// Replica is the router's client for one selectd process. The zero client is
+// not usable; construct with NewReplica.
+type Replica struct {
+	Name string
+	URL  string // base URL, e.g. http://127.0.0.1:8081
+	hc   *http.Client
+}
+
+// NewReplica wires a replica client. client may be nil for a default with a
+// per-request timeout left to contexts. The default transport keeps a deep
+// idle pool: a router fans hundreds of concurrent requests into each replica,
+// and net/http's stock two idle connections per host would churn a fresh TCP
+// connection for nearly every one of them.
+func NewReplica(name, url string, client *http.Client) *Replica {
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 256
+		tr.MaxIdleConnsPerHost = 128
+		client = &http.Client{Transport: tr}
+	}
+	return &Replica{Name: name, URL: url, hc: client}
+}
+
+// maxPassthroughBody bounds how much of a replica response the router will
+// buffer for pass-through; selectd decision and batch bodies are far smaller.
+const maxPassthroughBody = 4 << 20
+
+// roundTrip issues one request and returns (status, headers, body). Transport
+// errors — connection refused, reset mid-body, context deadline — come back
+// as err; any HTTP status is a successful round trip from the transport's
+// view.
+func (r *Replica) roundTrip(ctx context.Context, method, path string, body []byte) (int, http.Header, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, r.URL+path, rd)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxPassthroughBody))
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("reading %s response: %w", path, err)
+	}
+	return resp.StatusCode, resp.Header, b, nil
+}
+
+// selectShape is the wire form of POST /v1/select (mirrors serve's private
+// shapeRequest).
+type selectShape struct {
+	M      int    `json:"m"`
+	K      int    `json:"k"`
+	N      int    `json:"n"`
+	Device string `json:"device,omitempty"`
+}
+
+// Select asks the replica for one decision, passing the replica's response
+// through verbatim: (status, headers, raw body). The router forwards 2xx/4xx
+// bodies byte-for-byte so clients see exactly what a single selectd would
+// serve, and reads Retry-After from the headers to back off a saturated
+// replica.
+func (r *Replica) Select(ctx context.Context, device string, shape gemm.Shape) (int, http.Header, []byte, error) {
+	body, err := json.Marshal(selectShape{M: shape.M, K: shape.K, N: shape.N, Device: device})
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return r.roundTrip(ctx, http.MethodPost, "/v1/select", body)
+}
+
+// batchWire mirrors serve's batch request/response wire forms.
+type batchWire struct {
+	Device string        `json:"device,omitempty"`
+	Shapes []selectShape `json:"shapes"`
+}
+
+type batchResults struct {
+	Results []serve.Decision `json:"results"`
+}
+
+// Batch prices a set of shapes on one device in a single round trip,
+// returning the decisions in request order.
+func (r *Replica) Batch(ctx context.Context, device string, shapes []gemm.Shape) ([]serve.Decision, error) {
+	req := batchWire{Device: device, Shapes: make([]selectShape, len(shapes))}
+	for i, s := range shapes {
+		req.Shapes[i] = selectShape{M: s.M, K: s.K, N: s.N}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	status, _, b, err := r.roundTrip(ctx, http.MethodPost, "/v1/select/batch", body)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("replica %s batch: status %d: %s", r.Name, status, truncate(b, 200))
+	}
+	var out batchResults
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("replica %s batch decode: %w", r.Name, err)
+	}
+	if len(out.Results) != len(shapes) {
+		return nil, fmt.Errorf("replica %s batch: %d results for %d shapes", r.Name, len(out.Results), len(shapes))
+	}
+	return out.Results, nil
+}
+
+// healthzWire mirrors serve's healthz body (the subset the router reads).
+type healthzWire struct {
+	Status   string `json:"status"`
+	Backends []struct {
+		Device     string `json:"device"`
+		Generation uint64 `json:"generation"`
+	} `json:"backends"`
+}
+
+// Probe health-checks the replica: nil error means it is serving, and the
+// returned map carries each device backend's current generation (the gossiped
+// view exposes these so operators can spot a replica stuck on an old
+// artifact). A draining replica (healthz 503) is an error: it is rotating out
+// and must stop receiving shards.
+func (r *Replica) Probe(ctx context.Context) (map[string]uint64, error) {
+	status, _, b, err := r.roundTrip(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("replica %s healthz: status %d", r.Name, status)
+	}
+	var hz healthzWire
+	if err := json.Unmarshal(b, &hz); err != nil {
+		return nil, fmt.Errorf("replica %s healthz decode: %w", r.Name, err)
+	}
+	gens := make(map[string]uint64, len(hz.Backends))
+	for _, be := range hz.Backends {
+		gens[be.Device] = be.Generation
+	}
+	return gens, nil
+}
+
+// windowWire mirrors serve's GET /v1/window body.
+type windowWire struct {
+	Device string           `json:"device"`
+	Size   int              `json:"window_size"`
+	Shapes []serve.HotShape `json:"shapes"`
+}
+
+// Window fetches the replica's hottest served shapes for one device — the
+// peer-side input to cache-warming a reloading shard.
+func (r *Replica) Window(ctx context.Context, device string, top int) ([]serve.HotShape, error) {
+	path := fmt.Sprintf("/v1/window?device=%s&top=%d", device, top)
+	status, _, b, err := r.roundTrip(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("replica %s window: status %d: %s", r.Name, status, truncate(b, 200))
+	}
+	var win windowWire
+	if err := json.Unmarshal(b, &win); err != nil {
+		return nil, fmt.Errorf("replica %s window decode: %w", r.Name, err)
+	}
+	return win.Shapes, nil
+}
+
+// reloadWire mirrors serve's reload response (the subset the router reads).
+type reloadWire struct {
+	Device     string `json:"device"`
+	Generation uint64 `json:"generation"`
+	Selector   string `json:"selector"`
+	Configs    int    `json:"configs"`
+}
+
+// Reload asks the replica to swap the named device onto a fresh artifact and
+// reports the new generation.
+func (r *Replica) Reload(ctx context.Context, device string) (reloadWire, error) {
+	body, err := json.Marshal(struct {
+		Device string `json:"device,omitempty"`
+	}{Device: device})
+	if err != nil {
+		return reloadWire{}, err
+	}
+	status, _, b, err := r.roundTrip(ctx, http.MethodPost, "/v1/reload", body)
+	if err != nil {
+		return reloadWire{}, err
+	}
+	if status != http.StatusOK {
+		return reloadWire{}, fmt.Errorf("replica %s reload: status %d: %s", r.Name, status, truncate(b, 200))
+	}
+	var rr reloadWire
+	if err := json.Unmarshal(b, &rr); err != nil {
+		return reloadWire{}, fmt.Errorf("replica %s reload decode: %w", r.Name, err)
+	}
+	return rr, nil
+}
+
+// Devices lists the replica's device backends via GET /v1/devices.
+func (r *Replica) Devices(ctx context.Context) ([]string, error) {
+	status, _, b, err := r.roundTrip(ctx, http.MethodGet, "/v1/devices", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("replica %s devices: status %d", r.Name, status)
+	}
+	var resp struct {
+		Devices []struct {
+			Name string `json:"name"`
+		} `json:"devices"`
+	}
+	if err := json.Unmarshal(b, &resp); err != nil {
+		return nil, fmt.Errorf("replica %s devices decode: %w", r.Name, err)
+	}
+	names := make([]string, len(resp.Devices))
+	for i, d := range resp.Devices {
+		names[i] = d.Name
+	}
+	return names, nil
+}
+
+// retryAfterOrDefault is how long the router backs off a saturated replica:
+// the replica's Retry-After header when present, else the given default.
+func retryAfterOrDefault(h http.Header, def time.Duration) time.Duration {
+	if v := h.Get("Retry-After"); v != "" {
+		var secs int
+		if _, err := fmt.Sscanf(v, "%d", &secs); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return def
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}

@@ -1,0 +1,716 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kernelselect/internal/gemm"
+	"kernelselect/internal/serve"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Name identifies this router in gossiped views.
+	Name string
+	// Replicas is the fleet roster, in shard-index order. The roster is
+	// static for the router's lifetime; liveness is tracked per entry.
+	Replicas []*Replica
+	// Local is the router-local decision engine: the degraded last resort
+	// that answers priceable shapes when every ring candidate is down.
+	// Required — the no-5xx guarantee is built on it.
+	Local serve.Engine
+	// Retries bounds sequential failover attempts beyond the first (default
+	// 2). The hedge does not count against it.
+	Retries int
+	// RetryBackoff is the pause between sequential attempts (default 5ms),
+	// and the default backoff for a saturated replica when its response
+	// carries no Retry-After.
+	RetryBackoff time.Duration
+	// HedgeDelay launches one cross-shard hedged attempt when the primary
+	// has not answered in time (default 25ms; negative disables hedging).
+	HedgeDelay time.Duration
+	// BackoffCap bounds how long a Retry-After can hold a replica out of
+	// preference (default 1s).
+	BackoffCap time.Duration
+	// Vnodes per replica on the hash ring (default 128).
+	Vnodes int
+	// WarmTop bounds hot shapes gathered from each peer window during a
+	// peer-warmed reload (default 64).
+	WarmTop int
+	// ProbeInterval runs the background probe+gossip loop when positive;
+	// zero leaves probing to explicit ProbeOnce calls (tests, chaos).
+	ProbeInterval time.Duration
+	// Peers are sibling router base URLs; each probe round pushes this
+	// router's view to them (gossip).
+	Peers []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Name == "" {
+		o.Name = "router"
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 5 * time.Millisecond
+	}
+	if o.HedgeDelay == 0 {
+		o.HedgeDelay = 25 * time.Millisecond
+	}
+	if o.BackoffCap == 0 {
+		o.BackoffCap = time.Second
+	}
+	if o.WarmTop == 0 {
+		o.WarmTop = 64
+	}
+	return o
+}
+
+// Router fronts N selectd replicas with consistent-hash sharding keyed on
+// (device, shape-bucket), bounded retry with backoff, one cross-shard hedged
+// attempt, and a router-local degraded fallback so a priceable shape is never
+// answered with a 5xx. Health observations gossip between routers as
+// Seq-versioned views on /v1/cluster.
+type Router struct {
+	name     string
+	replicas []*Replica
+	local    serve.Engine
+	ring     *ring
+	health   *healthTable
+	metrics  *routerMetrics
+	opts     Options
+
+	// backoffUntil holds per-replica unix-nano timestamps: a saturated
+	// replica (429/5xx with Retry-After) is deprioritized until then, but
+	// only when an unsaturated candidate exists — backoff must never cause
+	// a degraded answer on its own.
+	backoffUntil []atomic.Int64
+
+	reloadMu sync.Mutex // one orchestrated reload at a time
+
+	gossipHC *http.Client
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New wires a router over a replica roster and a local fallback engine.
+func New(opts Options) (*Router, error) {
+	if len(opts.Replicas) == 0 {
+		return nil, errors.New("cluster: no replicas")
+	}
+	if opts.Local == nil {
+		return nil, errors.New("cluster: nil local engine (required for degraded fallback)")
+	}
+	opts = opts.withDefaults()
+	names := make([]string, len(opts.Replicas))
+	for i, rep := range opts.Replicas {
+		names[i] = rep.Name
+	}
+	r := &Router{
+		name:         opts.Name,
+		replicas:     opts.Replicas,
+		local:        opts.Local,
+		ring:         newRing(len(opts.Replicas), opts.Vnodes),
+		health:       newHealthTable(names),
+		metrics:      newRouterMetrics(names),
+		opts:         opts,
+		backoffUntil: make([]atomic.Int64, len(opts.Replicas)),
+		gossipHC:     &http.Client{Timeout: 2 * time.Second},
+		stop:         make(chan struct{}),
+	}
+	return r, nil
+}
+
+// Start launches the background probe+gossip loop when ProbeInterval is set.
+func (r *Router) Start() {
+	if r.opts.ProbeInterval <= 0 {
+		return
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(r.opts.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), r.opts.ProbeInterval)
+				view := r.ProbeOnce(ctx)
+				r.gossip(ctx, view)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// gossip pushes this router's view to each configured peer.
+func (r *Router) gossip(ctx context.Context, view View) {
+	body, err := json.Marshal(view)
+	if err != nil {
+		return
+	}
+	for _, peer := range r.opts.Peers {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/cluster", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if resp, err := r.gossipHC.Do(req); err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+		}
+	}
+}
+
+// View reports the router's current gossiped health/generation view.
+func (r *Router) View() View { return r.health.snapshot(r.name) }
+
+// MarkDown force-marks a replica down (operator action and tests).
+func (r *Router) MarkDown(name string) { r.health.observe(name, StateDown, nil, "marked down") }
+
+// MarkUp force-marks a replica up.
+func (r *Router) MarkUp(name string) { r.health.observe(name, StateUp, nil, "") }
+
+// setBackoff deprioritizes a replica until now+d (capped).
+func (r *Router) setBackoff(idx int, d time.Duration) {
+	if d > r.opts.BackoffCap {
+		d = r.opts.BackoffCap
+	}
+	r.backoffUntil[idx].Store(time.Now().Add(d).UnixNano())
+}
+
+// routable filters a candidate order down to replicas worth trying: up and
+// not in backoff. If backoff would empty the list, backed-off (but up)
+// replicas are readmitted — backoff sheds preference, never availability.
+func (r *Router) routable(order []int) []int {
+	now := time.Now().UnixNano()
+	alive := make([]int, 0, len(order))
+	backedOff := make([]int, 0, 2)
+	for _, idx := range order {
+		if r.health.state(r.replicas[idx].Name) != StateUp {
+			continue
+		}
+		if r.backoffUntil[idx].Load() > now {
+			backedOff = append(backedOff, idx)
+			continue
+		}
+		alive = append(alive, idx)
+	}
+	return append(alive, backedOff...)
+}
+
+// attemptResult is one replica attempt's outcome.
+type attemptResult struct {
+	idx    int
+	hedge  bool
+	status int
+	body   []byte
+	err    error
+}
+
+// attempt runs one replica round trip and reports it. Transport errors mark
+// the replica down immediately (its shard re-hashes on the next request);
+// saturation responses (429/5xx) arm the backoff from Retry-After.
+func (r *Router) attempt(ctx context.Context, idx int, hedge bool, device string, shape gemm.Shape, ch chan<- attemptResult) {
+	rep := r.replicas[idx]
+	status, hdr, body, err := rep.Select(ctx, device, shape)
+	if err != nil {
+		r.metrics.repErrors.Add(1)
+		r.health.observe(rep.Name, StateDown, nil, err.Error())
+		ch <- attemptResult{idx: idx, hedge: hedge, err: err}
+		return
+	}
+	if status == http.StatusTooManyRequests || status >= 500 {
+		r.setBackoff(idx, retryAfterOrDefault(hdr, r.opts.RetryBackoff))
+	}
+	ch <- attemptResult{idx: idx, hedge: hedge, status: status, body: body}
+}
+
+// acceptable reports whether an attempt outcome can be returned to the
+// client: any HTTP response below 500. 2xx/4xx (including a shed 429, which
+// carries Retry-After for the client) pass through verbatim; transport errors
+// and 5xx stay inside the router and trigger failover.
+func acceptable(res attemptResult) bool {
+	return res.err == nil && res.status < 500
+}
+
+// tryReplicas runs the retry/hedge ladder over the candidate list: launch the
+// first candidate, hedge to the second after HedgeDelay, and on failure walk
+// the remaining candidates sequentially with backoff, up to Retries extra
+// attempts. The first acceptable response wins and is counted exactly once;
+// late results from the losing attempt are discarded.
+func (r *Router) tryReplicas(ctx context.Context, alive []int, device string, shape gemm.Shape) (attemptResult, bool) {
+	if len(alive) == 0 {
+		return attemptResult{}, false
+	}
+	ch := make(chan attemptResult, len(alive))
+	next := 1
+	pending := 1
+	seqAttempts := 1
+	go r.attempt(ctx, alive[0], false, device, shape, ch)
+
+	var hedgeC <-chan time.Time
+	if r.opts.HedgeDelay > 0 && len(alive) > 1 {
+		t := time.NewTimer(r.opts.HedgeDelay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return attemptResult{}, false
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(alive) {
+				r.metrics.hedges.Add(1)
+				pending++
+				go r.attempt(ctx, alive[next], true, device, shape, ch)
+				next++
+			}
+		case res := <-ch:
+			pending--
+			if acceptable(res) {
+				return res, true
+			}
+			if pending > 0 {
+				continue // an in-flight sibling may still win
+			}
+			if next >= len(alive) || seqAttempts > r.opts.Retries {
+				return attemptResult{}, false
+			}
+			r.metrics.retries.Add(1)
+			seqAttempts++
+			select {
+			case <-ctx.Done():
+				return attemptResult{}, false
+			case <-time.After(r.opts.RetryBackoff):
+			}
+			pending++
+			go r.attempt(ctx, alive[next], false, device, shape, ch)
+			next++
+		}
+	}
+}
+
+// errorBody mirrors serve's error envelope.
+func errorBody(msg string) []byte {
+	b, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{Error: msg})
+	return b
+}
+
+// fallback answers from the router-local engine, stamped degraded with reason
+// replica_down. This is the no-5xx backstop: a priceable shape always gets a
+// usable (if conservative) configuration even with the whole fleet dark.
+func (r *Router) fallback(ctx context.Context, device string, shape gemm.Shape) (int, []byte, http.Header) {
+	d, err := r.local.Decide(ctx, device, shape)
+	if err != nil {
+		if ctx.Err() != nil {
+			h := http.Header{}
+			h.Set("Retry-After", "1")
+			return http.StatusServiceUnavailable, errorBody("deadline exceeded"), h
+		}
+		// Unpriceable: unknown device or invalid shape — a client error on
+		// any topology, single replica or fleet.
+		return http.StatusBadRequest, errorBody(err.Error()), nil
+	}
+	d.Degraded = true
+	d.DegradedReason = "replica_down"
+	d.Cached = false
+	r.metrics.fallbacks.Add(1)
+	b, err := json.Marshal(d)
+	if err != nil {
+		return http.StatusBadRequest, errorBody(err.Error()), nil
+	}
+	return http.StatusOK, b, nil
+}
+
+// route answers one select request through the full ladder: consistent-hash
+// candidates, liveness filter, retry+hedge, local degraded fallback.
+func (r *Router) route(ctx context.Context, device string, shape gemm.Shape) (int, []byte, http.Header) {
+	order := r.ring.candidates(device, shape)
+	alive := r.routable(order)
+	if res, ok := r.tryReplicas(ctx, alive, device, shape); ok {
+		r.metrics.wins[res.idx].Add(1)
+		if res.hedge {
+			r.metrics.hedgeWins.Add(1)
+		}
+		return res.status, res.body, nil
+	}
+	return r.fallback(ctx, device, shape)
+}
+
+// maxBody mirrors serve's request body cap.
+const maxBody = 1 << 20
+
+func (r *Router) handleSelect(w http.ResponseWriter, req *http.Request) {
+	var sr selectShape
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBody))
+	if err == nil {
+		err = json.Unmarshal(body, &sr)
+	}
+	if err != nil {
+		r.writeResponse(w, "select", http.StatusBadRequest, errorBody(err.Error()), nil)
+		return
+	}
+	shape := gemm.Shape{M: sr.M, K: sr.K, N: sr.N}
+	if err := shape.Validate(); err != nil {
+		r.writeResponse(w, "select", http.StatusBadRequest, errorBody(err.Error()), nil)
+		return
+	}
+	status, out, hdr := r.route(req.Context(), sr.Device, shape)
+	r.writeResponse(w, "select", status, out, hdr)
+}
+
+// writeResponse commits one response and counts it once.
+func (r *Router) writeResponse(w http.ResponseWriter, endpoint string, status int, body []byte, hdr http.Header) {
+	for k, vs := range hdr {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		w.Write([]byte("\n"))
+	}
+	r.metrics.request(endpoint, status)
+}
+
+// handleBatch shards a batch across the fleet: shapes group by their ring
+// primary, each group rides one replica batch call (walking that group's
+// candidate list on failure), and shapes whose candidates are all down get
+// individual local fallback answers. Results return in request order.
+func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
+	var br batchWire
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBody))
+	if err == nil {
+		err = json.Unmarshal(body, &br)
+	}
+	if err != nil {
+		r.writeResponse(w, "batch", http.StatusBadRequest, errorBody(err.Error()), nil)
+		return
+	}
+	shapes := make([]gemm.Shape, len(br.Shapes))
+	for i, s := range br.Shapes {
+		shapes[i] = gemm.Shape{M: s.M, K: s.K, N: s.N}
+		if err := shapes[i].Validate(); err != nil {
+			r.writeResponse(w, "batch", http.StatusBadRequest, errorBody(fmt.Sprintf("shape %d: %v", i, err)), nil)
+			return
+		}
+	}
+
+	// Group request indices by ring primary among routable candidates.
+	groups := make(map[int][]int)
+	var orphans []int // no routable candidate at all
+	for i, shape := range shapes {
+		alive := r.routable(r.ring.candidates(br.Device, shape))
+		if len(alive) == 0 {
+			orphans = append(orphans, i)
+			continue
+		}
+		groups[alive[0]] = append(groups[alive[0]], i)
+	}
+
+	results := make([]serve.Decision, len(shapes))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	fallbackOne := func(i int) {
+		status, out, _ := r.fallback(req.Context(), br.Device, shapes[i])
+		var d serve.Decision
+		if status == http.StatusOK {
+			json.Unmarshal(out, &d)
+		}
+		mu.Lock()
+		results[i] = d
+		mu.Unlock()
+	}
+	for primary, idxs := range groups {
+		wg.Add(1)
+		go func(primary int, idxs []int) {
+			defer wg.Done()
+			group := make([]gemm.Shape, len(idxs))
+			for j, i := range idxs {
+				group[j] = shapes[i]
+			}
+			// Walk this group's candidates: the primary first, then the same
+			// successor order a single request would fail over to.
+			alive := r.routable(r.ring.candidates(br.Device, group[0]))
+			tried := 0
+			for _, idx := range alive {
+				if tried > r.opts.Retries {
+					break
+				}
+				tried++
+				decs, err := r.replicas[idx].Batch(req.Context(), br.Device, group)
+				if err != nil {
+					r.metrics.repErrors.Add(1)
+					if req.Context().Err() == nil {
+						r.health.observe(r.replicas[idx].Name, StateDown, nil, err.Error())
+					}
+					continue
+				}
+				r.metrics.wins[idx].Add(1)
+				mu.Lock()
+				for j, i := range idxs {
+					results[i] = decs[j]
+				}
+				mu.Unlock()
+				return
+			}
+			for _, i := range idxs {
+				fallbackOne(i)
+			}
+		}(primary, idxs)
+	}
+	for _, i := range orphans {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); fallbackOne(i) }(i)
+	}
+	wg.Wait()
+
+	out, err := json.Marshal(batchResults{Results: results})
+	if err != nil {
+		r.writeResponse(w, "batch", http.StatusBadRequest, errorBody(err.Error()), nil)
+		return
+	}
+	r.writeResponse(w, "batch", http.StatusOK, out, nil)
+}
+
+func (r *Router) handleClusterGet(w http.ResponseWriter, _ *http.Request) {
+	b, _ := json.Marshal(r.View())
+	r.writeResponse(w, "cluster", http.StatusOK, b, nil)
+}
+
+func (r *Router) handleClusterPost(w http.ResponseWriter, req *http.Request) {
+	var v View
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBody))
+	if err == nil {
+		err = json.Unmarshal(body, &v)
+	}
+	if err != nil {
+		r.writeResponse(w, "cluster", http.StatusBadRequest, errorBody(err.Error()), nil)
+		return
+	}
+	adopted := r.health.merge(v)
+	r.metrics.merges.Add(uint64(adopted))
+	b, _ := json.Marshal(struct {
+		Adopted int `json:"adopted"`
+	}{Adopted: adopted})
+	r.writeResponse(w, "cluster", http.StatusOK, b, nil)
+}
+
+// reloadSummary is the router's POST /v1/reload body: one entry per replica
+// rolled.
+type reloadSummary struct {
+	Replica    string `json:"replica"`
+	Device     string `json:"device,omitempty"`
+	Generation uint64 `json:"generation"`
+	Warmed     int    `json:"warmed"`
+	Err        string `json:"error,omitempty"`
+}
+
+func (r *Router) handleReload(w http.ResponseWriter, req *http.Request) {
+	var rr struct {
+		Replica string `json:"replica,omitempty"`
+		Device  string `json:"device,omitempty"`
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBody))
+	if err == nil && len(bytes.TrimSpace(body)) > 0 {
+		err = json.Unmarshal(body, &rr)
+	}
+	if err != nil {
+		r.writeResponse(w, "reload", http.StatusBadRequest, errorBody(err.Error()), nil)
+		return
+	}
+	targets := make([]int, 0, len(r.replicas))
+	if rr.Replica != "" {
+		found := -1
+		for i, rep := range r.replicas {
+			if rep.Name == rr.Replica {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			r.writeResponse(w, "reload", http.StatusBadRequest, errorBody(fmt.Sprintf("unknown replica %q", rr.Replica)), nil)
+			return
+		}
+		targets = append(targets, found)
+	} else {
+		for i := range r.replicas {
+			targets = append(targets, i)
+		}
+	}
+
+	r.reloadMu.Lock()
+	defer r.reloadMu.Unlock()
+	summaries := make([]reloadSummary, 0, len(targets))
+	failed := false
+	for _, idx := range targets {
+		s := r.reloadReplica(req.Context(), idx, rr.Device)
+		if s.Err != "" {
+			failed = true
+		}
+		summaries = append(summaries, s)
+	}
+	out, _ := json.Marshal(struct {
+		Reloads []reloadSummary `json:"reloads"`
+	}{Reloads: summaries})
+	code := http.StatusOK
+	if failed {
+		code = http.StatusBadGateway
+	}
+	r.writeResponse(w, "reload", code, out, nil)
+}
+
+// reloadReplica rolls one replica onto a fresh generation with peer
+// cache-warming: the replica leaves rotation (state warming, so its shards
+// re-hash to successors and gather traffic there), reloads, pre-prices the
+// hottest shapes its peers observed for its shards, and only then cuts back
+// in. The new generation goes live warm instead of eating a cold-start
+// latency cliff on its own shard.
+func (r *Router) reloadReplica(ctx context.Context, idx int, device string) reloadSummary {
+	rep := r.replicas[idx]
+	sum := reloadSummary{Replica: rep.Name, Device: device}
+	if r.health.state(rep.Name) == StateDown {
+		sum.Err = "replica down"
+		return sum
+	}
+	r.health.observe(rep.Name, StateWarming, nil, "")
+	defer func() {
+		if sum.Err == "" {
+			r.health.observe(rep.Name, StateUp, nil, "")
+		} else {
+			r.health.observe(rep.Name, StateDown, nil, sum.Err)
+		}
+	}()
+
+	rw, err := rep.Reload(ctx, device)
+	if err != nil {
+		sum.Err = err.Error()
+		return sum
+	}
+	sum.Generation = rw.Generation
+	r.metrics.reloads.Add(1)
+
+	warm := r.gatherWarmShapes(ctx, idx, device)
+	if len(warm) > 0 {
+		if _, err := rep.Batch(ctx, device, warm); err == nil {
+			sum.Warmed = len(warm)
+			r.metrics.warmed.Add(uint64(len(warm)))
+		}
+	}
+	return sum
+}
+
+// gatherWarmShapes collects, from every up peer's served-shape window, the
+// hot shapes whose all-up ring primary is the reloading replica — exactly the
+// traffic that re-hashed away while it was out, and exactly what will come
+// back at cutover. Deduped and ordered hottest-first.
+func (r *Router) gatherWarmShapes(ctx context.Context, idx int, device string) []gemm.Shape {
+	type hot struct {
+		shape gemm.Shape
+		count int
+	}
+	var hots []hot
+	seen := make(map[gemm.Shape]bool)
+	for i, peer := range r.replicas {
+		if i == idx || r.health.state(peer.Name) != StateUp {
+			continue
+		}
+		shapes, err := peer.Window(ctx, device, r.opts.WarmTop)
+		if err != nil {
+			continue
+		}
+		for _, hs := range shapes {
+			shape := gemm.Shape{M: hs.M, K: hs.K, N: hs.N}
+			if seen[shape] {
+				continue
+			}
+			// Primary on the all-up ring: where this shape's traffic lives
+			// when the fleet is healthy — warming anything else would heat a
+			// cache the replica will never be asked from.
+			if r.ring.candidates(device, shape)[0] != idx {
+				continue
+			}
+			seen[shape] = true
+			hots = append(hots, hot{shape: shape, count: hs.Count})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].count != hots[j].count {
+			return hots[i].count > hots[j].count
+		}
+		return hots[i].shape.String() < hots[j].shape.String()
+	})
+	if len(hots) > r.opts.WarmTop {
+		hots = hots[:r.opts.WarmTop]
+	}
+	out := make([]gemm.Shape, len(hots))
+	for i, h := range hots {
+		out[i] = h.shape
+	}
+	return out
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// The router itself is always serviceable: with the fleet dark it still
+	// answers degraded from the local engine, so healthz reports topology
+	// rather than gating on replica liveness.
+	b, _ := json.Marshal(struct {
+		Status      string `json:"status"`
+		ReplicasUp  int    `json:"replicas_up"`
+		ReplicasAll int    `json:"replicas_total"`
+	}{Status: "ok", ReplicasUp: r.health.upCount(), ReplicasAll: len(r.replicas)})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	up := func(name string) float64 {
+		if r.health.state(name) == StateUp {
+			return 1
+		}
+		return 0
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, r.metrics.render(up))
+}
+
+// Handler returns the router's full HTTP surface.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/select", r.handleSelect)
+	mux.HandleFunc("POST /v1/select/batch", r.handleBatch)
+	mux.HandleFunc("GET /v1/cluster", r.handleClusterGet)
+	mux.HandleFunc("POST /v1/cluster", r.handleClusterPost)
+	mux.HandleFunc("POST /v1/reload", r.handleReload)
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	return mux
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"kernelselect/internal/core"
+	"kernelselect/internal/serve"
+	"kernelselect/internal/sim"
+)
+
+// Peer cache-warming on reload: replica-a dies, its shard's traffic re-hashes
+// to replica-b (whose served-shape window records it), replica-a comes back
+// and is rolled through the router's /v1/reload — the router pre-prices the
+// shapes replica-b observed for replica-a's shard into the new generation
+// before cutover, so replica-a's first post-reload request for its hot shape
+// is already a cache hit on the new generation.
+func TestReloadPeerWarmsNewGeneration(t *testing.T) {
+	f := newTestFleet(t, 2, Options{HedgeDelay: -1, Retries: 2},
+		serve.Options{MaxInFlight: 64, WindowSize: 512}, nil)
+
+	// Reload source: each replica retrains onto a fresh (smaller) library.
+	libB := buildFleetLib(t, f.model, 4)
+	for _, srv := range f.srvs {
+		srv.SetReloadSource(func(string) (*core.Library, *sim.Model, error) {
+			return libB, nil, nil
+		})
+	}
+
+	aIdx := 0
+	shape := shapeWithPrimary(t, f.router, "", aIdx)
+	order := f.router.ring.candidates("", shape)
+	aIdx, bIdx := order[0], order[1]
+	aName, bName := replicaName(aIdx), replicaName(bIdx)
+
+	// replica-a's shard traffic lands on its successor while a is down, and
+	// the successor's window records it.
+	f.router.MarkDown(aName)
+	for i := 0; i < 8; i++ {
+		status, d := routerSelect(t, f.rts.URL, shape)
+		if status != http.StatusOK || d.Degraded {
+			t.Fatalf("failover request %d: status %d degraded=%v", i, status, d.Degraded)
+		}
+	}
+	if got := f.router.metrics.wins[bIdx].Load(); got == 0 {
+		t.Fatalf("successor %s served nothing during the outage", bName)
+	}
+
+	// replica-a restarts (listener was never closed here — it was marked
+	// down); roll it through the router with peer warming.
+	f.router.MarkUp(aName)
+	genBefore, err := f.srvs[aIdx].Generation("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]string{"replica": aName})
+	resp, err := http.Post(f.rts.URL+"/v1/reload", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router reload: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Reloads []reloadSummary `json:"reloads"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Reloads) != 1 || out.Reloads[0].Replica != aName {
+		t.Fatalf("reload summary %+v", out.Reloads)
+	}
+	sum := out.Reloads[0]
+	if sum.Err != "" {
+		t.Fatalf("reload error: %s", sum.Err)
+	}
+	if sum.Generation <= genBefore {
+		t.Fatalf("reload generation %d not after %d", sum.Generation, genBefore)
+	}
+	if sum.Warmed == 0 {
+		t.Fatal("peer warm primed no shapes — the successor's window held the shard's traffic")
+	}
+	if got := f.router.metrics.warmed.Load(); got != uint64(sum.Warmed) {
+		t.Errorf("warmed metric %d, summary %d", got, sum.Warmed)
+	}
+	if got := f.router.health.state(aName); got != StateUp {
+		t.Errorf("replica %s state %q after cutover, want up", aName, got)
+	}
+
+	// The hot shape is already cached on the NEW generation: the first
+	// post-reload request through the router hits.
+	status, d := routerSelect(t, f.rts.URL, shape)
+	if status != http.StatusOK || d.Degraded {
+		t.Fatalf("post-reload request: status %d degraded=%v", status, d.Degraded)
+	}
+	if d.Generation != sum.Generation {
+		t.Fatalf("post-reload decision from generation %d, want %d", d.Generation, sum.Generation)
+	}
+	if !d.Cached {
+		t.Error("post-reload request missed — peer warming did not prime the new generation")
+	}
+	if d.Config != libB.Configs[d.Index].String() {
+		t.Errorf("post-reload config %q not at index %d of the new library", d.Config, d.Index)
+	}
+}
+
+// A rolling reload (no replica named) rolls every up replica, one at a time,
+// and reports a summary per replica.
+func TestRollingReloadAllReplicas(t *testing.T) {
+	f := newTestFleet(t, 3, Options{HedgeDelay: -1}, serveOptionsForTests(), nil)
+	libB := buildFleetLib(t, f.model, 4)
+	for _, srv := range f.srvs {
+		srv.SetReloadSource(func(string) (*core.Library, *sim.Model, error) {
+			return libB, nil, nil
+		})
+	}
+	resp, err := http.Post(f.rts.URL+"/v1/reload", "application/json", bytes.NewReader([]byte(`{}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rolling reload: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Reloads []reloadSummary `json:"reloads"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Reloads) != 3 {
+		t.Fatalf("%d reload summaries for 3 replicas", len(out.Reloads))
+	}
+	for i, sum := range out.Reloads {
+		if sum.Err != "" {
+			t.Errorf("replica %d reload error: %s", i, sum.Err)
+		}
+		if sum.Generation == 0 {
+			t.Errorf("replica %d reported generation 0", i)
+		}
+	}
+	for i, srv := range f.srvs {
+		if srv.Library() != libB {
+			t.Errorf("replica %d did not swap libraries", i)
+		}
+	}
+}

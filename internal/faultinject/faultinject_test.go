@@ -171,6 +171,58 @@ func TestMiddlewareCancels(t *testing.T) {
 	}
 }
 
+// A killed Outage severs connections at the transport — the client sees a
+// broken round trip, not an HTTP status — and Restore brings clean service
+// back on the same listener.
+func TestOutageSeversAndRestores(t *testing.T) {
+	o := NewOutage()
+	ts := httptest.NewServer(o.Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})))
+	defer ts.Close()
+
+	get := func() (*http.Response, error) {
+		// A fresh client per call: severed connections must not be reused.
+		c := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+		return c.Get(ts.URL)
+	}
+
+	if resp, err := get(); err != nil {
+		t.Fatalf("healthy request failed: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthy status %d", resp.StatusCode)
+		}
+	}
+
+	o.Kill()
+	if !o.Down() {
+		t.Fatal("Kill did not mark the outage down")
+	}
+	if resp, err := get(); err == nil {
+		resp.Body.Close()
+		t.Fatalf("severed request got an HTTP response: %d", resp.StatusCode)
+	}
+	if o.Kills() != 1 || o.Severed() == 0 {
+		t.Fatalf("kills=%d severed=%d after one kill and one severed request", o.Kills(), o.Severed())
+	}
+	o.Kill() // idempotent: still one kill transition
+	if o.Kills() != 1 {
+		t.Fatalf("repeated Kill counted twice: %d", o.Kills())
+	}
+
+	o.Restore()
+	if resp, err := get(); err != nil {
+		t.Fatalf("restored request failed: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("restored status %d", resp.StatusCode)
+		}
+	}
+}
+
 func TestMiddlewarePassthrough(t *testing.T) {
 	in := New(5, Options{})
 	h := in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,59 @@
+package faultinject
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Outage simulates a replica process dying and later restarting without
+// giving up its listener: while down, every request's connection is severed
+// at the TCP level (hijack + close), so clients observe transport errors —
+// connection reset, EOF — exactly as they would against a crashed process,
+// rather than a graceful HTTP error a live-but-unhealthy process would send.
+// Kill and Restore are the chaos harness's seam for mid-run replica
+// kill/restart; the harness derives which replica dies and when from its run
+// seed, keeping the outage schedule reproducible.
+type Outage struct {
+	down    atomic.Bool
+	kills   atomic.Uint64
+	severed atomic.Uint64
+}
+
+// NewOutage returns a restored (serving) outage switch.
+func NewOutage() *Outage { return &Outage{} }
+
+// Kill severs the replica: subsequent requests get their connections closed.
+func (o *Outage) Kill() {
+	if !o.down.Swap(true) {
+		o.kills.Add(1)
+	}
+}
+
+// Restore brings the replica back; in-flight severed connections stay dead.
+func (o *Outage) Restore() { o.down.Store(false) }
+
+// Down reports whether the replica is currently severed.
+func (o *Outage) Down() bool { return o.down.Load() }
+
+// Kills counts Kill transitions; Severed counts connections cut while down.
+func (o *Outage) Kills() uint64   { return o.kills.Load() }
+func (o *Outage) Severed() uint64 { return o.severed.Load() }
+
+// Middleware wraps a replica's handler with the outage switch.
+func (o *Outage) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if o.down.Load() {
+			o.severed.Add(1)
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			// No hijacking (e.g. HTTP/2): abort the response stream so the
+			// client still sees a broken transport, not a status code.
+			panic(http.ErrAbortHandler)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

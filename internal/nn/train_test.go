@@ -217,8 +217,8 @@ func TestBackwardGEMMShapes(t *testing.T) {
 	m, _ := NewMLP(100, 50, 10)
 	shapes := m.BackwardGEMMShapes(32)
 	want := []gemm.Shape{
-		{M: 50, K: 32, N: 10}, // dW layer 1
-		{M: 32, K: 10, N: 50}, // dX layer 1
+		{M: 50, K: 32, N: 10},  // dW layer 1
+		{M: 32, K: 10, N: 50},  // dX layer 1
 		{M: 100, K: 32, N: 50}, // dW layer 0
 	}
 	if len(shapes) != len(want) {

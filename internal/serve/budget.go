@@ -54,11 +54,11 @@ type backend struct {
 	regretHist         *valueHistogram // sampled full-service decision regret
 	regretDegradedHist *valueHistogram // sampled degraded-path (fallback) regret
 
-	window    *shapeWindow               // served-shape sliding window; nil disables the loop
-	driftRef  atomic.Pointer[shapeMix]   // reference mix drift is scored against
-	driftBits atomic.Uint64              // latest PSI score, float64 bits
+	window    *shapeWindow             // served-shape sliding window; nil disables the loop
+	driftRef  atomic.Pointer[shapeMix] // reference mix drift is scored against
+	driftBits atomic.Uint64            // latest PSI score, float64 bits
 
-	retrainBusy     atomic.Bool   // one shadow retrain per backend at a time
+	retrainBusy     atomic.Bool // one shadow retrain per backend at a time
 	retrainPromoted atomic.Uint64
 	retrainRejected atomic.Uint64
 	retrainErrors   atomic.Uint64
@@ -71,6 +71,51 @@ type backend struct {
 	cacheHitsBase   atomic.Uint64
 	cacheMissesBase atomic.Uint64
 	warmedTotal     atomic.Uint64
+
+	// reloadCall coalesces concurrent POST /v1/reload requests for this
+	// backend: overlapping requests ride the leader's source read + swap and
+	// answer with the same generation, so a reload storm (the cluster
+	// router's peer-warm cutover retries, a misfiring deploy hook) builds one
+	// generation instead of racing to build N and discarding N-1.
+	reloadMu   sync.Mutex
+	reloadCall *reloadCall
+}
+
+// reloadCall is one in-flight coalesced reload: the leader populates the
+// result fields and closes done; followers block on done and read them.
+type reloadCall struct {
+	done   chan struct{}
+	joined atomic.Int32 // requests riding this flight, leader included
+	genID  uint64
+	name   string // selector name of the library that was swapped in
+	cfgs   int    // its configuration count
+	err    error
+}
+
+// joinReload returns the backend's in-flight reload call, creating it (and
+// electing the caller leader) when none is running. The leader must call
+// finishReload exactly once.
+func (be *backend) joinReload() (c *reloadCall, leader bool) {
+	be.reloadMu.Lock()
+	defer be.reloadMu.Unlock()
+	if c := be.reloadCall; c != nil {
+		c.joined.Add(1)
+		return c, false
+	}
+	c = &reloadCall{done: make(chan struct{})}
+	c.joined.Add(1)
+	be.reloadCall = c
+	return c, true
+}
+
+// finishReload publishes the leader's result to every coalesced follower and
+// opens the door for the next reload. Requests that arrive after this point
+// start a fresh reload — only overlapping requests coalesce.
+func (be *backend) finishReload(c *reloadCall) {
+	be.reloadMu.Lock()
+	be.reloadCall = nil
+	be.reloadMu.Unlock()
+	close(c.done)
 }
 
 // acquire takes one budget token, reporting false when the budget is
@@ -233,4 +278,17 @@ func (b *breaker) snapshot() (breakerState, uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state, b.trips
+}
+
+// BudgetsQuiesced reports whether every backend's admission budget is fully
+// replenished and its in-flight gauge has returned to zero — true once all
+// traffic has drained. Cross-package chaos harnesses poll it to assert token
+// conservation without reaching into admission internals.
+func (s *Server) BudgetsQuiesced() bool {
+	for _, be := range s.backends {
+		if be.budgetFree() != be.budgetCap || be.inflight.Load() != 0 {
+			return false
+		}
+	}
+	return true
 }

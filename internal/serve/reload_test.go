@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -288,5 +289,107 @@ func TestReloadUnderLoad(t *testing.T) {
 	}
 	if inflight := be.inflight.Load(); inflight != 0 {
 		t.Fatalf("inflight gauge %d after quiesce", inflight)
+	}
+}
+
+// Overlapping POST /v1/reload requests must coalesce into one flight: the
+// source runs once, one generation is built, and every caller answers with
+// that same generation. Before single-flight, a reload storm (the cluster
+// router's peer-warm cutover, a misfiring deploy hook) raced to build N
+// generations and discarded N-1 of them, wiping the warm cache each time.
+func TestReloadSingleFlight(t *testing.T) {
+	model := sim.New(device.R9Nano())
+	libA := buildLib(t, model, 6)
+	libB := buildLib(t, model, 4)
+	srv := New(libA, model, Options{FallbackShapes: reloadShapes})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	srv.SetReloadSource(func(string) (*core.Library, *sim.Model, error) {
+		calls.Add(1)
+		<-gate
+		return libB, nil, nil
+	})
+
+	const storm = 6
+	results := make(chan reloadResponse, storm)
+	errs := make(chan error, storm)
+	for i := 0; i < storm; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/reload", "application/json", bytes.NewReader([]byte(`{}`)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("reload status %d", resp.StatusCode)
+				return
+			}
+			var rr reloadResponse
+			if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+				errs <- err
+				return
+			}
+			results <- rr
+		}()
+	}
+
+	// Hold the source until every request has joined the flight, so the
+	// coalescing window provably covers the whole storm.
+	be := srv.backends[0]
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var joined int32
+		be.reloadMu.Lock()
+		if be.reloadCall != nil {
+			joined = be.reloadCall.joined.Load()
+		}
+		be.reloadMu.Unlock()
+		if joined == storm {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests joined the reload flight", joined, storm)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+
+	gens := map[uint64]bool{}
+	for i := 0; i < storm; i++ {
+		select {
+		case rr := <-results:
+			gens[rr.Generation] = true
+			if rr.Configs != len(libB.Configs) {
+				t.Errorf("reload response %+v, want %d configs", rr, len(libB.Configs))
+			}
+		case err := <-errs:
+			t.Fatal(err)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("reload source ran %d times for %d concurrent requests, want 1", got, storm)
+	}
+	if len(gens) != 1 {
+		t.Errorf("coalesced reloads answered %d distinct generations: %v", len(gens), gens)
+	}
+
+	// The door reopens once the flight lands: a later reload runs the source
+	// again and advances the generation.
+	resp, err := http.Post(ts.URL+"/v1/reload", "application/json", bytes.NewReader([]byte(`{}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := decodeResp[reloadResponse](t, resp)
+	if got := calls.Load(); got != 2 {
+		t.Errorf("post-storm reload source calls %d, want 2", got)
+	}
+	for g := range gens {
+		if rr.Generation <= g {
+			t.Errorf("post-storm generation %d not after coalesced generation %d", rr.Generation, g)
+		}
 	}
 }

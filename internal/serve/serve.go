@@ -612,6 +612,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/reload", s.instrument("reload", s.handleReload))
 	mux.HandleFunc("GET /v1/configs", s.instrument("configs", s.handleConfigs))
 	mux.HandleFunc("GET /v1/devices", s.instrument("devices", s.handleDevices))
+	mux.HandleFunc("GET /v1/window", s.instrument("window", s.handleWindow))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -673,6 +674,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// retryAfterSeconds is the back-off hint stamped on every 429 shed and 503
+// drain/deadline response. Both conditions are transient — an EWMA decaying,
+// a deadline that was too short, a drain rotating the instance out — so one
+// second is long enough for the load balancer or the cluster router to stop
+// hammering a saturated replica and short enough that a recovered backend
+// picks its traffic back up on the next attempt.
+const retryAfterSeconds = "1"
+
+// writeRetryable writes an error response with a Retry-After header, used by
+// every 429 shed and 503 drain/deadline path so well-behaved clients (and the
+// cluster router's backoff) know the condition is transient.
+func writeRetryable(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	writeJSON(w, code, v)
+}
+
 // writeBodyError maps a decodeBody failure to its status: 413 when the body
 // blew the size cap, 400 for everything else.
 func writeBodyError(w http.ResponseWriter, err error) {
@@ -694,7 +711,7 @@ func (s *Server) admit(w http.ResponseWriter, be *backend) (release func(), degr
 	if be.overloaded(s.opts.ShedLatency) {
 		be.shed.Add(1)
 		markNoLatency(w)
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+		writeRetryable(w, http.StatusTooManyRequests, errorResponse{
 			Error: fmt.Sprintf("backend %q overloaded", be.name),
 		})
 		return nil, false, true
@@ -790,7 +807,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	d, err := s.decide(ctx, be, shape)
 	if err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request deadline exceeded"})
+		writeRetryable(w, http.StatusServiceUnavailable, errorResponse{Error: "request deadline exceeded"})
 		return
 	}
 	if d.Degraded {
@@ -868,7 +885,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return d
 	})
 	if ctx.Err() != nil {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request deadline exceeded"})
+		writeRetryable(w, http.StatusServiceUnavailable, errorResponse{Error: "request deadline exceeded"})
 		return
 	}
 	anyDegraded := false
@@ -915,24 +932,42 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no reload source configured"})
 		return
 	}
-	lib, model, err := s.reloadSource(be.name)
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{
-			Error: fmt.Sprintf("reload source for %q: %v", be.name, err),
-		})
-		return
+	// Single-flight: overlapping reload requests for the same backend
+	// coalesce onto one leader. Without this, N concurrent POSTs race to
+	// build N generations, N−1 of which are displaced immediately — wasted
+	// pricing work plus a cache wipe per extra build. The router's peer-warm
+	// cutover (and any redundant deploy hook) makes this race routine.
+	call, leader := be.joinReload()
+	if leader {
+		func() {
+			defer be.finishReload(call)
+			lib, model, err := s.reloadSource(be.name)
+			if err != nil {
+				call.err = fmt.Errorf("reload source for %q: %v", be.name, err)
+				return
+			}
+			genID, err := s.Reload(be.name, lib, model)
+			if err != nil {
+				call.err = err
+				return
+			}
+			call.genID = genID
+			call.name = lib.SelectorName()
+			call.cfgs = len(lib.Configs)
+		}()
+	} else {
+		<-call.done
 	}
-	genID, err := s.Reload(be.name, lib, model)
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	if call.err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: call.err.Error()})
 		return
 	}
 	total, warmed, done := be.gen.Load().warmSnapshot()
 	writeJSON(w, http.StatusOK, reloadResponse{
 		Device:       be.name,
-		Generation:   genID,
-		Selector:     lib.SelectorName(),
-		Configs:      len(lib.Configs),
+		Generation:   call.genID,
+		Selector:     call.name,
+		Configs:      call.cfgs,
 		WarmShapes:   total,
 		Warmed:       warmed,
 		WarmComplete: done,
@@ -990,6 +1025,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining() {
 		resp.Status = "draining"
 		code = http.StatusServiceUnavailable
+		// Draining is the canonical transient 503: the instance is rotating
+		// out, so tell pollers when to look again.
+		w.Header().Set("Retry-After", retryAfterSeconds)
 	}
 	writeJSON(w, code, resp)
 }

@@ -183,6 +183,9 @@ func TestHealthzAndDraining(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("draining: status %d, want 503", resp.StatusCode)
 	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterSeconds {
+		t.Errorf("draining Retry-After = %q, want %q", got, retryAfterSeconds)
+	}
 }
 
 // metricValue extracts the first sample matching the (possibly labelled)
@@ -388,6 +391,9 @@ func TestShedsAtLatencyThreshold(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overloaded: status %d, want 429", resp.StatusCode)
 	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterSeconds {
+		t.Errorf("shed Retry-After = %q, want %q", got, retryAfterSeconds)
+	}
 	resp.Body.Close()
 
 	page := metricsPage(t, ts)
@@ -422,6 +428,9 @@ func TestBatchDeadlineExceeded(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterSeconds {
+		t.Errorf("deadline Retry-After = %q, want %q", got, retryAfterSeconds)
 	}
 }
 
