@@ -15,7 +15,7 @@ COVER_FLOOR ?= 70
 # Seeds for the chaos sweep (`make chaos`); each seed is one fault schedule.
 CHAOS_SEEDS ?= 12
 
-.PHONY: build test race race-serve race-retrain race-unified race-cluster vet bench bench-price bench-serve bench-serve-check saturation scaleout fuzz fuzz-smoke cover chaos chaos-cluster check
+.PHONY: build test race race-serve race-retrain race-unified race-cluster vet bench bench-price bench-router bench-serve bench-serve-check saturation scaleout fuzz fuzz-smoke cover chaos chaos-cluster check
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,41 @@ bench-price:
 	fi; \
 	echo "bench-price: PriceBatch $$new ns/op within $(PRICE_TOLERANCE)x of baseline $$base ns/op"
 
+# Router fast-path gate, three tripwires against the committed
+# BENCH_router.txt baseline:
+#   1. the edge-cache hit must stay within ROUTER_TOLERANCE x the baseline
+#      ns/op (same loose factor as bench-price: shared boxes swing, losing
+#      the pre-rendered-body path is a >10x regression);
+#   2. the hit path must allocate exactly zero bytes per request — the whole
+#      point of the pre-rendered body, and the first thing an innocent
+#      "just add a header" change breaks;
+#   3. the coalescing benchmark's herd must amortize to at least
+#      COALESCE_FLOOR requests per upstream call, or the micro-batcher has
+#      stopped merging concurrent same-replica misses.
+ROUTER_TOLERANCE ?= 2.5
+COALESCE_FLOOR ?= 2.0
+
+bench-router:
+	@$(GO) test -run '^$$' -bench '^BenchmarkRouter(CacheHit|Coalesce)$$' -benchtime 2s -benchmem ./internal/cluster | tee .bench_router.tmp
+	@new=$$(awk '/^BenchmarkRouterCacheHit/ {print $$3; exit}' .bench_router.tmp); \
+	base=$$(awk '/^BenchmarkRouterCacheHit/ {print $$3; exit}' BENCH_router.txt); \
+	allocs=$$(awk '/^BenchmarkRouterCacheHit/ {for (i=1; i<=NF; i++) if ($$i == "allocs/op") print $$(i-1); exit}' .bench_router.tmp); \
+	coalesce=$$(awk '/^BenchmarkRouterCoalesce/ {for (i=1; i<=NF; i++) if ($$i == "reqs/upstream") print $$(i-1); exit}' .bench_router.tmp); \
+	rm -f .bench_router.tmp; \
+	if [ -z "$$new" ] || [ -z "$$base" ] || [ -z "$$allocs" ] || [ -z "$$coalesce" ]; then \
+		echo "bench-router: missing measurement (bench output or BENCH_router.txt baseline)"; exit 1; \
+	fi; \
+	if ! awk "BEGIN{exit !($$new <= $$base * $(ROUTER_TOLERANCE))}"; then \
+		echo "bench-router: cache hit $$new ns/op exceeds $(ROUTER_TOLERANCE)x baseline $$base ns/op"; exit 1; \
+	fi; \
+	if [ "$$allocs" != "0" ]; then \
+		echo "bench-router: cache hit allocates $$allocs allocs/op, want 0"; exit 1; \
+	fi; \
+	if ! awk "BEGIN{exit !($$coalesce >= $(COALESCE_FLOOR))}"; then \
+		echo "bench-router: $$coalesce reqs/upstream is below the $(COALESCE_FLOOR) coalescing floor"; exit 1; \
+	fi; \
+	echo "bench-router: cache hit $$new ns/op (0 allocs) within $(ROUTER_TOLERANCE)x of $$base ns/op; herd amortizes $$coalesce reqs/upstream"
+
 # Serving-path latency baseline: drive a warmed in-process two-device server
 # with the load generator and write the quantile/degradation report to
 # BENCH_serve.json for cross-change comparison.
@@ -103,6 +138,11 @@ bench-serve:
 #      regret under 0.05. The full-mix selector measures ~0.001-0.006, so the
 #      ceiling has ~10x headroom for tie-break jitter while a selector that
 #      stopped compressing the mix (~0.1+) fails.
+#   4. the scaleout run keeps the 2.5x strong-scaling ratio AND the warmed
+#      fast-path gate: with the edge cache and micro-batcher on, the primed
+#      3-replica fleet must sustain >= 1570 full-service QPS (5x the 314 QPS
+#      pre-fast-path fig7 baseline) with cache-hit p99 under 1ms and zero
+#      errors.
 bench-serve-check:
 	$(GO) run ./cmd/selectload -inprocess -warm -qps 500 -duration 3s -workers 32 \
 		-baseline BENCH_serve.json -tolerance 0.5 -p99-slack 75ms
@@ -112,7 +152,8 @@ bench-serve-check:
 	$(GO) run ./cmd/selectload -inprocess -warm -qps 300 -duration 3s -workers 32 \
 		-regret-sample 1 -max-regret 0.05
 	$(GO) run ./cmd/selectload -scaleout -scaleout-replicas 3 -scaleout-duration 2s \
-		-scaleout-kill 0 -scaleout-gate 2.5 -p99-slack 50ms
+		-scaleout-kill 0 -scaleout-gate 2.5 -p99-slack 50ms \
+		-scaleout-warmed-qps 1600 -scaleout-warmed-gate 1570 -scaleout-warmed-p99 1ms
 
 # Saturation sweep (Figure 6): ramp the offered rate on the warmed stress
 # server (-stress: tight admission budget, measured 2ms pricing; -warm:
@@ -131,9 +172,12 @@ saturation:
 # Scale-out sweep (Figure 7): strong scaling of a sharded selectd fleet
 # behind the consistent-hash router — replica counts 1..3 at a fixed offered
 # rate, then a timeline run at the full fleet with a seed-chosen replica
-# killed mid-run and restored. The run itself enforces the availability
-# contract (zero non-degraded 5xx, fleet reconverges to an all-up /v1/cluster
-# view) and fails if either breaks.
+# killed mid-run and restored, then the warmed fast-path phase: the full
+# fleet rebuilt with the router's edge cache and micro-batcher on, every
+# shape primed through the router, and a 3-step offered sweep up to 1600 QPS
+# measuring what the hit path sustains. The run itself enforces the
+# availability contract (zero non-degraded 5xx, fleet reconverges to an
+# all-up /v1/cluster view) and fails if either breaks.
 scaleout:
 	$(GO) run ./cmd/selectload -scaleout -scaleout-replicas 3 -scaleout-duration 3s \
 		-scaleout-kill 6s -json figures/fig7-scaleout.json -fig figures/fig7-scaleout.svg
@@ -176,4 +220,4 @@ cover:
 		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; \
 	fi
 
-check: build vet test race-serve race-retrain race-unified race-cluster chaos chaos-cluster bench-price bench-serve-check race fuzz-smoke cover
+check: build vet test race-serve race-retrain race-unified race-cluster chaos chaos-cluster bench-price bench-router bench-serve-check race fuzz-smoke cover

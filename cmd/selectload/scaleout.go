@@ -21,10 +21,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -50,6 +55,14 @@ type scaleoutConfig struct {
 	p99Slack  time.Duration // absolute p99 grace for the gate
 	seed      uint64
 	workers   int
+
+	// Warmed fast-path phase: after the strong-scaling sweep, the full fleet
+	// is rebuilt with the router's edge cache and micro-batcher on, the whole
+	// shape mix is warmed through the router, and a 3-step offered sweep
+	// measures what the fast path serves. warmedQPS 0 skips the phase.
+	warmedQPS  int
+	warmedGate float64       // full-service QPS floor at the top offered step (0 = no gate)
+	warmedP99  time.Duration // p99 ceiling at the top offered step (0 = no gate)
 }
 
 type scalePoint struct {
@@ -81,12 +94,29 @@ type killReport struct {
 	Reconverged   bool         `json:"reconverged"` // /v1/cluster all-up after the run
 }
 
+type warmedPoint struct {
+	OfferedQPS     int     `json:"offered_qps"`
+	AchievedQPS    float64 `json:"achieved_qps"`
+	FullServiceQPS float64 `json:"full_service_qps"`
+	P99Micros      int64   `json:"p99_us"`
+	DegradedRate   float64 `json:"degraded_rate"`
+	Errors         int     `json:"errors"`
+	EdgeHitRate    float64 `json:"edge_hit_rate"` // router-side, from /metrics deltas
+}
+
+type warmedReport struct {
+	Replicas     int           `json:"replicas"`
+	WarmedShapes int           `json:"warmed_shapes"`
+	Points       []warmedPoint `json:"points"`
+}
+
 type scaleoutReport struct {
-	OfferedQPS   int          `json:"offered_qps"`
-	StepDuration string       `json:"step_duration"`
-	Seed         uint64       `json:"seed"`
-	Points       []scalePoint `json:"points"`
-	Kill         *killReport  `json:"kill,omitempty"`
+	OfferedQPS   int           `json:"offered_qps"`
+	StepDuration string        `json:"step_duration"`
+	Seed         uint64        `json:"seed"`
+	Points       []scalePoint  `json:"points"`
+	Kill         *killReport   `json:"kill,omitempty"`
+	Warmed       *warmedReport `json:"warmed,omitempty"`
 }
 
 // scaleFleet is one in-process fleet: n outage-wrapped stress replicas behind
@@ -123,7 +153,13 @@ func (f *scaleFleet) Close() {
 // itself is cheap, so the sweep measures how sharding multiplies the
 // budget-bound capacity even on a small host, rather than how many HTTP hops
 // one box can push.
-func buildScaleFleet(n int, seed uint64) (*scaleFleet, error) {
+//
+// fastPath turns the router's edge cache and micro-batcher on. The strong-
+// scaling sweep and the kill timeline keep it off — a cache in front of the
+// replicas would decouple the measured rate from the admission budget and the
+// scaling ratio would stop meaning anything — while the warmed phase turns it
+// on to measure what the fast path itself sustains.
+func buildScaleFleet(n int, seed uint64, fastPath bool) (*scaleFleet, error) {
 	allShapes, _ := workload.DatasetShapes()
 	configs := gemm.AllConfigs()[:160]
 	trainShapes := allShapes[:24]
@@ -163,14 +199,19 @@ func buildScaleFleet(n int, seed uint64) (*scaleFleet, error) {
 	lib := core.BuildLibrary(ds, core.DecisionTree{}, core.DecisionTreeSelector{}, 8, seed)
 	f.local = serve.New(lib, model, serve.Options{FallbackShapes: allShapes})
 
-	router, err := cluster.New(cluster.Options{
+	ropts := cluster.Options{
 		Replicas:      replicas,
 		Local:         f.local,
 		Retries:       2,
 		RetryBackoff:  2 * time.Millisecond,
 		HedgeDelay:    150 * time.Millisecond, // above the full pricing path: hedge on stragglers, not on every miss
 		ProbeInterval: 100 * time.Millisecond,
-	})
+	}
+	if fastPath {
+		ropts.EdgeCacheSize = 4096
+		ropts.BatchWindow = 250 * time.Microsecond
+	}
+	router, err := cluster.New(ropts)
 	if err != nil {
 		f.partialClose()
 		return nil, err
@@ -203,7 +244,7 @@ func runScaleout(sc scaleoutConfig, jsonPath, figPath string) error {
 		Seed:         sc.seed,
 	}
 	for n := 1; n <= sc.replicas; n++ {
-		f, err := buildScaleFleet(n, sc.seed)
+		f, err := buildScaleFleet(n, sc.seed, false)
 		if err != nil {
 			return err
 		}
@@ -240,6 +281,14 @@ func runScaleout(sc scaleoutConfig, jsonPath, figPath string) error {
 		rep.Kill = kr
 	}
 
+	if sc.warmedQPS > 0 {
+		wr, err := runWarmedPhase(sc)
+		if err != nil {
+			return err
+		}
+		rep.Warmed = wr
+	}
+
 	printScaleout(os.Stdout, rep)
 	if jsonPath != "" {
 		writeJSONFile(jsonPath, rep)
@@ -255,6 +304,9 @@ func runScaleout(sc scaleoutConfig, jsonPath, figPath string) error {
 		log.Printf("wrote %s", figPath)
 	}
 	if sc.gate > 0 && !gateScaleout(os.Stdout, rep, sc) {
+		os.Exit(1)
+	}
+	if sc.warmedGate > 0 && rep.Warmed != nil && !gateWarmed(os.Stdout, rep.Warmed, sc) {
 		os.Exit(1)
 	}
 	if rep.Kill != nil {
@@ -273,7 +325,7 @@ func runScaleout(sc scaleoutConfig, jsonPath, figPath string) error {
 // victim is killed at 1/3 of the run and restored at 2/3, bucketing outcomes
 // into a recovery timeline.
 func runKillTimeline(sc scaleoutConfig) (*killReport, error) {
-	f, err := buildScaleFleet(sc.replicas, sc.seed)
+	f, err := buildScaleFleet(sc.replicas, sc.seed, false)
 	if err != nil {
 		return nil, err
 	}
@@ -402,6 +454,182 @@ func runKillTimeline(sc scaleoutConfig) (*killReport, error) {
 	return kr, nil
 }
 
+// runWarmedPhase rebuilds the full fleet with the router fast path on (edge
+// cache + micro-batcher), primes every shape in the mix through the router,
+// then sweeps three offered rates up to warmedQPS. With the cache warm,
+// nearly every request is a pre-rendered zero-allocation hit, so the fleet's
+// ceiling is the router's proxy loop rather than the replicas' admission
+// budgets — the phase measures that ceiling and the hit-path latency.
+func runWarmedPhase(sc scaleoutConfig) (*warmedReport, error) {
+	// The router's hit path allocates nothing, but this process also hosts
+	// the load generator, whose per-request marshal/decode garbage drives GC
+	// mark assists that land in the measured tail. Relax the GC for the
+	// duration of the phase — the heap stays small either way — so the p99
+	// reflects the serving path, not the measurement client's trash.
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+
+	f, err := buildScaleFleet(sc.replicas, sc.seed, true)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	shapes, _ := workload.DatasetShapes()
+	if err := warmFastPath(f.rts.URL, shapes); err != nil {
+		return nil, err
+	}
+	wr := &warmedReport{Replicas: sc.replicas, WarmedShapes: len(shapes)}
+
+	// The sweep's worker floor is sized for 64ms pricing-bound requests; a
+	// cache hit round-trips in well under a millisecond, so the same fleet of
+	// workers would just fight the scheduler and poison the hit-path tail.
+	// rate x latency with generous slack needs only a couple dozen slots.
+	workers := sc.workers
+	if workers > 24 {
+		workers = 24
+	}
+
+	for _, qps := range []int{sc.warmedQPS / 2, sc.warmedQPS * 3 / 4, sc.warmedQPS} {
+		// Pay down the allocation debt of fleet building, warming, and the
+		// previous step outside the measured window, so no collection lands
+		// mid-step on a small host.
+		runtime.GC()
+		hits0, _ := scrapeMetric(f.rts.URL, "selectrouter_cache_hits_total")
+		miss0, _ := scrapeMetric(f.rts.URL, "selectrouter_cache_misses_total")
+		r, err := run(config{
+			url:      f.rts.URL,
+			qps:      qps,
+			duration: sc.duration,
+			seed:     sc.seed,
+			workers:  workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		hits1, _ := scrapeMetric(f.rts.URL, "selectrouter_cache_hits_total")
+		miss1, _ := scrapeMetric(f.rts.URL, "selectrouter_cache_misses_total")
+		pt := warmedPoint{OfferedQPS: qps, AchievedQPS: r.AchievedQPS}
+		for _, d := range r.Devices {
+			pt.P99Micros = d.P99Micros
+			pt.DegradedRate = d.DegradedRate
+			pt.Errors = d.Errors
+			pt.FullServiceQPS = r.AchievedQPS * (1 - d.DegradedRate - d.ShedRate)
+		}
+		if dh, dm := hits1-hits0, miss1-miss0; dh+dm > 0 {
+			pt.EdgeHitRate = dh / (dh + dm)
+		}
+		wr.Points = append(wr.Points, pt)
+		log.Printf("warmed fleet @%d offered: achieved %.1f qps (%.1f full service), p99 %dus, edge hit rate %.1f%%",
+			qps, pt.AchievedQPS, pt.FullServiceQPS, pt.P99Micros, pt.EdgeHitRate*100)
+	}
+	return wr, nil
+}
+
+// warmFastPath requests every shape through the router until it answers full
+// quality. Degraded answers are never edge-cached, so a warm pass that
+// tolerated them would leave cold entries behind and the measured phase would
+// mix pricing misses into the hit-path numbers.
+func warmFastPath(url string, shapes []gemm.Shape) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	jobs := make(chan gemm.Shape, len(shapes))
+	for _, s := range shapes {
+		jobs <- s
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				if err := warmShape(client, url, s); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+func warmShape(client *http.Client, url string, s gemm.Shape) error {
+	raw, _ := json.Marshal(map[string]any{"m": s.M, "k": s.K, "n": s.N, "device": ""})
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Post(url+"/v1/select", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		var d struct {
+			Degraded bool `json:"degraded"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&d)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && derr == nil && !d.Degraded {
+			return nil
+		}
+		// Saturated or degraded: the replica's admission budget needs a beat.
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("shape %dx%dx%d never reached full quality during the warm pass", s.M, s.K, s.N)
+}
+
+// scrapeMetric reads one un-labeled metric value from the router's
+// Prometheus text exposition.
+func scrapeMetric(url, name string) (float64, error) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found in %s/metrics", name, url)
+}
+
+// gateWarmed enforces the fast-path contract at the top offered step: the
+// warmed fleet holds the full-service floor, keeps the (cache-hit dominated)
+// p99 under the ceiling, and records not a single transport or 5xx error.
+func gateWarmed(w *os.File, wr *warmedReport, sc scaleoutConfig) bool {
+	top := wr.Points[len(wr.Points)-1]
+	pass := true
+	if top.FullServiceQPS < sc.warmedGate {
+		pass = false
+		fmt.Fprintf(w, "FAIL warmed fleet full-service qps %.1f < floor %.1f\n", top.FullServiceQPS, sc.warmedGate)
+	} else {
+		fmt.Fprintf(w, "ok   warmed fleet full-service qps %.1f >= floor %.1f\n", top.FullServiceQPS, sc.warmedGate)
+	}
+	if sc.warmedP99 > 0 {
+		if ceil := sc.warmedP99.Microseconds(); top.P99Micros > ceil {
+			pass = false
+			fmt.Fprintf(w, "FAIL warmed fleet p99 %dus > ceiling %dus\n", top.P99Micros, ceil)
+		} else {
+			fmt.Fprintf(w, "ok   warmed fleet p99 %dus <= ceiling %dus\n", top.P99Micros, ceil)
+		}
+	}
+	if top.Errors > 0 {
+		pass = false
+		fmt.Fprintf(w, "FAIL warmed fleet recorded %d errors, want 0\n", top.Errors)
+	} else {
+		fmt.Fprintf(w, "ok   warmed fleet recorded 0 errors\n")
+	}
+	return pass
+}
+
 // gateScaleout enforces the fleet smoke gate: the full fleet must deliver at
 // least gate× one replica's full-service throughput without giving the p99
 // back (ceiling = single-replica p99 stretched by the relative tolerance
@@ -446,6 +674,16 @@ func printScaleout(w *os.File, rep scaleoutReport) {
 		fmt.Fprintf(w, "kill run (%d replicas): %s killed at %.1fs, restored at %.1fs; bad statuses %d, transport errors %d, reconverged %v\n",
 			rep.Kill.Replicas, rep.Kill.Victim, rep.Kill.KillAtS, rep.Kill.RestoreAtS,
 			rep.Kill.BadStatuses, rep.Kill.TransportErrs, rep.Kill.Reconverged)
+	}
+	if wr := rep.Warmed; wr != nil {
+		fmt.Fprintf(w, "warmed fast path (%d replicas, %d shapes primed):\n", wr.Replicas, wr.WarmedShapes)
+		fmt.Fprintf(w, "%-9s %12s %14s %10s %10s %7s %7s\n",
+			"offered", "achieved", "full_service", "p99(us)", "degraded%", "hit%", "errors")
+		for _, pt := range wr.Points {
+			fmt.Fprintf(w, "%-9d %12.1f %14.1f %10d %9.2f%% %6.1f%% %7d\n",
+				pt.OfferedQPS, pt.AchievedQPS, pt.FullServiceQPS, pt.P99Micros,
+				pt.DegradedRate*100, pt.EdgeHitRate*100, pt.Errors)
+		}
 	}
 }
 
@@ -530,6 +768,48 @@ func scaleoutFigure(rep scaleoutReport) (string, error) {
 			return "", err
 		}
 		panels = append(panels, tl, dg)
+	}
+	if wr := rep.Warmed; wr != nil && len(wr.Points) > 0 {
+		wx := make([]float64, len(wr.Points))
+		offered := make([]float64, len(wr.Points))
+		ach := make([]float64, len(wr.Points))
+		fs := make([]float64, len(wr.Points))
+		wp99 := make([]float64, len(wr.Points))
+		for i, pt := range wr.Points {
+			wx[i] = float64(pt.OfferedQPS)
+			offered[i] = float64(pt.OfferedQPS)
+			ach[i] = pt.AchievedQPS
+			fs[i] = pt.FullServiceQPS
+			wp99[i] = float64(pt.P99Micros)
+		}
+		wt, err := plot.LineChart{
+			Title: fmt.Sprintf("Warmed fast path (%d replicas, edge cache + micro-batching on)",
+				wr.Replicas),
+			XLabel: "offered QPS",
+			YLabel: "QPS",
+			X:      wx,
+			Series: []plot.Series{
+				{Name: "offered", Y: offered},
+				{Name: "achieved", Y: ach},
+				{Name: "full service", Y: fs},
+			},
+			Markers: true,
+		}.SVG()
+		if err != nil {
+			return "", err
+		}
+		wl, err := plot.LineChart{
+			Title:   "Cache-hit p99 under the warmed sweep",
+			XLabel:  "offered QPS",
+			YLabel:  "p99 (us)",
+			X:       wx,
+			Series:  []plot.Series{{Name: "p99", Y: wp99}},
+			Markers: true,
+		}.SVG()
+		if err != nil {
+			return "", err
+		}
+		panels = append(panels, wt, wl)
 	}
 	return plot.VStack(panels...)
 }

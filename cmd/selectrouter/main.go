@@ -7,6 +7,14 @@
 // candidate is down — answers degraded from a router-local engine trained
 // in-process, so a priceable shape never sees a 5xx.
 //
+// In front of the routing ladder sits the fast path: a generation-aware edge
+// cache (-edge-cache) answers repeat (device, shape) requests from
+// pre-rendered bodies with zero allocations, invalidated the moment the
+// gossiped view reports a generation bump for the owning replica, and an
+// adaptive micro-batcher (-batch-window) coalesces concurrent misses bound
+// for the same replica into one upstream /v1/select/batch call with
+// single-flight dedup per shape. Degraded answers are never cached.
+//
 // Health is probed per replica (-probe-interval) and folded into a gossiped
 // view: GET /v1/cluster serves it, POST /v1/cluster merges a peer router's
 // view (sequence numbers win), and -peers names the other routers this one
@@ -41,6 +49,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -72,6 +81,10 @@ func main() {
 	backoffCap := flag.Duration("backoff-cap", time.Second, "longest a Retry-After can deprioritize a replica")
 	vnodes := flag.Int("vnodes", 128, "virtual nodes per replica on the hash ring")
 	warmTop := flag.Int("warm-top", 64, "hottest shard shapes pre-priced from peer windows on reload")
+	edgeCache := flag.Int("edge-cache", 4096, "generation-aware edge cache entries per device (0 disables)")
+	batchWindow := flag.Duration("batch-window", 250*time.Microsecond, "coalesce concurrent misses to one replica within this window (0 disables)")
+	warmConns := flag.Int("warm-conns", 8, "persistent connections pre-warmed per replica at startup (negative disables)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	devName := flag.String("device", "r9nano", "device model for the router-local fallback engine")
 	selName := flag.String("selector", "tree", "local fallback selector: tree, forest, 1nn, 3nn, linear-svm, radial-svm")
 	n := flag.Int("n", 8, "local fallback library size")
@@ -106,6 +119,9 @@ func main() {
 		WarmTop:       *warmTop,
 		ProbeInterval: *probeInterval,
 		Peers:         splitList(*peersFlag),
+		EdgeCacheSize: *edgeCache,
+		BatchWindow:   *batchWindow,
+		WarmConns:     *warmConns,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -120,6 +136,24 @@ func main() {
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	if *pprofAddr != "" {
+		// Same pattern as selectd: pprof on its own listener so profiling
+		// never shares a mux (or a port) with the serving surface.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			log.Printf("pprof on %s", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -126,11 +126,13 @@ func chaosClusterRun(t *testing.T, seed uint64) {
 	local := serve.New(libA, model, serve.Options{FallbackShapes: fleetShapes})
 	defer local.Close()
 	router, err := New(Options{
-		Replicas:     replicas,
-		Local:        local,
-		Retries:      replicaCount,
-		RetryBackoff: 2 * time.Millisecond,
-		HedgeDelay:   10 * time.Millisecond,
+		Replicas:      replicas,
+		Local:         local,
+		Retries:       replicaCount,
+		RetryBackoff:  2 * time.Millisecond,
+		HedgeDelay:    10 * time.Millisecond,
+		EdgeCacheSize: 2048,
+		BatchWindow:   150 * time.Microsecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -316,6 +318,30 @@ func chaosClusterRun(t *testing.T, seed uint64) {
 		t.Errorf("victim generation %d in the recovered view, want 2 (post-reload)", gen)
 	}
 
+	// Cache-coherence audit: with the edge cache live through kills, reloads
+	// and gossip, every surviving entry must be stamped with its owning
+	// replica's CURRENT generation (per the recovered view), agree with its
+	// own rendered body, and match the register a get() would check — i.e. no
+	// request from here on could ever be served a stale or degraded body.
+	finalGens := make([]uint64, replicaCount)
+	for i, e := range view.Replicas {
+		finalGens[i] = e.Generations[model.Dev.Name]
+	}
+	cacheEntries := 0
+	router.edge.forEach(func(dev string, e edgeEntry) {
+		cacheEntries++
+		gen, degraded, ok := serve.ScanDecisionMeta(e.body)
+		if !ok || degraded || gen != e.gen {
+			t.Errorf("edge entry %s/%v: body scan (gen=%d degraded=%v ok=%v) disagrees with stamp gen %d", dev, e.shape, gen, degraded, ok, e.gen)
+		}
+		if e.gen != finalGens[e.rep] {
+			t.Errorf("edge entry %s/%v owned by replica %d carries gen %d, owner is at gen %d", dev, e.shape, e.rep, e.gen, finalGens[e.rep])
+		}
+		if reg := router.edge.reg(dev, e.rep); e.gen != reg {
+			t.Errorf("edge entry %s/%v: stamp gen %d vs register %d — a hit would serve a stale body", dev, e.shape, e.gen, reg)
+		}
+	})
+
 	// Budgets conserved on every replica and the local engine once traffic
 	// quiesces (severed/cancelled requests may still be unwinding).
 	deadline := time.Now().Add(2 * time.Second)
@@ -329,9 +355,11 @@ func chaosClusterRun(t *testing.T, seed uint64) {
 	}
 
 	st := inj.Stats()
-	t.Logf("seed %d: %d requests (%d degraded, %d router fallbacks); victim %d severed %d conns; injected %d spikes %d errors %d cancels; router: %d retries %d hedges %d hedge-wins %d replica-errors",
+	t.Logf("seed %d: %d requests (%d degraded, %d router fallbacks); victim %d severed %d conns; injected %d spikes %d errors %d cancels; router: %d retries %d hedges %d hedge-wins %d replica-errors; edge: %d entries %d hits %d invalidations %d coalesced",
 		seed, total, degradedN, fallbackN, victim, outages[victim].Severed(),
 		st.Spikes, st.Errors, st.Cancels,
 		router.metrics.retries.Load(), router.metrics.hedges.Load(),
-		router.metrics.hedgeWins.Load(), router.metrics.repErrors.Load())
+		router.metrics.hedgeWins.Load(), router.metrics.repErrors.Load(),
+		cacheEntries, router.metrics.edgeHits.Load(),
+		router.metrics.edgeInvalidations.Load(), router.metrics.coalesced.Load())
 }

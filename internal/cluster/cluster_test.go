@@ -45,7 +45,7 @@ type testFleet struct {
 // newTestFleet spins up n replicas. wrap, when non-nil, may interpose a
 // middleware on replica i's handler (delays, outages); serveOpts applies to
 // every replica; ropts.Replicas/Local are filled in here.
-func newTestFleet(t *testing.T, n int, ropts Options, serveOpts serve.Options, wrap func(i int, h http.Handler) http.Handler) *testFleet {
+func newTestFleet(t testing.TB, n int, ropts Options, serveOpts serve.Options, wrap func(i int, h http.Handler) http.Handler) *testFleet {
 	t.Helper()
 	model := sim.New(device.R9Nano())
 	lib := buildFleetLib(t, model, 6)

@@ -43,6 +43,11 @@ type healthTable struct {
 	mu      sync.Mutex
 	order   []string
 	entries map[string]*ReplicaHealth
+
+	// onGens, when set (before any concurrent use), fires after every local
+	// observation or adopted merge that carries per-device generations — the
+	// edge cache's invalidation feed. Called outside the table lock.
+	onGens func(name string, gens map[string]uint64)
 }
 
 func newHealthTable(names []string) *healthTable {
@@ -59,9 +64,9 @@ func newHealthTable(names []string) *healthTable {
 // observation wins any later gossip merge against staler entries.
 func (t *healthTable) observe(name, state string, gens map[string]uint64, errMsg string) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	e, ok := t.entries[name]
 	if !ok {
+		t.mu.Unlock()
 		return
 	}
 	e.State = state
@@ -69,6 +74,11 @@ func (t *healthTable) observe(name, state string, gens map[string]uint64, errMsg
 	e.Err = errMsg
 	if gens != nil {
 		e.Generations = gens
+	}
+	hook := t.onGens
+	t.mu.Unlock()
+	if hook != nil && gens != nil {
+		hook(name, gens)
 	}
 }
 
@@ -106,7 +116,7 @@ func (t *healthTable) snapshot(router string) View {
 // Unknown replica names are ignored — the fleet roster is static per router.
 func (t *healthTable) merge(v View) (adopted int) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	var genUpdates []ReplicaHealth
 	for _, remote := range v.Replicas {
 		local, ok := t.entries[remote.Name]
 		if !ok || remote.Seq <= local.Seq {
@@ -115,6 +125,14 @@ func (t *healthTable) merge(v View) (adopted int) {
 		e := remote
 		t.entries[remote.Name] = &e
 		adopted++
+		if t.onGens != nil && remote.Generations != nil {
+			genUpdates = append(genUpdates, remote)
+		}
+	}
+	hook := t.onGens
+	t.mu.Unlock()
+	for _, u := range genUpdates {
+		hook(u.Name, u.Generations)
 	}
 	return adopted
 }

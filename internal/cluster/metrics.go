@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -11,7 +12,9 @@ import (
 // routerMetrics is the router's dependency-free Prometheus-text registry.
 // Fixed counters are plain atomics; the per-endpoint-per-code request
 // counters live in a sync.Map keyed "endpoint|code" (read-mostly after the
-// first request of each kind).
+// first request of each kind). The hot path pre-resolves its counter once via
+// counter() so a cache hit costs one atomic add, not a map lookup and a
+// formatted key.
 type routerMetrics struct {
 	requests sync.Map // "endpoint|code" -> *atomic.Uint64
 
@@ -25,6 +28,15 @@ type routerMetrics struct {
 	warmed    atomic.Uint64 // shapes peer-warmed into reloading replicas
 	repErrors atomic.Uint64 // replica transport errors observed
 
+	// Edge fast-path series: cache traffic, single-flight shape joins
+	// absorbed by the micro-batcher, and the size distribution of upstream
+	// dispatches (a solo dispatch observes 1).
+	edgeHits          atomic.Uint64
+	edgeMisses        atomic.Uint64
+	edgeInvalidations atomic.Uint64
+	coalesced         atomic.Uint64
+	batchSizes        sizeHistogram
+
 	// wins counts, per replica, responses actually returned to a client —
 	// a hedged request increments exactly one replica's counter.
 	wins []atomic.Uint64
@@ -35,13 +47,40 @@ func newRouterMetrics(replicas []string) *routerMetrics {
 	return &routerMetrics{wins: make([]atomic.Uint64, len(replicas)), reps: append([]string(nil), replicas...)}
 }
 
-func (m *routerMetrics) request(endpoint string, code int) {
+// counter resolves (creating on first use) the request counter for one
+// endpoint/code pair, so hot paths can hold the *atomic.Uint64 directly.
+func (m *routerMetrics) counter(endpoint string, code int) *atomic.Uint64 {
 	key := fmt.Sprintf("%s|%d", endpoint, code)
 	c, ok := m.requests.Load(key)
 	if !ok {
 		c, _ = m.requests.LoadOrStore(key, &atomic.Uint64{})
 	}
-	c.(*atomic.Uint64).Add(1)
+	return c.(*atomic.Uint64)
+}
+
+func (m *routerMetrics) request(endpoint string, code int) {
+	m.counter(endpoint, code).Add(1)
+}
+
+// sizeBounds are the selectrouter_batchsize bucket upper bounds; sizes above
+// the last land in +Inf.
+var sizeBounds = [7]uint64{1, 2, 4, 8, 16, 32, 64}
+
+// sizeHistogram is a fixed-bucket histogram of upstream dispatch sizes.
+type sizeHistogram struct {
+	buckets [8]atomic.Uint64 // le 1,2,4,8,16,32,64,+Inf
+	sum     atomic.Uint64
+	count   atomic.Uint64
+}
+
+func (h *sizeHistogram) observe(n int) {
+	i := 0
+	for i < len(sizeBounds) && uint64(n) > sizeBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(uint64(n))
+	h.count.Add(1)
 }
 
 // render emits the router series; upFn supplies the health gauge per replica.
@@ -75,6 +114,28 @@ func (m *routerMetrics) render(upFn func(name string) float64) string {
 	counter("router_reloads_total", m.reloads.Load())
 	counter("router_warmed_shapes_total", m.warmed.Load())
 	counter("router_replica_errors_total", m.repErrors.Load())
+
+	counter("selectrouter_cache_hits_total", m.edgeHits.Load())
+	counter("selectrouter_cache_misses_total", m.edgeMisses.Load())
+	counter("selectrouter_cache_invalidations_total", m.edgeInvalidations.Load())
+	counter("selectrouter_coalesced_total", m.coalesced.Load())
+	hits, misses := m.edgeHits.Load(), m.edgeMisses.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(&b, "# TYPE selectrouter_cache_hit_rate gauge\nselectrouter_cache_hit_rate %g\n", rate)
+
+	b.WriteString("# TYPE selectrouter_batchsize histogram\n")
+	cum := uint64(0)
+	for i, bound := range sizeBounds {
+		cum += m.batchSizes.buckets[i].Load()
+		fmt.Fprintf(&b, "selectrouter_batchsize_bucket{le=%q} %d\n", strconv.FormatUint(bound, 10), cum)
+	}
+	cum += m.batchSizes.buckets[len(sizeBounds)].Load()
+	fmt.Fprintf(&b, "selectrouter_batchsize_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "selectrouter_batchsize_sum %d\n", m.batchSizes.sum.Load())
+	fmt.Fprintf(&b, "selectrouter_batchsize_count %d\n", m.batchSizes.count.Load())
 
 	b.WriteString("# TYPE router_replica_wins_total counter\n")
 	for i, name := range m.reps {

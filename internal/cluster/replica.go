@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"kernelselect/internal/gemm"
@@ -77,17 +80,66 @@ type selectShape struct {
 	Device string `json:"device,omitempty"`
 }
 
+// wireBufPool holds request-encoding scratch for the upstream hot paths:
+// select and batch bodies are appended with strconv instead of running the
+// reflection encoder per proxied request.
+var wireBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// plainJSONString reports whether s encodes as itself under encoding/json
+// (printable ASCII, nothing the HTML-safe encoder escapes). Device names
+// always qualify; anything exotic falls back to json.Marshal so the wire
+// bytes stay identical to the old encoder's.
+func plainJSONString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x80 || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}
+
+// appendSelectBody renders a selectShape byte-identically to json.Marshal
+// (field order, omitempty on device).
+func appendSelectBody(b []byte, device string, s gemm.Shape) []byte {
+	b = append(b, `{"m":`...)
+	b = strconv.AppendInt(b, int64(s.M), 10)
+	b = append(b, `,"k":`...)
+	b = strconv.AppendInt(b, int64(s.K), 10)
+	b = append(b, `,"n":`...)
+	b = strconv.AppendInt(b, int64(s.N), 10)
+	if device != "" {
+		b = append(b, `,"device":"`...)
+		b = append(b, device...)
+		b = append(b, '"')
+	}
+	return append(b, '}')
+}
+
 // Select asks the replica for one decision, passing the replica's response
 // through verbatim: (status, headers, raw body). The router forwards 2xx/4xx
 // bodies byte-for-byte so clients see exactly what a single selectd would
 // serve, and reads Retry-After from the headers to back off a saturated
 // replica.
 func (r *Replica) Select(ctx context.Context, device string, shape gemm.Shape) (int, http.Header, []byte, error) {
-	body, err := json.Marshal(selectShape{M: shape.M, K: shape.K, N: shape.N, Device: device})
-	if err != nil {
-		return 0, nil, nil, err
+	if !plainJSONString(device) {
+		body, err := json.Marshal(selectShape{M: shape.M, K: shape.K, N: shape.N, Device: device})
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		return r.roundTrip(ctx, http.MethodPost, "/v1/select", body)
 	}
-	return r.roundTrip(ctx, http.MethodPost, "/v1/select", body)
+	bp := wireBufPool.Get().(*[]byte)
+	body := appendSelectBody((*bp)[:0], device, shape)
+	status, hdr, out, err := r.roundTrip(ctx, http.MethodPost, "/v1/select", body)
+	*bp = body[:0]
+	wireBufPool.Put(bp)
+	return status, hdr, out, err
 }
 
 // batchWire mirrors serve's batch request/response wire forms.
@@ -100,23 +152,71 @@ type batchResults struct {
 	Results []serve.Decision `json:"results"`
 }
 
-// Batch prices a set of shapes on one device in a single round trip,
-// returning the decisions in request order.
-func (r *Replica) Batch(ctx context.Context, device string, shapes []gemm.Shape) ([]serve.Decision, error) {
-	req := batchWire{Device: device, Shapes: make([]selectShape, len(shapes))}
-	for i, s := range shapes {
-		req.Shapes[i] = selectShape{M: s.M, K: s.K, N: s.N}
+// statusError is a failed control/batch call where the transport worked and
+// the replica answered with a non-200: it is alive but unwilling (saturated,
+// draining, bad request), which the router treats as backoff pressure rather
+// than replica death.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// appendBatchBody renders a batchWire byte-identically to json.Marshal
+// (omitempty device first, then shapes).
+func appendBatchBody(b []byte, device string, shapes []gemm.Shape) []byte {
+	b = append(b, '{')
+	if device != "" {
+		b = append(b, `"device":"`...)
+		b = append(b, device...)
+		b = append(b, `",`...)
 	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
+	b = append(b, `"shapes":[`...)
+	for i, s := range shapes {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"m":`...)
+		b = strconv.AppendInt(b, int64(s.M), 10)
+		b = append(b, `,"k":`...)
+		b = strconv.AppendInt(b, int64(s.K), 10)
+		b = append(b, `,"n":`...)
+		b = strconv.AppendInt(b, int64(s.N), 10)
+		b = append(b, '}')
+	}
+	return append(b, `]}`...)
+}
+
+// Batch prices a set of shapes on one device in a single round trip,
+// returning the decisions in request order. A non-200 reply comes back as a
+// *statusError so callers can tell saturation from transport death.
+func (r *Replica) Batch(ctx context.Context, device string, shapes []gemm.Shape) ([]serve.Decision, error) {
+	var body []byte
+	var bp *[]byte
+	if plainJSONString(device) {
+		bp = wireBufPool.Get().(*[]byte)
+		body = appendBatchBody((*bp)[:0], device, shapes)
+	} else {
+		req := batchWire{Device: device, Shapes: make([]selectShape, len(shapes))}
+		for i, s := range shapes {
+			req.Shapes[i] = selectShape{M: s.M, K: s.K, N: s.N}
+		}
+		var err error
+		if body, err = json.Marshal(req); err != nil {
+			return nil, err
+		}
 	}
 	status, _, b, err := r.roundTrip(ctx, http.MethodPost, "/v1/select/batch", body)
+	if bp != nil {
+		*bp = body[:0]
+		wireBufPool.Put(bp)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if status != http.StatusOK {
-		return nil, fmt.Errorf("replica %s batch: status %d: %s", r.Name, status, truncate(b, 200))
+		return nil, &statusError{status: status, msg: fmt.Sprintf("replica %s batch: status %d: %s", r.Name, status, truncate(b, 200))}
 	}
 	var out batchResults
 	if err := json.Unmarshal(b, &out); err != nil {
@@ -241,14 +341,51 @@ func (r *Replica) Devices(ctx context.Context) ([]string, error) {
 	return names, nil
 }
 
-// retryAfterOrDefault is how long the router backs off a saturated replica:
-// the replica's Retry-After header when present, else the given default.
-func retryAfterOrDefault(h http.Header, def time.Duration) time.Duration {
-	if v := h.Get("Retry-After"); v != "" {
-		var secs int
-		if _, err := fmt.Sscanf(v, "%d", &secs); err == nil && secs > 0 {
-			return time.Duration(secs) * time.Second
+// WarmConns pre-establishes up to n persistent connections by holding n
+// health probes in flight at once; the transport parks each one idle
+// afterwards (the default client keeps a deep idle pool), so the first burst
+// of routed traffic reuses warm sockets instead of paying connection setup
+// under load. Best effort: probe failures are ignored.
+func (r *Replica) WarmConns(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.roundTrip(ctx, http.MethodGet, "/healthz", nil)
+		}()
+	}
+	wg.Wait()
+}
+
+// parseRetryAfter interprets one Retry-After header value. RFC 7231 allows
+// both delta-seconds and an HTTP-date; dates are measured against now.
+// Non-positive delays, the past, and garbage report ok=false.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0, false
 		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// retryAfterOrDefault is how long the router backs off a saturated replica:
+// the replica's Retry-After header when present and parseable (delta-seconds
+// or HTTP-date), else the given default.
+func retryAfterOrDefault(h http.Header, def time.Duration) time.Duration {
+	if d, ok := parseRetryAfter(h.Get("Retry-After"), time.Now()); ok {
+		return d
 	}
 	return def
 }

@@ -52,6 +52,24 @@ type Options struct {
 	// Peers are sibling router base URLs; each probe round pushes this
 	// router's view to them (gossip).
 	Peers []string
+
+	// EdgeCacheSize enables the generation-aware edge cache when positive:
+	// up to this many pre-rendered decision bodies are kept per device
+	// channel and served with zero allocations. Entries are stamped with the
+	// owning replica's generation and evicted the moment the health view (or
+	// a newer body) reports a bump; degraded answers are never cached.
+	// 0 disables (default).
+	EdgeCacheSize int
+	// BatchWindow enables adaptive micro-batching when positive: concurrent
+	// cache misses bound for the same replica within the window coalesce
+	// into one upstream batch call, with single-flight dedup per shape. An
+	// isolated miss still dispatches immediately through the retry/hedge
+	// ladder, so low-concurrency p50 does not regress. 0 disables (default).
+	BatchWindow time.Duration
+	// WarmConns pre-establishes this many persistent connections per replica
+	// at Start — sized to the batch fan-out so the first burst of routed
+	// traffic reuses warm sockets (default 8; negative disables).
+	WarmConns int
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +91,9 @@ func (o Options) withDefaults() Options {
 	if o.WarmTop == 0 {
 		o.WarmTop = 64
 	}
+	if o.WarmConns == 0 {
+		o.WarmConns = 8
+	}
 	return o
 }
 
@@ -80,7 +101,10 @@ func (o Options) withDefaults() Options {
 // (device, shape-bucket), bounded retry with backoff, one cross-shard hedged
 // attempt, and a router-local degraded fallback so a priceable shape is never
 // answered with a 5xx. Health observations gossip between routers as
-// Seq-versioned views on /v1/cluster.
+// Seq-versioned views on /v1/cluster. On top of the routing ladder sits the
+// fast path: a generation-aware edge cache answering repeats with zero
+// allocations, and an adaptive micro-batcher coalescing concurrent misses
+// into single upstream batch calls.
 type Router struct {
 	name     string
 	replicas []*Replica
@@ -89,6 +113,14 @@ type Router struct {
 	health   *healthTable
 	metrics  *routerMetrics
 	opts     Options
+
+	// edge is the generation-aware response cache (nil when disabled);
+	// batchers holds one micro-batch coalescer per replica (nil when
+	// disabled). selectHit is the pre-resolved select|200 request counter so
+	// the cache-hit path skips the formatted-key metrics lookup.
+	edge      *edgeCache
+	batchers  []repBatcher
+	selectHit *atomic.Uint64
 
 	// backoffUntil holds per-replica unix-nano timestamps: a saturated
 	// replica (429/5xx with Retry-After) is deprioritized until then, but
@@ -129,11 +161,51 @@ func New(opts Options) (*Router, error) {
 		gossipHC:     &http.Client{Timeout: 2 * time.Second},
 		stop:         make(chan struct{}),
 	}
+	r.selectHit = r.metrics.counter("select", http.StatusOK)
+	if opts.EdgeCacheSize > 0 {
+		r.edge = newEdgeCache(opts.EdgeCacheSize, len(opts.Replicas), r.metrics)
+		// Every generation the health view learns — probes, gossip merges —
+		// flows into the cache's registers, so a bump observed anywhere
+		// evicts that replica's stale entries before the next hit.
+		idx := make(map[string]int, len(names))
+		for i, n := range names {
+			idx[n] = i
+		}
+		r.health.onGens = func(name string, gens map[string]uint64) {
+			if i, ok := idx[name]; ok {
+				r.edge.noteGens(i, gens)
+			}
+		}
+	}
+	if opts.BatchWindow > 0 {
+		r.batchers = make([]repBatcher, len(opts.Replicas))
+		for i := range r.batchers {
+			r.batchers[i].pending = make(map[string]*batchGroup, 2)
+		}
+	}
 	return r, nil
 }
 
-// Start launches the background probe+gossip loop when ProbeInterval is set.
+// Start launches the background probe+gossip loop when ProbeInterval is set,
+// and pre-warms each replica's persistent connection pool.
 func (r *Router) Start() {
+	if r.opts.WarmConns > 0 {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			var wg sync.WaitGroup
+			for _, rep := range r.replicas {
+				wg.Add(1)
+				go func(rep *Replica) {
+					defer wg.Done()
+					rep.WarmConns(ctx, r.opts.WarmConns)
+				}(rep)
+			}
+			wg.Wait()
+		}()
+	}
 	if r.opts.ProbeInterval <= 0 {
 		return
 	}
@@ -228,14 +300,18 @@ type attemptResult struct {
 }
 
 // attempt runs one replica round trip and reports it. Transport errors mark
-// the replica down immediately (its shard re-hashes on the next request);
-// saturation responses (429/5xx) arm the backoff from Retry-After.
+// the replica down immediately (its shard re-hashes on the next request) —
+// unless this attempt's context was cancelled, which says the ladder lost
+// interest (a sibling won), not that the replica is sick. Saturation
+// responses (429/5xx) arm the backoff from Retry-After.
 func (r *Router) attempt(ctx context.Context, idx int, hedge bool, device string, shape gemm.Shape, ch chan<- attemptResult) {
 	rep := r.replicas[idx]
 	status, hdr, body, err := rep.Select(ctx, device, shape)
 	if err != nil {
-		r.metrics.repErrors.Add(1)
-		r.health.observe(rep.Name, StateDown, nil, err.Error())
+		if ctx.Err() == nil {
+			r.metrics.repErrors.Add(1)
+			r.health.observe(rep.Name, StateDown, nil, err.Error())
+		}
 		ch <- attemptResult{idx: idx, hedge: hedge, err: err}
 		return
 	}
@@ -257,16 +333,29 @@ func acceptable(res attemptResult) bool {
 // first candidate, hedge to the second after HedgeDelay, and on failure walk
 // the remaining candidates sequentially with backoff, up to Retries extra
 // attempts. The first acceptable response wins and is counted exactly once;
-// late results from the losing attempt are discarded.
+// the moment it returns, every losing in-flight arm is cancelled through its
+// own context, so hedges stop burning replica budget on work nobody will
+// read.
 func (r *Router) tryReplicas(ctx context.Context, alive []int, device string, shape gemm.Shape) (attemptResult, bool) {
 	if len(alive) == 0 {
 		return attemptResult{}, false
 	}
 	ch := make(chan attemptResult, len(alive))
+	cancels := make([]context.CancelFunc, 0, len(alive))
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+	launch := func(idx int, hedge bool) {
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
+		go r.attempt(actx, idx, hedge, device, shape, ch)
+	}
 	next := 1
 	pending := 1
 	seqAttempts := 1
-	go r.attempt(ctx, alive[0], false, device, shape, ch)
+	launch(alive[0], false)
 
 	var hedgeC <-chan time.Time
 	if r.opts.HedgeDelay > 0 && len(alive) > 1 {
@@ -284,7 +373,7 @@ func (r *Router) tryReplicas(ctx context.Context, alive []int, device string, sh
 			if next < len(alive) {
 				r.metrics.hedges.Add(1)
 				pending++
-				go r.attempt(ctx, alive[next], true, device, shape, ch)
+				launch(alive[next], true)
 				next++
 			}
 		case res := <-ch:
@@ -306,7 +395,7 @@ func (r *Router) tryReplicas(ctx context.Context, alive []int, device string, sh
 			case <-time.After(r.opts.RetryBackoff):
 			}
 			pending++
-			go r.attempt(ctx, alive[next], false, device, shape, ch)
+			launch(alive[next], false)
 			next++
 		}
 	}
@@ -346,40 +435,109 @@ func (r *Router) fallback(ctx context.Context, device string, shape gemm.Shape) 
 	return http.StatusOK, b, nil
 }
 
+// cacheFillBody stamps and caches one passthrough replica body: the
+// generation is scanned out of the rendered JSON, degraded bodies are
+// skipped, and anything the scanner cannot fully account for is simply not
+// cached (never mis-stamped).
+func (r *Router) cacheFillBody(device string, shape gemm.Shape, rep, status int, body []byte) {
+	if r.edge == nil || status != http.StatusOK {
+		return
+	}
+	gen, degraded, ok := serve.ScanDecisionMeta(body)
+	if !ok || degraded || gen == 0 {
+		return
+	}
+	if len(body) == 0 || body[len(body)-1] != '\n' {
+		body = append(append(make([]byte, 0, len(body)+1), body...), '\n')
+	}
+	r.edge.put(device, shape, rep, gen, body)
+}
+
+// cacheFillDecision caches one already-rendered decision body whose metadata
+// is known (the micro-batcher's path; degraded was filtered by the caller).
+func (r *Router) cacheFillDecision(device string, shape gemm.Shape, rep int, gen uint64, body []byte) {
+	if r.edge == nil {
+		return
+	}
+	r.edge.put(device, shape, rep, gen, body)
+}
+
 // route answers one select request through the full ladder: consistent-hash
-// candidates, liveness filter, retry+hedge, local degraded fallback.
+// candidates, liveness filter, micro-batcher or retry+hedge, local degraded
+// fallback. Successful full-quality answers refill the edge cache on the way
+// out.
 func (r *Router) route(ctx context.Context, device string, shape gemm.Shape) (int, []byte, http.Header) {
 	order := r.ring.candidates(device, shape)
 	alive := r.routable(order)
+	if r.batchers != nil && len(alive) > 0 {
+		if status, body, ok := r.routeCoalesced(ctx, device, shape, alive); ok {
+			return status, body, nil
+		}
+		return r.fallback(ctx, device, shape)
+	}
 	if res, ok := r.tryReplicas(ctx, alive, device, shape); ok {
 		r.metrics.wins[res.idx].Add(1)
 		if res.hedge {
 			r.metrics.hedgeWins.Add(1)
 		}
+		r.cacheFillBody(device, shape, res.idx, res.status, res.body)
 		return res.status, res.body, nil
 	}
 	return r.fallback(ctx, device, shape)
 }
 
-// maxBody mirrors serve's request body cap.
-const maxBody = 1 << 20
+// selectBufPool holds per-request scratch for the select proxy loop: the
+// request body lands in it and is scanned in place, so a cache hit touches
+// the heap zero times.
+var selectBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+var jsonContentType = []string{"application/json"}
 
 func (r *Router) handleSelect(w http.ResponseWriter, req *http.Request) {
-	var sr selectShape
-	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBody))
-	if err == nil {
-		err = json.Unmarshal(body, &sr)
-	}
+	bp := selectBufPool.Get().(*[]byte)
+	defer selectBufPool.Put(bp)
+	body, err := serve.ReadRequestBody(w, req, (*bp)[:0])
+	*bp = body[:0]
 	if err != nil {
 		r.writeResponse(w, "select", http.StatusBadRequest, errorBody(err.Error()), nil)
 		return
 	}
-	shape := gemm.Shape{M: sr.M, K: sr.K, N: sr.N}
+	var shape gemm.Shape
+	var deviceB []byte // aliases body; consumed before the buffer is released
+	if m, k, n, dev, ok := serve.ParseSelectWire(body); ok {
+		shape = gemm.Shape{M: m, K: k, N: n}
+		deviceB = dev
+	} else {
+		// Anything beyond the canonical form keeps the lenient stdlib
+		// semantics the router has always had for passthrough requests.
+		var sr selectShape
+		if err := json.Unmarshal(body, &sr); err != nil {
+			r.writeResponse(w, "select", http.StatusBadRequest, errorBody(err.Error()), nil)
+			return
+		}
+		shape = gemm.Shape{M: sr.M, K: sr.K, N: sr.N}
+		deviceB = []byte(sr.Device)
+	}
 	if err := shape.Validate(); err != nil {
 		r.writeResponse(w, "select", http.StatusBadRequest, errorBody(err.Error()), nil)
 		return
 	}
-	status, out, hdr := r.route(req.Context(), sr.Device, shape)
+	if r.edge != nil {
+		if cached := r.edge.get(deviceB, shape); cached != nil {
+			h := w.Header()
+			h["Content-Type"] = jsonContentType
+			w.WriteHeader(http.StatusOK)
+			w.Write(cached)
+			r.selectHit.Add(1)
+			return
+		}
+	}
+	status, out, hdr := r.route(req.Context(), string(deviceB), shape)
 	r.writeResponse(w, "select", status, out, hdr)
 }
 
@@ -466,10 +624,7 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 				tried++
 				decs, err := r.replicas[idx].Batch(req.Context(), br.Device, group)
 				if err != nil {
-					r.metrics.repErrors.Add(1)
-					if req.Context().Err() == nil {
-						r.health.observe(r.replicas[idx].Name, StateDown, nil, err.Error())
-					}
+					r.noteBatchError(req.Context(), idx, err)
 					continue
 				}
 				r.metrics.wins[idx].Add(1)
@@ -491,13 +646,16 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 	}
 	wg.Wait()
 
-	out, err := json.Marshal(batchResults{Results: results})
-	if err != nil {
-		r.writeResponse(w, "batch", http.StatusBadRequest, errorBody(err.Error()), nil)
-		return
-	}
+	bp := selectBufPool.Get().(*[]byte)
+	out := serve.AppendBatchJSON((*bp)[:0], results)
 	r.writeResponse(w, "batch", http.StatusOK, out, nil)
+	*bp = out[:0]
+	selectBufPool.Put(bp)
 }
+
+// maxBody mirrors serve's request body cap for the control endpoints; select
+// bodies go through serve.ReadRequestBody and share the serving tier's cap.
+const maxBody = 1 << 20
 
 func (r *Router) handleClusterGet(w http.ResponseWriter, _ *http.Request) {
 	b, _ := json.Marshal(r.View())
@@ -615,6 +773,12 @@ func (r *Router) reloadReplica(ctx context.Context, idx int, device string) relo
 	}
 	sum.Generation = rw.Generation
 	r.metrics.reloads.Add(1)
+	if r.edge != nil {
+		// Eagerly advance the shard's generation register: the reloaded
+		// replica's old-generation entries are stale the instant the swap
+		// lands, before any probe round confirms it.
+		r.edge.noteGens(idx, map[string]uint64{rw.Device: rw.Generation})
+	}
 
 	warm := r.gatherWarmShapes(ctx, idx, device)
 	if len(warm) > 0 {
